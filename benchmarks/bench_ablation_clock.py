@@ -1,0 +1,152 @@
+"""Ablation B — clock-bias models (paper Section 6, extension 2).
+
+The paper: "Another extension is to consider better clock bias models
+so the clock prediction can be further improved along with the
+accuracy of the algorithm."
+
+This bench compares DLG under four clock-bias predictors on both clock
+regimes (SRZN steering, KYCP threshold):
+
+* ``zero``   — no prediction at all (shows why Section 4.2 exists),
+* ``linear`` — the paper's D + r*t model (the baseline configuration),
+* ``kalman`` — the proposed extension (two-state filter),
+* ``oracle`` — perfect clock knowledge (the simulation-only bound).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_EXPERIMENT_CONFIG, add_report
+from repro.clocks import (
+    KalmanClockBiasPredictor,
+    OracleClockBiasPredictor,
+    ZeroClockBiasPredictor,
+)
+from repro.core import DLGSolver, NewtonRaphsonSolver
+from repro.errors import ConvergenceError, GeometryError
+from repro.evaluation.experiments import (
+    ReplayClockBiasPredictor,
+    StationPipeline,
+    prn_order_subset,
+)
+from repro.stations import get_station
+from repro.timebase import GpsTime
+
+_SITES = ("SRZN", "KYCP")
+
+
+def _median_error(solver, subsets):
+    errors = []
+    for subset in subsets:
+        try:
+            fix = solver.solve(subset)
+        except (GeometryError, ConvergenceError):
+            continue
+        errors.append(fix.distance_to(subset.truth.receiver_position))
+    return float(np.median(errors)) if errors else float("nan")
+
+
+@pytest.fixture(scope="module")
+def clock_ablation():
+    """Per-site epochs plus the four predictors, trained causally."""
+    data = {}
+    for site in _SITES:
+        station = get_station(site)
+        pipeline = StationPipeline(station, BENCH_EXPERIMENT_CONFIG)
+        epochs, replay = pipeline.collect()
+        subsets = [
+            prn_order_subset(epoch, 8)
+            for epoch in epochs
+            if epoch.satellite_count >= 8
+        ]
+
+        # Train a Kalman predictor causally: walk the data set in time
+        # order, observing NR biases at the recalibration cadence and
+        # *recording* the filter's prediction at each evaluation epoch
+        # before any later observation arrives.  Querying a fully
+        # trained filter about past epochs would smear threshold-clock
+        # resets backwards in time.
+        kalman = KalmanClockBiasPredictor(min_observations=10)
+        kalman_replay = ReplayClockBiasPredictor()
+        nr = NewtonRaphsonSolver()
+        dataset = pipeline.dataset
+        config = pipeline.config
+        pending = sorted(subset.time.to_gps_seconds() for subset in subsets)
+        pending_index = 0
+        for index in range(dataset.epoch_count):
+            time = config.dataset.start_time + index * config.dataset.interval_seconds
+            now = time.to_gps_seconds()
+            while pending_index < len(pending) and pending[pending_index] <= now:
+                if kalman.is_ready:
+                    when = GpsTime.from_gps_seconds(pending[pending_index])
+                    kalman_replay.record(when, kalman.predict_bias_meters(when))
+                pending_index += 1
+            if index % config.recalibration_interval == 0:
+                epoch = dataset.epoch_at(index)
+                try:
+                    fix = nr.solve(epoch)
+                except (GeometryError, ConvergenceError):
+                    continue
+                kalman.observe(epoch.time, fix.clock_bias_meters)
+
+        # Only evaluate epochs every predictor can answer for.
+        usable = [subset for subset in subsets if kalman_replay.has(subset.time)]
+
+        predictors = {
+            "zero": ZeroClockBiasPredictor(),
+            "linear": replay,  # causally recorded paper model
+            "kalman": kalman_replay,
+            "oracle": OracleClockBiasPredictor(dataset.clock_model),
+        }
+        data[site] = (usable, predictors)
+    return data
+
+
+@pytest.fixture(scope="module")
+def clock_report(clock_ablation):
+    lines = [
+        "Ablation B: DLG clock-bias model (paper Sec. 6 ext. 2), m=8",
+        f"{'predictor':<10}" + "".join(f"{site:>12}" for site in _SITES)
+        + "   (median error, m)",
+    ]
+    table = {}
+    for name in ("zero", "linear", "kalman", "oracle"):
+        row = []
+        for site in _SITES:
+            subsets, predictors = clock_ablation[site]
+            solver = DLGSolver(predictors[name])
+            error = _median_error(solver, subsets)
+            table[(name, site)] = error
+            row.append(f"{error:12.2f}")
+        lines.append(f"{name:<10}" + "".join(row))
+    lines.append(
+        "Expected: zero >> all others; linear/kalman/oracle cluster at the "
+        "geometry+residual error floor (the paper's linear model already "
+        "sits near the perfect-clock bound, which is why Sec. 6 calls the "
+        "better-clock-model extension an accuracy refinement, not a fix)"
+    )
+    report = "\n".join(lines)
+    add_report(report)
+
+    # The structural claims.
+    for site in _SITES:
+        assert table[("zero", site)] > 10 * table[("linear", site)]
+        assert table[("oracle", site)] <= table[("linear", site)] * 1.5
+    return report
+
+
+@pytest.mark.parametrize("predictor_name", ["zero", "linear", "kalman", "oracle"])
+def bench_dlg_with_clock_model(benchmark, clock_ablation, clock_report, predictor_name):
+    subsets, predictors = clock_ablation["SRZN"]
+    solver = DLGSolver(predictors[predictor_name])
+    counter = {"index": 0}
+
+    def solve_one():
+        index = counter["index"] % len(subsets)
+        counter["index"] += 1
+        try:
+            return solver.solve(subsets[index])
+        except GeometryError:
+            return None
+
+    benchmark(solve_one)

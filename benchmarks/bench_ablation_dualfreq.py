@@ -1,0 +1,109 @@
+"""Ablation H — single- vs dual-frequency ionosphere handling.
+
+The paper's data sets are single-frequency L1 (Table 5.1), so the
+residual ionosphere is part of its ``eps_S``.  Dual-frequency
+receivers remove the ionosphere exactly with the L1/L2 combination, at
+~3x noise amplification.  This bench quantifies the trade under NR and
+DLG, separating the *systematic* vertical component (where the iono
+residual hides) from the total error.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import add_report
+from repro.clocks import LinearClockBiasPredictor
+from repro.core import DLGSolver, NewtonRaphsonSolver
+from repro.errors import ConvergenceError, GeometryError
+from repro.evaluation import ErrorStatistics, enu_error
+from repro.signals import ionosphere_free_epoch
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def dualfreq_data():
+    station = get_station("SRZN")
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(
+            duration_seconds=420.0,
+            dual_frequency=True,
+            ionosphere_scale=1.5,  # strong residual, like active-iono days
+        ),
+    )
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=60)
+    epochs = []
+    for index in range(dataset.epoch_count):
+        epoch = dataset.epoch_at(index)
+        if index < 60:
+            predictor.observe(epoch.time, nr.solve(epoch).clock_bias_meters)
+            continue
+        epochs.append(epoch)
+    return station, epochs, predictor
+
+
+@pytest.fixture(scope="module")
+def dualfreq_report(dualfreq_data):
+    station, epochs, predictor = dualfreq_data
+    nr = NewtonRaphsonSolver()
+    dlg = DLGSolver(predictor)
+
+    def stats(solver, combine):
+        errors = []
+        for epoch in epochs:
+            target = ionosphere_free_epoch(epoch) if combine else epoch
+            try:
+                fix = solver.solve(target)
+            except (GeometryError, ConvergenceError):
+                continue
+            errors.append(enu_error(fix.position, station.position))
+        return ErrorStatistics.from_errors(errors)
+
+    table = {
+        ("NR", "L1 only"): stats(nr, False),
+        ("NR", "iono-free"): stats(nr, True),
+        ("DLG", "L1 only"): stats(dlg, False),
+        ("DLG", "iono-free"): stats(dlg, True),
+    }
+    lines = [
+        "Ablation H: single- vs dual-frequency (iono scale 1.5), SRZN",
+        f"{'config':<18} {'rms3d (m)':>10} {'meanV signed (m)':>17} {'cep95 (m)':>10}",
+    ]
+    for (solver, band), s in table.items():
+        lines.append(
+            f"{solver + ' ' + band:<18} {s.rms_3d:10.2f} "
+            f"{s.mean_vertical_signed:17.2f} {s.cep95:10.2f}"
+        )
+    lines.append(
+        "The combination trades ~3x noise amplification for exact removal "
+        "of the (systematic, vertical-leaking) ionospheric residual — "
+        "visible in the signed vertical mean collapsing toward zero."
+    )
+    report = "\n".join(lines)
+    add_report(report)
+
+    for solver in ("NR", "DLG"):
+        assert abs(table[(solver, "iono-free")].mean_vertical_signed) < abs(
+            table[(solver, "L1 only")].mean_vertical_signed
+        )
+    return report
+
+
+@pytest.mark.parametrize("band", ["l1", "iono_free"])
+def bench_solver_per_band(benchmark, dualfreq_data, dualfreq_report, band):
+    _station, epochs, predictor = dualfreq_data
+    solver = DLGSolver(predictor)
+    subset = epochs[:30]
+    counter = {"index": 0}
+
+    def run():
+        index = counter["index"] % len(subset)
+        counter["index"] += 1
+        epoch = subset[index]
+        if band == "iono_free":
+            epoch = ionosphere_free_epoch(epoch)
+        return solver.solve(epoch)
+
+    fix = benchmark(run)
+    assert fix.converged

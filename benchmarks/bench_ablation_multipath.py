@@ -1,0 +1,123 @@
+"""Ablation I — multipath and the smoothing that defeats it.
+
+White noise is what averaging fixes; *multipath* is time-correlated
+and elevation-dependent, which is why it is the dominant residual at
+real stations.  This bench runs the 2x2 grid (multipath off/on x Hatch
+smoothing off/on) under NR with perfect atmospheric correction — the
+solver re-estimates the clock each epoch, so the grid isolates exactly
+noise + multipath.  Carrier smoothing recovers most of the multipath
+damage: the reflection bias oscillates slowly (period 600 s), so the
+100 s Hatch window averages a good share of it away along with the
+white noise.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import add_report
+from repro.clocks import LinearClockBiasPredictor
+from repro.core import DLGSolver, NewtonRaphsonSolver
+from repro.errors import ConvergenceError, GeometryError
+from repro.signals import HatchFilter
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+def _run(multipath_amplitude, smooth):
+    station = get_station("YYR1")
+    # Perfect atmospheric correction isolates the multipath effect:
+    # without it the (systematic) iono/tropo residual dominates the
+    # median and masks the grid.
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(
+            duration_seconds=700.0,
+            track_carrier=True,
+            multipath_amplitude_meters=multipath_amplitude,
+            ionosphere_scale=1.0,
+            troposphere_scale=1.0,
+            noise_sigma_meters=0.5,
+        ),
+    )
+    # NR keeps the grid solver-agnostic: it solves the clock per epoch,
+    # so the errors measure noise + multipath, nothing else.
+    nr = NewtonRaphsonSolver()
+    hatch = HatchFilter(window=100)
+
+    errors = []
+    for index in range(dataset.epoch_count):
+        epoch = dataset.epoch_at(index)
+        smoothed = hatch.smooth_epoch(epoch)
+        if index < 150 or index % 5:
+            continue  # let the Hatch window fill before measuring
+        target = smoothed if smooth else epoch
+        try:
+            fix = nr.solve(target)
+        except (GeometryError, ConvergenceError):
+            continue
+        errors.append(fix.distance_to(station.position))
+    return float(np.median(errors))
+
+
+@pytest.fixture(scope="module")
+def multipath_report():
+    grid = {
+        ("clean", "raw"): _run(0.0, smooth=False),
+        ("clean", "hatch"): _run(0.0, smooth=True),
+        ("multipath", "raw"): _run(3.0, smooth=False),
+        ("multipath", "hatch"): _run(3.0, smooth=True),
+    }
+    lines = [
+        "Ablation I: multipath x Hatch smoothing (NR, YYR1, median error m)",
+        f"{'environment':<12} {'raw':>8} {'hatch':>8}",
+        f"{'clean':<12} {grid[('clean', 'raw')]:8.2f} {grid[('clean', 'hatch')]:8.2f}",
+        f"{'multipath':<12} {grid[('multipath', 'raw')]:8.2f} "
+        f"{grid[('multipath', 'hatch')]:8.2f}",
+        "Carrier smoothing recovers most of the multipath damage because the "
+        "reflection bias is slow relative to the smoothing window, unlike the "
+        "white noise it also removes.",
+    ]
+    report = "\n".join(lines)
+    add_report(report)
+
+    # Multipath hurts; smoothing helps in both environments; and the
+    # smoothed multipath case beats the raw multipath case decisively.
+    assert grid[("multipath", "raw")] > grid[("clean", "raw")]
+    assert grid[("clean", "hatch")] < grid[("clean", "raw")]
+    assert grid[("multipath", "hatch")] < 0.8 * grid[("multipath", "raw")]
+    return report, grid
+
+
+def bench_multipath_grid(benchmark, multipath_report):
+    """Timing of a smoothed DLG solve in the harsh environment (the
+    production configuration the grid recommends)."""
+    report, grid = multipath_report
+    station = get_station("YYR1")
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(
+            duration_seconds=40.0,
+            track_carrier=True,
+            multipath_amplitude_meters=3.0,
+        ),
+    )
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=20)
+    dlg = DLGSolver(predictor)
+    hatch = HatchFilter(window=100)
+    epochs = []
+    for index in range(dataset.epoch_count):
+        epoch = dataset.epoch_at(index)
+        smoothed = hatch.smooth_epoch(epoch)
+        if index < 20:
+            predictor.observe(epoch.time, nr.solve(epoch).clock_bias_meters)
+        else:
+            epochs.append(smoothed)
+    counter = {"index": 0}
+
+    def solve_one():
+        index = counter["index"] % len(epochs)
+        counter["index"] += 1
+        return dlg.solve(epochs[index])
+
+    fix = benchmark(solve_one)
+    assert fix.converged

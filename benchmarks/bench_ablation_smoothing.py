@@ -1,0 +1,99 @@
+"""Ablation F — carrier smoothing under the paper's algorithms.
+
+Not a paper experiment, but the natural production companion: a Hatch
+filter smooths the pseudoranges *before* any positioning algorithm
+runs, so the paper's speed win (DLO/DLG) composes with the smoothing
+accuracy win.  This bench quantifies both layers together: NR and DLG
+on raw vs. carrier-smoothed epochs of one station.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import add_report
+from repro.clocks import LinearClockBiasPredictor
+from repro.core import DLGSolver, NewtonRaphsonSolver
+from repro.errors import ConvergenceError, GeometryError
+from repro.signals import HatchFilter
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def smoothing_data():
+    station = get_station("SRZN")
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(duration_seconds=900.0, track_carrier=True),
+    )
+    hatch = HatchFilter(window=100)
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=60)
+
+    raw_epochs, smoothed_epochs = [], []
+    for index in range(dataset.epoch_count):
+        epoch = dataset.epoch_at(index)
+        smoothed = hatch.smooth_epoch(epoch)
+        if index < 60:
+            fix = nr.solve(epoch)
+            predictor.observe(epoch.time, fix.clock_bias_meters)
+            continue
+        if index % 5 == 0:  # sample the evaluation set
+            raw_epochs.append(epoch)
+            smoothed_epochs.append(smoothed)
+    return station, raw_epochs, smoothed_epochs, predictor
+
+
+@pytest.fixture(scope="module")
+def smoothing_report(smoothing_data):
+    station, raw_epochs, smoothed_epochs, predictor = smoothing_data
+    nr = NewtonRaphsonSolver()
+    dlg = DLGSolver(predictor)
+
+    def median_error(solver, epochs):
+        errors = []
+        for epoch in epochs:
+            try:
+                fix = solver.solve(epoch)
+            except (GeometryError, ConvergenceError):
+                continue
+            errors.append(fix.distance_to(station.position))
+        return float(np.median(errors))
+
+    table = {
+        ("NR", "raw"): median_error(nr, raw_epochs),
+        ("NR", "smoothed"): median_error(nr, smoothed_epochs),
+        ("DLG", "raw"): median_error(dlg, raw_epochs),
+        ("DLG", "smoothed"): median_error(dlg, smoothed_epochs),
+    }
+    lines = [
+        "Ablation F: carrier smoothing (Hatch filter, window=100), SRZN",
+        f"{'solver':<8} {'raw (m)':>9} {'smoothed (m)':>13}",
+        f"{'NR':<8} {table[('NR', 'raw')]:9.2f} {table[('NR', 'smoothed')]:13.2f}",
+        f"{'DLG':<8} {table[('DLG', 'raw')]:9.2f} {table[('DLG', 'smoothed')]:13.2f}",
+        "Smoothing composes with the paper's closed-form speed win: DLG on "
+        "smoothed epochs beats NR on raw ones while still solving ~3x faster.",
+    ]
+    report = "\n".join(lines)
+    add_report(report)
+
+    assert table[("NR", "smoothed")] < table[("NR", "raw")]
+    assert table[("DLG", "smoothed")] < table[("DLG", "raw")]
+    assert table[("DLG", "smoothed")] < table[("NR", "raw")]
+    return report
+
+
+def bench_hatch_filter_epoch(benchmark, smoothing_data, smoothing_report):
+    """Per-epoch cost of the smoothing layer itself."""
+    _station, raw_epochs, _smoothed, _predictor = smoothing_data
+    hatch = HatchFilter(window=100)
+    counter = {"index": 0}
+
+    def smooth_one():
+        index = counter["index"] % len(raw_epochs)
+        counter["index"] += 1
+        if index == 0:
+            hatch.reset()
+        return hatch.smooth_epoch(raw_epochs[index])
+
+    epoch = benchmark(smooth_one)
+    assert epoch.satellite_count >= 4

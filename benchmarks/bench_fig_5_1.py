@@ -1,0 +1,110 @@
+"""Figure 5.1 — execution time comparisons (panels a-d, one per station).
+
+The paper plots the execution-time rate theta = tau_O / tau_NR * 100 %
+against the number of satellites m for DLO and DLG.  Claimed shape:
+DLO typically below 20 %, DLG higher than DLO but far below NR (about
+50 % at m = 10); both are dramatic wins over the iterative baseline.
+
+The pytest-benchmark cases below time the three solvers head-to-head
+on identical epochs (their relative means *are* the figure's data);
+the full per-station rate panels print at session end.
+"""
+
+import pytest
+
+from conftest import BENCH_EXPERIMENT_CONFIG, add_report, REPORTS
+from repro.core import DLGSolver, DLOSolver, NewtonRaphsonSolver
+from repro.evaluation import StationPipeline, format_ascii_series, format_rate_table
+from repro.evaluation.experiments import prn_order_subset
+from repro.stations import get_station
+
+_SOLVER_FACTORIES = {
+    "NR": lambda replay: NewtonRaphsonSolver(),
+    "DLO": lambda replay: DLOSolver(replay),
+    "DLG": lambda replay: DLGSolver(replay),
+}
+
+
+@pytest.fixture(scope="module")
+def fig_5_1_report(station_results):
+    blocks = ["Figure 5.1 reproduction: execution time rate theta (eq. 5-3)"]
+    for site_id, result in station_results.items():
+        blocks.append(
+            format_rate_table(
+                f"Fig 5.1 panel {site_id} ({result.station.clock_correction} clock)",
+                result.time_rate_pct,
+                result.satellite_counts,
+            )
+        )
+        # The paper's qualitative claims, asserted.
+        for m, theta in result.time_rate_pct["DLO"].items():
+            assert theta < 70.0, f"{site_id} DLO theta at m={m}: {theta}"
+        for m, theta in result.time_rate_pct["DLG"].items():
+            assert theta < 90.0, f"{site_id} DLG theta at m={m}: {theta}"
+
+    # Aggregate chart: mean rate over stations, per algorithm.
+    counts = next(iter(station_results.values())).satellite_counts
+    aggregate = {}
+    for algorithm in ("DLO", "DLG"):
+        aggregate[algorithm] = {}
+        for m in counts:
+            values = [
+                result.time_rate_pct[algorithm][m]
+                for result in station_results.values()
+                if m in result.time_rate_pct[algorithm]
+            ]
+            if values:
+                aggregate[algorithm][m] = sum(values) / len(values)
+    blocks.append(
+        format_ascii_series(
+            "Fig 5.1 (all stations, mean): theta vs satellite count",
+            aggregate,
+            counts,
+        )
+    )
+
+    # Section 6 headline: DLO around one fifth of NR's time.
+    dlo_rates = [
+        theta
+        for result in station_results.values()
+        for theta in result.time_rate_pct["DLO"].values()
+    ]
+    average = sum(dlo_rates) / len(dlo_rates)
+    blocks.append(
+        f"Headline: average DLO time rate across all panels = {average:.1f}% "
+        "(paper: 'about one fifth', i.e. ~20%)"
+    )
+    report = "\n\n".join(blocks)
+    add_report(report)
+    return report
+
+
+@pytest.fixture(scope="module")
+def timing_epochs():
+    """A fixed batch of m=8 subsets from SRZN with causal clock biases."""
+    pipeline = StationPipeline(get_station("SRZN"), BENCH_EXPERIMENT_CONFIG)
+    epochs, replay = pipeline.collect()
+    subsets = [
+        prn_order_subset(epoch, 8) for epoch in epochs if epoch.satellite_count >= 8
+    ][:30]
+    return subsets, replay
+
+
+@pytest.mark.parametrize("algorithm", ["NR", "DLO", "DLG"])
+def bench_solver_at_eight_satellites(benchmark, fig_5_1_report, timing_epochs, algorithm):
+    """Head-to-head solver cost on identical m=8 epochs.
+
+    The ratio of the DLO/DLG rows to the NR row in the
+    pytest-benchmark table is exactly the figure's theta at m=8.
+    """
+    subsets, replay = timing_epochs
+    solver = _SOLVER_FACTORIES[algorithm](replay)
+    counter = {"index": 0}
+
+    def solve_one():
+        index = counter["index"] % len(subsets)
+        counter["index"] += 1
+        return solver.solve(subsets[index])
+
+    fix = benchmark(solve_one)
+    assert fix.converged

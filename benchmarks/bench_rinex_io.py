@@ -1,0 +1,67 @@
+"""RINEX I/O throughput.
+
+Not a paper experiment, but the cost that bounds any file-based
+pipeline: how fast do the writer, parser, and receiver-style
+reconstruction chew through observation data?  The benchmark rows are
+per-file operations over a fixed 60-epoch, dual-observable file.
+"""
+
+import pytest
+
+from repro.rinex import (
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    reconstruct_epochs,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def rinex_world(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("rinex_bench")
+    station = get_station("SRZN")
+    dataset = ObservationDataset(
+        station, DatasetConfig(duration_seconds=60.0, track_carrier=True)
+    )
+    epochs = dataset.realize()
+    header = ObservationHeader(
+        marker_name=station.site_id,
+        approx_position=station.ecef,
+        interval=1.0,
+        observation_types=("C1", "L1"),
+    )
+    obs_path = tmp / "bench.obs"
+    nav_path = tmp / "bench.nav"
+    write_observation_file(obs_path, header, epochs)
+    write_navigation_file(nav_path, dataset.constellation.ephemerides())
+    return tmp, header, epochs, obs_path, nav_path
+
+
+def bench_write_observation_file(benchmark, rinex_world):
+    tmp, header, epochs, _obs, _nav = rinex_world
+    target = tmp / "write.obs"
+    count = benchmark(lambda: write_observation_file(target, header, epochs))
+    assert count == len(epochs)
+
+
+def bench_read_observation_file(benchmark, rinex_world):
+    _tmp, _header, epochs, obs_path, _nav = rinex_world
+    data = benchmark(lambda: read_observation_file(obs_path))
+    assert len(data) == len(epochs)
+
+
+def bench_read_navigation_file(benchmark, rinex_world):
+    *_rest, nav_path = rinex_world
+    ephemerides = benchmark(lambda: read_navigation_file(nav_path))
+    assert len(ephemerides) == 31
+
+
+def bench_reconstruct_epochs(benchmark, rinex_world):
+    _tmp, _header, epochs, obs_path, nav_path = rinex_world
+    data = read_observation_file(obs_path)
+    ephemerides = read_navigation_file(nav_path)
+    rebuilt = benchmark(lambda: reconstruct_epochs(data, ephemerides))
+    assert len(rebuilt) == len(epochs)

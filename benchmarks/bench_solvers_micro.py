@@ -1,0 +1,53 @@
+"""Solver micro-benchmarks: raw per-call latency across the m sweep.
+
+Not a figure of the paper per se, but the raw material behind Fig 5.1:
+per-solve wall time of NR / DLO / DLG / Bancroft on identical epochs
+at m = 4, 7, 10.  The pytest-benchmark table shows both the absolute
+latencies and (via the ratio column) the rates.
+"""
+
+import pytest
+
+from conftest import BENCH_EXPERIMENT_CONFIG
+from repro.core import BancroftSolver, DLGSolver, DLOSolver, NewtonRaphsonSolver
+from repro.evaluation import StationPipeline
+from repro.evaluation.experiments import prn_order_subset
+from repro.stations import get_station
+
+_SOLVER_FACTORIES = {
+    "NR": lambda replay: NewtonRaphsonSolver(),
+    "DLO": lambda replay: DLOSolver(replay),
+    "DLG": lambda replay: DLGSolver(replay),
+    "Bancroft": lambda replay: BancroftSolver(),
+}
+
+
+@pytest.fixture(scope="module")
+def epoch_batches():
+    pipeline = StationPipeline(get_station("SRZN"), BENCH_EXPERIMENT_CONFIG)
+    epochs, replay = pipeline.collect()
+    batches = {}
+    for m in (4, 7, 10):
+        batches[m] = [
+            prn_order_subset(epoch, m) for epoch in epochs if epoch.satellite_count >= m
+        ][:25]
+    return batches, replay
+
+
+@pytest.mark.parametrize("m", [4, 7, 10])
+@pytest.mark.parametrize("algorithm", ["NR", "DLO", "DLG", "Bancroft"])
+def bench_solver(benchmark, epoch_batches, algorithm, m):
+    batches, replay = epoch_batches
+    subsets = batches[m]
+    if not subsets:
+        pytest.skip(f"no epochs with {m} satellites in the sampled span")
+    solver = _SOLVER_FACTORIES[algorithm](replay)
+    counter = {"index": 0}
+
+    def solve_one():
+        index = counter["index"] % len(subsets)
+        counter["index"] += 1
+        return solver.solve(subsets[index])
+
+    fix = benchmark(solve_one)
+    assert fix.converged

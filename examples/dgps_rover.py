@@ -1,0 +1,102 @@
+"""DGPS workflow: reference-station corrections for a nearby rover.
+
+Section 3.3 of the paper notes that when "satellite dependent errors
+can be compensated" — e.g. via Differential GPS — four satellites
+suffice and the error model collapses to the clock-only case.  This
+example builds that setup:
+
+* the SRZN station acts as the DGPS reference (surveyed position),
+* a rover sits 5 km away, applying *no* atmospheric models of its own,
+* each second, the reference broadcasts per-satellite corrections and
+  the rover differences them out before solving with DLG.
+
+Run with::
+
+    python examples/dgps_rover.py
+"""
+
+import numpy as np
+
+from repro import (
+    DatasetConfig,
+    DgpsReferenceStation,
+    DLGSolver,
+    LinearClockBiasPredictor,
+    NewtonRaphsonSolver,
+    ObservationDataset,
+    SteeringClock,
+    apply_corrections,
+    get_station,
+)
+from repro.signals import MeasurementCorrector, PseudorangeNoiseModel, PseudorangeSimulator
+
+
+def main() -> None:
+    station = get_station("SRZN")
+    dataset = ObservationDataset(station, DatasetConfig(duration_seconds=120.0))
+    rover_position = station.position + np.array([3000.0, 2000.0, 3000.0])
+    rover_clock = SteeringClock(
+        epoch=dataset.config.start_time, offset_seconds=8e-8, drift=3e-10
+    )
+
+    # The rover is a low-cost receiver: no atmospheric models at all.
+    truth = dataset._simulator
+    rover_simulator = PseudorangeSimulator(
+        dataset.constellation,
+        rover_clock,
+        ionosphere=truth._ionosphere,
+        troposphere=truth._troposphere,
+        noise=PseudorangeNoiseModel(sigma_meters=0.5),
+        elevation_mask=dataset.config.elevation_mask,
+    )
+    no_atmo = MeasurementCorrector(
+        dataset.constellation, ionosphere=None, troposphere=None
+    )
+    reference = DgpsReferenceStation(station.site_id, station.position)
+
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=30)
+    dlg = DLGSolver(predictor)
+    rng = np.random.default_rng(11)
+
+    raw_errors, dgps_errors = [], []
+    for index in range(dataset.epoch_count):
+        time = dataset.config.start_time + float(index)
+
+        # Reference side: its own uncorrected epoch -> corrections.
+        reference_epoch = no_atmo.correct_epoch(
+            truth.simulate_epoch(
+                station.position, time, np.random.default_rng([21, index])
+            ),
+            station.position,
+            time,
+        )
+        corrections = reference.compute_corrections(reference_epoch)
+
+        # Rover side: apply corrections, then position.
+        rover_epoch = no_atmo.correct_epoch(
+            rover_simulator.simulate_epoch(rover_position, time, rng),
+            rover_position,
+            time,
+        )
+        corrected_epoch = apply_corrections(rover_epoch, corrections)
+
+        raw_fix = nr.solve(rover_epoch)
+        raw_errors.append(raw_fix.distance_to(rover_position))
+
+        if predictor.is_ready:
+            dgps_fix = dlg.solve(corrected_epoch)
+        else:  # NR warm-up trains the (relative) clock predictor
+            dgps_fix = nr.solve(corrected_epoch)
+            predictor.observe(corrected_epoch.time, dgps_fix.clock_bias_meters)
+        dgps_errors.append(dgps_fix.distance_to(rover_position))
+
+    print(f"rover without corrections (NR):   mean error {np.mean(raw_errors):6.2f} m")
+    print(f"rover with DGPS + DLG:            mean error {np.mean(dgps_errors):6.2f} m")
+    print("\nDGPS removes the correlated atmospheric error entirely, so even a")
+    print("receiver with no atmosphere models — solving with the paper's fast")
+    print("closed-form DLG — beats the uncorrected iterative solution.")
+
+
+if __name__ == "__main__":
+    main()

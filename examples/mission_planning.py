@@ -1,0 +1,73 @@
+"""Mission planning: when should the survey run?
+
+Before a static survey session, operators check satellite coverage:
+pass times, satellite counts, and DOP over the planned window.  This
+example plans a six-hour session at the FAI1 station (Fairbanks —
+high-latitude geometry) using the pass planner, then prints the sky at
+the best and worst DOP instants.
+
+Run with::
+
+    python examples/mission_planning.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import Constellation, GpsTime, find_passes, get_station
+from repro.core import compute_dop
+from repro.errors import GeometryError
+from repro.evaluation import render_skyplot
+from repro.geodesy import elevation_azimuth
+
+
+def main() -> None:
+    start = GpsTime(week=1540, seconds_of_week=0.0)
+    constellation = Constellation.nominal(start, rng=np.random.default_rng(20))
+    station = get_station("FAI1")
+    window_hours = 6.0
+
+    passes = find_passes(
+        constellation,
+        station.position,
+        start,
+        duration_seconds=window_hours * 3600.0,
+    )
+    print(f"{len(passes)} satellite passes over {station.site_id} "
+          f"in the next {window_hours:.0f} h:")
+    print(f"{'PRN':>4} {'rise (+s)':>10} {'set (+s)':>10} {'max el':>7}")
+    for p in passes[:12]:
+        rise = f"{p.rise - start:10.0f}" if p.rise else "   (start)"
+        set_ = f"{p.set_ - start:10.0f}" if p.set_ else "     (end)"
+        print(f"{p.prn:>4} {rise} {set_} {math.degrees(p.max_elevation):6.1f}°")
+    if len(passes) > 12:
+        print(f"  ... and {len(passes) - 12} more")
+
+    # GDOP over the window, hourly.
+    print(f"\n{'t (+h)':>7} {'sats':>5} {'GDOP':>6}")
+    dops = []
+    for hour in range(int(window_hours) + 1):
+        when = start + hour * 3600.0
+        visible = constellation.visible_from(station.position, when)
+        positions = np.stack([v.position for v in visible])
+        try:
+            dop = compute_dop(positions, station.position)
+            dops.append((dop.gdop, when, visible))
+            print(f"{hour:7d} {len(visible):5d} {dop.gdop:6.2f}")
+        except GeometryError:
+            print(f"{hour:7d} {len(visible):5d}   (degenerate)")
+
+    dops.sort(key=lambda item: item[0])
+    best_gdop, best_time, best_visible = dops[0]
+    print(f"\nbest geometry at t+{(best_time - start)/3600.0:.0f}h "
+          f"(GDOP {best_gdop:.2f}):")
+    marks = [
+        (v.prn, *elevation_azimuth(v.position, station.position))
+        for v in best_visible
+    ]
+    print(render_skyplot(marks, radius=9))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""The accuracy ladder: stacking the library's layers on one data set.
+
+Starting from the paper's baseline (snapshot NR on raw single-frequency
+pseudoranges), each rung adds one production layer and reports the
+error statistics:
+
+1. NR on raw L1 epochs (the paper's baseline),
+2. DLG with clock prediction (the paper's contribution — same accuracy
+   class, ~3x faster),
+3. DLG on Hatch-smoothed epochs (carrier smoothing kills noise and
+   multipath),
+4. NR on ionosphere-free epochs (dual frequency kills the systematic
+   iono residual),
+5. the sequential EKF (state carried across epochs).
+
+The scenario is deliberately harsh: strong ionosphere residual and
+3 m specular multipath.
+
+Run with::
+
+    python examples/precision_ladder.py
+"""
+
+import numpy as np
+
+from repro import (
+    DatasetConfig,
+    DLGSolver,
+    HatchFilter,
+    LinearClockBiasPredictor,
+    NavigationEkf,
+    NewtonRaphsonSolver,
+    ObservationDataset,
+    get_station,
+    ionosphere_free_epoch,
+)
+from repro.evaluation import ErrorStatistics, enu_error
+
+
+def main() -> None:
+    station = get_station("SRZN")
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(
+            duration_seconds=600.0,
+            track_carrier=True,
+            dual_frequency=True,
+            ionosphere_scale=1.5,
+            multipath_amplitude_meters=3.0,
+        ),
+    )
+
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=60)
+    dlg = DLGSolver(predictor)
+    hatch = HatchFilter(window=100)
+    ekf = NavigationEkf(position_process_noise=0.05)
+
+    rungs = {name: [] for name in (
+        "1. NR raw (paper baseline)",
+        "2. DLG + clock prediction",
+        "3. DLG + Hatch smoothing",
+        "4. NR + ionosphere-free",
+        "5. EKF sequential",
+    )}
+
+    for index in range(dataset.epoch_count):
+        epoch = dataset.epoch_at(index)
+        smoothed = hatch.smooth_epoch(epoch)
+        ekf_fix = ekf.process(epoch)
+
+        if index < 60:  # NR warm-up trains the clock predictor
+            predictor.observe(epoch.time, nr.solve(epoch).clock_bias_meters)
+            continue
+        if index % 60 == 0:  # periodic recalibration
+            predictor.observe(epoch.time, nr.solve(epoch).clock_bias_meters)
+
+        truth = station.position
+        rungs["1. NR raw (paper baseline)"].append(
+            enu_error(nr.solve(epoch).position, truth)
+        )
+        rungs["2. DLG + clock prediction"].append(
+            enu_error(dlg.solve(epoch).position, truth)
+        )
+        rungs["3. DLG + Hatch smoothing"].append(
+            enu_error(dlg.solve(smoothed).position, truth)
+        )
+        rungs["4. NR + ionosphere-free"].append(
+            enu_error(nr.solve(ionosphere_free_epoch(epoch)).position, truth)
+        )
+        rungs["5. EKF sequential"].append(enu_error(ekf_fix.position, truth))
+
+    print(f"{'configuration':<30} {'rms3d':>7} {'cep95':>7} {'meanV':>7}  (m)")
+    for name, errors in rungs.items():
+        stats = ErrorStatistics.from_errors(errors)
+        print(
+            f"{name:<30} {stats.rms_3d:7.2f} {stats.cep95:7.2f} "
+            f"{stats.mean_vertical_signed:7.2f}"
+        )
+    print("\nEach layer attacks a different error: prediction removes the")
+    print("clock, smoothing the noise+multipath, dual-frequency the")
+    print("systematic ionosphere, and the EKF averages what remains.")
+
+
+if __name__ == "__main__":
+    main()

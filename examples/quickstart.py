@@ -1,0 +1,61 @@
+"""Quickstart: position a station with all three algorithms.
+
+Generates five minutes of simulated observations for the SRZN station
+(Table 5.1 row 1), solves every epoch with the classic Newton-Raphson
+method and the paper's DLO/DLG closed-form methods, and prints the
+error statistics side by side.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    DatasetConfig,
+    DLGSolver,
+    DLOSolver,
+    LinearClockBiasPredictor,
+    NewtonRaphsonSolver,
+    ObservationDataset,
+    get_station,
+)
+
+
+def main() -> None:
+    station = get_station("SRZN")
+    dataset = ObservationDataset(station, DatasetConfig(duration_seconds=300.0))
+    print(f"Station {station.site_id} at ECEF {station.ecef}")
+    print(f"Generated {dataset.epoch_count} epochs, "
+          f"{dataset.epoch_at(0).satellite_count} satellites visible at start\n")
+
+    # Bootstrap the clock-bias predictor from NR over the first minute
+    # (Section 5.2.2 of the paper: the NR-derived bias stands in for an
+    # external time reference).
+    nr = NewtonRaphsonSolver()
+    predictor = LinearClockBiasPredictor(mode="steering", warmup_samples=60)
+    epochs = dataset.realize()
+    for epoch in epochs[:60]:
+        fix = nr.solve(epoch)
+        predictor.observe(epoch.time, fix.clock_bias_meters)
+
+    solvers = [nr, DLOSolver(predictor), DLGSolver(predictor)]
+    print(f"{'algorithm':<10} {'mean err (m)':>12} {'max err (m)':>12} {'iterations':>11}")
+    for solver in solvers:
+        errors, iterations = [], []
+        for epoch in epochs[60:]:
+            fix = solver.solve(epoch)
+            errors.append(fix.distance_to(station.position))
+            iterations.append(fix.iterations)
+        print(
+            f"{solver.name:<10} {np.mean(errors):12.2f} {np.max(errors):12.2f} "
+            f"{np.mean(iterations):11.1f}"
+        )
+
+    print("\nDLO/DLG match NR to within a few tens of percent while doing")
+    print("a single linear solve instead of ~6 Newton iterations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in offline environments where the
+PEP 517 editable path (which requires ``wheel``) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

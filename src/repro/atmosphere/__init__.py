@@ -1,0 +1,11 @@
+"""Atmospheric propagation delays: ionosphere and troposphere.
+
+These models produce the satellite-dependent error term the paper calls
+``epsilon_i^S`` (eq. 3-5): signal delays that vary per satellite with
+elevation, local time, and geometry.
+"""
+
+from repro.atmosphere.klobuchar import KlobucharModel
+from repro.atmosphere.troposphere import SaastamoinenModel
+
+__all__ = ["KlobucharModel", "SaastamoinenModel"]

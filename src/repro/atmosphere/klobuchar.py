@@ -1,0 +1,111 @@
+"""Klobuchar broadcast ionospheric delay model.
+
+The single-frequency L1 measurements of the paper's data sets (Table
+5.1) carry ionospheric delay that the receiver can only partially
+correct.  GPS broadcasts eight Klobuchar coefficients (alpha0..3,
+beta0..3) for exactly this purpose; the model below implements the
+standard IS-GPS-200 user algorithm and is used both to *inject* the
+delay in the signal simulator and (optionally, with the same or
+different coefficients) to *correct* it on the receiver side — the
+residual between the two is the realistic un-modeled error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+#: A representative mid-solar-cycle broadcast coefficient set.
+_DEFAULT_ALPHA = (1.1176e-8, 7.4506e-9, -5.9605e-8, -5.9605e-8)
+_DEFAULT_BETA = (90112.0, 16384.0, -196608.0, -196608.0)
+
+#: The semi-circle unit used throughout the broadcast model.
+_SC = math.pi  # radians per semicircle
+
+
+@dataclass(frozen=True)
+class KlobucharModel:
+    """IS-GPS-200 single-frequency ionospheric model.
+
+    Attributes
+    ----------
+    alpha:
+        Amplitude coefficients (s, s/sc, s/sc^2, s/sc^3).
+    beta:
+        Period coefficients (s, s/sc, s/sc^2, s/sc^3).
+    """
+
+    alpha: Tuple[float, float, float, float] = field(default=_DEFAULT_ALPHA)
+    beta: Tuple[float, float, float, float] = field(default=_DEFAULT_BETA)
+
+    def __post_init__(self) -> None:
+        if len(self.alpha) != 4 or len(self.beta) != 4:
+            raise ConfigurationError("alpha and beta must each have 4 coefficients")
+
+    def delay_seconds(
+        self,
+        receiver_latitude: float,
+        receiver_longitude: float,
+        elevation: float,
+        azimuth: float,
+        time: GpsTime,
+    ) -> float:
+        """L1 ionospheric delay in **seconds**.
+
+        Parameters are geodetic receiver latitude/longitude (radians),
+        satellite elevation/azimuth (radians), and the GPS time (used
+        for the local time of the ionospheric pierce point).
+        """
+        # Work in semicircles, as the broadcast model specifies.
+        el_sc = max(elevation, 0.0) / _SC
+        lat_sc = receiver_latitude / _SC
+        lon_sc = receiver_longitude / _SC
+
+        # Earth-centred angle to the ionospheric pierce point.
+        psi = 0.0137 / (el_sc + 0.11) - 0.022
+
+        # Pierce-point latitude, clamped as specified.
+        phi_i = lat_sc + psi * math.cos(azimuth)
+        phi_i = min(max(phi_i, -0.416), 0.416)
+
+        # Pierce-point longitude and geomagnetic latitude.
+        lambda_i = lon_sc + psi * math.sin(azimuth) / math.cos(phi_i * _SC)
+        phi_m = phi_i + 0.064 * math.cos((lambda_i - 1.617) * _SC)
+
+        # Local time at the pierce point.
+        t = 43200.0 * lambda_i + time.seconds_of_week % 86400.0
+        t = t % 86400.0
+
+        # Slant factor.
+        slant = 1.0 + 16.0 * (0.53 - el_sc) ** 3
+
+        # Amplitude and period of the cosine model.
+        amplitude = sum(a * phi_m**n for n, a in enumerate(self.alpha))
+        amplitude = max(amplitude, 0.0)
+        period = sum(b * phi_m**n for n, b in enumerate(self.beta))
+        period = max(period, 72000.0)
+
+        x = 2.0 * math.pi * (t - 50400.0) / period
+        if abs(x) < 1.57:
+            delay = slant * (5e-9 + amplitude * (1.0 - x * x / 2.0 + x**4 / 24.0))
+        else:
+            delay = slant * 5e-9
+        return delay
+
+    def delay_meters(
+        self,
+        receiver_latitude: float,
+        receiver_longitude: float,
+        elevation: float,
+        azimuth: float,
+        time: GpsTime,
+    ) -> float:
+        """L1 ionospheric delay in **meters**."""
+        return SPEED_OF_LIGHT * self.delay_seconds(
+            receiver_latitude, receiver_longitude, elevation, azimuth, time
+        )

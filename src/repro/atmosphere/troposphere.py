@@ -1,0 +1,76 @@
+"""Saastamoinen tropospheric delay model.
+
+The troposphere delays GPS signals by ~2.3 m at zenith and tens of
+meters at low elevation.  The Saastamoinen model computes the zenith
+hydrostatic + wet delay from surface meteorology and maps it down to
+the satellite elevation.  Like the ionospheric model, it serves both
+the simulator (delay injection) and the receiver (correction); the
+mismatch between assumed and "true" meteorology leaves a realistic
+residual error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SaastamoinenModel:
+    """Saastamoinen zenith delay with a cosecant-style mapping.
+
+    Attributes
+    ----------
+    pressure_hpa:
+        Surface total pressure in hPa.
+    temperature_k:
+        Surface temperature in Kelvin.
+    relative_humidity:
+        Surface relative humidity in ``[0, 1]``.
+    """
+
+    pressure_hpa: float = 1013.25
+    temperature_k: float = 288.15
+    relative_humidity: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.pressure_hpa <= 0:
+            raise ConfigurationError("pressure_hpa must be positive")
+        if self.temperature_k <= 0:
+            raise ConfigurationError("temperature_k must be positive (Kelvin)")
+        if not 0.0 <= self.relative_humidity <= 1.0:
+            raise ConfigurationError("relative_humidity must be in [0, 1]")
+
+    def water_vapor_pressure_hpa(self) -> float:
+        """Partial water-vapor pressure (hPa) from humidity and temperature."""
+        celsius = self.temperature_k - 273.15
+        saturation = 6.108 * math.exp(17.15 * celsius / (234.7 + celsius))
+        return self.relative_humidity * saturation
+
+    def zenith_delay_meters(self, height_m: float = 0.0) -> float:
+        """Total (hydrostatic + wet) zenith delay in meters.
+
+        ``height_m`` is the receiver's ellipsoidal height; pressure is
+        reduced with a standard-atmosphere exponential scale height.
+        """
+        pressure = self.pressure_hpa * math.exp(-height_m / 8434.0)
+        e = self.water_vapor_pressure_hpa()
+        return 0.002277 * (pressure + (1255.0 / self.temperature_k + 0.05) * e)
+
+    def delay_meters(self, elevation: float, height_m: float = 0.0) -> float:
+        """Slant tropospheric delay (meters) at a satellite elevation.
+
+        Elevations at or below 3 degrees are clamped — the simple
+        mapping function diverges at the horizon and no receiver tracks
+        that low anyway (the library's default elevation mask is 10
+        degrees).
+        """
+        min_elevation = math.radians(3.0)
+        clamped = max(elevation, min_elevation)
+        zenith = self.zenith_delay_meters(height_m)
+        # Simple but accurate-above-the-mask mapping: 1/sin(el) with the
+        # Saastamoinen low-elevation correction term.
+        sin_el = math.sin(clamped)
+        return zenith / sin_el

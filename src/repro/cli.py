@@ -1,0 +1,200 @@
+"""Command-line interface: ``repro-gps``.
+
+Subcommands:
+
+* ``stations`` — print the Table 5.1 station catalog.
+* ``solve`` — generate a short data set for a station and solve it with
+  a chosen algorithm, printing per-epoch errors.
+* ``experiment`` — run the Fig. 5.1/5.2 sweep for one or all stations
+  and print the rate panels.
+* ``export`` — write a station data set as RINEX observation +
+  navigation files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.evaluation import (
+    ExperimentConfig,
+    format_station_report,
+    format_table_5_1,
+    run_station_experiment,
+)
+from repro.core import GpsReceiver
+from repro.rinex import ObservationHeader, write_navigation_file, write_observation_file
+from repro.signals import HatchFilter
+from repro.stations import DatasetConfig, ObservationDataset, all_stations, get_station
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``repro-gps`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "stations": _cmd_stations,
+        "solve": _cmd_solve,
+        "experiment": _cmd_experiment,
+        "export": _cmd_export,
+        "skyplot": _cmd_skyplot,
+    }[args.command]
+    return handler(args)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gps",
+        description="GPS direct-linearization positioning (ICDCS 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stations", help="print the Table 5.1 station catalog")
+
+    solve = sub.add_parser("solve", help="solve a simulated data set")
+    solve.add_argument("station", help="site id (SRZN, YYR1, FAI1, KYCP)")
+    solve.add_argument(
+        "--algorithm", default="dlg", choices=["nr", "dlo", "dlg", "bancroft"]
+    )
+    solve.add_argument("--duration", type=float, default=300.0, help="seconds of data")
+    solve.add_argument("--warmup", type=int, default=60, help="NR warm-up epochs")
+    solve.add_argument(
+        "--smooth",
+        action="store_true",
+        help="track L1 carrier and Hatch-smooth pseudoranges before solving",
+    )
+
+    experiment = sub.add_parser("experiment", help="run the Fig 5.1/5.2 sweep")
+    experiment.add_argument(
+        "station", nargs="?", default="all", help="site id or 'all'"
+    )
+    experiment.add_argument(
+        "--duration", type=float, default=4200.0, help="data-set span in seconds"
+    )
+    experiment.add_argument(
+        "--output", default=None, help="also write a markdown report to this path"
+    )
+
+    export = sub.add_parser("export", help="write a data set as RINEX files")
+    export.add_argument("station", help="site id")
+    export.add_argument("--duration", type=float, default=60.0)
+    export.add_argument("--obs", default=None, help="observation file path")
+    export.add_argument("--nav", default=None, help="navigation file path")
+    export.add_argument(
+        "--carrier",
+        action="store_true",
+        help="also write the L1 carrier phase observable",
+    )
+
+    skyplot = sub.add_parser("skyplot", help="show the sky above a station")
+    skyplot.add_argument("station", help="site id")
+    skyplot.add_argument(
+        "--at", type=float, default=0.0, help="seconds into the data set"
+    )
+    return parser
+
+
+def _cmd_stations(args: argparse.Namespace) -> int:
+    counts = {station.site_id: DatasetConfig().epoch_count for station in all_stations()}
+    print(format_table_5_1(all_stations(), counts))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    station = get_station(args.station)
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(duration_seconds=args.duration, track_carrier=args.smooth),
+    )
+    mode = "steering" if station.uses_steering_clock else "threshold"
+    receiver = GpsReceiver(
+        algorithm=args.algorithm, clock_mode=mode, warmup_epochs=args.warmup
+    )
+    hatch = HatchFilter() if args.smooth else None
+    print(
+        f"station {station.site_id}: {args.algorithm.upper()}, {mode} clock"
+        + (", Hatch-smoothed" if args.smooth else "")
+    )
+    for index, epoch in enumerate(dataset.epochs()):
+        if hatch is not None:
+            epoch = hatch.smooth_epoch(epoch)
+        fix = receiver.process(epoch)
+        error = fix.distance_to(station.position)
+        if index % 30 == 0 or index == dataset.epoch_count - 1:
+            print(
+                f"  epoch {index:5d}  sats={epoch.satellite_count:2d}  "
+                f"alg={fix.algorithm:<4} error={error:7.2f} m"
+            )
+    print(f"pipeline stats: {receiver.stats}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    stations = (
+        all_stations() if args.station == "all" else [get_station(args.station)]
+    )
+    config = ExperimentConfig(
+        dataset=DatasetConfig(duration_seconds=args.duration)
+    )
+    results = {}
+    for station in stations:
+        result = run_station_experiment(station, config)
+        results[station.site_id] = result
+        print(format_station_report(result))
+        print()
+    if args.output:
+        from repro.evaluation import write_markdown_report
+
+        path = write_markdown_report(
+            args.output,
+            results,
+            notes=(
+                f"Sampled {args.duration:.0f} s span per station; see "
+                "EXPERIMENTS.md for methodology."
+            ),
+        )
+        print(f"wrote markdown report to {path}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    station = get_station(args.station)
+    dataset = ObservationDataset(
+        station,
+        DatasetConfig(duration_seconds=args.duration, track_carrier=args.carrier),
+    )
+    epochs = dataset.realize()
+    obs_path = args.obs or f"{station.site_id.lower()}.obs"
+    nav_path = args.nav or f"{station.site_id.lower()}.nav"
+    header = ObservationHeader(
+        marker_name=station.site_id,
+        approx_position=station.ecef,
+        interval=dataset.config.interval_seconds,
+        observation_types=("C1", "L1") if args.carrier else ("C1",),
+    )
+    n_obs = write_observation_file(obs_path, header, epochs)
+    n_nav = write_navigation_file(nav_path, dataset.navigation_records())
+    print(f"wrote {n_obs} epochs to {obs_path} and {n_nav} ephemerides to {nav_path}")
+    return 0
+
+
+def _cmd_skyplot(args: argparse.Namespace) -> int:
+    from repro.core import compute_dop
+    from repro.evaluation import skyplot_for_epoch
+
+    station = get_station(args.station)
+    duration = max(args.at + 1.0, 1.0)
+    dataset = ObservationDataset(station, DatasetConfig(duration_seconds=duration))
+    epoch = dataset.epoch_at(int(args.at))
+    print(f"sky above {station.site_id} at t+{args.at:.0f}s "
+          f"({epoch.satellite_count} satellites):")
+    print(skyplot_for_epoch(epoch))
+    dop = compute_dop(epoch.satellite_positions(), station.position)
+    print(f"GDOP {dop.gdop:.2f}  PDOP {dop.pdop:.2f}  "
+          f"HDOP {dop.hdop:.2f}  VDOP {dop.vdop:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

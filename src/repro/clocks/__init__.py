@@ -1,0 +1,37 @@
+"""Receiver clock substrate: bias models and bias prediction.
+
+The paper's key enabling assumption (Section 4.2) is that a GPS
+receiver's clock bias is *predictable*: ``dt_hat = D + r * t`` with an
+offset ``D`` and a constant drift ``r``.  This package provides
+
+* the clock *models* that generate the truth bias for the simulator —
+  the **steering** and **threshold** behaviours named in Table 5.1 —
+* the *predictors* that estimate ``(D, r)`` on the receiver side the way
+  Section 5.2.2 prescribes (bootstrap from NR-derived bias, eq. 5-4),
+  plus a Kalman-filter predictor implementing the paper's second
+  future-work extension.
+"""
+
+from repro.clocks.models import (
+    ReceiverClockModel,
+    SteeringClock,
+    ThresholdClock,
+)
+from repro.clocks.prediction import (
+    ClockBiasPredictor,
+    LinearClockBiasPredictor,
+    OracleClockBiasPredictor,
+    ZeroClockBiasPredictor,
+)
+from repro.clocks.kalman import KalmanClockBiasPredictor
+
+__all__ = [
+    "ReceiverClockModel",
+    "SteeringClock",
+    "ThresholdClock",
+    "ClockBiasPredictor",
+    "LinearClockBiasPredictor",
+    "OracleClockBiasPredictor",
+    "ZeroClockBiasPredictor",
+    "KalmanClockBiasPredictor",
+]

@@ -1,0 +1,155 @@
+"""Kalman-filter clock bias prediction.
+
+The paper's final remarks propose "better clock bias models" as a
+future extension, citing Kalman approaches ([12] Marques Filho et al.,
+[33] Thomas).  This module implements the standard two-state receiver
+clock filter — state ``[bias, drift]`` with the classic oscillator
+process-noise model — as a drop-in :class:`ClockBiasPredictor`, so the
+clock-model ablation can quantify how much the extension buys over the
+paper's linear fit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.clocks.prediction import ClockBiasPredictor
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, EstimationError
+from repro.timebase import GpsTime
+
+
+class KalmanClockBiasPredictor(ClockBiasPredictor):
+    """Two-state (bias, drift) Kalman filter over solved clock biases.
+
+    Parameters
+    ----------
+    bias_process_noise:
+        White-frequency-noise spectral density ``q1`` (s^2/s); drives
+        the random-walk component of the bias.
+    drift_process_noise:
+        Random-walk-frequency spectral density ``q2`` (s^2/s^3); drives
+        slow drift changes (this is what lets the filter track the
+        wander the linear model cannot).
+    measurement_noise_seconds:
+        1-sigma of the solved-bias observations fed to
+        :meth:`observe`, in seconds.
+    reset_gate_seconds:
+        An innovation larger than this re-initializes the bias state
+        instead of being filtered — handles threshold-clock resets.
+    min_observations:
+        Observations required before :attr:`is_ready` turns true.
+    """
+
+    def __init__(
+        self,
+        bias_process_noise: float = 1e-19,
+        drift_process_noise: float = 1e-22,
+        measurement_noise_seconds: float = 1e-8,
+        reset_gate_seconds: float = 5e-5,
+        min_observations: int = 2,
+    ) -> None:
+        for name, value in (
+            ("bias_process_noise", bias_process_noise),
+            ("drift_process_noise", drift_process_noise),
+            ("measurement_noise_seconds", measurement_noise_seconds),
+            ("reset_gate_seconds", reset_gate_seconds),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if min_observations < 1:
+            raise ConfigurationError("min_observations must be at least 1")
+        self._q1 = float(bias_process_noise)
+        self._q2 = float(drift_process_noise)
+        self._r = float(measurement_noise_seconds) ** 2
+        self._reset_gate = float(reset_gate_seconds)
+        self._min_observations = int(min_observations)
+
+        self._state: Optional[np.ndarray] = None  # [bias_s, drift]
+        self._covariance: Optional[np.ndarray] = None
+        self._last_time: Optional[float] = None
+        self._observation_count = 0
+        self._reset_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_ready(self) -> bool:
+        return self._observation_count >= self._min_observations
+
+    @property
+    def reset_count(self) -> int:
+        """Number of innovation-gated clock resets absorbed."""
+        return self._reset_count
+
+    @property
+    def state(self) -> Optional[np.ndarray]:
+        """Current filter state ``[bias_seconds, drift]`` (copy)."""
+        return None if self._state is None else self._state.copy()
+
+    # ------------------------------------------------------------------
+    def observe(self, time: GpsTime, bias_meters: float) -> None:
+        measured = bias_meters / SPEED_OF_LIGHT
+        t = time.to_gps_seconds()
+
+        if self._state is None:
+            self._state = np.array([measured, 0.0])
+            self._covariance = np.diag([self._r, 1e-12])
+            self._last_time = t
+            self._observation_count = 1
+            return
+
+        self._propagate_to(t)
+        assert self._state is not None and self._covariance is not None
+
+        innovation = measured - self._state[0]
+        if abs(innovation) > self._reset_gate:
+            # Threshold-clock step: re-anchor the bias, keep the drift.
+            self._state[0] = measured
+            self._covariance[0, 0] = self._r
+            self._covariance[0, 1] = self._covariance[1, 0] = 0.0
+            self._reset_count += 1
+            self._observation_count += 1
+            return
+
+        h = np.array([1.0, 0.0])
+        s = float(h @ self._covariance @ h) + self._r
+        gain = (self._covariance @ h) / s
+        self._state = self._state + gain * innovation
+        identity = np.eye(2)
+        self._covariance = (identity - np.outer(gain, h)) @ self._covariance
+        self._observation_count += 1
+
+    def predict_bias_meters(self, time: GpsTime) -> float:
+        if not self.is_ready or self._state is None or self._last_time is None:
+            raise EstimationError(
+                "Kalman clock predictor not ready "
+                f"({self._observation_count}/{self._min_observations} observations)"
+            )
+        dt = time.to_gps_seconds() - self._last_time
+        predicted = self._state[0] + self._state[1] * dt
+        return SPEED_OF_LIGHT * predicted
+
+    # ------------------------------------------------------------------
+    def _propagate_to(self, t: float) -> None:
+        assert (
+            self._state is not None
+            and self._covariance is not None
+            and self._last_time is not None
+        )
+        dt = t - self._last_time
+        if dt < 0:
+            raise ConfigurationError("observations must be fed in time order")
+        if dt == 0:
+            return
+        transition = np.array([[1.0, dt], [0.0, 1.0]])
+        process = np.array(
+            [
+                [self._q1 * dt + self._q2 * dt**3 / 3.0, self._q2 * dt**2 / 2.0],
+                [self._q2 * dt**2 / 2.0, self._q2 * dt],
+            ]
+        )
+        self._state = transition @ self._state
+        self._covariance = transition @ self._covariance @ transition.T + process
+        self._last_time = t

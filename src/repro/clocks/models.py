@@ -1,0 +1,181 @@
+"""Receiver clock bias models (the simulator's ground truth).
+
+Section 5.2.2 of the paper distinguishes two ways observation stations
+keep their clocks honest:
+
+* **steering** — a control loop continuously nudges the oscillator so
+  the bias stays within a small band of standard time; the residual
+  behaviour is a small offset plus a small residual drift.
+* **threshold** — the clock free-runs (bias grows with the oscillator
+  drift) and is stepped back whenever the bias reaches a pre-set
+  threshold, producing a sawtooth.
+
+Both are captured by the paper's linear model ``dt = D + r t`` between
+adjustment events.  The models below are *deterministic functions of
+time* so every simulated data set is exactly reproducible; stochastic
+measurement noise lives in the signal simulator instead.  An optional
+sinusoidal *wander* term models the slow un-modeled oscillator
+variations that make real linear prediction imperfect — without it the
+paper's predictor would be exact and DLO/DLG would look unrealistically
+good.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+
+class ReceiverClockModel(ABC):
+    """Interface: the receiver clock's true bias as a function of time."""
+
+    @abstractmethod
+    def bias_seconds(self, time: GpsTime) -> float:
+        """True clock bias ``dt`` (seconds, positive = receiver clock fast)
+        at GPS time ``time``."""
+
+    def drift_rate(self, time: GpsTime, half_step: float = 0.5) -> float:
+        """Instantaneous clock drift (s/s) by symmetric differencing.
+
+        Drives the Doppler observable: the receiver's frequency error
+        biases every measured range rate by ``c * drift``.  The numeric
+        derivative handles the wander term and is exact for the linear
+        segments; at a threshold-clock reset instant it is meaningless
+        for one sample, like the physical Doppler glitch it models.
+        """
+        before = self.bias_seconds(time - half_step)
+        after = self.bias_seconds(time + half_step)
+        return (after - before) / (2.0 * half_step)
+
+    @property
+    @abstractmethod
+    def correction_type(self) -> str:
+        """Human-readable clock correction type ("Steering"/"Threshold"),
+        matching the Table 5.1 column."""
+
+
+@dataclass(frozen=True)
+class SteeringClock(ReceiverClockModel):
+    """A steered receiver clock.
+
+    Attributes
+    ----------
+    epoch:
+        Time origin for the linear model (``t_e = 0`` of eq. 4-3).
+    offset_seconds:
+        The offset ``D`` at the epoch.
+    drift:
+        Residual drift ``r`` in s/s (what the steering loop fails to
+        cancel; typically 1e-10 or less).
+    wander_amplitude_seconds, wander_period_seconds:
+        Optional slow sinusoidal deviation from the linear model.
+    """
+
+    epoch: GpsTime
+    offset_seconds: float = 5e-8
+    drift: float = 1e-10
+    wander_amplitude_seconds: float = 0.0
+    wander_period_seconds: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.wander_period_seconds <= 0:
+            raise ConfigurationError("wander_period_seconds must be positive")
+        if self.wander_amplitude_seconds < 0:
+            raise ConfigurationError("wander_amplitude_seconds must be >= 0")
+
+    @property
+    def correction_type(self) -> str:
+        return "Steering"
+
+    def bias_seconds(self, time: GpsTime) -> float:
+        dt = time.to_gps_seconds() - self.epoch.to_gps_seconds()
+        bias = self.offset_seconds + self.drift * dt
+        if self.wander_amplitude_seconds:
+            bias += self.wander_amplitude_seconds * math.sin(
+                2.0 * math.pi * dt / self.wander_period_seconds
+            )
+        return bias
+
+
+@dataclass(frozen=True)
+class ThresholdClock(ReceiverClockModel):
+    """A free-running clock stepped back at a bias threshold (sawtooth).
+
+    The bias starts at ``initial_offset_seconds``, grows at ``drift``
+    s/s, and is reset to zero the instant it would reach
+    ``threshold_seconds``, then grows again — the classic threshold
+    adjustment sawtooth.  Negative drift mirrors the sawtooth about
+    zero.
+
+    Attributes
+    ----------
+    epoch:
+        Time origin of the model.
+    initial_offset_seconds:
+        Bias at the epoch; must satisfy ``|initial| < threshold``.
+    drift:
+        Oscillator drift ``r`` in s/s (typically 1e-7 for a TCXO).
+    threshold_seconds:
+        The adjustment threshold (e.g. 1e-3 s = 1 ms, a common receiver
+        convention).
+    wander_amplitude_seconds, wander_period_seconds:
+        Optional slow sinusoidal deviation, as for
+        :class:`SteeringClock`.
+    """
+
+    epoch: GpsTime
+    initial_offset_seconds: float = 0.0
+    drift: float = 1e-7
+    threshold_seconds: float = 1e-3
+    wander_amplitude_seconds: float = 0.0
+    wander_period_seconds: float = 7200.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_seconds <= 0:
+            raise ConfigurationError("threshold_seconds must be positive")
+        if abs(self.initial_offset_seconds) >= self.threshold_seconds:
+            raise ConfigurationError(
+                "initial_offset_seconds must be smaller than the threshold"
+            )
+        if self.drift == 0.0:
+            raise ConfigurationError(
+                "a threshold clock needs a nonzero drift (otherwise use SteeringClock)"
+            )
+        if self.wander_period_seconds <= 0:
+            raise ConfigurationError("wander_period_seconds must be positive")
+        if self.wander_amplitude_seconds < 0:
+            raise ConfigurationError("wander_amplitude_seconds must be >= 0")
+
+    @property
+    def correction_type(self) -> str:
+        return "Threshold"
+
+    def bias_seconds(self, time: GpsTime) -> float:
+        dt = time.to_gps_seconds() - self.epoch.to_gps_seconds()
+        raw = self.initial_offset_seconds + self.drift * dt
+        # Fold the free-running bias into the sawtooth.  For positive
+        # drift the bias lives in [0, threshold); for negative drift in
+        # (-threshold, 0].
+        if self.drift > 0:
+            bias = raw % self.threshold_seconds
+        else:
+            bias = -((-raw) % self.threshold_seconds)
+        if self.wander_amplitude_seconds:
+            bias += self.wander_amplitude_seconds * math.sin(
+                2.0 * math.pi * dt / self.wander_period_seconds
+            )
+        return bias
+
+    def seconds_until_reset(self, time: GpsTime) -> float:
+        """Time until the next threshold adjustment (ignoring wander)."""
+        dt = time.to_gps_seconds() - self.epoch.to_gps_seconds()
+        raw = self.initial_offset_seconds + self.drift * dt
+        if self.drift > 0:
+            current = raw % self.threshold_seconds
+            return (self.threshold_seconds - current) / self.drift
+        current = -((-raw) % self.threshold_seconds)
+        return (current + self.threshold_seconds) / (-self.drift)

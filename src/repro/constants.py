@@ -1,0 +1,79 @@
+"""Physical and geodetic constants shared across the library.
+
+All values follow the WGS-84 / IS-GPS-200 conventions used by the GPS
+control segment, so satellite positions computed from broadcast-style
+ephemerides here are directly comparable to receiver-side computations.
+
+Units are SI (meters, seconds, radians) unless the name says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s), the exact SI definition.  This is the
+#: ``c`` of the paper's eq. (3-9); pseudoranges convert travel time to
+#: meters with this constant.
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: WGS-84 earth gravitational parameter GM (m^3/s^2), per IS-GPS-200.
+EARTH_GM = 3.986005e14
+
+#: WGS-84 earth rotation rate (rad/s), per IS-GPS-200.  Used by the
+#: broadcast-ephemeris propagation and the Sagnac correction.
+EARTH_ROTATION_RATE = 7.2921151467e-5
+
+#: WGS-84 ellipsoid semi-major axis (m).
+WGS84_SEMI_MAJOR_AXIS = 6_378_137.0
+
+#: WGS-84 ellipsoid flattening (dimensionless).
+WGS84_FLATTENING = 1.0 / 298.257223563
+
+#: WGS-84 ellipsoid semi-minor axis (m), derived from a and f.
+WGS84_SEMI_MINOR_AXIS = WGS84_SEMI_MAJOR_AXIS * (1.0 - WGS84_FLATTENING)
+
+#: WGS-84 first eccentricity squared, derived from the flattening.
+WGS84_ECCENTRICITY_SQ = WGS84_FLATTENING * (2.0 - WGS84_FLATTENING)
+
+#: Nominal GPS orbit semi-major axis (m): ~20 200 km altitude above the
+#: earth surface, i.e. a 12-sidereal-hour orbit.
+GPS_ORBIT_SEMI_MAJOR_AXIS = 26_559_800.0
+
+#: Inclination of the nominal GPS orbital planes (rad): 55 degrees.
+GPS_ORBIT_INCLINATION = math.radians(55.0)
+
+#: Number of orbital planes in the nominal GPS constellation.
+GPS_ORBIT_PLANE_COUNT = 6
+
+#: Number of active GPS satellites in March 2008, quoted by the paper
+#: (footnote 2).  Our simulated almanac fields this many space vehicles.
+GPS_ACTIVE_SATELLITE_COUNT = 31
+
+#: Seconds in a GPS week.
+SECONDS_PER_WEEK = 604_800
+
+#: Seconds in a day.
+SECONDS_PER_DAY = 86_400
+
+#: GPS L1 carrier frequency (Hz).  Table 5.1 measurements are L1-based.
+L1_FREQUENCY = 1_575.42e6
+
+#: GPS L1 carrier wavelength (m).
+L1_WAVELENGTH = SPEED_OF_LIGHT / L1_FREQUENCY
+
+#: GPS L2 carrier frequency (Hz).
+L2_FREQUENCY = 1_227.60e6
+
+#: GPS L2 carrier wavelength (m).
+L2_WAVELENGTH = SPEED_OF_LIGHT / L2_FREQUENCY
+
+#: Ionospheric scale factor between the bands: the L2 group delay is
+#: ``(f1/f2)^2`` times the L1 delay (dispersive medium).
+IONO_L2_SCALE = (L1_FREQUENCY / L2_FREQUENCY) ** 2
+
+#: GPS epoch (1980-01-06T00:00:00 UTC) expressed as a Unix timestamp.
+GPS_EPOCH_UNIX = 315_964_800
+
+#: Default elevation mask for visibility (rad): satellites below this
+#: elevation are considered obstructed and excluded, as real receivers do.
+DEFAULT_ELEVATION_MASK = math.radians(10.0)

@@ -1,0 +1,13 @@
+"""Constellation simulator: satellites, visibility, sky geometry."""
+
+from repro.constellation.satellite import Satellite
+from repro.constellation.constellation import Constellation, VisibleSatellite
+from repro.constellation.planning import SatellitePass, find_passes
+
+__all__ = [
+    "Satellite",
+    "Constellation",
+    "VisibleSatellite",
+    "SatellitePass",
+    "find_passes",
+]

@@ -1,0 +1,147 @@
+"""The simulated GPS constellation and visibility computation.
+
+This is the space segment of the paper's Section 3.1 system model: the
+set of orbiting satellites a ground receiver can range against.  The
+central operation is :meth:`Constellation.visible_from` — real receivers
+see "6 to 10 (or more)" satellites above the horizon (the paper's data
+items carry 8 to 12), and this class reproduces that by evaluating every
+healthy satellite's elevation against a mask angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_ELEVATION_MASK
+from repro.constellation.satellite import Satellite
+from repro.errors import ConfigurationError
+from repro.geodesy import elevation_azimuth
+from repro.orbits.almanac import nominal_gps_almanac
+from repro.orbits.ephemeris import BroadcastEphemeris
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class VisibleSatellite:
+    """A satellite visible from a receiver at a particular instant."""
+
+    satellite: Satellite
+    position: np.ndarray  # ECEF, meters
+    elevation: float  # radians
+    azimuth: float  # radians
+
+    @property
+    def prn(self) -> int:
+        """PRN of the visible satellite."""
+        return self.satellite.prn
+
+
+class Constellation:
+    """A collection of satellites with visibility queries.
+
+    Parameters
+    ----------
+    satellites:
+        The space vehicles making up the constellation.  PRNs must be
+        unique.
+    """
+
+    def __init__(self, satellites: Iterable[Satellite]) -> None:
+        self._by_prn: Dict[int, Satellite] = {}
+        for satellite in satellites:
+            if satellite.prn in self._by_prn:
+                raise ConfigurationError(
+                    f"duplicate PRN {satellite.prn} in constellation"
+                )
+            self._by_prn[satellite.prn] = satellite
+        if not self._by_prn:
+            raise ConfigurationError("constellation must contain at least one satellite")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def nominal(
+        cls,
+        epoch: GpsTime,
+        satellite_count: int = 31,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Constellation":
+        """Build the nominal GPS constellation (see
+        :func:`repro.orbits.almanac.nominal_gps_almanac`)."""
+        ephemerides = nominal_gps_almanac(epoch, satellite_count, rng)
+        return cls(Satellite(ephemeris=eph) for eph in ephemerides)
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_prn)
+
+    def __iter__(self) -> Iterator[Satellite]:
+        return iter(self._by_prn.values())
+
+    def __contains__(self, prn: int) -> bool:
+        return prn in self._by_prn
+
+    def satellite(self, prn: int) -> Satellite:
+        """Look up a satellite by PRN."""
+        try:
+            return self._by_prn[prn]
+        except KeyError:
+            raise ConfigurationError(f"no satellite with PRN {prn}") from None
+
+    @property
+    def prns(self) -> List[int]:
+        """Sorted list of all PRNs."""
+        return sorted(self._by_prn)
+
+    def ephemerides(self) -> List[BroadcastEphemeris]:
+        """All current ephemerides, PRN-sorted (for RINEX nav export)."""
+        return [self._by_prn[prn].ephemeris for prn in self.prns]
+
+    # ------------------------------------------------------------------
+    # Health / failure injection
+    # ------------------------------------------------------------------
+    def set_health(self, prn: int, healthy: bool) -> None:
+        """Mark a satellite healthy or unhealthy; unhealthy satellites
+        are never reported visible."""
+        self.satellite(prn).healthy = healthy
+
+    # ------------------------------------------------------------------
+    # Visibility
+    # ------------------------------------------------------------------
+    def visible_from(
+        self,
+        receiver_ecef: np.ndarray,
+        time: GpsTime,
+        elevation_mask: float = DEFAULT_ELEVATION_MASK,
+    ) -> List[VisibleSatellite]:
+        """Satellites above ``elevation_mask`` as seen from a receiver.
+
+        Returns the visible satellites sorted by descending elevation,
+        which matches how receivers typically prioritize channels and
+        makes "take the best m satellites" selections deterministic.
+        """
+        receiver = require_shape("receiver_ecef", receiver_ecef, (3,))
+        visible: List[VisibleSatellite] = []
+        for satellite in self._by_prn.values():
+            if not satellite.healthy:
+                continue
+            position = satellite.position_at(time)
+            elevation, azimuth = elevation_azimuth(position, receiver)
+            if elevation >= elevation_mask:
+                visible.append(
+                    VisibleSatellite(
+                        satellite=satellite,
+                        position=position,
+                        elevation=elevation,
+                        azimuth=azimuth,
+                    )
+                )
+        visible.sort(key=lambda v: v.elevation, reverse=True)
+        return visible

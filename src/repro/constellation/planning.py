@@ -1,0 +1,155 @@
+"""Satellite pass planning: when is each satellite visible?
+
+Survey campaigns and kinematic missions plan around satellite
+geometry: when does PRN 14 rise above the mask, when does coverage dip
+to 5 satellites, when is GDOP best?  This module answers those
+questions by scanning a time window and refining rise/set instants by
+bisection on the (continuous) elevation function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constants import DEFAULT_ELEVATION_MASK
+from repro.constellation.constellation import Constellation
+from repro.errors import ConfigurationError
+from repro.geodesy import elevation_angle
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class SatellitePass:
+    """One visibility window of one satellite over a receiver.
+
+    ``rise``/``set_`` are the mask-crossing instants (``None`` when the
+    pass extends beyond the scanned window); ``max_elevation`` is the
+    highest elevation reached inside the window (radians).
+    """
+
+    prn: int
+    rise: Optional[GpsTime]
+    set_: Optional[GpsTime]
+    max_elevation: float
+
+    @property
+    def duration_seconds(self) -> Optional[float]:
+        """Pass length, or ``None`` when either edge is outside the window."""
+        if self.rise is None or self.set_ is None:
+            return None
+        return self.set_ - self.rise
+
+
+def find_passes(
+    constellation: Constellation,
+    receiver_ecef: np.ndarray,
+    start: GpsTime,
+    duration_seconds: float,
+    elevation_mask: float = DEFAULT_ELEVATION_MASK,
+    coarse_step_seconds: float = 60.0,
+    refine_tolerance_seconds: float = 1.0,
+) -> List[SatellitePass]:
+    """All satellite passes over a receiver within a time window.
+
+    Scans at ``coarse_step_seconds`` (satellite passes last tens of
+    minutes, so a 60 s grid cannot miss one), then bisects each mask
+    crossing down to ``refine_tolerance_seconds``.
+
+    Returns passes sorted by (rise time, PRN); passes already in
+    progress at ``start`` have ``rise=None``, passes still in progress
+    at the end have ``set_=None``.
+    """
+    receiver = require_shape("receiver_ecef", receiver_ecef, (3,))
+    if duration_seconds <= 0:
+        raise ConfigurationError("duration_seconds must be positive")
+    if coarse_step_seconds <= 0 or refine_tolerance_seconds <= 0:
+        raise ConfigurationError("steps must be positive")
+
+    steps = int(duration_seconds // coarse_step_seconds) + 1
+    times = [start + i * coarse_step_seconds for i in range(steps + 1)]
+
+    passes: List[SatellitePass] = []
+    for satellite in constellation:
+        if not satellite.healthy:
+            continue
+
+        def elevation_at(t: GpsTime) -> float:
+            return elevation_angle(satellite.position_at(t), receiver)
+
+        above = [elevation_at(t) >= elevation_mask for t in times]
+        elevations = None  # computed lazily per pass for max-elevation
+
+        index = 0
+        while index <= steps:
+            if not above[index]:
+                index += 1
+                continue
+            # A visibility run starts here.
+            run_start = index
+            while index <= steps and above[index]:
+                index += 1
+            run_end = index - 1  # last above-mask grid point
+
+            rise: Optional[GpsTime] = None
+            if run_start > 0:
+                rise = _bisect_crossing(
+                    elevation_at, times[run_start - 1], times[run_start],
+                    elevation_mask, refine_tolerance_seconds, rising=True,
+                )
+            set_: Optional[GpsTime] = None
+            if run_end < steps:
+                set_ = _bisect_crossing(
+                    elevation_at, times[run_end], times[run_end + 1],
+                    elevation_mask, refine_tolerance_seconds, rising=False,
+                )
+            max_elevation = max(
+                elevation_at(times[i]) for i in range(run_start, run_end + 1)
+            )
+            passes.append(
+                SatellitePass(
+                    prn=satellite.prn,
+                    rise=rise,
+                    set_=set_,
+                    max_elevation=max_elevation,
+                )
+            )
+
+    passes.sort(
+        key=lambda p: (
+            p.rise.to_gps_seconds() if p.rise is not None else start.to_gps_seconds(),
+            p.prn,
+        )
+    )
+    return passes
+
+
+def _bisect_crossing(
+    elevation_at,
+    below: GpsTime,
+    above: GpsTime,
+    mask: float,
+    tolerance: float,
+    rising: bool,
+) -> GpsTime:
+    """Bisect the mask crossing between a below-mask and above-mask instant."""
+    low = below.to_gps_seconds()
+    high = above.to_gps_seconds()
+    if not rising:
+        low, high = high, low  # 'low' side is above the mask when setting
+    # Invariant: elevation(low side) is below mask exactly when rising.
+    left, right = min(low, high), max(low, high)
+    for _ in range(64):
+        if right - left <= tolerance:
+            break
+        middle = 0.5 * (left + right)
+        above_mask = elevation_at(GpsTime.from_gps_seconds(middle)) >= mask
+        # Move the boundary that keeps the crossing bracketed.
+        if above_mask == rising:
+            right = middle
+        else:
+            left = middle
+    return GpsTime.from_gps_seconds(0.5 * (left + right))

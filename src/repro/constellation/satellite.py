@@ -1,0 +1,55 @@
+"""A single simulated GPS space vehicle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.orbits.ephemeris import BroadcastEphemeris
+from repro.timebase import GpsTime
+
+
+@dataclass
+class Satellite:
+    """A GPS satellite: identity + ephemeris + health.
+
+    A thin stateful wrapper over :class:`BroadcastEphemeris`: the
+    constellation flips ``healthy`` for failure-injection scenarios
+    (receivers must cope with satellites dropping out mid-pass), and the
+    identity fields survive ephemeris updates.
+    """
+
+    ephemeris: BroadcastEphemeris
+    healthy: bool = True
+    #: Free-form satellite block label, e.g. "IIR" / "IIR-M"; cosmetic.
+    block: str = field(default="IIR")
+
+    @property
+    def prn(self) -> int:
+        """The satellite's PRN identifier (1..63)."""
+        return self.ephemeris.prn
+
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        """ECEF position (m) at GPS time ``time``."""
+        return self.ephemeris.satellite_position(time)
+
+    def velocity_at(self, time: GpsTime) -> np.ndarray:
+        """ECEF velocity (m/s) at GPS time ``time``."""
+        return self.ephemeris.satellite_velocity(time)
+
+    def clock_offset_at(self, time: GpsTime) -> float:
+        """Broadcast clock offset (s) at GPS time ``time``."""
+        return self.ephemeris.satellite_clock_offset(time)
+
+    def set_ephemeris(self, ephemeris: BroadcastEphemeris) -> None:
+        """Upload a fresh ephemeris (PRN must match)."""
+        if ephemeris.prn != self.prn:
+            raise ValueError(
+                f"ephemeris PRN {ephemeris.prn} does not match satellite PRN {self.prn}"
+            )
+        self.ephemeris = ephemeris
+
+    def __repr__(self) -> str:
+        status = "healthy" if self.healthy else "unhealthy"
+        return f"Satellite(prn={self.prn}, block={self.block!r}, {status})"

@@ -1,0 +1,71 @@
+"""The paper's positioning algorithms and the receiver API.
+
+* :class:`NewtonRaphsonSolver` — the classic iterative method (Section
+  3.4), the baseline everything is measured against.
+* :class:`DLOSolver` / :class:`DLGSolver` — the paper's contribution
+  (Section 4.5): direct linearization solved with OLS and GLS.
+* :class:`BancroftSolver` — the classic closed-form comparator [2].
+* :class:`GpsReceiver` — the end-to-end pipeline: NR warm-up, clock
+  bias prediction, then closed-form solving, with threshold-reset
+  recalibration.
+"""
+
+from repro.core.types import PositionFix
+from repro.core.base import PositioningAlgorithm
+from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.core.direct_linear import (
+    DLOSolver,
+    DLGSolver,
+    build_difference_system,
+    difference_covariance,
+)
+from repro.core.bancroft import BancroftSolver
+from repro.core.three_sat import ThreeSatelliteSolver
+from repro.core.batch import (
+    BatchDLOSolver,
+    BatchDLGSolver,
+    group_epochs_by_count,
+)
+from repro.core.raim import RaimMonitor, RaimResult, chi_square_quantile
+from repro.core.velocity import VelocityFix, VelocitySolver
+from repro.core.ekf import NavigationEkf
+from repro.core.smoother import RtsSmoother
+from repro.core.selection import (
+    BaseSatelliteSelector,
+    FirstSelector,
+    RandomSelector,
+    HighestElevationSelector,
+    ClosestRangeSelector,
+)
+from repro.core.dop import DilutionOfPrecision, compute_dop
+from repro.core.receiver import GpsReceiver
+
+__all__ = [
+    "PositionFix",
+    "PositioningAlgorithm",
+    "NewtonRaphsonSolver",
+    "DLOSolver",
+    "DLGSolver",
+    "build_difference_system",
+    "difference_covariance",
+    "BancroftSolver",
+    "ThreeSatelliteSolver",
+    "BatchDLOSolver",
+    "BatchDLGSolver",
+    "group_epochs_by_count",
+    "RaimMonitor",
+    "RaimResult",
+    "chi_square_quantile",
+    "VelocityFix",
+    "VelocitySolver",
+    "NavigationEkf",
+    "RtsSmoother",
+    "BaseSatelliteSelector",
+    "FirstSelector",
+    "RandomSelector",
+    "HighestElevationSelector",
+    "ClosestRangeSelector",
+    "DilutionOfPrecision",
+    "compute_dop",
+    "GpsReceiver",
+]

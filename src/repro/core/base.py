@@ -1,0 +1,45 @@
+"""The interface every positioning algorithm implements.
+
+The evaluation harness (and any downstream user) treats NR, DLO, DLG,
+and Bancroft uniformly through this interface, which is what makes the
+paper's like-for-like comparisons (same epochs into every solver)
+trivially honest.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.errors import GeometryError
+from repro.observations import ObservationEpoch
+from repro.core.types import PositionFix
+
+
+class PositioningAlgorithm(ABC):
+    """A GPS point-positioning algorithm."""
+
+    #: Short display name ("NR", "DLO", ...).
+    name: str = "?"
+
+    #: Fewest satellites the algorithm can work with.
+    min_satellites: int = 4
+
+    @abstractmethod
+    def solve(self, epoch: ObservationEpoch) -> PositionFix:
+        """Estimate the receiver position from one observation epoch.
+
+        Raises
+        ------
+        GeometryError
+            If the epoch has too few satellites or degenerate geometry.
+        ConvergenceError
+            If an iterative method fails to converge.
+        """
+
+    def _require_satellites(self, epoch: ObservationEpoch) -> None:
+        """Shared guard: enough satellites for this algorithm."""
+        if epoch.satellite_count < self.min_satellites:
+            raise GeometryError(
+                f"{self.name} needs at least {self.min_satellites} satellites, "
+                f"epoch has {epoch.satellite_count}"
+            )

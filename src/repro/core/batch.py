@@ -1,0 +1,164 @@
+"""Batched direct-linearization solvers (paper Section 6, extension 3).
+
+The paper's third future-work item: "optimize the matrix operations in
+the context of our problem so the computation time may be further
+reduced".  The closed-form structure of DLO/DLG makes them unusually
+batchable: N epochs with the same satellite count m share identical
+shapes, so the N difference systems can be built and solved as one
+stacked ``(N, m-1, 3)`` tensor operation, amortizing the per-call
+dispatch overhead that dominates small solves.
+
+This is exactly the optimization a high-rate tracking server (the
+paper's motivating "object moving at high speed" positioned many times
+per second, or a post-processing service replaying a day of data)
+would deploy; iterative NR cannot be batched this way because each
+epoch converges along its own trajectory.
+
+Usage::
+
+    solver = BatchDLGSolver()
+    positions = solver.solve_batch(epochs, predicted_biases)  # (N, 3)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError, GeometryError
+from repro.observations import ObservationEpoch
+
+
+def _stack_epochs(epochs: Sequence[ObservationEpoch], biases: np.ndarray):
+    """Validate and stack N same-size epochs into dense tensors."""
+    if not epochs:
+        raise GeometryError("solve_batch needs at least one epoch")
+    m = epochs[0].satellite_count
+    if m < 4:
+        raise GeometryError(
+            f"batched direct linearization needs at least 4 satellites, got {m}"
+        )
+    for epoch in epochs:
+        if epoch.satellite_count != m:
+            raise GeometryError(
+                "all epochs in a batch must have the same satellite count "
+                f"(got {epoch.satellite_count} and {m}); group epochs by "
+                "count before batching"
+            )
+    biases = np.asarray(biases, dtype=float)
+    if biases.shape != (len(epochs),):
+        raise GeometryError(
+            f"biases must be one per epoch: expected shape ({len(epochs)},), "
+            f"got {biases.shape}"
+        )
+
+    positions = np.stack([epoch.satellite_positions() for epoch in epochs])  # (N,m,3)
+    pseudoranges = np.stack([epoch.pseudoranges() for epoch in epochs])  # (N,m)
+    corrected = pseudoranges - biases[:, None]
+    if np.any(corrected <= 0):
+        raise GeometryError(
+            "clock-corrected pseudoranges are non-positive for some epoch; "
+            "check the bias predictions"
+        )
+    return positions, corrected
+
+
+def build_difference_systems(
+    positions: np.ndarray, corrected: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorized eq. 4-8 construction for a whole batch.
+
+    Parameters are the stacked ``(N, m, 3)`` satellite positions and
+    ``(N, m)`` clock-corrected pseudoranges; the base satellite is
+    index 0 of each epoch.  Returns ``(N, m-1, 3)`` designs and
+    ``(N, m-1)`` right-hand sides.
+    """
+    design = positions[:, 1:, :] - positions[:, :1, :]
+    squared_norms = np.einsum("nmi,nmi->nm", positions, positions)
+    rhs = 0.5 * (
+        (squared_norms[:, 1:] - squared_norms[:, :1])
+        - (corrected[:, 1:] ** 2 - corrected[:, :1] ** 2)
+    )
+    return design, rhs
+
+
+class BatchDLOSolver:
+    """Vectorized DLO: one stacked OLS solve for N epochs."""
+
+    name = "BatchDLO"
+
+    def solve_batch(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Sequence[float],
+    ) -> np.ndarray:
+        """Positions for N same-size epochs, as an ``(N, 3)`` array.
+
+        ``biases`` are the predicted receiver clock biases (meters),
+        one per epoch — the batched equivalent of the clock predictor
+        hook on :class:`~repro.core.direct_linear.DLOSolver`.
+        """
+        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
+        design, rhs = build_difference_systems(positions, corrected)
+        # Batched normal equations: (N,3,3) and (N,3).
+        gram = np.einsum("nij,nik->njk", design, design)
+        moment = np.einsum("nij,ni->nj", design, rhs)
+        try:
+            return np.linalg.solve(gram, moment[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                "a batch epoch has degenerate geometry; solve epochs "
+                "individually to identify it"
+            ) from exc
+
+
+class BatchDLGSolver:
+    """Vectorized DLG: stacked GLS with the eq. 4-26 covariances."""
+
+    name = "BatchDLG"
+
+    def solve_batch(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Sequence[float],
+    ) -> np.ndarray:
+        """Positions for N same-size epochs, as an ``(N, 3)`` array."""
+        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
+        design, rhs = build_difference_systems(positions, corrected)
+
+        n, k = rhs.shape  # k = m - 1
+        # Batched eq. 4-26: base^2 everywhere + rho_j^2 on the diagonal.
+        base_sq = corrected[:, 0] ** 2  # (N,)
+        covariance = np.broadcast_to(base_sq[:, None, None], (n, k, k)).copy()
+        covariance[:, np.arange(k), np.arange(k)] += corrected[:, 1:] ** 2
+
+        try:
+            # Whiten through batched Cholesky factors.
+            factors = np.linalg.cholesky(covariance)  # (N,k,k)
+            white_design = np.linalg.solve(factors, design)
+            white_rhs = np.linalg.solve(factors, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                "a batch epoch has a non-positive-definite covariance"
+            ) from exc
+
+        gram = np.einsum("nij,nik->njk", white_design, white_design)
+        moment = np.einsum("nij,ni->nj", white_design, white_rhs)
+        try:
+            return np.linalg.solve(gram, moment[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                "a batch epoch has degenerate geometry; solve epochs "
+                "individually to identify it"
+            ) from exc
+
+
+def group_epochs_by_count(
+    epochs: Sequence[ObservationEpoch],
+) -> "dict[int, List[ObservationEpoch]]":
+    """Group arbitrary epochs into batchable same-count buckets."""
+    groups: "dict[int, List[ObservationEpoch]]" = {}
+    for epoch in epochs:
+        groups.setdefault(epoch.satellite_count, []).append(epoch)
+    return groups

@@ -1,0 +1,81 @@
+"""Dilution of precision (DOP) diagnostics.
+
+DOP factors translate satellite geometry into error amplification:
+position error ~= DOP * pseudorange error.  The evaluation harness
+reports them so accuracy comparisons across epochs and satellite
+subsets can be interpreted (a bad DLO epoch with a huge GDOP is a
+geometry problem, not an algorithm problem).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geodesy import ecef_to_enu_matrix, ecef_to_geodetic
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class DilutionOfPrecision:
+    """The classic DOP family (dimensionless)."""
+
+    gdop: float
+    pdop: float
+    hdop: float
+    vdop: float
+    tdop: float
+
+
+def compute_dop(
+    satellite_positions: np.ndarray,
+    receiver_position: np.ndarray,
+) -> DilutionOfPrecision:
+    """DOP factors for a receiver given the satellites in use.
+
+    Parameters
+    ----------
+    satellite_positions:
+        ``(m, 3)`` ECEF satellite positions, ``m >= 4``.
+    receiver_position:
+        Receiver ECEF position (the solved or surveyed point).
+    """
+    satellites = require_shape("satellite_positions", satellite_positions, (-1, 3))
+    receiver = require_shape("receiver_position", receiver_position, (3,))
+    m = satellites.shape[0]
+    if m < 4:
+        raise GeometryError(f"DOP needs at least 4 satellites, got {m}")
+
+    deltas = satellites - receiver
+    ranges = np.linalg.norm(deltas, axis=1)
+    if np.any(ranges < 1.0):
+        raise GeometryError("a satellite coincides with the receiver")
+
+    geometry = np.empty((m, 4))
+    geometry[:, :3] = -deltas / ranges[:, None]
+    geometry[:, 3] = 1.0
+
+    try:
+        cofactor = np.linalg.inv(geometry.T @ geometry)
+    except np.linalg.LinAlgError as exc:
+        raise GeometryError("degenerate geometry: DOP matrix is singular") from exc
+
+    # Rotate the position block into the local ENU frame for HDOP/VDOP.
+    latitude, longitude, _height = ecef_to_geodetic(receiver)
+    rotation = ecef_to_enu_matrix(latitude, longitude)
+    position_block = cofactor[:3, :3]
+    enu_block = rotation @ position_block @ rotation.T
+
+    east_var, north_var, up_var = np.diag(enu_block)
+    time_var = cofactor[3, 3]
+
+    return DilutionOfPrecision(
+        gdop=math.sqrt(max(np.trace(cofactor), 0.0)),
+        pdop=math.sqrt(max(np.trace(position_block), 0.0)),
+        hdop=math.sqrt(max(east_var + north_var, 0.0)),
+        vdop=math.sqrt(max(up_var, 0.0)),
+        tdop=math.sqrt(max(time_var, 0.0)),
+    )

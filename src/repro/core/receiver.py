@@ -1,0 +1,256 @@
+"""End-to-end receiver pipeline (the library's main public entry point).
+
+Ties together everything Section 4 and 5.2.2 describe operationally:
+
+* a **warm-up** phase where epochs are solved with NR and the solved
+  clock biases train the clock-bias predictor (eq. 5-4 bootstrap, "a
+  small set of data items at the initialization time is used" for the
+  drift);
+* a **steady state** where the configured closed-form algorithm
+  (DLO or DLG) runs with the predicted bias;
+* periodic **recalibration** NR solves that keep feeding the predictor
+  so threshold-clock resets are detected and absorbed;
+* a **residual gate**: a clock reset between recalibrations makes the
+  predicted bias wrong by up to ``c * threshold`` (kilometers), which
+  blows up the closed-form residuals by orders of magnitude; the
+  receiver detects the jump against a running residual history,
+  recalibrates with NR immediately, and re-solves the epoch;
+* a **fallback**: if the closed-form solve rejects the epoch outright,
+  the receiver transparently answers with an NR fix and retrains.
+
+Typical use::
+
+    receiver = GpsReceiver(algorithm="dlg", clock_mode="threshold")
+    for epoch in dataset.epochs():
+        fix = receiver.process(epoch)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.clocks.prediction import ClockBiasPredictor, LinearClockBiasPredictor
+from repro.core.base import PositioningAlgorithm
+from repro.core.bancroft import BancroftSolver
+from repro.core.direct_linear import DLGSolver, DLOSolver
+from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.core.selection import BaseSatelliteSelector
+from repro.core.types import PositionFix
+from repro.errors import ConfigurationError, ConvergenceError, GeometryError
+from repro.observations import ObservationEpoch
+
+
+class GpsReceiver:
+    """A complete positioning pipeline around one algorithm choice.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"nr"``, ``"dlo"``, ``"dlg"``, or ``"bancroft"``.
+    clock_mode:
+        ``"steering"`` or ``"threshold"`` — must match the station's
+        clock correction type (Table 5.1) when using DLO/DLG.
+    warmup_epochs:
+        NR-solved epochs used to fit the clock model before switching
+        to the closed-form algorithm.
+    recalibration_interval:
+        In steady state, run a parallel NR solve every this many epochs
+        and feed its bias to the predictor (reset detection).  ``0``
+        disables recalibration (pure open-loop prediction).
+    predictor:
+        Optional externally built clock-bias predictor (e.g. a
+        :class:`~repro.clocks.kalman.KalmanClockBiasPredictor`);
+        overrides ``clock_mode``/``warmup_epochs``.
+    base_selector:
+        Optional base-satellite strategy for the difference system.
+    nr_solver:
+        Optional pre-configured NR instance (warm starts, tolerances).
+    raim_sigma_meters:
+        When set, every steady-state epoch with enough redundancy runs
+        through a :class:`~repro.core.raim.RaimMonitor` built around
+        the configured solver with this residual sigma — faults are
+        detected and excluded transparently.  Only valid with ``nr``
+        and ``dlg`` (whose residual norms are chi-square scaled); DLO's
+        raw differenced residuals are not.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "dlg",
+        clock_mode: str = "steering",
+        warmup_epochs: int = 30,
+        recalibration_interval: int = 60,
+        predictor: Optional[ClockBiasPredictor] = None,
+        base_selector: Optional[BaseSatelliteSelector] = None,
+        nr_solver: Optional[NewtonRaphsonSolver] = None,
+        raim_sigma_meters: Optional[float] = None,
+    ) -> None:
+        algorithm = algorithm.lower()
+        if algorithm not in ("nr", "dlo", "dlg", "bancroft"):
+            raise ConfigurationError(
+                f"algorithm must be one of nr/dlo/dlg/bancroft, got {algorithm!r}"
+            )
+        if recalibration_interval < 0:
+            raise ConfigurationError("recalibration_interval must be >= 0")
+
+        self._algorithm_name = algorithm
+        self._nr = nr_solver if nr_solver is not None else NewtonRaphsonSolver()
+        if predictor is not None:
+            self._predictor = predictor
+        else:
+            self._predictor = LinearClockBiasPredictor(
+                mode=clock_mode, warmup_samples=warmup_epochs
+            )
+        self._recalibration_interval = int(recalibration_interval)
+
+        self._solver: PositioningAlgorithm
+        if algorithm == "nr":
+            self._solver = self._nr
+        elif algorithm == "bancroft":
+            self._solver = BancroftSolver()
+        elif algorithm == "dlo":
+            self._solver = DLOSolver(self._predictor, base_selector)
+        else:
+            self._solver = DLGSolver(self._predictor, base_selector)
+
+        self._raim: Optional["RaimMonitor"] = None
+        if raim_sigma_meters is not None:
+            if algorithm not in ("nr", "dlg"):
+                raise ConfigurationError(
+                    "RAIM integration requires chi-square-scaled residuals: "
+                    "use algorithm='nr' or 'dlg'"
+                )
+            from repro.core.raim import RaimMonitor
+
+            self._raim = RaimMonitor(
+                solver=self._solver, sigma_meters=raim_sigma_meters
+            )
+
+        self._epochs_processed = 0
+        #: Recent closed-form residual norms; a new residual far above
+        #: this history signals a stale clock prediction (clock reset).
+        self._residual_history: Deque[float] = deque(maxlen=40)
+        #: How many times above the running median residual counts as
+        #: anomalous.  The bias error at a 1 ms reset inflates residuals
+        #: by ~4 orders of magnitude, so 50x has huge margin both ways.
+        self._residual_gate_factor = 50.0
+        self._stats: Dict[str, int] = {
+            "warmup_fixes": 0,
+            "closed_form_fixes": 0,
+            "nr_fixes": 0,
+            "recalibrations": 0,
+            "fallbacks": 0,
+            "residual_gate_recoveries": 0,
+            "raim_exclusions": 0,
+            "raim_unrepaired": 0,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def algorithm(self) -> str:
+        """The configured algorithm name."""
+        return self._algorithm_name
+
+    @property
+    def predictor(self) -> ClockBiasPredictor:
+        """The clock-bias predictor in use."""
+        return self._predictor
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Pipeline counters (copies; safe to mutate)."""
+        return dict(self._stats)
+
+    @property
+    def epochs_processed(self) -> int:
+        """Total epochs seen by :meth:`process`."""
+        return self._epochs_processed
+
+    # ------------------------------------------------------------------
+    def process(self, epoch: ObservationEpoch) -> PositionFix:
+        """Solve one epoch, transparently handling warm-up and resets."""
+        self._epochs_processed += 1
+
+        if self._algorithm_name in ("nr", "bancroft"):
+            fix = self._checked_solve(epoch)
+            if self._algorithm_name == "nr":
+                self._stats["nr_fixes"] += 1
+            return fix
+
+        if not self._predictor.is_ready:
+            fix = self._nr.solve(epoch)
+            if fix.clock_bias_meters is not None:
+                self._predictor.observe(epoch.time, fix.clock_bias_meters)
+            self._stats["warmup_fixes"] += 1
+            self._stats["nr_fixes"] += 1
+            return fix
+
+        if (
+            self._recalibration_interval
+            and self._epochs_processed % self._recalibration_interval == 0
+        ):
+            self._recalibrate(epoch)
+
+        try:
+            fix = self._checked_solve(epoch)
+        except GeometryError:
+            # The prediction can be grossly wrong exactly at a clock
+            # reset; answer with NR and retrain the predictor.
+            fix = self._nr.solve(epoch)
+            if fix.clock_bias_meters is not None:
+                self._predictor.observe(epoch.time, fix.clock_bias_meters)
+            self._stats["fallbacks"] += 1
+            self._stats["nr_fixes"] += 1
+            return fix
+
+        if self._residual_is_anomalous(fix.residual_norm):
+            # Clock reset between recalibrations: the exploded residual
+            # is independent evidence the prediction is stale, so
+            # re-anchor the predictor unconditionally and re-solve.
+            self._recalibrate(epoch, force=True)
+            try:
+                fix = self._checked_solve(epoch)
+                self._stats["residual_gate_recoveries"] += 1
+            except GeometryError:
+                fix = self._nr.solve(epoch)
+                self._stats["fallbacks"] += 1
+                self._stats["nr_fixes"] += 1
+                return fix
+
+        if math.isfinite(fix.residual_norm):
+            self._residual_history.append(fix.residual_norm)
+        self._stats["closed_form_fixes"] += 1
+        return fix
+
+    def _checked_solve(self, epoch: ObservationEpoch):
+        """Solve one epoch, through RAIM when enabled and possible."""
+        if self._raim is None or epoch.satellite_count < 5:
+            return self._solver.solve(epoch)
+        result = self._raim.check(epoch)
+        if result.excluded_prn is not None:
+            self._stats["raim_exclusions"] += 1
+        if not result.passed:
+            self._stats["raim_unrepaired"] += 1
+        return result.fix
+
+    def _residual_is_anomalous(self, residual_norm: float) -> bool:
+        if not math.isfinite(residual_norm) or len(self._residual_history) < 10:
+            return False
+        history = sorted(self._residual_history)
+        median = history[len(history) // 2]
+        return residual_norm > self._residual_gate_factor * max(median, 1e-9)
+
+    # ------------------------------------------------------------------
+    def _recalibrate(self, epoch: ObservationEpoch, force: bool = False) -> None:
+        try:
+            nr_fix = self._nr.solve(epoch)
+        except (ConvergenceError, GeometryError):
+            return  # skip this recalibration; the main solve still runs
+        if nr_fix.clock_bias_meters is not None:
+            if force:
+                self._predictor.reanchor(epoch.time, nr_fix.clock_bias_meters)
+            else:
+                self._predictor.observe(epoch.time, nr_fix.clock_bias_meters)
+            self._stats["recalibrations"] += 1

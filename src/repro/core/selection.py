@@ -1,0 +1,96 @@
+"""Base-satellite selection strategies for direct linearization.
+
+The direct linearization (Section 4.3) subtracts one *base* equation
+from all the others; the paper notes (Section 6, first extension) that
+the base satellite is "randomly chosen" in their algorithm and that a
+"good" choice could improve accuracy.  These strategies make the choice
+pluggable so the ablation bench can quantify that extension.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch
+
+
+class BaseSatelliteSelector(ABC):
+    """Chooses which observation anchors the difference system."""
+
+    @abstractmethod
+    def select(self, epoch: ObservationEpoch) -> int:
+        """Return the index (into ``epoch.observations``) of the base."""
+
+
+class FirstSelector(BaseSatelliteSelector):
+    """Always the first stored observation.
+
+    Epochs store observations sorted by descending elevation, so on
+    library-generated data this coincides with
+    :class:`HighestElevationSelector`, while remaining well-defined for
+    externally built epochs with arbitrary order.
+    """
+
+    def select(self, epoch: ObservationEpoch) -> int:
+        return 0
+
+
+class RandomSelector(BaseSatelliteSelector):
+    """A uniformly random base — the paper's stated default.
+
+    Parameters
+    ----------
+    rng:
+        Random source; pass a seeded generator for reproducible runs.
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def select(self, epoch: ObservationEpoch) -> int:
+        return int(self._rng.integers(0, epoch.satellite_count))
+
+
+class HighestElevationSelector(BaseSatelliteSelector):
+    """The highest-elevation satellite.
+
+    High satellites carry the least atmospheric error, so their
+    equation is the most trustworthy anchor — the natural candidate for
+    the paper's "good satellite" extension.
+    """
+
+    def select(self, epoch: ObservationEpoch) -> int:
+        elevations = [obs.elevation for obs in epoch.observations]
+        return int(np.argmax(elevations))
+
+
+class ClosestRangeSelector(BaseSatelliteSelector):
+    """The satellite with the smallest measured pseudorange.
+
+    The differencing error terms (eq. 4-18) scale with the base range
+    ``rho_1``, so minimizing it minimizes the injected correlation —
+    an alternative "good satellite" criterion.
+    """
+
+    def select(self, epoch: ObservationEpoch) -> int:
+        return int(np.argmin(epoch.pseudoranges()))
+
+
+def make_selector(name: str, rng: Optional[np.random.Generator] = None) -> BaseSatelliteSelector:
+    """Factory by name: ``first``, ``random``, ``highest``, ``closest``."""
+    selectors = {
+        "first": lambda: FirstSelector(),
+        "random": lambda: RandomSelector(rng),
+        "highest": lambda: HighestElevationSelector(),
+        "closest": lambda: ClosestRangeSelector(),
+    }
+    try:
+        return selectors[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown selector {name!r}; choose from {sorted(selectors)}"
+        ) from None

@@ -1,0 +1,157 @@
+"""Rauch-Tung-Striebel (RTS) smoothing over the navigation EKF.
+
+Post-processing (survey adjustment, trajectory reconstruction) can use
+*future* measurements that a real-time filter never sees: the RTS
+smoother runs the EKF forward while recording its states, then sweeps
+backward, correcting each state with everything that came after.  On
+smooth trajectories this roughly halves the filter's error again.
+
+Usage::
+
+    smoother = RtsSmoother(NavigationEkf())
+    for epoch in epochs:
+        smoother.process(epoch)            # forward pass (real-time fixes)
+    positions = smoother.smooth()          # backward pass, (N, 3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.ekf import NavigationEkf
+from repro.core.types import PositionFix
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch
+
+
+@dataclass
+class _ForwardRecord:
+    """One forward-pass snapshot (post-update) plus prediction context."""
+
+    time_seconds: float
+    filtered_state: np.ndarray
+    filtered_covariance: np.ndarray
+    #: State/covariance *predicted* from the previous record (None for
+    #: the first epoch, which has no prediction step).
+    predicted_state: Optional[np.ndarray]
+    predicted_covariance: Optional[np.ndarray]
+    transition: Optional[np.ndarray]
+
+
+class RtsSmoother:
+    """Forward EKF + backward RTS sweep.
+
+    Parameters
+    ----------
+    ekf:
+        The filter to run forward; a default-configured
+        :class:`NavigationEkf` when omitted.
+    """
+
+    def __init__(self, ekf: Optional[NavigationEkf] = None) -> None:
+        self._ekf = ekf if ekf is not None else NavigationEkf()
+        self._records: List[_ForwardRecord] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def epoch_count(self) -> int:
+        """Forward-pass epochs recorded so far."""
+        return len(self._records)
+
+    def process(self, epoch: ObservationEpoch) -> PositionFix:
+        """Run one forward step, recording what the sweep needs."""
+        previous_time = self._ekf._last_time
+        previous_state = self._ekf.state
+        previous_covariance = (
+            None if self._ekf._covariance is None else self._ekf._covariance.copy()
+        )
+
+        fix = self._ekf.process(epoch)
+
+        t = epoch.time.to_gps_seconds()
+        predicted_state = None
+        predicted_covariance = None
+        transition = None
+        if previous_state is not None and previous_time is not None:
+            dt = t - previous_time
+            transition = np.eye(8)
+            for axis in range(3):
+                transition[axis, 3 + axis] = dt
+            transition[6, 7] = dt
+            predicted_state = transition @ previous_state
+            # Reconstruct the predict-step covariance from the same
+            # process model the filter used.
+            process = self._process_noise(dt)
+            predicted_covariance = (
+                transition @ previous_covariance @ transition.T + process
+            )
+
+        self._records.append(
+            _ForwardRecord(
+                time_seconds=t,
+                filtered_state=self._ekf.state,
+                filtered_covariance=self._ekf._covariance.copy(),
+                predicted_state=predicted_state,
+                predicted_covariance=predicted_covariance,
+                transition=transition,
+            )
+        )
+        return fix
+
+    def _process_noise(self, dt: float) -> np.ndarray:
+        qa, qb, qd = self._ekf._qa, self._ekf._qb, self._ekf._qd
+        process = np.zeros((8, 8))
+        dt2, dt3 = dt * dt, dt * dt * dt
+        for axis in range(3):
+            process[axis, axis] = qa * dt3 / 3.0
+            process[axis, 3 + axis] = process[3 + axis, axis] = qa * dt2 / 2.0
+            process[3 + axis, 3 + axis] = qa * dt
+        process[6, 6] = qb * dt + qd * dt3 / 3.0
+        process[6, 7] = process[7, 6] = qd * dt2 / 2.0
+        process[7, 7] = qd * dt
+        return process
+
+    # ------------------------------------------------------------------
+    def smooth(self) -> np.ndarray:
+        """Backward sweep; returns smoothed positions, shape ``(N, 3)``.
+
+        The recorded forward pass is left intact, so :meth:`smooth` can
+        be called repeatedly (e.g. after more epochs arrive).
+        """
+        if not self._records:
+            raise ConfigurationError("no forward pass recorded; call process first")
+
+        n = len(self._records)
+        smoothed_states = [record.filtered_state.copy() for record in self._records]
+        smoothed_covariance = self._records[-1].filtered_covariance.copy()
+
+        for index in range(n - 2, -1, -1):
+            record = self._records[index]
+            nxt = self._records[index + 1]
+            if nxt.predicted_covariance is None or nxt.transition is None:
+                continue  # duplicate-timestamp epoch: nothing to smooth through
+            try:
+                gain = (
+                    record.filtered_covariance
+                    @ nxt.transition.T
+                    @ np.linalg.inv(nxt.predicted_covariance)
+                )
+            except np.linalg.LinAlgError:
+                continue  # singular prediction covariance: keep filtered
+            smoothed_states[index] = record.filtered_state + gain @ (
+                smoothed_states[index + 1] - nxt.predicted_state
+            )
+            smoothed_covariance = record.filtered_covariance + gain @ (
+                smoothed_covariance - nxt.predicted_covariance
+            ) @ gain.T
+
+        return np.stack([state[:3] for state in smoothed_states])
+
+    def filtered_positions(self) -> np.ndarray:
+        """Forward-pass (real-time) positions, shape ``(N, 3)``."""
+        if not self._records:
+            raise ConfigurationError("no forward pass recorded")
+        return np.stack([record.filtered_state[:3] for record in self._records])

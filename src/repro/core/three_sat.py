@@ -1,0 +1,163 @@
+"""Three-satellite positioning with a precise (predicted) clock.
+
+The paper's related work (Section 2) cites Sturza [30]: with precise
+clock time "only three satellites are needed to calculate a position",
+and Misra [27]: the precise clock "could bring additional benefits on
+vertical position accuracy".  This solver realizes that mode on top of
+the same clock-bias prediction machinery DLO/DLG use: once
+``eps_hat_R`` is removed, the three range equations
+
+    ||s_i - x|| = rho_E_i,   i = 1..3
+
+intersect in (generically) two points, found in closed form:
+
+1. Subtracting equation 1 from 2 and 3 kills the quadratic terms and
+   constrains ``x`` to a *line* (two linear equations in three
+   unknowns).
+2. Substituting the line ``x = x0 + t n`` into equation 1 leaves a
+   scalar quadratic in ``t``.
+3. Of the two roots, the physical one has a geocentric radius
+   plausible for a terrestrial receiver (the same disambiguation
+   Bancroft needs; Section 3.1's "the physical meaning of the
+   equations usually results in only one solution").  When the
+   satellite plane passes near the earth's center, *both* intersection
+   points can be at plausible radii — then only prior knowledge can
+   decide, so the solver takes an optional ``prior_position`` (last
+   fix, dead reckoning) and raises otherwise rather than guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.clocks.prediction import ClockBiasPredictor, ZeroClockBiasPredictor
+from repro.core.base import PositioningAlgorithm
+from repro.core.direct_linear import build_difference_system
+from repro.core.types import PositionFix
+from repro.errors import GeometryError
+from repro.observations import ObservationEpoch
+
+#: Geocentric radius band (m) for the physical root, matching the
+#: Bancroft solver's convention.
+_PLAUSIBLE_RADIUS = (6.0e6, 7.5e6)
+
+
+class ThreeSatelliteSolver(PositioningAlgorithm):
+    """Closed-form fix from exactly three satellites + predicted clock.
+
+    Epochs with more than three satellites are solved from their first
+    three observations (callers wanting to exploit extra satellites
+    should use DLO/DLG, which this solver complements at the m=3 corner
+    where they cannot operate).
+    """
+
+    name = "3SAT"
+    min_satellites = 3
+
+    def __init__(
+        self,
+        clock_predictor: Optional[ClockBiasPredictor] = None,
+        prior_position: Optional[np.ndarray] = None,
+    ) -> None:
+        #: The ``eps_hat_R`` source; defaults to the zero predictor for
+        #: clock-free (e.g. DGPS-corrected) pseudoranges.
+        self.clock_predictor = (
+            clock_predictor if clock_predictor is not None else ZeroClockBiasPredictor()
+        )
+        #: Optional approximate receiver position (meters, ECEF) used to
+        #: break the two-root ambiguity when both roots are plausible.
+        self.prior_position = (
+            None
+            if prior_position is None
+            else np.asarray(prior_position, dtype=float).copy()
+        )
+
+    def solve(self, epoch: ObservationEpoch) -> PositionFix:
+        self._require_satellites(epoch)
+        bias = float(self.clock_predictor.predict_bias_meters(epoch.time))
+        positions = epoch.satellite_positions()[:3]
+        corrected = epoch.pseudoranges()[:3] - bias
+        if np.any(corrected <= 0):
+            raise GeometryError(
+                "clock-corrected pseudoranges are non-positive; the clock "
+                "bias prediction is grossly wrong for this epoch"
+            )
+
+        # Step 1: the two differenced linear equations (eq. 4-7 with m=3).
+        design, rhs = build_difference_system(positions, corrected)  # (2,3), (2,)
+
+        # Step 2: parameterize the solution line x = x0 + t n.
+        # x0: minimum-norm solution of the under-determined system;
+        # n: unit null-space direction of the 2x3 design.
+        try:
+            x0, *_rest = np.linalg.lstsq(design, rhs, rcond=None)
+        except np.linalg.LinAlgError as exc:  # pragma: no cover - lstsq rarely raises
+            raise GeometryError("degenerate three-satellite geometry") from exc
+        _u, singular_values, vt = np.linalg.svd(design)
+        if singular_values.min() < 1e-6 * singular_values.max():
+            raise GeometryError(
+                "the three satellites are collinear as seen in the "
+                "difference system; no unique solution line exists"
+            )
+        direction = vt[-1]  # unit null vector
+
+        # Step 3: ||x0 + t n - s1||^2 = rho_1^2  ->  quadratic in t.
+        offset = x0 - positions[0]
+        a = 1.0  # |n| = 1
+        b = 2.0 * float(offset @ direction)
+        c = float(offset @ offset) - float(corrected[0]) ** 2
+        discriminant = b * b - 4.0 * a * c
+        if discriminant < 0:
+            raise GeometryError(
+                "the three range spheres do not intersect; measurements "
+                "are inconsistent (bad clock prediction or corrupt ranges)"
+            )
+        sqrt_disc = math.sqrt(discriminant)
+        # Cancellation-free quadratic roots (a = 1).
+        q = -0.5 * (b + math.copysign(sqrt_disc, b) if b != 0.0 else -sqrt_disc)
+        if q != 0.0:
+            roots = [c / q, q / a]
+        else:
+            roots = [0.0]  # b = 0 and discriminant = 0: double root at 0
+
+        candidates = []
+        for t in roots:
+            point = x0 + t * direction
+            radius = float(np.linalg.norm(point))
+            plausible = _PLAUSIBLE_RADIUS[0] <= radius <= _PLAUSIBLE_RADIUS[1]
+            residual = abs(float(np.linalg.norm(point - positions[0])) - corrected[0])
+            candidates.append((plausible, residual, point))
+
+        plausible_points = [c for c in candidates if c[0]]
+        if len(plausible_points) > 1 and len(roots) > 1:
+            # Geometric ambiguity: both intersection points could be a
+            # real receiver.  Fall back to the prior, or refuse.
+            if self.prior_position is None:
+                raise GeometryError(
+                    "both three-sphere intersection points have plausible "
+                    "geocentric radii; supply prior_position to "
+                    "disambiguate (or use four satellites)"
+                )
+            plausible_points.sort(
+                key=lambda c: float(np.linalg.norm(c[2] - self.prior_position))
+            )
+            _plausible, residual, point = plausible_points[0]
+        elif plausible_points:
+            _plausible, residual, point = plausible_points[0]
+        else:
+            # Neither root looks terrestrial: return the smaller-residual
+            # root rather than failing (caller sees the radius).
+            candidates.sort(key=lambda c: c[1])
+            _plausible, residual, point = candidates[0]
+
+        return PositionFix(
+            position=point,
+            clock_bias_meters=bias,
+            algorithm=self.name,
+            iterations=1,
+            converged=True,
+            residual_norm=residual,
+        )

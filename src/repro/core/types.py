@@ -1,0 +1,56 @@
+"""Result types produced by the positioning algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """One solved position.
+
+    Attributes
+    ----------
+    position:
+        Estimated receiver ECEF position ``(x_e, y_e, z_e)`` in meters.
+    clock_bias_meters:
+        The receiver clock bias associated with the fix, in meters.
+        For NR this is the *solved* ``eps_R``; for DLO/DLG it is the
+        *predicted* ``eps_hat_R`` that was removed before solving; for
+        solvers that do not involve a bias it is ``None``.
+    algorithm:
+        Short algorithm tag ("NR", "DLO", "DLG", "Bancroft").
+    iterations:
+        Iterations spent (1 for closed-form methods).
+    converged:
+        Whether the solver's own convergence criterion was met (always
+        true for closed-form methods that return at all).
+    residual_norm:
+        Euclidean norm of the final measurement residuals, for
+        diagnostics and fault detection.
+    """
+
+    position: np.ndarray
+    clock_bias_meters: Optional[float] = None
+    algorithm: str = ""
+    iterations: int = 1
+    converged: bool = True
+    residual_norm: float = field(default=float("nan"), compare=False)
+
+    def __post_init__(self) -> None:
+        position = np.asarray(self.position, dtype=float)
+        if position.shape != (3,) or not np.all(np.isfinite(position)):
+            raise ConfigurationError("fix position must be a finite 3-vector")
+        object.__setattr__(self, "position", position)
+
+    def distance_to(self, truth_position: np.ndarray) -> float:
+        """Absolute 3-D error ``d_O`` against a truth position (eq. 5-1)."""
+        truth = np.asarray(truth_position, dtype=float)
+        if truth.shape != (3,):
+            raise ConfigurationError("truth position must be a 3-vector")
+        return float(np.linalg.norm(self.position - truth))

@@ -1,0 +1,112 @@
+"""Velocity estimation from Doppler range rates.
+
+The natural companion of the paper's fast position solvers for the
+moving-receiver use case: each visible satellite's Doppler gives one
+linear equation in the receiver velocity and clock drift,
+
+    rate_i = (v_sat_i - v) . u_i + c * drift
+
+(``u_i`` the unit line of sight from receiver to satellite).  Unlike
+the position problem this system is *already linear*, so one OLS solve
+suffices — there is no iterative/closed-form tradeoff to make, and the
+solver slots into the same per-epoch budget as DLO/DLG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError, GeometryError
+from repro.estimation import ols_solve
+from repro.observations import ObservationEpoch
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class VelocityFix:
+    """One solved velocity.
+
+    Attributes
+    ----------
+    velocity:
+        Receiver ECEF velocity (m/s).
+    clock_drift_mps:
+        Receiver clock drift expressed as a range rate, ``c * d(dt)/dt``
+        (m/s) — the velocity-domain analogue of ``eps_R``.
+    satellites_used:
+        Number of Doppler measurements in the solution.
+    residual_norm:
+        Norm of the range-rate residuals (m/s).
+    """
+
+    velocity: np.ndarray
+    clock_drift_mps: float
+    satellites_used: int
+    residual_norm: float
+
+    def __post_init__(self) -> None:
+        velocity = np.asarray(self.velocity, dtype=float)
+        if velocity.shape != (3,) or not np.all(np.isfinite(velocity)):
+            raise ConfigurationError("velocity must be a finite 3-vector")
+        object.__setattr__(self, "velocity", velocity)
+
+    @property
+    def speed(self) -> float:
+        """Speed over ground+vertical, ``||velocity||`` (m/s)."""
+        return float(np.linalg.norm(self.velocity))
+
+
+class VelocitySolver:
+    """Least-squares receiver velocity from one epoch's range rates.
+
+    Needs the receiver *position* (solve it first with any of the
+    positioning algorithms) and an epoch whose observations carry
+    ``range_rate`` and satellite ``velocity``.
+    """
+
+    name = "VEL"
+    min_satellites = 4  # 3 velocity components + clock drift
+
+    def solve(
+        self,
+        epoch: ObservationEpoch,
+        receiver_position: np.ndarray,
+    ) -> VelocityFix:
+        """Estimate velocity + clock drift at one epoch."""
+        receiver = require_shape("receiver_position", receiver_position, (3,))
+        rows = []
+        rates = []
+        for observation in epoch.observations:
+            if observation.range_rate is None or observation.velocity is None:
+                continue
+            delta = observation.position - receiver
+            distance = float(np.linalg.norm(delta))
+            if distance < 1.0:
+                raise GeometryError(
+                    f"satellite PRN {observation.prn} coincides with the receiver"
+                )
+            unit = delta / distance
+            # rate = v_sat . u - v . u + c*drift
+            rows.append(np.concatenate([-unit, [1.0]]))
+            rates.append(observation.range_rate - float(observation.velocity @ unit))
+
+        if len(rates) < self.min_satellites:
+            raise GeometryError(
+                f"velocity solution needs {self.min_satellites} Doppler "
+                f"measurements, epoch has {len(rates)}"
+            )
+
+        design = np.vstack(rows)
+        observations = np.asarray(rates)
+        try:
+            solution = ols_solve(design, observations)
+        except EstimationError as exc:
+            raise GeometryError(f"degenerate Doppler geometry: {exc}") from exc
+        residuals = observations - design @ solution
+        return VelocityFix(
+            velocity=solution[:3],
+            clock_drift_mps=float(solution[3]),
+            satellites_used=len(rates),
+            residual_norm=float(np.linalg.norm(residuals)),
+        )

@@ -1,0 +1,22 @@
+"""Differential GPS (DGPS) corrections.
+
+Section 3.3 of the paper: "In the case where there are only clock
+dependent errors, or where satellite dependent errors can be
+compensated, 4 satellites are sufficient.  For example, Differential
+GPS (DGPS) technology ... can be used."
+
+This package provides that compensation: a reference station at a
+surveyed position observes the same satellites as a nearby rover and
+broadcasts per-satellite pseudorange corrections.  Applying them
+cancels the errors common to both receivers — satellite clock
+residual, ionosphere, troposphere (the paper's ``eps_S``) — leaving
+the rover with geometry + its own clock bias + decorrelated noise.
+"""
+
+from repro.dgps.corrections import (
+    DgpsCorrections,
+    DgpsReferenceStation,
+    apply_corrections,
+)
+
+__all__ = ["DgpsCorrections", "DgpsReferenceStation", "apply_corrections"]

@@ -1,0 +1,128 @@
+"""DGPS reference-station corrections and rover-side application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class DgpsCorrections:
+    """Per-satellite pseudorange corrections issued at one instant.
+
+    ``corrections[prn]`` is the value to *subtract* from a rover's
+    measured pseudorange for that satellite.  It contains the
+    satellite-dependent error observed by the reference station *plus*
+    the reference receiver's clock bias; the latter is common to all
+    corrections of the epoch and therefore folds into the rover's
+    solved clock term (P4P absorbs any per-epoch constant), exactly as
+    operational DGPS does.
+    """
+
+    time: GpsTime
+    corrections: Dict[int, float]
+    reference_station: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.corrections:
+            raise ConfigurationError("DGPS corrections must not be empty")
+
+    @property
+    def prns(self):
+        """PRNs covered by this correction set, sorted."""
+        return sorted(self.corrections)
+
+
+class DgpsReferenceStation:
+    """A surveyed receiver computing pseudorange corrections.
+
+    Parameters
+    ----------
+    name:
+        Station label stamped onto the corrections.
+    position_ecef:
+        The surveyed ECEF position (meters); the whole technique rests
+        on this being accurately known.
+    """
+
+    def __init__(self, name: str, position_ecef: np.ndarray) -> None:
+        self.name = name
+        self.position = require_shape("position_ecef", position_ecef, (3,))
+
+    def compute_corrections(self, epoch: ObservationEpoch) -> DgpsCorrections:
+        """Corrections from one of the reference station's own epochs.
+
+        For each satellite: ``correction = rho_measured - ||s - x_ref||``
+        — everything in the measurement that is not geometric range, as
+        seen from the surveyed point.
+        """
+        corrections: Dict[int, float] = {}
+        for observation in epoch.observations:
+            geometric = float(np.linalg.norm(observation.position - self.position))
+            if geometric <= 0:
+                raise GeometryError(
+                    f"satellite PRN {observation.prn} coincides with the "
+                    "reference station"
+                )
+            corrections[observation.prn] = observation.pseudorange - geometric
+        return DgpsCorrections(
+            time=epoch.time, corrections=corrections, reference_station=self.name
+        )
+
+
+def apply_corrections(
+    epoch: ObservationEpoch,
+    corrections: DgpsCorrections,
+    max_age_seconds: float = 30.0,
+    min_satellites: int = 4,
+) -> ObservationEpoch:
+    """Apply reference corrections to a rover epoch.
+
+    Satellites without a correction are dropped (the rover cannot
+    difference them).  Corrections older than ``max_age_seconds`` are
+    refused — stale corrections are worse than none because the
+    atmosphere and satellite clocks move on.
+
+    Returns a new epoch whose pseudoranges are differentially
+    corrected; solve it with any of the P4P algorithms (the rover's
+    solved "clock bias" will then be ``eps_R_rover - eps_R_ref``).
+    """
+    age = abs(epoch.time - corrections.time)
+    if age > max_age_seconds:
+        raise ConfigurationError(
+            f"DGPS corrections are {age:.1f} s old (limit {max_age_seconds} s)"
+        )
+
+    corrected = []
+    for observation in epoch.observations:
+        correction = corrections.corrections.get(observation.prn)
+        if correction is None:
+            continue
+        pseudorange = observation.pseudorange - correction
+        if pseudorange <= 0:
+            raise GeometryError(
+                f"corrected pseudorange for PRN {observation.prn} is "
+                "non-positive; reference and rover data are inconsistent"
+            )
+        corrected.append(
+            SatelliteObservation(
+                prn=observation.prn,
+                position=observation.position,
+                pseudorange=pseudorange,
+                elevation=observation.elevation,
+                azimuth=observation.azimuth,
+            )
+        )
+    if len(corrected) < min_satellites:
+        raise GeometryError(
+            f"only {len(corrected)} satellites have corrections; "
+            f"{min_satellites} required"
+        )
+    return epoch.with_observations(corrected)

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type at integration
+boundaries while still distinguishing failure modes when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class GeometryError(ReproError):
+    """The satellite geometry does not admit a solution.
+
+    Raised, for example, when fewer satellites are supplied than a solver
+    needs, or when the design matrix is singular because the satellites
+    are (nearly) coplanar with degenerate geometry.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge.
+
+    The paper motivates direct methods partly by this failure mode of the
+    Newton-Raphson baseline ("risk of non-convergence", Section 1).
+    """
+
+    def __init__(self, message: str, iterations: int = 0) -> None:
+        super().__init__(message)
+        #: Number of iterations performed before giving up.
+        self.iterations = iterations
+
+
+class EphemerisError(ReproError):
+    """An ephemeris is invalid or cannot be evaluated at the given time."""
+
+
+class RinexError(ReproError):
+    """A RINEX file is malformed or internally inconsistent."""
+
+
+class DatasetError(ReproError):
+    """A dataset request cannot be satisfied (unknown station, bad span)."""
+
+
+class EstimationError(ReproError):
+    """A least-squares problem is ill-posed (rank deficient, bad weights)."""

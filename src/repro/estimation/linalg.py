@@ -1,0 +1,57 @@
+"""Linear-algebra helpers shared by the estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def cholesky_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` for a symmetric positive-definite matrix.
+
+    Uses a Cholesky factorization, which is both the fastest dense
+    route and a built-in positive-definiteness check: failure raises
+    :class:`EstimationError` instead of returning garbage, which is how
+    degenerate satellite geometry surfaces to callers.
+    """
+    a = np.asarray(matrix, dtype=float)
+    b = np.asarray(rhs, dtype=float)
+    try:
+        factor = np.linalg.cholesky(a)
+    except np.linalg.LinAlgError as exc:
+        raise EstimationError(
+            "normal-equations matrix is not positive definite "
+            "(degenerate geometry or rank-deficient design matrix)"
+        ) from exc
+    # Forward/back substitution via triangular solves.
+    y = np.linalg.solve(factor, b)
+    return np.linalg.solve(factor.T, y)
+
+
+def condition_number(matrix: np.ndarray) -> float:
+    """2-norm condition number; ``inf`` for a singular matrix."""
+    a = np.asarray(matrix, dtype=float)
+    try:
+        return float(np.linalg.cond(a))
+    except np.linalg.LinAlgError:
+        return float("inf")
+
+
+def is_positive_definite(matrix: np.ndarray, symmetry_tolerance: float = 1e-8) -> bool:
+    """Whether a matrix is symmetric positive definite.
+
+    Symmetry is checked to relative tolerance first; then a Cholesky
+    attempt decides definiteness (the numerically meaningful test).
+    """
+    a = np.asarray(matrix, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        return False
+    scale = max(1.0, float(np.max(np.abs(a))))
+    if np.max(np.abs(a - a.T)) > symmetry_tolerance * scale:
+        return False
+    try:
+        np.linalg.cholesky(a)
+        return True
+    except np.linalg.LinAlgError:
+        return False

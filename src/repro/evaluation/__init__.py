@@ -1,0 +1,51 @@
+"""Evaluation harness: metrics, timing, and the paper's experiments.
+
+Everything Section 5 needs: the metric definitions (eq. 5-1..5-3), a
+micro-timing utility, per-station experiment runners that sweep the
+satellite count like Figures 5.1/5.2, and plain-text report formatting.
+"""
+
+from repro.evaluation.metrics import (
+    absolute_error,
+    accuracy_rate,
+    execution_time_rate,
+)
+from repro.evaluation.timing import time_solver
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    StationPipeline,
+    StationResult,
+    ReplayClockBiasPredictor,
+    run_station_experiment,
+)
+from repro.evaluation.reporting import (
+    format_table_5_1,
+    format_rate_table,
+    format_ascii_series,
+    format_station_report,
+)
+from repro.evaluation.statistics import ErrorStatistics, enu_error
+from repro.evaluation.skyplot import render_skyplot, skyplot_for_epoch
+from repro.evaluation.report_builder import build_markdown_report, write_markdown_report
+
+__all__ = [
+    "absolute_error",
+    "accuracy_rate",
+    "execution_time_rate",
+    "time_solver",
+    "ExperimentConfig",
+    "StationPipeline",
+    "StationResult",
+    "ReplayClockBiasPredictor",
+    "run_station_experiment",
+    "format_table_5_1",
+    "format_rate_table",
+    "format_ascii_series",
+    "format_station_report",
+    "ErrorStatistics",
+    "enu_error",
+    "render_skyplot",
+    "skyplot_for_epoch",
+    "build_markdown_report",
+    "write_markdown_report",
+]

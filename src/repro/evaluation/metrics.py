@@ -1,0 +1,37 @@
+"""The paper's performance metrics (Section 5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import PositionFix
+from repro.errors import ConfigurationError
+
+
+def absolute_error(fix: PositionFix, truth_position: np.ndarray) -> float:
+    """Absolute 3-D position error ``d_O`` in meters (eq. 5-1)."""
+    return fix.distance_to(truth_position)
+
+
+def accuracy_rate(d_algorithm: float, d_nr: float) -> float:
+    """Accuracy rate ``eta = d_O / d_NR * 100%`` (eq. 5-2).
+
+    Values above 100 mean the algorithm is less accurate than NR.
+    """
+    if d_algorithm < 0 or d_nr <= 0:
+        raise ConfigurationError(
+            f"errors must be positive (d_O={d_algorithm}, d_NR={d_nr})"
+        )
+    return 100.0 * d_algorithm / d_nr
+
+
+def execution_time_rate(tau_algorithm: float, tau_nr: float) -> float:
+    """Execution time rate ``theta = tau_O / tau_NR * 100%`` (eq. 5-3).
+
+    Values below 100 mean the algorithm is faster than NR.
+    """
+    if tau_algorithm <= 0 or tau_nr <= 0:
+        raise ConfigurationError(
+            f"times must be positive (tau_O={tau_algorithm}, tau_NR={tau_nr})"
+        )
+    return 100.0 * tau_algorithm / tau_nr

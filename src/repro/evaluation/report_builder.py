@@ -1,0 +1,159 @@
+"""Markdown experiment reports.
+
+Turns a set of :class:`StationResult` sweeps into a self-contained
+markdown document — the shape of this repository's own
+``EXPERIMENTS.md``, regenerated from fresh measurements.  Useful for
+tracking reproduction results across machines or library changes:
+
+    repro-gps experiment all --output results.md
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.evaluation.experiments import StationResult
+from repro.evaluation.reporting import format_ascii_series
+
+
+def build_markdown_report(
+    results: Dict[str, StationResult],
+    title: str = "GPS algorithm reproduction results",
+    notes: Optional[str] = None,
+) -> str:
+    """Render station sweeps as a markdown document."""
+    if not results:
+        raise ConfigurationError("no results to report")
+
+    lines: List[str] = [f"# {title}", ""]
+    if notes:
+        lines.extend([notes, ""])
+
+    first = next(iter(results.values()))
+    counts = first.satellite_counts
+
+    # ------------------------------------------------------------------
+    lines.append("## Execution time rate θ = τ_O/τ_NR × 100 % (Fig 5.1)")
+    lines.append("")
+    for site_id, result in results.items():
+        lines.append(
+            f"### {site_id} ({result.station.clock_correction} clock)"
+        )
+        lines.append("")
+        lines.extend(_rate_table(result.time_rate_pct, counts))
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    lines.append("## Accuracy rate η = d_O/d_NR × 100 % (Fig 5.2)")
+    lines.append("")
+    for site_id, result in results.items():
+        lines.append(
+            f"### {site_id} ({result.station.clock_correction} clock)"
+        )
+        lines.append("")
+        lines.extend(_rate_table(result.accuracy_rate_pct, counts))
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    lines.append("## Raw aggregates")
+    lines.append("")
+    for site_id, result in results.items():
+        lines.append(f"### {site_id}")
+        lines.append("")
+        lines.append("Median position error (m):")
+        lines.append("")
+        lines.extend(_value_table(result.error_m, counts, "{:.2f}"))
+        lines.append("")
+        lines.append("Mean solve time (µs):")
+        lines.append("")
+        lines.extend(
+            _value_table(
+                {
+                    algorithm: {m: v / 1000.0 for m, v in series.items()}
+                    for algorithm, series in result.time_ns.items()
+                },
+                counts,
+                "{:.1f}",
+            )
+        )
+        lines.append("")
+        lines.append(
+            "Epochs used: "
+            + ", ".join(f"m={m}: {result.epochs_used.get(m, 0)}" for m in counts)
+        )
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    aggregate_eta = _aggregate(results, "accuracy_rate_pct", counts)
+    aggregate_theta = _aggregate(results, "time_rate_pct", counts)
+    lines.append("## Shape charts (mean over stations)")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        format_ascii_series("theta vs satellite count", aggregate_theta, counts)
+    )
+    lines.append("```")
+    lines.append("")
+    lines.append("```")
+    lines.append(
+        format_ascii_series("eta vs satellite count", aggregate_eta, counts)
+    )
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    path: Union[str, Path],
+    results: Dict[str, StationResult],
+    title: str = "GPS algorithm reproduction results",
+    notes: Optional[str] = None,
+) -> Path:
+    """Build and write the report; returns the path."""
+    path = Path(path)
+    path.write_text(build_markdown_report(results, title=title, notes=notes))
+    return path
+
+
+# ----------------------------------------------------------------------
+def _rate_table(rates, counts) -> List[str]:
+    header = "| algorithm | " + " | ".join(f"m={m}" for m in counts) + " |"
+    rule = "|---" * (len(counts) + 1) + "|"
+    rows = [header, rule]
+    for algorithm in sorted(rates):
+        cells = [
+            f"{rates[algorithm][m]:.1f} %" if m in rates[algorithm] else "—"
+            for m in counts
+        ]
+        rows.append(f"| {algorithm} | " + " | ".join(cells) + " |")
+    return rows
+
+
+def _value_table(values, counts, fmt: str) -> List[str]:
+    header = "| algorithm | " + " | ".join(f"m={m}" for m in counts) + " |"
+    rule = "|---" * (len(counts) + 1) + "|"
+    rows = [header, rule]
+    for algorithm in sorted(values):
+        cells = [
+            fmt.format(values[algorithm][m]) if m in values[algorithm] else "—"
+            for m in counts
+        ]
+        rows.append(f"| {algorithm} | " + " | ".join(cells) + " |")
+    return rows
+
+
+def _aggregate(results, attribute: str, counts):
+    aggregate: Dict[str, Dict[int, float]] = {}
+    for result in results.values():
+        for algorithm, series in getattr(result, attribute).items():
+            bucket = aggregate.setdefault(algorithm, {})
+            for m, value in series.items():
+                bucket.setdefault(m, []).append(value)
+    return {
+        algorithm: {
+            m: sum(values) / len(values) for m, values in series.items()
+        }
+        for algorithm, series in aggregate.items()
+    }

@@ -1,0 +1,157 @@
+"""Plain-text report formatting for the reproduced tables and figures.
+
+The benches print through these helpers so every experiment produces
+the same row/series layout the paper reports — one rate table per
+station panel, satellite count on the x-axis, DLO/DLG series.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.evaluation.experiments import StationResult
+from repro.stations.catalog import Station
+
+
+def format_table_5_1(stations: Iterable[Station], epoch_counts: Dict[str, int]) -> str:
+    """Render Table 5.1 plus the per-data-set item counts.
+
+    ``epoch_counts`` maps site id to the number of data items generated
+    for that station (86 400 for the paper's full-day configuration).
+    """
+    lines = [
+        "Table 5.1: Data Set Specifications",
+        f"{'No.':>3} {'Site':<5} {'ECEF Coordinates (X, Y, Z) (m)':<46} "
+        f"{'Date':<11} {'Clock':<10} {'Items':>7}",
+    ]
+    for station in stations:
+        x, y, z = station.ecef
+        coords = f"({x:.3f}, {y:.3f}, {z:.3f})"
+        lines.append(
+            f"{station.number:>3} {station.site_id:<5} {coords:<46} "
+            f"{station.collection_date:<11} {station.clock_correction:<10} "
+            f"{epoch_counts.get(station.site_id, 0):>7}"
+        )
+    return "\n".join(lines)
+
+
+def format_rate_table(
+    title: str,
+    rates: Dict[str, Dict[int, float]],
+    satellite_counts: Sequence[int],
+    unit: str = "%",
+) -> str:
+    """One figure panel as text: rows = algorithm, columns = m."""
+    header = f"{'alg':<6}" + "".join(f"{f'm={m}':>9}" for m in satellite_counts)
+    lines = [title, header]
+    for algorithm in sorted(rates):
+        cells = []
+        for m in satellite_counts:
+            value = rates[algorithm].get(m)
+            cells.append(f"{value:8.1f}{unit}" if value is not None else f"{'-':>9}")
+        lines.append(f"{algorithm:<6}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_ascii_series(
+    title: str,
+    series: Dict[str, Dict[int, float]],
+    satellite_counts: Sequence[int],
+    height: int = 10,
+    y_label: str = "%",
+) -> str:
+    """Render figure panels as an ASCII chart (one mark per algorithm).
+
+    Each algorithm's values over the satellite-count sweep plot as its
+    own symbol; the y-axis auto-scales to the data.  This is the
+    closest a terminal gets to the paper's line plots, and keeps the
+    bench output self-contained.
+    """
+    marks = {}
+    symbols = "ox+*#@"
+    values = []
+    for index, algorithm in enumerate(sorted(series)):
+        marks[algorithm] = symbols[index % len(symbols)]
+        values.extend(
+            series[algorithm][m] for m in satellite_counts if m in series[algorithm]
+        )
+    if not values:
+        return f"{title}\n  (no data)"
+
+    low, high = min(values), max(values)
+    if high == low:
+        high = low + 1.0
+    rows: List[List[str]] = [
+        [" "] * (len(satellite_counts) * 4) for _ in range(height)
+    ]
+    for algorithm in sorted(series):
+        for column, m in enumerate(satellite_counts):
+            value = series[algorithm].get(m)
+            if value is None:
+                continue
+            level = int(round((value - low) / (high - low) * (height - 1)))
+            row = height - 1 - level
+            cell = column * 4 + 1
+            rows[row][cell] = marks[algorithm]
+
+    lines = [title]
+    for index, row in enumerate(rows):
+        if index == 0:
+            label = f"{high:7.1f}{y_label} |"
+        elif index == height - 1:
+            label = f"{low:7.1f}{y_label} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    axis = " " * 10 + "".join(f"{f'm={m}':<4}" for m in satellite_counts)
+    lines.append(axis)
+    legend = "  legend: " + ", ".join(
+        f"{marks[algorithm]}={algorithm}" for algorithm in sorted(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def format_station_report(result: StationResult) -> str:
+    """Full per-station report: raw aggregates plus both rate panels."""
+    station = result.station
+    counts = result.satellite_counts
+    lines: List[str] = [
+        f"Station {station.site_id} (#{station.number}, "
+        f"{station.clock_correction} clock)",
+        f"  epochs used per m: "
+        + ", ".join(f"m={m}:{result.epochs_used.get(m, 0)}" for m in counts),
+    ]
+
+    lines.append(f"  {'mean error (m)':<18}" + "".join(f"{f'm={m}':>9}" for m in counts))
+    for algorithm in sorted(result.error_m):
+        series = result.error_m[algorithm]
+        cells = "".join(
+            f"{series[m]:9.2f}" if m in series else f"{'-':>9}" for m in counts
+        )
+        lines.append(f"  {algorithm:<18}" + cells)
+
+    lines.append(f"  {'mean time (us)':<18}" + "".join(f"{f'm={m}':>9}" for m in counts))
+    for algorithm in sorted(result.time_ns):
+        series = result.time_ns[algorithm]
+        cells = "".join(
+            f"{series[m] / 1000.0:9.1f}" if m in series else f"{'-':>9}"
+            for m in counts
+        )
+        lines.append(f"  {algorithm:<18}" + cells)
+
+    lines.append(
+        format_rate_table(
+            f"  Fig 5.1 panel ({station.site_id}): execution time rate theta",
+            result.time_rate_pct,
+            counts,
+        )
+    )
+    lines.append(
+        format_rate_table(
+            f"  Fig 5.2 panel ({station.site_id}): accuracy rate eta",
+            result.accuracy_rate_pct,
+            counts,
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""ASCII sky plots: where the satellites are, at a glance.
+
+A sky plot maps each visible satellite's (azimuth, elevation) onto a
+polar disc — north up, zenith at the center, horizon on the rim.  It
+is the standard way to eyeball geometry problems: clustered satellites
+mean a high DOP, an empty quadrant means a shadowed antenna, and the
+paper's m-satellite subsets can be sanity-checked visually.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Characters used for satellite marks, cycled by order of appearance.
+_MARKS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def render_skyplot(
+    satellites: Iterable[Tuple[int, float, float]],
+    radius: int = 11,
+) -> str:
+    """Render satellites as an ASCII sky disc.
+
+    Parameters
+    ----------
+    satellites:
+        Iterable of ``(prn, elevation_rad, azimuth_rad)``; satellites
+        below the horizon are skipped.
+    radius:
+        Disc radius in character rows (the plot is ``2*radius+1`` rows
+        tall and twice as wide, because terminal cells are ~2:1).
+
+    Returns
+    -------
+    str
+        The plot plus a legend mapping marks to PRNs.
+    """
+    if radius < 4:
+        raise ConfigurationError("radius must be at least 4")
+
+    height = 2 * radius + 1
+    width = 2 * (2 * radius) + 1
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    # Horizon circle.
+    for degree in range(0, 360, 2):
+        theta = math.radians(degree)
+        row = int(round(radius - radius * math.cos(theta)))
+        col = int(round(2 * radius + 2 * radius * math.sin(theta)))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = "."
+
+    # Compass labels.
+    grid[0][2 * radius] = "N"
+    grid[height - 1][2 * radius] = "S"
+    grid[radius][width - 1] = "E"
+    grid[radius][0] = "W"
+    grid[radius][2 * radius] = "+"  # zenith
+
+    legend: Dict[str, int] = {}
+    for index, (prn, elevation, azimuth) in enumerate(satellites):
+        if elevation < 0:
+            continue
+        mark = _MARKS[index % len(_MARKS)]
+        # Zenith-centered polar projection: r = (90 - el)/90.
+        fraction = 1.0 - (elevation / (math.pi / 2.0))
+        fraction = min(max(fraction, 0.0), 1.0)
+        row = int(round(radius - radius * fraction * math.cos(azimuth)))
+        col = int(round(2 * radius + 2 * radius * fraction * math.sin(azimuth)))
+        if 0 <= row < height and 0 <= col < width:
+            grid[row][col] = mark
+        legend[mark] = prn
+
+    lines = ["".join(row).rstrip() for row in grid]
+    lines.append(
+        "legend: "
+        + ", ".join(f"{mark}=G{prn:02d}" for mark, prn in legend.items())
+    )
+    return "\n".join(lines)
+
+
+def skyplot_for_epoch(epoch, radius: int = 11) -> str:
+    """Sky plot of an :class:`~repro.observations.ObservationEpoch`."""
+    return render_skyplot(
+        ((obs.prn, obs.elevation, obs.azimuth) for obs in epoch.observations),
+        radius=radius,
+    )

@@ -1,0 +1,102 @@
+"""GNSS-style error statistics for fix streams.
+
+The paper reports plain mean errors; downstream users usually want the
+standard positioning summary: RMS, CEP (circular error probable),
+95th percentile, and the horizontal/vertical split in the receiver's
+local frame.  This module computes all of it from a stream of fixes
+against a truth position (or per-epoch truths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import PositionFix
+from repro.errors import ConfigurationError
+from repro.geodesy import ecef_to_enu_matrix, ecef_to_geodetic
+from repro.utils.validation import require_shape
+
+
+def enu_error(
+    estimated_position: np.ndarray,
+    truth_position: np.ndarray,
+) -> Tuple[float, float, float]:
+    """Error components in the local frame anchored at the truth point.
+
+    Returns ``(east, north, up)`` in meters (signed).
+    """
+    estimate = require_shape("estimated_position", estimated_position, (3,))
+    truth = require_shape("truth_position", truth_position, (3,))
+    latitude, longitude, _height = ecef_to_geodetic(truth)
+    rotation = ecef_to_enu_matrix(latitude, longitude)
+    east, north, up = rotation @ (estimate - truth)
+    return float(east), float(north), float(up)
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Summary of a fix stream's position errors.
+
+    All values in meters.  ``cep50``/``cep95`` are horizontal circular
+    error percentiles (the conventional receiver datasheet numbers);
+    ``rms_3d`` is the root-mean-square of the full 3-D error.
+    """
+
+    count: int
+    mean_3d: float
+    rms_3d: float
+    max_3d: float
+    cep50: float
+    cep95: float
+    rms_horizontal: float
+    rms_vertical: float
+    mean_vertical_signed: float
+
+    @classmethod
+    def from_errors(cls, enu_errors: Sequence[Tuple[float, float, float]]) -> "ErrorStatistics":
+        """Build from per-epoch ``(east, north, up)`` error triples."""
+        if not enu_errors:
+            raise ConfigurationError("cannot summarize zero errors")
+        array = np.asarray(enu_errors, dtype=float)
+        if array.ndim != 2 or array.shape[1] != 3:
+            raise ConfigurationError("enu_errors must be a sequence of 3-tuples")
+        if not np.all(np.isfinite(array)):
+            raise ConfigurationError("enu_errors must be finite")
+
+        horizontal = np.hypot(array[:, 0], array[:, 1])
+        vertical = array[:, 2]
+        three_d = np.linalg.norm(array, axis=1)
+        return cls(
+            count=int(array.shape[0]),
+            mean_3d=float(np.mean(three_d)),
+            rms_3d=float(np.sqrt(np.mean(three_d**2))),
+            max_3d=float(np.max(three_d)),
+            cep50=float(np.percentile(horizontal, 50.0)),
+            cep95=float(np.percentile(horizontal, 95.0)),
+            rms_horizontal=float(np.sqrt(np.mean(horizontal**2))),
+            rms_vertical=float(np.sqrt(np.mean(vertical**2))),
+            mean_vertical_signed=float(np.mean(vertical)),
+        )
+
+    @classmethod
+    def from_fixes(
+        cls,
+        fixes: Iterable[PositionFix],
+        truth_position: np.ndarray,
+    ) -> "ErrorStatistics":
+        """Build from fixes against one static truth position."""
+        truth = require_shape("truth_position", truth_position, (3,))
+        errors: List[Tuple[float, float, float]] = [
+            enu_error(fix.position, truth) for fix in fixes
+        ]
+        return cls.from_errors(errors)
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} rms3d={self.rms_3d:.2f}m mean3d={self.mean_3d:.2f}m "
+            f"cep50={self.cep50:.2f}m cep95={self.cep95:.2f}m "
+            f"rmsH={self.rms_horizontal:.2f}m rmsV={self.rms_vertical:.2f}m"
+        )

@@ -1,0 +1,23 @@
+"""Geodetic substrate: WGS-84 ellipsoid and coordinate transforms."""
+
+from repro.geodesy.ellipsoid import Ellipsoid, WGS84
+from repro.geodesy.transforms import (
+    geodetic_to_ecef,
+    ecef_to_geodetic,
+    ecef_to_enu_matrix,
+    ecef_to_enu,
+    enu_to_ecef,
+)
+from repro.geodesy.angles import elevation_azimuth, elevation_angle
+
+__all__ = [
+    "Ellipsoid",
+    "WGS84",
+    "geodetic_to_ecef",
+    "ecef_to_geodetic",
+    "ecef_to_enu_matrix",
+    "ecef_to_enu",
+    "enu_to_ecef",
+    "elevation_azimuth",
+    "elevation_angle",
+]

@@ -1,0 +1,41 @@
+"""Line-of-sight geometry: elevation and azimuth of a satellite."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.geodesy.ellipsoid import Ellipsoid, WGS84
+from repro.geodesy.transforms import ecef_to_enu
+
+
+def elevation_azimuth(
+    satellite_ecef: np.ndarray,
+    receiver_ecef: np.ndarray,
+    ellipsoid: Ellipsoid = WGS84,
+) -> Tuple[float, float]:
+    """Elevation and azimuth (radians) of a satellite seen from a receiver.
+
+    Azimuth is measured clockwise from geodetic north, in ``[0, 2*pi)``.
+    Elevation is measured from the local horizontal plane, in
+    ``[-pi/2, pi/2]``; negative values mean the satellite is below the
+    horizon (occluded by the earth for a ground receiver).
+    """
+    enu = ecef_to_enu(satellite_ecef, receiver_ecef, ellipsoid)
+    east, north, up = enu
+    horizontal = math.hypot(east, north)
+    elevation = math.atan2(up, horizontal)
+    azimuth = math.atan2(east, north) % (2.0 * math.pi)
+    return elevation, azimuth
+
+
+def elevation_angle(
+    satellite_ecef: np.ndarray,
+    receiver_ecef: np.ndarray,
+    ellipsoid: Ellipsoid = WGS84,
+) -> float:
+    """Elevation only; convenience wrapper over :func:`elevation_azimuth`."""
+    elevation, _azimuth = elevation_azimuth(satellite_ecef, receiver_ecef, ellipsoid)
+    return elevation

@@ -1,0 +1,58 @@
+"""Reference ellipsoid definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import WGS84_FLATTENING, WGS84_SEMI_MAJOR_AXIS
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Ellipsoid:
+    """An oblate reference ellipsoid, described by ``a`` and ``f``.
+
+    Attributes
+    ----------
+    semi_major_axis:
+        Equatorial radius ``a`` in meters.
+    flattening:
+        Flattening ``f = (a - b) / a`` (dimensionless, ``0 <= f < 1``).
+    """
+
+    semi_major_axis: float
+    flattening: float
+
+    def __post_init__(self) -> None:
+        if self.semi_major_axis <= 0:
+            raise ConfigurationError("semi_major_axis must be positive")
+        if not 0.0 <= self.flattening < 1.0:
+            raise ConfigurationError("flattening must be in [0, 1)")
+
+    @property
+    def semi_minor_axis(self) -> float:
+        """Polar radius ``b = a (1 - f)`` in meters."""
+        return self.semi_major_axis * (1.0 - self.flattening)
+
+    @property
+    def eccentricity_squared(self) -> float:
+        """First eccentricity squared ``e^2 = f (2 - f)``."""
+        return self.flattening * (2.0 - self.flattening)
+
+    @property
+    def second_eccentricity_squared(self) -> float:
+        """Second eccentricity squared ``e'^2 = e^2 / (1 - e^2)``."""
+        e2 = self.eccentricity_squared
+        return e2 / (1.0 - e2)
+
+    def prime_vertical_radius(self, sin_latitude: float) -> float:
+        """Radius of curvature in the prime vertical, ``N(phi)``."""
+        e2 = self.eccentricity_squared
+        return self.semi_major_axis / (1.0 - e2 * sin_latitude * sin_latitude) ** 0.5
+
+
+#: The WGS-84 ellipsoid used throughout GPS processing.
+WGS84 = Ellipsoid(
+    semi_major_axis=WGS84_SEMI_MAJOR_AXIS,
+    flattening=WGS84_FLATTENING,
+)

@@ -1,0 +1,135 @@
+"""Coordinate transforms between ECEF, geodetic, and local ENU frames.
+
+The paper works exclusively in earth-centered earth-fixed (ECEF)
+coordinates (Table 5.1 lists station positions in ECEF), but the
+substrate needs geodetic coordinates for the atmospheric models and the
+elevation-mask visibility test, and local ENU for reporting
+horizontal/vertical error components.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.geodesy.ellipsoid import Ellipsoid, WGS84
+from repro.utils.validation import require_shape
+
+
+def geodetic_to_ecef(
+    latitude: float,
+    longitude: float,
+    height: float,
+    ellipsoid: Ellipsoid = WGS84,
+) -> np.ndarray:
+    """Convert geodetic coordinates to an ECEF vector.
+
+    Parameters
+    ----------
+    latitude, longitude:
+        Geodetic latitude and longitude in **radians**.
+    height:
+        Height above the ellipsoid in meters.
+
+    Returns
+    -------
+    numpy.ndarray
+        ECEF ``[x, y, z]`` in meters.
+    """
+    sin_lat = math.sin(latitude)
+    cos_lat = math.cos(latitude)
+    n = ellipsoid.prime_vertical_radius(sin_lat)
+    e2 = ellipsoid.eccentricity_squared
+    x = (n + height) * cos_lat * math.cos(longitude)
+    y = (n + height) * cos_lat * math.sin(longitude)
+    z = (n * (1.0 - e2) + height) * sin_lat
+    return np.array([x, y, z], dtype=float)
+
+
+def ecef_to_geodetic(
+    ecef: np.ndarray,
+    ellipsoid: Ellipsoid = WGS84,
+) -> Tuple[float, float, float]:
+    """Convert an ECEF vector to geodetic ``(latitude, longitude, height)``.
+
+    Uses Bowring's iteration, which converges to sub-millimeter height
+    accuracy in a handful of iterations everywhere on and near the earth
+    surface (and remains stable at GPS orbit altitude).
+
+    Returns
+    -------
+    tuple
+        ``(latitude_rad, longitude_rad, height_m)``.
+    """
+    vector = require_shape("ecef", ecef, (3,))
+    x, y, z = vector
+    longitude = math.atan2(y, x)
+    p = math.hypot(x, y)
+    e2 = ellipsoid.eccentricity_squared
+
+    if p < 1e-9:
+        # On the polar axis the longitude is arbitrary and the latitude
+        # is exactly +/- 90 degrees.
+        latitude = math.copysign(math.pi / 2.0, z)
+        height = abs(z) - ellipsoid.semi_minor_axis
+        return latitude, longitude, height
+
+    # Bowring's initial guess via the parametric latitude.
+    latitude = math.atan2(z, p * (1.0 - e2))
+    for _ in range(10):
+        sin_lat = math.sin(latitude)
+        n = ellipsoid.prime_vertical_radius(sin_lat)
+        height = p / math.cos(latitude) - n
+        new_latitude = math.atan2(z, p * (1.0 - e2 * n / (n + height)))
+        if abs(new_latitude - latitude) < 1e-14:
+            latitude = new_latitude
+            break
+        latitude = new_latitude
+
+    sin_lat = math.sin(latitude)
+    n = ellipsoid.prime_vertical_radius(sin_lat)
+    height = p / math.cos(latitude) - n
+    return latitude, longitude, height
+
+
+def ecef_to_enu_matrix(latitude: float, longitude: float) -> np.ndarray:
+    """Rotation matrix taking ECEF deltas into the local ENU frame
+    anchored at the given geodetic latitude/longitude (radians)."""
+    sin_lat, cos_lat = math.sin(latitude), math.cos(latitude)
+    sin_lon, cos_lon = math.sin(longitude), math.cos(longitude)
+    return np.array(
+        [
+            [-sin_lon, cos_lon, 0.0],
+            [-sin_lat * cos_lon, -sin_lat * sin_lon, cos_lat],
+            [cos_lat * cos_lon, cos_lat * sin_lon, sin_lat],
+        ],
+        dtype=float,
+    )
+
+
+def ecef_to_enu(
+    target_ecef: np.ndarray,
+    origin_ecef: np.ndarray,
+    ellipsoid: Ellipsoid = WGS84,
+) -> np.ndarray:
+    """Express ``target`` in the ENU frame anchored at ``origin`` (both ECEF)."""
+    target = require_shape("target_ecef", target_ecef, (3,))
+    origin = require_shape("origin_ecef", origin_ecef, (3,))
+    latitude, longitude, _height = ecef_to_geodetic(origin, ellipsoid)
+    rotation = ecef_to_enu_matrix(latitude, longitude)
+    return rotation @ (target - origin)
+
+
+def enu_to_ecef(
+    enu: np.ndarray,
+    origin_ecef: np.ndarray,
+    ellipsoid: Ellipsoid = WGS84,
+) -> np.ndarray:
+    """Inverse of :func:`ecef_to_enu`."""
+    local = require_shape("enu", enu, (3,))
+    origin = require_shape("origin_ecef", origin_ecef, (3,))
+    latitude, longitude, _height = ecef_to_geodetic(origin, ellipsoid)
+    rotation = ecef_to_enu_matrix(latitude, longitude)
+    return origin + rotation.T @ local

@@ -1,0 +1,31 @@
+"""Moving-receiver substrate.
+
+The paper's opening motivation: "in many application systems, the
+object to be positioned may move at a high speed.  It is then
+necessary to reduce the computation time overhead in order to provide
+real-time response for positioning requests."  This package supplies
+the moving objects: trajectory models, a kinematic observation
+generator (the moving-receiver counterpart of
+:class:`repro.stations.ObservationDataset`), and an alpha-beta
+tracking filter for smoothing fix streams.
+"""
+
+from repro.motion.trajectory import (
+    Trajectory,
+    StaticTrajectory,
+    LinearTrajectory,
+    GreatCircleTrajectory,
+    WaypointTrajectory,
+)
+from repro.motion.scenario import KinematicScenario
+from repro.motion.filters import AlphaBetaFilter
+
+__all__ = [
+    "Trajectory",
+    "StaticTrajectory",
+    "LinearTrajectory",
+    "GreatCircleTrajectory",
+    "WaypointTrajectory",
+    "KinematicScenario",
+    "AlphaBetaFilter",
+]

@@ -1,0 +1,93 @@
+"""Fix-stream smoothing for kinematic receivers."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+class AlphaBetaFilter:
+    """Per-axis alpha-beta tracker over a position fix stream.
+
+    The lightest useful dynamic filter: state is (position, velocity)
+    per ECEF axis; each update predicts forward and blends the
+    innovation with gains ``alpha`` (position) and ``beta`` (velocity).
+    For a vehicle with meter-level fixes at 1 Hz this cuts fix noise
+    roughly in half without the tuning burden of a full Kalman filter —
+    and at microseconds per update it preserves the latency budget the
+    paper's fast solvers create.
+
+    Parameters
+    ----------
+    alpha, beta:
+        Blend gains, ``0 < alpha < 1``, ``0 < beta <= 2(2-alpha)`` (the
+        stability region).
+    """
+
+    def __init__(self, alpha: float = 0.5, beta: float = 0.1) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError("alpha must be in (0, 1)")
+        if not 0.0 < beta <= 2.0 * (2.0 - alpha):
+            raise ConfigurationError("beta outside the alpha-beta stability region")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self._position: Optional[np.ndarray] = None
+        self._velocity = np.zeros(3)
+        self._last_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> Optional[np.ndarray]:
+        """Current smoothed position (copy), or ``None`` before updates."""
+        return None if self._position is None else self._position.copy()
+
+    @property
+    def velocity(self) -> np.ndarray:
+        """Current velocity estimate (copy)."""
+        return self._velocity.copy()
+
+    def reset(self) -> None:
+        """Forget all state."""
+        self._position = None
+        self._velocity = np.zeros(3)
+        self._last_time = None
+
+    # ------------------------------------------------------------------
+    def update(self, time: GpsTime, measured_position: np.ndarray) -> np.ndarray:
+        """Absorb one fix; returns the smoothed position."""
+        measurement = require_shape("measured_position", measured_position, (3,))
+        t = time.to_gps_seconds()
+
+        if self._position is None or self._last_time is None:
+            self._position = measurement.copy()
+            self._last_time = t
+            return measurement.copy()
+
+        dt = t - self._last_time
+        if dt < 0:
+            raise ConfigurationError("fixes must be fed in time order")
+        if dt == 0:
+            # Same-instant duplicate: blend position only.
+            self._position = self._position + self.alpha * (
+                measurement - self._position
+            )
+            return self._position.copy()
+
+        predicted = self._position + self._velocity * dt
+        innovation = measurement - predicted
+        self._position = predicted + self.alpha * innovation
+        self._velocity = self._velocity + (self.beta / dt) * innovation
+        self._last_time = t
+        return self._position.copy()
+
+    def predict(self, time: GpsTime) -> np.ndarray:
+        """Extrapolate the track to ``time`` without updating state."""
+        if self._position is None or self._last_time is None:
+            raise ConfigurationError("filter has no state yet; call update first")
+        dt = time.to_gps_seconds() - self._last_time
+        return self._position + self._velocity * dt

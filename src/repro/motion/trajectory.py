@@ -1,0 +1,151 @@
+"""Receiver trajectory models (truth paths for kinematic scenarios)."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geodesy import geodetic_to_ecef
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+class Trajectory(ABC):
+    """A receiver's true position as a function of GPS time."""
+
+    @abstractmethod
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        """True ECEF position (meters) at ``time``."""
+
+    def velocity_at(self, time: GpsTime, half_step: float = 0.5) -> np.ndarray:
+        """ECEF velocity (m/s) by symmetric differencing."""
+        before = self.position_at(time - half_step)
+        after = self.position_at(time + half_step)
+        return (after - before) / (2.0 * half_step)
+
+
+class StaticTrajectory(Trajectory):
+    """A receiver that does not move (a station)."""
+
+    def __init__(self, position_ecef: np.ndarray) -> None:
+        self._position = require_shape("position_ecef", position_ecef, (3,)).copy()
+
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        return self._position.copy()
+
+    def velocity_at(self, time: GpsTime, half_step: float = 0.5) -> np.ndarray:
+        return np.zeros(3)
+
+
+class LinearTrajectory(Trajectory):
+    """Constant-velocity motion in the ECEF frame.
+
+    Appropriate for short spans (seconds to minutes); over longer spans
+    a straight ECEF line leaves the earth's surface.
+    """
+
+    def __init__(
+        self,
+        start_position_ecef: np.ndarray,
+        velocity_ecef: np.ndarray,
+        epoch: GpsTime,
+    ) -> None:
+        self._start = require_shape("start_position_ecef", start_position_ecef, (3,)).copy()
+        self._velocity = require_shape("velocity_ecef", velocity_ecef, (3,)).copy()
+        self._epoch = epoch
+
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        dt = time.to_gps_seconds() - self._epoch.to_gps_seconds()
+        return self._start + self._velocity * dt
+
+    def velocity_at(self, time: GpsTime, half_step: float = 0.5) -> np.ndarray:
+        return self._velocity.copy()
+
+
+class GreatCircleTrajectory(Trajectory):
+    """Constant ground speed along a great circle at constant altitude.
+
+    The standard model for an aircraft leg: start point, initial true
+    heading (radians, clockwise from north), speed over ground, and
+    altitude above the ellipsoid.  Positions follow the exact
+    spherical great-circle propagation, then get the ellipsoidal
+    altitude re-applied.
+    """
+
+    #: Mean earth radius used for the spherical great-circle step (m).
+    _SPHERE_RADIUS = 6_371_000.0
+
+    def __init__(
+        self,
+        start_latitude: float,
+        start_longitude: float,
+        altitude_m: float,
+        heading: float,
+        speed_mps: float,
+        epoch: GpsTime,
+    ) -> None:
+        if speed_mps < 0:
+            raise ConfigurationError("speed_mps must be >= 0")
+        if not -math.pi / 2 <= start_latitude <= math.pi / 2:
+            raise ConfigurationError("start_latitude must be in [-pi/2, pi/2]")
+        self._lat0 = float(start_latitude)
+        self._lon0 = float(start_longitude)
+        self._altitude = float(altitude_m)
+        self._heading = float(heading)
+        self._speed = float(speed_mps)
+        self._epoch = epoch
+
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        dt = time.to_gps_seconds() - self._epoch.to_gps_seconds()
+        sigma = self._speed * dt / self._SPHERE_RADIUS  # angular distance
+        sin_lat0, cos_lat0 = math.sin(self._lat0), math.cos(self._lat0)
+        sin_sigma, cos_sigma = math.sin(sigma), math.cos(sigma)
+
+        sin_lat = sin_lat0 * cos_sigma + cos_lat0 * sin_sigma * math.cos(self._heading)
+        latitude = math.asin(max(-1.0, min(1.0, sin_lat)))
+        d_lon = math.atan2(
+            math.sin(self._heading) * sin_sigma * cos_lat0,
+            cos_sigma - sin_lat0 * sin_lat,
+        )
+        longitude = self._lon0 + d_lon
+        return geodetic_to_ecef(latitude, longitude, self._altitude)
+
+
+class WaypointTrajectory(Trajectory):
+    """Piecewise-linear interpolation through timed ECEF waypoints.
+
+    The workhorse for replaying recorded routes: pass
+    ``[(time, position), ...]`` in time order; positions between
+    waypoints interpolate linearly, and queries outside the span clamp
+    to the endpoints (the vehicle waits at its first/last fix).
+    """
+
+    def __init__(self, waypoints: Sequence[Tuple[GpsTime, np.ndarray]]) -> None:
+        if len(waypoints) < 2:
+            raise ConfigurationError("need at least two waypoints")
+        times: List[float] = []
+        points: List[np.ndarray] = []
+        for when, position in waypoints:
+            times.append(when.to_gps_seconds())
+            points.append(require_shape("waypoint position", position, (3,)).copy())
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigurationError("waypoints must be strictly increasing in time")
+        self._times = np.array(times)
+        self._points = np.stack(points)
+
+    def position_at(self, time: GpsTime) -> np.ndarray:
+        t = time.to_gps_seconds()
+        if t <= self._times[0]:
+            return self._points[0].copy()
+        if t >= self._times[-1]:
+            return self._points[-1].copy()
+        index = int(np.searchsorted(self._times, t) - 1)
+        span = self._times[index + 1] - self._times[index]
+        fraction = (t - self._times[index]) / span
+        return self._points[index] + fraction * (
+            self._points[index + 1] - self._points[index]
+        )

@@ -1,0 +1,207 @@
+"""The shared observation data model.
+
+Every layer of the library meets at these types: the signal simulator
+produces them, the RINEX code serializes them, the positioning
+algorithms consume them, and the evaluation harness compares their
+embedded truth against solver output.
+
+An :class:`ObservationEpoch` is exactly one "data item" of the paper's
+Section 5.2.1: all satellites visible at one second, each with its
+coordinates and (corrected) pseudorange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+
+@dataclass(frozen=True)
+class SatelliteObservation:
+    """One satellite's contribution to an epoch.
+
+    Attributes
+    ----------
+    prn:
+        Satellite PRN.
+    position:
+        Satellite ECEF position (meters) at signal transmit time,
+        expressed in the receive-instant ECEF frame — i.e. exactly the
+        ``(x_i, y_i, z_i)`` the paper's equations use.
+    pseudorange:
+        The measured, receiver-side-corrected pseudorange ``rho_e_i``
+        (meters).  Contains the receiver clock bias ``eps_R`` and the
+        residual satellite-dependent error ``eps_S_i``.
+    elevation, azimuth:
+        Line-of-sight angles (radians) from the receiver.
+    carrier_range:
+        Optional L1 carrier-phase measurement expressed in meters
+        (``lambda * phase``).  Millimeter-noise but carries an unknown
+        constant ambiguity per satellite pass; used by carrier
+        smoothing (Hatch filtering), ignored by the point solvers.
+    pseudorange_l2:
+        Optional second-frequency (L2) pseudorange (meters), corrected
+        like ``pseudorange``; enables the ionosphere-free combination.
+    range_rate:
+        Optional Doppler-derived range rate (m/s), satellite clock
+        drift already removed; consumed by the velocity solver.
+    velocity:
+        Optional satellite ECEF velocity (m/s) at transmit time,
+        computed receiver-side from the broadcast ephemeris; required
+        alongside ``range_rate`` for velocity estimation.
+    """
+
+    prn: int
+    position: np.ndarray
+    pseudorange: float
+    elevation: float = 0.0
+    azimuth: float = 0.0
+    carrier_range: Optional[float] = None
+    pseudorange_l2: Optional[float] = None
+    range_rate: Optional[float] = None
+    velocity: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        position = np.asarray(self.position, dtype=float)
+        if position.shape != (3,) or not np.all(np.isfinite(position)):
+            raise ConfigurationError("satellite position must be a finite 3-vector")
+        object.__setattr__(self, "position", position)
+        if not np.isfinite(self.pseudorange) or self.pseudorange <= 0:
+            raise ConfigurationError(
+                f"pseudorange must be a positive finite number, got {self.pseudorange}"
+            )
+        if self.carrier_range is not None and not np.isfinite(self.carrier_range):
+            raise ConfigurationError("carrier_range must be finite when present")
+        if self.pseudorange_l2 is not None and (
+            not np.isfinite(self.pseudorange_l2) or self.pseudorange_l2 <= 0
+        ):
+            raise ConfigurationError(
+                "pseudorange_l2 must be positive and finite when present"
+            )
+        if self.range_rate is not None and not np.isfinite(self.range_rate):
+            raise ConfigurationError("range_rate must be finite when present")
+        if self.velocity is not None:
+            velocity = np.asarray(self.velocity, dtype=float)
+            if velocity.shape != (3,) or not np.all(np.isfinite(velocity)):
+                raise ConfigurationError(
+                    "satellite velocity must be a finite 3-vector when present"
+                )
+            object.__setattr__(self, "velocity", velocity)
+
+
+@dataclass(frozen=True)
+class EpochTruth:
+    """Simulation ground truth attached to an epoch for evaluation.
+
+    Attributes
+    ----------
+    receiver_position:
+        True receiver ECEF position (meters).
+    clock_bias_meters:
+        True receiver clock bias ``eps_R`` expressed in meters
+        (``c * dt``).
+    """
+
+    receiver_position: np.ndarray
+    clock_bias_meters: float
+
+    def __post_init__(self) -> None:
+        position = np.asarray(self.receiver_position, dtype=float)
+        if position.shape != (3,) or not np.all(np.isfinite(position)):
+            raise ConfigurationError("receiver position must be a finite 3-vector")
+        object.__setattr__(self, "receiver_position", position)
+
+
+@dataclass(frozen=True)
+class ObservationEpoch:
+    """All satellite observations at one receive instant.
+
+    Observations are stored highest-elevation first (the order the
+    constellation reports them), so ``epoch.subset(m)`` deterministically
+    takes the *best* m satellites, while ``epoch.subset(m, order)`` can
+    impose any other choice.
+    """
+
+    time: GpsTime
+    observations: Tuple[SatelliteObservation, ...]
+    truth: Optional[EpochTruth] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        observations = tuple(self.observations)
+        if not observations:
+            raise ConfigurationError("an epoch must contain at least one observation")
+        prns = [obs.prn for obs in observations]
+        if len(set(prns)) != len(prns):
+            raise ConfigurationError(f"duplicate PRNs in epoch: {sorted(prns)}")
+        object.__setattr__(self, "observations", observations)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.observations)
+
+    def __iter__(self):
+        return iter(self.observations)
+
+    @property
+    def satellite_count(self) -> int:
+        """Number of satellites in this epoch."""
+        return len(self.observations)
+
+    @property
+    def prns(self) -> Tuple[int, ...]:
+        """PRNs in observation order."""
+        return tuple(obs.prn for obs in self.observations)
+
+    # ------------------------------------------------------------------
+    def satellite_positions(self) -> np.ndarray:
+        """``(m, 3)`` matrix of satellite ECEF positions."""
+        return np.array([obs.position for obs in self.observations])
+
+    def pseudoranges(self) -> np.ndarray:
+        """``(m,)`` vector of measured pseudoranges."""
+        return np.array([obs.pseudorange for obs in self.observations])
+
+    # ------------------------------------------------------------------
+    def subset(
+        self,
+        count: int,
+        order: Optional[Sequence[int]] = None,
+    ) -> "ObservationEpoch":
+        """A new epoch keeping only ``count`` observations.
+
+        Parameters
+        ----------
+        count:
+            How many observations to keep, ``1 <= count <= len(self)``.
+        order:
+            Optional permutation of observation indices to apply before
+            truncation; defaults to the stored (elevation-sorted) order.
+        """
+        if not 1 <= count <= len(self.observations):
+            raise ConfigurationError(
+                f"cannot take {count} observations from an epoch of "
+                f"{len(self.observations)}"
+            )
+        if order is None:
+            selected = self.observations[:count]
+        else:
+            indices = list(order)
+            if sorted(indices) != list(range(len(self.observations))):
+                raise ConfigurationError(
+                    "order must be a permutation of the observation indices"
+                )
+            selected = tuple(self.observations[i] for i in indices[:count])
+        return ObservationEpoch(time=self.time, observations=selected, truth=self.truth)
+
+    def with_observations(
+        self, observations: Iterable[SatelliteObservation]
+    ) -> "ObservationEpoch":
+        """A new epoch with the same time/truth but different observations."""
+        return ObservationEpoch(
+            time=self.time, observations=tuple(observations), truth=self.truth
+        )

@@ -1,0 +1,103 @@
+"""Classical Keplerian orbital elements and ECEF propagation.
+
+:class:`OrbitalElements` is the almanac-level description of a GPS
+orbit: a pure two-body ellipse whose ascending node drifts with earth
+rotation when expressed in ECEF.  The broadcast-ephemeris model in
+:mod:`repro.orbits.ephemeris` extends this with the IS-GPS-200
+perturbation corrections; this class is what the constellation builder
+starts from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import EARTH_GM, EARTH_ROTATION_RATE
+from repro.errors import ConfigurationError
+from repro.orbits.kepler import eccentric_to_true_anomaly, solve_kepler
+from repro.timebase import GpsTime
+
+
+@dataclass(frozen=True)
+class OrbitalElements:
+    """Keplerian elements referenced to an epoch on the GPS time scale.
+
+    Attributes
+    ----------
+    semi_major_axis:
+        Ellipse semi-major axis ``a`` in meters.
+    eccentricity:
+        Eccentricity ``e`` in ``[0, 1)``.
+    inclination:
+        Inclination ``i`` in radians.
+    raan:
+        Right ascension of the ascending node at the epoch, measured in
+        the ECEF frame (i.e. the geographic longitude of the node at
+        ``epoch``), radians.
+    argument_of_perigee:
+        Argument of perigee ``omega`` in radians.
+    mean_anomaly:
+        Mean anomaly ``M0`` at the epoch, radians.
+    epoch:
+        Reference instant the angular elements refer to.
+    """
+
+    semi_major_axis: float
+    eccentricity: float
+    inclination: float
+    raan: float
+    argument_of_perigee: float
+    mean_anomaly: float
+    epoch: GpsTime
+
+    def __post_init__(self) -> None:
+        if self.semi_major_axis <= 0:
+            raise ConfigurationError("semi_major_axis must be positive")
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ConfigurationError("eccentricity must be in [0, 1)")
+        if not 0.0 <= self.inclination <= math.pi:
+            raise ConfigurationError("inclination must be in [0, pi]")
+
+    @property
+    def mean_motion(self) -> float:
+        """Mean motion ``n = sqrt(GM / a^3)`` in rad/s."""
+        return math.sqrt(EARTH_GM / self.semi_major_axis**3)
+
+    @property
+    def orbital_period(self) -> float:
+        """Orbital period in seconds."""
+        return 2.0 * math.pi / self.mean_motion
+
+    def position_ecef(self, time: GpsTime) -> np.ndarray:
+        """Satellite ECEF position (meters) at ``time``.
+
+        The two-body orbit is propagated in an inertial frame and then
+        rotated into ECEF by letting the node longitude regress at the
+        earth rotation rate.
+        """
+        dt = time.to_gps_seconds() - self.epoch.to_gps_seconds()
+
+        mean_anomaly = self.mean_anomaly + self.mean_motion * dt
+        eccentric = solve_kepler(mean_anomaly, self.eccentricity)
+        true_anomaly = eccentric_to_true_anomaly(eccentric, self.eccentricity)
+
+        radius = self.semi_major_axis * (1.0 - self.eccentricity * math.cos(eccentric))
+        argument_of_latitude = true_anomaly + self.argument_of_perigee
+
+        # Position in the orbital plane.
+        x_plane = radius * math.cos(argument_of_latitude)
+        y_plane = radius * math.sin(argument_of_latitude)
+
+        # Node longitude in ECEF: fixed inertially, so it regresses at
+        # the earth rotation rate in the rotating frame.
+        node = self.raan - EARTH_ROTATION_RATE * dt
+        cos_node, sin_node = math.cos(node), math.sin(node)
+        cos_inc, sin_inc = math.cos(self.inclination), math.sin(self.inclination)
+
+        x = x_plane * cos_node - y_plane * cos_inc * sin_node
+        y = x_plane * sin_node + y_plane * cos_inc * cos_node
+        z = y_plane * sin_inc
+        return np.array([x, y, z], dtype=float)

@@ -1,0 +1,245 @@
+"""Broadcast ephemeris in the IS-GPS-200 parameterization.
+
+Real GPS receivers never see Keplerian elements directly; they decode a
+broadcast ephemeris whose sixteen parameters describe the orbit plus
+slowly varying perturbations (harmonic corrections, rates of the node
+and inclination) and a satellite clock polynomial.  The paper's data
+sets come from CORS stations whose RINEX navigation files carry exactly
+these parameters, so our simulator speaks the same language: the
+constellation generator emits :class:`BroadcastEphemeris` records, the
+RINEX writer serializes them, and both the signal simulator and any
+receiver-side consumer evaluate satellite positions through the single
+implementation below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.constants import EARTH_GM, EARTH_ROTATION_RATE, SECONDS_PER_WEEK
+from repro.errors import ConfigurationError, EphemerisError
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.kepler import solve_kepler, eccentric_to_true_anomaly
+from repro.timebase import GpsTime
+from repro.utils.mathutil import wrap_angle
+
+
+@dataclass(frozen=True)
+class BroadcastEphemeris:
+    """One satellite's broadcast ephemeris + clock model.
+
+    Field names follow IS-GPS-200 (and RINEX navigation files):
+
+    * ``sqrt_a`` — square root of the semi-major axis (m^0.5)
+    * ``eccentricity``, ``i0``, ``omega0``, ``omega``, ``m0`` — Keplerian
+      elements at the ephemeris reference time ``toe`` (``omega0`` is the
+      node longitude at the *week* epoch, per IS-GPS-200 convention)
+    * ``delta_n`` — mean-motion correction (rad/s)
+    * ``omega_dot`` — rate of right ascension (rad/s)
+    * ``idot`` — rate of inclination (rad/s)
+    * ``cuc, cus`` — argument-of-latitude harmonic corrections (rad)
+    * ``crc, crs`` — orbit-radius harmonic corrections (m)
+    * ``cic, cis`` — inclination harmonic corrections (rad)
+    * ``af0, af1, af2`` — clock bias (s), drift (s/s), drift rate (s/s^2)
+      relative to the clock reference time ``toc``
+    """
+
+    prn: int
+    toe: GpsTime
+    sqrt_a: float
+    eccentricity: float
+    i0: float
+    omega0: float
+    omega: float
+    m0: float
+    delta_n: float = 0.0
+    omega_dot: float = 0.0
+    idot: float = 0.0
+    cuc: float = 0.0
+    cus: float = 0.0
+    crc: float = 0.0
+    crs: float = 0.0
+    cic: float = 0.0
+    cis: float = 0.0
+    af0: float = 0.0
+    af1: float = 0.0
+    af2: float = 0.0
+    toc: GpsTime = None  # type: ignore[assignment]
+    fit_interval_seconds: float = 4.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.prn <= 63:
+            raise ConfigurationError(f"PRN must be in [1, 63], got {self.prn}")
+        if self.sqrt_a <= 0:
+            raise ConfigurationError("sqrt_a must be positive")
+        if not 0.0 <= self.eccentricity < 1.0:
+            raise ConfigurationError("eccentricity must be in [0, 1)")
+        if self.fit_interval_seconds <= 0:
+            raise ConfigurationError("fit_interval_seconds must be positive")
+        if self.toc is None:
+            object.__setattr__(self, "toc", self.toe)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_elements(
+        cls,
+        prn: int,
+        elements: OrbitalElements,
+        **overrides: float,
+    ) -> "BroadcastEphemeris":
+        """Build a (perturbation-free) broadcast ephemeris from classical
+        elements.
+
+        The resulting record reproduces ``elements.position_ecef`` exactly
+        when all correction terms are zero, which lets tests cross-check
+        the two propagators against each other.
+        """
+        # IS-GPS-200 defines omega0 as the node longitude at the start of
+        # the GPS week; OrbitalElements.raan is the node longitude at the
+        # element epoch.  Convert by adding back the earth rotation that
+        # accumulates between week start and toe.
+        omega0 = elements.raan + EARTH_ROTATION_RATE * elements.epoch.seconds_of_week
+        return cls(
+            prn=prn,
+            toe=elements.epoch,
+            sqrt_a=math.sqrt(elements.semi_major_axis),
+            eccentricity=elements.eccentricity,
+            i0=elements.inclination,
+            omega0=omega0,
+            omega=elements.argument_of_perigee,
+            m0=elements.mean_anomaly,
+            **overrides,
+        )
+
+    def with_clock(self, af0: float, af1: float = 0.0, af2: float = 0.0) -> "BroadcastEphemeris":
+        """Return a copy with the satellite clock polynomial replaced."""
+        return replace(self, af0=af0, af1=af1, af2=af2)
+
+    def advanced_to(self, new_toe: GpsTime) -> "BroadcastEphemeris":
+        """A fresh upload describing the same orbit from a later ``toe``.
+
+        This is what the control segment does every few hours: re-issue
+        the ephemeris with parameters referenced to a new epoch so user
+        equations always evaluate near the reference time (small
+        ``tk``), inside the fit interval.  The orbital elements are
+        advanced analytically (mean anomaly by the corrected mean
+        motion, node and inclination by their rates) and the clock
+        polynomial is re-expanded about the new ``toc``, so positions
+        and clock offsets from the old and new records agree to
+        numerical precision at any common instant.
+        """
+        a = self.sqrt_a * self.sqrt_a
+        n = math.sqrt(EARTH_GM / a**3) + self.delta_n
+        dt = new_toe.to_gps_seconds() - self.toe.to_gps_seconds()
+        dt_clock = new_toe.to_gps_seconds() - self.toc.to_gps_seconds()
+
+        # IS-GPS-200's omega0 is referenced to the start of the *week*
+        # of toe, so crossing a week boundary shifts the reference by a
+        # full week of earth rotation per week crossed.  Matching the
+        # node term omega0 + (omega_dot - w_e) tk - w_e toe_sow between
+        # the old and new parameterizations gives
+        # omega0' = omega0 + omega_dot dt - w_e * week_shift.
+        week_shift = (new_toe.week - self.toe.week) * SECONDS_PER_WEEK
+        new_omega0 = (
+            self.omega0
+            + self.omega_dot * dt
+            - EARTH_ROTATION_RATE * week_shift
+        )
+        return replace(
+            self,
+            toe=new_toe,
+            toc=new_toe,
+            m0=wrap_angle(self.m0 + n * dt),
+            omega0=wrap_angle(new_omega0),
+            i0=self.i0 + self.idot * dt,
+            af0=self.af0 + self.af1 * dt_clock + self.af2 * dt_clock * dt_clock,
+            af1=self.af1 + 2.0 * self.af2 * dt_clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def time_from_toe(self, time: GpsTime) -> float:
+        """Seconds from the ephemeris reference time, week-wrapped."""
+        return time.time_of_week_difference(self.toe)
+
+    def is_valid_at(self, time: GpsTime) -> bool:
+        """Whether ``time`` falls inside the ephemeris fit interval."""
+        return abs(self.time_from_toe(time)) <= self.fit_interval_seconds
+
+    def satellite_position(self, time: GpsTime, strict: bool = False) -> np.ndarray:
+        """Satellite ECEF position (meters) at GPS time ``time``.
+
+        Implements the IS-GPS-200 user algorithm.  With ``strict=True``
+        an :class:`EphemerisError` is raised outside the fit interval,
+        mirroring receivers that refuse stale ephemerides.
+        """
+        if strict and not self.is_valid_at(time):
+            raise EphemerisError(
+                f"ephemeris for PRN {self.prn} is stale at {time} "
+                f"(fit interval {self.fit_interval_seconds} s around {self.toe})"
+            )
+
+        a = self.sqrt_a * self.sqrt_a
+        n0 = math.sqrt(EARTH_GM / a**3)
+        tk = self.time_from_toe(time)
+
+        n = n0 + self.delta_n
+        mk = self.m0 + n * tk
+        ek = solve_kepler(mk, self.eccentricity)
+        vk = eccentric_to_true_anomaly(ek, self.eccentricity)
+
+        phi = vk + self.omega  # argument of latitude
+        sin_2phi, cos_2phi = math.sin(2.0 * phi), math.cos(2.0 * phi)
+
+        delta_u = self.cus * sin_2phi + self.cuc * cos_2phi
+        delta_r = self.crs * sin_2phi + self.crc * cos_2phi
+        delta_i = self.cis * sin_2phi + self.cic * cos_2phi
+
+        u = phi + delta_u
+        r = a * (1.0 - self.eccentricity * math.cos(ek)) + delta_r
+        i = self.i0 + delta_i + self.idot * tk
+
+        x_plane = r * math.cos(u)
+        y_plane = r * math.sin(u)
+
+        # Corrected longitude of ascending node, in the rotating frame.
+        node = (
+            self.omega0
+            + (self.omega_dot - EARTH_ROTATION_RATE) * tk
+            - EARTH_ROTATION_RATE * self.toe.seconds_of_week
+        )
+        cos_node, sin_node = math.cos(node), math.sin(node)
+        cos_i, sin_i = math.cos(i), math.sin(i)
+
+        x = x_plane * cos_node - y_plane * cos_i * sin_node
+        y = x_plane * sin_node + y_plane * cos_i * cos_node
+        z = y_plane * sin_i
+        return np.array([x, y, z], dtype=float)
+
+    def satellite_velocity(self, time: GpsTime, half_step: float = 0.5) -> np.ndarray:
+        """Satellite ECEF velocity (m/s) by symmetric differencing.
+
+        Sufficiently accurate (<< 1 mm/s error) for visibility and
+        Doppler bookkeeping; the positioning algorithms themselves never
+        need velocity.
+        """
+        before = self.satellite_position(time - half_step)
+        after = self.satellite_position(time + half_step)
+        return (after - before) / (2.0 * half_step)
+
+    def satellite_clock_offset(self, time: GpsTime) -> float:
+        """Satellite clock offset (seconds, positive = clock fast) at ``time``.
+
+        Evaluates the broadcast polynomial ``af0 + af1 dt + af2 dt^2``
+        relative to the clock reference time.  Relativistic eccentricity
+        correction is handled by the signal simulator, not here, to keep
+        this a pure polynomial like the broadcast message.
+        """
+        dt = time.time_of_week_difference(self.toc)
+        return self.af0 + self.af1 * dt + self.af2 * dt * dt

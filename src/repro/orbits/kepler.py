@@ -1,0 +1,81 @@
+"""Kepler's equation and anomaly conversions.
+
+Kepler's equation ``M = E - e sin(E)`` relates the mean anomaly ``M``
+(linear in time) to the eccentric anomaly ``E`` (geometric position on
+the ellipse).  Broadcast-ephemeris evaluation solves it once per
+satellite position, so the solver below is written to converge in a few
+iterations for the near-circular GPS orbits (e < 0.03) while remaining
+robust for any eccentricity in ``[0, 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.utils.mathutil import wrap_angle
+
+
+def solve_kepler(
+    mean_anomaly: float,
+    eccentricity: float,
+    tolerance: float = 1e-13,
+    max_iterations: int = 50,
+) -> float:
+    """Solve Kepler's equation for the eccentric anomaly ``E``.
+
+    Parameters
+    ----------
+    mean_anomaly:
+        Mean anomaly ``M`` in radians (any value; wrapped internally).
+    eccentricity:
+        Orbital eccentricity ``e``, ``0 <= e < 1``.
+    tolerance:
+        Convergence threshold on ``|E - e sin(E) - M|`` in radians.
+    max_iterations:
+        Iteration budget before raising :class:`ConvergenceError`.
+
+    Returns
+    -------
+    float
+        Eccentric anomaly in radians, wrapped into ``(-pi, pi]``.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ConfigurationError(
+            f"eccentricity must be in [0, 1) for an elliptical orbit, got {eccentricity}"
+        )
+    m = wrap_angle(mean_anomaly)
+
+    # Newton iteration with a starting guess that is known to make the
+    # iteration globally convergent for elliptic orbits.
+    e = eccentricity
+    if e < 0.8:
+        eccentric = m
+    else:
+        eccentric = math.pi if m >= 0 else -math.pi
+
+    for _iteration in range(max_iterations):
+        f = eccentric - e * math.sin(eccentric) - m
+        if abs(f) < tolerance:
+            return wrap_angle(eccentric)
+        f_prime = 1.0 - e * math.cos(eccentric)
+        eccentric -= f / f_prime
+
+    raise ConvergenceError(
+        f"Kepler solver did not converge for M={mean_anomaly}, e={eccentricity}",
+        iterations=max_iterations,
+    )
+
+
+def eccentric_to_true_anomaly(eccentric_anomaly: float, eccentricity: float) -> float:
+    """Convert eccentric anomaly to true anomaly (both radians).
+
+    Uses the half-angle form, which is numerically well behaved near
+    both apsides.
+    """
+    if not 0.0 <= eccentricity < 1.0:
+        raise ConfigurationError(
+            f"eccentricity must be in [0, 1), got {eccentricity}"
+        )
+    factor = math.sqrt((1.0 + eccentricity) / (1.0 - eccentricity))
+    return wrap_angle(2.0 * math.atan(factor * math.tan(eccentric_anomaly / 2.0)))

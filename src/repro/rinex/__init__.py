@@ -1,0 +1,42 @@
+"""RINEX 2.11 layer: the file format the paper's data sets arrive in.
+
+The paper downloads CORS observation data — RINEX observation files
+(pseudoranges) plus navigation files (broadcast ephemerides).  Our
+substitute pipeline emits the same two files from the simulator and
+reads them back through an independent parser, so the code path a real
+deployment would exercise (files in, epochs out) is covered end to end:
+
+* :func:`write_observation_file` / :func:`read_observation_file` —
+  L1 C/A pseudoranges (the ``C1`` observable of Table 5.1).
+* :func:`write_navigation_file` / :func:`read_navigation_file` —
+  broadcast ephemeris records.
+* :func:`reconstruct_epochs` — the receiver-style join: evaluate the
+  navigation ephemerides at the signal transmit times implied by the
+  observation records to recover per-epoch satellite coordinates.
+"""
+
+from repro.rinex.types import (
+    ObservationHeader,
+    ObservationRecord,
+    ObservationData,
+    gps_to_calendar,
+    calendar_to_gps,
+)
+from repro.rinex.obs_writer import write_observation_file
+from repro.rinex.obs_reader import read_observation_file
+from repro.rinex.nav_writer import write_navigation_file
+from repro.rinex.nav_reader import read_navigation_file
+from repro.rinex.reconstruct import reconstruct_epochs
+
+__all__ = [
+    "ObservationHeader",
+    "ObservationRecord",
+    "ObservationData",
+    "gps_to_calendar",
+    "calendar_to_gps",
+    "write_observation_file",
+    "read_observation_file",
+    "write_navigation_file",
+    "read_navigation_file",
+    "reconstruct_epochs",
+]

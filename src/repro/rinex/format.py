@@ -1,0 +1,47 @@
+"""Low-level RINEX field formatting helpers.
+
+RINEX is a fixed-column FORTRAN-era format: floats use ``D`` exponent
+markers in navigation files and ``F14.3`` fields in observation files,
+and header labels live in columns 61-80.  Centralizing the formatting
+keeps the writers readable and gives the parsers one place to match.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RinexError
+
+#: Total line width for header lines (label starts at column 61).
+HEADER_LABEL_COLUMN = 60
+
+
+def header_line(content: str, label: str) -> str:
+    """Compose a RINEX header line: 60 columns of content + label."""
+    if len(content) > HEADER_LABEL_COLUMN:
+        raise RinexError(
+            f"header content for {label!r} exceeds 60 columns: {content!r}"
+        )
+    return f"{content:<60}{label}"
+
+
+def fortran_double(value: float, width: int = 19, decimals: int = 12) -> str:
+    """Format a float in FORTRAN ``D19.12`` style: `` x.xxxxxxxxxxxxD+xx``."""
+    text = f"{value:{width}.{decimals}E}"
+    return text.replace("E", "D")
+
+
+def parse_fortran_double(text: str) -> float:
+    """Parse a ``D``-exponent float (also accepts ``E`` and plain floats)."""
+    cleaned = text.strip().replace("D", "E").replace("d", "E")
+    if not cleaned:
+        return 0.0
+    try:
+        return float(cleaned)
+    except ValueError as exc:
+        raise RinexError(f"malformed RINEX float field: {text!r}") from exc
+
+
+def observation_value(value: float) -> str:
+    """Format an observable as RINEX ``F14.3`` plus blank LLI/SSI flags."""
+    if abs(value) >= 1e10:
+        raise RinexError(f"observable {value} does not fit in an F14.3 field")
+    return f"{value:14.3f}  "

@@ -1,0 +1,110 @@
+"""RINEX 2.11 GPS navigation file parser."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import RinexError
+from repro.orbits.ephemeris import BroadcastEphemeris
+from repro.rinex.format import parse_fortran_double
+from repro.rinex.types import calendar_to_gps
+from repro.timebase import GpsTime
+
+
+def read_navigation_file(path: Union[str, Path]) -> List[BroadcastEphemeris]:
+    """Parse a RINEX 2.11 GPS navigation file into ephemerides."""
+    lines = Path(path).read_text().splitlines()
+    body_start = _skip_header(lines)
+
+    ephemerides: List[BroadcastEphemeris] = []
+    index = body_start
+    while index < len(lines):
+        if not lines[index].strip():
+            index += 1
+            continue
+        if index + 7 >= len(lines):
+            raise RinexError(
+                f"navigation record starting at line {index + 1} is truncated"
+            )
+        ephemerides.append(_parse_record(lines[index : index + 8], index))
+        index += 8
+    return ephemerides
+
+
+def _skip_header(lines: List[str]) -> int:
+    for index, line in enumerate(lines):
+        label = line[60:].strip()
+        if index == 0:
+            if "N" not in line[:40].upper() or not line[:9].strip().startswith("2"):
+                raise RinexError("not a RINEX 2.x GPS navigation file")
+        if label == "END OF HEADER":
+            return index + 1
+    raise RinexError("navigation file has no END OF HEADER")
+
+
+def _parse_record(record: List[str], start_line: int) -> BroadcastEphemeris:
+    line0 = record[0]
+    try:
+        prn = int(line0[0:2])
+        year = int(line0[3:5])
+        month = int(line0[6:8])
+        day = int(line0[9:11])
+        hour = int(line0[12:14])
+        minute = int(line0[15:17])
+        second = float(line0[17:22])
+    except (ValueError, IndexError) as exc:
+        raise RinexError(
+            f"malformed navigation epoch line {start_line + 1}: {line0!r}"
+        ) from exc
+    full_year = 1900 + year if year >= 80 else 2000 + year
+    toc = calendar_to_gps(full_year, month, day, hour, minute, second)
+
+    af0 = parse_fortran_double(line0[22:41])
+    af1 = parse_fortran_double(line0[41:60])
+    af2 = parse_fortran_double(line0[60:79])
+
+    fields = []
+    for offset, line in enumerate(record[1:], start=1):
+        for slot in range(4):
+            fields.append(parse_fortran_double(line[3 + slot * 19 : 3 + (slot + 1) * 19]))
+    if len(fields) != 28:
+        raise RinexError(
+            f"navigation record at line {start_line + 1} has {len(fields)} orbit fields"
+        )
+
+    (
+        _iode, crs, delta_n, m0,
+        cuc, eccentricity, cus, sqrt_a,
+        toe_sow, cic, omega0, cis,
+        i0, crc, omega, omega_dot,
+        idot, _codes_l2, week, _l2p,
+        _accuracy, _health, _tgd, _iodc,
+        _transmit_time, fit_hours, _spare1, _spare2,
+    ) = fields
+
+    toe = GpsTime(week=int(week), seconds_of_week=toe_sow)
+    return BroadcastEphemeris(
+        prn=prn,
+        toe=toe,
+        sqrt_a=sqrt_a,
+        eccentricity=eccentricity,
+        i0=i0,
+        omega0=omega0,
+        omega=omega,
+        m0=m0,
+        delta_n=delta_n,
+        omega_dot=omega_dot,
+        idot=idot,
+        cuc=cuc,
+        cus=cus,
+        crc=crc,
+        crs=crs,
+        cic=cic,
+        cis=cis,
+        af0=af0,
+        af1=af1,
+        af2=af2,
+        toc=toc,
+        fit_interval_seconds=(fit_hours if fit_hours > 0 else 4.0) * 3600.0,
+    )

@@ -1,0 +1,58 @@
+"""RINEX 2.11 GPS navigation file writer."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.errors import RinexError
+from repro.orbits.ephemeris import BroadcastEphemeris
+from repro.rinex.format import fortran_double, header_line
+from repro.rinex.types import gps_to_calendar
+
+
+def write_navigation_file(
+    path: Union[str, Path],
+    ephemerides: Iterable[BroadcastEphemeris],
+) -> int:
+    """Write broadcast ephemerides as a RINEX 2.11 navigation file.
+
+    Returns the number of ephemeris records written.
+    """
+    lines = [
+        header_line(
+            f"{'2.11':>9}{'':11}{'N: GPS NAV DATA':<40}", "RINEX VERSION / TYPE"
+        ),
+        header_line(f"{'repro':<20}{'repro-simulator':<20}{'':20}", "PGM / RUN BY / DATE"),
+        header_line("", "END OF HEADER"),
+    ]
+
+    count = 0
+    for ephemeris in ephemerides:
+        lines.extend(_record_lines(ephemeris))
+        count += 1
+    if count == 0:
+        raise RinexError("refusing to write a navigation file with no ephemerides")
+
+    Path(path).write_text("\n".join(lines) + "\n")
+    return count
+
+
+def _record_lines(eph: BroadcastEphemeris):
+    year, month, day, hour, minute, second = gps_to_calendar(eph.toc)
+    d = fortran_double
+    # Line 0: PRN / toc / clock polynomial.
+    yield (
+        f"{eph.prn:2d} {year % 100:02d} {month:2d} {day:2d} {hour:2d} {minute:2d}"
+        f"{second:5.1f}{d(eph.af0)}{d(eph.af1)}{d(eph.af2)}"
+    )
+    # Orbit lines 1..7, four D19.12 fields each, 3-space indent.
+    indent = "   "
+    iode = 0.0
+    yield indent + d(iode) + d(eph.crs) + d(eph.delta_n) + d(eph.m0)
+    yield indent + d(eph.cuc) + d(eph.eccentricity) + d(eph.cus) + d(eph.sqrt_a)
+    yield indent + d(eph.toe.seconds_of_week) + d(eph.cic) + d(eph.omega0) + d(eph.cis)
+    yield indent + d(eph.i0) + d(eph.crc) + d(eph.omega) + d(eph.omega_dot)
+    yield indent + d(eph.idot) + d(0.0) + d(float(eph.toe.week)) + d(0.0)
+    yield indent + d(2.0) + d(0.0) + d(0.0) + d(float(iode))
+    yield indent + d(eph.toe.seconds_of_week) + d(eph.fit_interval_seconds / 3600.0) + d(0.0) + d(0.0)

@@ -1,0 +1,190 @@
+"""RINEX 2.11 observation file parser (GPS, code observables)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import RinexError
+from repro.rinex.types import (
+    ObservationData,
+    ObservationHeader,
+    ObservationRecord,
+    calendar_to_gps,
+)
+
+_SATS_PER_EPOCH_LINE = 12
+
+
+def read_observation_file(path: Union[str, Path]) -> ObservationData:
+    """Parse a RINEX 2.11 observation file.
+
+    Supports the GPS/C1 subset the library writes plus tolerant
+    handling of blank lines.  Raises :class:`RinexError` with the
+    offending line number on malformed input.
+    """
+    lines = Path(path).read_text().splitlines()
+    header, body_start = _parse_header(lines)
+    records = _parse_records(lines, body_start, header)
+    return ObservationData(header=header, records=records)
+
+
+# ----------------------------------------------------------------------
+# Header
+# ----------------------------------------------------------------------
+def _parse_header(lines: List[str]) -> Tuple[ObservationHeader, int]:
+    marker_name: Optional[str] = None
+    approx: Optional[Tuple[float, float, float]] = None
+    interval = 1.0
+    types: Tuple[str, ...] = ()
+
+    for index, line in enumerate(lines):
+        label = line[60:].strip()
+        content = line[:60]
+        if label == "RINEX VERSION / TYPE":
+            version = content[:9].strip()
+            if not version.startswith("2"):
+                raise RinexError(f"unsupported RINEX version {version!r}")
+            if "OBSERVATION" not in content:
+                raise RinexError("not an observation file")
+        elif label == "MARKER NAME":
+            marker_name = content.strip()
+        elif label == "APPROX POSITION XYZ":
+            parts = content.split()
+            if len(parts) != 3:
+                raise RinexError(f"malformed APPROX POSITION XYZ at line {index + 1}")
+            try:
+                approx = (float(parts[0]), float(parts[1]), float(parts[2]))
+            except ValueError as exc:
+                raise RinexError(
+                    f"malformed APPROX POSITION XYZ at line {index + 1}"
+                ) from exc
+        elif label == "INTERVAL":
+            parts = content.split()
+            try:
+                interval = float(parts[0])
+            except (IndexError, ValueError) as exc:
+                raise RinexError(f"malformed INTERVAL at line {index + 1}") from exc
+        elif label == "# / TYPES OF OBSERV":
+            parts = content.split()
+            try:
+                count = int(parts[0])
+            except (IndexError, ValueError) as exc:
+                raise RinexError(
+                    f"malformed # / TYPES OF OBSERV at line {index + 1}"
+                ) from exc
+            types = tuple(parts[1 : 1 + count])
+            if len(types) != count:
+                raise RinexError(
+                    f"TYPES OF OBSERV announces {count} codes, lists {len(types)}"
+                )
+        elif label == "END OF HEADER":
+            if marker_name is None or approx is None or not types:
+                raise RinexError(
+                    "observation header missing MARKER NAME, APPROX POSITION "
+                    "XYZ, or # / TYPES OF OBSERV"
+                )
+            header = ObservationHeader(
+                marker_name=marker_name,
+                approx_position=approx,
+                interval=interval,
+                observation_types=types,
+            )
+            return header, index + 1
+
+    raise RinexError("observation file has no END OF HEADER")
+
+
+# ----------------------------------------------------------------------
+# Body
+# ----------------------------------------------------------------------
+def _parse_records(
+    lines: List[str], start: int, header: ObservationHeader
+) -> List[ObservationRecord]:
+    records: List[ObservationRecord] = []
+    index = start
+    type_count = len(header.observation_types)
+
+    while index < len(lines):
+        line = lines[index]
+        if not line.strip():
+            index += 1
+            continue
+
+        time, prns, index = _parse_epoch_line(lines, index)
+        observables: Dict[int, Dict[str, float]] = {}
+        for prn in prns:
+            if index >= len(lines):
+                raise RinexError(
+                    f"file truncated: missing observation line for PRN {prn}"
+                )
+            values = _parse_observation_line(lines[index], type_count, index)
+            observables[prn] = dict(zip(header.observation_types, values))
+            index += 1
+        records.append(ObservationRecord(time=time, observables=observables))
+
+    return records
+
+
+def _parse_epoch_line(lines: List[str], index: int):
+    line = lines[index]
+    try:
+        year = int(line[1:3])
+        month = int(line[4:6])
+        day = int(line[7:9])
+        hour = int(line[10:12])
+        minute = int(line[13:15])
+        second = float(line[15:26])
+        flag = int(line[26:29])
+        count = int(line[29:32])
+    except (ValueError, IndexError) as exc:
+        raise RinexError(f"malformed epoch line {index + 1}: {line!r}") from exc
+    if flag != 0:
+        raise RinexError(f"epoch flag {flag} at line {index + 1} not supported")
+
+    # Two-digit years: RINEX 2 convention (80-99 -> 1900s, else 2000s).
+    full_year = 1900 + year if year >= 80 else 2000 + year
+    time = calendar_to_gps(full_year, month, day, hour, minute, second)
+
+    prns: List[int] = []
+    field = line[32:]
+    index += 1
+    while True:
+        for offset in range(0, min(len(field), 3 * _SATS_PER_EPOCH_LINE), 3):
+            token = field[offset : offset + 3]
+            if not token.strip():
+                continue
+            system, number = token[0], token[1:]
+            if system not in ("G", " "):
+                raise RinexError(f"unsupported satellite system {token!r}")
+            try:
+                prns.append(int(number))
+            except ValueError as exc:
+                raise RinexError(f"malformed satellite token {token!r}") from exc
+        if len(prns) >= count:
+            break
+        if index >= len(lines):
+            raise RinexError("file truncated inside an epoch satellite list")
+        field = lines[index][32:]
+        index += 1
+
+    if len(prns) != count:
+        raise RinexError(
+            f"epoch announces {count} satellites but lists {len(prns)}"
+        )
+    return time, prns, index
+
+
+def _parse_observation_line(line: str, type_count: int, index: int) -> List[float]:
+    values: List[float] = []
+    for slot in range(type_count):
+        field = line[slot * 16 : slot * 16 + 14]
+        if not field.strip():
+            raise RinexError(f"missing observable at line {index + 1}")
+        try:
+            values.append(float(field))
+        except ValueError as exc:
+            raise RinexError(
+                f"malformed observable {field!r} at line {index + 1}"
+            ) from exc
+    return values

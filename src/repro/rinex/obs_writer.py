@@ -1,0 +1,103 @@
+"""RINEX 2.11 observation file writer (GPS; C1 and optional L1)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.constants import L1_WAVELENGTH
+from repro.errors import RinexError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.rinex.format import header_line, observation_value
+from repro.rinex.types import ObservationHeader, gps_to_calendar
+
+#: Satellites per epoch-line before continuation lines are needed.
+_SATS_PER_EPOCH_LINE = 12
+
+#: Observable sets the writer knows how to emit.
+_SUPPORTED_TYPE_SETS = (("C1",), ("C1", "L1"))
+
+
+def write_observation_file(
+    path: Union[str, Path],
+    header: ObservationHeader,
+    epochs: Iterable[ObservationEpoch],
+) -> int:
+    """Write epochs as a RINEX 2.11 observation file.
+
+    Supports the ``C1`` code pseudorange (L1 C/A — Table 5.1's "all
+    measurements are based on the L1 signal") and, when the header
+    lists it, the ``L1`` carrier phase in cycles.
+
+    Returns the number of epoch records written.
+    """
+    if header.observation_types not in _SUPPORTED_TYPE_SETS:
+        raise RinexError(
+            f"the writer supports observation types {_SUPPORTED_TYPE_SETS}; "
+            f"got {header.observation_types!r}"
+        )
+
+    lines = list(_header_lines(header))
+    count = 0
+    for epoch in epochs:
+        lines.extend(_epoch_lines(epoch, header.observation_types))
+        count += 1
+    if count == 0:
+        raise RinexError("refusing to write an observation file with no epochs")
+
+    Path(path).write_text("\n".join(lines) + "\n")
+    return count
+
+
+def _header_lines(header: ObservationHeader):
+    yield header_line(
+        f"{'2.11':>9}{'':11}{'OBSERVATION DATA':<20}{'G (GPS)':<20}",
+        "RINEX VERSION / TYPE",
+    )
+    yield header_line(
+        f"{'repro':<20}{'repro-simulator':<20}{'':20}", "PGM / RUN BY / DATE"
+    )
+    yield header_line(f"{header.marker_name:<60}"[:60], "MARKER NAME")
+    x, y, z = header.approx_position
+    yield header_line(f"{x:14.4f}{y:14.4f}{z:14.4f}", "APPROX POSITION XYZ")
+    yield header_line(f"{0.0:14.4f}{0.0:14.4f}{0.0:14.4f}", "ANTENNA: DELTA H/E/N")
+    yield header_line(f"{1:>6}{1:>6}{0:>6}", "WAVELENGTH FACT L1/2")
+    types = "".join(f"{code:>6}" for code in header.observation_types)
+    yield header_line(f"{len(header.observation_types):>6}{types}", "# / TYPES OF OBSERV")
+    yield header_line(f"{header.interval:10.3f}", "INTERVAL")
+    yield header_line("", "END OF HEADER")
+
+
+def _epoch_lines(epoch: ObservationEpoch, types):
+    year, month, day, hour, minute, second = gps_to_calendar(epoch.time)
+    prns = [obs.prn for obs in epoch.observations]
+    if any(not 1 <= prn <= 99 for prn in prns):
+        raise RinexError(f"PRN out of RINEX range in epoch: {prns}")
+
+    satellite_field = "".join(f"G{prn:02d}" for prn in prns[:_SATS_PER_EPOCH_LINE])
+    yield (
+        f" {year % 100:02d} {month:2d} {day:2d} {hour:2d} {minute:2d}"
+        f"{second:11.7f}  0{len(prns):3d}{satellite_field}"
+    )
+    # Continuation lines for epochs with more than 12 satellites.
+    for start in range(_SATS_PER_EPOCH_LINE, len(prns), _SATS_PER_EPOCH_LINE):
+        chunk = prns[start : start + _SATS_PER_EPOCH_LINE]
+        yield " " * 32 + "".join(f"G{prn:02d}" for prn in chunk)
+
+    for obs in epoch.observations:
+        yield "".join(
+            observation_value(_observable_value(obs, code)) for code in types
+        ).rstrip()
+
+
+def _observable_value(obs: SatelliteObservation, code: str) -> float:
+    if code == "C1":
+        return obs.pseudorange
+    if code == "L1":
+        if obs.carrier_range is None:
+            raise RinexError(
+                f"epoch observation for PRN {obs.prn} has no carrier phase "
+                "but the header announces L1"
+            )
+        return obs.carrier_range / L1_WAVELENGTH  # RINEX phase is in cycles
+    raise RinexError(f"unsupported observable code {code!r}")

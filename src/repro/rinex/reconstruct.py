@@ -1,0 +1,119 @@
+"""Rebuild solver-ready epochs from parsed RINEX files.
+
+This is the receiver-style join the paper's experiments performed on
+CORS data: observation records carry (time, PRN, pseudorange); the
+satellite coordinates come from evaluating the navigation ephemerides
+at the signal *transmit* time, which the receiver infers from the
+pseudorange itself (``tau ~= rho / c``), with the Sagnac frame rotation
+applied.  The result is the exact ``(satellite coordinates,
+pseudorange)`` tuples the positioning equations (3-2..3-4) consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.constants import L1_WAVELENGTH, SPEED_OF_LIGHT
+from repro.errors import RinexError
+from repro.geodesy import elevation_azimuth
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.orbits.ephemeris import BroadcastEphemeris
+from repro.rinex.types import ObservationData
+from repro.signals.sagnac import sagnac_rotation
+
+
+def reconstruct_epochs(
+    observation_data: ObservationData,
+    ephemerides: List[BroadcastEphemeris],
+    observable: str = "C1",
+    min_satellites: int = 4,
+    receiver_hint: Optional[np.ndarray] = None,
+) -> List[ObservationEpoch]:
+    """Join observation records with navigation data into epochs.
+
+    Parameters
+    ----------
+    observation_data:
+        Parsed observation file.
+    ephemerides:
+        Parsed navigation file (latest record wins per PRN).
+    observable:
+        Which code observable carries the pseudorange.
+    min_satellites:
+        Records with fewer usable satellites are skipped (a real
+        processing chain logs and drops them too).
+    receiver_hint:
+        Optional approximate receiver position used to attach
+        elevation/azimuth to the observations; defaults to the
+        observation header's APPROX POSITION XYZ.
+
+    Returns
+    -------
+    list of ObservationEpoch
+        Epochs ordered as in the file, each observation carrying the
+        transmit-time satellite position in the receive-time frame.
+    """
+    if observable not in observation_data.header.observation_types:
+        raise RinexError(
+            f"observable {observable!r} not in file types "
+            f"{observation_data.header.observation_types}"
+        )
+
+    # Navigation files carry one record per satellite per upload; for
+    # each measurement the receiver uses the record whose toe is
+    # nearest the signal time (records re-issued every ~2 h).
+    by_prn: Dict[int, List[BroadcastEphemeris]] = {}
+    for ephemeris in ephemerides:
+        by_prn.setdefault(ephemeris.prn, []).append(ephemeris)
+
+    def nearest_record(prn: int, when) -> Optional[BroadcastEphemeris]:
+        records = by_prn.get(prn)
+        if not records:
+            return None
+        return min(records, key=lambda eph: abs(eph.time_from_toe(when)))
+
+    if receiver_hint is None:
+        receiver_hint = np.array(observation_data.header.approx_position, dtype=float)
+
+    epochs: List[ObservationEpoch] = []
+    for record in observation_data.records:
+        observations: List[SatelliteObservation] = []
+        for prn in record.prns:
+            ephemeris = nearest_record(prn, record.time)
+            if ephemeris is None:
+                continue  # no ephemeris broadcast for this PRN
+            pseudorange = record.observables[prn].get(observable)
+            if pseudorange is None or pseudorange <= 0:
+                continue
+
+            travel_time = pseudorange / SPEED_OF_LIGHT
+            transmit_time = record.time - travel_time
+            position = sagnac_rotation(
+                ephemeris.satellite_position(transmit_time), travel_time
+            )
+            elevation, azimuth = elevation_azimuth(position, receiver_hint)
+            carrier_cycles = record.observables[prn].get("L1")
+            observations.append(
+                SatelliteObservation(
+                    prn=prn,
+                    position=position,
+                    pseudorange=pseudorange,
+                    elevation=elevation,
+                    azimuth=azimuth,
+                    carrier_range=(
+                        carrier_cycles * L1_WAVELENGTH
+                        if carrier_cycles is not None
+                        else None
+                    ),
+                )
+            )
+
+        if len(observations) < min_satellites:
+            continue
+        observations.sort(key=lambda obs: obs.elevation, reverse=True)
+        epochs.append(
+            ObservationEpoch(time=record.time, observations=tuple(observations))
+        )
+    return epochs

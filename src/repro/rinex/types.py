@@ -1,0 +1,97 @@
+"""Shared RINEX data structures and calendar/GPS time conversion."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import RinexError
+from repro.timebase import GpsTime
+
+#: The GPS epoch as a calendar instant; RINEX GPS-time tags are civil
+#: renderings of the continuous GPS scale (no leap seconds applied).
+_GPS_EPOCH = _dt.datetime(1980, 1, 6, 0, 0, 0)
+
+
+def gps_to_calendar(time: GpsTime) -> Tuple[int, int, int, int, int, float]:
+    """Render a GPS time as ``(year, month, day, hour, minute, second)``.
+
+    The rendering is on the GPS time scale itself (the RINEX convention
+    for GPS observation files), so no leap-second adjustment applies.
+    """
+    total = time.to_gps_seconds()
+    whole = int(total)
+    fraction = total - whole
+    moment = _GPS_EPOCH + _dt.timedelta(seconds=whole)
+    return (
+        moment.year,
+        moment.month,
+        moment.day,
+        moment.hour,
+        moment.minute,
+        moment.second + fraction,
+    )
+
+
+def calendar_to_gps(
+    year: int, month: int, day: int, hour: int, minute: int, second: float
+) -> GpsTime:
+    """Inverse of :func:`gps_to_calendar`."""
+    whole = int(second)
+    fraction = second - whole
+    try:
+        moment = _dt.datetime(year, month, day, hour, minute, whole)
+    except ValueError as exc:
+        raise RinexError(f"invalid calendar instant in RINEX file: {exc}") from exc
+    delta = (moment - _GPS_EPOCH).total_seconds() + fraction
+    if delta < 0:
+        raise RinexError("RINEX instant precedes the GPS epoch")
+    return GpsTime.from_gps_seconds(delta)
+
+
+@dataclass(frozen=True)
+class ObservationHeader:
+    """The subset of RINEX 2.11 observation-header fields we carry.
+
+    Attributes
+    ----------
+    marker_name:
+        Station identifier (the Table 5.1 site id).
+    approx_position:
+        The header's APPROX POSITION XYZ (meters, ECEF).
+    interval:
+        Observation cadence in seconds.
+    observation_types:
+        Codes in per-satellite record order, e.g. ``("C1",)``.
+    """
+
+    marker_name: str
+    approx_position: Tuple[float, float, float]
+    interval: float
+    observation_types: Tuple[str, ...] = ("C1",)
+
+
+@dataclass(frozen=True)
+class ObservationRecord:
+    """One epoch record: GPS time tag + per-PRN observables."""
+
+    time: GpsTime
+    #: PRN -> observable code -> value (meters for code pseudoranges).
+    observables: Dict[int, Dict[str, float]]
+
+    @property
+    def prns(self) -> List[int]:
+        """PRNs present in this record, sorted."""
+        return sorted(self.observables)
+
+
+@dataclass
+class ObservationData:
+    """A parsed observation file: header plus epoch records."""
+
+    header: ObservationHeader
+    records: List[ObservationRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,115 @@
+"""Carrier cycle-slip detection.
+
+A cycle slip is a sudden integer jump in the carrier-phase ambiguity —
+the receiver's tracking loop lost lock for a moment (obstruction,
+interference, high dynamics).  Undetected slips poison everything that
+trusts phase continuity, most directly the Hatch filter: the smoothed
+pseudorange inherits the jump as a bias.
+
+The detector below uses the classic *code-minus-carrier* observable:
+
+    cmc = rho - Phi = 2 I - lambda N + code noise
+
+Between consecutive epochs the ionosphere term moves by millimeters
+and the code noise by meters, but a slip moves ``lambda N`` by integer
+wavelengths all at once.  A jump in ``cmc`` beyond a threshold
+(several sigmas of the code noise) flags the satellite, and the caller
+resets its smoothing channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch
+
+
+@dataclass
+class _SlipChannel:
+    last_cmc: float
+    last_time: float
+
+
+class CycleSlipDetector:
+    """Per-satellite code-minus-carrier jump detection.
+
+    Parameters
+    ----------
+    threshold_meters:
+        A between-epoch ``cmc`` change beyond this flags a slip.  Set
+        it several sigmas above the *differenced* code noise (noise
+        appears twice); the default suits meter-level code noise.
+    max_gap_seconds:
+        A satellite unseen longer than this restarts cleanly (no slip
+        flagged — there is no continuity to break).
+
+    Usage::
+
+        detector = CycleSlipDetector()
+        hatch = HatchFilter()
+        for epoch in epochs:
+            for prn in detector.check_epoch(epoch):
+                hatch.reset(prn)
+            fixes = solver.solve(hatch.smooth_epoch(epoch))
+    """
+
+    def __init__(
+        self,
+        threshold_meters: float = 5.0,
+        max_gap_seconds: float = 10.0,
+    ) -> None:
+        if threshold_meters <= 0:
+            raise ConfigurationError("threshold_meters must be positive")
+        if max_gap_seconds <= 0:
+            raise ConfigurationError("max_gap_seconds must be positive")
+        self.threshold = float(threshold_meters)
+        self.max_gap = float(max_gap_seconds)
+        self._channels: Dict[int, _SlipChannel] = {}
+        self._slip_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def slip_count(self) -> int:
+        """Total slips flagged so far."""
+        return self._slip_count
+
+    def reset(self, prn: Optional[int] = None) -> None:
+        """Forget continuity state for one PRN, or all."""
+        if prn is None:
+            self._channels.clear()
+        else:
+            self._channels.pop(prn, None)
+
+    # ------------------------------------------------------------------
+    def check_epoch(self, epoch: ObservationEpoch) -> List[int]:
+        """Update continuity state; return PRNs that slipped this epoch.
+
+        Observations without carrier are ignored (and drop their
+        channel).  Feed epochs in time order.
+        """
+        now = epoch.time.to_gps_seconds()
+        slipped: List[int] = []
+        for observation in epoch.observations:
+            prn = observation.prn
+            if observation.carrier_range is None:
+                self._channels.pop(prn, None)
+                continue
+            cmc = observation.pseudorange - observation.carrier_range
+
+            channel = self._channels.get(prn)
+            if channel is not None and now < channel.last_time:
+                raise ConfigurationError(
+                    "epochs must be fed to the slip detector in time order"
+                )
+            if channel is None or now - channel.last_time > self.max_gap:
+                self._channels[prn] = _SlipChannel(last_cmc=cmc, last_time=now)
+                continue
+
+            if abs(cmc - channel.last_cmc) > self.threshold:
+                slipped.append(prn)
+                self._slip_count += 1
+            channel.last_cmc = cmc
+            channel.last_time = now
+        return slipped

@@ -1,0 +1,80 @@
+"""Dual-frequency processing: the ionosphere-free combination.
+
+The ionosphere is dispersive — its group delay scales as ``1/f^2`` —
+so two pseudoranges on different carriers pin it down exactly:
+
+    rho_IF = (f1^2 rho_1 - f2^2 rho_2) / (f1^2 - f2^2)
+
+removes the first-order ionospheric delay entirely (including any
+residual left by an imperfect single-frequency model correction, since
+the model estimate enters both bands in the same ``1/f^2`` ratio and
+cancels).  The price is noise amplification: for GPS L1/L2 the
+combination coefficients are ~(+2.546, -1.546), inflating independent
+per-band noise by a factor ~3.
+
+This is the standard accuracy upgrade for dual-frequency receivers
+and, like Hatch smoothing, it composes with the paper's fast solvers —
+the combined epoch feeds NR/DLO/DLG unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.constants import L1_FREQUENCY, L2_FREQUENCY
+from repro.errors import GeometryError
+from repro.observations import ObservationEpoch, SatelliteObservation
+
+#: Combination coefficients: rho_IF = ALPHA_L1 * rho1 + ALPHA_L2 * rho2.
+_F1_SQ = L1_FREQUENCY**2
+_F2_SQ = L2_FREQUENCY**2
+ALPHA_L1 = _F1_SQ / (_F1_SQ - _F2_SQ)
+ALPHA_L2 = -_F2_SQ / (_F1_SQ - _F2_SQ)
+
+#: Noise amplification of the combination for equal per-band sigmas.
+NOISE_AMPLIFICATION = (ALPHA_L1**2 + ALPHA_L2**2) ** 0.5
+
+
+def ionosphere_free_pseudorange(pseudorange_l1: float, pseudorange_l2: float) -> float:
+    """The ionosphere-free pseudorange from one satellite's two bands."""
+    return ALPHA_L1 * pseudorange_l1 + ALPHA_L2 * pseudorange_l2
+
+
+def ionosphere_free_epoch(
+    epoch: ObservationEpoch,
+    min_satellites: int = 4,
+) -> ObservationEpoch:
+    """Combine a dual-frequency epoch into ionosphere-free pseudoranges.
+
+    Satellites without an L2 measurement are dropped.  The returned
+    epoch's ``pseudorange`` is the combination (its ``pseudorange_l2``
+    is cleared); geometry, carrier, and Doppler fields pass through.
+    """
+    combined = []
+    for observation in epoch.observations:
+        if observation.pseudorange_l2 is None:
+            continue
+        pseudorange = ionosphere_free_pseudorange(
+            observation.pseudorange, observation.pseudorange_l2
+        )
+        if pseudorange <= 0:
+            raise GeometryError(
+                f"ionosphere-free combination for PRN {observation.prn} is "
+                "non-positive; band measurements are inconsistent"
+            )
+        combined.append(
+            SatelliteObservation(
+                prn=observation.prn,
+                position=observation.position,
+                pseudorange=pseudorange,
+                elevation=observation.elevation,
+                azimuth=observation.azimuth,
+                carrier_range=observation.carrier_range,
+                range_rate=observation.range_rate,
+                velocity=observation.velocity,
+            )
+        )
+    if len(combined) < min_satellites:
+        raise GeometryError(
+            f"only {len(combined)} satellites carry both bands; "
+            f"{min_satellites} required"
+        )
+    return epoch.with_observations(combined)

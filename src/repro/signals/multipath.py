@@ -1,0 +1,74 @@
+"""Deterministic specular multipath model.
+
+Reflected signal paths add a slowly oscillating, elevation-dependent
+bias to code pseudoranges (meters) and a much smaller one to carrier
+phase (centimeters).  Unlike thermal noise it is *correlated in time*
+(the reflection geometry changes slowly), which is exactly the error
+class carrier smoothing attacks and white-noise models miss.
+
+The model: per satellite,
+
+    mp(t) = A * exp(-el / el_scale) * sin(2 pi t / T + phase(prn))
+
+with a per-PRN phase so satellites decorrelate, deterministic in
+``(prn, t)`` so data sets stay exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+
+@dataclass(frozen=True)
+class MultipathModel:
+    """Elevation-dependent oscillating multipath bias.
+
+    Attributes
+    ----------
+    code_amplitude_meters:
+        Peak code multipath at the horizon (before elevation decay).
+    carrier_fraction:
+        Carrier-phase multipath as a fraction of the code multipath
+        (~1 % physically: bounded by a quarter wavelength).
+    elevation_scale:
+        e-folding elevation (radians): high satellites see little
+        multipath because reflections arrive from below the antenna.
+    period_seconds:
+        Oscillation period of the reflection geometry.
+    """
+
+    code_amplitude_meters: float = 1.5
+    carrier_fraction: float = 0.01
+    elevation_scale: float = math.radians(25.0)
+    period_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.code_amplitude_meters < 0:
+            raise ConfigurationError("code_amplitude_meters must be >= 0")
+        if not 0.0 <= self.carrier_fraction <= 1.0:
+            raise ConfigurationError("carrier_fraction must be in [0, 1]")
+        if self.elevation_scale <= 0:
+            raise ConfigurationError("elevation_scale must be positive")
+        if self.period_seconds <= 0:
+            raise ConfigurationError("period_seconds must be positive")
+
+    def code_bias(self, prn: int, elevation: float, time: GpsTime) -> float:
+        """Code-pseudorange multipath (meters) for one satellite."""
+        envelope = self.code_amplitude_meters * math.exp(
+            -max(elevation, 0.0) / self.elevation_scale
+        )
+        # Fold the (large) GPS timestamp by the period before scaling so
+        # the sine argument stays small and the cycle repeats exactly.
+        cycle = math.fmod(time.to_gps_seconds(), self.period_seconds)
+        phase = 2.0 * math.pi * cycle / self.period_seconds
+        # Golden-angle PRN offsets spread satellites around the cycle.
+        phase += 2.399963 * prn
+        return envelope * math.sin(phase)
+
+    def carrier_bias(self, prn: int, elevation: float, time: GpsTime) -> float:
+        """Carrier-phase multipath (meters) for one satellite."""
+        return self.carrier_fraction * self.code_bias(prn, elevation, time)

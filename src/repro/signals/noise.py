@@ -1,0 +1,56 @@
+"""Stochastic pseudorange error model.
+
+Models the code-tracking thermal noise and diffuse multipath that
+remain after all deterministic corrections.  The variance is
+elevation-dependent (low satellites are noisier), which is the realism
+knob; setting ``elevation_weighting=False`` gives the strictly
+identically-distributed errors of the paper's analytical assumptions
+(eq. 4-14/4-15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PseudorangeNoiseModel:
+    """Zero-mean Gaussian pseudorange noise.
+
+    Attributes
+    ----------
+    sigma_meters:
+        1-sigma noise at zenith (elevation 90 degrees).
+    elevation_weighting:
+        If true, the standard deviation scales as ``1/sin(elevation)``
+        (clamped at 5 degrees), the conventional GNSS weighting model.
+        If false, all satellites get ``sigma_meters`` regardless of
+        elevation — matching the paper's equal-variance assumption
+        exactly.
+    """
+
+    sigma_meters: float = 1.0
+    elevation_weighting: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma_meters < 0:
+            raise ConfigurationError("sigma_meters must be >= 0")
+
+    def sigma_at(self, elevation: float) -> float:
+        """Effective 1-sigma (meters) for a satellite at ``elevation`` rad."""
+        if not self.elevation_weighting:
+            return self.sigma_meters
+        clamped = max(elevation, math.radians(5.0))
+        return self.sigma_meters / math.sin(clamped)
+
+    def sample(self, elevation: float, rng: np.random.Generator) -> float:
+        """Draw one noise realization (meters)."""
+        sigma = self.sigma_at(elevation)
+        if sigma == 0.0:
+            return 0.0
+        return float(rng.normal(0.0, sigma))

@@ -1,0 +1,437 @@
+"""Pseudorange synthesis and receiver-side correction.
+
+Two halves, mirroring a real processing chain:
+
+* :class:`PseudorangeSimulator` plays the physics: light-time
+  iteration, Sagnac rotation, satellite clock error, "true" ionosphere
+  and troposphere, and thermal noise, on top of the receiver clock
+  model.  It produces :class:`RawPseudorange` records.
+* :class:`MeasurementCorrector` plays the receiver firmware: it applies
+  the *broadcast* satellite clock polynomial and the receiver's own
+  (imperfect) atmospheric models.  What survives the correction is the
+  paper's ``eps_S`` (small, satellite-dependent, zero-mean-ish) riding
+  on the receiver clock bias ``eps_R``.
+
+The simulator's truth models and the corrector's receiver models are
+configured independently — their mismatch is what makes the residual
+errors realistic instead of zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.atmosphere import KlobucharModel, SaastamoinenModel
+from repro.clocks.models import ReceiverClockModel
+from repro.constants import (
+    DEFAULT_ELEVATION_MASK,
+    IONO_L2_SCALE,
+    L1_WAVELENGTH,
+    SPEED_OF_LIGHT,
+)
+from repro.constellation import Constellation
+from repro.errors import ConfigurationError
+from repro.geodesy import ecef_to_geodetic
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+from repro.signals.noise import PseudorangeNoiseModel
+from repro.signals.sagnac import signal_travel_time
+from repro.timebase import GpsTime
+from repro.utils.validation import require_shape
+
+
+@dataclass(frozen=True)
+class RawPseudorange:
+    """An uncorrected measurement plus the truth components that built it.
+
+    The truth fields exist for tests and diagnostics; the receiver-side
+    corrector only reads ``prn``, ``pseudorange``, ``carrier_range``,
+    ``satellite_position`` and the angles.
+    """
+
+    prn: int
+    pseudorange: float
+    satellite_position: np.ndarray  # receive-frame ECEF at transmit time
+    elevation: float
+    azimuth: float
+    transmit_time: GpsTime
+    geometric_range: float
+    satellite_clock_meters: float
+    ionosphere_meters: float
+    troposphere_meters: float
+    noise_meters: float
+    receiver_clock_meters: float
+    #: Raw L1 carrier phase in meters (``lambda * phase``), including
+    #: the integer-ambiguity offset; ``None`` when carrier tracking is
+    #: disabled on the simulator.
+    carrier_range: Optional[float] = None
+    #: Raw Doppler-derived range rate (m/s), including receiver and
+    #: satellite clock drifts; ``None`` when Doppler is disabled.
+    range_rate: Optional[float] = None
+    #: Raw L2 pseudorange (meters): same structure as L1 but with the
+    #: ionospheric delay scaled by (f1/f2)^2; ``None`` when
+    #: single-frequency.
+    pseudorange_l2: Optional[float] = None
+
+
+class PseudorangeSimulator:
+    """Generates raw pseudoranges for a static or moving receiver.
+
+    Parameters
+    ----------
+    constellation:
+        The space segment.
+    receiver_clock:
+        Truth model of the receiver clock bias (``eps_R``).
+    ionosphere, troposphere:
+        The *true* atmospheric state.  Pass perturbed models here and
+        stock models to the corrector to create realistic residuals.
+    noise:
+        Thermal noise / diffuse multipath model.
+    elevation_mask:
+        Satellites below this elevation (radians) are not observed.
+    track_carrier:
+        Whether to also synthesize L1 carrier-phase measurements
+        (millimeter noise, per-satellite integer ambiguity, ionosphere
+        with the phase-advance sign).
+    carrier_noise_meters:
+        1-sigma of the carrier phase noise (meters).
+    carrier_seed:
+        Seed deriving the per-PRN integer ambiguities; fixed per
+        simulator so phase stays continuous across epochs (which is
+        what carrier smoothing exploits).
+    track_doppler:
+        Whether to synthesize Doppler range rates
+        (``(v_sat - v_recv) . u + c (drift_recv - drift_sat)`` plus
+        noise); pass the receiver velocity to :meth:`simulate_epoch`.
+    doppler_noise_mps:
+        1-sigma of the range-rate noise (m/s).
+    track_dual_frequency:
+        Whether to also synthesize L2 pseudoranges (ionosphere scaled
+        by ``(f1/f2)^2``) for ionosphere-free processing.
+    l2_noise_factor:
+        L2 noise sigma relative to L1's.
+    multipath:
+        Optional :class:`~repro.signals.multipath.MultipathModel`
+        adding time-correlated reflection bias to code (and a little to
+        carrier); ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        receiver_clock: ReceiverClockModel,
+        ionosphere: Optional[KlobucharModel] = None,
+        troposphere: Optional[SaastamoinenModel] = None,
+        noise: Optional[PseudorangeNoiseModel] = None,
+        elevation_mask: float = DEFAULT_ELEVATION_MASK,
+        track_carrier: bool = False,
+        carrier_noise_meters: float = 0.003,
+        carrier_seed: int = 0,
+        track_doppler: bool = False,
+        doppler_noise_mps: float = 0.05,
+        track_dual_frequency: bool = False,
+        l2_noise_factor: float = 1.2,
+        multipath=None,
+    ) -> None:
+        self._constellation = constellation
+        self._receiver_clock = receiver_clock
+        self._ionosphere = ionosphere if ionosphere is not None else KlobucharModel()
+        self._troposphere = (
+            troposphere if troposphere is not None else SaastamoinenModel()
+        )
+        self._noise = noise if noise is not None else PseudorangeNoiseModel()
+        self._elevation_mask = float(elevation_mask)
+        self._track_carrier = bool(track_carrier)
+        if carrier_noise_meters < 0:
+            raise ConfigurationError("carrier_noise_meters must be >= 0")
+        self._carrier_noise = float(carrier_noise_meters)
+        self._carrier_seed = int(carrier_seed)
+        self._ambiguities: dict = {}
+        self._track_doppler = bool(track_doppler)
+        if doppler_noise_mps < 0:
+            raise ConfigurationError("doppler_noise_mps must be >= 0")
+        self._doppler_noise = float(doppler_noise_mps)
+        self._track_dual_frequency = bool(track_dual_frequency)
+        if l2_noise_factor < 0:
+            raise ConfigurationError("l2_noise_factor must be >= 0")
+        self._l2_noise_factor = float(l2_noise_factor)
+        self._multipath = multipath
+
+    def _carrier_ambiguity_meters(self, prn: int) -> float:
+        """Per-satellite integer ambiguity, fixed for the simulator's
+        lifetime (one 'pass' worth of phase continuity)."""
+        ambiguity = self._ambiguities.get(prn)
+        if ambiguity is None:
+            rng = np.random.default_rng([self._carrier_seed, prn])
+            ambiguity = int(rng.integers(-5_000_000, 5_000_000)) * L1_WAVELENGTH
+            self._ambiguities[prn] = ambiguity
+        return ambiguity
+
+    @property
+    def constellation(self) -> Constellation:
+        """The simulated space segment."""
+        return self._constellation
+
+    @property
+    def receiver_clock(self) -> ReceiverClockModel:
+        """The truth receiver clock model."""
+        return self._receiver_clock
+
+    def simulate_epoch(
+        self,
+        receiver_ecef: np.ndarray,
+        time: GpsTime,
+        rng: np.random.Generator,
+        receiver_velocity: Optional[np.ndarray] = None,
+    ) -> List[RawPseudorange]:
+        """Simulate all raw measurements at one receive instant.
+
+        ``time`` is the *true* GPS time of reception; the receiver's
+        clock error enters the pseudoranges, not the epoch timestamp
+        (station data is time-tagged against corrected time).
+        ``receiver_velocity`` (ECEF m/s, default static) only matters
+        when Doppler tracking is enabled.
+        """
+        receiver = require_shape("receiver_ecef", receiver_ecef, (3,))
+        if receiver_velocity is None:
+            receiver_velocity = np.zeros(3)
+        else:
+            receiver_velocity = require_shape(
+                "receiver_velocity", receiver_velocity, (3,)
+            )
+        latitude, longitude, height = ecef_to_geodetic(receiver)
+        receiver_clock_m = SPEED_OF_LIGHT * self._receiver_clock.bias_seconds(time)
+        receiver_drift = (
+            self._receiver_clock.drift_rate(time) if self._track_doppler else 0.0
+        )
+
+        raw: List[RawPseudorange] = []
+        for visible in self._constellation.visible_from(
+            receiver, time, self._elevation_mask
+        ):
+            ephemeris = visible.satellite.ephemeris
+            travel_time, transmit_position = signal_travel_time(
+                lambda tau, eph=ephemeris: eph.satellite_position(time - tau),
+                receiver,
+            )
+            transmit_time = time - travel_time
+            geometric_range = float(np.linalg.norm(transmit_position - receiver))
+
+            satellite_clock_m = SPEED_OF_LIGHT * ephemeris.satellite_clock_offset(
+                transmit_time
+            )
+            iono_m = self._ionosphere.delay_meters(
+                latitude, longitude, visible.elevation, visible.azimuth, time
+            )
+            tropo_m = self._troposphere.delay_meters(visible.elevation, height)
+            noise_m = self._noise.sample(visible.elevation, rng)
+            multipath_m = (
+                self._multipath.code_bias(visible.prn, visible.elevation, time)
+                if self._multipath is not None
+                else 0.0
+            )
+
+            pseudorange = (
+                geometric_range
+                + receiver_clock_m
+                - satellite_clock_m
+                + iono_m
+                + tropo_m
+                + noise_m
+                + multipath_m
+            )
+            carrier = None
+            if self._track_carrier:
+                # Phase: ionosphere advances (-I), and the ambiguity is
+                # a constant per pass; noise is millimetric.
+                carrier = (
+                    geometric_range
+                    + receiver_clock_m
+                    - satellite_clock_m
+                    - iono_m
+                    + tropo_m
+                    + self._carrier_ambiguity_meters(visible.prn)
+                )
+                if self._multipath is not None:
+                    carrier += self._multipath.carrier_bias(
+                        visible.prn, visible.elevation, time
+                    )
+                if self._carrier_noise:
+                    carrier += float(rng.normal(0.0, self._carrier_noise))
+            pseudorange_l2 = None
+            if self._track_dual_frequency:
+                noise_l2 = (
+                    self._noise.sample(visible.elevation, rng) * self._l2_noise_factor
+                )
+                pseudorange_l2 = (
+                    geometric_range
+                    + receiver_clock_m
+                    - satellite_clock_m
+                    + IONO_L2_SCALE * iono_m
+                    + tropo_m
+                    + noise_l2
+                    + multipath_m
+                )
+            range_rate = None
+            if self._track_doppler:
+                line_of_sight = (transmit_position - receiver) / geometric_range
+                satellite_velocity = ephemeris.satellite_velocity(transmit_time)
+                satellite_drift = ephemeris.af1 + 2.0 * ephemeris.af2 * (
+                    transmit_time.time_of_week_difference(ephemeris.toc)
+                )
+                range_rate = (
+                    float((satellite_velocity - receiver_velocity) @ line_of_sight)
+                    + SPEED_OF_LIGHT * (receiver_drift - satellite_drift)
+                )
+                if self._doppler_noise:
+                    range_rate += float(rng.normal(0.0, self._doppler_noise))
+            raw.append(
+                RawPseudorange(
+                    prn=visible.prn,
+                    pseudorange=pseudorange,
+                    satellite_position=transmit_position,
+                    elevation=visible.elevation,
+                    azimuth=visible.azimuth,
+                    transmit_time=transmit_time,
+                    geometric_range=geometric_range,
+                    satellite_clock_meters=satellite_clock_m,
+                    ionosphere_meters=iono_m,
+                    troposphere_meters=tropo_m,
+                    noise_meters=noise_m,
+                    receiver_clock_meters=receiver_clock_m,
+                    carrier_range=carrier,
+                    range_rate=range_rate,
+                    pseudorange_l2=pseudorange_l2,
+                )
+            )
+        return raw
+
+
+#: Sentinel meaning "use the stock model" (as opposed to ``None``,
+#: which disables the correction entirely — e.g. a low-cost receiver
+#: that relies on DGPS instead of atmospheric modeling).
+_STOCK = object()
+
+
+class MeasurementCorrector:
+    """Receiver-side deterministic corrections.
+
+    Applies, per measurement:
+
+    * the broadcast satellite clock polynomial (fully known, so this
+      component corrects exactly), and
+    * the receiver's ionosphere/troposphere models evaluated at the
+      receiver's *surveyed* position — these only approximate the truth,
+      leaving the residual ``eps_S``.
+
+    Pass ``ionosphere=None`` / ``troposphere=None`` to skip the
+    respective correction (the atmospheric error then stays in the
+    pseudorange in full — the configuration of a receiver that depends
+    on differential corrections instead).
+    """
+
+    def __init__(
+        self,
+        constellation: Constellation,
+        ionosphere=_STOCK,
+        troposphere=_STOCK,
+    ) -> None:
+        self._constellation = constellation
+        self._ionosphere: Optional[KlobucharModel] = (
+            KlobucharModel() if ionosphere is _STOCK else ionosphere
+        )
+        self._troposphere: Optional[SaastamoinenModel] = (
+            SaastamoinenModel() if troposphere is _STOCK else troposphere
+        )
+
+    def correct(
+        self,
+        raw: RawPseudorange,
+        approximate_receiver_ecef: np.ndarray,
+        time: GpsTime,
+    ) -> SatelliteObservation:
+        """Produce the corrected observation the solvers consume."""
+        receiver = require_shape(
+            "approximate_receiver_ecef", approximate_receiver_ecef, (3,)
+        )
+        latitude, longitude, height = ecef_to_geodetic(receiver)
+        ephemeris = self._constellation.satellite(raw.prn).ephemeris
+
+        satellite_clock_m = SPEED_OF_LIGHT * ephemeris.satellite_clock_offset(
+            raw.transmit_time
+        )
+        iono_m = (
+            self._ionosphere.delay_meters(
+                latitude, longitude, raw.elevation, raw.azimuth, time
+            )
+            if self._ionosphere is not None
+            else 0.0
+        )
+        tropo_m = (
+            self._troposphere.delay_meters(raw.elevation, height)
+            if self._troposphere is not None
+            else 0.0
+        )
+
+        corrected = raw.pseudorange + satellite_clock_m - iono_m - tropo_m
+        if corrected <= 0:
+            raise ConfigurationError(
+                f"corrected pseudorange for PRN {raw.prn} is non-positive; "
+                "correction models are inconsistent with the measurement"
+            )
+        carrier = None
+        if raw.carrier_range is not None:
+            # Phase sees the ionosphere with the opposite sign.
+            carrier = raw.carrier_range + satellite_clock_m + iono_m - tropo_m
+        pseudorange_l2 = None
+        if raw.pseudorange_l2 is not None:
+            pseudorange_l2 = (
+                raw.pseudorange_l2
+                + satellite_clock_m
+                - IONO_L2_SCALE * iono_m
+                - tropo_m
+            )
+            if pseudorange_l2 <= 0:
+                raise ConfigurationError(
+                    f"corrected L2 pseudorange for PRN {raw.prn} is non-positive"
+                )
+        range_rate = None
+        satellite_velocity = None
+        if raw.range_rate is not None:
+            # Remove the broadcast satellite clock drift; attach the
+            # ephemeris-derived satellite velocity the velocity solver
+            # needs.  The receiver's own drift stays in as the solved-for
+            # unknown (the velocity-domain eps_R).
+            satellite_drift = ephemeris.af1 + 2.0 * ephemeris.af2 * (
+                raw.transmit_time.time_of_week_difference(ephemeris.toc)
+            )
+            range_rate = raw.range_rate + SPEED_OF_LIGHT * satellite_drift
+            satellite_velocity = ephemeris.satellite_velocity(raw.transmit_time)
+        return SatelliteObservation(
+            prn=raw.prn,
+            position=raw.satellite_position,
+            pseudorange=corrected,
+            elevation=raw.elevation,
+            azimuth=raw.azimuth,
+            carrier_range=carrier,
+            pseudorange_l2=pseudorange_l2,
+            range_rate=range_rate,
+            velocity=satellite_velocity,
+        )
+
+    def correct_epoch(
+        self,
+        raw_measurements: List[RawPseudorange],
+        approximate_receiver_ecef: np.ndarray,
+        time: GpsTime,
+        truth: Optional[EpochTruth] = None,
+    ) -> ObservationEpoch:
+        """Correct a whole epoch and package it as :class:`ObservationEpoch`."""
+        observations = tuple(
+            self.correct(raw, approximate_receiver_ecef, time)
+            for raw in raw_measurements
+        )
+        return ObservationEpoch(time=time, observations=observations, truth=truth)

@@ -1,0 +1,89 @@
+"""Earth-rotation (Sagnac) effect and light-time iteration.
+
+A GPS signal spends ~70 ms in flight; the ECEF frame rotates ~36 m at
+the equator in that time.  Computing ranges consistently therefore
+requires (a) finding the *transmit* time by light-time iteration and
+(b) rotating the transmit-time satellite position into the receive-time
+ECEF frame.  Both utilities live here and are used by the pseudorange
+simulator; receivers performing the inverse correction use the same
+rotation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.constants import EARTH_ROTATION_RATE, SPEED_OF_LIGHT
+from repro.errors import ConvergenceError
+from repro.utils.validation import require_shape
+
+
+def sagnac_rotation(position_ecef: np.ndarray, travel_time: float) -> np.ndarray:
+    """Rotate an ECEF position by the earth rotation over ``travel_time``.
+
+    Expresses a satellite position computed at transmit time in the
+    ECEF frame of the receive instant (rotation by ``omega_e * tau``
+    about the +z axis).
+    """
+    position = require_shape("position_ecef", position_ecef, (3,))
+    theta = EARTH_ROTATION_RATE * travel_time
+    cos_t, sin_t = math.cos(theta), math.sin(theta)
+    rotation = np.array(
+        [
+            [cos_t, sin_t, 0.0],
+            [-sin_t, cos_t, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    return rotation @ position
+
+
+def signal_travel_time(
+    satellite_position_at: Callable[[float], np.ndarray],
+    receiver_ecef: np.ndarray,
+    receive_offset: float = 0.0,
+    tolerance: float = 1e-12,
+    max_iterations: int = 10,
+) -> Tuple[float, np.ndarray]:
+    """Solve the light-time equation for one satellite-receiver pair.
+
+    Parameters
+    ----------
+    satellite_position_at:
+        Callable mapping *seconds before the receive instant* to the
+        satellite ECEF position at that earlier instant (in that
+        instant's ECEF frame).
+    receiver_ecef:
+        Receiver ECEF position at the receive instant.
+    receive_offset:
+        Initial guess refinement offset; normally 0.
+    tolerance:
+        Convergence threshold on the travel time (seconds); 1e-12 s
+        corresponds to 0.3 mm of range.
+    max_iterations:
+        Iteration budget.
+
+    Returns
+    -------
+    (travel_time_seconds, satellite_position)
+        The converged travel time and the satellite position at the
+        transmit instant *rotated into the receive-time ECEF frame*.
+    """
+    receiver = require_shape("receiver_ecef", receiver_ecef, (3,))
+    travel_time = 0.075 + receive_offset  # ~GPS mean, good first guess
+
+    for _iteration in range(max_iterations):
+        transmit_position = satellite_position_at(travel_time)
+        rotated = sagnac_rotation(transmit_position, travel_time)
+        geometric_range = float(np.linalg.norm(rotated - receiver))
+        new_travel_time = geometric_range / SPEED_OF_LIGHT
+        if abs(new_travel_time - travel_time) < tolerance:
+            return new_travel_time, rotated
+        travel_time = new_travel_time
+
+    raise ConvergenceError(
+        "light-time iteration failed to converge", iterations=max_iterations
+    )

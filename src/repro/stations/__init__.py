@@ -1,0 +1,14 @@
+"""Observation stations and data-set generation (paper Section 5.2)."""
+
+from repro.stations.catalog import Station, STATIONS, get_station, all_stations
+from repro.stations.dataset import DatasetConfig, ObservationDataset, generate_dataset
+
+__all__ = [
+    "Station",
+    "STATIONS",
+    "get_station",
+    "all_stations",
+    "DatasetConfig",
+    "ObservationDataset",
+    "generate_dataset",
+]

@@ -1,0 +1,114 @@
+"""The four observation stations of Table 5.1.
+
+The paper evaluates on 24-hour data sets from four CORS land
+observation stations.  Their surveyed ECEF coordinates, collection
+dates, and clock correction types are reproduced verbatim from Table
+5.1; our simulator generates observations *for these exact locations*
+with the matching clock behaviour, which is what makes the per-station
+panels of Figures 5.1/5.2 reproducible without network access to the
+CORS archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geodesy import ecef_to_geodetic
+
+
+@dataclass(frozen=True)
+class Station:
+    """A land observation station (one Table 5.1 row).
+
+    Attributes
+    ----------
+    number:
+        The "No." column (1..4).
+    site_id:
+        Four-character CORS site identifier.
+    ecef:
+        Surveyed ECEF coordinates (meters) — the ground truth every
+        position error is measured against (eq. 5-1).
+    collection_date:
+        The paper's data collection date (YYYY/MM/DD).
+    clock_correction:
+        ``"Steering"`` or ``"Threshold"`` — how the station disciplines
+        its receiver clock (drives the bias-prediction mode, §5.2.2).
+    """
+
+    number: int
+    site_id: str
+    ecef: Tuple[float, float, float]
+    collection_date: str
+    clock_correction: str
+
+    @property
+    def position(self) -> np.ndarray:
+        """Surveyed position as an ndarray (meters, ECEF)."""
+        return np.array(self.ecef, dtype=float)
+
+    @property
+    def geodetic(self) -> Tuple[float, float, float]:
+        """Geodetic ``(latitude_rad, longitude_rad, height_m)``."""
+        latitude, longitude, height = ecef_to_geodetic(self.position)
+        return latitude, longitude, height
+
+    @property
+    def uses_steering_clock(self) -> bool:
+        """True when the station steers its clock continuously."""
+        return self.clock_correction == "Steering"
+
+
+#: Table 5.1, verbatim.
+STATIONS: Dict[str, Station] = {
+    station.site_id: station
+    for station in (
+        Station(
+            number=1,
+            site_id="SRZN",
+            ecef=(3623420.032, -5214015.434, 602359.096),
+            collection_date="2009/08/12",
+            clock_correction="Steering",
+        ),
+        Station(
+            number=2,
+            site_id="YYR1",
+            ecef=(1885341.558, -3321428.098, 5091171.168),
+            collection_date="2009/10/23",
+            clock_correction="Steering",
+        ),
+        Station(
+            number=3,
+            site_id="FAI1",
+            ecef=(-2304740.630, -1448716.218, 5748842.956),
+            collection_date="2009/10/29",
+            clock_correction="Steering",
+        ),
+        Station(
+            number=4,
+            site_id="KYCP",
+            ecef=(411598.861, -5060514.896, 3847795.506),
+            collection_date="2009/10/10",
+            clock_correction="Threshold",
+        ),
+    )
+}
+
+
+def get_station(site_id: str) -> Station:
+    """Look up a Table 5.1 station by site id (case-insensitive)."""
+    try:
+        return STATIONS[site_id.upper()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown station {site_id!r}; available: {sorted(STATIONS)}"
+        ) from None
+
+
+def all_stations() -> List[Station]:
+    """All Table 5.1 stations in table order."""
+    return sorted(STATIONS.values(), key=lambda s: s.number)

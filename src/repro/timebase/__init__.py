@@ -1,0 +1,6 @@
+"""GPS time scale: week/seconds-of-week arithmetic and UTC conversion."""
+
+from repro.timebase.gpstime import GpsTime
+from repro.timebase.leapseconds import leap_seconds_at_unix, LEAP_SECOND_TABLE
+
+__all__ = ["GpsTime", "leap_seconds_at_unix", "LEAP_SECOND_TABLE"]

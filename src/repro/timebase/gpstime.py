@@ -1,0 +1,120 @@
+"""The :class:`GpsTime` value type.
+
+Everything in the simulator is timestamped in GPS time, expressed as a
+(week number, seconds of week) pair exactly like broadcast ephemerides.
+The class also supports plain arithmetic (``t + dt``, ``t2 - t1``), which
+the clock models and the dataset generator use to step through a 24-hour
+observation span one second at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.constants import GPS_EPOCH_UNIX, SECONDS_PER_WEEK
+from repro.errors import ConfigurationError
+from repro.timebase.leapseconds import leap_seconds_at_unix
+
+
+@dataclass(frozen=True, order=True)
+class GpsTime:
+    """An instant on the continuous GPS time scale.
+
+    Attributes
+    ----------
+    week:
+        GPS week number counted from the GPS epoch (no 1024-week
+        rollover is applied; this is the "full" week number).
+    seconds_of_week:
+        Seconds into the week, ``0 <= sow < 604800``.
+    """
+
+    week: int
+    seconds_of_week: float
+
+    def __post_init__(self) -> None:
+        if self.week < 0:
+            raise ConfigurationError(f"GPS week must be >= 0, got {self.week}")
+        if not 0.0 <= self.seconds_of_week < SECONDS_PER_WEEK:
+            raise ConfigurationError(
+                "seconds_of_week must be in [0, 604800), got "
+                f"{self.seconds_of_week!r}; use GpsTime.from_gps_seconds to normalize"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_gps_seconds(cls, gps_seconds: float) -> "GpsTime":
+        """Build from total seconds since the GPS epoch (may exceed a week)."""
+        if gps_seconds < 0:
+            raise ConfigurationError(
+                f"gps_seconds must be >= 0 (the GPS epoch), got {gps_seconds}"
+            )
+        week = int(gps_seconds // SECONDS_PER_WEEK)
+        sow = gps_seconds - week * SECONDS_PER_WEEK
+        # Guard against float round-up at week boundaries.
+        if sow >= SECONDS_PER_WEEK:
+            week += 1
+            sow -= SECONDS_PER_WEEK
+        return cls(week=week, seconds_of_week=sow)
+
+    @classmethod
+    def from_unix(cls, unix_seconds: float) -> "GpsTime":
+        """Build from a Unix (UTC) timestamp, applying leap seconds."""
+        gps_seconds = unix_seconds - GPS_EPOCH_UNIX + leap_seconds_at_unix(unix_seconds)
+        if gps_seconds < 0:
+            raise ConfigurationError(
+                "Unix timestamp precedes the GPS epoch (1980-01-06)"
+            )
+        return cls.from_gps_seconds(gps_seconds)
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_gps_seconds(self) -> float:
+        """Total seconds since the GPS epoch."""
+        return self.week * SECONDS_PER_WEEK + self.seconds_of_week
+
+    def to_unix(self) -> float:
+        """Unix (UTC) timestamp; inverts :meth:`from_unix` exactly away
+        from leap-second boundaries."""
+        approx_unix = self.to_gps_seconds() + GPS_EPOCH_UNIX
+        # The leap-second offset depends on the UTC instant we are trying
+        # to compute; one refinement step settles it everywhere except in
+        # the single second of an insertion, which we do not simulate.
+        offset = leap_seconds_at_unix(approx_unix)
+        unix = self.to_gps_seconds() + GPS_EPOCH_UNIX - offset
+        if leap_seconds_at_unix(unix) != offset:
+            unix = self.to_gps_seconds() + GPS_EPOCH_UNIX - leap_seconds_at_unix(unix)
+        return unix
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, seconds: Union[int, float]) -> "GpsTime":
+        return GpsTime.from_gps_seconds(self.to_gps_seconds() + float(seconds))
+
+    def __radd__(self, seconds: Union[int, float]) -> "GpsTime":
+        return self.__add__(seconds)
+
+    def __sub__(self, other: Union["GpsTime", int, float]):
+        if isinstance(other, GpsTime):
+            return self.to_gps_seconds() - other.to_gps_seconds()
+        return GpsTime.from_gps_seconds(self.to_gps_seconds() - float(other))
+
+    def time_of_week_difference(self, other: "GpsTime") -> float:
+        """``self - other`` accounting for week crossovers the way
+        broadcast ephemeris evaluation does (result wrapped into
+        ``[-302400, 302400)``)."""
+        dt = self.to_gps_seconds() - other.to_gps_seconds()
+        half_week = SECONDS_PER_WEEK / 2.0
+        while dt > half_week:
+            dt -= SECONDS_PER_WEEK
+        while dt < -half_week:
+            dt += SECONDS_PER_WEEK
+        return dt
+
+    def __str__(self) -> str:
+        return f"GpsTime(week={self.week}, sow={self.seconds_of_week:.3f})"

@@ -1,0 +1,57 @@
+"""UTC leap-second bookkeeping relative to the GPS time scale.
+
+GPS time is a continuous atomic scale that was aligned with UTC at the
+GPS epoch (1980-01-06).  UTC has since inserted leap seconds, so
+``GPS - UTC`` grows by one second at each insertion.  The table below
+lists the insertions at and after the GPS epoch; it is complete through
+2017-01-01 (the most recent leap second as of writing).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+# The table is easier to audit written as (UTC date, unix, GPS-UTC)
+# triples.  The Unix timestamps are for 00:00:00 UTC on the date the new
+# offset takes effect (the second *after* the leap second).
+_LEAP_EVENTS: List[Tuple[str, int, int]] = [
+    ("1981-07-01", 362793600, 1),
+    ("1982-07-01", 394329600, 2),
+    ("1983-07-01", 425865600, 3),
+    ("1985-07-01", 489024000, 4),
+    ("1988-01-01", 567993600, 5),
+    ("1990-01-01", 631152000, 6),
+    ("1991-01-01", 662688000, 7),
+    ("1992-07-01", 709948800, 8),
+    ("1993-07-01", 741484800, 9),
+    ("1994-07-01", 773020800, 10),
+    ("1996-01-01", 820454400, 11),
+    ("1997-07-01", 867715200, 12),
+    ("1999-01-01", 915148800, 13),
+    ("2006-01-01", 1136073600, 14),
+    ("2009-01-01", 1230768000, 15),
+    ("2012-07-01", 1341100800, 16),
+    ("2015-07-01", 1435708800, 17),
+    ("2017-01-01", 1483228800, 18),
+]
+
+#: ``(unix_timestamp_of_insertion, cumulative_gps_minus_utc_seconds)``.
+#: Each entry means: from this Unix instant (UTC) onward, GPS time leads
+#: UTC by the given number of seconds.
+LEAP_SECOND_TABLE: List[Tuple[int, int]] = [
+    (unix, offset) for (_date, unix, offset) in _LEAP_EVENTS
+]
+
+
+def leap_seconds_at_unix(unix_seconds: float) -> int:
+    """Return ``GPS - UTC`` in whole seconds at a Unix (UTC) instant.
+
+    Instants before the first post-GPS-epoch leap second return 0.
+    """
+    offset = 0
+    for effective_from, cumulative in LEAP_SECOND_TABLE:
+        if unix_seconds >= effective_from:
+            offset = cumulative
+        else:
+            break
+    return offset

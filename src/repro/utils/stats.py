@@ -1,0 +1,68 @@
+"""Lightweight summary statistics for evaluation reports.
+
+The evaluation harness aggregates thousands of per-epoch measurements
+(position errors, solve latencies).  This module gives it a single
+well-tested summary container instead of ad-hoc numpy calls scattered
+through report code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary of a one-dimensional sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} p50={self.p50:.6g} "
+            f"p95={self.p95:.6g} max={self.maximum:.6g}"
+        )
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Return the ``q``-th percentile (0..100) of ``values``."""
+    data = _as_sample(values)
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(data, q))
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over a non-empty finite sample."""
+    data = _as_sample(values)
+    return SummaryStats(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data)),
+        minimum=float(np.min(data)),
+        p50=float(np.percentile(data, 50.0)),
+        p95=float(np.percentile(data, 95.0)),
+        maximum=float(np.max(data)),
+    )
+
+
+def _as_sample(values: Iterable[float]) -> np.ndarray:
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        raise ConfigurationError("cannot summarize an empty sample")
+    array = np.asarray(data, dtype=float)
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("sample contains non-finite values")
+    return array

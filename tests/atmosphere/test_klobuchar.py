@@ -1,0 +1,81 @@
+"""Unit tests for the Klobuchar ionospheric model."""
+
+import math
+
+import pytest
+
+from repro.atmosphere import KlobucharModel
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def model():
+    return KlobucharModel()
+
+
+@pytest.fixture
+def noon():
+    # 50400 s into a day is local 14:00 at the pierce point for lon 0;
+    # close enough to the diurnal peak for monotonicity checks.
+    return GpsTime(week=1540, seconds_of_week=50_400.0)
+
+
+MID_LAT = math.radians(40.0)
+LON = 0.0
+
+
+class TestDelayMagnitude:
+    def test_zenith_delay_in_gps_band(self, model, noon):
+        delay = model.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, noon)
+        # Single-frequency L1 iono delay: ~1-15 m by day.
+        assert 1.0 < delay < 20.0
+
+    def test_never_below_nighttime_floor(self, model):
+        midnight = GpsTime(week=1540, seconds_of_week=0.0)
+        delay_s = model.delay_seconds(MID_LAT, LON, math.pi / 2, 0.0, midnight)
+        assert delay_s >= 5e-9  # the model's constant nighttime term
+
+    def test_meters_is_c_times_seconds(self, model, noon):
+        seconds = model.delay_seconds(MID_LAT, LON, 1.0, 0.5, noon)
+        meters = model.delay_meters(MID_LAT, LON, 1.0, 0.5, noon)
+        assert meters == pytest.approx(SPEED_OF_LIGHT * seconds)
+
+
+class TestElevationDependence:
+    def test_low_elevation_larger_than_zenith(self, model, noon):
+        zenith = model.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, noon)
+        low = model.delay_meters(MID_LAT, LON, math.radians(10.0), 0.0, noon)
+        assert low > zenith
+
+    def test_monotone_decreasing_with_elevation(self, model, noon):
+        delays = [
+            model.delay_meters(MID_LAT, LON, math.radians(el), 0.0, noon)
+            for el in (10.0, 30.0, 50.0, 70.0, 90.0)
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+
+class TestDiurnalVariation:
+    def test_daytime_exceeds_nighttime(self, model):
+        day = GpsTime(week=1540, seconds_of_week=50_400.0)
+        night = GpsTime(week=1540, seconds_of_week=10_000.0)
+        day_delay = model.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, day)
+        night_delay = model.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, night)
+        assert day_delay > night_delay
+
+
+class TestValidation:
+    def test_rejects_wrong_coefficient_count(self):
+        with pytest.raises(ConfigurationError):
+            KlobucharModel(alpha=(1.0, 2.0), beta=(1.0, 2.0, 3.0, 4.0))
+
+    def test_custom_coefficients_scale_delay(self, noon):
+        base = KlobucharModel()
+        doubled = KlobucharModel(
+            alpha=tuple(2 * a for a in base.alpha), beta=base.beta
+        )
+        d1 = base.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, noon)
+        d2 = doubled.delay_meters(MID_LAT, LON, math.pi / 2, 0.0, noon)
+        assert d2 > d1

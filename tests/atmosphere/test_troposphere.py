@@ -1,0 +1,82 @@
+"""Unit tests for the Saastamoinen tropospheric model."""
+
+import math
+
+import pytest
+
+from repro.atmosphere import SaastamoinenModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return SaastamoinenModel()
+
+
+class TestZenithDelay:
+    def test_standard_atmosphere_value(self, model):
+        # The canonical total zenith delay is ~2.3-2.5 m at sea level.
+        assert 2.2 < model.zenith_delay_meters(0.0) < 2.6
+
+    def test_decreases_with_height(self, model):
+        assert model.zenith_delay_meters(2000.0) < model.zenith_delay_meters(0.0)
+
+    def test_dry_atmosphere_smaller(self):
+        dry = SaastamoinenModel(relative_humidity=0.0)
+        wet = SaastamoinenModel(relative_humidity=1.0)
+        assert dry.zenith_delay_meters() < wet.zenith_delay_meters()
+
+    def test_pressure_proportionality(self):
+        low = SaastamoinenModel(pressure_hpa=900.0, relative_humidity=0.0)
+        high = SaastamoinenModel(pressure_hpa=1050.0, relative_humidity=0.0)
+        ratio = high.zenith_delay_meters() / low.zenith_delay_meters()
+        assert ratio == pytest.approx(1050.0 / 900.0, rel=1e-9)
+
+
+class TestSlantDelay:
+    def test_zenith_equals_zenith_delay(self, model):
+        assert model.delay_meters(math.pi / 2) == pytest.approx(
+            model.zenith_delay_meters(), rel=1e-12
+        )
+
+    def test_monotone_decreasing_with_elevation(self, model):
+        delays = [
+            model.delay_meters(math.radians(el))
+            for el in (5.0, 10.0, 20.0, 45.0, 90.0)
+        ]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_low_elevation_clamped(self, model):
+        # At and below the 3-degree clamp, delay stops growing.
+        assert model.delay_meters(math.radians(1.0)) == model.delay_meters(
+            math.radians(3.0)
+        )
+
+    def test_ten_degree_magnitude(self, model):
+        # ~2.4 m / sin(10 deg) ~ 14 m.
+        delay = model.delay_meters(math.radians(10.0))
+        assert 10.0 < delay < 20.0
+
+
+class TestWaterVapor:
+    def test_zero_humidity_zero_pressure(self):
+        assert SaastamoinenModel(relative_humidity=0.0).water_vapor_pressure_hpa() == 0.0
+
+    def test_saturation_increases_with_temperature(self):
+        cold = SaastamoinenModel(temperature_k=273.15, relative_humidity=1.0)
+        warm = SaastamoinenModel(temperature_k=303.15, relative_humidity=1.0)
+        assert warm.water_vapor_pressure_hpa() > cold.water_vapor_pressure_hpa()
+
+
+class TestValidation:
+    def test_rejects_bad_pressure(self):
+        with pytest.raises(ConfigurationError):
+            SaastamoinenModel(pressure_hpa=0.0)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ConfigurationError):
+            SaastamoinenModel(temperature_k=-1.0)
+
+    def test_rejects_bad_humidity(self):
+        with pytest.raises(ConfigurationError):
+            SaastamoinenModel(relative_humidity=1.5)

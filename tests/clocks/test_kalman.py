@@ -1,0 +1,90 @@
+"""Unit tests for the Kalman clock bias predictor."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import KalmanClockBiasPredictor, SteeringClock, ThresholdClock
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, EstimationError
+from repro.timebase import GpsTime
+
+EPOCH = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+def feed_truth(predictor, clock, count, noise_sigma=0.0, seed=0, step=1.0):
+    rng = np.random.default_rng(seed)
+    for i in range(count):
+        t = EPOCH + i * step
+        bias = SPEED_OF_LIGHT * clock.bias_seconds(t)
+        if noise_sigma:
+            bias += rng.normal(0.0, noise_sigma)
+        predictor.observe(t, bias)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ConfigurationError):
+            KalmanClockBiasPredictor(bias_process_noise=0.0)
+
+    def test_rejects_bad_min_observations(self):
+        with pytest.raises(ConfigurationError):
+            KalmanClockBiasPredictor(min_observations=0)
+
+    def test_not_ready_before_min_observations(self):
+        predictor = KalmanClockBiasPredictor(min_observations=3)
+        predictor.observe(EPOCH, 10.0)
+        assert not predictor.is_ready
+        with pytest.raises(EstimationError):
+            predictor.predict_bias_meters(EPOCH + 1.0)
+
+    def test_rejects_time_going_backwards(self):
+        predictor = KalmanClockBiasPredictor()
+        predictor.observe(EPOCH + 10.0, 5.0)
+        with pytest.raises(ConfigurationError, match="time order"):
+            predictor.observe(EPOCH, 5.0)
+
+
+class TestTracking:
+    def test_converges_on_linear_clock(self):
+        clock = SteeringClock(epoch=EPOCH, offset_seconds=1e-7, drift=2e-10)
+        predictor = KalmanClockBiasPredictor()
+        feed_truth(predictor, clock, 120)
+        t = EPOCH + 130.0
+        expected = SPEED_OF_LIGHT * clock.bias_seconds(t)
+        assert predictor.predict_bias_meters(t) == pytest.approx(expected, abs=0.5)
+
+    def test_estimates_drift_state(self):
+        clock = SteeringClock(epoch=EPOCH, offset_seconds=0.0, drift=5e-10)
+        predictor = KalmanClockBiasPredictor()
+        feed_truth(predictor, clock, 300)
+        assert predictor.state[1] == pytest.approx(5e-10, rel=0.2)
+
+    def test_filters_measurement_noise(self):
+        clock = SteeringClock(epoch=EPOCH, offset_seconds=1e-7, drift=2e-10)
+        predictor = KalmanClockBiasPredictor(measurement_noise_seconds=1e-8)
+        feed_truth(predictor, clock, 300, noise_sigma=2.0, seed=3)
+        t = EPOCH + 301.0
+        expected = SPEED_OF_LIGHT * clock.bias_seconds(t)
+        # Prediction error well under the 2 m measurement noise.
+        assert abs(predictor.predict_bias_meters(t) - expected) < 1.0
+
+    def test_same_timestamp_observation_is_update_only(self):
+        predictor = KalmanClockBiasPredictor()
+        predictor.observe(EPOCH, 10.0)
+        predictor.observe(EPOCH, 12.0)  # same instant; must not crash
+        assert predictor.is_ready
+
+
+class TestResetHandling:
+    def test_threshold_reset_absorbed(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=9.9e-4, drift=1e-7,
+            threshold_seconds=1e-3,
+        )
+        predictor = KalmanClockBiasPredictor()
+        # Reset occurs at dt = 0.1e-4 / 1e-7 = 100 s.
+        feed_truth(predictor, clock, 300)
+        assert predictor.reset_count >= 1
+        t = EPOCH + 301.0
+        expected = SPEED_OF_LIGHT * clock.bias_seconds(t)
+        assert predictor.predict_bias_meters(t) == pytest.approx(expected, abs=1.0)

@@ -1,0 +1,130 @@
+"""Unit + property tests for receiver clock models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import SteeringClock, ThresholdClock
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+EPOCH = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestSteeringClock:
+    def test_offset_at_epoch(self):
+        clock = SteeringClock(epoch=EPOCH, offset_seconds=5e-8, drift=0.0)
+        assert clock.bias_seconds(EPOCH) == pytest.approx(5e-8)
+
+    def test_linear_growth(self):
+        clock = SteeringClock(epoch=EPOCH, offset_seconds=0.0, drift=1e-10)
+        assert clock.bias_seconds(EPOCH + 1000.0) == pytest.approx(1e-7)
+
+    def test_correction_type(self):
+        assert SteeringClock(epoch=EPOCH).correction_type == "Steering"
+
+    def test_wander_bounded_by_amplitude(self):
+        clock = SteeringClock(
+            epoch=EPOCH, offset_seconds=0.0, drift=0.0,
+            wander_amplitude_seconds=3e-9, wander_period_seconds=600.0,
+        )
+        for dt in range(0, 1200, 37):
+            assert abs(clock.bias_seconds(EPOCH + float(dt))) <= 3e-9 + 1e-18
+
+    def test_wander_periodicity(self):
+        clock = SteeringClock(
+            epoch=EPOCH, offset_seconds=1e-8, drift=0.0,
+            wander_amplitude_seconds=3e-9, wander_period_seconds=600.0,
+        )
+        assert clock.bias_seconds(EPOCH + 100.0) == pytest.approx(
+            clock.bias_seconds(EPOCH + 700.0), abs=1e-15
+        )
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ConfigurationError):
+            SteeringClock(epoch=EPOCH, wander_amplitude_seconds=-1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=86_400.0))
+    def test_stays_small_over_a_day(self, dt):
+        clock = SteeringClock(epoch=EPOCH)  # defaults: tiny offset/drift
+        assert abs(clock.bias_seconds(EPOCH + dt)) < 1e-4  # well under 30 km
+
+
+class TestThresholdClock:
+    def test_sawtooth_stays_under_threshold(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=1e-7,
+            threshold_seconds=1e-3,
+        )
+        for dt in range(0, 40_000, 111):
+            bias = clock.bias_seconds(EPOCH + float(dt))
+            assert 0.0 <= bias < 1e-3
+
+    def test_reset_happens(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=1e-7,
+            threshold_seconds=1e-3,
+        )
+        # Threshold reached after 1e-3/1e-7 = 10 000 s.
+        before = clock.bias_seconds(EPOCH + 9_999.0)
+        after = clock.bias_seconds(EPOCH + 10_001.0)
+        assert before > 9.9e-4
+        assert after < 1e-6 + 2e-10 * 2  # wrapped back near zero
+
+    def test_negative_drift_mirrors(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=-1e-7,
+            threshold_seconds=1e-3,
+        )
+        for dt in range(0, 40_000, 113):
+            bias = clock.bias_seconds(EPOCH + float(dt))
+            assert -1e-3 < bias <= 0.0
+
+    def test_correction_type(self):
+        assert ThresholdClock(epoch=EPOCH).correction_type == "Threshold"
+
+    def test_seconds_until_reset(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=1e-7,
+            threshold_seconds=1e-3,
+        )
+        assert clock.seconds_until_reset(EPOCH) == pytest.approx(10_000.0)
+        assert clock.seconds_until_reset(EPOCH + 4000.0) == pytest.approx(6_000.0)
+
+    def test_linear_between_resets(self):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=1e-7,
+            threshold_seconds=1e-3,
+        )
+        b1 = clock.bias_seconds(EPOCH + 100.0)
+        b2 = clock.bias_seconds(EPOCH + 200.0)
+        assert b2 - b1 == pytest.approx(1e-7 * 100.0, rel=1e-9)
+
+    def test_rejects_zero_drift(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClock(epoch=EPOCH, drift=0.0)
+
+    def test_rejects_offset_beyond_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClock(
+                epoch=EPOCH, initial_offset_seconds=2e-3, threshold_seconds=1e-3
+            )
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClock(epoch=EPOCH, threshold_seconds=0.0)
+
+    @given(
+        st.floats(min_value=1e-8, max_value=1e-6),
+        st.floats(min_value=1e-4, max_value=1e-2),
+        st.floats(min_value=0.0, max_value=1e5),
+    )
+    @settings(max_examples=100)
+    def test_sawtooth_invariant(self, drift, threshold, dt):
+        clock = ThresholdClock(
+            epoch=EPOCH, initial_offset_seconds=0.0, drift=drift,
+            threshold_seconds=threshold,
+        )
+        bias = clock.bias_seconds(EPOCH + dt)
+        assert 0.0 <= bias < threshold

@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+
+# Deterministic property testing: the suite is a reproduction artifact,
+# so every run must exercise the same examples (and never trip the
+# wall-clock deadline on a loaded CI box).
+settings.register_profile("repro", derandomize=True, deadline=None)
+settings.load_profile("repro")
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def gps_t0() -> GpsTime:
+    """A fixed reference GPS time used across tests."""
+    return GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture
+def make_epoch(gps_t0):
+    """Factory for synthetic epochs with exactly known truth.
+
+    Builds ``count`` satellites on a reproducible sky around a truth
+    receiver position, with pseudoranges
+    ``rho = ||s - x|| + bias + noise`` — noise-free by default, so
+    solvers can be checked for exact recovery.
+    """
+
+    def factory(
+        truth_position=None,
+        bias_meters: float = 0.0,
+        count: int = 8,
+        noise_sigma: float = 0.0,
+        seed: int = 0,
+        time: GpsTime = None,
+    ) -> ObservationEpoch:
+        rng = np.random.default_rng(seed)
+        if truth_position is None:
+            truth_position = np.array([3623420.0, -5214015.0, 602359.0])
+        truth_position = np.asarray(truth_position, dtype=float)
+        observations = []
+        for prn in range(1, count + 1):
+            # Spread satellites over the upper hemisphere around truth.
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            # Bias the direction away from the earth center so the
+            # satellite is plausibly overhead.
+            direction += truth_position / np.linalg.norm(truth_position)
+            direction /= np.linalg.norm(direction)
+            # Ranges must differ between satellites (as they do in the
+            # sky): several tests rely on a common clock bias NOT
+            # cancelling out of the differenced equations.
+            radius = rng.uniform(2.0e7, 2.6e7)
+            position = truth_position + direction * radius
+            pseudorange = float(np.linalg.norm(position - truth_position)) + bias_meters
+            if noise_sigma:
+                pseudorange += float(rng.normal(0.0, noise_sigma))
+            observations.append(
+                SatelliteObservation(prn=prn, position=position, pseudorange=pseudorange)
+            )
+        return ObservationEpoch(
+            time=time if time is not None else gps_t0,
+            observations=tuple(observations),
+            truth=EpochTruth(
+                receiver_position=truth_position, clock_bias_meters=bias_meters
+            ),
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="session")
+def srzn_dataset() -> ObservationDataset:
+    """A short SRZN (steering clock) data set shared across tests."""
+    return ObservationDataset(
+        get_station("SRZN"), DatasetConfig(duration_seconds=120.0)
+    )
+
+
+@pytest.fixture(scope="session")
+def kycp_dataset() -> ObservationDataset:
+    """A short KYCP (threshold clock) data set shared across tests."""
+    return ObservationDataset(
+        get_station("KYCP"), DatasetConfig(duration_seconds=120.0)
+    )

@@ -1,0 +1,111 @@
+"""Unit tests for constellation visibility and management."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constellation import Constellation, Satellite
+from repro.errors import ConfigurationError
+from repro.orbits import nominal_gps_almanac
+from repro.stations import get_station
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def epoch():
+    return GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture
+def constellation(epoch):
+    return Constellation.nominal(epoch, rng=np.random.default_rng(0))
+
+
+class TestConstruction:
+    def test_nominal_has_31(self, constellation):
+        assert len(constellation) == 31
+
+    def test_prns_sorted(self, constellation):
+        assert constellation.prns == list(range(1, 32))
+
+    def test_rejects_duplicate_prns(self, epoch):
+        ephemerides = nominal_gps_almanac(epoch, satellite_count=2)
+        duplicate = [Satellite(ephemeris=ephemerides[0])] * 2
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Constellation(duplicate)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Constellation([])
+
+    def test_lookup(self, constellation):
+        assert constellation.satellite(5).prn == 5
+        assert 5 in constellation
+        assert 62 not in constellation
+
+    def test_lookup_unknown_raises(self, constellation):
+        with pytest.raises(ConfigurationError, match="PRN 62"):
+            constellation.satellite(62)
+
+    def test_iteration(self, constellation):
+        assert sum(1 for _satellite in constellation) == 31
+
+    def test_ephemerides_sorted_by_prn(self, constellation):
+        prns = [eph.prn for eph in constellation.ephemerides()]
+        assert prns == sorted(prns)
+
+
+class TestVisibility:
+    def test_plausible_visible_count(self, constellation, epoch):
+        station = get_station("SRZN")
+        visible = constellation.visible_from(station.position, epoch)
+        assert 6 <= len(visible) <= 14
+
+    def test_sorted_by_descending_elevation(self, constellation, epoch):
+        station = get_station("YYR1")
+        visible = constellation.visible_from(station.position, epoch)
+        elevations = [v.elevation for v in visible]
+        assert elevations == sorted(elevations, reverse=True)
+
+    def test_all_above_mask(self, constellation, epoch):
+        station = get_station("FAI1")
+        mask = math.radians(15.0)
+        for visible in constellation.visible_from(station.position, epoch, mask):
+            assert visible.elevation >= mask
+
+    def test_higher_mask_sees_fewer(self, constellation, epoch):
+        station = get_station("KYCP")
+        low = constellation.visible_from(station.position, epoch, math.radians(5.0))
+        high = constellation.visible_from(station.position, epoch, math.radians(30.0))
+        assert len(high) < len(low)
+
+    def test_unhealthy_excluded(self, constellation, epoch):
+        station = get_station("SRZN")
+        before = constellation.visible_from(station.position, epoch)
+        victim = before[0].prn
+        constellation.set_health(victim, False)
+        after = constellation.visible_from(station.position, epoch)
+        assert victim not in [v.prn for v in after]
+        assert len(after) == len(before) - 1
+        constellation.set_health(victim, True)  # restore shared fixture state
+
+    def test_visible_satellite_carries_position(self, constellation, epoch):
+        station = get_station("SRZN")
+        visible = constellation.visible_from(station.position, epoch)[0]
+        np.testing.assert_array_equal(
+            visible.position, visible.satellite.position_at(epoch)
+        )
+
+    def test_visibility_changes_over_time(self, constellation, epoch):
+        station = get_station("SRZN")
+        now = {v.prn for v in constellation.visible_from(station.position, epoch)}
+        later = {
+            v.prn
+            for v in constellation.visible_from(station.position, epoch + 6 * 3600.0)
+        }
+        assert now != later  # satellites rise and set over six hours
+
+    def test_rejects_bad_receiver_shape(self, constellation, epoch):
+        with pytest.raises(ConfigurationError):
+            constellation.visible_from(np.array([1.0, 2.0]), epoch)

@@ -1,0 +1,134 @@
+"""Unit + integration tests for satellite pass planning."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constellation import Constellation, find_passes
+from repro.errors import ConfigurationError
+from repro.geodesy import elevation_angle
+from repro.stations import get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture(scope="module")
+def constellation():
+    return Constellation.nominal(T0, rng=np.random.default_rng(8))
+
+
+@pytest.fixture(scope="module")
+def six_hour_passes(constellation):
+    station = get_station("SRZN")
+    # Half a sidereal day: every satellite completes one orbit, so the
+    # window contains fully-bounded passes as well as edge passes.
+    return find_passes(
+        constellation, station.position, T0, duration_seconds=12 * 3600.0,
+        coarse_step_seconds=120.0,
+    ), station
+
+
+class TestFindPasses:
+    def test_passes_found(self, six_hour_passes):
+        passes, _station = six_hour_passes
+        # Over six hours a 31-SV constellation produces many passes.
+        assert len(passes) >= 10
+
+    def test_rise_and_set_cross_the_mask(self, six_hour_passes, constellation):
+        passes, station = six_hour_passes
+        mask = math.radians(10.0)
+        for p in passes:
+            satellite = constellation.satellite(p.prn)
+            for edge in (p.rise, p.set_):
+                if edge is None:
+                    continue
+                elevation = elevation_angle(
+                    satellite.position_at(edge), station.position
+                )
+                assert elevation == pytest.approx(mask, abs=math.radians(0.05))
+
+    def test_max_elevation_above_mask(self, six_hour_passes):
+        passes, _station = six_hour_passes
+        for p in passes:
+            assert p.max_elevation >= math.radians(10.0)
+
+    def test_rise_before_set(self, six_hour_passes):
+        passes, _station = six_hour_passes
+        for p in passes:
+            if p.rise is not None and p.set_ is not None:
+                assert p.duration_seconds > 0
+
+    def test_pass_durations_plausible(self, six_hour_passes):
+        """GPS passes above a 10-degree mask last from minutes up to
+        several hours (the half-sidereal-day orbit repeats geometry)."""
+        passes, _station = six_hour_passes
+        durations = [
+            p.duration_seconds for p in passes if p.duration_seconds is not None
+        ]
+        assert durations, "expected at least one fully-contained pass"
+        for duration in durations:
+            assert 60.0 < duration < 12 * 3600.0
+
+    def test_edge_passes_marked_open(self, constellation):
+        station = get_station("SRZN")
+        # A 10-minute window: every visible satellite's pass extends
+        # past at least one edge.
+        passes = find_passes(
+            constellation, station.position, T0, duration_seconds=600.0
+        )
+        assert passes
+        assert all(p.rise is None or p.set_ is None or
+                   p.duration_seconds <= 600.0 for p in passes)
+        assert any(p.rise is None for p in passes)
+
+    def test_sorted_by_rise_time(self, six_hour_passes):
+        passes, _station = six_hour_passes
+        keys = [
+            (p.rise.to_gps_seconds() if p.rise else T0.to_gps_seconds(), p.prn)
+            for p in passes
+        ]
+        assert keys == sorted(keys)
+
+    def test_unhealthy_satellites_excluded(self, constellation):
+        station = get_station("SRZN")
+        victim = find_passes(
+            constellation, station.position, T0, duration_seconds=3600.0
+        )[0].prn
+        constellation.set_health(victim, False)
+        try:
+            passes = find_passes(
+                constellation, station.position, T0, duration_seconds=3600.0
+            )
+            assert all(p.prn != victim for p in passes)
+        finally:
+            constellation.set_health(victim, True)
+
+    def test_visibility_consistency_with_constellation(self, constellation):
+        """At any instant, the set of PRNs inside a pass window matches
+        Constellation.visible_from."""
+        station = get_station("SRZN")
+        passes = find_passes(
+            constellation, station.position, T0, duration_seconds=3600.0,
+            refine_tolerance_seconds=0.1,
+        )
+        probe = T0 + 1800.0
+        in_pass = set()
+        for p in passes:
+            rise_s = p.rise.to_gps_seconds() if p.rise else -np.inf
+            set_s = p.set_.to_gps_seconds() if p.set_ else np.inf
+            if rise_s <= probe.to_gps_seconds() <= set_s:
+                in_pass.add(p.prn)
+        visible = {v.prn for v in constellation.visible_from(station.position, probe)}
+        assert in_pass == visible
+
+    def test_validation(self, constellation):
+        station = get_station("SRZN")
+        with pytest.raises(ConfigurationError):
+            find_passes(constellation, station.position, T0, duration_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            find_passes(
+                constellation, station.position, T0, 100.0,
+                coarse_step_seconds=0.0,
+            )

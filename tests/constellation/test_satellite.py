@@ -1,0 +1,66 @@
+"""Unit tests for the Satellite wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GPS_ORBIT_SEMI_MAJOR_AXIS
+from repro.constellation import Satellite
+from repro.orbits import BroadcastEphemeris, OrbitalElements
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def epoch():
+    return GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture
+def ephemeris(epoch):
+    elements = OrbitalElements(
+        semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+        eccentricity=0.005,
+        inclination=math.radians(55.0),
+        raan=0.0,
+        argument_of_perigee=0.0,
+        mean_anomaly=1.0,
+        epoch=epoch,
+    )
+    return BroadcastEphemeris.from_elements(9, elements, af0=2e-6)
+
+
+class TestSatellite:
+    def test_prn_delegates(self, ephemeris):
+        assert Satellite(ephemeris=ephemeris).prn == 9
+
+    def test_position_matches_ephemeris(self, ephemeris, epoch):
+        satellite = Satellite(ephemeris=ephemeris)
+        np.testing.assert_array_equal(
+            satellite.position_at(epoch), ephemeris.satellite_position(epoch)
+        )
+
+    def test_clock_offset_delegates(self, ephemeris, epoch):
+        satellite = Satellite(ephemeris=ephemeris)
+        assert satellite.clock_offset_at(epoch) == pytest.approx(2e-6)
+
+    def test_healthy_by_default(self, ephemeris):
+        assert Satellite(ephemeris=ephemeris).healthy
+
+    def test_set_ephemeris_same_prn(self, ephemeris):
+        satellite = Satellite(ephemeris=ephemeris)
+        satellite.set_ephemeris(ephemeris.with_clock(af0=5e-6))
+        assert satellite.clock_offset_at(ephemeris.toe) == pytest.approx(5e-6)
+
+    def test_set_ephemeris_rejects_prn_mismatch(self, ephemeris, epoch):
+        satellite = Satellite(ephemeris=ephemeris)
+        other = BroadcastEphemeris(
+            prn=10, toe=epoch, sqrt_a=ephemeris.sqrt_a, eccentricity=0.0,
+            i0=0.96, omega0=0.0, omega=0.0, m0=0.0,
+        )
+        with pytest.raises(ValueError, match="PRN"):
+            satellite.set_ephemeris(other)
+
+    def test_repr_shows_health(self, ephemeris):
+        satellite = Satellite(ephemeris=ephemeris, healthy=False)
+        assert "unhealthy" in repr(satellite)

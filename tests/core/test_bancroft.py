@@ -1,0 +1,55 @@
+"""Unit + property tests for the Bancroft closed-form baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import BancroftSolver, NewtonRaphsonSolver
+from repro.errors import GeometryError
+
+
+class TestExactRecovery:
+    def test_four_satellites(self, make_epoch):
+        epoch = make_epoch(bias_meters=50.0, count=4)
+        fix = BancroftSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2
+        assert fix.clock_bias_meters == pytest.approx(50.0, abs=1e-2)
+
+    def test_overdetermined(self, make_epoch):
+        epoch = make_epoch(bias_meters=-120.0, count=10)
+        fix = BancroftSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2
+        assert fix.clock_bias_meters == pytest.approx(-120.0, abs=1e-2)
+
+    @given(
+        bias=st.floats(min_value=-1e5, max_value=1e5),
+        count=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_recovers_any_bias_without_prediction(self, make_epoch, bias, count, seed):
+        """Unlike DLO/DLG, Bancroft solves the bias as an unknown."""
+        epoch = make_epoch(bias_meters=bias, count=count, seed=seed)
+        fix = BancroftSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 0.1
+        assert fix.clock_bias_meters == pytest.approx(bias, abs=0.1)
+
+
+class TestAgainstNewtonRaphson:
+    def test_agreement_under_noise(self, make_epoch):
+        epoch = make_epoch(bias_meters=30.0, count=9, noise_sigma=1.5, seed=2)
+        nr = NewtonRaphsonSolver().solve(epoch)
+        bancroft = BancroftSolver().solve(epoch)
+        assert np.linalg.norm(nr.position - bancroft.position) < 15.0
+
+
+class TestFailureModes:
+    def test_too_few_satellites(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least 4"):
+            BancroftSolver().solve(make_epoch(count=3))
+
+    def test_metadata(self, make_epoch):
+        fix = BancroftSolver().solve(make_epoch(count=6))
+        assert fix.algorithm == "Bancroft"
+        assert fix.converged
+        assert np.isfinite(fix.residual_norm)

@@ -1,0 +1,177 @@
+"""Unit + consistency tests for the batched solvers (paper ext. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import OracleClockBiasPredictor
+from repro.core import (
+    BatchDLGSolver,
+    BatchDLOSolver,
+    DLGSolver,
+    DLOSolver,
+    group_epochs_by_count,
+)
+from repro.errors import GeometryError
+
+
+@pytest.fixture
+def batch(make_epoch):
+    """Ten same-size noisy epochs with a common bias."""
+    epochs = [
+        make_epoch(bias_meters=35.0, count=8, noise_sigma=1.0, seed=seed)
+        for seed in range(10)
+    ]
+    biases = [35.0] * len(epochs)
+    return epochs, biases
+
+
+class TestBatchDLO:
+    def test_matches_per_epoch_solver_exactly(self, batch):
+        epochs, biases = batch
+        stacked = BatchDLOSolver().solve_batch(epochs, biases)
+        for row, epoch, bias in zip(stacked, epochs, biases):
+            single = DLOSolver().solve(
+                epoch.with_observations(
+                    type(epoch.observations[0])(
+                        prn=obs.prn,
+                        position=obs.position,
+                        pseudorange=obs.pseudorange - bias,
+                        elevation=obs.elevation,
+                        azimuth=obs.azimuth,
+                    )
+                    for obs in epoch.observations
+                )
+            )
+            np.testing.assert_allclose(row, single.position, atol=1e-6)
+
+    def test_output_shape(self, batch):
+        epochs, biases = batch
+        assert BatchDLOSolver().solve_batch(epochs, biases).shape == (10, 3)
+
+    def test_accuracy(self, batch):
+        epochs, biases = batch
+        stacked = BatchDLOSolver().solve_batch(epochs, biases)
+        for row, epoch in zip(stacked, epochs):
+            assert np.linalg.norm(row - epoch.truth.receiver_position) < 30.0
+
+
+class TestBatchDLG:
+    def test_matches_per_epoch_solver(self, batch, make_epoch):
+        epochs, biases = batch
+        stacked = BatchDLGSolver().solve_batch(epochs, biases)
+        # Compare through the per-epoch DLG with an exact-bias oracle.
+        class ConstBias:
+            is_ready = True
+
+            def observe(self, t, b): ...
+
+            def predict_bias_meters(self, t):
+                return 35.0
+
+        solver = DLGSolver(ConstBias())
+        for row, epoch in zip(stacked, epochs):
+            np.testing.assert_allclose(
+                row, solver.solve(epoch).position, atol=1e-6
+            )
+
+    def test_batch_dlg_beats_batch_dlo(self, make_epoch):
+        epochs = [
+            make_epoch(bias_meters=0.0, count=10, noise_sigma=3.0, seed=seed)
+            for seed in range(80)
+        ]
+        biases = [0.0] * len(epochs)
+        dlo = BatchDLOSolver().solve_batch(epochs, biases)
+        dlg = BatchDLGSolver().solve_batch(epochs, biases)
+        truth = np.stack([epoch.truth.receiver_position for epoch in epochs])
+        assert np.mean(np.linalg.norm(dlg - truth, axis=1)) < np.mean(
+            np.linalg.norm(dlo - truth, axis=1)
+        )
+
+
+class TestValidation:
+    def test_rejects_empty_batch(self):
+        with pytest.raises(GeometryError, match="at least one"):
+            BatchDLOSolver().solve_batch([], [])
+
+    def test_rejects_mixed_counts(self, make_epoch):
+        epochs = [make_epoch(count=8), make_epoch(count=9)]
+        with pytest.raises(GeometryError, match="same satellite count"):
+            BatchDLOSolver().solve_batch(epochs, [0.0, 0.0])
+
+    def test_rejects_too_few_satellites(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least 4"):
+            BatchDLOSolver().solve_batch([make_epoch(count=3)], [0.0])
+
+    def test_rejects_bias_shape(self, make_epoch):
+        with pytest.raises(GeometryError, match="one per epoch"):
+            BatchDLOSolver().solve_batch([make_epoch(count=8)], [0.0, 1.0])
+
+    def test_rejects_huge_bias(self, make_epoch):
+        with pytest.raises(GeometryError, match="non-positive"):
+            BatchDLOSolver().solve_batch([make_epoch(count=8)], [1e9])
+
+
+class TestGrouping:
+    def test_groups_by_count(self, make_epoch):
+        epochs = [
+            make_epoch(count=8, seed=1),
+            make_epoch(count=9, seed=2),
+            make_epoch(count=8, seed=3),
+        ]
+        groups = group_epochs_by_count(epochs)
+        assert sorted(groups) == [8, 9]
+        assert len(groups[8]) == 2
+        assert len(groups[9]) == 1
+
+
+class TestBatchProperty:
+    def test_batch_equals_loop_across_sizes(self, make_epoch):
+        """Property: for any (m, N), the batched solvers agree with the
+        per-epoch solvers to float precision."""
+        from hypothesis import HealthCheck, given, settings, strategies as st
+
+        @given(
+            m=st.integers(min_value=5, max_value=11),
+            n=st.integers(min_value=1, max_value=6),
+            seed=st.integers(min_value=0, max_value=30),
+        )
+        @settings(
+            max_examples=30,
+            deadline=None,
+            suppress_health_check=[HealthCheck.function_scoped_fixture],
+        )
+        def check(m, n, seed):
+            epochs = [
+                make_epoch(bias_meters=12.0, count=m, noise_sigma=1.0,
+                           seed=seed + i)
+                for i in range(n)
+            ]
+            biases = [12.0] * n
+
+            class ConstBias:
+                is_ready = True
+
+                def observe(self, t, b): ...
+
+                def predict_bias_meters(self, t):
+                    return 12.0
+
+            from repro.errors import EstimationError, GeometryError
+
+            try:
+                stacked_dlo = BatchDLOSolver().solve_batch(epochs, biases)
+                stacked_dlg = BatchDLGSolver().solve_batch(epochs, biases)
+            except EstimationError:
+                return  # a degenerate random sky in the batch; acceptable
+            dlo = DLOSolver(ConstBias())
+            dlg = DLGSolver(ConstBias())
+            for row_o, row_g, epoch in zip(stacked_dlo, stacked_dlg, epochs):
+                try:
+                    single_o = dlo.solve(epoch).position
+                    single_g = dlg.solve(epoch).position
+                except GeometryError:
+                    continue
+                np.testing.assert_allclose(row_o, single_o, atol=1e-5)
+                np.testing.assert_allclose(row_g, single_g, atol=1e-5)
+
+        check()

@@ -1,0 +1,232 @@
+"""Unit + property tests for the paper's DLO/DLG algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.clocks import OracleClockBiasPredictor, SteeringClock, ZeroClockBiasPredictor
+from repro.core import (
+    DLGSolver,
+    DLOSolver,
+    NewtonRaphsonSolver,
+    build_difference_system,
+    difference_covariance,
+)
+from repro.core.selection import ClosestRangeSelector, HighestElevationSelector
+from repro.errors import GeometryError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+
+class TestBuildDifferenceSystem:
+    def test_shapes(self, make_epoch):
+        epoch = make_epoch(count=7)
+        design, rhs = build_difference_system(
+            epoch.satellite_positions(), epoch.pseudoranges()
+        )
+        assert design.shape == (6, 3)
+        assert rhs.shape == (6,)
+
+    def test_exact_on_clean_data(self, make_epoch):
+        """The linearization (eq. 4-7) is *algebraically exact*: with
+        noise-free clock-free pseudoranges, the truth position satisfies
+        the linear system to machine precision."""
+        epoch = make_epoch(bias_meters=0.0, count=8)
+        design, rhs = build_difference_system(
+            epoch.satellite_positions(), epoch.pseudoranges()
+        )
+        residual = design @ epoch.truth.receiver_position - rhs
+        np.testing.assert_allclose(residual, 0.0, atol=1.0)  # 1e14-scale cancellation
+
+    def test_base_index_excluded(self, make_epoch):
+        epoch = make_epoch(count=5)
+        design, _rhs = build_difference_system(
+            epoch.satellite_positions(), epoch.pseudoranges(), base_index=2
+        )
+        positions = epoch.satellite_positions()
+        expected_rows = [positions[j] - positions[2] for j in (0, 1, 3, 4)]
+        np.testing.assert_allclose(design, expected_rows)
+
+    def test_rejects_single_satellite(self):
+        with pytest.raises(GeometryError):
+            build_difference_system(np.ones((1, 3)), np.ones(1))
+
+    def test_rejects_bad_base_index(self, make_epoch):
+        epoch = make_epoch(count=5)
+        with pytest.raises(GeometryError):
+            build_difference_system(
+                epoch.satellite_positions(), epoch.pseudoranges(), base_index=5
+            )
+
+    @given(
+        base_index=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_truth_satisfies_system_any_base(self, make_epoch, base_index, seed):
+        epoch = make_epoch(bias_meters=0.0, count=8, seed=seed)
+        design, rhs = build_difference_system(
+            epoch.satellite_positions(), epoch.pseudoranges(), base_index
+        )
+        residual = design @ epoch.truth.receiver_position - rhs
+        np.testing.assert_allclose(residual, 0.0, atol=1.0)
+
+
+class TestDifferenceCovariance:
+    def test_structure_matches_eq_4_26(self):
+        pseudoranges = np.array([2.0e7, 2.1e7, 2.2e7, 2.3e7])
+        covariance = difference_covariance(pseudoranges, base_index=0)
+        base_sq = (2.0e7) ** 2
+        assert covariance.shape == (3, 3)
+        # Off-diagonals are rho_base^2.
+        assert covariance[0, 1] == pytest.approx(base_sq)
+        assert covariance[1, 2] == pytest.approx(base_sq)
+        # Diagonals are rho_base^2 + rho_j^2.
+        assert covariance[0, 0] == pytest.approx(base_sq + (2.1e7) ** 2)
+        assert covariance[2, 2] == pytest.approx(base_sq + (2.3e7) ** 2)
+
+    def test_symmetric_positive_definite(self, make_epoch):
+        from repro.estimation import is_positive_definite
+
+        epoch = make_epoch(count=10)
+        covariance = difference_covariance(epoch.pseudoranges())
+        assert is_positive_definite(covariance)
+
+    def test_respects_base_index(self):
+        pseudoranges = np.array([1e7, 2e7, 3e7])
+        covariance = difference_covariance(pseudoranges, base_index=1)
+        assert covariance[0, 1] == pytest.approx((2e7) ** 2)
+
+    def test_rejects_too_few(self):
+        with pytest.raises(GeometryError):
+            difference_covariance(np.array([1e7]))
+
+
+class TestDLOSolver:
+    def test_exact_recovery_zero_bias(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=8)
+        fix = DLOSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-3
+        assert fix.algorithm == "DLO"
+        assert fix.iterations == 1
+
+    def test_exact_recovery_with_oracle_bias(self, gps_t0, make_epoch):
+        clock = SteeringClock(epoch=gps_t0, offset_seconds=1e-7, drift=0.0)
+        from repro.constants import SPEED_OF_LIGHT
+
+        bias = SPEED_OF_LIGHT * clock.bias_seconds(gps_t0)
+        epoch = make_epoch(bias_meters=bias, count=8)
+        fix = DLOSolver(OracleClockBiasPredictor(clock)).solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-3
+        assert fix.clock_bias_meters == pytest.approx(bias)
+
+    def test_unpredicted_bias_corrupts_solution(self, make_epoch):
+        """Without the clock prediction step, direct linearization is
+        badly biased — the reason Section 4.2 exists."""
+        epoch = make_epoch(bias_meters=3000.0, count=8)
+        fix = DLOSolver(ZeroClockBiasPredictor()).solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) > 100.0
+
+    def test_minimum_satellites(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=4)
+        fix = DLOSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2
+
+    def test_rejects_three_satellites(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least 4"):
+            DLOSolver().solve(make_epoch(count=3))
+
+    def test_rejects_grossly_wrong_prediction(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=6)
+
+        class HugeBias(ZeroClockBiasPredictor):
+            def predict_bias_meters(self, time):
+                return 1e9  # larger than any pseudorange
+
+        with pytest.raises(GeometryError, match="clock"):
+            DLOSolver(HugeBias()).solve(epoch)
+
+    def test_degenerate_geometry(self, gps_t0):
+        # Satellites spaced along one line: A is rank deficient.
+        base = np.array([2.6e7, 0.0, 0.0])
+        observations = tuple(
+            SatelliteObservation(
+                prn=p, position=base + np.array([p * 1e5, 0.0, 0.0]),
+                pseudorange=2.0e7 + p * 1e5,
+            )
+            for p in range(1, 6)
+        )
+        epoch = ObservationEpoch(time=gps_t0, observations=observations)
+        with pytest.raises(GeometryError):
+            DLOSolver().solve(epoch)
+
+
+class TestDLGSolver:
+    def test_exact_recovery(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=9)
+        fix = DLGSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-3
+        assert fix.algorithm == "DLG"
+
+    def test_equals_dlo_at_four_satellites(self, make_epoch):
+        """m = 4 gives a square 3x3 system: OLS and GLS both solve it
+        exactly, so the fixes coincide."""
+        epoch = make_epoch(bias_meters=0.0, count=4, noise_sigma=2.0, seed=3)
+        dlo = DLOSolver().solve(epoch)
+        dlg = DLGSolver().solve(epoch)
+        np.testing.assert_allclose(dlo.position, dlg.position, atol=1e-5)
+
+    def test_differs_from_dlo_when_overdetermined(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=10, noise_sigma=2.0, seed=4)
+        dlo = DLOSolver().solve(epoch)
+        dlg = DLGSolver().solve(epoch)
+        assert np.linalg.norm(dlo.position - dlg.position) > 1e-6
+
+    def test_dlg_beats_dlo_on_average(self, make_epoch):
+        """Theorem 4.2 in action: over many noisy epochs the GLS
+        variant is more accurate than the OLS variant."""
+        dlo_errors, dlg_errors = [], []
+        for seed in range(120):
+            epoch = make_epoch(bias_meters=0.0, count=10, noise_sigma=3.0, seed=seed)
+            truth = epoch.truth.receiver_position
+            dlo_errors.append(DLOSolver().solve(epoch).distance_to(truth))
+            dlg_errors.append(DLGSolver().solve(epoch).distance_to(truth))
+        assert np.mean(dlg_errors) < np.mean(dlo_errors)
+
+
+class TestAgainstNewtonRaphson:
+    def test_all_three_agree_on_clean_data(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=8)
+        truth = epoch.truth.receiver_position
+        nr = NewtonRaphsonSolver().solve(epoch)
+        dlo = DLOSolver().solve(epoch)
+        dlg = DLGSolver().solve(epoch)
+        for fix in (nr, dlo, dlg):
+            assert fix.distance_to(truth) < 1e-2
+
+    @given(
+        count=st.integers(min_value=5, max_value=12),
+        seed=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_closed_form_matches_nr_within_noise(self, make_epoch, count, seed):
+        epoch = make_epoch(bias_meters=0.0, count=count, noise_sigma=1.0, seed=seed)
+        truth = epoch.truth.receiver_position
+        nr_error = NewtonRaphsonSolver().solve(epoch).distance_to(truth)
+        dlg_error = DLGSolver().solve(epoch).distance_to(truth)
+        # Same data, same order of magnitude of error (random skies can
+        # have poor differencing geometry, hence the generous factor).
+        assert dlg_error < max(30.0 * nr_error, 40.0)
+
+
+class TestBaseSelection:
+    def test_selector_changes_solution_under_noise(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=8, noise_sigma=2.0, seed=9)
+        first = DLOSolver().solve(epoch)
+        closest = DLOSolver(base_selector=ClosestRangeSelector()).solve(epoch)
+        assert np.linalg.norm(first.position - closest.position) > 1e-9
+
+    def test_highest_elevation_selector_used(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=6)
+        fix = DLGSolver(base_selector=HighestElevationSelector()).solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2

@@ -1,0 +1,89 @@
+"""Unit tests for DOP computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_dop
+from repro.errors import GeometryError
+from repro.geodesy import enu_to_ecef, geodetic_to_ecef
+
+
+@pytest.fixture
+def receiver():
+    return geodetic_to_ecef(np.radians(40.0), np.radians(-100.0), 100.0)
+
+
+def sky(receiver, directions):
+    """Place satellites 2.2e7 m away along given ENU unit directions."""
+    return np.array(
+        [enu_to_ecef(np.asarray(d, dtype=float) * 2.2e7, receiver) for d in directions]
+    )
+
+
+class TestComputeDop:
+    def test_good_geometry_low_dop(self, receiver):
+        # Zenith + three well-spread low satellites: the classic
+        # near-optimal 4-satellite arrangement.
+        satellites = sky(
+            receiver,
+            [
+                (0.0, 0.0, 1.0),
+                (0.94, 0.0, 0.34),
+                (-0.47, 0.81, 0.34),
+                (-0.47, -0.81, 0.34),
+            ],
+        )
+        dop = compute_dop(satellites, receiver)
+        assert dop.gdop < 4.0
+        assert dop.pdop < dop.gdop
+        assert dop.hdop > 0 and dop.vdop > 0 and dop.tdop > 0
+
+    def test_clustered_geometry_high_dop(self, receiver):
+        spread = sky(
+            receiver,
+            [(0.0, 0.0, 1.0), (0.9, 0.0, 0.44), (-0.45, 0.78, 0.44), (-0.45, -0.78, 0.44)],
+        )
+        clustered = sky(
+            receiver,
+            [(0.0, 0.0, 1.0), (0.1, 0.0, 0.995), (0.0, 0.1, 0.995), (-0.1, 0.0, 0.995)],
+        )
+        assert compute_dop(clustered, receiver).gdop > compute_dop(spread, receiver).gdop
+
+    def test_gdop_combines_components(self, receiver):
+        satellites = sky(
+            receiver,
+            [(0.0, 0.0, 1.0), (0.9, 0.0, 0.44), (-0.45, 0.78, 0.44), (-0.45, -0.78, 0.44),
+             (0.5, 0.5, 0.71)],
+        )
+        dop = compute_dop(satellites, receiver)
+        assert dop.gdop == pytest.approx(
+            np.sqrt(dop.pdop**2 + dop.tdop**2), rel=1e-9
+        )
+        assert dop.pdop == pytest.approx(
+            np.sqrt(dop.hdop**2 + dop.vdop**2), rel=1e-9
+        )
+
+    def test_more_satellites_never_worse(self, receiver):
+        base_dirs = [
+            (0.0, 0.0, 1.0), (0.9, 0.0, 0.44), (-0.45, 0.78, 0.44), (-0.45, -0.78, 0.44),
+        ]
+        extra_dirs = base_dirs + [(0.7, -0.7, 0.14), (-0.7, 0.7, 0.14)]
+        few = compute_dop(sky(receiver, base_dirs), receiver)
+        many = compute_dop(sky(receiver, extra_dirs), receiver)
+        assert many.gdop <= few.gdop
+
+    def test_rejects_too_few(self, receiver):
+        satellites = sky(receiver, [(0.0, 0.0, 1.0), (1.0, 0.0, 0.0), (0.0, 1.0, 0.0)])
+        with pytest.raises(GeometryError, match="at least 4"):
+            compute_dop(satellites, receiver)
+
+    def test_rejects_coincident_satellite(self, receiver):
+        satellites = np.vstack([receiver + 0.1, np.ones((3, 3)) * 2.2e7])
+        with pytest.raises(GeometryError, match="coincides"):
+            compute_dop(satellites, receiver)
+
+    def test_singular_geometry_raises(self, receiver):
+        # Four identical directions: G^T G singular.
+        satellites = sky(receiver, [(0.0, 0.0, 1.0)] * 4)
+        with pytest.raises(GeometryError):
+            compute_dop(satellites, receiver)

@@ -1,0 +1,151 @@
+"""Unit + integration tests for the navigation EKF."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Constellation, NewtonRaphsonSolver
+from repro.core import NavigationEkf
+from repro.errors import ConfigurationError, GeometryError
+from repro.motion import GreatCircleTrajectory, KinematicScenario
+from repro.observations import SatelliteObservation
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestConfiguration:
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ConfigurationError):
+            NavigationEkf(position_process_noise=0.0)
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ConfigurationError):
+            NavigationEkf(pseudorange_sigma=-1.0)
+
+    def test_uninitialized_state(self):
+        ekf = NavigationEkf()
+        assert not ekf.is_initialized
+        assert ekf.state is None
+        assert ekf.velocity is None
+
+
+class TestInitialization:
+    def test_first_epoch_initializes_from_nr(self, srzn_dataset):
+        ekf = NavigationEkf()
+        epoch = srzn_dataset.epoch_at(0)
+        fix = ekf.process(epoch)
+        assert ekf.is_initialized
+        assert fix.algorithm == "EKF"
+        nr_fix = NewtonRaphsonSolver().solve(epoch)
+        np.testing.assert_allclose(fix.position, nr_fix.position, atol=1e-6)
+
+    def test_initialization_failure_propagates(self, make_epoch):
+        ekf = NavigationEkf()
+        with pytest.raises(GeometryError, match="initialization"):
+            ekf.process(make_epoch(count=3))
+
+    def test_reset(self, srzn_dataset):
+        ekf = NavigationEkf()
+        ekf.process(srzn_dataset.epoch_at(0))
+        ekf.reset()
+        assert not ekf.is_initialized
+
+
+class TestStaticTracking:
+    def test_beats_snapshot_nr_on_static_receiver(self):
+        station = get_station("SRZN")
+        dataset = ObservationDataset(
+            station, DatasetConfig(duration_seconds=120.0)
+        )
+        ekf = NavigationEkf(position_process_noise=0.05)
+        nr = NewtonRaphsonSolver()
+        nr_errors, ekf_errors = [], []
+        for index in range(dataset.epoch_count):
+            epoch = dataset.epoch_at(index)
+            fix = ekf.process(epoch)
+            if index >= 30:
+                nr_errors.append(nr.solve(epoch).distance_to(station.position))
+                ekf_errors.append(fix.distance_to(station.position))
+        assert np.mean(ekf_errors) < 0.8 * np.mean(nr_errors)
+
+    def test_velocity_near_zero_for_station(self, srzn_dataset):
+        ekf = NavigationEkf(position_process_noise=0.05)
+        for index in range(srzn_dataset.epoch_count):
+            ekf.process(srzn_dataset.epoch_at(index))
+        assert np.linalg.norm(ekf.velocity) < 0.5
+
+    def test_clock_bias_tracks_truth(self, srzn_dataset):
+        ekf = NavigationEkf()
+        fix = None
+        for index in range(60):
+            epoch = srzn_dataset.epoch_at(index)
+            fix = ekf.process(epoch)
+        assert fix.clock_bias_meters == pytest.approx(
+            epoch.truth.clock_bias_meters, abs=5.0
+        )
+
+
+class TestKinematicTracking:
+    def test_tracks_aircraft_with_doppler(self):
+        constellation = Constellation.nominal(T0, rng=np.random.default_rng(6))
+        trajectory = GreatCircleTrajectory(
+            start_latitude=math.radians(40.0),
+            start_longitude=math.radians(-100.0),
+            altitude_m=10_000.0,
+            heading=math.radians(90.0),
+            speed_mps=250.0,
+            epoch=T0,
+        )
+        scenario = KinematicScenario(
+            trajectory, constellation, T0, 90.0, track_doppler=True
+        )
+        ekf = NavigationEkf(position_process_noise=2.0)
+        errors, speed_errors = [], []
+        for index, epoch in enumerate(scenario.epochs()):
+            fix = ekf.process(epoch)
+            if index >= 20:
+                truth = trajectory.position_at(epoch.time)
+                errors.append(np.linalg.norm(fix.position - truth))
+                speed_errors.append(
+                    abs(np.linalg.norm(ekf.velocity) - 250.0)
+                )
+        assert np.mean(errors) < 10.0
+        assert np.mean(speed_errors) < 2.0
+
+
+class TestRobustness:
+    def test_innovation_gate_rejects_fault(self, srzn_dataset):
+        ekf = NavigationEkf()
+        station = get_station("SRZN")
+        for index in range(30):
+            ekf.process(srzn_dataset.epoch_at(index))
+        # Inject a 1 km fault on one satellite.
+        epoch = srzn_dataset.epoch_at(30)
+        observations = list(epoch.observations)
+        bad = observations[0]
+        observations[0] = SatelliteObservation(
+            prn=bad.prn,
+            position=bad.position,
+            pseudorange=bad.pseudorange + 1000.0,
+            elevation=bad.elevation,
+            azimuth=bad.azimuth,
+        )
+        fix = ekf.process(epoch.with_observations(observations))
+        assert ekf.rejected_measurements >= 1
+        assert fix.distance_to(station.position) < 20.0
+
+    def test_time_going_backwards_raises(self, srzn_dataset):
+        ekf = NavigationEkf()
+        ekf.process(srzn_dataset.epoch_at(10))
+        with pytest.raises(ConfigurationError, match="time order"):
+            ekf.process(srzn_dataset.epoch_at(0))
+
+    def test_same_timestamp_allowed(self, srzn_dataset):
+        ekf = NavigationEkf()
+        epoch = srzn_dataset.epoch_at(0)
+        ekf.process(epoch)
+        ekf.process(epoch)  # duplicate epoch: update only, no predict
+        assert ekf.is_initialized

@@ -1,0 +1,125 @@
+"""Unit + integration tests for RAIM fault detection/exclusion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import RaimMonitor, chi_square_quantile
+from repro.errors import ConfigurationError, GeometryError
+from repro.observations import SatelliteObservation
+
+
+def inject_fault(epoch, index, offset_meters):
+    observations = list(epoch.observations)
+    bad = observations[index]
+    observations[index] = SatelliteObservation(
+        prn=bad.prn,
+        position=bad.position,
+        pseudorange=bad.pseudorange + offset_meters,
+        elevation=bad.elevation,
+        azimuth=bad.azimuth,
+    )
+    return epoch.with_observations(observations), bad.prn
+
+
+class TestChiSquareQuantile:
+    @pytest.mark.parametrize(
+        "probability,dof,expected",
+        [
+            (0.95, 1, 3.841),
+            (0.95, 4, 9.488),
+            (0.99, 2, 9.210),
+            (0.999, 6, 22.458),
+        ],
+    )
+    def test_against_tables(self, probability, dof, expected):
+        # Wilson-Hilferty is approximate; a few percent is fine.
+        assert chi_square_quantile(probability, dof) == pytest.approx(
+            expected, rel=0.05
+        )
+
+    def test_monotone_in_probability(self):
+        values = [chi_square_quantile(p, 4) for p in (0.5, 0.9, 0.99, 0.999)]
+        assert values == sorted(values)
+
+    def test_monotone_in_dof(self):
+        values = [chi_square_quantile(0.99, dof) for dof in (1, 3, 6, 10)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(1.0, 3)
+
+    def test_rejects_bad_dof(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(0.95, 0)
+
+
+class TestRaimConfiguration:
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            RaimMonitor(sigma_meters=0.0)
+
+    def test_rejects_bad_pfa(self):
+        with pytest.raises(ConfigurationError):
+            RaimMonitor(p_false_alarm=1.5)
+
+    def test_rejects_insufficient_redundancy(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least 5"):
+            RaimMonitor().check(make_epoch(count=4))
+
+
+class TestDetection:
+    def test_clean_epoch_passes(self, make_epoch):
+        epoch = make_epoch(bias_meters=20.0, count=9, noise_sigma=1.0, seed=3)
+        result = RaimMonitor(sigma_meters=2.0).check(epoch)
+        assert result.passed
+        assert result.excluded_prn is None
+        assert result.test_statistic <= result.threshold
+
+    def test_false_alarm_rate_roughly_respected(self, make_epoch):
+        monitor = RaimMonitor(sigma_meters=1.05, p_false_alarm=1e-3)
+        flagged = 0
+        for seed in range(100):
+            epoch = make_epoch(bias_meters=10.0, count=6, noise_sigma=1.0, seed=seed)
+            result = monitor.check(epoch)
+            if result.excluded_prn is not None or not result.passed:
+                flagged += 1
+        assert flagged <= 5  # 1e-3 nominal; generous slack for approximation
+
+    def test_large_fault_detected_and_excluded(self, make_epoch):
+        epoch = make_epoch(bias_meters=15.0, count=9, noise_sigma=1.0, seed=4)
+        faulty, bad_prn = inject_fault(epoch, 3, 300.0)
+        result = RaimMonitor(sigma_meters=2.0).check(faulty)
+        assert result.passed
+        assert result.excluded_prn == bad_prn
+        # The repaired fix is close to truth again.
+        assert result.fix.distance_to(epoch.truth.receiver_position) < 20.0
+
+    def test_exclusion_identifies_correct_satellite_consistently(self, make_epoch):
+        monitor = RaimMonitor(sigma_meters=2.0)
+        hits = 0
+        for seed in range(20):
+            epoch = make_epoch(bias_meters=0.0, count=8, noise_sigma=1.0, seed=seed)
+            faulty, bad_prn = inject_fault(epoch, seed % 8, 500.0)
+            result = monitor.check(faulty)
+            if result.excluded_prn == bad_prn:
+                hits += 1
+        assert hits >= 18
+
+    def test_unrepairable_epoch_reported(self, make_epoch):
+        """Five satellites: detection possible, exclusion not (m-1=4
+        leaves no redundancy)."""
+        epoch = make_epoch(bias_meters=0.0, count=5, noise_sigma=0.5, seed=7)
+        faulty, _bad_prn = inject_fault(epoch, 1, 1000.0)
+        result = RaimMonitor(sigma_meters=1.0).check(faulty)
+        assert not result.passed
+        assert result.excluded_prn is None
+
+    def test_small_fault_below_noise_tolerated(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=9, noise_sigma=1.0, seed=9)
+        faulty, _bad_prn = inject_fault(epoch, 0, 1.0)
+        result = RaimMonitor(sigma_meters=2.0).check(faulty)
+        assert result.passed
+        assert result.excluded_prn is None

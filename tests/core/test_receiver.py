@@ -1,0 +1,245 @@
+"""Unit + integration tests for the GpsReceiver pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import KalmanClockBiasPredictor
+from repro.core import GpsReceiver
+from repro.errors import ConfigurationError
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+class TestConfiguration:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            GpsReceiver(algorithm="magic")
+
+    def test_rejects_negative_recalibration(self):
+        with pytest.raises(ConfigurationError):
+            GpsReceiver(recalibration_interval=-1)
+
+    def test_algorithm_property(self):
+        assert GpsReceiver(algorithm="dlo").algorithm == "dlo"
+
+
+class TestWarmupBehaviour:
+    def test_warmup_uses_nr(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="dlg", warmup_epochs=10)
+        fixes = [receiver.process(srzn_dataset.epoch_at(i)) for i in range(12)]
+        assert all(fix.algorithm == "NR" for fix in fixes[:10])
+        assert fixes[11].algorithm == "DLG"
+        assert receiver.stats["warmup_fixes"] == 10
+
+    def test_predictor_becomes_ready(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="dlo", warmup_epochs=5)
+        for i in range(6):
+            receiver.process(srzn_dataset.epoch_at(i))
+        assert receiver.predictor.is_ready
+
+    def test_epochs_processed_counter(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="dlg", warmup_epochs=3)
+        for i in range(7):
+            receiver.process(srzn_dataset.epoch_at(i))
+        assert receiver.epochs_processed == 7
+
+
+class TestSteadyState:
+    def test_accuracy_reasonable(self, srzn_dataset):
+        station = get_station("SRZN")
+        receiver = GpsReceiver(algorithm="dlg", warmup_epochs=20)
+        errors = []
+        for i in range(srzn_dataset.epoch_count):
+            fix = receiver.process(srzn_dataset.epoch_at(i))
+            if i >= 20:
+                errors.append(fix.distance_to(station.position))
+        assert np.mean(errors) < 25.0
+
+    def test_nr_mode_never_uses_predictor(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="nr")
+        fix = receiver.process(srzn_dataset.epoch_at(0))
+        assert fix.algorithm == "NR"
+        assert receiver.stats["closed_form_fixes"] == 0
+
+    def test_bancroft_mode(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="bancroft")
+        fix = receiver.process(srzn_dataset.epoch_at(0))
+        assert fix.algorithm == "Bancroft"
+
+    def test_recalibration_counted(self, srzn_dataset):
+        receiver = GpsReceiver(
+            algorithm="dlg", warmup_epochs=5, recalibration_interval=10
+        )
+        for i in range(40):
+            receiver.process(srzn_dataset.epoch_at(i % srzn_dataset.epoch_count))
+        assert receiver.stats["recalibrations"] >= 2
+
+    def test_recalibration_disabled(self, srzn_dataset):
+        receiver = GpsReceiver(
+            algorithm="dlg", warmup_epochs=5, recalibration_interval=0
+        )
+        for i in range(30):
+            receiver.process(srzn_dataset.epoch_at(i))
+        assert receiver.stats["recalibrations"] == 0
+
+    def test_custom_predictor_accepted(self, srzn_dataset):
+        receiver = GpsReceiver(
+            algorithm="dlg", predictor=KalmanClockBiasPredictor(min_observations=5)
+        )
+        for i in range(10):
+            receiver.process(srzn_dataset.epoch_at(i))
+        assert receiver.stats["closed_form_fixes"] > 0
+
+
+class TestThresholdClockEndToEnd:
+    def test_threshold_station_tracks_through_resets(self):
+        """KYCP free-runs at ~2e-7 s/s toward a 1 ms threshold.  Run
+        long enough to cross a reset and confirm the pipeline recovers
+        (via recalibration or fallback) instead of diverging."""
+        station = get_station("KYCP")
+        # Drift 2e-6 with 1e-4 threshold: reset every ~50 s -> several
+        # resets inside a short test.
+        config = DatasetConfig(
+            duration_seconds=240.0,
+            threshold_drift=2e-6,
+            threshold_reset_seconds=1e-4,
+        )
+        dataset = ObservationDataset(station, config)
+        receiver = GpsReceiver(
+            algorithm="dlg",
+            clock_mode="threshold",
+            warmup_epochs=15,
+            recalibration_interval=10,
+        )
+        tail_errors = []
+        for i in range(dataset.epoch_count):
+            fix = receiver.process(dataset.epoch_at(i))
+            if i >= 60:
+                tail_errors.append(fix.distance_to(station.position))
+        # Without reset handling the bias error would reach
+        # c * 1e-4 = 30 km; the pipeline must stay in the tens of meters.
+        assert np.mean(tail_errors) < 50.0
+        assert np.max(tail_errors) < 31_000.0
+
+
+class TestResidualGate:
+    def test_gate_recovers_at_clock_reset(self):
+        """A threshold clock reset between recalibrations makes the
+        closed-form prediction wrong by ~c*threshold; the residual gate
+        must catch it on the spot and recover via NR retraining."""
+        station = get_station("KYCP")
+        config = DatasetConfig(
+            duration_seconds=200.0,
+            threshold_drift=5e-7,
+            threshold_reset_seconds=5e-5,  # reset every 100 s
+        )
+        dataset = ObservationDataset(station, config)
+        receiver = GpsReceiver(
+            algorithm="dlg",
+            clock_mode="threshold",
+            warmup_epochs=20,
+            recalibration_interval=0,  # disable periodic recalibration
+        )
+        errors = []
+        for index in range(dataset.epoch_count):
+            fix = receiver.process(dataset.epoch_at(index))
+            if index >= 20:
+                errors.append(fix.distance_to(station.position))
+        stats = receiver.stats
+        # The gate (or the fallback path) must have fired at least once
+        # per reset, and errors must never approach c * threshold = 15 km.
+        assert stats["residual_gate_recoveries"] + stats["fallbacks"] >= 1
+        assert np.max(errors) < 1000.0
+        assert np.mean(errors) < 50.0
+
+    def test_gate_quiet_on_steady_state(self, srzn_dataset):
+        receiver = GpsReceiver(algorithm="dlg", warmup_epochs=15)
+        for index in range(srzn_dataset.epoch_count):
+            receiver.process(srzn_dataset.epoch_at(index))
+        assert receiver.stats["residual_gate_recoveries"] == 0
+
+
+class TestFallbackPath:
+    def test_geometry_error_falls_back_to_nr(self, srzn_dataset):
+        """If the closed-form solve rejects the epoch outright (grossly
+        wrong prediction -> non-positive corrected pseudoranges), the
+        receiver answers with NR and retrains."""
+        from repro.clocks import ZeroClockBiasPredictor
+
+        class SabotagedPredictor(ZeroClockBiasPredictor):
+            def __init__(self):
+                self.calls = 0
+
+            def predict_bias_meters(self, time):
+                self.calls += 1
+                return 1e9  # larger than any pseudorange
+
+            def observe(self, time, bias):
+                self.observed = bias
+
+        predictor = SabotagedPredictor()
+        receiver = GpsReceiver(algorithm="dlg", predictor=predictor)
+        station = get_station("SRZN")
+        fix = receiver.process(srzn_dataset.epoch_at(0))
+        assert fix.algorithm == "NR"
+        assert receiver.stats["fallbacks"] == 1
+        assert fix.distance_to(station.position) < 30.0
+
+
+class TestRaimIntegration:
+    def test_rejects_raim_with_dlo(self):
+        with pytest.raises(ConfigurationError, match="RAIM"):
+            GpsReceiver(algorithm="dlo", raim_sigma_meters=3.0)
+
+    def test_fault_excluded_in_nr_mode(self, srzn_dataset):
+        from repro.observations import SatelliteObservation
+
+        receiver = GpsReceiver(algorithm="nr", raim_sigma_meters=3.0)
+        station = get_station("SRZN")
+        epoch = srzn_dataset.epoch_at(0)
+        observations = list(epoch.observations)
+        bad = observations[2]
+        observations[2] = SatelliteObservation(
+            prn=bad.prn,
+            position=bad.position,
+            pseudorange=bad.pseudorange + 500.0,
+            elevation=bad.elevation,
+            azimuth=bad.azimuth,
+        )
+        fix = receiver.process(epoch.with_observations(observations))
+        assert receiver.stats["raim_exclusions"] == 1
+        assert fix.distance_to(station.position) < 20.0
+
+    def test_fault_excluded_in_dlg_mode(self, srzn_dataset):
+        from repro.observations import SatelliteObservation
+
+        receiver = GpsReceiver(
+            algorithm="dlg", warmup_epochs=10, raim_sigma_meters=4.0
+        )
+        station = get_station("SRZN")
+        for index in range(10):
+            receiver.process(srzn_dataset.epoch_at(index))
+
+        epoch = srzn_dataset.epoch_at(11)
+        observations = list(epoch.observations)
+        bad = observations[3]
+        observations[3] = SatelliteObservation(
+            prn=bad.prn,
+            position=bad.position,
+            pseudorange=bad.pseudorange + 500.0,
+            elevation=bad.elevation,
+            azimuth=bad.azimuth,
+        )
+        fix = receiver.process(epoch.with_observations(observations))
+        assert receiver.stats["raim_exclusions"] == 1
+        assert fix.distance_to(station.position) < 20.0
+
+    def test_clean_epochs_unaffected(self, srzn_dataset):
+        with_raim = GpsReceiver(
+            algorithm="dlg", warmup_epochs=10, raim_sigma_meters=4.0
+        )
+        without = GpsReceiver(algorithm="dlg", warmup_epochs=10)
+        for index in range(30):
+            a = with_raim.process(srzn_dataset.epoch_at(index))
+            b = without.process(srzn_dataset.epoch_at(index))
+            np.testing.assert_allclose(a.position, b.position, atol=1e-9)
+        assert with_raim.stats["raim_exclusions"] == 0

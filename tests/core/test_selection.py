@@ -1,0 +1,74 @@
+"""Unit tests for base-satellite selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClosestRangeSelector,
+    FirstSelector,
+    HighestElevationSelector,
+    RandomSelector,
+)
+from repro.core.selection import make_selector
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture
+def epoch():
+    observations = tuple(
+        SatelliteObservation(
+            prn=prn,
+            position=np.array([2.0e7 + prn * 1e5, 1.0e7, 5.0e6]),
+            pseudorange=2.5e7 - prn * 1e5,  # PRN 4 is the closest
+            elevation=0.2 + 0.1 * prn,  # PRN 4 is the highest
+        )
+        for prn in (1, 2, 3, 4)
+    )
+    return ObservationEpoch(time=T0, observations=observations)
+
+
+class TestSelectors:
+    def test_first(self, epoch):
+        assert FirstSelector().select(epoch) == 0
+
+    def test_highest_elevation(self, epoch):
+        assert HighestElevationSelector().select(epoch) == 3
+
+    def test_closest_range(self, epoch):
+        assert ClosestRangeSelector().select(epoch) == 3
+
+    def test_random_in_bounds_and_reproducible(self, epoch):
+        a = RandomSelector(np.random.default_rng(3))
+        b = RandomSelector(np.random.default_rng(3))
+        picks_a = [a.select(epoch) for _ in range(20)]
+        picks_b = [b.select(epoch) for _ in range(20)]
+        assert picks_a == picks_b
+        assert all(0 <= p < 4 for p in picks_a)
+        assert len(set(picks_a)) > 1  # actually random
+
+    def test_random_covers_all_indices(self, epoch):
+        selector = RandomSelector(np.random.default_rng(0))
+        picks = {selector.select(epoch) for _ in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("first", FirstSelector),
+            ("random", RandomSelector),
+            ("highest", HighestElevationSelector),
+            ("closest", ClosestRangeSelector),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_selector(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown selector"):
+            make_selector("psychic")

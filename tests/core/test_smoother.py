@@ -1,0 +1,82 @@
+"""Unit + integration tests for the RTS smoother."""
+
+import numpy as np
+import pytest
+
+from repro.core import NavigationEkf, RtsSmoother
+from repro.errors import ConfigurationError
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def smoothing_run():
+    station = get_station("SRZN")
+    dataset = ObservationDataset(station, DatasetConfig(duration_seconds=90.0))
+    smoother = RtsSmoother(NavigationEkf(position_process_noise=0.05))
+    forward_fixes = [
+        smoother.process(dataset.epoch_at(index))
+        for index in range(dataset.epoch_count)
+    ]
+    return station, dataset, smoother, forward_fixes
+
+
+class TestForwardPass:
+    def test_forward_matches_plain_ekf(self, smoothing_run):
+        """Wrapping the EKF must not change its forward answers."""
+        station, dataset, _smoother, forward_fixes = smoothing_run
+        plain = NavigationEkf(position_process_noise=0.05)
+        for index, fix in enumerate(forward_fixes):
+            reference = plain.process(dataset.epoch_at(index))
+            np.testing.assert_allclose(fix.position, reference.position, atol=1e-9)
+
+    def test_epoch_count(self, smoothing_run):
+        _station, dataset, smoother, _fixes = smoothing_run
+        assert smoother.epoch_count == dataset.epoch_count
+
+    def test_filtered_positions_shape(self, smoothing_run):
+        _station, dataset, smoother, _fixes = smoothing_run
+        assert smoother.filtered_positions().shape == (dataset.epoch_count, 3)
+
+
+class TestBackwardSweep:
+    def test_smoothing_beats_filtering(self, smoothing_run):
+        station, _dataset, smoother, _fixes = smoothing_run
+        filtered = smoother.filtered_positions()
+        smoothed = smoother.smooth()
+        # Skip the initialization transient for the comparison.
+        window = slice(10, None)
+        filtered_errors = np.linalg.norm(
+            filtered[window] - station.position, axis=1
+        )
+        smoothed_errors = np.linalg.norm(
+            smoothed[window] - station.position, axis=1
+        )
+        assert np.mean(smoothed_errors) < np.mean(filtered_errors)
+
+    def test_last_epoch_unchanged(self, smoothing_run):
+        """RTS leaves the final state exactly as filtered (no future
+        information exists there)."""
+        _station, _dataset, smoother, _fixes = smoothing_run
+        np.testing.assert_allclose(
+            smoother.smooth()[-1], smoother.filtered_positions()[-1], atol=1e-12
+        )
+
+    def test_smooth_is_idempotent(self, smoothing_run):
+        _station, _dataset, smoother, _fixes = smoothing_run
+        first = smoother.smooth()
+        second = smoother.smooth()
+        np.testing.assert_allclose(first, second, atol=1e-12)
+
+    def test_shape(self, smoothing_run):
+        _station, dataset, smoother, _fixes = smoothing_run
+        assert smoother.smooth().shape == (dataset.epoch_count, 3)
+
+
+class TestValidation:
+    def test_smooth_without_forward_pass(self):
+        with pytest.raises(ConfigurationError, match="forward pass"):
+            RtsSmoother().smooth()
+
+    def test_filtered_positions_without_forward_pass(self):
+        with pytest.raises(ConfigurationError):
+            RtsSmoother().filtered_positions()

@@ -1,0 +1,117 @@
+"""Unit + property tests for three-satellite precise-clock positioning."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.clocks import ZeroClockBiasPredictor
+from repro.core import ThreeSatelliteSolver
+from repro.errors import GeometryError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+
+class TestExactRecovery:
+    def test_three_clean_satellites(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=3)
+        fix = ThreeSatelliteSolver().solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2
+        assert fix.algorithm == "3SAT"
+
+    def test_uses_first_three_of_larger_epoch(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=8)
+        full = ThreeSatelliteSolver().solve(epoch)
+        trimmed = ThreeSatelliteSolver().solve(epoch.subset(3))
+        np.testing.assert_allclose(full.position, trimmed.position, atol=1e-9)
+
+    def test_known_bias_removed(self, make_epoch):
+        class ConstBias(ZeroClockBiasPredictor):
+            def predict_bias_meters(self, time):
+                return 1234.5
+
+        epoch = make_epoch(bias_meters=1234.5, count=3)
+        fix = ThreeSatelliteSolver(ConstBias()).solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-2
+        assert fix.clock_bias_meters == pytest.approx(1234.5)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_recovers_across_random_skies(self, make_epoch, seed):
+        epoch = make_epoch(bias_meters=0.0, count=3, seed=seed)
+        # A coarse prior (50 km off) resolves the two-root ambiguity,
+        # as a real receiver's last fix or dead reckoning would.
+        prior = epoch.truth.receiver_position + 5e4
+        fix = ThreeSatelliteSolver(prior_position=prior).solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 0.1
+
+    def test_ambiguous_geometry_without_prior_raises_or_solves(self, make_epoch):
+        """Without a prior, every random sky either solves correctly or
+        refuses with the ambiguity error — it never silently returns
+        the mirror point."""
+        solver = ThreeSatelliteSolver()
+        ambiguous = 0
+        for seed in range(120):
+            epoch = make_epoch(bias_meters=0.0, count=3, seed=seed)
+            try:
+                fix = solver.solve(epoch)
+            except GeometryError as exc:
+                assert "plausible" in str(exc) or "collinear" in str(exc)
+                ambiguous += 1
+                continue
+            assert fix.distance_to(epoch.truth.receiver_position) < 0.1
+        assert ambiguous < 60  # ambiguity is the exception, not the rule
+
+
+class TestFailureModes:
+    def test_rejects_two_satellites(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least 3"):
+            ThreeSatelliteSolver().solve(make_epoch(count=2))
+
+    def test_collinear_satellites(self, gps_t0):
+        base = np.array([2.6e7, 0.0, 0.0])
+        observations = tuple(
+            SatelliteObservation(
+                prn=p,
+                position=base + np.array([p * 1e6, 0.0, 0.0]),
+                pseudorange=2.0e7 + p * 1e6,
+            )
+            for p in (1, 2, 3)
+        )
+        epoch = ObservationEpoch(time=gps_t0, observations=observations)
+        with pytest.raises(GeometryError, match="collinear"):
+            ThreeSatelliteSolver().solve(epoch)
+
+    def test_inconsistent_ranges(self, make_epoch):
+        """Ranges shrunk so far the spheres cannot intersect."""
+        epoch = make_epoch(bias_meters=0.0, count=3)
+        shrunk = epoch.with_observations(
+            SatelliteObservation(
+                prn=obs.prn,
+                position=obs.position,
+                pseudorange=obs.pseudorange * 0.5,
+                elevation=obs.elevation,
+            )
+            for obs in epoch.observations
+        )
+        with pytest.raises(GeometryError):
+            ThreeSatelliteSolver().solve(shrunk)
+
+    def test_bad_clock_prediction_rejected(self, make_epoch):
+        class HugeBias(ZeroClockBiasPredictor):
+            def predict_bias_meters(self, time):
+                return 1e9
+
+        with pytest.raises(GeometryError, match="clock"):
+            ThreeSatelliteSolver(HugeBias()).solve(make_epoch(count=3))
+
+
+class TestWithNoise:
+    def test_small_noise_reasonable_error(self, make_epoch):
+        errors = []
+        for seed in range(30):
+            epoch = make_epoch(bias_meters=0.0, count=3, noise_sigma=1.0, seed=seed)
+            prior = epoch.truth.receiver_position + 5e4
+            fix = ThreeSatelliteSolver(prior_position=prior).solve(epoch)
+            errors.append(fix.distance_to(epoch.truth.receiver_position))
+        # 3-satellite geometry is weaker than P4P, but stays bounded.
+        assert np.median(errors) < 60.0

@@ -1,0 +1,41 @@
+"""Unit tests for PositionFix."""
+
+import numpy as np
+import pytest
+
+from repro.core import PositionFix
+from repro.errors import ConfigurationError
+
+
+class TestPositionFix:
+    def test_position_coerced(self):
+        fix = PositionFix(position=[1.0, 2.0, 3.0])
+        assert isinstance(fix.position, np.ndarray)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ConfigurationError):
+            PositionFix(position=[1.0, 2.0])
+
+    def test_rejects_nan_position(self):
+        with pytest.raises(ConfigurationError):
+            PositionFix(position=[1.0, 2.0, float("nan")])
+
+    def test_distance_to(self):
+        fix = PositionFix(position=[3.0, 0.0, 4.0])
+        assert fix.distance_to(np.zeros(3)) == pytest.approx(5.0)
+
+    def test_distance_rejects_bad_truth(self):
+        fix = PositionFix(position=np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            fix.distance_to(np.zeros(2))
+
+    def test_defaults(self):
+        fix = PositionFix(position=np.zeros(3))
+        assert fix.clock_bias_meters is None
+        assert fix.converged
+        assert fix.iterations == 1
+
+    def test_frozen(self):
+        fix = PositionFix(position=np.zeros(3))
+        with pytest.raises(AttributeError):
+            fix.iterations = 5

@@ -1,0 +1,143 @@
+"""Unit + integration tests for Doppler velocity estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Constellation, NewtonRaphsonSolver, VelocitySolver
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, GeometryError
+from repro.motion import GreatCircleTrajectory, KinematicScenario, StaticTrajectory
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+def synthetic_epoch(receiver, receiver_velocity, drift_mps, count=8, seed=0,
+                    noise=0.0):
+    """Epoch with exactly known Doppler observables."""
+    rng = np.random.default_rng(seed)
+    observations = []
+    for prn in range(1, count + 1):
+        direction = rng.normal(size=3)
+        direction /= np.linalg.norm(direction)
+        direction += receiver / np.linalg.norm(receiver)
+        direction /= np.linalg.norm(direction)
+        position = receiver + direction * rng.uniform(2.0e7, 2.6e7)
+        satellite_velocity = rng.normal(0.0, 2000.0, size=3)
+        unit = (position - receiver) / np.linalg.norm(position - receiver)
+        rate = float((satellite_velocity - receiver_velocity) @ unit) + drift_mps
+        if noise:
+            rate += float(rng.normal(0.0, noise))
+        observations.append(
+            SatelliteObservation(
+                prn=prn,
+                position=position,
+                pseudorange=float(np.linalg.norm(position - receiver)),
+                range_rate=rate,
+                velocity=satellite_velocity,
+            )
+        )
+    return ObservationEpoch(time=T0, observations=tuple(observations))
+
+
+RECEIVER = np.array([3623420.0, -5214015.0, 602359.0])
+
+
+class TestExactRecovery:
+    def test_static_receiver(self):
+        epoch = synthetic_epoch(RECEIVER, np.zeros(3), drift_mps=0.0)
+        fix = VelocitySolver().solve(epoch, RECEIVER)
+        assert fix.speed < 1e-9
+        assert fix.clock_drift_mps == pytest.approx(0.0, abs=1e-9)
+
+    def test_moving_receiver(self):
+        velocity = np.array([250.0, -30.0, 5.0])
+        epoch = synthetic_epoch(RECEIVER, velocity, drift_mps=12.0)
+        fix = VelocitySolver().solve(epoch, RECEIVER)
+        np.testing.assert_allclose(fix.velocity, velocity, atol=1e-9)
+        assert fix.clock_drift_mps == pytest.approx(12.0, abs=1e-9)
+
+    def test_noise_tolerance(self):
+        velocity = np.array([100.0, 0.0, 0.0])
+        epoch = synthetic_epoch(RECEIVER, velocity, drift_mps=3.0, noise=0.05, seed=4)
+        fix = VelocitySolver().solve(epoch, RECEIVER)
+        np.testing.assert_allclose(fix.velocity, velocity, atol=0.5)
+
+    def test_residual_norm_reported(self):
+        epoch = synthetic_epoch(RECEIVER, np.zeros(3), 0.0, noise=0.05, seed=1)
+        fix = VelocitySolver().solve(epoch, RECEIVER)
+        assert 0.0 < fix.residual_norm < 1.0
+        assert fix.satellites_used == 8
+
+
+class TestValidation:
+    def test_needs_four_doppler_measurements(self):
+        epoch = synthetic_epoch(RECEIVER, np.zeros(3), 0.0, count=3)
+        with pytest.raises(GeometryError, match="4 Doppler"):
+            VelocitySolver().solve(epoch, RECEIVER)
+
+    def test_observations_without_doppler_skipped(self, make_epoch):
+        # make_epoch produces no range rates at all.
+        epoch = make_epoch(count=8)
+        with pytest.raises(GeometryError, match="Doppler"):
+            VelocitySolver().solve(epoch, epoch.truth.receiver_position)
+
+    def test_velocity_fix_validation(self):
+        from repro.core import VelocityFix
+
+        with pytest.raises(ConfigurationError):
+            VelocityFix(velocity=np.ones(2), clock_drift_mps=0.0,
+                        satellites_used=4, residual_norm=0.0)
+
+
+class TestEndToEnd:
+    def test_static_station_velocity_near_zero(self):
+        station = get_station("SRZN")
+        dataset = ObservationDataset(
+            station, DatasetConfig(duration_seconds=5.0, track_doppler=True)
+        )
+        solver = VelocitySolver()
+        nr = NewtonRaphsonSolver()
+        for index in range(5):
+            epoch = dataset.epoch_at(index)
+            position_fix = nr.solve(epoch)
+            fix = solver.solve(epoch, position_fix.position)
+            assert fix.speed < 0.5  # static station, 5 cm/s Doppler noise
+
+    def test_aircraft_speed_recovered(self):
+        constellation = Constellation.nominal(T0, rng=np.random.default_rng(2))
+        trajectory = GreatCircleTrajectory(
+            start_latitude=math.radians(45.0),
+            start_longitude=math.radians(5.0),
+            altitude_m=10_000.0,
+            heading=math.radians(120.0),
+            speed_mps=250.0,
+            epoch=T0,
+        )
+        scenario = KinematicScenario(
+            trajectory, constellation, T0, 10.0, track_doppler=True
+        )
+        nr = NewtonRaphsonSolver()
+        solver = VelocitySolver()
+        speeds = []
+        for epoch in scenario.epochs():
+            position_fix = nr.solve(epoch)
+            fix = solver.solve(epoch, position_fix.position)
+            speeds.append(fix.speed)
+        assert np.mean(speeds) == pytest.approx(250.0, abs=2.0)
+
+    def test_clock_drift_matches_truth(self):
+        station = get_station("SRZN")
+        dataset = ObservationDataset(
+            station, DatasetConfig(duration_seconds=3.0, track_doppler=True)
+        )
+        nr = NewtonRaphsonSolver()
+        solver = VelocitySolver()
+        epoch = dataset.epoch_at(1)
+        fix = solver.solve(epoch, nr.solve(epoch).position)
+        truth_drift = SPEED_OF_LIGHT * dataset.clock_model.drift_rate(epoch.time)
+        assert fix.clock_drift_mps == pytest.approx(truth_drift, abs=0.5)

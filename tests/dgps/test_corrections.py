@@ -1,0 +1,139 @@
+"""Unit + integration tests for DGPS corrections."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import SteeringClock
+from repro.core import NewtonRaphsonSolver
+from repro.dgps import DgpsCorrections, DgpsReferenceStation, apply_corrections
+from repro.errors import ConfigurationError, GeometryError
+from repro.signals import MeasurementCorrector, PseudorangeNoiseModel, PseudorangeSimulator
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture(scope="module")
+def dgps_world():
+    """A reference station and a rover 5 km away, both uncorrected.
+
+    Neither receiver applies atmospheric models (the configuration
+    DGPS is designed for), so the full correlated atmospheric error is
+    present and then differenced away.
+    """
+    station = get_station("SRZN")
+    dataset = ObservationDataset(station, DatasetConfig(duration_seconds=30.0))
+    rover_position = station.position + np.array([3000.0, 2000.0, 3000.0])
+    rover_clock = SteeringClock(epoch=T0, offset_seconds=8e-8, drift=3e-10)
+
+    simulator = dataset._simulator  # truth models shared with the reference
+    rover_simulator = PseudorangeSimulator(
+        dataset.constellation,
+        rover_clock,
+        ionosphere=simulator._ionosphere,
+        troposphere=simulator._troposphere,
+        noise=PseudorangeNoiseModel(sigma_meters=0.5),
+        elevation_mask=dataset.config.elevation_mask,
+    )
+    no_atmo = MeasurementCorrector(
+        dataset.constellation, ionosphere=None, troposphere=None
+    )
+
+    reference_epochs, rover_epochs = [], []
+    rng = np.random.default_rng(5)
+    for index in range(20):
+        time = dataset.config.start_time + float(index)
+        reference_epochs.append(
+            no_atmo.correct_epoch(
+                simulator.simulate_epoch(
+                    station.position, time, np.random.default_rng([9, index])
+                ),
+                station.position,
+                time,
+            )
+        )
+        rover_epochs.append(
+            no_atmo.correct_epoch(
+                rover_simulator.simulate_epoch(rover_position, time, rng),
+                rover_position,
+                time,
+            )
+        )
+    reference = DgpsReferenceStation("SRZN", station.position)
+    return reference, reference_epochs, rover_epochs, rover_position
+
+
+class TestReferenceStation:
+    def test_corrections_cover_all_satellites(self, dgps_world):
+        reference, reference_epochs, *_rest = dgps_world
+        corrections = reference.compute_corrections(reference_epochs[0])
+        assert set(corrections.prns) == set(reference_epochs[0].prns)
+
+    def test_corrections_contain_common_errors(self, dgps_world):
+        """Uncorrected measurements carry tens of meters of atmosphere
+        (plus the reference clock bias), and the corrections capture it."""
+        reference, reference_epochs, *_rest = dgps_world
+        corrections = reference.compute_corrections(reference_epochs[0])
+        values = np.array(list(corrections.corrections.values()))
+        assert np.all(np.abs(values) > 2.0)
+        assert np.all(np.abs(values) < 200.0)
+
+    def test_empty_corrections_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DgpsCorrections(time=T0, corrections={})
+
+
+class TestApplyCorrections:
+    def test_accuracy_improves(self, dgps_world):
+        reference, reference_epochs, rover_epochs, rover_position = dgps_world
+        solver = NewtonRaphsonSolver()
+        raw_errors, dgps_errors = [], []
+        for ref_epoch, rover_epoch in zip(reference_epochs, rover_epochs):
+            corrections = reference.compute_corrections(ref_epoch)
+            corrected = apply_corrections(rover_epoch, corrections)
+            raw_errors.append(solver.solve(rover_epoch).distance_to(rover_position))
+            dgps_errors.append(solver.solve(corrected).distance_to(rover_position))
+        assert np.mean(dgps_errors) < 0.6 * np.mean(raw_errors)
+
+    def test_rejects_stale_corrections(self, dgps_world):
+        reference, reference_epochs, rover_epochs, _position = dgps_world
+        corrections = reference.compute_corrections(reference_epochs[0])
+        stale_rover = rover_epochs[-1]  # 19 s later than corrections
+        with pytest.raises(ConfigurationError, match="old"):
+            apply_corrections(stale_rover, corrections, max_age_seconds=5.0)
+
+    def test_uncovered_satellites_dropped(self, dgps_world):
+        reference, reference_epochs, rover_epochs, _position = dgps_world
+        corrections = reference.compute_corrections(reference_epochs[0])
+        # Remove one satellite's correction.
+        reduced = DgpsCorrections(
+            time=corrections.time,
+            corrections={
+                prn: value
+                for prn, value in corrections.corrections.items()
+                if prn != rover_epochs[0].prns[0]
+            },
+        )
+        corrected = apply_corrections(rover_epochs[0], reduced)
+        assert rover_epochs[0].prns[0] not in corrected.prns
+
+    def test_rejects_when_too_few_remain(self, dgps_world):
+        reference, reference_epochs, rover_epochs, _position = dgps_world
+        corrections = reference.compute_corrections(reference_epochs[0])
+        only_three = DgpsCorrections(
+            time=corrections.time,
+            corrections=dict(list(corrections.corrections.items())[:3]),
+        )
+        with pytest.raises(GeometryError, match="corrections"):
+            apply_corrections(rover_epochs[0], only_three)
+
+    def test_solved_bias_is_relative(self, dgps_world):
+        """After DGPS the solved 'clock bias' is rover-minus-reference."""
+        reference, reference_epochs, rover_epochs, _position = dgps_world
+        solver = NewtonRaphsonSolver()
+        corrections = reference.compute_corrections(reference_epochs[0])
+        corrected = apply_corrections(rover_epochs[0], corrections)
+        fix = solver.solve(corrected)
+        # Rover bias ~24 m, reference bias ~15-25 m: difference small.
+        assert abs(fix.clock_bias_meters) < 60.0

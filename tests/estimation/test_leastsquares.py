@@ -1,0 +1,230 @@
+"""Unit + property tests for OLS/WLS/GLS.
+
+The property tests verify the defining optimality conditions rather
+than comparing against reference outputs: OLS residuals are orthogonal
+to the column space; GLS residuals are M^-1-orthogonal; GLS with the
+identity covariance degenerates to OLS (Theorem 4.1/4.2 discussion).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimationError
+from repro.estimation import (
+    gls_solve,
+    gls_solve_full,
+    ols_solve,
+    ols_solve_full,
+    weighted_solve,
+)
+
+
+def random_system(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    design = rng.normal(size=(rows, cols))
+    observations = rng.normal(size=rows)
+    return design, observations
+
+
+def random_spd(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+system_params = st.tuples(
+    st.integers(min_value=4, max_value=12),  # rows
+    st.integers(min_value=1, max_value=4),  # cols
+    st.integers(min_value=0, max_value=1000),  # seed
+)
+
+
+class TestOls:
+    def test_exact_system_recovered(self):
+        design = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        x_true = np.array([2.0, -3.0])
+        solution = ols_solve(design, design @ x_true)
+        np.testing.assert_allclose(solution, x_true, atol=1e-12)
+
+    def test_matches_lstsq(self):
+        design, observations = random_system(10, 3, 0)
+        np.testing.assert_allclose(
+            ols_solve(design, observations),
+            np.linalg.lstsq(design, observations, rcond=None)[0],
+            atol=1e-10,
+        )
+
+    def test_rejects_underdetermined(self):
+        with pytest.raises(EstimationError, match="under-determined"):
+            ols_solve(np.ones((2, 3)), np.ones(2))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(EstimationError):
+            ols_solve(np.ones((4, 2)), np.ones(3))
+
+    def test_rejects_rank_deficient(self):
+        design = np.array([[1.0, 2.0], [2.0, 4.0], [3.0, 6.0]])
+        with pytest.raises(EstimationError):
+            ols_solve(design, np.ones(3))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(EstimationError):
+            ols_solve(np.array([[np.nan, 1.0], [1.0, 1.0]]), np.ones(2))
+
+    @given(system_params)
+    @settings(max_examples=100)
+    def test_residual_orthogonality(self, params):
+        rows, cols, seed = params
+        design, observations = random_system(rows, cols, seed)
+        result = ols_solve_full(design, observations)
+        # Normal equations: A^T (b - A x) = 0.
+        gradient = design.T @ result.residuals
+        np.testing.assert_allclose(gradient, 0.0, atol=1e-8)
+
+    @given(system_params)
+    @settings(max_examples=50)
+    def test_cost_is_minimal(self, params):
+        rows, cols, seed = params
+        design, observations = random_system(rows, cols, seed)
+        result = ols_solve_full(design, observations)
+        rng = np.random.default_rng(seed + 99)
+        for _ in range(5):
+            perturbed = result.solution + rng.normal(scale=1e-3, size=cols)
+            alt = observations - design @ perturbed
+            assert float(alt @ alt) >= result.cost - 1e-12
+
+
+class TestWeighted:
+    def test_uniform_weights_match_ols(self):
+        design, observations = random_system(8, 3, 4)
+        np.testing.assert_allclose(
+            weighted_solve(design, observations, np.full(8, 3.7)),
+            ols_solve(design, observations),
+            atol=1e-9,
+        )
+
+    def test_heavy_weight_pins_equation(self):
+        design = np.array([[1.0], [1.0]])
+        observations = np.array([0.0, 10.0])
+        weights = np.array([1e9, 1.0])
+        solution = weighted_solve(design, observations, weights)
+        assert abs(solution[0]) < 1e-6  # pinned to the first equation
+
+    def test_rejects_nonpositive_weights(self):
+        design, observations = random_system(5, 2, 1)
+        with pytest.raises(EstimationError, match="positive"):
+            weighted_solve(design, observations, np.array([1.0, 0.0, 1.0, 1.0, 1.0]))
+
+    def test_rejects_weight_shape(self):
+        design, observations = random_system(5, 2, 1)
+        with pytest.raises(EstimationError):
+            weighted_solve(design, observations, np.ones(4))
+
+
+class TestGls:
+    def test_identity_covariance_equals_ols(self):
+        design, observations = random_system(9, 3, 7)
+        np.testing.assert_allclose(
+            gls_solve(design, observations, np.eye(9)),
+            ols_solve(design, observations),
+            atol=1e-9,
+        )
+
+    def test_scaled_covariance_invariant(self):
+        design, observations = random_system(9, 3, 8)
+        covariance = random_spd(9, 9)
+        np.testing.assert_allclose(
+            gls_solve(design, observations, covariance),
+            gls_solve(design, observations, 5.0 * covariance),
+            atol=1e-8,
+        )
+
+    def test_matches_textbook_formula(self):
+        design, observations = random_system(7, 2, 10)
+        covariance = random_spd(7, 11)
+        m_inv = np.linalg.inv(covariance)
+        expected = np.linalg.solve(
+            design.T @ m_inv @ design, design.T @ m_inv @ observations
+        )
+        np.testing.assert_allclose(
+            gls_solve(design, observations, covariance), expected, atol=1e-9
+        )
+
+    def test_rejects_indefinite_covariance(self):
+        design, observations = random_system(5, 2, 12)
+        with pytest.raises(EstimationError, match="positive definite"):
+            gls_solve(design, observations, -np.eye(5))
+
+    def test_rejects_covariance_shape(self):
+        design, observations = random_system(5, 2, 12)
+        with pytest.raises(EstimationError):
+            gls_solve(design, observations, np.eye(4))
+
+    @given(system_params)
+    @settings(max_examples=50)
+    def test_whitened_orthogonality(self, params):
+        rows, cols, seed = params
+        design, observations = random_system(rows, cols, seed)
+        covariance = random_spd(rows, seed + 1)
+        result = gls_solve_full(design, observations, covariance)
+        # GLS normal equations: A^T M^-1 (b - A x) = 0.
+        gradient = design.T @ np.linalg.solve(covariance, result.residuals)
+        np.testing.assert_allclose(gradient, 0.0, atol=1e-6)
+
+    @given(system_params)
+    @settings(max_examples=30)
+    def test_gls_beats_ols_in_mahalanobis_cost(self, params):
+        rows, cols, seed = params
+        design, observations = random_system(rows, cols, seed)
+        covariance = random_spd(rows, seed + 2)
+        gls_result = gls_solve_full(design, observations, covariance)
+        ols_result = ols_solve_full(design, observations)
+        ols_cost = float(
+            ols_result.residuals @ np.linalg.solve(covariance, ols_result.residuals)
+        )
+        assert gls_result.cost <= ols_cost + 1e-8
+
+
+class TestGlsWhitened:
+    def test_solution_matches_gls_solve(self):
+        from repro.estimation import gls_solve_whitened
+
+        design, observations = random_system(9, 3, 21)
+        covariance = random_spd(9, 22)
+        solution, _norm = gls_solve_whitened(design, observations, covariance)
+        np.testing.assert_allclose(
+            solution, gls_solve(design, observations, covariance), atol=1e-12
+        )
+
+    def test_whitened_norm_squares_to_mahalanobis_cost(self):
+        from repro.estimation import gls_solve_whitened, gls_solve_full
+
+        design, observations = random_system(9, 3, 23)
+        covariance = random_spd(9, 24)
+        _solution, norm = gls_solve_whitened(design, observations, covariance)
+        full = gls_solve_full(design, observations, covariance)
+        assert norm**2 == pytest.approx(full.cost, rel=1e-9)
+
+    def test_identity_covariance_matches_ols_residual_norm(self):
+        from repro.estimation import gls_solve_whitened
+
+        design, observations = random_system(7, 2, 25)
+        _solution, norm = gls_solve_whitened(design, observations, np.eye(7))
+        ols = ols_solve_full(design, observations)
+        assert norm == pytest.approx(np.linalg.norm(ols.residuals), rel=1e-9)
+
+
+class TestWeightedGlsEquivalence:
+    def test_weighted_equals_gls_with_diagonal_covariance(self):
+        """WLS with weights w_i is GLS with covariance diag(1/w_i)."""
+        from repro.estimation import gls_solve
+
+        design, observations = random_system(9, 3, 30)
+        rng = np.random.default_rng(31)
+        weights = rng.uniform(0.5, 4.0, size=9)
+        np.testing.assert_allclose(
+            weighted_solve(design, observations, weights),
+            gls_solve(design, observations, np.diag(1.0 / weights)),
+            atol=1e-9,
+        )

@@ -1,0 +1,84 @@
+"""Unit + property tests for the linear-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import EstimationError
+from repro.estimation import cholesky_solve, condition_number, is_positive_definite
+
+
+def random_spd(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestCholeskySolve:
+    def test_identity(self):
+        b = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(cholesky_solve(np.eye(3), b), b)
+
+    def test_matches_numpy_solve(self):
+        matrix = random_spd(5, 0)
+        rhs = np.arange(5.0)
+        np.testing.assert_allclose(
+            cholesky_solve(matrix, rhs), np.linalg.solve(matrix, rhs), rtol=1e-10
+        )
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(EstimationError, match="positive definite"):
+            cholesky_solve(np.array([[1.0, 0.0], [0.0, -1.0]]), np.ones(2))
+
+    def test_rejects_singular(self):
+        with pytest.raises(EstimationError):
+            cholesky_solve(np.zeros((2, 2)), np.ones(2))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=50)
+    def test_residual_is_small(self, n, seed):
+        matrix = random_spd(n, seed)
+        rhs = np.random.default_rng(seed + 1).normal(size=n)
+        x = cholesky_solve(matrix, rhs)
+        np.testing.assert_allclose(matrix @ x, rhs, atol=1e-8)
+
+
+class TestConditionNumber:
+    def test_identity_is_one(self):
+        assert condition_number(np.eye(4)) == pytest.approx(1.0)
+
+    def test_scaling_invariant(self):
+        matrix = random_spd(3, 1)
+        assert condition_number(2.0 * matrix) == pytest.approx(
+            condition_number(matrix), rel=1e-9
+        )
+
+    def test_singular_is_infinite_or_huge(self):
+        assert condition_number(np.zeros((2, 2))) > 1e15
+
+
+class TestIsPositiveDefinite:
+    def test_spd_true(self):
+        assert is_positive_definite(random_spd(4, 2))
+
+    def test_indefinite_false(self):
+        assert not is_positive_definite(np.diag([1.0, -1.0]))
+
+    def test_asymmetric_false(self):
+        assert not is_positive_definite(np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_nonsquare_false(self):
+        assert not is_positive_definite(np.ones((2, 3)))
+
+    def test_semidefinite_false(self):
+        # Rank-1 PSD matrix is not PD.
+        v = np.array([[1.0], [1.0]])
+        assert not is_positive_definite(v @ v.T)
+
+    def test_paper_psi_matrix_is_pd(self):
+        # The eq. 4-26 structure: rho1^2 everywhere + rho_i^2 on the diagonal.
+        ranges_sq = np.array([4.1e14, 4.3e14, 4.6e14, 5.0e14])
+        base_sq = 4.2e14
+        psi = np.full((4, 4), base_sq) + np.diag(ranges_sq)
+        assert is_positive_definite(psi)

@@ -1,0 +1,50 @@
+"""Unit tests for the paper's metrics (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PositionFix
+from repro.errors import ConfigurationError
+from repro.evaluation import absolute_error, accuracy_rate, execution_time_rate
+
+
+class TestAbsoluteError:
+    def test_matches_eq_5_1(self):
+        fix = PositionFix(position=[1.0, 2.0, 2.0])
+        assert absolute_error(fix, np.zeros(3)) == pytest.approx(3.0)
+
+    def test_zero_for_perfect_fix(self):
+        truth = np.array([1e6, 2e6, 3e6])
+        fix = PositionFix(position=truth)
+        assert absolute_error(fix, truth) == 0.0
+
+
+class TestAccuracyRate:
+    def test_equal_errors_is_100(self):
+        assert accuracy_rate(2.0, 2.0) == pytest.approx(100.0)
+
+    def test_worse_than_nr_above_100(self):
+        assert accuracy_rate(2.4, 2.0) == pytest.approx(120.0)
+
+    def test_better_than_nr_below_100(self):
+        assert accuracy_rate(1.0, 2.0) == pytest.approx(50.0)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ConfigurationError):
+            accuracy_rate(1.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            accuracy_rate(-1.0, 2.0)
+
+
+class TestExecutionTimeRate:
+    def test_paper_headline_one_fifth(self):
+        # "our new methods take about one fifth of the computation time".
+        assert execution_time_rate(1.0, 5.0) == pytest.approx(20.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            execution_time_rate(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            execution_time_rate(1.0, 0.0)

@@ -1,0 +1,72 @@
+"""Unit tests for markdown report building."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation import build_markdown_report, write_markdown_report
+from repro.evaluation.experiments import StationResult
+from repro.stations import get_station
+
+
+@pytest.fixture
+def results():
+    def make(site):
+        return StationResult(
+            station=get_station(site),
+            satellite_counts=(4, 6),
+            epochs_used={4: 50, 6: 48},
+            error_m={
+                "NR": {4: 3.0, 6: 2.5},
+                "DLO": {4: 3.3, 6: 3.1},
+                "DLG": {4: 3.2, 6: 2.7},
+            },
+            time_ns={
+                "NR": {4: 300_000.0, 6: 310_000.0},
+                "DLO": {4: 60_000.0, 6: 62_000.0},
+                "DLG": {4: 95_000.0, 6: 99_000.0},
+            },
+        )
+
+    return {"SRZN": make("SRZN"), "KYCP": make("KYCP")}
+
+
+class TestBuildMarkdownReport:
+    def test_contains_all_sections(self, results):
+        text = build_markdown_report(results)
+        assert "# GPS algorithm reproduction results" in text
+        assert "## Execution time rate" in text
+        assert "## Accuracy rate" in text
+        assert "## Raw aggregates" in text
+        assert "## Shape charts" in text
+
+    def test_station_headers_and_clock_types(self, results):
+        text = build_markdown_report(results)
+        assert "### SRZN (Steering clock)" in text
+        assert "### KYCP (Threshold clock)" in text
+
+    def test_rate_values_rendered(self, results):
+        text = build_markdown_report(results)
+        assert "20.0 %" in text   # DLO theta at m=4
+        assert "110.0 %" in text  # DLO eta at m=4
+
+    def test_markdown_tables_well_formed(self, results):
+        text = build_markdown_report(results)
+        table_lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert table_lines
+        for line in table_lines:
+            assert line.count("|") == 4  # 3 columns -> 4 pipes
+
+    def test_notes_included(self, results):
+        text = build_markdown_report(results, notes="methodology note here")
+        assert "methodology note here" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            build_markdown_report({})
+
+
+class TestWriteMarkdownReport:
+    def test_writes_file(self, tmp_path, results):
+        path = write_markdown_report(tmp_path / "report.md", results)
+        assert path.exists()
+        assert "Shape charts" in path.read_text()

@@ -1,0 +1,97 @@
+"""Unit tests for report formatting."""
+
+from repro.evaluation import format_rate_table, format_table_5_1
+from repro.evaluation.experiments import StationResult
+from repro.evaluation.reporting import format_station_report
+from repro.stations import all_stations, get_station
+
+
+class TestTable51:
+    def test_contains_all_rows(self):
+        text = format_table_5_1(all_stations(), {"SRZN": 86400})
+        for site in ("SRZN", "YYR1", "FAI1", "KYCP"):
+            assert site in text
+        assert "86400" in text
+        assert "Steering" in text and "Threshold" in text
+
+    def test_coordinates_verbatim(self):
+        text = format_table_5_1(all_stations(), {})
+        assert "3623420.032" in text
+        assert "-5060514.896" in text
+
+
+class TestRateTable:
+    def test_layout(self):
+        rates = {"DLO": {4: 18.5, 6: 19.0}, "DLG": {4: 40.0, 6: 45.5}}
+        text = format_rate_table("title", rates, (4, 6))
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "m=4" in lines[1] and "m=6" in lines[1]
+        assert any("DLO" in line and "18.5%" in line for line in lines)
+
+    def test_missing_cell_dashed(self):
+        rates = {"DLO": {4: 18.5}}
+        text = format_rate_table("t", rates, (4, 10))
+        assert "-" in text
+
+
+class TestStationReport:
+    def test_full_report_renders(self):
+        result = StationResult(
+            station=get_station("SRZN"),
+            satellite_counts=(4, 5),
+            epochs_used={4: 10, 5: 10},
+            error_m={
+                "NR": {4: 3.0, 5: 2.5},
+                "DLO": {4: 3.3, 5: 3.0},
+                "DLG": {4: 3.2, 5: 2.8},
+            },
+            time_ns={
+                "NR": {4: 300_000.0, 5: 310_000.0},
+                "DLO": {4: 60_000.0, 5: 65_000.0},
+                "DLG": {4: 120_000.0, 5: 130_000.0},
+            },
+        )
+        text = format_station_report(result)
+        assert "SRZN" in text
+        assert "Fig 5.1" in text and "Fig 5.2" in text
+        assert "110.0%" in text  # DLO eta at m=4 = 3.3/3.0
+        assert "20.0%" in text  # DLO theta at m=4 = 60/300
+
+
+class TestAsciiSeries:
+    def _series(self):
+        return {
+            "DLO": {4: 18.0, 6: 19.5, 8: 20.0},
+            "DLG": {4: 35.0, 6: 42.0, 8: 50.0},
+        }
+
+    def test_renders_title_axis_and_legend(self):
+        from repro.evaluation import format_ascii_series
+
+        text = format_ascii_series("theta", self._series(), (4, 6, 8))
+        lines = text.splitlines()
+        assert lines[0] == "theta"
+        assert "m=4" in lines[-2] and "m=8" in lines[-2]
+        assert "o=DLG" in lines[-1] and "x=DLO" in lines[-1]
+
+    def test_extremes_on_boundary_rows(self):
+        from repro.evaluation import format_ascii_series
+
+        text = format_ascii_series("t", self._series(), (4, 6, 8), height=8)
+        lines = text.splitlines()
+        # Max value (50.0) labels the top row, min (18.0) the bottom.
+        assert "50.0%" in lines[1]
+        assert "18.0%" in lines[8]
+
+    def test_flat_series_does_not_crash(self):
+        from repro.evaluation import format_ascii_series
+
+        text = format_ascii_series("t", {"DLO": {4: 5.0, 6: 5.0}}, (4, 6))
+        assert "o=DLO" in text
+
+    def test_empty_series(self):
+        from repro.evaluation import format_ascii_series
+
+        text = format_ascii_series("t", {"DLO": {}}, (4, 6))
+        assert "no data" in text

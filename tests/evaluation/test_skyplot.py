@@ -1,0 +1,66 @@
+"""Unit tests for the ASCII sky plot."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.evaluation import render_skyplot, skyplot_for_epoch
+
+
+class TestRenderSkyplot:
+    def test_compass_and_zenith_marks(self):
+        plot = render_skyplot([])
+        lines = plot.splitlines()
+        assert "N" in lines[0]
+        assert "S" in lines[-2]  # last line is the legend
+        assert any("E" in line for line in lines)
+        assert any("W" in line for line in lines)
+        assert any("+" in line for line in lines)
+
+    def test_zenith_satellite_at_center(self):
+        plot = render_skyplot([(7, math.pi / 2, 0.0)], radius=8)
+        lines = plot.splitlines()
+        center_row = lines[8]
+        assert "0" in center_row
+        assert center_row.index("0") == 16  # column 2*radius
+
+    def test_north_horizon_satellite_at_top(self):
+        plot = render_skyplot([(3, 0.0, 0.0)], radius=8)
+        lines = plot.splitlines()
+        assert "0" in lines[0]
+
+    def test_below_horizon_skipped(self):
+        plot = render_skyplot([(3, -0.1, 0.0)])
+        assert "legend: " in plot.splitlines()[-1]
+        assert "G03" not in plot
+
+    def test_legend_maps_marks_to_prns(self):
+        plot = render_skyplot(
+            [(14, 1.0, 0.5), (7, 0.5, 2.0), (31, 0.3, 4.0)]
+        )
+        legend = plot.splitlines()[-1]
+        assert "0=G14" in legend
+        assert "1=G07" in legend
+        assert "2=G31" in legend
+
+    def test_east_west_positions(self):
+        east = render_skyplot([(1, math.radians(10.0), math.radians(90.0))], radius=8)
+        west = render_skyplot([(1, math.radians(10.0), math.radians(270.0))], radius=8)
+        east_row = east.splitlines()[8]
+        west_row = west.splitlines()[8]
+        assert east_row.rindex("0") > 16
+        assert west_row.index("0") < 16
+
+    def test_rejects_tiny_radius(self):
+        with pytest.raises(ConfigurationError):
+            render_skyplot([], radius=2)
+
+
+class TestSkyplotForEpoch:
+    def test_renders_all_visible_satellites(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0)
+        plot = skyplot_for_epoch(epoch)
+        legend = plot.splitlines()[-1]
+        for prn in epoch.prns:
+            assert f"G{prn:02d}" in legend

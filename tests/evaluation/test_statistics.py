@@ -1,0 +1,116 @@
+"""Unit tests for GNSS error statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import PositionFix
+from repro.errors import ConfigurationError
+from repro.evaluation import ErrorStatistics, enu_error
+from repro.geodesy import enu_to_ecef, geodetic_to_ecef
+
+
+@pytest.fixture
+def truth():
+    return geodetic_to_ecef(np.radians(40.0), np.radians(-100.0), 200.0)
+
+
+class TestEnuError:
+    def test_pure_up_error(self, truth):
+        estimate = enu_to_ecef(np.array([0.0, 0.0, 5.0]), truth)
+        east, north, up = enu_error(estimate, truth)
+        assert east == pytest.approx(0.0, abs=1e-6)
+        assert north == pytest.approx(0.0, abs=1e-6)
+        assert up == pytest.approx(5.0, abs=1e-6)
+
+    def test_pure_east_error(self, truth):
+        estimate = enu_to_ecef(np.array([-3.0, 0.0, 0.0]), truth)
+        east, _north, _up = enu_error(estimate, truth)
+        assert east == pytest.approx(-3.0, abs=1e-6)
+
+    def test_zero_error(self, truth):
+        assert enu_error(truth, truth) == pytest.approx((0.0, 0.0, 0.0))
+
+
+class TestErrorStatistics:
+    def test_known_values(self):
+        errors = [(3.0, 4.0, 0.0), (0.0, 0.0, 5.0)]
+        stats = ErrorStatistics.from_errors(errors)
+        assert stats.count == 2
+        # 3D errors are 5 and 5.
+        assert stats.mean_3d == pytest.approx(5.0)
+        assert stats.rms_3d == pytest.approx(5.0)
+        assert stats.max_3d == pytest.approx(5.0)
+        # Horizontal errors are 5 and 0.
+        assert stats.cep50 == pytest.approx(2.5)
+        assert stats.rms_horizontal == pytest.approx(np.sqrt(12.5))
+        assert stats.rms_vertical == pytest.approx(np.sqrt(12.5))
+        assert stats.mean_vertical_signed == pytest.approx(2.5)
+
+    def test_cep_ordering(self):
+        rng = np.random.default_rng(0)
+        errors = [(x, y, z) for x, y, z in rng.normal(0, 2, size=(500, 3))]
+        stats = ErrorStatistics.from_errors(errors)
+        assert stats.cep50 < stats.cep95 <= stats.max_3d + 1e-9
+
+    def test_from_fixes(self, truth):
+        fixes = [
+            PositionFix(position=enu_to_ecef(np.array([1.0, 0.0, 0.0]), truth)),
+            PositionFix(position=enu_to_ecef(np.array([0.0, 2.0, 0.0]), truth)),
+        ]
+        stats = ErrorStatistics.from_fixes(fixes, truth)
+        assert stats.count == 2
+        assert stats.mean_3d == pytest.approx(1.5, abs=1e-6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ErrorStatistics.from_errors([])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            ErrorStatistics.from_errors([(1.0, 2.0)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ErrorStatistics.from_errors([(1.0, 2.0, float("nan"))])
+
+    def test_str_format(self):
+        stats = ErrorStatistics.from_errors([(1.0, 0.0, 0.0)])
+        text = str(stats)
+        assert "rms3d=" in text and "cep95=" in text
+
+    def test_sign_convention_preserved(self):
+        errors = [(0.0, 0.0, -4.0), (0.0, 0.0, -2.0)]
+        stats = ErrorStatistics.from_errors(errors)
+        assert stats.mean_vertical_signed == pytest.approx(-3.0)
+        assert stats.rms_vertical == pytest.approx(np.sqrt(10.0))
+
+
+class TestStatisticsProperties:
+    def test_invariants_over_random_samples(self):
+        from hypothesis import given, settings, strategies as st
+
+        triples = st.lists(
+            st.tuples(
+                st.floats(min_value=-100.0, max_value=100.0),
+                st.floats(min_value=-100.0, max_value=100.0),
+                st.floats(min_value=-100.0, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+
+        @given(errors=triples)
+        @settings(max_examples=80, deadline=None)
+        def check(errors):
+            stats = ErrorStatistics.from_errors(errors)
+            assert stats.count == len(errors)
+            assert 0.0 <= stats.cep50 <= stats.cep95
+            assert stats.mean_3d <= stats.rms_3d + 1e-9  # Jensen
+            assert stats.rms_3d <= stats.max_3d + 1e-9
+            assert abs(stats.mean_vertical_signed) <= stats.rms_vertical + 1e-9
+            # Pythagoras on RMS components.
+            assert stats.rms_3d == pytest.approx(
+                np.hypot(stats.rms_horizontal, stats.rms_vertical), rel=1e-9
+            )
+
+        check()

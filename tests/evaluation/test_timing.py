@@ -1,0 +1,55 @@
+"""Unit tests for the timing harness."""
+
+import time
+
+import pytest
+
+from repro.core import PositionFix
+from repro.core.base import PositioningAlgorithm
+from repro.errors import ConfigurationError
+from repro.evaluation import time_solver
+
+
+class SleepySolver(PositioningAlgorithm):
+    """A solver with a controllable, measurable cost."""
+
+    name = "sleepy"
+    min_satellites = 1
+
+    def __init__(self, seconds):
+        self.seconds = seconds
+        self.calls = 0
+
+    def solve(self, epoch):
+        self.calls += 1
+        deadline = time.perf_counter() + self.seconds
+        while time.perf_counter() < deadline:
+            pass
+        return PositionFix(position=[0.0, 0.0, 0.0], algorithm=self.name)
+
+
+class TestTimeSolver:
+    def test_measures_roughly_right(self, make_epoch):
+        solver = SleepySolver(0.001)
+        per_solve_ns = time_solver(solver, [make_epoch()] * 5, repeats=2)
+        assert per_solve_ns == pytest.approx(1e6, rel=0.5)
+
+    def test_warmup_rounds_run(self, make_epoch):
+        solver = SleepySolver(0.0)
+        time_solver(solver, [make_epoch()] * 3, repeats=2, warmup_rounds=2)
+        # 2 warmup rounds + 2 timed rounds over 3 epochs.
+        assert solver.calls == 12
+
+    def test_faster_solver_measures_faster(self, make_epoch):
+        epochs = [make_epoch()] * 5
+        fast = time_solver(SleepySolver(0.0002), epochs, repeats=2)
+        slow = time_solver(SleepySolver(0.002), epochs, repeats=2)
+        assert fast < slow
+
+    def test_rejects_empty_epochs(self):
+        with pytest.raises(ConfigurationError):
+            time_solver(SleepySolver(0.0), [], repeats=1)
+
+    def test_rejects_zero_repeats(self, make_epoch):
+        with pytest.raises(ConfigurationError):
+            time_solver(SleepySolver(0.0), [make_epoch()], repeats=0)

@@ -1,0 +1,62 @@
+"""Unit tests for elevation/azimuth geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geodesy import (
+    ecef_to_geodetic,
+    elevation_angle,
+    elevation_azimuth,
+    enu_to_ecef,
+    geodetic_to_ecef,
+)
+
+
+@pytest.fixture
+def receiver():
+    return geodetic_to_ecef(math.radians(45.0), math.radians(10.0), 200.0)
+
+
+class TestElevation:
+    def test_zenith_satellite(self, receiver):
+        satellite = enu_to_ecef(np.array([0.0, 0.0, 2e7]), receiver)
+        elevation, _azimuth = elevation_azimuth(satellite, receiver)
+        assert elevation == pytest.approx(math.pi / 2, abs=1e-9)
+
+    def test_horizon_satellite(self, receiver):
+        satellite = enu_to_ecef(np.array([2e7, 0.0, 0.0]), receiver)
+        elevation, _azimuth = elevation_azimuth(satellite, receiver)
+        assert elevation == pytest.approx(0.0, abs=1e-9)
+
+    def test_below_horizon_is_negative(self, receiver):
+        satellite = enu_to_ecef(np.array([2e7, 0.0, -1e6]), receiver)
+        assert elevation_angle(satellite, receiver) < 0
+
+
+class TestAzimuth:
+    @pytest.mark.parametrize(
+        "east,north,expected_deg",
+        [
+            (0.0, 1e7, 0.0),     # due north
+            (1e7, 0.0, 90.0),    # due east
+            (0.0, -1e7, 180.0),  # due south
+            (-1e7, 0.0, 270.0),  # due west
+            (1e7, 1e7, 45.0),    # northeast
+        ],
+    )
+    def test_cardinal_directions(self, receiver, east, north, expected_deg):
+        satellite = enu_to_ecef(np.array([east, north, 5e6]), receiver)
+        _elevation, azimuth = elevation_azimuth(satellite, receiver)
+        # Compare as angles: 360 - epsilon and 0 are both "due north".
+        difference = (math.degrees(azimuth) - expected_deg) % 360.0
+        assert min(difference, 360.0 - difference) == pytest.approx(0.0, abs=1e-6)
+
+    def test_azimuth_in_range(self, receiver):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            enu = rng.normal(size=3) * 1e7
+            satellite = enu_to_ecef(enu, receiver)
+            _elevation, azimuth = elevation_azimuth(satellite, receiver)
+            assert 0.0 <= azimuth < 2 * math.pi

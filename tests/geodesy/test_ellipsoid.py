@@ -1,0 +1,51 @@
+"""Unit tests for the reference ellipsoid."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geodesy import WGS84, Ellipsoid
+
+
+class TestWGS84Values:
+    def test_semi_major_axis(self):
+        assert WGS84.semi_major_axis == 6_378_137.0
+
+    def test_semi_minor_axis(self):
+        # The canonical WGS-84 value, 6356752.3142 m.
+        assert WGS84.semi_minor_axis == pytest.approx(6_356_752.3142, abs=1e-3)
+
+    def test_eccentricity_squared(self):
+        assert WGS84.eccentricity_squared == pytest.approx(6.69437999014e-3, rel=1e-9)
+
+    def test_second_eccentricity_squared(self):
+        assert WGS84.second_eccentricity_squared == pytest.approx(
+            6.73949674228e-3, rel=1e-9
+        )
+
+
+class TestPrimeVerticalRadius:
+    def test_at_equator_equals_a(self):
+        assert WGS84.prime_vertical_radius(0.0) == WGS84.semi_major_axis
+
+    def test_at_pole(self):
+        expected = WGS84.semi_major_axis / (1 - WGS84.eccentricity_squared) ** 0.5
+        assert WGS84.prime_vertical_radius(1.0) == pytest.approx(expected)
+
+    def test_monotone_with_latitude(self):
+        values = [WGS84.prime_vertical_radius(s) for s in (0.0, 0.5, 0.9, 1.0)]
+        assert values == sorted(values)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_axis(self):
+        with pytest.raises(ConfigurationError):
+            Ellipsoid(semi_major_axis=0.0, flattening=0.0)
+
+    def test_rejects_flattening_of_one(self):
+        with pytest.raises(ConfigurationError):
+            Ellipsoid(semi_major_axis=1.0, flattening=1.0)
+
+    def test_sphere_allowed(self):
+        sphere = Ellipsoid(semi_major_axis=1000.0, flattening=0.0)
+        assert sphere.semi_minor_axis == 1000.0
+        assert sphere.eccentricity_squared == 0.0

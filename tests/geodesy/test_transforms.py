@@ -1,0 +1,101 @@
+"""Unit + property tests for coordinate transforms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geodesy import (
+    ecef_to_enu,
+    ecef_to_enu_matrix,
+    ecef_to_geodetic,
+    enu_to_ecef,
+    geodetic_to_ecef,
+)
+from repro.stations import all_stations
+
+latitudes = st.floats(min_value=-math.pi / 2 + 1e-6, max_value=math.pi / 2 - 1e-6)
+longitudes = st.floats(min_value=-math.pi, max_value=math.pi)
+heights = st.floats(min_value=-5_000.0, max_value=3e7)
+
+
+class TestGeodeticToEcef:
+    def test_equator_prime_meridian(self):
+        ecef = geodetic_to_ecef(0.0, 0.0, 0.0)
+        np.testing.assert_allclose(ecef, [6_378_137.0, 0.0, 0.0], atol=1e-6)
+
+    def test_north_pole(self):
+        ecef = geodetic_to_ecef(math.pi / 2, 0.0, 0.0)
+        assert ecef[0] == pytest.approx(0.0, abs=1e-6)
+        assert ecef[2] == pytest.approx(6_356_752.3142, abs=1e-3)
+
+    def test_height_adds_radially(self):
+        ground = geodetic_to_ecef(0.7, 1.1, 0.0)
+        raised = geodetic_to_ecef(0.7, 1.1, 1000.0)
+        assert np.linalg.norm(raised - ground) == pytest.approx(1000.0, rel=1e-9)
+
+
+class TestEcefToGeodetic:
+    @given(latitudes, longitudes, heights)
+    @settings(max_examples=200)
+    def test_roundtrip(self, latitude, longitude, height):
+        ecef = geodetic_to_ecef(latitude, longitude, height)
+        lat2, lon2, h2 = ecef_to_geodetic(ecef)
+        assert lat2 == pytest.approx(latitude, abs=1e-9)
+        assert lon2 == pytest.approx(longitude, abs=1e-9)
+        assert h2 == pytest.approx(height, abs=1e-4)
+
+    def test_polar_axis(self):
+        latitude, _longitude, height = ecef_to_geodetic(np.array([0.0, 0.0, 7e6]))
+        assert latitude == pytest.approx(math.pi / 2)
+        assert height == pytest.approx(7e6 - 6_356_752.3142, abs=1e-3)
+
+    def test_station_heights_reasonable(self):
+        # Table 5.1 stations are land stations: heights within -100..4000 m.
+        for station in all_stations():
+            _lat, _lon, height = ecef_to_geodetic(station.position)
+            assert -100.0 < height < 4000.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            ecef_to_geodetic(np.array([1.0, 2.0]))
+
+
+class TestEnu:
+    def test_rotation_is_orthonormal(self):
+        rotation = ecef_to_enu_matrix(0.6, -1.2)
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_up_axis_points_away_from_earth(self):
+        origin = geodetic_to_ecef(0.5, 0.5, 0.0)
+        above = geodetic_to_ecef(0.5, 0.5, 100.0)
+        enu = ecef_to_enu(above, origin)
+        assert enu[2] == pytest.approx(100.0, abs=1e-6)
+        assert abs(enu[0]) < 1e-6 and abs(enu[1]) < 1e-6
+
+    def test_north_displacement(self):
+        origin = geodetic_to_ecef(0.0, 0.0, 0.0)
+        north = geodetic_to_ecef(1e-6, 0.0, 0.0)
+        enu = ecef_to_enu(north, origin)
+        assert enu[1] > 0  # north component dominates
+        assert abs(enu[0]) < abs(enu[1]) * 1e-3
+
+    @given(latitudes, longitudes, st.floats(min_value=-1e4, max_value=1e4),
+           st.floats(min_value=-1e4, max_value=1e4), st.floats(min_value=-1e4, max_value=1e4))
+    @settings(max_examples=100)
+    def test_enu_roundtrip(self, latitude, longitude, east, north, up):
+        origin = geodetic_to_ecef(latitude, longitude, 100.0)
+        local = np.array([east, north, up])
+        back = ecef_to_enu(enu_to_ecef(local, origin), origin)
+        np.testing.assert_allclose(back, local, atol=1e-6)
+
+    def test_distance_preserved(self):
+        origin = geodetic_to_ecef(0.8, 2.0, 50.0)
+        target = origin + np.array([100.0, -200.0, 300.0])
+        enu = ecef_to_enu(target, origin)
+        assert np.linalg.norm(enu) == pytest.approx(
+            np.linalg.norm(target - origin), rel=1e-12
+        )

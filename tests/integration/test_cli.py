@@ -1,0 +1,107 @@
+"""Tests for the repro-gps command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStationsCommand:
+    def test_prints_table(self, capsys):
+        assert main(["stations"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5.1" in out
+        for site in ("SRZN", "YYR1", "FAI1", "KYCP"):
+            assert site in out
+
+
+class TestSolveCommand:
+    def test_solves_short_run(self, capsys):
+        assert main(["solve", "SRZN", "--duration", "40", "--warmup", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "DLG" in out
+        assert "pipeline stats" in out
+
+    def test_algorithm_choice(self, capsys):
+        assert main(["solve", "KYCP", "--duration", "10", "--algorithm", "nr"]) == 0
+        out = capsys.readouterr().out
+        assert "NR" in out
+
+    def test_unknown_station_raises(self):
+        from repro.errors import DatasetError
+
+        with pytest.raises(DatasetError):
+            main(["solve", "NOPE", "--duration", "5"])
+
+
+class TestExportCommand:
+    def test_writes_files(self, tmp_path, capsys):
+        obs = tmp_path / "x.obs"
+        nav = tmp_path / "x.nav"
+        code = main(
+            ["export", "YYR1", "--duration", "5", "--obs", str(obs), "--nav", str(nav)]
+        )
+        assert code == 0
+        assert obs.exists() and nav.exists()
+        out = capsys.readouterr().out
+        assert "wrote 5 epochs" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "SRZN", "--algorithm", "wizardry"])
+
+
+class TestSmoothingFlag:
+    def test_solve_with_smoothing(self, capsys):
+        assert main(["solve", "SRZN", "--duration", "20", "--warmup", "5",
+                     "--smooth"]) == 0
+        out = capsys.readouterr().out
+        assert "Hatch-smoothed" in out
+
+    def test_export_with_carrier(self, tmp_path, capsys):
+        obs = tmp_path / "c.obs"
+        nav = tmp_path / "c.nav"
+        assert main(["export", "FAI1", "--duration", "3", "--carrier",
+                     "--obs", str(obs), "--nav", str(nav)]) == 0
+        from repro.rinex import read_observation_file
+
+        data = read_observation_file(obs)
+        assert data.header.observation_types == ("C1", "L1")
+
+
+class TestExperimentCommand:
+    def test_single_station_quick(self, capsys):
+        # A very short span: just exercise the plumbing end to end.
+        assert main(["experiment", "SRZN", "--duration", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5.1" in out and "Fig 5.2" in out
+
+
+class TestSkyplotCommand:
+    def test_renders_sky(self, capsys):
+        assert main(["skyplot", "SRZN"]) == 0
+        out = capsys.readouterr().out
+        assert "sky above SRZN" in out
+        assert "GDOP" in out
+        assert "legend:" in out
+
+    def test_at_offset(self, capsys):
+        assert main(["skyplot", "KYCP", "--at", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "t+5s" in out
+
+
+class TestExperimentOutput:
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["experiment", "SRZN", "--duration", "400",
+                     "--output", str(out)]) == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "## Accuracy rate" in text
+        assert "SRZN" in text

@@ -1,0 +1,68 @@
+"""Failure-injection tests: the stack must degrade loudly, not wrongly."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DatasetConfig,
+    GpsReceiver,
+    NewtonRaphsonSolver,
+    ObservationDataset,
+    get_station,
+)
+from repro.errors import GeometryError
+
+
+class TestSatelliteOutages:
+    def test_unhealthy_satellites_shrink_epochs(self, srzn_dataset):
+        epoch_before = srzn_dataset.epoch_at(0)
+        victims = list(epoch_before.prns[:2])
+        try:
+            for prn in victims:
+                srzn_dataset.constellation.set_health(prn, False)
+            epoch_after = srzn_dataset.epoch_at(0)
+            assert epoch_after.satellite_count == epoch_before.satellite_count - 2
+            assert all(prn not in epoch_after.prns for prn in victims)
+        finally:
+            for prn in victims:
+                srzn_dataset.constellation.set_health(prn, True)
+
+    def test_receiver_survives_outage(self):
+        station = get_station("SRZN")
+        dataset = ObservationDataset(station, DatasetConfig(duration_seconds=60.0))
+        receiver = GpsReceiver(algorithm="dlg", warmup_epochs=10)
+        for index in range(30):
+            if index == 20:
+                # Knock out the two highest satellites mid-run.
+                for prn in dataset.epoch_at(index).prns[:2]:
+                    dataset.constellation.set_health(prn, False)
+            fix = receiver.process(dataset.epoch_at(index))
+            assert fix.distance_to(station.position) < 60.0
+
+    def test_solver_rejects_epoch_below_minimum(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0).subset(3)
+        with pytest.raises(GeometryError):
+            NewtonRaphsonSolver().solve(epoch)
+
+
+class TestCorruptMeasurements:
+    def test_single_huge_outlier_shifts_but_does_not_crash(self, srzn_dataset):
+        from repro.observations import SatelliteObservation
+
+        epoch = srzn_dataset.epoch_at(0)
+        corrupted = list(epoch.observations)
+        bad = corrupted[0]
+        corrupted[0] = SatelliteObservation(
+            prn=bad.prn,
+            position=bad.position,
+            pseudorange=bad.pseudorange + 5000.0,
+            elevation=bad.elevation,
+            azimuth=bad.azimuth,
+        )
+        fix = NewtonRaphsonSolver().solve(epoch.with_observations(corrupted))
+        station = get_station("SRZN")
+        error = fix.distance_to(station.position)
+        # The 5 km range outlier pulls the fix by up to its own size.
+        assert 10.0 < error < 10_000.0
+        # The residual norm flags the inconsistency for fault detection.
+        assert fix.residual_norm > 100.0

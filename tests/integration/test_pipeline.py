@@ -1,0 +1,101 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BancroftSolver,
+    DatasetConfig,
+    DLGSolver,
+    DLOSolver,
+    GpsReceiver,
+    NewtonRaphsonSolver,
+    ObservationDataset,
+    OracleClockBiasPredictor,
+    get_station,
+)
+from repro.core import compute_dop
+
+
+class TestFullChainAccuracy:
+    """Constellation -> signals -> corrector -> solver -> meters."""
+
+    @pytest.mark.parametrize("site", ["SRZN", "YYR1", "FAI1", "KYCP"])
+    def test_nr_error_budget_all_stations(self, site):
+        station = get_station(site)
+        dataset = ObservationDataset(station, DatasetConfig(duration_seconds=30.0))
+        solver = NewtonRaphsonSolver()
+        errors = [
+            solver.solve(epoch).distance_to(station.position)
+            for epoch in dataset.epochs()
+        ]
+        # Residual iono/tropo + noise, times typical DOP: meters-level.
+        assert np.mean(errors) < 15.0
+        assert np.max(errors) < 60.0
+
+    def test_all_solvers_agree_on_one_epoch(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0)
+        oracle = OracleClockBiasPredictor(srzn_dataset.clock_model)
+        fixes = [
+            NewtonRaphsonSolver().solve(epoch),
+            DLOSolver(oracle).solve(epoch),
+            DLGSolver(oracle).solve(epoch),
+            BancroftSolver().solve(epoch),
+        ]
+        positions = np.array([fix.position for fix in fixes])
+        spread = np.max(np.linalg.norm(positions - positions[0], axis=1))
+        assert spread < 30.0
+
+    def test_nr_bias_tracks_truth(self, srzn_dataset):
+        solver = NewtonRaphsonSolver()
+        for index in (0, 40, 80):
+            epoch = srzn_dataset.epoch_at(index)
+            fix = solver.solve(epoch)
+            assert fix.clock_bias_meters == pytest.approx(
+                epoch.truth.clock_bias_meters, abs=10.0
+            )
+
+    def test_dop_predicts_error_scale(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0)
+        dop = compute_dop(epoch.satellite_positions(), epoch.truth.receiver_position)
+        assert 1.0 < dop.gdop < 10.0
+
+
+class TestReceiverAcrossStations:
+    @pytest.mark.parametrize("algorithm", ["nr", "dlo", "dlg", "bancroft"])
+    def test_every_algorithm_end_to_end(self, srzn_dataset, algorithm):
+        station = get_station("SRZN")
+        receiver = GpsReceiver(algorithm=algorithm, warmup_epochs=15)
+        errors = []
+        for index in range(60):
+            fix = receiver.process(srzn_dataset.epoch_at(index))
+            errors.append(fix.distance_to(station.position))
+        assert np.mean(errors) < 20.0
+
+    def test_threshold_station_with_threshold_mode(self, kycp_dataset):
+        station = get_station("KYCP")
+        receiver = GpsReceiver(
+            algorithm="dlg", clock_mode="threshold", warmup_epochs=15
+        )
+        errors = [
+            receiver.process(kycp_dataset.epoch_at(i)).distance_to(station.position)
+            for i in range(60)
+        ]
+        assert np.mean(errors) < 20.0
+
+
+class TestDeterminism:
+    def test_same_config_same_results(self):
+        station = get_station("YYR1")
+        config = DatasetConfig(duration_seconds=20.0, seed=99)
+        errors = []
+        for _run in range(2):
+            dataset = ObservationDataset(station, config)
+            solver = NewtonRaphsonSolver()
+            errors.append(
+                [
+                    solver.solve(epoch).distance_to(station.position)
+                    for epoch in dataset.epochs()
+                ]
+            )
+        assert errors[0] == errors[1]

@@ -1,0 +1,75 @@
+"""Unit tests for the alpha-beta tracking filter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.motion import AlphaBetaFilter
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestConfiguration:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaFilter(alpha=1.0)
+
+    def test_rejects_bad_beta(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaFilter(alpha=0.5, beta=10.0)
+
+    def test_predict_without_state_raises(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaFilter().predict(T0)
+
+
+class TestTracking:
+    def test_first_update_passthrough(self):
+        tracker = AlphaBetaFilter()
+        measurement = np.array([1e6, 2e6, 3e6])
+        np.testing.assert_array_equal(tracker.update(T0, measurement), measurement)
+
+    def test_converges_to_constant_velocity(self):
+        tracker = AlphaBetaFilter(alpha=0.5, beta=0.2)
+        velocity = np.array([100.0, -50.0, 10.0])
+        start = np.array([1e6, 2e6, 3e6])
+        for i in range(60):
+            tracker.update(T0 + float(i), start + velocity * i)
+        np.testing.assert_allclose(tracker.velocity, velocity, atol=0.5)
+        predicted = tracker.predict(T0 + 65.0)
+        np.testing.assert_allclose(predicted, start + velocity * 65.0, atol=5.0)
+
+    def test_smooths_noise(self):
+        rng = np.random.default_rng(0)
+        tracker = AlphaBetaFilter(alpha=0.3, beta=0.05)
+        velocity = np.array([50.0, 0.0, 0.0])
+        start = np.array([1e6, 2e6, 3e6])
+        raw_errors, smoothed_errors = [], []
+        for i in range(200):
+            truth = start + velocity * i
+            measurement = truth + rng.normal(0.0, 3.0, size=3)
+            smoothed = tracker.update(T0 + float(i), measurement)
+            if i >= 50:
+                raw_errors.append(np.linalg.norm(measurement - truth))
+                smoothed_errors.append(np.linalg.norm(smoothed - truth))
+        assert np.mean(smoothed_errors) < 0.7 * np.mean(raw_errors)
+
+    def test_duplicate_timestamp_blends(self):
+        tracker = AlphaBetaFilter(alpha=0.5)
+        tracker.update(T0, np.zeros(3))
+        result = tracker.update(T0, np.array([2.0, 0.0, 0.0]))
+        np.testing.assert_allclose(result, [1.0, 0.0, 0.0])
+
+    def test_time_backwards_raises(self):
+        tracker = AlphaBetaFilter()
+        tracker.update(T0 + 10.0, np.zeros(3))
+        with pytest.raises(ConfigurationError, match="time order"):
+            tracker.update(T0, np.zeros(3))
+
+    def test_reset(self):
+        tracker = AlphaBetaFilter()
+        tracker.update(T0, np.ones(3))
+        tracker.reset()
+        assert tracker.position is None
+        np.testing.assert_array_equal(tracker.velocity, np.zeros(3))

@@ -1,0 +1,82 @@
+"""Integration tests for kinematic scenarios."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Constellation, NewtonRaphsonSolver
+from repro.errors import ConfigurationError
+from repro.motion import GreatCircleTrajectory, KinematicScenario, StaticTrajectory
+from repro.stations import get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture(scope="module")
+def constellation():
+    return Constellation.nominal(T0, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def aircraft(constellation):
+    trajectory = GreatCircleTrajectory(
+        start_latitude=math.radians(40.0),
+        start_longitude=math.radians(-100.0),
+        altitude_m=10_000.0,
+        heading=math.radians(80.0),
+        speed_mps=250.0,
+        epoch=T0,
+    )
+    return KinematicScenario(
+        trajectory, constellation, start_time=T0, duration_seconds=60.0
+    )
+
+
+class TestScenario:
+    def test_epoch_truth_follows_trajectory(self, aircraft):
+        for index in (0, 30, 59):
+            epoch = aircraft.epoch_at(index)
+            expected = aircraft.trajectory.position_at(epoch.time)
+            np.testing.assert_allclose(
+                epoch.truth.receiver_position, expected, atol=1e-6
+            )
+
+    def test_solvable_along_the_path(self, aircraft):
+        solver = NewtonRaphsonSolver()
+        for index in range(0, 60, 10):
+            epoch = aircraft.epoch_at(index)
+            fix = solver.solve(epoch)
+            assert fix.distance_to(epoch.truth.receiver_position) < 30.0
+
+    def test_truth_actually_moves(self, aircraft):
+        first = aircraft.epoch_at(0).truth.receiver_position
+        last = aircraft.epoch_at(59).truth.receiver_position
+        distance = np.linalg.norm(last - first)
+        assert distance == pytest.approx(59 * 250.0, rel=0.05)
+
+    def test_deterministic(self, constellation):
+        trajectory = StaticTrajectory(get_station("SRZN").position)
+        a = KinematicScenario(trajectory, constellation, T0, 5.0, seed=9)
+        b = KinematicScenario(trajectory, constellation, T0, 5.0, seed=9)
+        np.testing.assert_array_equal(
+            a.epoch_at(2).pseudoranges(), b.epoch_at(2).pseudoranges()
+        )
+
+    def test_carrier_tracking_optional(self, constellation):
+        trajectory = StaticTrajectory(get_station("SRZN").position)
+        scenario = KinematicScenario(
+            trajectory, constellation, T0, 3.0, track_carrier=True
+        )
+        epoch = scenario.epoch_at(0)
+        assert all(obs.carrier_range is not None for obs in epoch.observations)
+
+    def test_index_bounds(self, aircraft):
+        with pytest.raises(ConfigurationError):
+            aircraft.epoch_at(60)
+
+    def test_epochs_iterator_count(self, constellation):
+        trajectory = StaticTrajectory(get_station("SRZN").position)
+        scenario = KinematicScenario(trajectory, constellation, T0, 5.0)
+        assert sum(1 for _epoch in scenario.epochs()) == 5

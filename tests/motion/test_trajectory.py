@@ -1,0 +1,177 @@
+"""Unit tests for trajectory models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geodesy import ecef_to_geodetic, geodetic_to_ecef
+from repro.motion import (
+    GreatCircleTrajectory,
+    LinearTrajectory,
+    StaticTrajectory,
+    WaypointTrajectory,
+)
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestStatic:
+    def test_constant(self):
+        position = np.array([1e6, 2e6, 3e6])
+        trajectory = StaticTrajectory(position)
+        np.testing.assert_array_equal(trajectory.position_at(T0 + 1000.0), position)
+
+    def test_zero_velocity(self):
+        trajectory = StaticTrajectory(np.array([1e6, 2e6, 3e6]))
+        np.testing.assert_array_equal(trajectory.velocity_at(T0), np.zeros(3))
+
+    def test_returns_copies(self):
+        position = np.array([1e6, 2e6, 3e6])
+        trajectory = StaticTrajectory(position)
+        trajectory.position_at(T0)[0] = 0.0
+        assert trajectory.position_at(T0)[0] == 1e6
+
+
+class TestLinear:
+    def test_propagation(self):
+        trajectory = LinearTrajectory(
+            np.array([0.0, 0.0, 6.4e6]), np.array([100.0, 0.0, 0.0]), T0
+        )
+        np.testing.assert_allclose(
+            trajectory.position_at(T0 + 10.0), [1000.0, 0.0, 6.4e6]
+        )
+
+    def test_velocity_exact(self):
+        velocity = np.array([10.0, -20.0, 5.0])
+        trajectory = LinearTrajectory(np.zeros(3) + 6.4e6, velocity, T0)
+        np.testing.assert_array_equal(trajectory.velocity_at(T0 + 7.0), velocity)
+
+
+class TestGreatCircle:
+    def test_altitude_held(self):
+        trajectory = GreatCircleTrajectory(
+            start_latitude=math.radians(40.0),
+            start_longitude=math.radians(-100.0),
+            altitude_m=10_000.0,
+            heading=math.radians(90.0),
+            speed_mps=250.0,
+            epoch=T0,
+        )
+        for dt in (0.0, 600.0, 3600.0):
+            _lat, _lon, height = ecef_to_geodetic(trajectory.position_at(T0 + dt))
+            assert height == pytest.approx(10_000.0, abs=50.0)
+
+    def test_ground_speed(self):
+        trajectory = GreatCircleTrajectory(
+            start_latitude=0.3, start_longitude=1.0, altitude_m=0.0,
+            heading=0.7, speed_mps=200.0, epoch=T0,
+        )
+        p0 = trajectory.position_at(T0)
+        p1 = trajectory.position_at(T0 + 10.0)
+        assert np.linalg.norm(p1 - p0) == pytest.approx(2000.0, rel=0.02)
+
+    def test_due_east_keeps_latitude(self):
+        trajectory = GreatCircleTrajectory(
+            start_latitude=0.0, start_longitude=0.0, altitude_m=0.0,
+            heading=math.radians(90.0), speed_mps=300.0, epoch=T0,
+        )
+        latitude, longitude, _h = ecef_to_geodetic(trajectory.position_at(T0 + 1200.0))
+        assert latitude == pytest.approx(0.0, abs=1e-6)
+        assert longitude > 0
+
+    def test_due_north_increases_latitude(self):
+        trajectory = GreatCircleTrajectory(
+            start_latitude=0.1, start_longitude=0.5, altitude_m=0.0,
+            heading=0.0, speed_mps=300.0, epoch=T0,
+        )
+        latitude, _lon, _h = ecef_to_geodetic(trajectory.position_at(T0 + 600.0))
+        assert latitude > 0.1
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ConfigurationError):
+            GreatCircleTrajectory(0.0, 0.0, 0.0, 0.0, -1.0, T0)
+
+
+class TestWaypoints:
+    def test_interpolation(self):
+        a = geodetic_to_ecef(0.5, 0.5, 100.0)
+        b = a + np.array([1000.0, 0.0, 0.0])
+        trajectory = WaypointTrajectory([(T0, a), (T0 + 10.0, b)])
+        np.testing.assert_allclose(
+            trajectory.position_at(T0 + 5.0), a + [500.0, 0.0, 0.0]
+        )
+
+    def test_clamps_outside_span(self):
+        a = np.array([1e6, 0.0, 6.3e6])
+        b = a + 100.0
+        trajectory = WaypointTrajectory([(T0 + 10.0, a), (T0 + 20.0, b)])
+        np.testing.assert_array_equal(trajectory.position_at(T0), a)
+        np.testing.assert_array_equal(trajectory.position_at(T0 + 100.0), b)
+
+    def test_rejects_single_waypoint(self):
+        with pytest.raises(ConfigurationError):
+            WaypointTrajectory([(T0, np.zeros(3))])
+
+    def test_rejects_unordered_times(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            WaypointTrajectory(
+                [(T0 + 10.0, np.zeros(3)), (T0, np.ones(3))]
+            )
+
+
+class TestTrajectoryProperties:
+    def test_great_circle_speed_constant_everywhere(self):
+        """Property: the ground speed matches the configured speed at
+        every probe time and for every heading."""
+        from hypothesis import given, settings, strategies as st
+
+        @given(
+            heading=st.floats(min_value=0.0, max_value=2 * math.pi),
+            latitude=st.floats(min_value=-1.2, max_value=1.2),
+            probe=st.floats(min_value=0.0, max_value=3600.0),
+        )
+        @settings(max_examples=60, deadline=None)
+        def check(heading, latitude, probe):
+            trajectory = GreatCircleTrajectory(
+                start_latitude=latitude,
+                start_longitude=0.7,
+                altitude_m=5000.0,
+                heading=heading,
+                speed_mps=200.0,
+                epoch=T0,
+            )
+            speed = np.linalg.norm(trajectory.velocity_at(T0 + probe))
+            assert speed == pytest.approx(200.0, rel=0.02)
+
+        check()
+
+    def test_waypoint_interpolation_stays_on_segment(self):
+        """Property: interpolated points lie between their bracketing
+        waypoints (convexity)."""
+        from hypothesis import given, settings, strategies as st
+
+        a = np.array([6.4e6, 0.0, 0.0])
+        b = np.array([6.4e6, 5000.0, 2000.0])
+        trajectory = WaypointTrajectory([(T0, a), (T0 + 100.0, b)])
+
+        @given(t=st.floats(min_value=0.0, max_value=100.0))
+        @settings(max_examples=60, deadline=None)
+        def check(t):
+            point = trajectory.position_at(T0 + t)
+            for axis in range(3):
+                low, high = min(a[axis], b[axis]), max(a[axis], b[axis])
+                assert low - 1e-6 <= point[axis] <= high + 1e-6
+
+        check()
+
+    def test_linear_velocity_matches_numeric(self):
+        trajectory = LinearTrajectory(
+            np.array([6.4e6, 0.0, 0.0]), np.array([3.0, -7.0, 11.0]), T0
+        )
+        numeric = (
+            trajectory.position_at(T0 + 10.5) - trajectory.position_at(T0 + 9.5)
+        )
+        np.testing.assert_allclose(numeric, [3.0, -7.0, 11.0], atol=1e-9)

@@ -1,0 +1,107 @@
+"""Unit tests for Keplerian element propagation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GPS_ORBIT_SEMI_MAJOR_AXIS, EARTH_ROTATION_RATE
+from repro.errors import ConfigurationError
+from repro.orbits import OrbitalElements
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def epoch():
+    return GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture
+def circular(epoch):
+    return OrbitalElements(
+        semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+        eccentricity=0.0,
+        inclination=math.radians(55.0),
+        raan=0.3,
+        argument_of_perigee=0.0,
+        mean_anomaly=0.0,
+        epoch=epoch,
+    )
+
+
+class TestProperties:
+    def test_gps_period_is_half_sidereal_day(self, circular):
+        # ~43 082 s (half a sidereal day).
+        assert circular.orbital_period == pytest.approx(43_082.0, abs=50.0)
+
+    def test_mean_motion_matches_period(self, circular):
+        assert circular.mean_motion * circular.orbital_period == pytest.approx(
+            2 * math.pi
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_axis(self, epoch):
+        with pytest.raises(ConfigurationError):
+            OrbitalElements(-1.0, 0.0, 0.0, 0.0, 0.0, 0.0, epoch)
+
+    def test_rejects_bad_eccentricity(self, epoch):
+        with pytest.raises(ConfigurationError):
+            OrbitalElements(1e7, 1.0, 0.0, 0.0, 0.0, 0.0, epoch)
+
+    def test_rejects_bad_inclination(self, epoch):
+        with pytest.raises(ConfigurationError):
+            OrbitalElements(1e7, 0.0, 4.0, 0.0, 0.0, 0.0, epoch)
+
+
+class TestPropagation:
+    def test_radius_constant_for_circular(self, circular, epoch):
+        for dt in (0.0, 1000.0, 10_000.0, 43_000.0):
+            radius = np.linalg.norm(circular.position_ecef(epoch + dt))
+            assert radius == pytest.approx(GPS_ORBIT_SEMI_MAJOR_AXIS, rel=1e-12)
+
+    def test_radius_bounds_for_elliptical(self, epoch):
+        elements = OrbitalElements(
+            semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+            eccentricity=0.02,
+            inclination=math.radians(55.0),
+            raan=0.0,
+            argument_of_perigee=1.0,
+            mean_anomaly=0.5,
+            epoch=epoch,
+        )
+        a, e = GPS_ORBIT_SEMI_MAJOR_AXIS, 0.02
+        for dt in np.linspace(0.0, 43_000.0, 40):
+            radius = np.linalg.norm(elements.position_ecef(epoch + dt))
+            assert a * (1 - e) - 1.0 <= radius <= a * (1 + e) + 1.0
+
+    def test_z_amplitude_set_by_inclination(self, circular, epoch):
+        max_z = max(
+            abs(circular.position_ecef(epoch + dt)[2])
+            for dt in np.linspace(0.0, 43_082.0, 200)
+        )
+        expected = GPS_ORBIT_SEMI_MAJOR_AXIS * math.sin(math.radians(55.0))
+        assert max_z == pytest.approx(expected, rel=1e-3)
+
+    def test_one_inertial_period_regresses_by_earth_rotation(self, circular, epoch):
+        start = circular.position_ecef(epoch)
+        period = circular.orbital_period
+        after = circular.position_ecef(epoch + period)
+        # In ECEF, after one orbital period the satellite appears
+        # rotated by -omega_e * T about z.
+        theta = EARTH_ROTATION_RATE * period
+        rotation = np.array(
+            [
+                [math.cos(theta), math.sin(theta), 0.0],
+                [-math.sin(theta), math.cos(theta), 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        np.testing.assert_allclose(after, rotation @ start, atol=1e-3)
+
+    def test_epoch_position_depends_only_on_angles(self, circular, epoch):
+        position = circular.position_ecef(epoch)
+        expected = GPS_ORBIT_SEMI_MAJOR_AXIS * np.array(
+            [math.cos(0.3), math.sin(0.3), 0.0]
+        )
+        np.testing.assert_allclose(position, expected, atol=1e-6)

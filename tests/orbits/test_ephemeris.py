@@ -1,0 +1,135 @@
+"""Unit tests for broadcast-ephemeris evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GPS_ORBIT_SEMI_MAJOR_AXIS
+from repro.errors import ConfigurationError, EphemerisError
+from repro.orbits import BroadcastEphemeris, OrbitalElements
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def epoch():
+    return GpsTime(week=1540, seconds_of_week=302_400.0)  # mid-week toe
+
+
+@pytest.fixture
+def elements(epoch):
+    return OrbitalElements(
+        semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+        eccentricity=0.01,
+        inclination=math.radians(55.0),
+        raan=1.1,
+        argument_of_perigee=0.4,
+        mean_anomaly=2.2,
+        epoch=epoch,
+    )
+
+
+class TestFromElements:
+    def test_matches_element_propagation(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(7, elements)
+        for dt in (-3600.0, 0.0, 60.0, 3600.0):
+            expected = elements.position_ecef(epoch + dt)
+            actual = ephemeris.satellite_position(epoch + dt)
+            np.testing.assert_allclose(actual, expected, atol=1e-6)
+
+    def test_prn_preserved(self, elements):
+        assert BroadcastEphemeris.from_elements(13, elements).prn == 13
+
+    def test_clock_overrides(self, elements):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements, af0=1e-5, af1=1e-11)
+        assert ephemeris.af0 == 1e-5
+        assert ephemeris.af1 == 1e-11
+
+
+class TestValidation:
+    def test_rejects_bad_prn(self, epoch):
+        with pytest.raises(ConfigurationError):
+            BroadcastEphemeris(prn=0, toe=epoch, sqrt_a=5153.0, eccentricity=0.0,
+                               i0=0.96, omega0=0.0, omega=0.0, m0=0.0)
+
+    def test_rejects_bad_sqrt_a(self, epoch):
+        with pytest.raises(ConfigurationError):
+            BroadcastEphemeris(prn=1, toe=epoch, sqrt_a=-1.0, eccentricity=0.0,
+                               i0=0.96, omega0=0.0, omega=0.0, m0=0.0)
+
+    def test_toc_defaults_to_toe(self, epoch):
+        ephemeris = BroadcastEphemeris(prn=1, toe=epoch, sqrt_a=5153.0,
+                                       eccentricity=0.0, i0=0.96, omega0=0.0,
+                                       omega=0.0, m0=0.0)
+        assert ephemeris.toc == epoch
+
+
+class TestFitInterval:
+    def test_valid_inside(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        assert ephemeris.is_valid_at(epoch + 3600.0)
+
+    def test_invalid_outside(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        assert not ephemeris.is_valid_at(epoch + 5 * 3600.0)
+
+    def test_strict_raises_outside(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        with pytest.raises(EphemerisError):
+            ephemeris.satellite_position(epoch + 5 * 3600.0, strict=True)
+
+    def test_strict_ok_inside(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        ephemeris.satellite_position(epoch + 600.0, strict=True)
+
+
+class TestPerturbations:
+    def test_radial_correction_shifts_radius(self, elements, epoch):
+        base = BroadcastEphemeris.from_elements(1, elements)
+        perturbed = BroadcastEphemeris.from_elements(1, elements, crc=100.0, crs=0.0)
+        # crc adds ~100*cos(2phi) meters to the radius.
+        r0 = np.linalg.norm(base.satellite_position(epoch))
+        r1 = np.linalg.norm(perturbed.satellite_position(epoch))
+        assert abs(r1 - r0) <= 100.0 + 1e-6
+        assert r1 != pytest.approx(r0, abs=1e-3)  # it does change
+
+    def test_delta_n_advances_anomaly(self, elements, epoch):
+        base = BroadcastEphemeris.from_elements(1, elements)
+        faster = BroadcastEphemeris.from_elements(1, elements, delta_n=1e-9)
+        # After an hour the faster satellite has pulled ahead.
+        dt = 3600.0
+        separation = np.linalg.norm(
+            faster.satellite_position(epoch + dt) - base.satellite_position(epoch + dt)
+        )
+        assert separation == pytest.approx(1e-9 * dt * GPS_ORBIT_SEMI_MAJOR_AXIS, rel=0.1)
+
+
+class TestVelocity:
+    def test_speed_near_circular_orbit_speed(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        speed = np.linalg.norm(ephemeris.satellite_velocity(epoch))
+        # GPS orbital speed ~3.87 km/s; include ECEF frame rotation slop.
+        assert 2500.0 < speed < 5000.0
+
+    def test_velocity_consistent_with_positions(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(1, elements)
+        velocity = ephemeris.satellite_velocity(epoch)
+        p0 = ephemeris.satellite_position(epoch)
+        p1 = ephemeris.satellite_position(epoch + 1.0)
+        np.testing.assert_allclose(p1 - p0, velocity, rtol=1e-3, atol=0.5)
+
+
+class TestClock:
+    def test_polynomial_evaluation(self, elements, epoch):
+        ephemeris = BroadcastEphemeris.from_elements(
+            1, elements, af0=1e-5, af1=1e-11, af2=1e-15
+        )
+        dt = 100.0
+        expected = 1e-5 + 1e-11 * dt + 1e-15 * dt * dt
+        assert ephemeris.satellite_clock_offset(epoch + dt) == pytest.approx(expected)
+
+    def test_with_clock_returns_new_instance(self, elements):
+        base = BroadcastEphemeris.from_elements(1, elements)
+        updated = base.with_clock(af0=3e-6)
+        assert updated.af0 == 3e-6
+        assert base.af0 == 0.0

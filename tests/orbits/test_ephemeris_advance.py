@@ -1,0 +1,160 @@
+"""Tests for ephemeris re-issuing (advanced_to) and dataset refresh."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import GPS_ORBIT_SEMI_MAJOR_AXIS
+from repro.orbits import BroadcastEphemeris, OrbitalElements
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+
+@pytest.fixture
+def ephemeris():
+    epoch = GpsTime(week=1540, seconds_of_week=600_000.0)  # near week end
+    elements = OrbitalElements(
+        semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+        eccentricity=0.012,
+        inclination=math.radians(55.0),
+        raan=1.1,
+        argument_of_perigee=0.4,
+        mean_anomaly=2.2,
+        epoch=epoch,
+    )
+    return BroadcastEphemeris.from_elements(
+        7, elements, af0=2e-5, af1=1e-11, delta_n=1e-9, omega_dot=-8e-9, idot=3e-10
+    )
+
+
+class TestAdvancedTo:
+    @pytest.mark.parametrize("dt", [3600.0, 7200.0, 30_000.0, 86_400.0])
+    def test_positions_agree_at_common_instants(self, ephemeris, dt):
+        new_toe = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + dt)
+        advanced = ephemeris.advanced_to(new_toe)
+        for offset in (-1800.0, 0.0, 1800.0):
+            t = GpsTime.from_gps_seconds(new_toe.to_gps_seconds() + offset)
+            np.testing.assert_allclose(
+                advanced.satellite_position(t),
+                ephemeris.satellite_position(t),
+                atol=1e-4,
+            )
+
+    def test_clock_polynomial_reexpanded(self, ephemeris):
+        new_toe = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + 7200.0)
+        advanced = ephemeris.advanced_to(new_toe)
+        t = GpsTime.from_gps_seconds(new_toe.to_gps_seconds() + 100.0)
+        assert advanced.satellite_clock_offset(t) == pytest.approx(
+            ephemeris.satellite_clock_offset(t), abs=1e-18
+        )
+
+    def test_week_boundary_crossing(self, ephemeris):
+        # toe at sow 600000 + 30000 crosses into the next week.
+        new_toe = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + 30_000.0)
+        advanced = ephemeris.advanced_to(new_toe)
+        assert advanced.toe.week == ephemeris.toe.week + 1
+        t = new_toe + 600.0
+        np.testing.assert_allclose(
+            advanced.satellite_position(t), ephemeris.satellite_position(t), atol=1e-4
+        )
+
+    def test_validity_window_moves(self, ephemeris):
+        new_toe = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + 30_000.0)
+        advanced = ephemeris.advanced_to(new_toe)
+        assert advanced.is_valid_at(new_toe + 3600.0)
+        assert not advanced.is_valid_at(ephemeris.toe)
+
+    def test_prn_and_shape_preserved(self, ephemeris):
+        advanced = ephemeris.advanced_to(ephemeris.toe + 7200.0)
+        assert advanced.prn == ephemeris.prn
+        assert advanced.sqrt_a == ephemeris.sqrt_a
+        assert advanced.eccentricity == ephemeris.eccentricity
+
+
+class TestDatasetRefresh:
+    @pytest.fixture(scope="class")
+    def day_dataset(self):
+        return ObservationDataset(get_station("SRZN"), DatasetConfig())
+
+    def test_all_day_epochs_within_fit_interval(self, day_dataset):
+        for index in (0, 7200, 14_400, 43_200, 86_399):
+            epoch = day_dataset.epoch_at(index)
+            for obs in epoch.observations:
+                ephemeris = day_dataset.constellation.satellite(obs.prn).ephemeris
+                assert ephemeris.is_valid_at(epoch.time)
+
+    def test_positions_continuous_across_refresh(self, day_dataset):
+        """The re-issued ephemeris describes the same orbit, so epoch
+        geometry must not jump at the window boundary."""
+        before = day_dataset.epoch_at(7199)
+        after = day_dataset.epoch_at(7200)
+        before_by_prn = {obs.prn: obs for obs in before.observations}
+        for obs in after.observations:
+            if obs.prn not in before_by_prn:
+                continue
+            motion = np.linalg.norm(obs.position - before_by_prn[obs.prn].position)
+            # One second of satellite motion is < 4 km; an upload glitch
+            # would show up as a discontinuity far larger.
+            assert motion < 4500.0
+
+    def test_random_access_deterministic_across_windows(self, day_dataset):
+        # Jump far ahead, then back: the earlier epoch must reproduce.
+        first = day_dataset.epoch_at(100).pseudoranges()
+        day_dataset.epoch_at(50_000)
+        again = day_dataset.epoch_at(100).pseudoranges()
+        np.testing.assert_array_equal(first, again)
+
+    def test_navigation_records_cover_windows(self, day_dataset):
+        records = day_dataset.navigation_records(stop_index=14_401)
+        # Windows 0, 1, 2 -> 3 uploads x 31 satellites.
+        assert len(records) == 3 * 31
+        toes = {record.toe.to_gps_seconds() for record in records}
+        assert len(toes) == 3
+
+    def test_refresh_disabled(self):
+        dataset = ObservationDataset(
+            get_station("YYR1"),
+            DatasetConfig(duration_seconds=30.0, ephemeris_refresh_seconds=0.0),
+        )
+        assert len(dataset.navigation_records()) == 31
+
+
+class TestAdvanceProperty:
+    def test_position_consistency_for_random_offsets(self, ephemeris):
+        """Property: advanced_to preserves the orbit for any offset up
+        to a day, evaluated near the new toe."""
+        from hypothesis import given, settings, strategies as st
+
+        @given(
+            dt=st.floats(min_value=60.0, max_value=86_400.0),
+            probe=st.floats(min_value=-1800.0, max_value=1800.0),
+        )
+        @settings(max_examples=60, deadline=None)
+        def check(dt, probe):
+            new_toe = GpsTime.from_gps_seconds(
+                ephemeris.toe.to_gps_seconds() + dt
+            )
+            advanced = ephemeris.advanced_to(new_toe)
+            t = GpsTime.from_gps_seconds(new_toe.to_gps_seconds() + probe)
+            np.testing.assert_allclose(
+                advanced.satellite_position(t),
+                ephemeris.satellite_position(t),
+                atol=1e-3,
+            )
+
+        check()
+
+    def test_double_advance_equals_single(self, ephemeris):
+        """Advancing in two hops lands on the same parameters as one."""
+        mid = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + 7200.0)
+        end = GpsTime.from_gps_seconds(ephemeris.toe.to_gps_seconds() + 14_400.0)
+        two_hops = ephemeris.advanced_to(mid).advanced_to(end)
+        one_hop = ephemeris.advanced_to(end)
+        t = end + 600.0
+        np.testing.assert_allclose(
+            two_hops.satellite_position(t), one_hop.satellite_position(t), atol=1e-4
+        )
+        assert two_hops.satellite_clock_offset(t) == pytest.approx(
+            one_hop.satellite_clock_offset(t), abs=1e-15
+        )

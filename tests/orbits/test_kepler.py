@@ -1,0 +1,79 @@
+"""Unit + property tests for the Kepler solver."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.orbits import eccentric_to_true_anomaly, solve_kepler
+
+anomalies = st.floats(min_value=-100.0, max_value=100.0)
+eccentricities = st.floats(min_value=0.0, max_value=0.97)
+
+
+class TestSolveKepler:
+    def test_circular_orbit_identity(self):
+        # With e = 0, E = M exactly.
+        assert solve_kepler(1.234, 0.0) == pytest.approx(1.234)
+
+    def test_zero_anomaly(self):
+        assert solve_kepler(0.0, 0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_known_value(self):
+        # Classic textbook case M=pi/4, e=0.1.
+        eccentric = solve_kepler(math.pi / 4, 0.1)
+        assert eccentric - 0.1 * math.sin(eccentric) == pytest.approx(math.pi / 4)
+
+    @given(anomalies, eccentricities)
+    @settings(max_examples=300)
+    def test_satisfies_keplers_equation(self, mean_anomaly, eccentricity):
+        eccentric = solve_kepler(mean_anomaly, eccentricity)
+        residual = eccentric - eccentricity * math.sin(eccentric)
+        wrapped_m = math.atan2(math.sin(mean_anomaly), math.cos(mean_anomaly))
+        assert math.sin(residual) == pytest.approx(math.sin(wrapped_m), abs=1e-9)
+        assert math.cos(residual) == pytest.approx(math.cos(wrapped_m), abs=1e-9)
+
+    def test_high_eccentricity_near_perigee(self):
+        # The hard regime for naive Newton starts.
+        eccentric = solve_kepler(0.01, 0.95)
+        assert eccentric - 0.95 * math.sin(eccentric) == pytest.approx(0.01, abs=1e-12)
+
+    def test_rejects_hyperbolic(self):
+        with pytest.raises(ConfigurationError):
+            solve_kepler(1.0, 1.0)
+
+    def test_rejects_negative_eccentricity(self):
+        with pytest.raises(ConfigurationError):
+            solve_kepler(1.0, -0.1)
+
+    def test_gps_eccentricity_fast_convergence(self):
+        # GPS orbits have e < 0.03; make sure the default budget is ample.
+        for m_deg in range(0, 360, 15):
+            solve_kepler(math.radians(m_deg), 0.02, max_iterations=10)
+
+
+class TestTrueAnomaly:
+    def test_circular_identity(self):
+        assert eccentric_to_true_anomaly(0.7, 0.0) == pytest.approx(0.7)
+
+    def test_perigee_and_apogee_fixed_points(self):
+        assert eccentric_to_true_anomaly(0.0, 0.3) == pytest.approx(0.0)
+        assert abs(eccentric_to_true_anomaly(math.pi, 0.3)) == pytest.approx(math.pi)
+
+    def test_true_leads_eccentric_ascending(self):
+        # Between perigee and apogee the true anomaly is ahead.
+        assert eccentric_to_true_anomaly(1.0, 0.2) > 1.0
+
+    @given(st.floats(min_value=-math.pi, max_value=math.pi), eccentricities)
+    def test_consistent_with_cosine_relation(self, eccentric, eccentricity):
+        true_anomaly = eccentric_to_true_anomaly(eccentric, eccentricity)
+        # cos(v) = (cos E - e) / (1 - e cos E).
+        expected_cos = (math.cos(eccentric) - eccentricity) / (
+            1 - eccentricity * math.cos(eccentric)
+        )
+        assert math.cos(true_anomaly) == pytest.approx(expected_cos, abs=1e-9)
+
+    def test_rejects_bad_eccentricity(self):
+        with pytest.raises(ConfigurationError):
+            eccentric_to_true_anomaly(0.0, 1.5)

@@ -1,0 +1,45 @@
+"""Unit + property tests for RINEX calendar/GPS time conversion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RinexError
+from repro.rinex import calendar_to_gps, gps_to_calendar
+from repro.timebase import GpsTime
+
+
+class TestGpsToCalendar:
+    def test_gps_epoch(self):
+        assert gps_to_calendar(GpsTime(week=0, seconds_of_week=0.0)) == (
+            1980, 1, 6, 0, 0, 0.0,
+        )
+
+    def test_one_day_in(self):
+        time = GpsTime(week=0, seconds_of_week=86_400.0)
+        assert gps_to_calendar(time) == (1980, 1, 7, 0, 0, 0.0)
+
+    def test_fractional_seconds_preserved(self):
+        time = GpsTime(week=100, seconds_of_week=12.375)
+        *_rest, second = gps_to_calendar(time)
+        assert second == pytest.approx(12.375)
+
+
+class TestCalendarToGps:
+    def test_inverse_of_epoch(self):
+        assert calendar_to_gps(1980, 1, 6, 0, 0, 0.0) == GpsTime(0, 0.0)
+
+    def test_rejects_pre_epoch(self):
+        with pytest.raises(RinexError):
+            calendar_to_gps(1979, 12, 31, 0, 0, 0.0)
+
+    def test_rejects_invalid_date(self):
+        with pytest.raises(RinexError):
+            calendar_to_gps(2009, 2, 30, 0, 0, 0.0)
+
+    @given(st.floats(min_value=0.0, max_value=2.5e9))
+    @settings(max_examples=200)
+    def test_roundtrip(self, gps_seconds):
+        time = GpsTime.from_gps_seconds(gps_seconds)
+        fields = gps_to_calendar(time)
+        back = calendar_to_gps(*fields)
+        assert abs(back - time) < 1e-5

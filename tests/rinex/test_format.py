@@ -1,0 +1,68 @@
+"""Unit tests for RINEX field formatting."""
+
+import pytest
+
+from repro.errors import RinexError
+from repro.rinex.format import (
+    fortran_double,
+    header_line,
+    observation_value,
+    parse_fortran_double,
+)
+
+
+class TestHeaderLine:
+    def test_label_at_column_61(self):
+        line = header_line("content", "MARKER NAME")
+        assert line[:60] == "content" + " " * 53
+        assert line[60:] == "MARKER NAME"
+
+    def test_rejects_overlong_content(self):
+        with pytest.raises(RinexError):
+            header_line("x" * 61, "LABEL")
+
+
+class TestFortranDouble:
+    def test_uses_d_exponent(self):
+        text = fortran_double(1.5e-9)
+        assert "D" in text and "E" not in text
+
+    def test_width(self):
+        assert len(fortran_double(123.456)) == 19
+
+    @pytest.mark.parametrize(
+        "value", [0.0, 1.0, -1.0, 1e-30, -9.87654321e12, 3.14159e-7]
+    )
+    def test_roundtrip(self, value):
+        assert parse_fortran_double(fortran_double(value)) == pytest.approx(
+            value, rel=1e-12
+        )
+
+
+class TestParseFortranDouble:
+    def test_d_exponent(self):
+        assert parse_fortran_double(" 1.234000000000D+03") == pytest.approx(1234.0)
+
+    def test_e_exponent_accepted(self):
+        assert parse_fortran_double("1.5E2") == 150.0
+
+    def test_lowercase_d(self):
+        assert parse_fortran_double("2.5d1") == 25.0
+
+    def test_blank_is_zero(self):
+        assert parse_fortran_double("   ") == 0.0
+
+    def test_garbage_raises(self):
+        with pytest.raises(RinexError, match="malformed"):
+            parse_fortran_double("not-a-number")
+
+
+class TestObservationValue:
+    def test_f14_3_layout(self):
+        text = observation_value(21234567.891)
+        assert text[:14] == "  21234567.891"
+        assert len(text) == 16  # value + 2 flag columns
+
+    def test_rejects_too_large(self):
+        with pytest.raises(RinexError):
+            observation_value(1e11)

@@ -1,0 +1,106 @@
+"""Round-trip tests for the two-observable (C1 + L1) RINEX path."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RinexError
+from repro.rinex import (
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    reconstruct_epochs,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def carrier_world(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("rinex_l1")
+    station = get_station("FAI1")
+    dataset = ObservationDataset(
+        station, DatasetConfig(duration_seconds=10.0, track_carrier=True)
+    )
+    epochs = dataset.realize()
+    header = ObservationHeader(
+        marker_name=station.site_id,
+        approx_position=station.ecef,
+        interval=1.0,
+        observation_types=("C1", "L1"),
+    )
+    write_observation_file(tmp / "c.obs", header, epochs)
+    write_navigation_file(tmp / "c.nav", dataset.constellation.ephemerides())
+    return tmp, epochs
+
+
+class TestL1Roundtrip:
+    def test_header_announces_both_types(self, carrier_world):
+        tmp, _epochs = carrier_world
+        data = read_observation_file(tmp / "c.obs")
+        assert data.header.observation_types == ("C1", "L1")
+
+    def test_both_observables_parse(self, carrier_world):
+        tmp, epochs = carrier_world
+        data = read_observation_file(tmp / "c.obs")
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                values = record.observables[obs.prn]
+                assert "C1" in values and "L1" in values
+
+    def test_carrier_survives_reconstruction(self, carrier_world):
+        tmp, epochs = carrier_world
+        rebuilt = reconstruct_epochs(
+            read_observation_file(tmp / "c.obs"),
+            read_navigation_file(tmp / "c.nav"),
+        )
+        for original, back in zip(epochs, rebuilt):
+            by_prn = {obs.prn: obs for obs in original.observations}
+            for obs in back.observations:
+                assert obs.carrier_range is not None
+                # F14.3 cycles -> ~0.2 mm quantization.
+                assert obs.carrier_range == pytest.approx(
+                    by_prn[obs.prn].carrier_range, abs=1e-3
+                )
+
+    def test_smoothing_works_through_the_file(self, carrier_world):
+        from repro.signals import HatchFilter
+
+        tmp, _epochs = carrier_world
+        rebuilt = reconstruct_epochs(
+            read_observation_file(tmp / "c.obs"),
+            read_navigation_file(tmp / "c.nav"),
+        )
+        hatch = HatchFilter(window=10)
+        last = None
+        for epoch in rebuilt:
+            last = hatch.smooth_epoch(epoch)
+        assert last is not None
+        assert set(hatch.tracked_prns) == set(last.prns)
+
+
+class TestWriterValidation:
+    def test_l1_header_without_carrier_data_raises(self, tmp_path, srzn_dataset):
+        station = get_station("SRZN")
+        header = ObservationHeader(
+            marker_name=station.site_id,
+            approx_position=station.ecef,
+            interval=1.0,
+            observation_types=("C1", "L1"),
+        )
+        epochs = srzn_dataset.realize(max_epochs=1)  # no carrier tracked
+        with pytest.raises(RinexError, match="carrier"):
+            write_observation_file(tmp_path / "x.obs", header, epochs)
+
+    def test_unsupported_type_set_rejected(self, tmp_path, srzn_dataset):
+        station = get_station("SRZN")
+        header = ObservationHeader(
+            marker_name=station.site_id,
+            approx_position=station.ecef,
+            interval=1.0,
+            observation_types=("P2",),
+        )
+        with pytest.raises(RinexError, match="supports"):
+            write_observation_file(
+                tmp_path / "x.obs", header, srzn_dataset.realize(max_epochs=1)
+            )

@@ -1,0 +1,122 @@
+"""Failure-injection tests: malformed RINEX input must fail loudly."""
+
+import pytest
+
+from repro.errors import RinexError
+from repro.rinex import (
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.stations import get_station
+
+
+@pytest.fixture
+def valid_obs_file(tmp_path, srzn_dataset):
+    station = get_station("SRZN")
+    header = ObservationHeader(
+        marker_name=station.site_id, approx_position=station.ecef, interval=1.0
+    )
+    path = tmp_path / "valid.obs"
+    write_observation_file(path, header, srzn_dataset.realize(max_epochs=3))
+    return path
+
+
+@pytest.fixture
+def valid_nav_file(tmp_path, srzn_dataset):
+    path = tmp_path / "valid.nav"
+    write_navigation_file(path, srzn_dataset.constellation.ephemerides()[:3])
+    return path
+
+
+class TestObservationFailures:
+    def test_missing_end_of_header(self, tmp_path, valid_obs_file):
+        lines = valid_obs_file.read_text().splitlines()
+        broken = tmp_path / "broken.obs"
+        broken.write_text(
+            "\n".join(line for line in lines if "END OF HEADER" not in line)
+        )
+        with pytest.raises(RinexError, match="END OF HEADER"):
+            read_observation_file(broken)
+
+    def test_truncated_observations(self, tmp_path, valid_obs_file):
+        lines = valid_obs_file.read_text().splitlines()
+        broken = tmp_path / "broken.obs"
+        broken.write_text("\n".join(lines[:-3]))  # drop trailing obs lines
+        with pytest.raises(RinexError, match="truncated"):
+            read_observation_file(broken)
+
+    def test_corrupted_epoch_line(self, tmp_path, valid_obs_file):
+        lines = valid_obs_file.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith(" 0") and "G" in line[32:]:
+                lines[index] = " xx" + line[3:]
+                break
+        broken = tmp_path / "broken.obs"
+        broken.write_text("\n".join(lines))
+        with pytest.raises(RinexError, match="epoch line"):
+            read_observation_file(broken)
+
+    def test_corrupted_observable(self, tmp_path, valid_obs_file):
+        lines = valid_obs_file.read_text().splitlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if stripped and stripped[0].isdigit() and "." in stripped and "G" not in line:
+                lines[index] = "      garbage."
+                break
+        broken = tmp_path / "broken.obs"
+        broken.write_text("\n".join(lines))
+        with pytest.raises(RinexError):
+            read_observation_file(broken)
+
+    def test_wrong_file_kind(self, tmp_path, valid_nav_file):
+        with pytest.raises(RinexError, match="observation"):
+            read_observation_file(valid_nav_file)
+
+    def test_writer_refuses_empty(self, tmp_path):
+        station = get_station("SRZN")
+        header = ObservationHeader(
+            marker_name=station.site_id, approx_position=station.ecef, interval=1.0
+        )
+        with pytest.raises(RinexError, match="no epochs"):
+            write_observation_file(tmp_path / "e.obs", header, [])
+
+
+class TestNavigationFailures:
+    def test_missing_header(self, tmp_path, valid_nav_file):
+        lines = valid_nav_file.read_text().splitlines()
+        broken = tmp_path / "broken.nav"
+        broken.write_text(
+            "\n".join(line for line in lines if "END OF HEADER" not in line)
+        )
+        with pytest.raises(RinexError, match="END OF HEADER"):
+            read_navigation_file(broken)
+
+    def test_truncated_record(self, tmp_path, valid_nav_file):
+        lines = valid_nav_file.read_text().splitlines()
+        broken = tmp_path / "broken.nav"
+        broken.write_text("\n".join(lines[:-4]))
+        with pytest.raises(RinexError, match="truncated"):
+            read_navigation_file(broken)
+
+    def test_corrupted_epoch_line(self, tmp_path, valid_nav_file):
+        lines = valid_nav_file.read_text().splitlines()
+        # First record line follows END OF HEADER.
+        for index, line in enumerate(lines):
+            if line[60:].strip() == "END OF HEADER":
+                lines[index + 1] = "zz" + lines[index + 1][2:]
+                break
+        broken = tmp_path / "broken.nav"
+        broken.write_text("\n".join(lines))
+        with pytest.raises(RinexError, match="malformed"):
+            read_navigation_file(broken)
+
+    def test_not_a_nav_file(self, tmp_path, valid_obs_file):
+        with pytest.raises(RinexError, match="navigation"):
+            read_navigation_file(valid_obs_file)
+
+    def test_writer_refuses_empty(self, tmp_path):
+        with pytest.raises(RinexError, match="no ephemerides"):
+            write_navigation_file(tmp_path / "e.nav", [])

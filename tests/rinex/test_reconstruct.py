@@ -1,0 +1,100 @@
+"""Tests for epoch reconstruction from parsed RINEX data."""
+
+import numpy as np
+import pytest
+
+from repro.core import NewtonRaphsonSolver
+from repro.errors import RinexError
+from repro.rinex import (
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    reconstruct_epochs,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.stations import get_station
+
+
+@pytest.fixture(scope="module")
+def roundtrip(tmp_path_factory, srzn_dataset):
+    tmp = tmp_path_factory.mktemp("rinex")
+    station = get_station("SRZN")
+    epochs = srzn_dataset.realize(max_epochs=8)
+    header = ObservationHeader(
+        marker_name=station.site_id, approx_position=station.ecef, interval=1.0
+    )
+    write_observation_file(tmp / "s.obs", header, epochs)
+    write_navigation_file(tmp / "s.nav", srzn_dataset.constellation.ephemerides())
+    data = read_observation_file(tmp / "s.obs")
+    ephemerides = read_navigation_file(tmp / "s.nav")
+    return epochs, data, ephemerides
+
+
+class TestReconstruction:
+    def test_epoch_count(self, roundtrip):
+        epochs, data, ephemerides = roundtrip
+        rebuilt = reconstruct_epochs(data, ephemerides)
+        assert len(rebuilt) == len(epochs)
+
+    def test_satellite_positions_match_original(self, roundtrip):
+        epochs, data, ephemerides = roundtrip
+        rebuilt = reconstruct_epochs(data, ephemerides)
+        for original, back in zip(epochs, rebuilt):
+            by_prn = {obs.prn: obs for obs in original.observations}
+            for obs in back.observations:
+                # The receiver-side light-time estimate (rho/c instead of
+                # the geometric travel time) costs only millimeters.
+                distance = np.linalg.norm(obs.position - by_prn[obs.prn].position)
+                assert distance < 0.01
+
+    def test_positions_solvable(self, roundtrip):
+        _epochs, data, ephemerides = roundtrip
+        rebuilt = reconstruct_epochs(data, ephemerides)
+        station = get_station("SRZN")
+        solver = NewtonRaphsonSolver()
+        for epoch in rebuilt[:3]:
+            fix = solver.solve(epoch)
+            assert fix.distance_to(station.position) < 30.0
+
+    def test_elevation_sorted(self, roundtrip):
+        _epochs, data, ephemerides = roundtrip
+        rebuilt = reconstruct_epochs(data, ephemerides)
+        for epoch in rebuilt:
+            elevations = [obs.elevation for obs in epoch.observations]
+            assert elevations == sorted(elevations, reverse=True)
+
+    def test_missing_ephemeris_drops_satellite(self, roundtrip):
+        epochs, data, ephemerides = roundtrip
+        some_prn = epochs[0].prns[0]
+        thinned = [eph for eph in ephemerides if eph.prn != some_prn]
+        rebuilt = reconstruct_epochs(data, thinned)
+        assert all(some_prn not in epoch.prns for epoch in rebuilt)
+
+    def test_min_satellites_filter(self, roundtrip):
+        _epochs, data, ephemerides = roundtrip
+        rebuilt = reconstruct_epochs(data, ephemerides, min_satellites=100)
+        assert rebuilt == []
+
+    def test_unknown_observable_raises(self, roundtrip):
+        _epochs, data, ephemerides = roundtrip
+        with pytest.raises(RinexError, match="P2"):
+            reconstruct_epochs(data, ephemerides, observable="P2")
+
+    def test_latest_ephemeris_wins(self, roundtrip):
+        _epochs, data, ephemerides = roundtrip
+        # Duplicate every ephemeris with an older toe and a poisoned
+        # orbit: the reconstruction must ignore the stale ones.
+        import dataclasses
+
+        stale = [
+            dataclasses.replace(
+                eph, toe=eph.toe - 7200.0, toc=eph.toc - 7200.0, m0=eph.m0 + 1.0
+            )
+            for eph in ephemerides
+        ]
+        rebuilt_clean = reconstruct_epochs(data, ephemerides)
+        rebuilt_mixed = reconstruct_epochs(data, stale + list(ephemerides))
+        for clean, mixed in zip(rebuilt_clean, rebuilt_mixed):
+            for a, b in zip(clean.observations, mixed.observations):
+                np.testing.assert_allclose(a.position, b.position, atol=1e-9)

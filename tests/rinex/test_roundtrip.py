@@ -1,0 +1,110 @@
+"""Round-trip tests: write RINEX, read it back, compare."""
+
+import numpy as np
+import pytest
+
+from repro.rinex import (
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.stations import get_station
+
+
+@pytest.fixture(scope="module")
+def epochs(request):
+    dataset = request.getfixturevalue("srzn_dataset")
+    return dataset.realize(max_epochs=10)
+
+
+@pytest.fixture(scope="module")
+def header():
+    station = get_station("SRZN")
+    return ObservationHeader(
+        marker_name=station.site_id,
+        approx_position=station.ecef,
+        interval=1.0,
+    )
+
+
+class TestObservationRoundtrip:
+    def test_epoch_count_preserved(self, tmp_path, header, epochs):
+        path = tmp_path / "t.obs"
+        written = write_observation_file(path, header, epochs)
+        data = read_observation_file(path)
+        assert written == len(epochs)
+        assert len(data) == len(epochs)
+
+    def test_header_fields(self, tmp_path, header, epochs):
+        path = tmp_path / "t.obs"
+        write_observation_file(path, header, epochs)
+        data = read_observation_file(path)
+        assert data.header.marker_name == "SRZN"
+        assert data.header.observation_types == ("C1",)
+        assert data.header.interval == pytest.approx(1.0)
+        np.testing.assert_allclose(
+            data.header.approx_position, header.approx_position, atol=1e-3
+        )
+
+    def test_times_preserved(self, tmp_path, header, epochs):
+        path = tmp_path / "t.obs"
+        write_observation_file(path, header, epochs)
+        data = read_observation_file(path)
+        for record, epoch in zip(data.records, epochs):
+            assert abs(record.time - epoch.time) < 1e-6
+
+    def test_pseudoranges_within_format_precision(self, tmp_path, header, epochs):
+        path = tmp_path / "t.obs"
+        write_observation_file(path, header, epochs)
+        data = read_observation_file(path)
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                value = record.observables[obs.prn]["C1"]
+                assert value == pytest.approx(obs.pseudorange, abs=5.1e-4)
+
+    def test_prn_sets_preserved(self, tmp_path, header, epochs):
+        path = tmp_path / "t.obs"
+        write_observation_file(path, header, epochs)
+        data = read_observation_file(path)
+        for record, epoch in zip(data.records, epochs):
+            assert set(record.prns) == set(epoch.prns)
+
+
+class TestNavigationRoundtrip:
+    def test_all_fields_roundtrip(self, tmp_path, srzn_dataset):
+        ephemerides = srzn_dataset.constellation.ephemerides()
+        path = tmp_path / "t.nav"
+        written = write_navigation_file(path, ephemerides)
+        parsed = read_navigation_file(path)
+        assert written == len(parsed) == len(ephemerides)
+        for original, back in zip(ephemerides, parsed):
+            assert back.prn == original.prn
+            assert back.toe.week == original.toe.week
+            assert back.toe.seconds_of_week == pytest.approx(
+                original.toe.seconds_of_week, abs=1e-6
+            )
+            for field in (
+                "sqrt_a", "eccentricity", "i0", "omega0", "omega", "m0",
+                "delta_n", "omega_dot", "idot", "cuc", "cus", "crc", "crs",
+                "cic", "cis", "af0", "af1", "af2",
+            ):
+                assert getattr(back, field) == pytest.approx(
+                    getattr(original, field), rel=1e-11, abs=1e-18
+                ), field
+
+    def test_positions_match_after_roundtrip(self, tmp_path, srzn_dataset):
+        """The real invariant: satellite positions computed from parsed
+        ephemerides agree with the originals to sub-millimeter."""
+        ephemerides = srzn_dataset.constellation.ephemerides()
+        path = tmp_path / "t.nav"
+        write_navigation_file(path, ephemerides)
+        parsed = read_navigation_file(path)
+        t = srzn_dataset.config.start_time + 1800.0
+        for original, back in zip(ephemerides, parsed):
+            np.testing.assert_allclose(
+                back.satellite_position(t),
+                original.satellite_position(t),
+                atol=1e-3,
+            )

@@ -1,0 +1,143 @@
+"""Unit + integration tests for cycle-slip detection."""
+
+import numpy as np
+import pytest
+
+from repro.constants import L1_WAVELENGTH
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.signals import CycleSlipDetector, HatchFilter
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+def make_stream(epochs=20, slip_at=None, slip_cycles=50, noise=0.5, seed=0):
+    """One-satellite stream with an optional mid-stream cycle slip."""
+    rng = np.random.default_rng(seed)
+    true_range = 2.2e7
+    ambiguity = 1000.0
+    stream = []
+    for index in range(epochs):
+        extra = 0.0
+        if slip_at is not None and index >= slip_at:
+            extra = slip_cycles * L1_WAVELENGTH
+        code = true_range + rng.normal(0.0, noise)
+        phase = true_range + ambiguity + extra + rng.normal(0.0, 0.003)
+        obs = SatelliteObservation(
+            prn=9,
+            position=np.array([2.2e7, 1e6, 1e6]),
+            pseudorange=code,
+            carrier_range=phase,
+        )
+        stream.append(ObservationEpoch(time=T0 + float(index), observations=(obs,)))
+    return stream
+
+
+class TestConfiguration:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            CycleSlipDetector(threshold_meters=0.0)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ConfigurationError):
+            CycleSlipDetector(max_gap_seconds=-1.0)
+
+
+class TestDetection:
+    def test_clean_stream_no_slips(self):
+        detector = CycleSlipDetector()
+        for epoch in make_stream():
+            assert detector.check_epoch(epoch) == []
+        assert detector.slip_count == 0
+
+    def test_slip_detected_at_the_right_epoch(self):
+        detector = CycleSlipDetector()
+        flagged_at = None
+        for index, epoch in enumerate(make_stream(slip_at=10)):
+            if detector.check_epoch(epoch):
+                flagged_at = index
+                break
+        assert flagged_at == 10
+        assert detector.slip_count == 1
+
+    def test_small_slip_below_threshold_tolerated(self):
+        # 10 cycles ~ 1.9 m < the 5 m default threshold.
+        detector = CycleSlipDetector()
+        slips = []
+        for epoch in make_stream(slip_at=10, slip_cycles=10, noise=0.1):
+            slips.extend(detector.check_epoch(epoch))
+        assert slips == []
+
+    def test_outage_restart_is_not_a_slip(self):
+        detector = CycleSlipDetector(max_gap_seconds=5.0)
+        stream = make_stream(epochs=5)
+        for epoch in stream[:3]:
+            detector.check_epoch(epoch)
+        # 20 s later with a big ambiguity change: outage restart.
+        late_obs = SatelliteObservation(
+            prn=9,
+            position=np.array([2.2e7, 1e6, 1e6]),
+            pseudorange=2.2e7,
+            carrier_range=2.2e7 + 99_999.0,
+        )
+        late = ObservationEpoch(time=T0 + 25.0, observations=(late_obs,))
+        assert detector.check_epoch(late) == []
+
+    def test_missing_carrier_drops_channel(self):
+        detector = CycleSlipDetector()
+        stream = make_stream(epochs=3)
+        detector.check_epoch(stream[0])
+        bare = stream[1].with_observations(
+            [
+                SatelliteObservation(
+                    prn=9,
+                    position=stream[1].observations[0].position,
+                    pseudorange=stream[1].observations[0].pseudorange,
+                )
+            ]
+        )
+        detector.check_epoch(bare)
+        # Channel gone: the next carrier epoch restarts, no slip.
+        assert detector.check_epoch(stream[2]) == []
+
+    def test_time_backwards_raises(self):
+        detector = CycleSlipDetector()
+        stream = make_stream(epochs=3)
+        detector.check_epoch(stream[2])
+        with pytest.raises(ConfigurationError, match="time order"):
+            detector.check_epoch(stream[0])
+
+    def test_manual_reset(self):
+        detector = CycleSlipDetector()
+        stream = make_stream(slip_at=2, epochs=4)
+        detector.check_epoch(stream[0])
+        detector.reset(9)
+        # With the channel reset just before the slip epoch, the slip
+        # epoch initializes a fresh channel instead of flagging.
+        assert detector.check_epoch(stream[2]) == []
+
+
+class TestHatchIntegration:
+    def test_undetected_slip_biases_hatch_detected_slip_does_not(self):
+        """The whole point: a slip poisons the Hatch output unless the
+        detector resets the channel first."""
+        true_range = 2.2e7
+
+        def run(with_detector):
+            hatch = HatchFilter(window=50)
+            detector = CycleSlipDetector()
+            final = None
+            for epoch in make_stream(epochs=60, slip_at=30, noise=0.3, seed=3):
+                if with_detector:
+                    for prn in detector.check_epoch(epoch):
+                        hatch.reset(prn)
+                final = hatch.smooth_epoch(epoch)
+            return abs(final.observations[0].pseudorange - true_range)
+
+        biased = run(with_detector=False)
+        protected = run(with_detector=True)
+        slip_magnitude = 50 * L1_WAVELENGTH  # ~9.5 m
+        assert biased > 3.0  # inherited a large share of the slip
+        assert protected < 1.0
+        assert protected < biased

@@ -1,0 +1,164 @@
+"""Unit + integration tests for dual-frequency processing."""
+
+import numpy as np
+import pytest
+
+from repro import NewtonRaphsonSolver
+from repro.constants import IONO_L2_SCALE
+from repro.errors import GeometryError
+from repro.evaluation import ErrorStatistics, enu_error
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.signals import (
+    NOISE_AMPLIFICATION,
+    ionosphere_free_epoch,
+    ionosphere_free_pseudorange,
+)
+from repro.signals.dualfreq import ALPHA_L1, ALPHA_L2
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestCombinationAlgebra:
+    def test_coefficients_sum_to_one(self):
+        # Geometry (frequency-independent) must pass through unscaled.
+        assert ALPHA_L1 + ALPHA_L2 == pytest.approx(1.0)
+
+    def test_known_gps_values(self):
+        # The textbook L1/L2 coefficients ~ (2.546, -1.546).
+        assert ALPHA_L1 == pytest.approx(2.546, abs=0.01)
+        assert ALPHA_L2 == pytest.approx(-1.546, abs=0.01)
+
+    def test_removes_dispersive_delay_exactly(self):
+        geometry = 2.2e7
+        iono_l1 = 7.5
+        p1 = geometry + iono_l1
+        p2 = geometry + IONO_L2_SCALE * iono_l1
+        assert ionosphere_free_pseudorange(p1, p2) == pytest.approx(
+            geometry, abs=1e-9
+        )
+
+    def test_model_correction_cancels_in_combination(self):
+        """Pre-correcting both bands with *any* iono estimate leaves the
+        combination unchanged — the estimate enters in the same 1/f^2
+        ratio and cancels."""
+        geometry, iono, estimate = 2.2e7, 7.5, 4.2
+        p1 = geometry + iono - estimate
+        p2 = geometry + IONO_L2_SCALE * (iono - estimate)
+        assert ionosphere_free_pseudorange(p1, p2) == pytest.approx(
+            geometry, abs=1e-9
+        )
+
+    def test_noise_amplification_value(self):
+        assert NOISE_AMPLIFICATION == pytest.approx(
+            np.hypot(ALPHA_L1, ALPHA_L2), rel=1e-12
+        )
+        assert 2.5 < NOISE_AMPLIFICATION < 3.5
+
+
+class TestIonosphereFreeEpoch:
+    def _dual_epoch(self, iono=6.0, count=6):
+        rng = np.random.default_rng(0)
+        truth = np.array([3623420.0, -5214015.0, 602359.0])
+        observations = []
+        for prn in range(1, count + 1):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            direction += truth / np.linalg.norm(truth)
+            direction /= np.linalg.norm(direction)
+            position = truth + direction * rng.uniform(2.0e7, 2.6e7)
+            geometry = float(np.linalg.norm(position - truth))
+            observations.append(
+                SatelliteObservation(
+                    prn=prn,
+                    position=position,
+                    pseudorange=geometry + iono,
+                    pseudorange_l2=geometry + IONO_L2_SCALE * iono,
+                )
+            )
+        return ObservationEpoch(time=T0, observations=tuple(observations)), truth
+
+    def test_combined_epoch_solves_exactly(self):
+        epoch, truth = self._dual_epoch(iono=9.0)
+        combined = ionosphere_free_epoch(epoch)
+        fix = NewtonRaphsonSolver().solve(combined)
+        assert np.linalg.norm(fix.position - truth) < 1e-3
+
+    def test_l2_cleared_and_l1_replaced(self):
+        epoch, _truth = self._dual_epoch()
+        combined = ionosphere_free_epoch(epoch)
+        for before, after in zip(epoch.observations, combined.observations):
+            assert after.pseudorange_l2 is None
+            assert after.pseudorange != before.pseudorange
+
+    def test_satellites_without_l2_dropped(self):
+        epoch, _truth = self._dual_epoch(count=6)
+        observations = list(epoch.observations)
+        first = observations[0]
+        observations[0] = SatelliteObservation(
+            prn=first.prn, position=first.position, pseudorange=first.pseudorange
+        )
+        mixed = epoch.with_observations(observations)
+        combined = ionosphere_free_epoch(mixed)
+        assert combined.satellite_count == 5
+        assert first.prn not in combined.prns
+
+    def test_too_few_dual_band_raises(self):
+        epoch, _truth = self._dual_epoch(count=3)
+        with pytest.raises(GeometryError, match="both bands"):
+            ionosphere_free_epoch(epoch)
+
+
+class TestEndToEnd:
+    def test_dual_frequency_removes_systematic_vertical(self):
+        """Single-frequency residual iono is systematically positive and
+        leaks into the solution; the combination removes it at the cost
+        of amplified white noise — so the *signed mean vertical* error
+        improves even if the scatter grows."""
+        station = get_station("SRZN")
+        dataset = ObservationDataset(
+            station,
+            DatasetConfig(
+                duration_seconds=120.0,
+                dual_frequency=True,
+                ionosphere_scale=1.6,  # large model mismatch
+            ),
+        )
+        solver = NewtonRaphsonSolver()
+        single, dual = [], []
+        for index in range(dataset.epoch_count):
+            epoch = dataset.epoch_at(index)
+            single.append(
+                enu_error(solver.solve(epoch).position, station.position)
+            )
+            combined = ionosphere_free_epoch(epoch)
+            dual.append(
+                enu_error(solver.solve(combined).position, station.position)
+            )
+        single_stats = ErrorStatistics.from_errors(single)
+        dual_stats = ErrorStatistics.from_errors(dual)
+        assert abs(dual_stats.mean_vertical_signed) < abs(
+            single_stats.mean_vertical_signed
+        )
+
+    def test_dataset_l2_present_when_enabled(self):
+        dataset = ObservationDataset(
+            get_station("YYR1"),
+            DatasetConfig(duration_seconds=3.0, dual_frequency=True),
+        )
+        epoch = dataset.epoch_at(0)
+        assert all(obs.pseudorange_l2 is not None for obs in epoch.observations)
+
+    def test_l2_larger_than_l1(self):
+        """The L2 band sees more ionosphere, so its pseudorange exceeds
+        L1's by (gamma - 1) * iono > 0 (modulo noise)."""
+        dataset = ObservationDataset(
+            get_station("SRZN"),
+            DatasetConfig(
+                duration_seconds=3.0, dual_frequency=True, noise_sigma_meters=0.0
+            ),
+        )
+        epoch = dataset.epoch_at(0)
+        for obs in epoch.observations:
+            assert obs.pseudorange_l2 > obs.pseudorange

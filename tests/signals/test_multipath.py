@@ -1,0 +1,137 @@
+"""Unit + integration tests for the multipath model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import MultipathModel
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+class TestModelShape:
+    def test_bounded_by_amplitude(self):
+        model = MultipathModel(code_amplitude_meters=2.0)
+        for prn in (1, 7, 31):
+            for dt in range(0, 1200, 37):
+                bias = model.code_bias(prn, math.radians(10.0), T0 + float(dt))
+                assert abs(bias) <= 2.0
+
+    def test_decays_with_elevation(self):
+        model = MultipathModel(code_amplitude_meters=2.0)
+
+        def envelope(elevation_deg):
+            values = [
+                abs(model.code_bias(5, math.radians(elevation_deg), T0 + float(dt)))
+                for dt in range(0, 600, 7)
+            ]
+            return max(values)
+
+        assert envelope(10.0) > envelope(40.0) > envelope(80.0)
+
+    def test_oscillates_in_time(self):
+        model = MultipathModel(period_seconds=100.0)
+        values = [
+            model.code_bias(3, math.radians(15.0), T0 + float(dt))
+            for dt in range(0, 100, 5)
+        ]
+        assert min(values) < 0 < max(values)
+
+    def test_periodicity(self):
+        model = MultipathModel(period_seconds=100.0)
+        a = model.code_bias(3, 0.3, T0 + 17.0)
+        b = model.code_bias(3, 0.3, T0 + 117.0)
+        assert a == pytest.approx(b, abs=1e-9)
+
+    def test_satellites_decorrelated(self):
+        model = MultipathModel()
+        biases = {model.code_bias(prn, 0.3, T0 + 50.0) for prn in range(1, 12)}
+        assert len(biases) == 11  # all distinct phases
+
+    def test_carrier_fraction(self):
+        model = MultipathModel(carrier_fraction=0.01)
+        code = model.code_bias(4, 0.3, T0 + 10.0)
+        carrier = model.carrier_bias(4, 0.3, T0 + 10.0)
+        assert carrier == pytest.approx(0.01 * code)
+
+    def test_deterministic(self):
+        a = MultipathModel().code_bias(9, 0.4, T0 + 123.0)
+        b = MultipathModel().code_bias(9, 0.4, T0 + 123.0)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultipathModel(code_amplitude_meters=-1.0)
+        with pytest.raises(ConfigurationError):
+            MultipathModel(carrier_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            MultipathModel(period_seconds=0.0)
+
+
+class TestDatasetIntegration:
+    def _paired_datasets(self, amplitude, duration=60.0):
+        """Identical datasets except for the multipath model, so their
+        per-satellite pseudorange difference IS the multipath bias."""
+        station = get_station("SRZN")
+        base = dict(duration_seconds=duration, noise_sigma_meters=0.0)
+        clean = ObservationDataset(station, DatasetConfig(**base))
+        harsh = ObservationDataset(
+            station,
+            DatasetConfig(**base, multipath_amplitude_meters=amplitude),
+        )
+        return station, clean, harsh
+
+    def test_multipath_appears_in_pseudoranges(self):
+        _station, clean, harsh = self._paired_datasets(3.0, duration=5.0)
+        clean_epoch = clean.epoch_at(0)
+        harsh_epoch = harsh.epoch_at(0)
+        deltas = [
+            h.pseudorange - c.pseudorange
+            for c, h in zip(clean_epoch.observations, harsh_epoch.observations)
+        ]
+        assert any(abs(delta) > 0.1 for delta in deltas)
+        assert all(abs(delta) <= 3.0 + 1e-9 for delta in deltas)
+
+    def test_multipath_degrades_accuracy_over_a_window(self):
+        from repro.core import NewtonRaphsonSolver
+
+        station, clean, harsh = self._paired_datasets(6.0, duration=120.0)
+        solver = NewtonRaphsonSolver()
+        clean_errors = [
+            solver.solve(clean.epoch_at(i)).distance_to(station.position)
+            for i in range(0, 120, 2)
+        ]
+        harsh_errors = [
+            solver.solve(harsh.epoch_at(i)).distance_to(station.position)
+            for i in range(0, 120, 2)
+        ]
+        assert np.mean(harsh_errors) > np.mean(clean_errors)
+
+    def test_multipath_bias_is_time_correlated(self):
+        """Adjacent epochs see nearly the same multipath (unlike white
+        noise) — the defining property for the smoothing discussion."""
+        _station, clean, harsh = self._paired_datasets(3.0, duration=5.0)
+
+        def bias_at(index):
+            clean_by_prn = {
+                o.prn: o.pseudorange for o in clean.epoch_at(index).observations
+            }
+            return {
+                o.prn: o.pseudorange - clean_by_prn[o.prn]
+                for o in harsh.epoch_at(index).observations
+                if o.prn in clean_by_prn
+            }
+
+        now, then = bias_at(0), bias_at(1)
+        for prn, bias in now.items():
+            if prn not in then:
+                continue
+            # Max rate of the sinusoid: 2*pi*A/T ~ 0.03 m/s for A=3,
+            # T=600; allow generous slack.
+            assert abs(then[prn] - bias) < 0.1
+            # And the biases themselves are not all negligible.
+        assert any(abs(bias) > 0.1 for bias in now.values())

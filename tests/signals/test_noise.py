@@ -1,0 +1,54 @@
+"""Unit + statistical tests for the pseudorange noise model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals import PseudorangeNoiseModel
+
+
+class TestSigma:
+    def test_zenith_sigma_is_base(self):
+        model = PseudorangeNoiseModel(sigma_meters=1.5)
+        assert model.sigma_at(math.pi / 2) == pytest.approx(1.5)
+
+    def test_low_elevation_inflates(self):
+        model = PseudorangeNoiseModel(sigma_meters=1.0)
+        assert model.sigma_at(math.radians(10.0)) == pytest.approx(
+            1.0 / math.sin(math.radians(10.0))
+        )
+
+    def test_clamped_below_five_degrees(self):
+        model = PseudorangeNoiseModel(sigma_meters=1.0)
+        assert model.sigma_at(math.radians(1.0)) == model.sigma_at(math.radians(5.0))
+
+    def test_unweighted_flat(self):
+        model = PseudorangeNoiseModel(sigma_meters=2.0, elevation_weighting=False)
+        assert model.sigma_at(math.radians(5.0)) == 2.0
+        assert model.sigma_at(math.pi / 2) == 2.0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            PseudorangeNoiseModel(sigma_meters=-1.0)
+
+
+class TestSampling:
+    def test_zero_sigma_returns_zero(self):
+        model = PseudorangeNoiseModel(sigma_meters=0.0)
+        rng = np.random.default_rng(0)
+        assert model.sample(1.0, rng) == 0.0
+
+    def test_sample_statistics(self):
+        model = PseudorangeNoiseModel(sigma_meters=1.0, elevation_weighting=False)
+        rng = np.random.default_rng(7)
+        samples = np.array([model.sample(1.0, rng) for _ in range(5000)])
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+        assert np.std(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_reproducible_with_seeded_rng(self):
+        model = PseudorangeNoiseModel()
+        a = [model.sample(1.0, np.random.default_rng(5)) for _ in range(3)]
+        b = [model.sample(1.0, np.random.default_rng(5)) for _ in range(3)]
+        assert a[0] == b[0]

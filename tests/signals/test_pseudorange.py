@@ -1,0 +1,230 @@
+"""Unit tests for pseudorange simulation and correction."""
+
+import numpy as np
+import pytest
+
+from repro.atmosphere import KlobucharModel, SaastamoinenModel
+from repro.clocks import SteeringClock
+from repro.constants import SPEED_OF_LIGHT
+from repro.constellation import Constellation
+from repro.signals import (
+    MeasurementCorrector,
+    PseudorangeNoiseModel,
+    PseudorangeSimulator,
+)
+from repro.stations import get_station
+from repro.timebase import GpsTime
+
+EPOCH = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+@pytest.fixture(scope="module")
+def constellation():
+    return Constellation.nominal(EPOCH, rng=np.random.default_rng(11))
+
+
+@pytest.fixture
+def station():
+    return get_station("SRZN")
+
+
+@pytest.fixture
+def clock():
+    return SteeringClock(epoch=EPOCH, offset_seconds=1e-7, drift=1e-10)
+
+
+def make_simulator(constellation, clock, **kwargs):
+    defaults = dict(noise=PseudorangeNoiseModel(sigma_meters=0.0))
+    defaults.update(kwargs)
+    return PseudorangeSimulator(constellation, clock, **defaults)
+
+
+class TestSimulation:
+    def test_produces_visible_satellites(self, constellation, station, clock):
+        simulator = make_simulator(constellation, clock)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        assert len(raw) >= 6
+        assert len({r.prn for r in raw}) == len(raw)
+
+    def test_pseudorange_decomposition(self, constellation, station, clock):
+        """The raw pseudorange equals the sum of its recorded parts —
+        the paper's eq. 3-5 structure, verifiable because the simulator
+        records every component."""
+        simulator = make_simulator(constellation, clock)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        for r in raw:
+            reconstructed = (
+                r.geometric_range
+                + r.receiver_clock_meters
+                - r.satellite_clock_meters
+                + r.ionosphere_meters
+                + r.troposphere_meters
+                + r.noise_meters
+            )
+            assert r.pseudorange == pytest.approx(reconstructed, abs=1e-9)
+
+    def test_geometric_range_matches_position(self, constellation, station, clock):
+        simulator = make_simulator(constellation, clock)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        for r in raw:
+            assert np.linalg.norm(r.satellite_position - station.position) == (
+                pytest.approx(r.geometric_range, rel=1e-12)
+            )
+
+    def test_receiver_clock_included(self, constellation, station, clock):
+        simulator = make_simulator(constellation, clock)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        expected = SPEED_OF_LIGHT * clock.bias_seconds(EPOCH)
+        for r in raw:
+            assert r.receiver_clock_meters == pytest.approx(expected)
+
+    def test_travel_time_plausible(self, constellation, station, clock):
+        simulator = make_simulator(constellation, clock)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        for r in raw:
+            tau = EPOCH - r.transmit_time
+            assert 0.06 < tau < 0.095
+
+    def test_noise_reproducible(self, constellation, station, clock):
+        simulator = PseudorangeSimulator(
+            constellation, clock, noise=PseudorangeNoiseModel(sigma_meters=1.0)
+        )
+        a = simulator.simulate_epoch(station.position, EPOCH, np.random.default_rng(9))
+        b = simulator.simulate_epoch(station.position, EPOCH, np.random.default_rng(9))
+        assert [r.pseudorange for r in a] == [r.pseudorange for r in b]
+
+
+class TestCorrection:
+    def test_perfect_models_leave_only_clock_bias(self, constellation, station, clock):
+        """With identical truth and correction models and no noise, the
+        corrected pseudorange is exactly range + receiver clock bias."""
+        simulator = make_simulator(constellation, clock)
+        corrector = MeasurementCorrector(constellation)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        epoch = corrector.correct_epoch(raw, station.position, EPOCH)
+        bias = SPEED_OF_LIGHT * clock.bias_seconds(EPOCH)
+        for obs, r in zip(epoch.observations, raw):
+            expected = r.geometric_range + bias
+            assert obs.pseudorange == pytest.approx(expected, abs=1e-6)
+
+    def test_mismatched_models_leave_residual(self, constellation, station, clock):
+        truth_iono = KlobucharModel(
+            alpha=tuple(1.5 * a for a in KlobucharModel().alpha)
+        )
+        simulator = make_simulator(constellation, clock, ionosphere=truth_iono)
+        corrector = MeasurementCorrector(constellation)  # stock model
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        epoch = corrector.correct_epoch(raw, station.position, EPOCH)
+        bias = SPEED_OF_LIGHT * clock.bias_seconds(EPOCH)
+        residuals = [
+            obs.pseudorange - r.geometric_range - bias
+            for obs, r in zip(epoch.observations, raw)
+        ]
+        assert any(abs(res) > 0.1 for res in residuals)  # iono residual remains
+        assert all(abs(res) < 30.0 for res in residuals)  # but it is small
+
+    def test_epoch_carries_truth(self, constellation, station, clock):
+        from repro.observations import EpochTruth
+
+        simulator = make_simulator(constellation, clock)
+        corrector = MeasurementCorrector(constellation)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        truth = EpochTruth(receiver_position=station.position, clock_bias_meters=30.0)
+        epoch = corrector.correct_epoch(raw, station.position, EPOCH, truth)
+        assert epoch.truth is truth
+
+    def test_satellite_clock_fully_corrected(self, constellation, station, clock):
+        """Broadcast clock errors must cancel exactly: the corrector
+        knows the same polynomial the simulator used."""
+        simulator = make_simulator(constellation, clock)
+        corrector = MeasurementCorrector(constellation)
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        epoch = corrector.correct_epoch(raw, station.position, EPOCH)
+        bias = SPEED_OF_LIGHT * clock.bias_seconds(EPOCH)
+        for obs, r in zip(epoch.observations, raw):
+            # No trace of the (tens of microseconds = kilometers)
+            # satellite clock error survives.
+            assert abs(obs.pseudorange - r.geometric_range - bias) < 1e-3
+
+
+class TestNoAtmosphereCorrector:
+    def test_none_models_skip_correction(self, constellation, station, clock):
+        """With ionosphere=None / troposphere=None the full atmospheric
+        delay stays in the corrected pseudorange (the DGPS-rover mode)."""
+        simulator = make_simulator(constellation, clock)
+        with_models = MeasurementCorrector(constellation)
+        without = MeasurementCorrector(
+            constellation, ionosphere=None, troposphere=None
+        )
+        raw = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        corrected = with_models.correct_epoch(raw, station.position, EPOCH)
+        uncorrected = without.correct_epoch(raw, station.position, EPOCH)
+        for a, b, r in zip(
+            corrected.observations, uncorrected.observations, raw
+        ):
+            # The difference is exactly the model correction that was
+            # skipped: several meters at least (troposphere alone > 2 m).
+            assert b.pseudorange - a.pseudorange > 2.0
+
+
+class TestDopplerGeneration:
+    def test_receiver_velocity_shifts_range_rates(self, constellation, station, clock):
+        simulator = PseudorangeSimulator(
+            constellation, clock,
+            noise=PseudorangeNoiseModel(sigma_meters=0.0),
+            track_doppler=True, doppler_noise_mps=0.0,
+        )
+        static = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0)
+        )
+        moving = simulator.simulate_epoch(
+            station.position, EPOCH, np.random.default_rng(0),
+            receiver_velocity=np.array([100.0, 0.0, 0.0]),
+        )
+        differences = [
+            abs(a.range_rate - b.range_rate) for a, b in zip(static, moving)
+        ]
+        # Each line of sight projects a different share of the 100 m/s.
+        assert max(differences) > 10.0
+        assert all(d <= 100.0 + 1e-6 for d in differences)
+
+    def test_range_rate_matches_numeric_derivative(self, constellation, station, clock):
+        """The analytic Doppler equals the numeric d(rho)/dt of the
+        noise-free geometric pseudorange plus clock-drift terms."""
+        simulator = PseudorangeSimulator(
+            constellation, clock,
+            noise=PseudorangeNoiseModel(sigma_meters=0.0),
+            track_doppler=True, doppler_noise_mps=0.0,
+        )
+        rng = np.random.default_rng(0)
+        now = simulator.simulate_epoch(station.position, EPOCH, rng)
+        later = simulator.simulate_epoch(
+            station.position, EPOCH + 1.0, np.random.default_rng(1)
+        )
+        later_by_prn = {r.prn: r for r in later}
+        for r in now:
+            if r.prn not in later_by_prn:
+                continue
+            numeric = later_by_prn[r.prn].pseudorange - r.pseudorange
+            # Atmospheric terms drift by < 0.1 m/s; clock terms match.
+            assert r.range_rate == pytest.approx(numeric, abs=0.5)

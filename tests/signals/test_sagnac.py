@@ -1,0 +1,81 @@
+"""Unit tests for the Sagnac rotation and light-time iteration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_ROTATION_RATE, SPEED_OF_LIGHT
+from repro.errors import ConvergenceError
+from repro.signals import sagnac_rotation, signal_travel_time
+
+
+class TestSagnacRotation:
+    def test_zero_travel_time_is_identity(self):
+        position = np.array([1e7, -2e7, 5e6])
+        np.testing.assert_array_equal(sagnac_rotation(position, 0.0), position)
+
+    def test_preserves_norm(self):
+        position = np.array([1e7, -2e7, 5e6])
+        rotated = sagnac_rotation(position, 0.08)
+        assert np.linalg.norm(rotated) == pytest.approx(np.linalg.norm(position))
+
+    def test_z_component_unchanged(self):
+        position = np.array([1e7, -2e7, 5e6])
+        assert sagnac_rotation(position, 0.08)[2] == position[2]
+
+    def test_rotation_angle(self):
+        position = np.array([1e7, 0.0, 0.0])
+        tau = 0.075
+        rotated = sagnac_rotation(position, tau)
+        angle = math.atan2(rotated[1], rotated[0])
+        assert angle == pytest.approx(-EARTH_ROTATION_RATE * tau)
+
+    def test_equatorial_magnitude(self):
+        # r * omega_e * tau = 2.65e7 * 7.29e-5 * 0.075 ~ 145 m of arc
+        # for a GPS satellite over one signal flight.
+        position = np.array([2.65e7, 0.0, 0.0])
+        displaced = np.linalg.norm(sagnac_rotation(position, 0.075) - position)
+        assert 100.0 < displaced < 200.0
+
+
+class TestSignalTravelTime:
+    def test_static_satellite_exact(self):
+        receiver = np.array([6.37e6, 0.0, 0.0])
+        satellite = np.array([2.6e7, 0.0, 0.0])
+
+        def position_at(_tau):
+            return satellite
+
+        tau, rotated = signal_travel_time(position_at, receiver)
+        # With a static satellite the only effect is the Sagnac rotation.
+        expected_range = np.linalg.norm(sagnac_rotation(satellite, tau) - receiver)
+        assert tau == pytest.approx(expected_range / SPEED_OF_LIGHT, rel=1e-12)
+        np.testing.assert_allclose(rotated, sagnac_rotation(satellite, tau))
+
+    def test_plausible_gps_travel_time(self):
+        receiver = np.array([6.37e6, 0.0, 0.0])
+        satellite = np.array([2.0e7, 1.2e7, 1.0e7])
+        tau, _rotated = signal_travel_time(lambda _t: satellite, receiver)
+        assert 0.06 < tau < 0.09
+
+    def test_converges_quickly(self):
+        receiver = np.array([6.37e6, 0.0, 0.0])
+        satellite = np.array([2.0e7, 1.2e7, 1.0e7])
+        tau, _ = signal_travel_time(lambda _t: satellite, receiver, max_iterations=4)
+        assert tau > 0
+
+    def test_nonconvergence_raises(self):
+        receiver = np.array([6.37e6, 0.0, 0.0])
+
+        calls = {"n": 0}
+
+        def oscillating(_tau):
+            # Jump the satellite by thousands of km every call so the
+            # fixed point never settles.
+            calls["n"] += 1
+            sign = 1 if calls["n"] % 2 else -1
+            return np.array([2.0e7 + sign * 5e6, 0.0, 0.0])
+
+        with pytest.raises(ConvergenceError):
+            signal_travel_time(oscillating, receiver, max_iterations=5)

@@ -1,0 +1,178 @@
+"""Unit + integration tests for carrier smoothing (Hatch filter)."""
+
+import numpy as np
+import pytest
+
+from repro.core import NewtonRaphsonSolver
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch, SatelliteObservation
+from repro.signals import HatchFilter
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+def synthetic_stream(epochs=50, noise_sigma=2.0, seed=0):
+    """One satellite at a fixed range: code noisy, phase quiet."""
+    rng = np.random.default_rng(seed)
+    true_range = 2.2e7
+    ambiguity = 12345.678
+    stream = []
+    for index in range(epochs):
+        code = true_range + rng.normal(0.0, noise_sigma)
+        phase = true_range + ambiguity + rng.normal(0.0, 0.003)
+        obs = SatelliteObservation(
+            prn=7,
+            position=np.array([2.2e7, 1e6, 1e6]),
+            pseudorange=code,
+            carrier_range=phase,
+        )
+        stream.append(
+            ObservationEpoch(time=T0 + float(index), observations=(obs,))
+        )
+    return stream, true_range
+
+
+class TestConfiguration:
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ConfigurationError):
+            HatchFilter(window=1)
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ConfigurationError):
+            HatchFilter(max_gap_seconds=0.0)
+
+
+class TestSmoothing:
+    def test_first_epoch_passthrough(self):
+        stream, _true_range = synthetic_stream()
+        hatch = HatchFilter()
+        smoothed = hatch.smooth_epoch(stream[0])
+        assert smoothed.observations[0].pseudorange == (
+            stream[0].observations[0].pseudorange
+        )
+
+    def test_noise_shrinks_with_window(self):
+        stream, true_range = synthetic_stream(epochs=200, noise_sigma=2.0)
+        hatch = HatchFilter(window=100)
+        errors = []
+        for epoch in stream:
+            smoothed = hatch.smooth_epoch(epoch)
+            errors.append(abs(smoothed.observations[0].pseudorange - true_range))
+        # Late errors are far below the 2 m raw noise.
+        assert np.mean(errors[-50:]) < 0.5
+        assert np.mean(errors[-50:]) < np.mean(errors[:10])
+
+    def test_converges_near_true_range(self):
+        stream, true_range = synthetic_stream(epochs=300, noise_sigma=2.0)
+        hatch = HatchFilter(window=100)
+        last = None
+        for epoch in stream:
+            last = hatch.smooth_epoch(epoch)
+        assert last.observations[0].pseudorange == pytest.approx(true_range, abs=0.6)
+
+    def test_no_carrier_passthrough_and_reset(self):
+        stream, _true = synthetic_stream(epochs=5)
+        hatch = HatchFilter()
+        for epoch in stream[:3]:
+            hatch.smooth_epoch(epoch)
+        assert hatch.tracked_prns == [7]
+        bare = stream[3].with_observations(
+            [
+                SatelliteObservation(
+                    prn=7,
+                    position=stream[3].observations[0].position,
+                    pseudorange=stream[3].observations[0].pseudorange,
+                )
+            ]
+        )
+        out = hatch.smooth_epoch(bare)
+        assert out.observations[0].carrier_range is None
+        assert hatch.tracked_prns == []  # channel reset
+
+    def test_outage_resets_channel(self):
+        stream, _true = synthetic_stream(epochs=10)
+        hatch = HatchFilter(max_gap_seconds=5.0)
+        hatch.smooth_epoch(stream[0])
+        # Jump 20 s ahead: beyond the gap, so the filter restarts and
+        # the first post-outage epoch passes through unsmoothed.
+        late = ObservationEpoch(
+            time=T0 + 20.0, observations=stream[5].observations
+        )
+        out = hatch.smooth_epoch(late)
+        assert out.observations[0].pseudorange == (
+            stream[5].observations[0].pseudorange
+        )
+
+    def test_time_going_backwards_raises(self):
+        stream, _true = synthetic_stream(epochs=3)
+        hatch = HatchFilter()
+        hatch.smooth_epoch(stream[2])
+        with pytest.raises(ConfigurationError, match="time order"):
+            hatch.smooth_epoch(stream[0])
+
+    def test_manual_reset(self):
+        stream, _true = synthetic_stream(epochs=3)
+        hatch = HatchFilter()
+        for epoch in stream:
+            hatch.smooth_epoch(epoch)
+        hatch.reset(7)
+        assert hatch.tracked_prns == []
+
+
+class TestEndToEnd:
+    def test_smoothing_improves_position_accuracy(self):
+        station = get_station("SRZN")
+        dataset = ObservationDataset(
+            station,
+            DatasetConfig(duration_seconds=180.0, track_carrier=True),
+        )
+        hatch = HatchFilter(window=100)
+        solver = NewtonRaphsonSolver()
+        raw_errors, smoothed_errors = [], []
+        for index in range(dataset.epoch_count):
+            epoch = dataset.epoch_at(index)
+            smoothed = hatch.smooth_epoch(epoch)
+            if index >= 60:
+                raw_errors.append(solver.solve(epoch).distance_to(station.position))
+                smoothed_errors.append(
+                    solver.solve(smoothed).distance_to(station.position)
+                )
+        assert np.mean(smoothed_errors) < 0.8 * np.mean(raw_errors)
+        assert np.std(smoothed_errors) < np.std(raw_errors)
+
+
+class TestCarrierGeneration:
+    def test_dataset_carrier_present_when_enabled(self):
+        dataset = ObservationDataset(
+            get_station("YYR1"),
+            DatasetConfig(duration_seconds=5.0, track_carrier=True),
+        )
+        epoch = dataset.epoch_at(0)
+        assert all(obs.carrier_range is not None for obs in epoch.observations)
+
+    def test_dataset_carrier_absent_by_default(self):
+        dataset = ObservationDataset(
+            get_station("YYR1"), DatasetConfig(duration_seconds=5.0)
+        )
+        epoch = dataset.epoch_at(0)
+        assert all(obs.carrier_range is None for obs in epoch.observations)
+
+    def test_carrier_minus_code_nearly_constant(self):
+        """Phase - code = ambiguity - 2*iono + noise: constant at the
+        sub-meter level over a short window for each satellite."""
+        dataset = ObservationDataset(
+            get_station("SRZN"),
+            DatasetConfig(duration_seconds=30.0, track_carrier=True),
+        )
+        first = dataset.epoch_at(0)
+        last = dataset.epoch_at(29)
+        first_by_prn = {obs.prn: obs for obs in first.observations}
+        for obs in last.observations:
+            if obs.prn not in first_by_prn:
+                continue
+            start = first_by_prn[obs.prn]
+            delta_start = start.carrier_range - start.pseudorange
+            delta_end = obs.carrier_range - obs.pseudorange
+            assert abs(delta_end - delta_start) < 30.0  # noise-level drift

@@ -1,0 +1,63 @@
+"""Unit tests for the Table 5.1 station catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.stations import STATIONS, all_stations, get_station
+
+
+class TestTable51Contents:
+    def test_four_stations(self):
+        assert len(STATIONS) == 4
+
+    def test_site_ids(self):
+        assert set(STATIONS) == {"SRZN", "YYR1", "FAI1", "KYCP"}
+
+    def test_exact_coordinates(self):
+        srzn = get_station("SRZN")
+        assert srzn.ecef == (3623420.032, -5214015.434, 602359.096)
+        kycp = get_station("KYCP")
+        assert kycp.ecef == (411598.861, -5060514.896, 3847795.506)
+
+    def test_collection_dates(self):
+        assert get_station("SRZN").collection_date == "2009/08/12"
+        assert get_station("YYR1").collection_date == "2009/10/23"
+        assert get_station("FAI1").collection_date == "2009/10/29"
+        assert get_station("KYCP").collection_date == "2009/10/10"
+
+    def test_clock_correction_types(self):
+        assert get_station("SRZN").uses_steering_clock
+        assert get_station("YYR1").uses_steering_clock
+        assert get_station("FAI1").uses_steering_clock
+        assert not get_station("KYCP").uses_steering_clock
+
+    def test_numbers_in_order(self):
+        assert [s.number for s in all_stations()] == [1, 2, 3, 4]
+
+
+class TestAccessors:
+    def test_case_insensitive_lookup(self):
+        assert get_station("srzn").site_id == "SRZN"
+
+    def test_unknown_station(self):
+        with pytest.raises(DatasetError, match="unknown station"):
+            get_station("XXXX")
+
+    def test_position_is_array(self):
+        position = get_station("FAI1").position
+        assert isinstance(position, np.ndarray)
+        assert position.shape == (3,)
+
+    def test_positions_on_earth_surface(self):
+        for station in all_stations():
+            radius = np.linalg.norm(station.position)
+            assert 6.3e6 < radius < 6.4e6
+
+    def test_geodetic_sanity(self):
+        # FAI1 is in Fairbanks, Alaska: high northern latitude.
+        latitude, _longitude, _height = get_station("FAI1").geodetic
+        assert np.degrees(latitude) > 60.0
+        # SRZN is near the equator (Suriname).
+        latitude, _longitude, _height = get_station("SRZN").geodetic
+        assert abs(np.degrees(latitude)) < 15.0

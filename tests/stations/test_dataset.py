@@ -1,0 +1,112 @@
+"""Unit + integration tests for data-set generation."""
+
+import numpy as np
+import pytest
+
+from repro.clocks import SteeringClock, ThresholdClock
+from repro.errors import ConfigurationError, DatasetError
+from repro.stations import DatasetConfig, ObservationDataset, generate_dataset, get_station
+
+
+class TestDatasetConfig:
+    def test_paper_defaults(self):
+        config = DatasetConfig()
+        assert config.epoch_count == 86_400  # 24 h at 1 Hz
+        assert config.satellite_count == 31
+
+    def test_epoch_count_derived(self):
+        config = DatasetConfig(duration_seconds=120.0, interval_seconds=2.0)
+        assert config.epoch_count == 60
+
+    def test_with_overrides(self):
+        config = DatasetConfig().with_overrides(duration_seconds=10.0)
+        assert config.duration_seconds == 10.0
+        assert config.satellite_count == 31
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(duration_seconds=0.0)
+
+    def test_rejects_bad_satellite_count(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(satellite_count=0)
+
+
+class TestGeneration:
+    def test_epoch_structure(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0)
+        # The paper's data items carry 8 to 12 satellites.
+        assert 6 <= epoch.satellite_count <= 14
+        assert epoch.truth is not None
+        np.testing.assert_array_equal(
+            epoch.truth.receiver_position, get_station("SRZN").position
+        )
+
+    def test_pseudoranges_plausible(self, srzn_dataset):
+        epoch = srzn_dataset.epoch_at(0)
+        for obs in epoch.observations:
+            assert 1.8e7 < obs.pseudorange < 3.0e7
+
+    def test_deterministic_random_access(self, srzn_dataset):
+        a = srzn_dataset.epoch_at(7)
+        b = srzn_dataset.epoch_at(7)
+        assert a.prns == b.prns
+        np.testing.assert_array_equal(a.pseudoranges(), b.pseudoranges())
+
+    def test_streaming_matches_random_access(self, srzn_dataset):
+        streamed = list(srzn_dataset.epochs(stop_index=5))
+        for index, epoch in enumerate(streamed):
+            direct = srzn_dataset.epoch_at(index)
+            np.testing.assert_array_equal(epoch.pseudoranges(), direct.pseudoranges())
+
+    def test_different_seeds_differ(self):
+        station = get_station("SRZN")
+        a = ObservationDataset(station, DatasetConfig(duration_seconds=10.0, seed=1))
+        b = ObservationDataset(station, DatasetConfig(duration_seconds=10.0, seed=2))
+        assert not np.array_equal(
+            a.epoch_at(0).pseudoranges(), b.epoch_at(0).pseudoranges()
+        )
+
+    def test_different_stations_differ(self, srzn_dataset, kycp_dataset):
+        assert srzn_dataset.epoch_at(0).prns != kycp_dataset.epoch_at(0).prns
+
+    def test_stride_sampling(self, srzn_dataset):
+        strided = list(srzn_dataset.epochs(stride=30))
+        assert len(strided) == 4  # 120 s / 30
+        assert strided[1].time - strided[0].time == pytest.approx(30.0)
+
+    def test_realize_cap(self, srzn_dataset):
+        assert len(srzn_dataset.realize(max_epochs=5)) == 5
+
+    def test_epoch_index_bounds(self, srzn_dataset):
+        with pytest.raises(DatasetError):
+            srzn_dataset.epoch_at(-1)
+        with pytest.raises(DatasetError):
+            srzn_dataset.epoch_at(srzn_dataset.epoch_count)
+
+    def test_bad_stride(self, srzn_dataset):
+        with pytest.raises(DatasetError):
+            list(srzn_dataset.epochs(stride=0))
+
+
+class TestClockModelSelection:
+    def test_steering_station_gets_steering_clock(self, srzn_dataset):
+        assert isinstance(srzn_dataset.clock_model, SteeringClock)
+
+    def test_threshold_station_gets_threshold_clock(self, kycp_dataset):
+        assert isinstance(kycp_dataset.clock_model, ThresholdClock)
+
+    def test_truth_bias_matches_clock_model(self, srzn_dataset):
+        from repro.constants import SPEED_OF_LIGHT
+
+        epoch = srzn_dataset.epoch_at(3)
+        expected = SPEED_OF_LIGHT * srzn_dataset.clock_model.bias_seconds(epoch.time)
+        assert epoch.truth.clock_bias_meters == pytest.approx(expected)
+
+
+class TestGenerateDataset:
+    def test_convenience_function(self):
+        dataset = generate_dataset(
+            get_station("YYR1"), DatasetConfig(duration_seconds=5.0)
+        )
+        assert dataset.epoch_count == 5

@@ -1,0 +1,111 @@
+"""Unit tests for the shared observation data model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+T0 = GpsTime(week=1540, seconds_of_week=0.0)
+
+
+def make_obs(prn, pseudorange=2.2e7):
+    return SatelliteObservation(
+        prn=prn,
+        position=np.array([2.0e7, 1.0e7 + prn * 1e5, 5.0e6]),
+        pseudorange=pseudorange,
+        elevation=0.5 + prn * 0.01,
+    )
+
+
+class TestSatelliteObservation:
+    def test_position_coerced_to_array(self):
+        obs = SatelliteObservation(prn=1, position=[1e7, 1e7, 1e7], pseudorange=2e7)
+        assert isinstance(obs.position, np.ndarray)
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ConfigurationError):
+            SatelliteObservation(prn=1, position=[1.0, 2.0], pseudorange=2e7)
+
+    def test_rejects_nonpositive_pseudorange(self):
+        with pytest.raises(ConfigurationError):
+            make_obs(1, pseudorange=0.0)
+
+    def test_rejects_nan_pseudorange(self):
+        with pytest.raises(ConfigurationError):
+            make_obs(1, pseudorange=float("nan"))
+
+
+class TestEpochTruth:
+    def test_holds_values(self):
+        truth = EpochTruth(receiver_position=np.ones(3), clock_bias_meters=12.0)
+        assert truth.clock_bias_meters == 12.0
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ConfigurationError):
+            EpochTruth(receiver_position=np.ones(2), clock_bias_meters=0.0)
+
+
+class TestObservationEpoch:
+    def test_basic_accessors(self):
+        epoch = ObservationEpoch(time=T0, observations=tuple(make_obs(p) for p in (3, 1, 2)))
+        assert len(epoch) == 3
+        assert epoch.satellite_count == 3
+        assert epoch.prns == (3, 1, 2)
+        assert epoch.satellite_positions().shape == (3, 3)
+        assert epoch.pseudoranges().shape == (3,)
+
+    def test_iterable(self):
+        epoch = ObservationEpoch(time=T0, observations=(make_obs(1), make_obs(2)))
+        assert [obs.prn for obs in epoch] == [1, 2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ObservationEpoch(time=T0, observations=())
+
+    def test_rejects_duplicate_prns(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ObservationEpoch(time=T0, observations=(make_obs(1), make_obs(1)))
+
+
+class TestSubset:
+    @pytest.fixture
+    def epoch(self):
+        return ObservationEpoch(
+            time=T0, observations=tuple(make_obs(p) for p in (5, 3, 8, 1)),
+            truth=EpochTruth(receiver_position=np.ones(3), clock_bias_meters=1.0),
+        )
+
+    def test_default_order_prefix(self, epoch):
+        subset = epoch.subset(2)
+        assert subset.prns == (5, 3)
+
+    def test_preserves_time_and_truth(self, epoch):
+        subset = epoch.subset(2)
+        assert subset.time == epoch.time
+        assert subset.truth is epoch.truth
+
+    def test_custom_order(self, epoch):
+        subset = epoch.subset(3, order=[3, 2, 0, 1])
+        assert subset.prns == (1, 8, 5)
+
+    def test_full_subset_identity(self, epoch):
+        assert epoch.subset(4).prns == epoch.prns
+
+    def test_rejects_zero(self, epoch):
+        with pytest.raises(ConfigurationError):
+            epoch.subset(0)
+
+    def test_rejects_too_many(self, epoch):
+        with pytest.raises(ConfigurationError):
+            epoch.subset(5)
+
+    def test_rejects_bad_order(self, epoch):
+        with pytest.raises(ConfigurationError, match="permutation"):
+            epoch.subset(2, order=[0, 0, 1, 2])
+
+    def test_with_observations(self, epoch):
+        replaced = epoch.with_observations([make_obs(42)])
+        assert replaced.prns == (42,)
+        assert replaced.truth is epoch.truth

@@ -1,0 +1,103 @@
+"""Public API contract tests.
+
+These guard the packaging surface rather than behaviour: every name a
+subpackage advertises in ``__all__`` must resolve, every public
+callable must carry a docstring, and the root package must re-export
+the primary workflow types.  Breakage here is what downstream users
+hit first.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.timebase",
+    "repro.geodesy",
+    "repro.orbits",
+    "repro.constellation",
+    "repro.atmosphere",
+    "repro.clocks",
+    "repro.signals",
+    "repro.estimation",
+    "repro.core",
+    "repro.dgps",
+    "repro.motion",
+    "repro.stations",
+    "repro.rinex",
+    "repro.evaluation",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+class TestExports:
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), f"{package_name} lacks __all__"
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_no_duplicate_exports(self, package_name):
+        package = importlib.import_module(package_name)
+        assert len(package.__all__) == len(set(package.__all__))
+
+    def test_public_callables_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in package.__all__:
+            member = getattr(package, name)
+            if inspect.isclass(member) or inspect.isfunction(member):
+                assert inspect.getdoc(member), (
+                    f"{package_name}.{name} has no docstring"
+                )
+
+    def test_package_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        assert package.__doc__, f"{package_name} has no module docstring"
+
+
+class TestRootSurface:
+    def test_primary_workflow_importable_from_root(self):
+        from repro import (  # noqa: F401
+            BancroftSolver,
+            DatasetConfig,
+            DLGSolver,
+            DLOSolver,
+            GpsReceiver,
+            GpsTime,
+            HatchFilter,
+            NavigationEkf,
+            NewtonRaphsonSolver,
+            ObservationDataset,
+            RaimMonitor,
+            VelocitySolver,
+            get_station,
+        )
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_public_classes_have_documented_methods(self):
+        """Spot-check: the main solvers' public methods are documented."""
+        from repro import DLGSolver, GpsReceiver, NewtonRaphsonSolver
+
+        for cls in (NewtonRaphsonSolver, DLGSolver, GpsReceiver):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"
+
+    def test_exceptions_rooted_at_repro_error(self):
+        import repro
+        from repro import ReproError
+
+        for name in repro.__all__:
+            member = getattr(repro, name)
+            if inspect.isclass(member) and issubclass(member, Exception):
+                assert issubclass(member, ReproError)

@@ -1,0 +1,144 @@
+"""Unit + property tests for the GpsTime value type."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import SECONDS_PER_WEEK
+from repro.errors import ConfigurationError
+from repro.timebase import GpsTime
+
+gps_seconds_strategy = st.floats(min_value=0.0, max_value=3.0e9)
+
+
+class TestConstruction:
+    def test_basic(self):
+        t = GpsTime(week=1540, seconds_of_week=345.5)
+        assert t.week == 1540
+        assert t.seconds_of_week == 345.5
+
+    def test_rejects_negative_week(self):
+        with pytest.raises(ConfigurationError):
+            GpsTime(week=-1, seconds_of_week=0.0)
+
+    def test_rejects_sow_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            GpsTime(week=0, seconds_of_week=SECONDS_PER_WEEK)
+
+    def test_rejects_negative_sow(self):
+        with pytest.raises(ConfigurationError):
+            GpsTime(week=0, seconds_of_week=-1.0)
+
+    def test_from_gps_seconds_normalizes_weeks(self):
+        t = GpsTime.from_gps_seconds(SECONDS_PER_WEEK * 2 + 100.0)
+        assert t.week == 2
+        assert t.seconds_of_week == pytest.approx(100.0)
+
+    def test_from_gps_seconds_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            GpsTime.from_gps_seconds(-1.0)
+
+
+class TestArithmetic:
+    def test_add_seconds(self):
+        t = GpsTime(week=1, seconds_of_week=10.0) + 5.0
+        assert t.seconds_of_week == 15.0
+
+    def test_add_crosses_week_boundary(self):
+        t = GpsTime(week=1, seconds_of_week=SECONDS_PER_WEEK - 1.0) + 2.0
+        assert t.week == 2
+        assert t.seconds_of_week == pytest.approx(1.0)
+
+    def test_radd(self):
+        t = 5.0 + GpsTime(week=0, seconds_of_week=0.0)
+        assert t.seconds_of_week == 5.0
+
+    def test_subtract_times_gives_seconds(self):
+        a = GpsTime(week=1, seconds_of_week=100.0)
+        b = GpsTime(week=1, seconds_of_week=40.0)
+        assert a - b == pytest.approx(60.0)
+
+    def test_subtract_seconds_gives_time(self):
+        t = GpsTime(week=1, seconds_of_week=100.0) - 50.0
+        assert isinstance(t, GpsTime)
+        assert t.seconds_of_week == 50.0
+
+    def test_subtract_across_weeks(self):
+        a = GpsTime(week=2, seconds_of_week=10.0)
+        b = GpsTime(week=1, seconds_of_week=10.0)
+        assert a - b == pytest.approx(SECONDS_PER_WEEK)
+
+    def test_ordering(self):
+        early = GpsTime(week=1, seconds_of_week=0.0)
+        late = GpsTime(week=1, seconds_of_week=1.0)
+        assert early < late
+        assert late > early
+
+    @given(gps_seconds_strategy, st.floats(min_value=0.0, max_value=1e6))
+    def test_add_then_subtract_roundtrip(self, base, delta):
+        t = GpsTime.from_gps_seconds(base)
+        assert (t + delta) - t == pytest.approx(delta, abs=1e-5)
+
+
+class TestConversions:
+    @given(gps_seconds_strategy)
+    def test_gps_seconds_roundtrip(self, seconds):
+        t = GpsTime.from_gps_seconds(seconds)
+        assert t.to_gps_seconds() == pytest.approx(seconds, abs=1e-5)
+
+    def test_unix_roundtrip_modern_era(self):
+        unix = 1_250_000_000.0  # 2009, within the paper's collection dates
+        t = GpsTime.from_unix(unix)
+        assert t.to_unix() == pytest.approx(unix, abs=1e-6)
+
+    def test_unix_of_gps_epoch(self):
+        t = GpsTime.from_unix(315_964_800.0)
+        assert t.week == 0
+        assert t.seconds_of_week == 0.0
+
+    def test_leap_seconds_applied_in_2009(self):
+        # In 2009 GPS-UTC was 15 s.
+        unix = 1_250_000_000.0
+        t = GpsTime.from_unix(unix)
+        assert t.to_gps_seconds() == pytest.approx(unix - 315_964_800 + 15)
+
+    def test_rejects_pre_gps_epoch(self):
+        with pytest.raises(ConfigurationError):
+            GpsTime.from_unix(0.0)
+
+
+class TestWeekWrappedDifference:
+    def test_plain_difference(self):
+        a = GpsTime(week=1, seconds_of_week=1000.0)
+        b = GpsTime(week=1, seconds_of_week=400.0)
+        assert a.time_of_week_difference(b) == pytest.approx(600.0)
+
+    def test_wraps_large_positive(self):
+        a = GpsTime(week=2, seconds_of_week=0.0)
+        b = GpsTime(week=1, seconds_of_week=0.0)
+        # Exactly one week wraps to zero.
+        assert a.time_of_week_difference(b) == pytest.approx(0.0)
+
+    def test_wraps_past_half_week(self):
+        a = GpsTime(week=1, seconds_of_week=400_000.0)
+        b = GpsTime(week=1, seconds_of_week=0.0)
+        assert a.time_of_week_difference(b) == pytest.approx(400_000.0 - SECONDS_PER_WEEK)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e9),
+        st.floats(min_value=-200_000.0, max_value=200_000.0),
+    )
+    def test_small_offsets_survive_wrapping(self, base, offset):
+        a = GpsTime.from_gps_seconds(base + 300_000.0)
+        b = a + offset
+        assert b.time_of_week_difference(a) == pytest.approx(offset, abs=1e-4)
+
+
+class TestHashabilityAndRepr:
+    def test_frozen_and_hashable(self):
+        t = GpsTime(week=1, seconds_of_week=0.0)
+        assert hash(t) == hash(GpsTime(week=1, seconds_of_week=0.0))
+        with pytest.raises(AttributeError):
+            t.week = 2
+
+    def test_str(self):
+        assert "week=1540" in str(GpsTime(week=1540, seconds_of_week=0.0))

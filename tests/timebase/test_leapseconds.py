@@ -1,0 +1,38 @@
+"""Unit tests for the leap-second table."""
+
+from repro.timebase.leapseconds import LEAP_SECOND_TABLE, leap_seconds_at_unix
+
+
+class TestTableShape:
+    def test_monotone_timestamps(self):
+        stamps = [unix for unix, _offset in LEAP_SECOND_TABLE]
+        assert stamps == sorted(stamps)
+
+    def test_monotone_offsets_increment_by_one(self):
+        offsets = [offset for _unix, offset in LEAP_SECOND_TABLE]
+        assert offsets == list(range(1, len(offsets) + 1))
+
+    def test_final_offset_is_eighteen(self):
+        assert LEAP_SECOND_TABLE[-1][1] == 18
+
+
+class TestLookup:
+    def test_before_first_leap(self):
+        assert leap_seconds_at_unix(316_000_000) == 0  # Jan 1980
+
+    def test_exactly_at_insertion(self):
+        first_unix, first_offset = LEAP_SECOND_TABLE[0]
+        assert leap_seconds_at_unix(first_unix) == first_offset
+        assert leap_seconds_at_unix(first_unix - 1) == first_offset - 1
+
+    def test_year_2009(self):
+        # The paper's data collection year: GPS-UTC = 15.
+        assert leap_seconds_at_unix(1_250_000_000) == 15
+
+    def test_after_last_leap(self):
+        assert leap_seconds_at_unix(2_000_000_000) == 18
+
+    def test_every_boundary(self):
+        for unix, offset in LEAP_SECOND_TABLE:
+            assert leap_seconds_at_unix(unix) == offset
+            assert leap_seconds_at_unix(unix - 0.5) == offset - 1

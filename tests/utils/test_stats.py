@@ -1,0 +1,86 @@
+"""Unit + property tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.utils.stats import SummaryStats, percentile, summarize
+
+finite_samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=50
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        stats = summarize([42.0])
+        assert stats.count == 1
+        assert stats.mean == 42.0
+        assert stats.std == 0.0
+        assert stats.minimum == stats.maximum == 42.0
+
+    def test_known_sample(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.p50 == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            summarize([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            summarize([1.0, float("nan")])
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=" in text
+
+    @given(finite_samples)
+    def test_ordering_invariants(self, sample):
+        stats = summarize(sample)
+        span = max(abs(stats.minimum), abs(stats.maximum), 1.0)
+        ulp_slack = span * 1e-12  # mean may overshoot the extremes by rounding
+        assert stats.minimum <= stats.p50 <= stats.p95 <= stats.maximum
+        assert stats.minimum - ulp_slack <= stats.mean <= stats.maximum + ulp_slack
+        assert stats.count == len(sample)
+
+    @given(finite_samples)
+    def test_invariant_under_permutation(self, sample):
+        forward = summarize(sample)
+        backward = summarize(list(reversed(sample)))
+        # Summation order may differ in the last ulp; everything else
+        # is order-independent exactly.
+        assert forward.count == backward.count
+        assert forward.minimum == backward.minimum
+        assert forward.maximum == backward.maximum
+        assert forward.mean == pytest.approx(backward.mean, rel=1e-12)
+        assert forward.std == pytest.approx(backward.std, rel=1e-9, abs=1e-12)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50.0) == 2.0
+
+    def test_extremes(self):
+        data = list(range(10))
+        assert percentile(data, 0.0) == 0.0
+        assert percentile(data, 100.0) == 9.0
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ConfigurationError):
+            percentile([1.0], 101.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 50.0)
+
+
+class TestSummaryStatsDataclass:
+    def test_frozen(self):
+        stats = SummaryStats(1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            stats.mean = 1.0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    require_finite_array,
+    require_in_range,
+    require_positive,
+    require_shape,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive("x", 2.5) == 2.5
+
+    def test_accepts_int(self):
+        assert require_positive("x", 3) == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError, match="x"):
+            require_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", -1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", math.nan)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ConfigurationError):
+            require_positive("x", math.inf)
+
+
+class TestRequireInRange:
+    def test_accepts_inside(self):
+        assert require_in_range("x", 0.5, 0.0, 1.0) == 0.5
+
+    def test_accepts_boundaries(self):
+        assert require_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range("x", 1.01, 0.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range("x", math.nan, 0.0, 1.0)
+
+
+class TestRequireFiniteArray:
+    def test_accepts_list(self):
+        result = require_finite_array("v", [1, 2, 3])
+        assert result.dtype == float
+        np.testing.assert_array_equal(result, [1.0, 2.0, 3.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            require_finite_array("v", [])
+
+    def test_rejects_nan_entry(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            require_finite_array("v", [1.0, math.nan])
+
+
+class TestRequireShape:
+    def test_exact_shape(self):
+        result = require_shape("v", [1.0, 2.0, 3.0], (3,))
+        assert result.shape == (3,)
+
+    def test_wildcard_dimension(self):
+        result = require_shape("m", [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]], (-1, 2))
+        assert result.shape == (3, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError, match="dimensions"):
+            require_shape("v", [1.0, 2.0], (2, 1))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            require_shape("v", [1.0, 2.0], (3,))
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="receiver_ecef"):
+            require_shape("receiver_ecef", [1.0], (3,))
