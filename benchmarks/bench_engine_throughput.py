@@ -1,0 +1,269 @@
+"""Throughput benchmark for the positioning engine: scalar vs batched vs parallel.
+
+Measures fixes/second and per-fix nanoseconds for NR / DLO / DLG on a
+mixed-satellite-count epoch stream, through three execution shapes:
+
+* **scalar** — one ``solve`` call per epoch (the paper's Section 5.3
+  protocol, what `bench_solvers_micro.py` measures per-call);
+* **batched** — the whole stream through
+  :class:`repro.engine.PositioningEngine` (bucketing + stacked-tensor
+  solvers + Sherman-Morrison covariance fast path);
+* **parallel** — chunked replay of the stream through full
+  :class:`repro.GpsReceiver` pipelines on a worker pool.
+
+Results are written to ``BENCH_engine.json`` (machine-readable, one
+file per run) so the perf trajectory is trackable across PRs, and a
+human-readable table is printed.  The batched-vs-scalar DLG agreement
+is checked and recorded: vectorizing must not change the answer.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from repro import (
+    DLGSolver,
+    DLOSolver,
+    GpsReceiver,
+    NewtonRaphsonSolver,
+    ParallelReplay,
+    PositioningEngine,
+)
+from repro.evaluation import TimingStats, time_callable, time_solver_stats
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+#: The stream's clock bias (meters); constant so scalar closed-form
+#: solvers can use a fixed-bias predictor and agree exactly with the
+#: batched path fed the same per-epoch biases.
+BIAS_METERS = 35.0
+
+
+class _FixedBias:
+    """Minimal clock predictor pinned to the stream's known bias."""
+
+    is_ready = True
+
+    def observe(self, time, bias_meters):
+        """No-op: the bias is fixed by construction."""
+
+    def reanchor(self, time, bias_meters):
+        """No-op: the bias is fixed by construction."""
+
+    def predict_bias_meters(self, time):
+        """The stream's constant bias."""
+        return BIAS_METERS
+
+
+def synthetic_stream(
+    count: int,
+    satellite_counts=(7, 8, 9, 10, 11),
+    noise_sigma: float = 1.0,
+    seed: int = 2026,
+) -> List[ObservationEpoch]:
+    """A mixed-satellite-count epoch stream with known truth.
+
+    Satellites are spread over the upper hemisphere around a fixed
+    receiver, pseudoranges carry the constant clock bias plus Gaussian
+    noise — the same construction the test suite's ``make_epoch``
+    fixture uses, sized for throughput runs.
+    """
+    rng = np.random.default_rng(seed)
+    truth = np.array([3623420.0, -5214015.0, 602359.0])
+    up = truth / np.linalg.norm(truth)
+    epochs = []
+    for index in range(count):
+        m = satellite_counts[index % len(satellite_counts)]
+        observations = []
+        for prn in range(1, m + 1):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            direction += up
+            direction /= np.linalg.norm(direction)
+            position = truth + direction * rng.uniform(2.0e7, 2.6e7)
+            pseudorange = (
+                float(np.linalg.norm(position - truth))
+                + BIAS_METERS
+                + float(rng.normal(0.0, noise_sigma))
+            )
+            observations.append(
+                SatelliteObservation(prn=prn, position=position, pseudorange=pseudorange)
+            )
+        epochs.append(
+            ObservationEpoch(
+                time=GpsTime(week=1540, seconds_of_week=float(index)),
+                observations=tuple(observations),
+                truth=EpochTruth(receiver_position=truth, clock_bias_meters=BIAS_METERS),
+            )
+        )
+    return epochs
+
+
+def _record(stats: TimingStats) -> Dict:
+    return {
+        "per_fix_ns": {
+            "best": stats.best_ns,
+            "mean": stats.mean_ns,
+            "p50": stats.p50_ns,
+            "p95": stats.p95_ns,
+        },
+        "fixes_per_second": stats.items_per_second,
+        "repeats": stats.repeats,
+        "items": stats.items,
+    }
+
+
+def run(epoch_count: int, repeats: int, workers: int, output: str) -> Dict:
+    """Run the full benchmark matrix and return the results document."""
+    print(f"generating {epoch_count}-epoch mixed-count stream ...", flush=True)
+    epochs = synthetic_stream(epoch_count)
+    biases = np.full(len(epochs), BIAS_METERS)
+    counts = sorted({epoch.satellite_count for epoch in epochs})
+
+    results: Dict = {
+        "config": {
+            "epochs": epoch_count,
+            "repeats": repeats,
+            "satellite_counts": counts,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "scalar": {},
+        "batched": {},
+        "parallel": {},
+    }
+
+    # ------------------------------------------------------------- scalar
+    scalar_solvers = {
+        "NR": NewtonRaphsonSolver(),
+        "DLO": DLOSolver(_FixedBias()),
+        "DLG": DLGSolver(_FixedBias()),
+    }
+    for name, solver in scalar_solvers.items():
+        stats = time_solver_stats(solver, epochs, repeats=repeats, warmup_rounds=1)
+        results["scalar"][name] = _record(stats)
+        print(
+            f"scalar  {name:4s}  {stats.best_ns / 1e3:9.1f} us/fix  "
+            f"{stats.items_per_second:10.0f} fixes/s"
+        )
+
+    # ------------------------------------------------------------ batched
+    for name, algorithm in (("NR", "nr"), ("DLO", "dlo"), ("DLG", "dlg")):
+        engine = PositioningEngine(algorithm=algorithm)
+        stats = time_callable(
+            lambda: engine.solve_stream(epochs, biases=biases),
+            items=len(epochs),
+            repeats=repeats,
+            warmup_rounds=1,
+        )
+        results["batched"][name] = _record(stats)
+        print(
+            f"batched {name:4s}  {stats.best_ns / 1e3:9.1f} us/fix  "
+            f"{stats.items_per_second:10.0f} fixes/s"
+        )
+
+    # ----------------------------------------------------------- parallel
+    # Chunked replay through full GpsReceiver pipelines; the thread
+    # backend keeps the bench portable (no fork requirements) while
+    # the process backend is what a multi-core deployment would use.
+    receiver_kwargs = {"algorithm": "dlg", "clock_mode": "steering", "warmup_epochs": 10}
+    for worker_count in sorted({1, workers}):
+        replay = ParallelReplay(
+            receiver_kwargs=receiver_kwargs,
+            workers=worker_count,
+            backend="thread",
+        )
+        stats = time_callable(
+            lambda: replay.replay(epochs),
+            items=len(epochs),
+            repeats=max(1, repeats - 1),
+            warmup_rounds=1,
+        )
+        results["parallel"][f"receiver_dlg_threads_{worker_count}"] = _record(stats)
+        print(
+            f"replay  x{worker_count:<3d}  {stats.best_ns / 1e3:9.1f} us/fix  "
+            f"{stats.items_per_second:10.0f} fixes/s"
+        )
+
+    # -------------------------------------------------- agreement + ratio
+    scalar_dlg = np.stack(
+        [scalar_solvers["DLG"].solve(epoch).position for epoch in epochs]
+    )
+    batched_dlg = PositioningEngine(algorithm="dlg").solve_stream(
+        epochs, biases=biases
+    )
+    agreement = float(
+        np.max(np.linalg.norm(batched_dlg.positions - scalar_dlg, axis=1))
+    )
+    speedup = (
+        results["scalar"]["DLG"]["per_fix_ns"]["best"]
+        / results["batched"]["DLG"]["per_fix_ns"]["best"]
+    )
+    results["dlg_batched_vs_scalar"] = {
+        "max_position_disagreement_m": agreement,
+        "throughput_speedup": speedup,
+    }
+    print(
+        f"\nbatched DLG vs scalar DLG: {speedup:.1f}x throughput, "
+        f"max disagreement {agreement:.2e} m"
+    )
+
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2)
+    print(f"wrote {output}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--epochs", type=int, default=1000, help="stream length (default 1000)"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed passes per measurement"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="parallel replay pool size",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_engine.json", help="JSON results path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: 200 epochs, single timed pass",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.epochs = min(args.epochs, 200)
+        args.repeats = 1
+
+    results = run(args.epochs, args.repeats, args.workers, args.output)
+    disagreement = results["dlg_batched_vs_scalar"]["max_position_disagreement_m"]
+    if disagreement > 1e-6:
+        print(
+            f"ERROR: batched DLG disagrees with scalar DLG by {disagreement:.2e} m",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

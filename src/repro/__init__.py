@@ -52,6 +52,7 @@ from repro.core import (
     ThreeSatelliteSolver,
     BatchDLOSolver,
     BatchDLGSolver,
+    BatchNewtonRaphsonSolver,
     group_epochs_by_count,
     RaimMonitor,
     RaimResult,
@@ -63,6 +64,7 @@ from repro.core import (
     compute_dop,
     DilutionOfPrecision,
 )
+from repro.engine import EngineResult, ParallelReplay, PositioningEngine
 from repro.dgps import DgpsCorrections, DgpsReferenceStation, apply_corrections
 from repro.signals import (
     CycleSlipDetector,
@@ -123,7 +125,11 @@ __all__ = [
     "ThreeSatelliteSolver",
     "BatchDLOSolver",
     "BatchDLGSolver",
+    "BatchNewtonRaphsonSolver",
     "group_epochs_by_count",
+    "EngineResult",
+    "ParallelReplay",
+    "PositioningEngine",
     "RaimMonitor",
     "RaimResult",
     "VelocityFix",

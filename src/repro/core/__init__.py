@@ -18,12 +18,15 @@ from repro.core.direct_linear import (
     DLGSolver,
     build_difference_system,
     difference_covariance,
+    difference_covariance_components,
 )
 from repro.core.bancroft import BancroftSolver
 from repro.core.three_sat import ThreeSatelliteSolver
 from repro.core.batch import (
     BatchDLOSolver,
     BatchDLGSolver,
+    BatchNewtonRaphsonSolver,
+    BatchNrResult,
     group_epochs_by_count,
 )
 from repro.core.raim import RaimMonitor, RaimResult, chi_square_quantile
@@ -48,10 +51,13 @@ __all__ = [
     "DLGSolver",
     "build_difference_system",
     "difference_covariance",
+    "difference_covariance_components",
     "BancroftSolver",
     "ThreeSatelliteSolver",
     "BatchDLOSolver",
     "BatchDLGSolver",
+    "BatchNewtonRaphsonSolver",
+    "BatchNrResult",
     "group_epochs_by_count",
     "RaimMonitor",
     "RaimResult",

@@ -31,7 +31,7 @@ from repro.core.base import PositioningAlgorithm
 from repro.core.selection import BaseSatelliteSelector, FirstSelector
 from repro.core.types import PositionFix
 from repro.errors import EstimationError, GeometryError
-from repro.estimation import gls_solve_whitened, ols_solve
+from repro.estimation import gls_solve_diag_rank1, ols_solve
 from repro.observations import ObservationEpoch
 
 
@@ -80,6 +80,38 @@ def build_difference_system(
     return design, rhs
 
 
+def difference_covariance_components(
+    corrected_pseudoranges: np.ndarray,
+    base_index: int = 0,
+) -> Tuple[np.ndarray, float]:
+    """The eq. 4-26 covariance in its structured ``(diag, scale)`` form.
+
+    The covariance is diagonal-plus-rank-one,
+    ``Psi = diag(rho_j^2) + rho_base^2 * 11^T``: every row of the
+    differenced system shares the base-satellite error, and nothing
+    else couples rows.  Returning the two components instead of the
+    materialized matrix lets GLS run through the O(m) Sherman-Morrison
+    whitening (:func:`~repro.estimation.gls_solve_diag_rank1`) — the
+    fast path shared by the scalar :class:`DLGSolver` and the batch
+    engine.
+
+    Returns
+    -------
+    (diag, scale)
+        ``(m-1,)`` diagonal terms ``rho_j^2`` (base excluded, original
+        order) and the scalar rank-one term ``rho_base^2``.
+    """
+    pseudoranges = np.asarray(corrected_pseudoranges, dtype=float)
+    m = pseudoranges.shape[0]
+    if m < 2:
+        raise GeometryError("differencing needs at least two satellites")
+    if not 0 <= base_index < m:
+        raise GeometryError(f"base_index {base_index} out of range for {m} satellites")
+
+    mask = np.arange(m) != base_index
+    return pseudoranges[mask] ** 2, float(pseudoranges[base_index] ** 2)
+
+
 def difference_covariance(
     corrected_pseudoranges: np.ndarray,
     base_index: int = 0,
@@ -98,19 +130,14 @@ def difference_covariance(
     Measured pseudoranges stand in for the unknown true ranges, as the
     paper does — at GPS ranges (2e7 m) the relative substitution error
     is ~1e-6 and irrelevant.
-    """
-    pseudoranges = np.asarray(corrected_pseudoranges, dtype=float)
-    m = pseudoranges.shape[0]
-    if m < 2:
-        raise GeometryError("differencing needs at least two satellites")
-    if not 0 <= base_index < m:
-        raise GeometryError(f"base_index {base_index} out of range for {m} satellites")
 
-    mask = np.arange(m) != base_index
-    base_sq = pseudoranges[base_index] ** 2
-    others_sq = pseudoranges[mask] ** 2
-    covariance = np.full((m - 1, m - 1), base_sq)
-    covariance[np.diag_indices(m - 1)] = base_sq + others_sq
+    This materializes the dense ``(m-1, m-1)`` matrix for callers that
+    need it (ablations, diagnostics); the solvers themselves use
+    :func:`difference_covariance_components` and never build it.
+    """
+    diag, scale = difference_covariance_components(corrected_pseudoranges, base_index)
+    covariance = np.full((diag.shape[0], diag.shape[0]), scale)
+    covariance[np.diag_indices(diag.shape[0])] += diag
     return covariance
 
 
@@ -208,11 +235,11 @@ class DLGSolver(_DirectLinearBase):
 
     def solve(self, epoch: ObservationEpoch) -> PositionFix:
         bias, corrected, base_index, design, rhs = self._prepare(epoch)
-        covariance = difference_covariance(corrected, base_index)  # eq. 4-26
+        diag, scale = difference_covariance_components(corrected, base_index)
         try:
-            solution, whitened_norm = gls_solve_whitened(
-                design, rhs, covariance
-            )  # eq. 4-21
+            # eq. 4-21 with the eq. 4-26 covariance applied through its
+            # diag+rank-one structure: O(m) whitening, no factorization.
+            solution, whitened_norm = gls_solve_diag_rank1(design, rhs, diag, scale)
         except EstimationError as exc:
             raise GeometryError(f"DLG system is degenerate: {exc}") from exc
         return PositionFix(

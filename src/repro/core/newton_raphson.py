@@ -90,6 +90,33 @@ class NewtonRaphsonSolver(PositioningAlgorithm):
                 raise ConfigurationError("initial_state must be a finite 4-vector")
             self._initial_state = state.copy()
 
+    def as_batch(self) -> "BatchNewtonRaphsonSolver":
+        """A batched NR solver sharing this solver's configuration.
+
+        The batched implementation
+        (:class:`~repro.core.batch.BatchNewtonRaphsonSolver`) stacks
+        the per-iteration linear algebra across epochs and masks
+        converged epochs out of the active set.  It always uses the
+        ``"update"`` convergence criterion and plain OLS, so a solver
+        configured with ``convergence="residual"`` or
+        ``elevation_weighted=True`` cannot be batched faithfully.
+        """
+        if self._elevation_weighted:
+            raise ConfigurationError(
+                "batched NR does not support elevation weighting"
+            )
+        if self._convergence != "update":
+            raise ConfigurationError(
+                "batched NR only supports the 'update' convergence criterion"
+            )
+        from repro.core.batch import BatchNewtonRaphsonSolver
+
+        return BatchNewtonRaphsonSolver(
+            max_iterations=self._max_iterations,
+            tolerance_meters=self._tolerance,
+            initial_state=self._initial_state,
+        )
+
     def solve(self, epoch: ObservationEpoch) -> PositionFix:
         self._require_satellites(epoch)
         positions = epoch.satellite_positions()  # (m, 3)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.clocks.prediction import ClockBiasPredictor, LinearClockBiasPredictor
 from repro.core.base import PositioningAlgorithm
@@ -223,6 +223,15 @@ class GpsReceiver:
             self._residual_history.append(fix.residual_norm)
         self._stats["closed_form_fixes"] += 1
         return fix
+
+    def process_many(self, epochs: "Iterable[ObservationEpoch]") -> "List[PositionFix]":
+        """Process an epoch stream in order, returning one fix per epoch.
+
+        Equivalent to calling :meth:`process` in a loop; exists so bulk
+        replay (and the parallel executor in :mod:`repro.engine`) has a
+        single picklable entry point per receiver.
+        """
+        return [self.process(epoch) for epoch in epochs]
 
     def _checked_solve(self, epoch: ObservationEpoch):
         """Solve one epoch, through RAIM when enabled and possible."""

@@ -1,0 +1,38 @@
+"""High-throughput positioning engine (the bulk/service-scale path).
+
+Three layers, composable but independently useful:
+
+* :mod:`repro.engine.scheduler` — mixed-size batch scheduling: bucket
+  an arbitrary epoch stream by satellite count so the stacked-tensor
+  solvers of :mod:`repro.core.batch` apply, and scatter results back
+  into stream order.
+* :mod:`repro.engine.pipeline` — :class:`PositioningEngine`, the
+  bucket-and-batch dispatcher: a whole mixed stream solved in a
+  handful of vectorized calls (batched NR / DLO / DLG with the
+  Sherman-Morrison covariance fast path).
+* :mod:`repro.engine.parallel` — :class:`ParallelReplay`, chunked
+  multi-core replay of long datasets through full
+  :class:`~repro.core.receiver.GpsReceiver` pipelines.
+
+Where :class:`~repro.core.receiver.GpsReceiver` is the *latency* path
+(one epoch at a time, adaptive), this package is the *throughput* path
+(epochs by the thousand, vectorized and parallel) — the workload shape
+of the ROADMAP's production-scale service.
+"""
+
+from repro.engine.scheduler import (
+    EpochBucket,
+    bucket_epochs,
+    scatter_bucket_results,
+)
+from repro.engine.pipeline import EngineResult, PositioningEngine
+from repro.engine.parallel import ParallelReplay
+
+__all__ = [
+    "EpochBucket",
+    "bucket_epochs",
+    "scatter_bucket_results",
+    "EngineResult",
+    "PositioningEngine",
+    "ParallelReplay",
+]

@@ -1,0 +1,179 @@
+"""The throughput pipeline: mixed stream in, vectorized fixes out.
+
+:class:`PositioningEngine` is the bulk counterpart of
+:class:`~repro.core.receiver.GpsReceiver`: where the receiver answers
+one epoch at a time with full adaptive machinery (warm-up, residual
+gates, fallbacks), the engine answers a whole stream at once with the
+stacked-tensor solvers — the shape a post-processing service or a
+high-rate tracking backend actually runs.  The stream may mix
+satellite counts freely; the engine buckets it
+(:func:`~repro.engine.scheduler.bucket_epochs`), dispatches each
+bucket to the batched solver, and scatters the results back into
+stream order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.clocks.prediction import ClockBiasPredictor
+from repro.core.batch import (
+    BatchDLGSolver,
+    BatchDLOSolver,
+    BatchNewtonRaphsonSolver,
+)
+from repro.engine.scheduler import bucket_epochs, scatter_bucket_results
+from repro.errors import ConfigurationError, GeometryError
+from repro.observations import ObservationEpoch
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Results of one :meth:`PositioningEngine.solve_stream` call.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` receiver positions, row ``i`` answering stream
+        epoch ``i``.
+    clock_biases:
+        ``(N,)`` receiver clock biases in meters: the *predicted*
+        biases for DLO/DLG (which consume them), the *solved* biases
+        for NR (which estimates them).
+    algorithm:
+        Which batched solver produced the fixes.
+    bucket_sizes:
+        Stream composition: ``{satellite_count: epochs}``.
+    """
+
+    positions: np.ndarray
+    clock_biases: np.ndarray
+    algorithm: str
+    bucket_sizes: Dict[int, int]
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+
+class PositioningEngine:
+    """Bucket-and-batch dispatcher around the stacked solvers.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"dlo"``, ``"dlg"`` (closed-form, need clock biases) or
+        ``"nr"`` (iterative baseline, solves its own bias).
+    clock_predictor:
+        Bias source for DLO/DLG when :meth:`solve_stream` is not given
+        explicit biases — typically a warmed-up
+        :class:`~repro.clocks.prediction.LinearClockBiasPredictor`.
+        Unused by NR.
+    nr_solver:
+        Optional pre-configured batched NR (tolerances, warm start).
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "dlg",
+        clock_predictor: Optional[ClockBiasPredictor] = None,
+        nr_solver: Optional[BatchNewtonRaphsonSolver] = None,
+    ) -> None:
+        algorithm = algorithm.lower()
+        if algorithm not in ("dlo", "dlg", "nr"):
+            raise ConfigurationError(
+                f"algorithm must be one of dlo/dlg/nr, got {algorithm!r}"
+            )
+        self._algorithm = algorithm
+        self._predictor = clock_predictor
+        self._nr = nr_solver if nr_solver is not None else BatchNewtonRaphsonSolver()
+        self._dlo = BatchDLOSolver()
+        self._dlg = BatchDLGSolver()
+
+    @property
+    def algorithm(self) -> str:
+        """The configured algorithm name."""
+        return self._algorithm
+
+    def _resolve_biases(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Optional[Sequence[float]],
+    ) -> np.ndarray:
+        if biases is not None:
+            resolved = np.asarray(biases, dtype=float)
+            if resolved.shape != (len(epochs),):
+                raise ConfigurationError(
+                    f"biases must be one per epoch: expected ({len(epochs)},), "
+                    f"got {resolved.shape}"
+                )
+            return resolved
+        if self._predictor is not None:
+            return np.array(
+                [self._predictor.predict_bias_meters(epoch.time) for epoch in epochs]
+            )
+        return np.zeros(len(epochs))
+
+    def solve_stream(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Optional[Sequence[float]] = None,
+    ) -> EngineResult:
+        """Solve an arbitrary mixed-count epoch stream in one call.
+
+        Parameters
+        ----------
+        epochs:
+            The stream, in any satellite-count mix.  Every epoch needs
+            at least 4 satellites.
+        biases:
+            Optional explicit per-epoch clock biases (meters) for
+            DLO/DLG; defaults to the configured predictor, or zero for
+            already clock-free pseudoranges.  Ignored by NR.
+
+        Results come back aligned with the input: row ``i`` of
+        ``positions`` answers ``epochs[i]`` regardless of how the
+        stream was bucketed internally.
+        """
+        epochs = list(epochs)
+        if not epochs:
+            raise GeometryError("solve_stream needs at least one epoch")
+        stream_biases = self._resolve_biases(epochs, biases)
+
+        buckets = bucket_epochs(epochs)
+        too_small = [b.satellite_count for b in buckets if b.satellite_count < 4]
+        if too_small:
+            raise GeometryError(
+                f"stream contains epochs with fewer than 4 satellites "
+                f"(counts {too_small}); filter or augment them before solving"
+            )
+
+        position_blocks = []
+        bias_blocks = []
+        for bucket in buckets:
+            if self._algorithm == "nr":
+                record = self._nr.solve_batch_full(bucket.epochs)
+                if not np.all(record.converged):
+                    stuck = [
+                        bucket.indices[i]
+                        for i in np.flatnonzero(~record.converged)
+                    ]
+                    raise GeometryError(
+                        f"NR failed to converge for stream epochs {stuck}"
+                    )
+                position_blocks.append(record.positions)
+                bias_blocks.append(record.clock_biases)
+            else:
+                bucket_biases = stream_biases[np.asarray(bucket.indices, dtype=int)]
+                solver = self._dlo if self._algorithm == "dlo" else self._dlg
+                position_blocks.append(solver.solve_batch(bucket.epochs, bucket_biases))
+                bias_blocks.append(bucket_biases)
+
+        return EngineResult(
+            positions=scatter_bucket_results(buckets, position_blocks, len(epochs)),
+            clock_biases=scatter_bucket_results(buckets, bias_blocks, len(epochs)),
+            algorithm=self._algorithm,
+            bucket_sizes={b.satellite_count: len(b) for b in buckets},
+        )

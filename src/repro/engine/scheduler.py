@@ -1,0 +1,119 @@
+"""Mixed-size batch scheduling: bucket epochs so stacked solvers apply.
+
+The stacked-tensor solvers in :mod:`repro.core.batch` require every
+epoch in a batch to share a satellite count — but a real observation
+stream (a day of station data, a fleet of rovers) mixes counts freely
+as satellites rise and set.  The scheduler closes that gap: it buckets
+a stream by satellite count *while remembering where each epoch came
+from*, so bucket results can be scattered back into the original
+stream order.  Bucketing is O(N) and allocation-light; it is the only
+bookkeeping between an arbitrary stream and a fully vectorized solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch
+
+
+@dataclass(frozen=True)
+class EpochBucket:
+    """Same-satellite-count epochs with their original stream indices.
+
+    Attributes
+    ----------
+    satellite_count:
+        The shared satellite count ``m`` of every epoch in the bucket.
+    indices:
+        Positions of these epochs in the original stream, in stream
+        order — the scatter key for reassembling results.
+    epochs:
+        The epochs themselves, aligned with ``indices``.
+    """
+
+    satellite_count: int
+    indices: Tuple[int, ...]
+    epochs: Tuple[ObservationEpoch, ...]
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+def bucket_epochs(epochs: Sequence[ObservationEpoch]) -> List[EpochBucket]:
+    """Bucket a mixed stream by satellite count, preserving provenance.
+
+    Returns buckets sorted by satellite count (deterministic dispatch
+    order); within each bucket epochs keep their relative stream order.
+    """
+    by_count: "dict[int, List[int]]" = {}
+    for index, epoch in enumerate(epochs):
+        by_count.setdefault(epoch.satellite_count, []).append(index)
+    return [
+        EpochBucket(
+            satellite_count=count,
+            indices=tuple(indices),
+            epochs=tuple(epochs[i] for i in indices),
+        )
+        for count, indices in sorted(by_count.items())
+    ]
+
+
+def scatter_bucket_results(
+    buckets: Sequence[EpochBucket],
+    results: Sequence[np.ndarray],
+    total: int,
+) -> np.ndarray:
+    """Reassemble per-bucket result rows into original stream order.
+
+    Parameters
+    ----------
+    buckets:
+        The buckets produced by :func:`bucket_epochs`.
+    results:
+        One array per bucket, first dimension aligned with the
+        bucket's epochs (e.g. ``(len(bucket), 3)`` positions).
+    total:
+        Length of the original stream; every index ``0..total-1`` must
+        be covered exactly once.
+
+    Returns
+    -------
+    An array of shape ``(total, ...)`` where row ``i`` is the result
+    for stream epoch ``i``.
+    """
+    if len(buckets) != len(results):
+        raise ConfigurationError(
+            f"{len(buckets)} buckets but {len(results)} result arrays"
+        )
+    filled = np.zeros(total, dtype=bool)
+    output = None
+    for bucket, rows in zip(buckets, results):
+        rows = np.asarray(rows)
+        if rows.shape[0] != len(bucket):
+            raise ConfigurationError(
+                f"bucket of {len(bucket)} epochs got {rows.shape[0]} result rows"
+            )
+        if output is None:
+            output = np.empty((total,) + rows.shape[1:], dtype=rows.dtype)
+        indices = np.asarray(bucket.indices, dtype=int)
+        if (
+            np.any(indices < 0)
+            or np.any(indices >= total)
+            or np.any(filled[indices])
+            or np.unique(indices).size != indices.size
+        ):
+            raise ConfigurationError(
+                "bucket indices must cover the stream without overlap"
+            )
+        filled[indices] = True
+        output[indices] = rows
+    if output is None or not np.all(filled):
+        raise ConfigurationError(
+            "bucket indices do not cover every stream position"
+        )
+    return output

@@ -22,6 +22,12 @@ from repro.estimation.leastsquares import (
     gls_solve_whitened,
     gls_solve_full,
 )
+from repro.estimation.structured import (
+    apply_inverse_diag_rank1,
+    batched_apply_inverse_diag_rank1,
+    batched_gls_solve_diag_rank1,
+    gls_solve_diag_rank1,
+)
 
 __all__ = [
     "cholesky_solve",
@@ -34,4 +40,8 @@ __all__ = [
     "gls_solve",
     "gls_solve_whitened",
     "gls_solve_full",
+    "apply_inverse_diag_rank1",
+    "batched_apply_inverse_diag_rank1",
+    "batched_gls_solve_diag_rank1",
+    "gls_solve_diag_rank1",
 ]

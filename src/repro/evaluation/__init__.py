@@ -10,7 +10,12 @@ from repro.evaluation.metrics import (
     accuracy_rate,
     execution_time_rate,
 )
-from repro.evaluation.timing import time_solver
+from repro.evaluation.timing import (
+    TimingStats,
+    time_callable,
+    time_solver,
+    time_solver_stats,
+)
 from repro.evaluation.experiments import (
     ExperimentConfig,
     StationPipeline,
@@ -32,7 +37,10 @@ __all__ = [
     "absolute_error",
     "accuracy_rate",
     "execution_time_rate",
+    "TimingStats",
+    "time_callable",
     "time_solver",
+    "time_solver_stats",
     "ExperimentConfig",
     "StationPipeline",
     "StationResult",

@@ -4,17 +4,122 @@ The paper measures wall-clock execution time per positioning request
 (Section 5.3).  :func:`time_solver` measures exactly that — the
 ``solve`` call, nothing else — over a batch of epochs, with warm-up
 rounds and best-of-``repeats`` aggregation to suppress interpreter and
-scheduler noise.
+scheduler noise.  :func:`time_solver_stats` returns the full
+distribution over passes (mean/p50/p95) for benchmark records, and
+:func:`time_callable` times arbitrary bulk operations (batched solves,
+parallel replays) on the same per-item nanosecond scale so scalar and
+batched paths land in one comparable table.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.core.base import PositioningAlgorithm
 from repro.errors import ConfigurationError
 from repro.observations import ObservationEpoch
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Per-item timing distribution over repeated timed passes.
+
+    All times are nanoseconds per item (epoch/fix).  Percentiles are
+    taken over the per-pass means — with the usual 3-10 repeats they
+    are coarse but catch the asymmetry that a lone mean hides (GC
+    pauses and scheduler preemption only ever slow a pass down).
+
+    Attributes
+    ----------
+    best_ns:
+        Fastest pass's mean — the cost of the computation itself.
+    mean_ns, p50_ns, p95_ns:
+        Mean, median, and 95th percentile over passes.
+    repeats:
+        Timed passes the record aggregates.
+    items:
+        Items (epochs) per pass.
+    """
+
+    best_ns: float
+    mean_ns: float
+    p50_ns: float
+    p95_ns: float
+    repeats: int
+    items: int
+
+    @property
+    def items_per_second(self) -> float:
+        """Best-pass throughput in items (fixes) per second."""
+        return 1e9 / self.best_ns
+
+
+def _percentile(sorted_values: "list[float]", fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    rank = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def time_callable(
+    operation: Callable[[], object],
+    items: int,
+    repeats: int = 3,
+    warmup_rounds: int = 1,
+) -> TimingStats:
+    """Time a bulk operation covering ``items`` items per call.
+
+    The generalization of :func:`time_solver` to batched/parallel
+    paths: ``operation`` is invoked once per pass (it may internally
+    process thousands of epochs), and the per-pass wall time is
+    divided by ``items`` so results compare directly against scalar
+    per-solve numbers.
+    """
+    if items < 1:
+        raise ConfigurationError("items must be at least 1")
+    if repeats < 1:
+        raise ConfigurationError("repeats must be at least 1")
+    for _ in range(warmup_rounds):
+        operation()
+    per_item: "list[float]" = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        operation()
+        per_item.append((time.perf_counter_ns() - start) / items)
+    ordered = sorted(per_item)
+    return TimingStats(
+        best_ns=ordered[0],
+        mean_ns=sum(per_item) / len(per_item),
+        p50_ns=_percentile(ordered, 0.50),
+        p95_ns=_percentile(ordered, 0.95),
+        repeats=repeats,
+        items=items,
+    )
+
+
+def time_solver_stats(
+    solver: PositioningAlgorithm,
+    epochs: Sequence[ObservationEpoch],
+    repeats: int = 3,
+    warmup_rounds: int = 1,
+) -> TimingStats:
+    """Per-solve timing distribution for a solver over epochs.
+
+    Same measurement protocol as :func:`time_solver` (warm-up passes,
+    then ``repeats`` timed passes over the whole batch), but keeping
+    every pass instead of only the best one.
+    """
+    if not epochs:
+        raise ConfigurationError("cannot time a solver over zero epochs")
+
+    def run_pass() -> None:
+        for epoch in epochs:
+            solver.solve(epoch)
+
+    return time_callable(
+        run_pass, items=len(epochs), repeats=repeats, warmup_rounds=warmup_rounds
+    )
 
 
 def time_solver(
@@ -29,22 +134,9 @@ def time_solver(
     benefits: allocator, caches, branch history), then ``repeats`` timed
     passes over the whole batch, returning the *best* pass's mean —
     the standard way to estimate the cost of the computation itself
-    rather than of background noise.
+    rather than of background noise.  Use :func:`time_solver_stats`
+    for the full per-pass distribution.
     """
-    if not epochs:
-        raise ConfigurationError("cannot time a solver over zero epochs")
-    if repeats < 1:
-        raise ConfigurationError("repeats must be at least 1")
-
-    for _ in range(warmup_rounds):
-        for epoch in epochs:
-            solver.solve(epoch)
-
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter_ns()
-        for epoch in epochs:
-            solver.solve(epoch)
-        elapsed = time.perf_counter_ns() - start
-        best = min(best, elapsed / len(epochs))
-    return best
+    return time_solver_stats(
+        solver, epochs, repeats=repeats, warmup_rounds=warmup_rounds
+    ).best_ns

@@ -7,11 +7,13 @@ from repro.clocks import OracleClockBiasPredictor
 from repro.core import (
     BatchDLGSolver,
     BatchDLOSolver,
+    BatchNewtonRaphsonSolver,
     DLGSolver,
     DLOSolver,
+    NewtonRaphsonSolver,
     group_epochs_by_count,
 )
-from repro.errors import GeometryError
+from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 
 
 @pytest.fixture
@@ -109,6 +111,122 @@ class TestValidation:
     def test_rejects_huge_bias(self, make_epoch):
         with pytest.raises(GeometryError, match="non-positive"):
             BatchDLOSolver().solve_batch([make_epoch(count=8)], [1e9])
+
+
+class TestSingleEpochBatch:
+    def test_dlo_single_epoch_equals_scalar_bitwise(self, make_epoch):
+        """A 1-epoch batch must reproduce the scalar solve bit-for-bit
+        up to the (documented) difference in 3x3 solve routine."""
+        epoch = make_epoch(bias_meters=0.0, count=8, noise_sigma=1.0, seed=5)
+        stacked = BatchDLOSolver().solve_batch([epoch], [0.0])
+        single = DLOSolver().solve(epoch)
+        np.testing.assert_allclose(stacked[0], single.position, rtol=1e-12)
+
+    def test_dlg_single_epoch_equals_scalar(self, make_epoch):
+        epoch = make_epoch(bias_meters=0.0, count=8, noise_sigma=1.0, seed=6)
+        stacked = BatchDLGSolver().solve_batch([epoch], [0.0])
+        single = DLGSolver().solve(epoch)
+        np.testing.assert_allclose(stacked[0], single.position, rtol=1e-12)
+
+    def test_nr_single_epoch_equals_scalar(self, make_epoch):
+        epoch = make_epoch(bias_meters=25.0, count=8, noise_sigma=1.0, seed=7)
+        stacked = BatchNewtonRaphsonSolver().solve_batch([epoch])
+        single = NewtonRaphsonSolver().solve(epoch)
+        np.testing.assert_allclose(stacked[0], single.position, atol=1e-6)
+
+
+class TestBatchNewtonRaphson:
+    def test_matches_scalar_across_batch(self, batch):
+        epochs, _biases = batch
+        full = BatchNewtonRaphsonSolver().solve_batch_full(epochs)
+        scalar = NewtonRaphsonSolver()
+        for i, epoch in enumerate(epochs):
+            fix = scalar.solve(epoch)
+            np.testing.assert_allclose(full.positions[i], fix.position, atol=1e-6)
+            assert full.clock_biases[i] == pytest.approx(
+                fix.clock_bias_meters, abs=1e-6
+            )
+            assert full.iterations[i] == fix.iterations
+        assert full.converged.all()
+
+    def test_active_set_masks_converged_epochs(self, make_epoch):
+        # A warm-started epoch converges immediately; a cold batch mate
+        # needs the usual handful of iterations.  Per-epoch iteration
+        # counts prove the converged epoch dropped out of the loop.
+        near = make_epoch(bias_meters=10.0, count=8, noise_sigma=0.0, seed=1)
+        far = make_epoch(
+            truth_position=np.array([-2694045.0, -4293642.0, 3857878.0]),
+            bias_meters=10.0,
+            count=8,
+            noise_sigma=0.0,
+            seed=2,
+        )
+        epochs = [near, far]
+        truth = near.truth.receiver_position
+        warm = np.array([truth[0], truth[1], truth[2], 10.0])
+        solver = BatchNewtonRaphsonSolver(initial_state=warm)
+        full = solver.solve_batch_full(epochs)
+        assert full.converged.all()
+        assert full.iterations[0] < full.iterations[1]
+
+    def test_unconverged_raises_with_count(self, batch):
+        epochs, _ = batch
+        solver = BatchNewtonRaphsonSolver(max_iterations=2)
+        with pytest.raises(ConvergenceError, match="did not converge"):
+            solver.solve_batch(epochs)
+        # ... but the full record reports partial results instead.
+        full = solver.solve_batch_full(epochs)
+        assert not full.converged.any()
+        assert np.all(full.iterations == 2)
+
+    def test_rejects_mixed_counts(self, make_epoch):
+        epochs = [make_epoch(count=8), make_epoch(count=9)]
+        with pytest.raises(GeometryError, match="same satellite count"):
+            BatchNewtonRaphsonSolver().solve_batch(epochs)
+
+    def test_rejects_empty_and_too_few(self, make_epoch):
+        with pytest.raises(GeometryError, match="at least one"):
+            BatchNewtonRaphsonSolver().solve_batch([])
+        with pytest.raises(GeometryError, match="at least 4"):
+            BatchNewtonRaphsonSolver().solve_batch([make_epoch(count=3)])
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ConfigurationError):
+            BatchNewtonRaphsonSolver(max_iterations=0)
+        with pytest.raises(ConfigurationError):
+            BatchNewtonRaphsonSolver(tolerance_meters=0.0)
+        with pytest.raises(ConfigurationError):
+            BatchNewtonRaphsonSolver(initial_state=np.ones(3))
+
+    def test_as_batch_shares_configuration(self, batch):
+        epochs, _ = batch
+        scalar = NewtonRaphsonSolver(max_iterations=30, tolerance_meters=1e-5)
+        batched = scalar.as_batch()
+        np.testing.assert_allclose(
+            batched.solve_batch(epochs),
+            np.stack([scalar.solve(e).position for e in epochs]),
+            atol=1e-6,
+        )
+
+    def test_as_batch_rejects_unbatchable_modes(self):
+        with pytest.raises(ConfigurationError, match="elevation"):
+            NewtonRaphsonSolver(elevation_weighted=True).as_batch()
+        with pytest.raises(ConfigurationError, match="convergence"):
+            NewtonRaphsonSolver(convergence="residual").as_batch()
+
+
+class TestNonPositiveCorrectedPseudoranges:
+    def test_dlg_rejects_bias_exceeding_range(self, make_epoch):
+        # A predicted bias larger than the pseudorange makes the
+        # corrected pseudorange non-positive — the eq. 4-26 covariance
+        # would still be PD, but the linearization is meaningless.
+        with pytest.raises(GeometryError, match="non-positive"):
+            BatchDLGSolver().solve_batch([make_epoch(count=8)], [3e7])
+
+    def test_mixed_good_and_bad_epochs_rejected(self, make_epoch):
+        epochs = [make_epoch(count=8, seed=1), make_epoch(count=8, seed=2)]
+        with pytest.raises(GeometryError, match="non-positive"):
+            BatchDLGSolver().solve_batch(epochs, [0.0, 5e7])
 
 
 class TestGrouping:

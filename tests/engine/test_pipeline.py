@@ -1,0 +1,98 @@
+"""Tests for the PositioningEngine bucket-and-batch dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.core import DLGSolver, DLOSolver, NewtonRaphsonSolver
+from repro.engine import PositioningEngine
+from repro.errors import ConfigurationError, GeometryError
+
+BIAS = 21.0
+
+
+class _FixedBias:
+    is_ready = True
+
+    def observe(self, time, bias_meters): ...
+
+    def predict_bias_meters(self, time):
+        return BIAS
+
+
+@pytest.fixture
+def mixed_stream(make_epoch):
+    """A mixed-count stream with a constant, known clock bias."""
+    return [
+        make_epoch(bias_meters=BIAS, count=7 + (i % 4), noise_sigma=1.0, seed=i)
+        for i in range(24)
+    ]
+
+
+class TestSolveStream:
+    @pytest.mark.parametrize("algorithm", ["dlo", "dlg", "nr"])
+    def test_result_aligned_with_input_order(self, mixed_stream, algorithm):
+        engine = PositioningEngine(algorithm=algorithm)
+        result = engine.solve_stream(mixed_stream, biases=[BIAS] * len(mixed_stream))
+        assert result.positions.shape == (len(mixed_stream), 3)
+        assert result.algorithm == algorithm
+        assert sum(result.bucket_sizes.values()) == len(mixed_stream)
+        truth = np.stack([e.truth.receiver_position for e in mixed_stream])
+        # Row i must answer epoch i: every fix lands near its own truth.
+        assert np.all(np.linalg.norm(result.positions - truth, axis=1) < 30.0)
+
+    def test_matches_scalar_solvers_epoch_by_epoch(self, mixed_stream):
+        biases = [BIAS] * len(mixed_stream)
+        dlo = PositioningEngine(algorithm="dlo").solve_stream(mixed_stream, biases)
+        dlg = PositioningEngine(algorithm="dlg").solve_stream(mixed_stream, biases)
+        nr = PositioningEngine(algorithm="nr").solve_stream(mixed_stream, biases)
+        scalar_dlo = DLOSolver(_FixedBias())
+        scalar_dlg = DLGSolver(_FixedBias())
+        scalar_nr = NewtonRaphsonSolver()
+        for i, epoch in enumerate(mixed_stream):
+            np.testing.assert_allclose(
+                dlo.positions[i], scalar_dlo.solve(epoch).position, atol=1e-6
+            )
+            np.testing.assert_allclose(
+                dlg.positions[i], scalar_dlg.solve(epoch).position, atol=1e-6
+            )
+            np.testing.assert_allclose(
+                nr.positions[i], scalar_nr.solve(epoch).position, atol=1e-6
+            )
+
+    def test_nr_reports_solved_biases(self, mixed_stream):
+        result = PositioningEngine(algorithm="nr").solve_stream(mixed_stream)
+        np.testing.assert_allclose(result.clock_biases, BIAS, atol=5.0)
+
+    def test_closed_form_uses_predictor_when_no_biases(self, mixed_stream):
+        engine = PositioningEngine(algorithm="dlg", clock_predictor=_FixedBias())
+        explicit = PositioningEngine(algorithm="dlg").solve_stream(
+            mixed_stream, biases=[BIAS] * len(mixed_stream)
+        )
+        predicted = engine.solve_stream(mixed_stream)
+        np.testing.assert_allclose(predicted.positions, explicit.positions)
+        np.testing.assert_allclose(predicted.clock_biases, BIAS)
+
+    def test_engine_result_len(self, mixed_stream):
+        result = PositioningEngine(algorithm="dlo").solve_stream(
+            mixed_stream, biases=[BIAS] * len(mixed_stream)
+        )
+        assert len(result) == len(mixed_stream)
+
+
+class TestValidation:
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError, match="dlo/dlg/nr"):
+            PositioningEngine(algorithm="bancroft")
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(GeometryError, match="at least one"):
+            PositioningEngine().solve_stream([])
+
+    def test_rejects_bias_shape_mismatch(self, mixed_stream):
+        with pytest.raises(ConfigurationError, match="one per epoch"):
+            PositioningEngine().solve_stream(mixed_stream, biases=[BIAS])
+
+    def test_rejects_small_epochs_with_counts(self, make_epoch):
+        stream = [make_epoch(count=8), make_epoch(count=3)]
+        with pytest.raises(GeometryError, match="fewer than 4"):
+            PositioningEngine().solve_stream(stream, biases=[0.0, 0.0])

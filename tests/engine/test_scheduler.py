@@ -1,0 +1,80 @@
+"""Tests for mixed-size batch scheduling (bucket/scatter round-trip)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import EpochBucket, bucket_epochs, scatter_bucket_results
+from repro.errors import ConfigurationError
+
+
+class TestBucketing:
+    def test_buckets_by_count_preserving_stream_order(self, make_epoch):
+        epochs = [
+            make_epoch(count=8, seed=0),
+            make_epoch(count=9, seed=1),
+            make_epoch(count=8, seed=2),
+            make_epoch(count=7, seed=3),
+            make_epoch(count=9, seed=4),
+        ]
+        buckets = bucket_epochs(epochs)
+        assert [b.satellite_count for b in buckets] == [7, 8, 9]
+        assert buckets[0].indices == (3,)
+        assert buckets[1].indices == (0, 2)
+        assert buckets[2].indices == (1, 4)
+        for bucket in buckets:
+            for index, epoch in zip(bucket.indices, bucket.epochs):
+                assert epoch is epochs[index]
+
+    def test_empty_stream_gives_no_buckets(self):
+        assert bucket_epochs([]) == []
+
+    def test_bucket_len(self, make_epoch):
+        (bucket,) = bucket_epochs([make_epoch(count=8), make_epoch(count=8, seed=1)])
+        assert len(bucket) == 2
+
+
+class TestScatter:
+    def test_round_trips_epoch_order(self, make_epoch):
+        epochs = [make_epoch(count=7 + (i % 3), seed=i) for i in range(11)]
+        buckets = bucket_epochs(epochs)
+        # Tag every bucket row with its stream index; scattering must
+        # put index i back at row i.
+        tagged = [
+            np.asarray(bucket.indices, dtype=float)[:, None] * np.ones((1, 3))
+            for bucket in buckets
+        ]
+        scattered = scatter_bucket_results(buckets, tagged, len(epochs))
+        np.testing.assert_array_equal(scattered[:, 0], np.arange(len(epochs)))
+
+    def test_scatter_1d_results(self, make_epoch):
+        epochs = [make_epoch(count=7 + (i % 2), seed=i) for i in range(6)]
+        buckets = bucket_epochs(epochs)
+        tagged = [np.asarray(b.indices, dtype=float) for b in buckets]
+        scattered = scatter_bucket_results(buckets, tagged, len(epochs))
+        np.testing.assert_array_equal(scattered, np.arange(6.0))
+
+    def test_rejects_result_count_mismatch(self, make_epoch):
+        buckets = bucket_epochs([make_epoch(count=8)])
+        with pytest.raises(ConfigurationError, match="result arrays"):
+            scatter_bucket_results(buckets, [], 1)
+
+    def test_rejects_row_count_mismatch(self, make_epoch):
+        buckets = bucket_epochs([make_epoch(count=8)])
+        with pytest.raises(ConfigurationError, match="result rows"):
+            scatter_bucket_results(buckets, [np.zeros((2, 3))], 1)
+
+    def test_rejects_incomplete_coverage(self, make_epoch):
+        epochs = [make_epoch(count=8, seed=0), make_epoch(count=8, seed=1)]
+        buckets = [
+            EpochBucket(satellite_count=8, indices=(0,), epochs=(epochs[0],))
+        ]
+        with pytest.raises(ConfigurationError, match="cover"):
+            scatter_bucket_results(buckets, [np.zeros((1, 3))], 2)
+
+    def test_rejects_overlapping_indices(self, make_epoch):
+        epoch = make_epoch(count=8)
+        buckets = [
+            EpochBucket(satellite_count=8, indices=(0, 0), epochs=(epoch, epoch))
+        ]
+        with pytest.raises(ConfigurationError, match="overlap"):
+            scatter_bucket_results(buckets, [np.zeros((2, 3))], 2)

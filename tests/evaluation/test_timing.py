@@ -7,7 +7,7 @@ import pytest
 from repro.core import PositionFix
 from repro.core.base import PositioningAlgorithm
 from repro.errors import ConfigurationError
-from repro.evaluation import time_solver
+from repro.evaluation import TimingStats, time_callable, time_solver, time_solver_stats
 
 
 class SleepySolver(PositioningAlgorithm):
@@ -53,3 +53,56 @@ class TestTimeSolver:
     def test_rejects_zero_repeats(self, make_epoch):
         with pytest.raises(ConfigurationError):
             time_solver(SleepySolver(0.0), [make_epoch()], repeats=0)
+
+
+class TestTimeSolverStats:
+    def test_returns_full_record(self, make_epoch):
+        stats = time_solver_stats(SleepySolver(0.001), [make_epoch()] * 4, repeats=3)
+        assert isinstance(stats, TimingStats)
+        assert stats.repeats == 3
+        assert stats.items == 4
+        assert stats.mean_ns == pytest.approx(1e6, rel=0.5)
+
+    def test_percentiles_ordered(self, make_epoch):
+        stats = time_solver_stats(SleepySolver(0.0005), [make_epoch()] * 3, repeats=5)
+        assert stats.best_ns <= stats.p50_ns <= stats.p95_ns
+
+    def test_mean_covers_all_passes(self, make_epoch):
+        stats = time_solver_stats(SleepySolver(0.0005), [make_epoch()] * 3, repeats=5)
+        assert stats.best_ns <= stats.mean_ns
+
+    def test_items_per_second_inverts_best(self, make_epoch):
+        stats = time_solver_stats(SleepySolver(0.001), [make_epoch()] * 2, repeats=2)
+        assert stats.items_per_second == pytest.approx(1e9 / stats.best_ns)
+
+    def test_time_solver_returns_best_pass_mean(self, make_epoch):
+        epochs = [make_epoch()] * 3
+        best = time_solver(SleepySolver(0.0005), epochs, repeats=2)
+        assert best == pytest.approx(5e5, rel=0.5)
+
+
+class TestTimeCallable:
+    def test_times_bulk_operation_per_item(self):
+        def bulk():
+            deadline = time.perf_counter() + 0.004
+            while time.perf_counter() < deadline:
+                pass
+
+        stats = time_callable(bulk, items=4, repeats=2)
+        assert stats.best_ns == pytest.approx(1e6, rel=0.5)
+        assert stats.items == 4
+
+    def test_warmup_runs_before_timing(self):
+        calls = {"n": 0}
+
+        def bulk():
+            calls["n"] += 1
+
+        time_callable(bulk, items=1, repeats=2, warmup_rounds=3)
+        assert calls["n"] == 5
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, items=0)
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, items=1, repeats=0)

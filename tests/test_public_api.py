@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.signals",
     "repro.estimation",
     "repro.core",
+    "repro.engine",
     "repro.dgps",
     "repro.motion",
     "repro.stations",
