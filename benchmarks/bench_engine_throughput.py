@@ -28,6 +28,7 @@ import json
 import os
 import platform
 import sys
+import time
 from typing import Dict, List
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro import (
     NewtonRaphsonSolver,
     ParallelReplay,
     PositioningEngine,
+    telemetry,
 )
 from repro.evaluation import TimingStats, time_callable, time_solver_stats
 from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
@@ -198,6 +200,85 @@ def run(epoch_count: int, repeats: int, workers: int, output: str) -> Dict:
             f"{stats.items_per_second:10.0f} fixes/s"
         )
 
+    # -------------------------------------------- telemetry overhead gate
+    # The zero-cost-when-disabled contract, measured: the batched DLG
+    # path timed with telemetry uninstalled (the shipping default) and
+    # with a live registry+tracer installed.  The *enabled* overhead is
+    # a hard upper bound on what the disabled path can possibly pay, so
+    # gating it keeps the hot path honest without needing a stored
+    # pre-instrumentation baseline from the same machine.  Measured on
+    # CPU time with off/on passes interleaved (alternating order), so a
+    # shared CI box's scheduler preemption and thermal drift cannot
+    # masquerade as instrumentation cost.  The stream is always at
+    # least 1000 epochs here, whatever --quick trimmed the main matrix
+    # to: instrumentation has a small fixed per-stream cost (stream
+    # counters, span setup) that a 200-epoch stream inflates ~5x
+    # relative to production stream shapes, which is the regression
+    # this gate exists to catch.
+    if len(epochs) >= 1000:
+        overhead_epochs, overhead_biases = epochs, biases
+    else:
+        overhead_epochs = synthetic_stream(1000)
+        overhead_biases = np.full(len(overhead_epochs), BIAS_METERS)
+    overhead_engine = PositioningEngine(algorithm="dlg")
+    # Rounds are cheap (two ~10 ms passes each), and shared boxes have
+    # multi-second noise episodes, so run enough of them to see past
+    # one episode.
+    overhead_rounds = max(25, repeats + 2)
+    # One long-lived registry/tracer for every enabled pass: metric
+    # families are created once, as in a real deployment, instead of
+    # re-created inside each timed pass.
+    on_registry = telemetry.MetricsRegistry()
+    on_tracer = telemetry.SpanTracer()
+
+    def _cpu_pass() -> float:
+        start = time.process_time_ns()
+        overhead_engine.solve_stream(overhead_epochs, biases=overhead_biases)
+        return float(time.process_time_ns() - start)
+
+    def _on_pass() -> float:
+        telemetry.install(registry=on_registry, tracer=on_tracer)
+        try:
+            return _cpu_pass()
+        finally:
+            telemetry.uninstall()
+
+    telemetry.uninstall()
+    _cpu_pass()  # warm the disabled path
+    _on_pass()  # warm the enabled path + create metric families
+    off_ns: List[float] = []
+    on_ns: List[float] = []
+    for round_index in range(overhead_rounds):
+        if round_index % 2 == 0:
+            off_ns.append(_cpu_pass())
+            on_ns.append(_on_pass())
+        else:
+            on_ns.append(_on_pass())
+            off_ns.append(_cpu_pass())
+    off_best = min(off_ns) / len(overhead_epochs)
+    on_best = min(on_ns) / len(overhead_epochs)
+    # Each round's off and on passes are adjacent in time, so their
+    # ratio cancels slow drift.  A preempted pass inflates (or, on the
+    # off side, deflates) individual ratios by far more than the
+    # instrumentation costs, so gate on the lower quartile: noise
+    # episodes are trimmed away, while a genuine regression — which
+    # shifts the entire distribution — still registers in full.
+    ratios = sorted(on / off for on, off in zip(on_ns, off_ns))
+    enabled_overhead = ratios[len(ratios) // 4] - 1.0
+    results["telemetry_overhead"] = {
+        "batched_dlg_disabled_cpu_ns_per_fix": off_best,
+        "batched_dlg_enabled_cpu_ns_per_fix": on_best,
+        "enabled_overhead_fraction": enabled_overhead,
+        "rounds": overhead_rounds,
+        "overhead_stream_epochs": len(overhead_epochs),
+    }
+    print(
+        f"telemetry  off {off_best / 1e3:9.1f} us/fix   "
+        f"on {on_best / 1e3:9.1f} us/fix   "
+        f"overhead {enabled_overhead * 100.0:+.2f}% "
+        f"(lower-quartile paired cpu-time ratio, {len(overhead_epochs)} epochs)"
+    )
+
     # -------------------------------------------------- agreement + ratio
     scalar_dlg = np.stack(
         [scalar_solvers["DLG"].solve(epoch).position for epoch in epochs]
@@ -249,6 +330,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI smoke mode: 200 epochs, single timed pass",
     )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.05,
+        help="fail if telemetry-enabled batched DLG is slower than the "
+        "disabled path by more than this fraction (default 0.05)",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         args.epochs = min(args.epochs, 200)
@@ -259,6 +347,14 @@ def main(argv=None) -> int:
     if disagreement > 1e-6:
         print(
             f"ERROR: batched DLG disagrees with scalar DLG by {disagreement:.2e} m",
+            file=sys.stderr,
+        )
+        return 1
+    overhead = results["telemetry_overhead"]["enabled_overhead_fraction"]
+    if overhead > args.max_telemetry_overhead:
+        print(
+            f"ERROR: telemetry overhead {overhead * 100.0:.2f}% exceeds the "
+            f"{args.max_telemetry_overhead * 100.0:.1f}% budget",
             file=sys.stderr,
         )
         return 1

@@ -64,7 +64,13 @@ from repro.core import (
     compute_dop,
     DilutionOfPrecision,
 )
-from repro.engine import EngineResult, ParallelReplay, PositioningEngine
+from repro.engine import (
+    EngineDiagnostics,
+    EngineResult,
+    ParallelReplay,
+    PositioningEngine,
+)
+from repro import telemetry
 from repro.dgps import DgpsCorrections, DgpsReferenceStation, apply_corrections
 from repro.signals import (
     CycleSlipDetector,
@@ -127,9 +133,11 @@ __all__ = [
     "BatchDLGSolver",
     "BatchNewtonRaphsonSolver",
     "group_epochs_by_count",
+    "EngineDiagnostics",
     "EngineResult",
     "ParallelReplay",
     "PositioningEngine",
+    "telemetry",
     "RaimMonitor",
     "RaimResult",
     "VelocityFix",

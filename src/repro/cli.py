@@ -9,13 +9,24 @@ Subcommands:
   and print the rate panels.
 * ``export`` — write a station data set as RINEX observation +
   navigation files.
+* ``telemetry`` — run an instrumented replay and print or write its
+  metrics (Prometheus text or JSON snapshot).
+
+``solve`` and ``experiment`` also accept ``--metrics-out PATH`` to
+record their telemetry alongside the normal output; the format follows
+the extension (``.prom``/``.txt`` for Prometheus text, anything else
+for the JSON snapshot).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from contextlib import contextmanager
 from typing import List, Optional
+
+from repro import telemetry
 
 from repro.evaluation import (
     ExperimentConfig,
@@ -39,8 +50,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "export": _cmd_export,
         "skyplot": _cmd_skyplot,
+        "telemetry": _cmd_telemetry,
     }[args.command]
     return handler(args)
+
+
+@contextmanager
+def _metrics_sink(path: Optional[str]):
+    """Scoped telemetry for a subcommand: no-op unless a path is given.
+
+    With a path, installs a fresh registry/tracer for the body and
+    writes the snapshot on the way out (format by extension).
+    """
+    if not path:
+        yield
+        return
+    with telemetry.capture() as (registry, tracer):
+        yield
+        telemetry.write_snapshot(path, registry, tracer=tracer)
+    print(f"wrote telemetry snapshot to {path}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -64,6 +92,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="track L1 carrier and Hatch-smooth pseudoranges before solving",
     )
+    solve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="record telemetry for the run (.prom/.txt or .json)",
+    )
 
     experiment = sub.add_parser("experiment", help="run the Fig 5.1/5.2 sweep")
     experiment.add_argument(
@@ -74,6 +108,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument(
         "--output", default=None, help="also write a markdown report to this path"
+    )
+    experiment.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="record telemetry for the sweep (.prom/.txt or .json)",
     )
 
     export = sub.add_parser("export", help="write a data set as RINEX files")
@@ -91,6 +131,33 @@ def _build_parser() -> argparse.ArgumentParser:
     skyplot.add_argument("station", help="site id")
     skyplot.add_argument(
         "--at", type=float, default=0.0, help="seconds into the data set"
+    )
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="run an instrumented replay and export its metrics",
+    )
+    tele.add_argument("station", nargs="?", default="SRZN", help="site id")
+    tele.add_argument(
+        "--algorithm", default="dlg", choices=["nr", "dlo", "dlg"]
+    )
+    tele.add_argument(
+        "--duration", type=float, default=120.0, help="seconds of data"
+    )
+    tele.add_argument(
+        "--workers", type=int, default=2, help="replay worker threads"
+    )
+    tele.add_argument(
+        "--format",
+        default="prom",
+        choices=["prom", "json"],
+        help="stdout format when --output is not given",
+    )
+    tele.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the snapshot to a file instead of stdout",
     )
     return parser
 
@@ -116,17 +183,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         f"station {station.site_id}: {args.algorithm.upper()}, {mode} clock"
         + (", Hatch-smoothed" if args.smooth else "")
     )
-    for index, epoch in enumerate(dataset.epochs()):
-        if hatch is not None:
-            epoch = hatch.smooth_epoch(epoch)
-        fix = receiver.process(epoch)
-        error = fix.distance_to(station.position)
-        if index % 30 == 0 or index == dataset.epoch_count - 1:
-            print(
-                f"  epoch {index:5d}  sats={epoch.satellite_count:2d}  "
-                f"alg={fix.algorithm:<4} error={error:7.2f} m"
-            )
-    print(f"pipeline stats: {receiver.stats}")
+    with _metrics_sink(args.metrics_out):
+        for index, epoch in enumerate(dataset.epochs()):
+            if hatch is not None:
+                epoch = hatch.smooth_epoch(epoch)
+            fix = receiver.process(epoch)
+            error = fix.distance_to(station.position)
+            if index % 30 == 0 or index == dataset.epoch_count - 1:
+                print(
+                    f"  epoch {index:5d}  sats={epoch.satellite_count:2d}  "
+                    f"alg={fix.algorithm:<4} error={error:7.2f} m"
+                )
+        print(f"pipeline stats: {receiver.stats}")
     return 0
 
 
@@ -138,11 +206,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         dataset=DatasetConfig(duration_seconds=args.duration)
     )
     results = {}
-    for station in stations:
-        result = run_station_experiment(station, config)
-        results[station.site_id] = result
-        print(format_station_report(result))
-        print()
+    with _metrics_sink(args.metrics_out):
+        for station in stations:
+            result = run_station_experiment(station, config)
+            results[station.site_id] = result
+            print(format_station_report(result))
+            print()
     if args.output:
         from repro.evaluation import write_markdown_report
 
@@ -193,6 +262,46 @@ def _cmd_skyplot(args: argparse.Namespace) -> int:
     dop = compute_dop(epoch.satellite_positions(), station.position)
     print(f"GDOP {dop.gdop:.2f}  PDOP {dop.pdop:.2f}  "
           f"HDOP {dop.hdop:.2f}  VDOP {dop.vdop:.2f}")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.engine import ParallelReplay, PositioningEngine
+
+    station = get_station(args.station)
+    dataset = ObservationDataset(
+        station, DatasetConfig(duration_seconds=args.duration)
+    )
+    epochs = dataset.realize()
+    mode = "steering" if station.uses_steering_clock else "threshold"
+    with telemetry.capture() as (registry, tracer):
+        # Thread backend so worker receivers share the installed
+        # registry: one replay lights up receiver, solver, and replay
+        # metrics together.
+        replay = ParallelReplay(
+            receiver_kwargs={"algorithm": args.algorithm, "clock_mode": mode},
+            workers=max(1, args.workers),
+            backend="thread",
+        )
+        replay.replay(epochs)
+        engine = PositioningEngine(algorithm=args.algorithm)
+        result = engine.solve_stream(epochs)
+        extra = {"engine_diagnostics": result.diagnostics.to_dict()}
+        if args.output:
+            telemetry.write_snapshot(
+                args.output, registry, tracer=tracer, extra=extra
+            )
+            print(f"wrote telemetry snapshot to {args.output}", file=sys.stderr)
+        elif args.format == "prom":
+            sys.stdout.write(telemetry.to_prometheus_text(registry))
+        else:
+            json.dump(
+                telemetry.to_json_snapshot(registry, tracer, extra=extra),
+                sys.stdout,
+                indent=2,
+                sort_keys=True,
+            )
+            sys.stdout.write("\n")
     return 0
 
 

@@ -33,6 +33,38 @@ from repro.core.types import PositionFix
 from repro.errors import EstimationError, GeometryError
 from repro.estimation import gls_solve_diag_rank1, ols_solve
 from repro.observations import ObservationEpoch
+from repro.telemetry import get_registry
+
+#: Condition numbers of the differenced design: well-posed skies sit
+#: in the tens; sick geometry climbs orders of magnitude.
+_CONDITION_BUCKETS = (1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 1e4, 1e5, 1e6)
+#: Residual norms (meters in the whitened/differenced metric).
+_RESIDUAL_BUCKETS = (1e-6, 1e-3, 0.1, 1.0, 3.0, 10.0, 30.0, 100.0, 1e3, 1e6)
+
+
+def _observe_solve(registry, solver: str, design: np.ndarray, residual_norm: float) -> None:
+    """Record per-solve design conditioning and residual telemetry.
+
+    Only called when a real registry is installed: the condition
+    number costs an SVD the solve itself never needs.
+    """
+    registry.counter(
+        "repro_solver_solves_total",
+        "Solver invocations by outcome.",
+        labels=("solver", "status"),
+    ).labels(solver=solver, status="converged").inc()
+    registry.histogram(
+        "repro_solver_condition_number",
+        "Condition number of the design matrix per solve.",
+        labels=("solver",),
+        buckets=_CONDITION_BUCKETS,
+    ).labels(solver=solver).observe(float(np.linalg.cond(design)))
+    registry.histogram(
+        "repro_solver_residual_norm",
+        "Residual norm per solve (whitened for DLG).",
+        labels=("solver",),
+        buckets=_RESIDUAL_BUCKETS,
+    ).labels(solver=solver).observe(float(residual_norm))
 
 
 def build_difference_system(
@@ -213,7 +245,11 @@ class DLOSolver(_DirectLinearBase):
             solution = ols_solve(design, rhs)  # eq. 4-12
         except EstimationError as exc:
             raise GeometryError(f"DLO design matrix is degenerate: {exc}") from exc
-        return self._finish(solution, design, rhs, bias)
+        fix = self._finish(solution, design, rhs, bias)
+        registry = get_registry()
+        if registry.enabled:
+            _observe_solve(registry, self.name.lower(), design, fix.residual_norm)
+        return fix
 
 
 class DLGSolver(_DirectLinearBase):
@@ -242,6 +278,9 @@ class DLGSolver(_DirectLinearBase):
             solution, whitened_norm = gls_solve_diag_rank1(design, rhs, diag, scale)
         except EstimationError as exc:
             raise GeometryError(f"DLG system is degenerate: {exc}") from exc
+        registry = get_registry()
+        if registry.enabled:
+            _observe_solve(registry, self.name.lower(), design, whitened_norm)
         return PositionFix(
             position=solution,
             clock_bias_meters=bias,

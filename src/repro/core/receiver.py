@@ -27,6 +27,7 @@ Typical use::
 
 from __future__ import annotations
 
+import logging
 import math
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
@@ -40,6 +41,13 @@ from repro.core.selection import BaseSatelliteSelector
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 from repro.observations import ObservationEpoch
+from repro.telemetry import get_registry
+
+_log = logging.getLogger(__name__)
+
+#: Buckets for the iterations-to-convergence histogram: NR typically
+#: converges in 4-6 iterations from the cold start, 1-2 warm.
+_ITERATION_BUCKETS = (1, 2, 3, 4, 5, 6, 7, 8, 10, 15, 20)
 
 
 class GpsReceiver:
@@ -142,6 +150,7 @@ class GpsReceiver:
             "nr_fixes": 0,
             "recalibrations": 0,
             "fallbacks": 0,
+            "residual_gate_trips": 0,
             "residual_gate_recoveries": 0,
             "raim_exclusions": 0,
             "raim_unrepaired": 0,
@@ -169,22 +178,57 @@ class GpsReceiver:
         return self._epochs_processed
 
     # ------------------------------------------------------------------
+    def _event(self, name: str) -> None:
+        """Bump a pipeline counter, mirrored into the metrics registry."""
+        self._stats[name] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_receiver_events_total",
+                "GpsReceiver pipeline events by type.",
+                labels=("event",),
+            ).labels(event=name).inc()
+
+    def _nr_fix(self, epoch: ObservationEpoch) -> PositionFix:
+        """One NR solve, with iteration telemetry."""
+        fix = self._nr.solve(epoch)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                "repro_receiver_nr_iterations",
+                "Iterations NR needed to converge inside the receiver.",
+                buckets=_ITERATION_BUCKETS,
+            ).observe(fix.iterations)
+        return fix
+
     def process(self, epoch: ObservationEpoch) -> PositionFix:
         """Solve one epoch, transparently handling warm-up and resets."""
         self._epochs_processed += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_receiver_epochs_total",
+                "Epochs seen by GpsReceiver.process.",
+                labels=("algorithm",),
+            ).labels(algorithm=self._algorithm_name).inc()
 
         if self._algorithm_name in ("nr", "bancroft"):
-            fix = self._checked_solve(epoch)
             if self._algorithm_name == "nr":
-                self._stats["nr_fixes"] += 1
-            return fix
+                fix = (
+                    self._nr_fix(epoch)
+                    if self._raim is None or epoch.satellite_count < 5
+                    else self._checked_solve(epoch)
+                )
+                self._event("nr_fixes")
+                return fix
+            return self._checked_solve(epoch)
 
         if not self._predictor.is_ready:
-            fix = self._nr.solve(epoch)
+            fix = self._nr_fix(epoch)
             if fix.clock_bias_meters is not None:
                 self._predictor.observe(epoch.time, fix.clock_bias_meters)
-            self._stats["warmup_fixes"] += 1
-            self._stats["nr_fixes"] += 1
+            self._event("warmup_fixes")
+            self._event("nr_fixes")
             return fix
 
         if (
@@ -198,30 +242,41 @@ class GpsReceiver:
         except GeometryError:
             # The prediction can be grossly wrong exactly at a clock
             # reset; answer with NR and retrain the predictor.
-            fix = self._nr.solve(epoch)
+            _log.warning(
+                "closed-form solve rejected epoch %d; falling back to NR",
+                self._epochs_processed,
+            )
+            fix = self._nr_fix(epoch)
             if fix.clock_bias_meters is not None:
                 self._predictor.observe(epoch.time, fix.clock_bias_meters)
-            self._stats["fallbacks"] += 1
-            self._stats["nr_fixes"] += 1
+            self._event("fallbacks")
+            self._event("nr_fixes")
             return fix
 
         if self._residual_is_anomalous(fix.residual_norm):
             # Clock reset between recalibrations: the exploded residual
             # is independent evidence the prediction is stale, so
             # re-anchor the predictor unconditionally and re-solve.
+            _log.warning(
+                "residual gate tripped at epoch %d (residual %.3e m); "
+                "recalibrating clock prediction",
+                self._epochs_processed,
+                fix.residual_norm,
+            )
+            self._event("residual_gate_trips")
             self._recalibrate(epoch, force=True)
             try:
                 fix = self._checked_solve(epoch)
-                self._stats["residual_gate_recoveries"] += 1
+                self._event("residual_gate_recoveries")
             except GeometryError:
-                fix = self._nr.solve(epoch)
-                self._stats["fallbacks"] += 1
-                self._stats["nr_fixes"] += 1
+                fix = self._nr_fix(epoch)
+                self._event("fallbacks")
+                self._event("nr_fixes")
                 return fix
 
         if math.isfinite(fix.residual_norm):
             self._residual_history.append(fix.residual_norm)
-        self._stats["closed_form_fixes"] += 1
+        self._event("closed_form_fixes")
         return fix
 
     def process_many(self, epochs: "Iterable[ObservationEpoch]") -> "List[PositionFix]":
@@ -239,9 +294,11 @@ class GpsReceiver:
             return self._solver.solve(epoch)
         result = self._raim.check(epoch)
         if result.excluded_prn is not None:
-            self._stats["raim_exclusions"] += 1
+            _log.info("RAIM excluded PRN %s at epoch %d",
+                      result.excluded_prn, self._epochs_processed)
+            self._event("raim_exclusions")
         if not result.passed:
-            self._stats["raim_unrepaired"] += 1
+            self._event("raim_unrepaired")
         return result.fix
 
     def _residual_is_anomalous(self, residual_norm: float) -> bool:
@@ -254,12 +311,16 @@ class GpsReceiver:
     # ------------------------------------------------------------------
     def _recalibrate(self, epoch: ObservationEpoch, force: bool = False) -> None:
         try:
-            nr_fix = self._nr.solve(epoch)
+            nr_fix = self._nr_fix(epoch)
         except (ConvergenceError, GeometryError):
+            _log.debug(
+                "recalibration NR solve failed at epoch %d; skipping",
+                self._epochs_processed,
+            )
             return  # skip this recalibration; the main solve still runs
         if nr_fix.clock_bias_meters is not None:
             if force:
                 self._predictor.reanchor(epoch.time, nr_fix.clock_bias_meters)
             else:
                 self._predictor.observe(epoch.time, nr_fix.clock_bias_meters)
-            self._stats["recalibrations"] += 1
+            self._event("recalibrations")

@@ -25,13 +25,14 @@ from repro.engine.scheduler import (
     bucket_epochs,
     scatter_bucket_results,
 )
-from repro.engine.pipeline import EngineResult, PositioningEngine
+from repro.engine.pipeline import EngineDiagnostics, EngineResult, PositioningEngine
 from repro.engine.parallel import ParallelReplay
 
 __all__ = [
     "EpochBucket",
     "bucket_epochs",
     "scatter_bucket_results",
+    "EngineDiagnostics",
     "EngineResult",
     "PositioningEngine",
     "ParallelReplay",

@@ -14,30 +14,58 @@ Backends: ``"process"`` sidesteps the GIL for true multi-core scaling
 (epochs and fixes pickle cleanly — frozen dataclasses of numpy
 arrays); ``"thread"`` avoids process spawn overhead and suffices when
 the workload is dominated by numpy calls that release the GIL.
+
+Telemetry: each chunk's wall time and receiver counters are measured
+*inside the worker* and shipped back with the fixes, so the parent's
+installed registry/tracer see per-chunk spans, seam-epoch counts
+(warm-up fixes paid by chunks after the first), and aggregate worker
+utilization even on the process backend, where workers cannot share
+the parent's registry.
 """
 
 from __future__ import annotations
 
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.receiver import GpsReceiver
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError
 from repro.observations import ObservationEpoch
+from repro.telemetry import get_registry, get_tracer
+
+_log = logging.getLogger(__name__)
+
+#: Per-chunk wall-time histogram bounds (seconds).
+_CHUNK_SECONDS_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 600.0)
+
+
+def _replay_chunk_timed(
+    receiver_kwargs: Dict,
+    epochs: Sequence[ObservationEpoch],
+) -> Tuple[List[PositionFix], int, Dict[str, int]]:
+    """Worker entry point: fresh receiver, one contiguous chunk.
+
+    Returns ``(fixes, duration_ns, receiver_stats)``; module-level so
+    the process backend can pickle it.  The duration is measured on
+    the worker's own monotonic clock, so it is meaningful as an
+    interval even across process boundaries.
+    """
+    receiver = GpsReceiver(**receiver_kwargs)
+    start = time.perf_counter_ns()
+    fixes = receiver.process_many(epochs)
+    return fixes, time.perf_counter_ns() - start, receiver.stats
 
 
 def _replay_chunk(
     receiver_kwargs: Dict,
     epochs: Sequence[ObservationEpoch],
 ) -> List[PositionFix]:
-    """Worker entry point: fresh receiver, one contiguous chunk.
-
-    Module-level so the process backend can pickle it.
-    """
-    receiver = GpsReceiver(**receiver_kwargs)
-    return receiver.process_many(epochs)
+    """Untimed worker entry point (kept for compatibility)."""
+    return _replay_chunk_timed(receiver_kwargs, epochs)[0]
 
 
 class ParallelReplay:
@@ -113,18 +141,82 @@ class ParallelReplay:
         if not epochs:
             raise ConfigurationError("cannot replay an empty epoch stream")
         chunks = self._chunks(epochs)
-        if len(chunks) == 1 or self._workers == 1:
-            return _replay_chunk(self._receiver_kwargs, epochs)
 
-        executor_cls = (
-            ProcessPoolExecutor if self._backend == "process" else ThreadPoolExecutor
-        )
-        with executor_cls(max_workers=self._workers) as pool:
-            futures = [
-                pool.submit(_replay_chunk, self._receiver_kwargs, chunk)
-                for chunk in chunks
+        wall_start = time.perf_counter_ns()
+        if len(chunks) == 1 or self._workers == 1:
+            outcomes = [
+                _replay_chunk_timed(self._receiver_kwargs, chunk) for chunk in chunks
             ]
-            fixes: List[PositionFix] = []
-            for future in futures:
-                fixes.extend(future.result())
+        else:
+            executor_cls = (
+                ProcessPoolExecutor if self._backend == "process" else ThreadPoolExecutor
+            )
+            with executor_cls(max_workers=self._workers) as pool:
+                futures = [
+                    pool.submit(_replay_chunk_timed, self._receiver_kwargs, chunk)
+                    for chunk in chunks
+                ]
+                outcomes = [future.result() for future in futures]
+        wall_ns = time.perf_counter_ns() - wall_start
+
+        registry = get_registry()
+        if registry.enabled:
+            self._record_replay(registry, get_tracer(), outcomes, wall_ns)
+
+        fixes: List[PositionFix] = []
+        for chunk_fixes, _duration_ns, _stats in outcomes:
+            fixes.extend(chunk_fixes)
         return fixes
+
+    def _record_replay(self, registry, tracer, outcomes, wall_ns: int) -> None:
+        """Replay-level telemetry from per-chunk worker measurements.
+
+        Chunks after the first pay a warm-up *seam*: their leading
+        epochs are answered by NR while a fresh clock predictor trains,
+        where the serial replay would already be in steady state.  The
+        first chunk's warm-up matches the serial receiver's own, so it
+        is not a seam cost.
+        """
+        busy_ns = 0
+        seam_epochs = 0
+        for index, (chunk_fixes, duration_ns, stats) in enumerate(outcomes):
+            busy_ns += duration_ns
+            if index > 0:
+                seam_epochs += stats.get("warmup_fixes", 0)
+            tracer.record(
+                "replay.chunk",
+                duration_ns,
+                index=index,
+                epochs=len(chunk_fixes),
+                warmup_fixes=stats.get("warmup_fixes", 0),
+                fallbacks=stats.get("fallbacks", 0),
+            )
+            registry.histogram(
+                "repro_replay_chunk_seconds",
+                "Per-chunk wall time inside the worker.",
+                buckets=_CHUNK_SECONDS_BUCKETS,
+            ).observe(duration_ns / 1e9)
+        registry.counter(
+            "repro_replay_chunks_total", "Chunks replayed.",
+        ).inc(len(outcomes))
+        registry.counter(
+            "repro_replay_epochs_total", "Epochs replayed.",
+        ).inc(sum(len(chunk_fixes) for chunk_fixes, _, _ in outcomes))
+        registry.counter(
+            "repro_replay_seam_epochs_total",
+            "Warm-up epochs paid at chunk seams (chunks after the first).",
+        ).inc(seam_epochs)
+        # Utilization: worker busy time over the capacity the pool had
+        # during the replay.  1.0 means every worker computed the whole
+        # wall time; low values mean stragglers or spawn overhead.
+        capacity = min(self._workers, len(outcomes)) * max(wall_ns, 1)
+        registry.gauge(
+            "repro_replay_worker_utilization",
+            "Busy-time fraction of the pool during the last replay.",
+        ).set(min(1.0, busy_ns / capacity))
+        if seam_epochs:
+            _log.debug(
+                "replay paid %d seam warm-up epochs across %d chunks",
+                seam_epochs,
+                len(outcomes),
+            )

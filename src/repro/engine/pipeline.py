@@ -10,12 +10,18 @@ satellite counts freely; the engine buckets it
 (:func:`~repro.engine.scheduler.bucket_epochs`), dispatches each
 bucket to the batched solver, and scatters the results back into
 stream order.
+
+Every ``solve_stream`` call is instrumented (stream/bucket spans,
+bucket-size and coverage metrics) through :mod:`repro.telemetry` —
+free when telemetry is not installed — and returns an
+:class:`EngineDiagnostics` record of what happened to every epoch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,8 +32,45 @@ from repro.core.batch import (
     BatchNewtonRaphsonSolver,
 )
 from repro.engine.scheduler import bucket_epochs, scatter_bucket_results
-from repro.errors import ConfigurationError, GeometryError
+from repro.errors import ConfigurationError, EstimationError, GeometryError
 from repro.observations import ObservationEpoch
+from repro.telemetry import get_registry, get_tracer
+
+_log = logging.getLogger(__name__)
+
+#: Stream-composition histogram buckets (epochs per bucket).
+_BUCKET_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
+
+
+@dataclass(frozen=True)
+class EngineDiagnostics:
+    """What happened to every epoch of one :meth:`solve_stream` call.
+
+    Attributes
+    ----------
+    epochs_dropped:
+        Epochs excluded from solving (undersized, with
+        ``on_undersized="drop"``); their result rows are NaN.
+    dropped_indices:
+        Stream indices of the dropped epochs.
+    bucket_status:
+        Per-bucket solve outcome, keyed by satellite count:
+        ``"ok"`` or ``"failed"`` (a failed bucket also raises, so
+        ``"failed"`` is only observable through telemetry callbacks
+        and post-mortem snapshots).
+    """
+
+    epochs_dropped: int = 0
+    dropped_indices: Tuple[int, ...] = ()
+    bucket_status: Dict[int, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form, used by the telemetry snapshot exporters."""
+        return {
+            "epochs_dropped": self.epochs_dropped,
+            "dropped_indices": list(self.dropped_indices),
+            "bucket_status": {str(k): v for k, v in self.bucket_status.items()},
+        }
 
 
 @dataclass(frozen=True)
@@ -38,7 +81,7 @@ class EngineResult:
     ----------
     positions:
         ``(N, 3)`` receiver positions, row ``i`` answering stream
-        epoch ``i``.
+        epoch ``i`` (NaN rows for dropped epochs).
     clock_biases:
         ``(N,)`` receiver clock biases in meters: the *predicted*
         biases for DLO/DLG (which consume them), the *solved* biases
@@ -47,12 +90,16 @@ class EngineResult:
         Which batched solver produced the fixes.
     bucket_sizes:
         Stream composition: ``{satellite_count: epochs}``.
+    diagnostics:
+        Failure/drop accounting for the call
+        (:class:`EngineDiagnostics`).
     """
 
     positions: np.ndarray
     clock_biases: np.ndarray
     algorithm: str
     bucket_sizes: Dict[int, int]
+    diagnostics: EngineDiagnostics = field(default_factory=EngineDiagnostics)
 
     def __len__(self) -> int:
         return self.positions.shape[0]
@@ -116,10 +163,28 @@ class PositioningEngine:
             )
         return np.zeros(len(epochs))
 
+    def _solve_bucket(self, bucket, stream_biases: np.ndarray):
+        """One bucket through the batched solver; (positions, biases)."""
+        if self._algorithm == "nr":
+            record = self._nr.solve_batch_full(bucket.epochs)
+            if not np.all(record.converged):
+                stuck = [
+                    bucket.indices[i]
+                    for i in np.flatnonzero(~record.converged)
+                ]
+                raise GeometryError(
+                    f"NR failed to converge for stream epochs {stuck}"
+                )
+            return record.positions, record.clock_biases
+        bucket_biases = stream_biases[np.asarray(bucket.indices, dtype=int)]
+        solver = self._dlo if self._algorithm == "dlo" else self._dlg
+        return solver.solve_batch(bucket.epochs, bucket_biases), bucket_biases
+
     def solve_stream(
         self,
         epochs: Sequence[ObservationEpoch],
         biases: Optional[Sequence[float]] = None,
+        on_undersized: str = "raise",
     ) -> EngineResult:
         """Solve an arbitrary mixed-count epoch stream in one call.
 
@@ -132,48 +197,129 @@ class PositioningEngine:
             Optional explicit per-epoch clock biases (meters) for
             DLO/DLG; defaults to the configured predictor, or zero for
             already clock-free pseudoranges.  Ignored by NR.
+        on_undersized:
+            ``"raise"`` (default) rejects a stream containing epochs
+            with fewer than 4 satellites; ``"drop"`` solves everything
+            else, answers the undersized epochs with NaN rows, and
+            accounts for them in ``result.diagnostics``.
 
         Results come back aligned with the input: row ``i`` of
         ``positions`` answers ``epochs[i]`` regardless of how the
         stream was bucketed internally.
         """
+        if on_undersized not in ("raise", "drop"):
+            raise ConfigurationError(
+                f"on_undersized must be 'raise' or 'drop', got {on_undersized!r}"
+            )
         epochs = list(epochs)
         if not epochs:
             raise GeometryError("solve_stream needs at least one epoch")
         stream_biases = self._resolve_biases(epochs, biases)
 
-        buckets = bucket_epochs(epochs)
-        too_small = [b.satellite_count for b in buckets if b.satellite_count < 4]
-        if too_small:
-            raise GeometryError(
-                f"stream contains epochs with fewer than 4 satellites "
-                f"(counts {too_small}); filter or augment them before solving"
+        registry = get_registry()
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.solve_stream", algorithm=self._algorithm, epochs=len(epochs)
+        ):
+            buckets = bucket_epochs(epochs)
+            undersized = [b for b in buckets if b.satellite_count < 4]
+            if undersized and on_undersized == "raise":
+                raise GeometryError(
+                    f"stream contains epochs with fewer than 4 satellites "
+                    f"(counts {[b.satellite_count for b in undersized]}); "
+                    f"filter or augment them before solving"
+                )
+            solvable = [b for b in buckets if b.satellite_count >= 4]
+            dropped_indices = tuple(
+                index for b in undersized for index in b.indices
             )
+            if dropped_indices:
+                _log.warning(
+                    "dropping %d undersized epochs from a %d-epoch stream",
+                    len(dropped_indices),
+                    len(epochs),
+                )
+            if not solvable:
+                raise GeometryError(
+                    "every epoch in the stream has fewer than 4 satellites"
+                )
 
-        position_blocks = []
-        bias_blocks = []
-        for bucket in buckets:
-            if self._algorithm == "nr":
-                record = self._nr.solve_batch_full(bucket.epochs)
-                if not np.all(record.converged):
-                    stuck = [
-                        bucket.indices[i]
-                        for i in np.flatnonzero(~record.converged)
-                    ]
-                    raise GeometryError(
-                        f"NR failed to converge for stream epochs {stuck}"
-                    )
-                position_blocks.append(record.positions)
-                bias_blocks.append(record.clock_biases)
-            else:
-                bucket_biases = stream_biases[np.asarray(bucket.indices, dtype=int)]
-                solver = self._dlo if self._algorithm == "dlo" else self._dlg
-                position_blocks.append(solver.solve_batch(bucket.epochs, bucket_biases))
+            bucket_status: Dict[int, str] = {}
+            position_blocks = []
+            bias_blocks = []
+            for bucket in solvable:
+                with tracer.span(
+                    "engine.solve_bucket",
+                    satellite_count=bucket.satellite_count,
+                    size=len(bucket),
+                    algorithm=self._algorithm,
+                ):
+                    try:
+                        block, bucket_biases = self._solve_bucket(
+                            bucket, stream_biases
+                        )
+                    except (GeometryError, EstimationError):
+                        bucket_status[bucket.satellite_count] = "failed"
+                        if registry.enabled:
+                            self._record_bucket(registry, bucket, "failed")
+                        raise
+                bucket_status[bucket.satellite_count] = "ok"
+                if registry.enabled:
+                    self._record_bucket(registry, bucket, "ok")
+                position_blocks.append(block)
                 bias_blocks.append(bucket_biases)
 
-        return EngineResult(
-            positions=scatter_bucket_results(buckets, position_blocks, len(epochs)),
-            clock_biases=scatter_bucket_results(buckets, bias_blocks, len(epochs)),
-            algorithm=self._algorithm,
-            bucket_sizes={b.satellite_count: len(b) for b in buckets},
+            allow_partial = bool(dropped_indices)
+            positions = scatter_bucket_results(
+                solvable, position_blocks, len(epochs), allow_partial=allow_partial
+            )
+            clock_biases = scatter_bucket_results(
+                solvable, bias_blocks, len(epochs), allow_partial=allow_partial
+            )
+
+        diagnostics = EngineDiagnostics(
+            epochs_dropped=len(dropped_indices),
+            dropped_indices=dropped_indices,
+            bucket_status=bucket_status,
         )
+        if registry.enabled:
+            registry.counter(
+                "repro_engine_streams_total",
+                "solve_stream calls.",
+                labels=("algorithm",),
+            ).labels(algorithm=self._algorithm).inc()
+            registry.counter(
+                "repro_engine_epochs_total",
+                "Epochs submitted to solve_stream.",
+                labels=("algorithm",),
+            ).labels(algorithm=self._algorithm).inc(len(epochs))
+            if dropped_indices:
+                registry.counter(
+                    "repro_engine_epochs_dropped_total",
+                    "Undersized epochs dropped from streams.",
+                ).inc(len(dropped_indices))
+            registry.gauge(
+                "repro_engine_scatter_coverage",
+                "Fraction of the last stream answered with a solve.",
+            ).set(1.0 - len(dropped_indices) / len(epochs))
+
+        return EngineResult(
+            positions=positions,
+            clock_biases=clock_biases,
+            algorithm=self._algorithm,
+            bucket_sizes={b.satellite_count: len(b) for b in solvable},
+            diagnostics=diagnostics,
+        )
+
+    def _record_bucket(self, registry, bucket, status: str) -> None:
+        """Per-bucket composition and outcome metrics."""
+        registry.histogram(
+            "repro_engine_bucket_size",
+            "Epochs per same-satellite-count bucket.",
+            buckets=_BUCKET_SIZE_BUCKETS,
+        ).observe(len(bucket))
+        registry.counter(
+            "repro_engine_bucket_solves_total",
+            "Bucket solves by outcome.",
+            labels=("algorithm", "status"),
+        ).labels(algorithm=self._algorithm, status=status).inc()

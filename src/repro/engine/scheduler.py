@@ -67,6 +67,7 @@ def scatter_bucket_results(
     buckets: Sequence[EpochBucket],
     results: Sequence[np.ndarray],
     total: int,
+    allow_partial: bool = False,
 ) -> np.ndarray:
     """Reassemble per-bucket result rows into original stream order.
 
@@ -79,7 +80,12 @@ def scatter_bucket_results(
         bucket's epochs (e.g. ``(len(bucket), 3)`` positions).
     total:
         Length of the original stream; every index ``0..total-1`` must
-        be covered exactly once.
+        be covered exactly once (unless ``allow_partial``).
+    allow_partial:
+        When true, stream positions no bucket covers are filled with
+        NaN instead of raising — the shape the engine needs when it
+        drops undersized epochs rather than rejecting the stream.
+        Overlapping coverage is still an error.
 
     Returns
     -------
@@ -99,7 +105,10 @@ def scatter_bucket_results(
                 f"bucket of {len(bucket)} epochs got {rows.shape[0]} result rows"
             )
         if output is None:
-            output = np.empty((total,) + rows.shape[1:], dtype=rows.dtype)
+            dtype = np.result_type(rows.dtype, float) if allow_partial else rows.dtype
+            output = np.empty((total,) + rows.shape[1:], dtype=dtype)
+            if allow_partial:
+                output.fill(np.nan)
         indices = np.asarray(bucket.indices, dtype=int)
         if (
             np.any(indices < 0)
@@ -112,6 +121,10 @@ def scatter_bucket_results(
             )
         filled[indices] = True
         output[indices] = rows
+    if allow_partial:
+        if output is None:
+            return np.full(total, np.nan)
+        return output
     if output is None or not np.all(filled):
         raise ConfigurationError(
             "bucket indices do not cover every stream position"

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import EstimationError
 from repro.estimation.linalg import cholesky_solve
+from repro.telemetry import get_registry
 
 
 @dataclass(frozen=True)
@@ -145,6 +146,13 @@ def gls_solve_whitened(
         raise EstimationError(
             f"covariance shape {m.shape} does not match {a.shape[0]} equations"
         )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_estimation_gls_solves_total",
+            "GLS solves by implementation path.",
+            labels=("path",),
+        ).labels(path="dense_cholesky").inc()
     # Whiten through the Cholesky factor of M: with L L^T = M, solving
     # the triangular systems L u = A and L w = b gives the OLS problem
     # u x = w whose normal equations are exactly A^T M^-1 A x = A^T M^-1 b.

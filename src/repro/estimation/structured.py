@@ -25,6 +25,23 @@ import numpy as np
 
 from repro.errors import EstimationError
 from repro.estimation.linalg import cholesky_solve
+from repro.telemetry import get_registry
+
+
+def _count_gls_path(path: str, solves: int = 1) -> None:
+    """Record which GLS implementation answered (telemetry only).
+
+    The Sherman-Morrison fast path and the dense-Cholesky fallback
+    produce identical answers, so *which one ran* is invisible without
+    this counter — yet it is exactly what a perf investigation needs.
+    """
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(
+            "repro_estimation_gls_solves_total",
+            "GLS solves by implementation path.",
+            labels=("path",),
+        ).labels(path=path).inc(solves)
 
 
 def _validate_components(diag: np.ndarray, scale: np.ndarray) -> None:
@@ -94,6 +111,7 @@ def gls_solve_diag_rank1(
         raise EstimationError(
             f"diag shape {d.shape} does not match {a.shape[0]} equations"
         )
+    _count_gls_path("sherman_morrison")
     psi_inv_design = apply_inverse_diag_rank1(d, scale, a)
     psi_inv_obs = apply_inverse_diag_rank1(d, scale, b)
     solution = cholesky_solve(a.T @ psi_inv_design, a.T @ psi_inv_obs)
@@ -162,6 +180,7 @@ def batched_gls_solve_diag_rank1(
         raise EstimationError(
             f"batched design {a.shape} and observations {b.shape} are inconsistent"
         )
+    _count_gls_path("sherman_morrison_batched", solves=a.shape[0])
     psi_inv_design = batched_apply_inverse_diag_rank1(diag, scale, a)  # (N,k,p)
     psi_inv_obs = batched_apply_inverse_diag_rank1(diag, scale, b)  # (N,k)
     gram = np.einsum("nki,nkj->nij", a, psi_inv_design)  # (N,p,p)

@@ -13,6 +13,7 @@ batched paths land in one comparable table.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -57,9 +58,15 @@ class TimingStats:
 
 
 def _percentile(sorted_values: "list[float]", fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list."""
-    rank = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+    """Nearest-rank percentile of an ascending list.
+
+    Rounds half *up* explicitly: ``round()`` uses banker's rounding,
+    so e.g. the p50 of two values would pick rank ``round(0.5) = 0``
+    — the *minimum* — instead of the conventional upper neighbor.
+    """
+    last = len(sorted_values) - 1
+    rank = int(math.floor(fraction * last + 0.5))
+    return sorted_values[max(0, min(last, rank))]
 
 
 def time_callable(

@@ -1,0 +1,143 @@
+"""repro.telemetry — runtime observability for the positioning stack.
+
+A dependency-free metrics registry (counters, gauges, fixed-bucket
+histograms, all with label support), a span tracer on the monotonic
+clock, and exporters (Prometheus text, JSON snapshot).  The package
+also owns the **installed** telemetry state: call sites throughout the
+library fetch the active registry/tracer through :func:`get_registry`
+and :func:`get_tracer`, which default to shared no-op implementations —
+so an uninstrumented run pays only an attribute check per event, and
+expensive derived observations (condition numbers) are gated on
+``get_registry().enabled``.
+
+Typical use::
+
+    from repro import telemetry
+
+    registry, tracer = telemetry.install()       # turn telemetry on
+    ... run receivers / engines / replays ...
+    print(telemetry.to_prometheus_text(registry))
+    telemetry.uninstall()                        # back to no-op
+
+or scoped::
+
+    with telemetry.capture() as (registry, tracer):
+        engine.solve_stream(epochs)
+    snapshot = telemetry.to_json_snapshot(registry, tracer)
+
+Logging rides along: the package installs a ``NullHandler`` on the
+``"repro"`` logger (library best practice — silent by default), and
+instrumented modules log noteworthy events (NR fallbacks, residual
+gate trips, chunk seams) through ordinary ``logging.getLogger(__name__)``
+loggers, so ``logging.basicConfig(level=logging.DEBUG)`` lights the
+whole stack up.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    CounterChild,
+    GaugeChild,
+    HistogramChild,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.telemetry.tracer import (
+    NullTracer,
+    NULL_TRACER,
+    SpanRecord,
+    SpanTracer,
+)
+from repro.telemetry.exporters import (
+    to_json_snapshot,
+    to_prometheus_text,
+    write_snapshot,
+)
+
+# Library-standard logging hygiene: the package never configures the
+# root logger, and stays silent unless the application opts in.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+_active_registry = NULL_REGISTRY
+_active_tracer = NULL_TRACER
+
+
+def get_registry():
+    """The active metrics registry (a no-op registry by default)."""
+    return _active_registry
+
+
+def get_tracer():
+    """The active span tracer (a no-op tracer by default)."""
+    return _active_tracer
+
+
+def is_enabled() -> bool:
+    """Whether real telemetry is currently installed."""
+    return _active_registry.enabled
+
+
+def install(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> Tuple[MetricsRegistry, SpanTracer]:
+    """Install a real registry/tracer process-wide and return them.
+
+    Passing existing instances lets an application aggregate several
+    runs into one scrape target; omitting them creates fresh ones.
+    """
+    global _active_registry, _active_tracer
+    _active_registry = registry if registry is not None else MetricsRegistry()
+    _active_tracer = tracer if tracer is not None else SpanTracer()
+    return _active_registry, _active_tracer
+
+
+def uninstall() -> None:
+    """Return to the default no-op registry and tracer."""
+    global _active_registry, _active_tracer
+    _active_registry = NULL_REGISTRY
+    _active_tracer = NULL_TRACER
+
+
+@contextmanager
+def capture(
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+):
+    """Scoped telemetry: install on entry, restore the previous
+    registry/tracer on exit, yield ``(registry, tracer)``."""
+    previous = (_active_registry, _active_tracer)
+    try:
+        yield install(registry, tracer)
+    finally:
+        globals()["_active_registry"], globals()["_active_tracer"] = previous
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "CounterChild",
+    "GaugeChild",
+    "HistogramChild",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SpanRecord",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "install",
+    "uninstall",
+    "capture",
+    "to_prometheus_text",
+    "to_json_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,122 @@
+"""Exporters: Prometheus text format and JSON snapshots.
+
+Two serializations of the same registry state:
+
+* :func:`to_prometheus_text` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``le`` histogram
+  buckets, ``_sum``/``_count`` series), scrape-ready for a pushgateway
+  file or a textfile collector.
+* :func:`to_json_snapshot` — a structured document bundling metrics,
+  finished spans, and caller-supplied extras (e.g. engine
+  diagnostics), the machine-readable record a benchmark or CI
+  artifact wants.
+
+:func:`write_snapshot` picks the format from the file extension so
+CLI flags like ``--metrics-out run.prom`` / ``--metrics-out run.json``
+do the right thing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Optional
+
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+from repro.telemetry.tracer import NullTracer, SpanTracer
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers bare, floats compact."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _label_string(names, values, extra: Optional[Dict[str, str]] = None) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    for name, value in (extra or {}).items():
+        pairs.append(f'{name}="{_escape_label_value(value)}"')
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus_text(registry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for label_values, child in metric.children():
+            if metric.kind == "histogram":
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(child.buckets, cumulative):
+                    labels = _label_string(
+                        metric.label_names, label_values, {"le": _format_value(bound)}
+                    )
+                    lines.append(f"{metric.name}_bucket{labels} {count}")
+                inf_labels = _label_string(
+                    metric.label_names, label_values, {"le": "+Inf"}
+                )
+                lines.append(f"{metric.name}_bucket{inf_labels} {child.count}")
+                plain = _label_string(metric.label_names, label_values)
+                lines.append(f"{metric.name}_sum{plain} {_format_value(child.sum)}")
+                lines.append(f"{metric.name}_count{plain} {child.count}")
+            else:
+                labels = _label_string(metric.label_names, label_values)
+                lines.append(f"{metric.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json_snapshot(
+    registry,
+    tracer=None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """A JSON-ready document of metrics, spans, and caller extras."""
+    document: Dict = {
+        "telemetry": {
+            "enabled": bool(getattr(registry, "enabled", False)),
+        },
+        "metrics": registry.snapshot(),
+        "spans": tracer.snapshot() if tracer is not None else [],
+    }
+    if extra:
+        document["extra"] = dict(extra)
+    return document
+
+
+def write_snapshot(
+    path: str,
+    registry,
+    tracer=None,
+    extra: Optional[Dict] = None,
+) -> str:
+    """Write registry (+tracer) state to ``path``; format by extension.
+
+    ``.prom`` / ``.txt`` get Prometheus text, everything else gets the
+    JSON snapshot.  Returns the path written.
+    """
+    lowered = path.lower()
+    if lowered.endswith((".prom", ".txt")):
+        payload = to_prometheus_text(registry)
+    else:
+        payload = json.dumps(
+            to_json_snapshot(registry, tracer, extra), indent=2, sort_keys=True
+        )
+        payload += "\n"
+    with open(path, "w") as handle:
+        handle.write(payload)
+    return path

@@ -1,0 +1,426 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the passive half of the telemetry subsystem (the
+active half — spans — lives in :mod:`repro.telemetry.tracer`).  It
+follows the Prometheus data model because that is what operators
+already know how to scrape and alert on:
+
+* **Counter** — monotonically increasing event count (fixes served,
+  NR fallbacks, residual-gate rejections).
+* **Gauge** — a value that goes both ways (worker utilization,
+  scatter coverage of the last stream).
+* **Histogram** — fixed-bucket distribution (solver condition
+  numbers, residual norms, iterations-to-convergence, bucket sizes).
+
+Every metric optionally carries **labels** (declared up front, bound
+per observation with :meth:`_Metric.labels`), so one metric family
+covers all solvers/algorithms without name explosions.
+
+Two registry implementations share one interface:
+
+* :class:`MetricsRegistry` — the real thing, thread-safe, used when
+  telemetry is installed.
+* :class:`NullRegistry` — the **default**: every lookup returns a
+  shared no-op instrument, so instrumented call sites cost one
+  attribute check when telemetry is off.  Hot paths additionally gate
+  expensive derived values (e.g. condition numbers) on
+  ``registry.enabled``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets: a wide geometric ladder that keeps the
+#: exporter useful when a call site does not know its scale yet.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0**e for e in range(-3, 8))
+
+
+def _validate_name(name: str) -> None:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise ConfigurationError(
+            f"metric name must be non-empty [a-zA-Z0-9_:]+, got {name!r}"
+        )
+    if name[0].isdigit():
+        raise ConfigurationError(f"metric name cannot start with a digit: {name!r}")
+
+
+class _Instrument:
+    """One time series: a metric family member bound to label values."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+
+
+class CounterChild(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.RLock) -> None:
+        super().__init__(lock)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ConfigurationError("counters can only increase")
+        with self._lock:
+            self.value += amount
+
+
+class GaugeChild(_Instrument):
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, lock: threading.RLock) -> None:
+        super().__init__(lock)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an absolute value."""
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add to the gauge."""
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract from the gauge."""
+        with self._lock:
+            self.value -= amount
+
+
+class HistogramChild(_Instrument):
+    """A fixed-bucket distribution with sum and count."""
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, lock: threading.RLock, buckets: Tuple[float, ...]) -> None:
+        super().__init__(lock)
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)  # cumulative at export time
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    break
+
+    def cumulative_counts(self) -> List[int]:
+        """Per-bucket counts as Prometheus cumulative ``le`` counts."""
+        with self._lock:
+            total = 0
+            cumulative = []
+            for count in self.bucket_counts:
+                total += count
+                cumulative.append(total)
+            return cumulative
+
+
+_CHILD_FACTORIES = {
+    "counter": lambda lock, opts: CounterChild(lock),
+    "gauge": lambda lock, opts: GaugeChild(lock),
+    "histogram": lambda lock, opts: HistogramChild(lock, opts),
+}
+
+
+class _Metric:
+    """A metric family: name, kind, label names, and its children."""
+
+    __slots__ = ("name", "kind", "help", "label_names", "_children", "_lock", "_options")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Tuple[str, ...],
+        lock: threading.RLock,
+        options=None,
+    ) -> None:
+        _validate_name(name)
+        for label in label_names:
+            _validate_name(label)
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self._lock = lock
+        self._options = options
+        self._children: Dict[Tuple[str, ...], _Instrument] = {}
+        if not label_names:
+            # Label-less metrics are their single child; value methods
+            # are forwarded below so `registry.counter("x").inc()` works.
+            self._children[()] = _CHILD_FACTORIES[kind](lock, options)
+
+    # -- child management ---------------------------------------------
+    def labels(self, **label_values: str):
+        """The child instrument for one combination of label values."""
+        try:
+            key = tuple(str(label_values[name]) for name in self.label_names)
+        except KeyError:
+            key = None
+        if key is None or len(label_values) != len(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} requires labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        # Lock-free lookup on the hot path (dict reads are atomic under
+        # the GIL); the lock only serializes first-time creation.
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _CHILD_FACTORIES[self.kind](self._lock, self._options)
+                    self._children[key] = child
+        return child
+
+    def children(self) -> Iterable[Tuple[Tuple[str, ...], _Instrument]]:
+        """Snapshot of ``(label_values, child)`` pairs, sorted."""
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _sole_child(self) -> _Instrument:
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled {self.label_names}; "
+                "call .labels(...) first"
+            )
+        return self._children[()]
+
+    # -- value methods forwarded for label-less metrics ----------------
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-less child."""
+        self._sole_child().inc(amount)  # type: ignore[attr-defined]
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the label-less child (gauges only)."""
+        self._sole_child().dec(amount)  # type: ignore[attr-defined]
+
+    def set(self, value: float) -> None:
+        """Set the label-less child (gauges only)."""
+        self._sole_child().set(value)  # type: ignore[attr-defined]
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-less child (histograms only)."""
+        self._sole_child().observe(value)  # type: ignore[attr-defined]
+
+
+class MetricsRegistry:
+    """A thread-safe, get-or-create collection of metric families.
+
+    The registry is deliberately append-only (metrics are never
+    unregistered; :meth:`reset` drops everything at once): call sites
+    re-request their metric by name on every event, so the registry
+    lookup *is* the instrumentation API and no import-time coupling to
+    a metric object exists.
+    """
+
+    #: Real registries mark themselves enabled so hot paths can gate
+    #: expensive derived observations (condition numbers, SVDs).
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    def _get_or_create(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labels: Sequence[str],
+        options=None,
+    ) -> _Metric:
+        labels = tuple(labels)
+        # Same locking discipline as _Metric.labels: lock-free read for
+        # the (overwhelmingly common) already-registered case, lock +
+        # double-check only to create.
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = _Metric(name, kind, help, labels, self._lock, options)
+                    self._metrics[name] = metric
+                    return metric
+        if metric.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}, not {kind}"
+            )
+        if metric.label_names != labels:
+            raise ConfigurationError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.label_names}, not {labels}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _Metric:
+        """Get or create a counter family."""
+        return self._get_or_create(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> _Metric:
+        """Get or create a gauge family."""
+        return self._get_or_create(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> _Metric:
+        """Get or create a histogram family with fixed bucket bounds."""
+        # Fast path: call sites pass the same (already sorted, float)
+        # bucket constant on every event, so an existing family with
+        # matching bounds skips re-normalizing and re-validating them.
+        metric = self._metrics.get(name)
+        if (
+            metric is not None
+            and metric.kind == "histogram"
+            and metric._options == tuple(buckets)
+            and metric.label_names == tuple(labels)
+        ):
+            return metric
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ConfigurationError("histogram bucket bounds must be distinct")
+        metric = self._get_or_create(name, "histogram", help, labels, bounds)
+        if metric._options != bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{metric._options}, not {bounds}"
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    def collect(self) -> List[_Metric]:
+        """All metric families, sorted by name."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready dict of every metric and sample."""
+        document: Dict[str, Dict] = {}
+        for metric in self.collect():
+            samples = []
+            for label_values, child in metric.children():
+                labels = dict(zip(metric.label_names, label_values))
+                if metric.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "buckets": {
+                                repr(bound): count
+                                for bound, count in zip(
+                                    child.buckets, child.cumulative_counts()
+                                )
+                            },
+                            "sum": child.sum,
+                            "count": child.count,
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            document[metric.name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "samples": samples,
+            }
+        return document
+
+    def reset(self) -> None:
+        """Drop every registered metric (a fresh registry, same object)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+class _NoOpInstrument:
+    """Shared do-nothing instrument returned by :class:`NullRegistry`."""
+
+    __slots__ = ()
+
+    def labels(self, **label_values: str) -> "_NoOpInstrument":
+        """Return self: label binding is free when disabled."""
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def dec(self, amount: float = 1.0) -> None:
+        """No-op."""
+
+    def set(self, value: float) -> None:
+        """No-op."""
+
+    def observe(self, value: float) -> None:
+        """No-op."""
+
+
+_NOOP_INSTRUMENT = _NoOpInstrument()
+
+
+class NullRegistry:
+    """The default registry: every instrument is a shared no-op.
+
+    Keeping the interface identical to :class:`MetricsRegistry` means
+    instrumented code never branches on configuration — it just talks
+    to whatever registry is installed — while paying only a couple of
+    attribute lookups per event when telemetry is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        """The shared no-op instrument."""
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        """The shared no-op instrument."""
+        return _NOOP_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        """The shared no-op instrument."""
+        return _NOOP_INSTRUMENT
+
+    def collect(self) -> List[_Metric]:
+        """Always empty."""
+        return []
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Always empty."""
+        return {}
+
+    def reset(self) -> None:
+        """No-op."""
+
+
+#: Process-wide shared null registry (stateless, so one suffices).
+NULL_REGISTRY = NullRegistry()

@@ -72,6 +72,60 @@ class TestParallelReplay:
         assert all(np.linalg.norm(f.position - truth) < 50.0 for f in replayed)
 
 
+class TestWarmupSeam:
+    """Chunk boundaries re-pay warm-up: NR answers the seam epochs."""
+
+    WARMUP = RECEIVER_KWARGS["warmup_epochs"]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_seam_epochs_answered_by_nr(self, stream, backend):
+        half = len(stream) // 2
+        replayed = ParallelReplay(
+            RECEIVER_KWARGS, workers=2, backend=backend, chunk_size=half
+        ).replay(stream)
+        # Each chunk's first `warmup_epochs` fixes come from the NR
+        # warm-up of its fresh receiver; the rest are closed-form DLG.
+        for chunk_start in (0, half):
+            seam = replayed[chunk_start : chunk_start + self.WARMUP]
+            steady = replayed[chunk_start + self.WARMUP : chunk_start + half]
+            assert all(fix.algorithm == "NR" for fix in seam)
+            assert all(fix.algorithm == "DLG" for fix in steady)
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_chunked_matches_serial_outside_seams(self, stream, backend):
+        serial = GpsReceiver(**RECEIVER_KWARGS).process_many(stream)
+        half = len(stream) // 2
+        replayed = ParallelReplay(
+            RECEIVER_KWARGS, workers=2, backend=backend, chunk_size=half
+        ).replay(stream)
+        # Everywhere except the second chunk's warm-up seam the chunked
+        # replay answers with the same algorithm, and positions agree to
+        # the clock-predictor level (the second chunk's predictor trained
+        # on its own warm-up, so sub-meter — not bitwise — agreement).
+        seam = set(range(half, half + self.WARMUP))
+        for index, (a, b) in enumerate(zip(replayed, serial)):
+            if index in seam:
+                continue
+            assert a.algorithm == b.algorithm
+            assert np.linalg.norm(a.position - b.position) < 1.0
+        # First chunk sees exactly the serial receiver's history: exact.
+        for a, b in zip(replayed[:half], serial[:half]):
+            np.testing.assert_allclose(a.position, b.position, atol=1e-9)
+
+    def test_seam_width_is_warmup_fixes(self, stream):
+        half = len(stream) // 2
+        serial = GpsReceiver(**RECEIVER_KWARGS).process_many(stream)
+        replayed = ParallelReplay(
+            RECEIVER_KWARGS, workers=2, backend="thread", chunk_size=half
+        ).replay(stream)
+        differing = [
+            i
+            for i, (a, b) in enumerate(zip(replayed, serial))
+            if a.algorithm != b.algorithm
+        ]
+        assert differing == list(range(half, half + self.WARMUP))
+
+
 class TestValidation:
     def test_rejects_bad_backend(self):
         with pytest.raises(ConfigurationError, match="backend"):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import DLGSolver, DLOSolver, NewtonRaphsonSolver
-from repro.engine import PositioningEngine
+from repro.engine import EngineDiagnostics, PositioningEngine
 from repro.errors import ConfigurationError, GeometryError
 
 BIAS = 21.0
@@ -77,6 +77,66 @@ class TestSolveStream:
             mixed_stream, biases=[BIAS] * len(mixed_stream)
         )
         assert len(result) == len(mixed_stream)
+
+
+class TestDiagnostics:
+    def test_clean_stream_reports_empty_diagnostics(self, mixed_stream):
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            mixed_stream, biases=[BIAS] * len(mixed_stream)
+        )
+        assert isinstance(result.diagnostics, EngineDiagnostics)
+        assert result.diagnostics.epochs_dropped == 0
+        assert result.diagnostics.dropped_indices == ()
+        assert set(result.diagnostics.bucket_status.values()) == {"ok"}
+        assert set(result.diagnostics.bucket_status) == set(result.bucket_sizes)
+
+    def test_drop_mode_answers_undersized_with_nan(self, make_epoch):
+        stream = [
+            make_epoch(bias_meters=BIAS, count=8, seed=0),
+            make_epoch(bias_meters=BIAS, count=3, seed=1),
+            make_epoch(bias_meters=BIAS, count=8, seed=2),
+        ]
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            stream, biases=[BIAS] * 3, on_undersized="drop"
+        )
+        assert result.positions.shape == (3, 3)
+        assert np.all(np.isnan(result.positions[1]))
+        assert np.isnan(result.clock_biases[1])
+        assert np.all(np.isfinite(result.positions[[0, 2]]))
+        assert result.diagnostics.epochs_dropped == 1
+        assert result.diagnostics.dropped_indices == (1,)
+        # The dropped count never shows up in the solved buckets.
+        assert 3 not in result.bucket_sizes
+
+    def test_drop_mode_with_all_undersized_raises(self, make_epoch):
+        stream = [make_epoch(count=3, seed=i) for i in range(2)]
+        with pytest.raises(GeometryError, match="every epoch"):
+            PositioningEngine(algorithm="dlg").solve_stream(
+                stream, biases=[0.0, 0.0], on_undersized="drop"
+            )
+
+    def test_rejects_unknown_on_undersized(self, mixed_stream):
+        with pytest.raises(ConfigurationError, match="on_undersized"):
+            PositioningEngine().solve_stream(
+                mixed_stream,
+                biases=[BIAS] * len(mixed_stream),
+                on_undersized="ignore",
+            )
+
+    def test_to_dict_is_json_ready(self, make_epoch):
+        stream = [
+            make_epoch(bias_meters=BIAS, count=8, seed=0),
+            make_epoch(bias_meters=BIAS, count=3, seed=1),
+        ]
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            stream, biases=[BIAS, BIAS], on_undersized="drop"
+        )
+        doc = result.diagnostics.to_dict()
+        assert doc == {
+            "epochs_dropped": 1,
+            "dropped_indices": [1],
+            "bucket_status": {"8": "ok"},
+        }
 
 
 class TestValidation:

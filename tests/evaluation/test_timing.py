@@ -8,6 +8,7 @@ from repro.core import PositionFix
 from repro.core.base import PositioningAlgorithm
 from repro.errors import ConfigurationError
 from repro.evaluation import TimingStats, time_callable, time_solver, time_solver_stats
+from repro.evaluation.timing import _percentile
 
 
 class SleepySolver(PositioningAlgorithm):
@@ -79,6 +80,46 @@ class TestTimeSolverStats:
         epochs = [make_epoch()] * 3
         best = time_solver(SleepySolver(0.0005), epochs, repeats=2)
         assert best == pytest.approx(5e5, rel=0.5)
+
+
+class TestPercentile:
+    """Nearest-rank regression anchors for repeats = 1, 2, and 20."""
+
+    def test_single_value_every_fraction(self):
+        for fraction in (0.0, 0.5, 0.95, 1.0):
+            assert _percentile([7.0], fraction) == 7.0
+
+    def test_two_values_median_is_upper_neighbor(self):
+        # The old int(round(...)) used banker's rounding: round(0.5)
+        # is 0, so the p50 of two passes silently reported the MINIMUM.
+        assert _percentile([1.0, 2.0], 0.50) == 2.0
+
+    def test_two_values_p95_is_max(self):
+        assert _percentile([1.0, 2.0], 0.95) == 2.0
+
+    def test_twenty_values_nearest_rank(self):
+        values = [float(i) for i in range(20)]
+        # fraction * 19 rounded half-up: 9.5 -> rank 10, 18.05 -> 18.
+        assert _percentile(values, 0.50) == 10.0
+        assert _percentile(values, 0.95) == 18.0
+
+    def test_extreme_fractions_clamp_to_ends(self):
+        values = [float(i) for i in range(20)]
+        assert _percentile(values, 0.0) == 0.0
+        assert _percentile(values, 1.0) == 19.0
+
+    def test_stats_median_of_two_passes_uses_slower_pass(self):
+        # End to end through time_callable: with exactly two timed
+        # passes, p50 must not collapse onto best_ns.
+        durations = iter([0.0, 0.004, 0.0])  # warm-up, then slow/fast passes
+
+        def bulk():
+            deadline = time.perf_counter() + next(durations, 0.0)
+            while time.perf_counter() < deadline:
+                pass
+
+        stats = time_callable(bulk, items=1, repeats=2, warmup_rounds=1)
+        assert stats.p50_ns > stats.best_ns
 
 
 class TestTimeCallable:

@@ -105,3 +105,56 @@ class TestExperimentOutput:
         text = out.read_text()
         assert "## Accuracy rate" in text
         assert "SRZN" in text
+
+
+class TestTelemetryCommand:
+    def test_prometheus_text_to_stdout(self, capsys):
+        assert main(["telemetry", "SRZN", "--duration", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_receiver_epochs_total counter" in out
+        assert "# TYPE repro_engine_streams_total counter" in out
+        assert "# TYPE repro_replay_chunks_total counter" in out
+        assert "# TYPE repro_solver_solves_total counter" in out
+
+    def test_json_document_to_stdout(self, capsys):
+        import json
+
+        assert main(["telemetry", "SRZN", "--duration", "20",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["telemetry"]["enabled"] is True
+        assert "repro_replay_epochs_total" in doc["metrics"]
+        assert doc["extra"]["engine_diagnostics"]["epochs_dropped"] == 0
+        assert any(s["name"] == "engine.solve_stream" for s in doc["spans"])
+
+    def test_output_file_by_extension(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(["telemetry", "SRZN", "--duration", "20",
+                     "--output", str(path)]) == 0
+        assert "# TYPE repro_engine_epochs_total counter" in path.read_text()
+
+    def test_leaves_telemetry_uninstalled(self):
+        from repro import telemetry
+
+        assert main(["telemetry", "SRZN", "--duration", "20"]) == 0
+        assert telemetry.is_enabled() is False
+
+
+class TestMetricsOutFlag:
+    def test_solve_writes_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "solve.json"
+        assert main(["solve", "SRZN", "--duration", "20", "--warmup", "5",
+                     "--metrics-out", str(path)]) == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["repro_receiver_epochs_total"]["samples"][0][
+            "value"
+        ] == 20
+        assert "wrote telemetry snapshot" in capsys.readouterr().out
+
+    def test_experiment_writes_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "exp.prom"
+        assert main(["experiment", "SRZN", "--duration", "400",
+                     "--metrics-out", str(path)]) == 0
+        assert "# TYPE repro_solver_solves_total counter" in path.read_text()

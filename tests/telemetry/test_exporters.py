@@ -1,0 +1,92 @@
+"""Tests for the Prometheus text and JSON snapshot exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    NULL_REGISTRY,
+    SpanTracer,
+    to_json_snapshot,
+    to_prometheus_text,
+    write_snapshot,
+)
+
+
+@pytest.fixture
+def populated():
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_solves_total", "Solves.", labels=("solver",)
+    ).labels(solver="dlg").inc(3)
+    registry.gauge("repro_coverage", "Coverage.").set(0.75)
+    hist = registry.histogram("repro_latency", "Latency.", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    hist.observe(5.0)
+    hist.observe(50.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_help_and_type_headers(self, populated):
+        text = to_prometheus_text(populated)
+        assert "# HELP repro_solves_total Solves." in text
+        assert "# TYPE repro_solves_total counter" in text
+        assert "# TYPE repro_coverage gauge" in text
+        assert "# TYPE repro_latency histogram" in text
+
+    def test_labeled_counter_sample(self, populated):
+        assert 'repro_solves_total{solver="dlg"} 3' in to_prometheus_text(populated)
+
+    def test_histogram_series_are_cumulative(self, populated):
+        text = to_prometheus_text(populated)
+        assert 'repro_latency_bucket{le="1"} 1' in text
+        assert 'repro_latency_bucket{le="10"} 2' in text
+        assert 'repro_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_latency_sum 55.5" in text
+        assert "repro_latency_count 3" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labels=("k",)).labels(k='a"b\\c\nd').inc()
+        text = to_prometheus_text(registry)
+        assert r'x_total{k="a\"b\\c\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(NULL_REGISTRY) == ""
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestJsonSnapshot:
+    def test_bundles_metrics_spans_and_extras(self, populated):
+        tracer = SpanTracer()
+        with tracer.span("region"):
+            pass
+        doc = to_json_snapshot(populated, tracer, extra={"run": "demo"})
+        assert doc["telemetry"]["enabled"] is True
+        assert "repro_solves_total" in doc["metrics"]
+        assert doc["spans"][0]["name"] == "region"
+        assert doc["extra"] == {"run": "demo"}
+
+    def test_round_trips_through_json(self, populated):
+        doc = to_json_snapshot(populated, SpanTracer())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_null_registry_marked_disabled(self):
+        doc = to_json_snapshot(NULL_REGISTRY)
+        assert doc["telemetry"]["enabled"] is False
+        assert doc["metrics"] == {}
+
+
+class TestWriteSnapshot:
+    def test_prom_extension_writes_text(self, tmp_path, populated):
+        path = tmp_path / "metrics.prom"
+        write_snapshot(str(path), populated)
+        assert "# TYPE repro_coverage gauge" in path.read_text()
+
+    def test_json_extension_writes_document(self, tmp_path, populated):
+        path = tmp_path / "metrics.json"
+        write_snapshot(str(path), populated, tracer=SpanTracer())
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["repro_coverage"]["samples"][0]["value"] == 0.75

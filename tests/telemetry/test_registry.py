@@ -1,0 +1,158 @@
+"""Tests for the metrics registry: counters, gauges, histograms, labels."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("fixes_total")
+        counter.inc()
+        counter.inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["fixes_total"]["samples"][0]["value"] == 4.0
+
+    def test_rejects_negative_increment(self, registry):
+        with pytest.raises(ConfigurationError, match="only increase"):
+            registry.counter("fixes_total").inc(-1)
+
+    def test_get_or_create_returns_same_family(self, registry):
+        registry.counter("fixes_total").inc()
+        registry.counter("fixes_total").inc()
+        assert registry.snapshot()["fixes_total"]["samples"][0]["value"] == 2.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("utilization")
+        gauge.set(0.5)
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert registry.snapshot()["utilization"]["samples"][0]["value"] == (
+            pytest.approx(0.25)
+        )
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self, registry):
+        hist = registry.histogram("latency", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        sample = registry.snapshot()["latency"]["samples"][0]
+        # Cumulative le-counts: 1 at <=1, 2 at <=10, 3 at <=100; the
+        # 500 observation only shows in count/sum (the +Inf bucket).
+        assert sample["buckets"] == {"1.0": 1, "10.0": 2, "100.0": 3}
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(555.5)
+
+    def test_default_buckets_cover_wide_range(self, registry):
+        hist = registry.histogram("anything")
+        hist.observe(1e-4)
+        hist.observe(1e6)
+        sample = registry.snapshot()["anything"]["samples"][0]
+        assert sample["count"] == 2
+        assert len(DEFAULT_BUCKETS) == len(sample["buckets"])
+
+    def test_rejects_empty_or_duplicate_buckets(self, registry):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            registry.histogram("h1", buckets=())
+        with pytest.raises(ConfigurationError, match="distinct"):
+            registry.histogram("h2", buckets=(1.0, 1.0))
+
+    def test_rejects_conflicting_buckets(self, registry):
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError, match="buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestLabels:
+    def test_label_values_create_distinct_children(self, registry):
+        family = registry.counter("solves_total", labels=("solver",))
+        family.labels(solver="dlg").inc(2)
+        family.labels(solver="nr").inc(1)
+        samples = registry.snapshot()["solves_total"]["samples"]
+        by_solver = {s["labels"]["solver"]: s["value"] for s in samples}
+        assert by_solver == {"dlg": 2.0, "nr": 1.0}
+
+    def test_labeled_metric_requires_labels_call(self, registry):
+        family = registry.counter("solves_total", labels=("solver",))
+        with pytest.raises(ConfigurationError, match="labels"):
+            family.inc()
+
+    def test_wrong_label_names_rejected(self, registry):
+        family = registry.counter("solves_total", labels=("solver",))
+        with pytest.raises(ConfigurationError, match="requires labels"):
+            family.labels(algorithm="dlg")
+
+    def test_conflicting_label_declaration_rejected(self, registry):
+        registry.counter("solves_total", labels=("solver",))
+        with pytest.raises(ConfigurationError, match="labels"):
+            registry.counter("solves_total", labels=("algorithm",))
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_invalid_metric_names_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            registry.counter("")
+        with pytest.raises(ConfigurationError):
+            registry.counter("bad name")
+        with pytest.raises(ConfigurationError):
+            registry.counter("1starts_with_digit")
+
+    def test_collect_sorted_by_name(self, registry):
+        registry.counter("zz_total")
+        registry.counter("aa_total")
+        assert [m.name for m in registry.collect()] == ["aa_total", "zz_total"]
+
+    def test_reset_drops_everything(self, registry):
+        registry.counter("x_total").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_thread_safety_under_contention(self, registry):
+        counter = registry.counter("contended_total")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.snapshot()["contended_total"]["samples"][0]["value"] == 4000.0
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NullRegistry().enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_all_operations_are_noops(self):
+        null = NULL_REGISTRY
+        null.counter("x", labels=("a",)).labels(a="1").inc()
+        null.gauge("y").set(1.0)
+        null.histogram("z").observe(2.0)
+        assert null.collect() == []
+        assert null.snapshot() == {}
+        null.reset()

@@ -1,0 +1,98 @@
+"""Tests for the span tracer: timing, nesting, bounded retention."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import NULL_TRACER, SpanRecord, SpanTracer
+
+
+class TestSpans:
+    def test_span_times_the_region(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            time.sleep(0.005)
+        (record,) = tracer.spans
+        assert record.name == "work"
+        assert record.duration_ns >= 4_000_000
+
+    def test_nesting_records_depth_and_parent(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.name, inner.depth, inner.parent) == ("inner", 1, "outer")
+        assert (outer.name, outer.depth, outer.parent) == ("outer", 0, None)
+
+    def test_attributes_are_kept(self):
+        tracer = SpanTracer()
+        with tracer.span("bucket", satellite_count=8, size=100):
+            pass
+        assert tracer.spans[0].attributes == {"satellite_count": 8, "size": 100}
+
+    def test_span_finishes_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert [s.name for s in tracer.spans] == ["doomed"]
+
+    def test_record_external_duration(self):
+        tracer = SpanTracer()
+        tracer.record("replay.chunk", 1_234, index=0)
+        (record,) = tracer.spans
+        assert record.duration_ns == 1_234
+        assert record.attributes == {"index": 0}
+
+    def test_record_nests_under_active_span(self):
+        tracer = SpanTracer()
+        with tracer.span("replay"):
+            tracer.record("replay.chunk", 10)
+        chunk = tracer.spans[0]
+        assert (chunk.depth, chunk.parent) == (1, "replay")
+
+
+class TestRetention:
+    def test_bounded_to_max_spans(self):
+        tracer = SpanTracer(max_spans=3)
+        for i in range(5):
+            tracer.record(f"s{i}", 1)
+        assert [s.name for s in tracer.spans] == ["s2", "s3", "s4"]
+
+    def test_rejects_nonpositive_max_spans(self):
+        with pytest.raises(ConfigurationError, match="max_spans"):
+            SpanTracer(max_spans=0)
+
+    def test_reset_clears_records(self):
+        tracer = SpanTracer()
+        tracer.record("s", 1)
+        tracer.reset()
+        assert tracer.spans == ()
+
+    def test_snapshot_is_json_ready(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", k="v"):
+            pass
+        (doc,) = tracer.snapshot()
+        assert doc["name"] == "outer"
+        assert doc["attributes"] == {"k": "v"}
+        assert isinstance(doc["duration_ns"], int)
+
+
+class TestNullTracer:
+    def test_span_is_free_noop(self):
+        with NULL_TRACER.span("anything", a=1):
+            pass
+        NULL_TRACER.record("x", 5)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.snapshot() == []
+        assert NULL_TRACER.enabled is False
+
+    def test_span_record_is_frozen(self):
+        record = SpanRecord(
+            name="s", start_ns=0, duration_ns=1, depth=0, parent=None
+        )
+        with pytest.raises(AttributeError):
+            record.name = "other"

@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.stations",
     "repro.rinex",
     "repro.evaluation",
+    "repro.telemetry",
 ]
 
 
