@@ -32,11 +32,17 @@ from repro.errors import (
     EstimationError,
 )
 from repro.timebase import GpsTime
-from repro.observations import SatelliteObservation, ObservationEpoch, EpochTruth
+from repro.observations import (
+    SatelliteObservation,
+    ObservationEpoch,
+    EpochTruth,
+    epoch_integrity_error,
+)
 from repro.constellation import Constellation, Satellite
 from repro.clocks import (
     SteeringClock,
     ThresholdClock,
+    ConstantClockBiasPredictor,
     LinearClockBiasPredictor,
     KalmanClockBiasPredictor,
     OracleClockBiasPredictor,
@@ -71,6 +77,16 @@ from repro.engine import (
     PositioningEngine,
 )
 from repro import telemetry
+from repro.validation import (
+    FaultProfile,
+    FuzzConfig,
+    FuzzHarness,
+    Scenario,
+    ScenarioConfig,
+    ScenarioGenerator,
+    run_differential,
+    run_metamorphic,
+)
 from repro.dgps import DgpsCorrections, DgpsReferenceStation, apply_corrections
 from repro.signals import (
     CycleSlipDetector,
@@ -114,10 +130,12 @@ __all__ = [
     "SatelliteObservation",
     "ObservationEpoch",
     "EpochTruth",
+    "epoch_integrity_error",
     "Constellation",
     "Satellite",
     "SteeringClock",
     "ThresholdClock",
+    "ConstantClockBiasPredictor",
     "LinearClockBiasPredictor",
     "KalmanClockBiasPredictor",
     "OracleClockBiasPredictor",
@@ -138,6 +156,14 @@ __all__ = [
     "ParallelReplay",
     "PositioningEngine",
     "telemetry",
+    "FaultProfile",
+    "FuzzConfig",
+    "FuzzHarness",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioGenerator",
+    "run_differential",
+    "run_metamorphic",
     "RaimMonitor",
     "RaimResult",
     "VelocityFix",

@@ -11,6 +11,9 @@ Subcommands:
   navigation files.
 * ``telemetry`` — run an instrumented replay and print or write its
   metrics (Prometheus text or JSON snapshot).
+* ``fuzz`` — run seeded differential/metamorphic validation scenarios
+  under a time or count budget, persisting failures as replayable
+  artifacts (``--replay`` reruns one).
 
 ``solve`` and ``experiment`` also accept ``--metrics-out PATH`` to
 record their telemetry alongside the normal output; the format follows
@@ -51,6 +54,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "skyplot": _cmd_skyplot,
         "telemetry": _cmd_telemetry,
+        "fuzz": _cmd_fuzz,
     }[args.command]
     return handler(args)
 
@@ -158,6 +162,59 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the snapshot to a file instead of stdout",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="run seeded validation scenarios until a budget runs out",
+    )
+    fuzz.add_argument(
+        "--budget",
+        default="60s",
+        metavar="TIME",
+        help="wall-clock budget, e.g. 45, 60s, 2m (default 60s)",
+    )
+    fuzz.add_argument(
+        "--scenarios",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also stop after N scenarios",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="first scenario seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="probability of injecting a fault per scenario (default 0)",
+    )
+    fuzz.add_argument(
+        "--inject",
+        default=None,
+        choices=sorted(_fault_registry()),
+        help="inject this specific fault (implies --fault-rate 1.0 "
+        "unless --fault-rate is given)",
+    )
+    fuzz.add_argument(
+        "--artifacts-dir",
+        default="fuzz-artifacts",
+        metavar="DIR",
+        help="where failing/explained seeds are persisted",
+    )
+    fuzz.add_argument(
+        "--replay",
+        default=None,
+        metavar="PATH",
+        help="replay one persisted artifact instead of fuzzing",
+    )
+    fuzz.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="record telemetry for the run (.prom/.txt or .json)",
     )
     return parser
 
@@ -303,6 +360,87 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
             )
             sys.stdout.write("\n")
     return 0
+
+
+def _fault_registry():
+    """Injectable fault names (lazy import keeps CLI startup light)."""
+    from repro.validation import FAULT_REGISTRY
+
+    return FAULT_REGISTRY
+
+
+def _parse_budget(text: str) -> float:
+    """Seconds from a ``45`` / ``60s`` / ``2m`` / ``1h`` spelling."""
+    text = text.strip().lower()
+    scale = 1.0
+    if text.endswith(("s", "m", "h")):
+        scale = {"s": 1.0, "m": 60.0, "h": 3600.0}[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * scale
+    except ValueError:
+        raise SystemExit(f"invalid --budget {text!r}: use e.g. 45, 60s, or 2m")
+    if seconds <= 0:
+        raise SystemExit("--budget must be positive")
+    return seconds
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.validation import (
+        FuzzConfig,
+        FuzzHarness,
+        fault_from_spec,
+        replay_artifact,
+    )
+
+    if args.replay:
+        recorded = json.loads(open(args.replay).read())
+        result = replay_artifact(args.replay)
+        reproduced = (
+            result.status == recorded.get("status")
+            and result.kind == recorded.get("kind")
+            and list(result.detail) == recorded.get("detail", [])
+        )
+        print(f"replayed seed {result.seed}: status={result.status}", end="")
+        if result.kind:
+            print(f" kind={result.kind}", end="")
+        print()
+        for line in result.detail:
+            print(f"  {line}")
+        print("verdict reproduced" if reproduced else "VERDICT CHANGED since recording")
+        return 0 if reproduced else 2
+
+    fault = None
+    fault_rate = args.fault_rate
+    if args.inject is not None:
+        fault = fault_from_spec({"name": args.inject})
+        if fault_rate == 0.0:
+            fault_rate = 1.0
+    config = FuzzConfig(
+        budget_seconds=_parse_budget(args.budget),
+        max_scenarios=args.scenarios,
+        start_seed=args.seed,
+        fault_rate=fault_rate,
+        fault=fault,
+        artifacts_dir=args.artifacts_dir,
+    )
+    with _metrics_sink(args.metrics_out):
+        report = FuzzHarness(config).run()
+        print(
+            f"fuzzed {report.scenarios} scenarios in "
+            f"{report.elapsed_seconds:.1f}s from seed {args.seed}: "
+            f"{report.passes} passed, {report.rejected} rejected, "
+            f"{report.explained} fault-explained, "
+            f"{len(report.failures)} unexplained failures "
+            f"({report.stream_checks} stream checks)"
+        )
+        for failure in report.failures:
+            print(f"  FAILED seed {failure.seed} [{failure.kind}]")
+            for line in failure.detail[:4]:
+                print(f"    {line}")
+        for path in report.artifact_paths:
+            print(f"  artifact: {path}")
+    return 0 if report.ok else 1
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.clocks.models import (
 )
 from repro.clocks.prediction import (
     ClockBiasPredictor,
+    ConstantClockBiasPredictor,
     LinearClockBiasPredictor,
     OracleClockBiasPredictor,
     ZeroClockBiasPredictor,
@@ -30,6 +31,7 @@ __all__ = [
     "SteeringClock",
     "ThresholdClock",
     "ClockBiasPredictor",
+    "ConstantClockBiasPredictor",
     "LinearClockBiasPredictor",
     "OracleClockBiasPredictor",
     "ZeroClockBiasPredictor",

@@ -72,6 +72,31 @@ class ZeroClockBiasPredictor(ClockBiasPredictor):
         return True
 
 
+class ConstantClockBiasPredictor(ClockBiasPredictor):
+    """Predicts a fixed, caller-supplied bias (meters) at every epoch.
+
+    The workhorse of differential testing: when an epoch's pseudoranges
+    were synthesized with a known bias, handing DLO/DLG that exact value
+    isolates the *solver* from the *clock model*, so any residual
+    disagreement against NR is attributable to the linearization alone.
+    """
+
+    def __init__(self, bias_meters: float = 0.0) -> None:
+        if not np.isfinite(bias_meters):
+            raise ConfigurationError("bias_meters must be finite")
+        self._bias_meters = float(bias_meters)
+
+    def observe(self, time: GpsTime, bias_meters: float) -> None:
+        pass
+
+    def predict_bias_meters(self, time: GpsTime) -> float:
+        return self._bias_meters
+
+    @property
+    def is_ready(self) -> bool:
+        return True
+
+
 class OracleClockBiasPredictor(ClockBiasPredictor):
     """Predicts the *true* bias straight from the clock model.
 

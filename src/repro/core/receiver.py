@@ -40,7 +40,7 @@ from repro.core.newton_raphson import NewtonRaphsonSolver
 from repro.core.selection import BaseSatelliteSelector
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError
-from repro.observations import ObservationEpoch
+from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.telemetry import get_registry
 
 _log = logging.getLogger(__name__)
@@ -154,6 +154,7 @@ class GpsReceiver:
             "residual_gate_recoveries": 0,
             "raim_exclusions": 0,
             "raim_unrepaired": 0,
+            "rejected_epochs": 0,
         }
 
     # ------------------------------------------------------------------
@@ -202,7 +203,21 @@ class GpsReceiver:
         return fix
 
     def process(self, epoch: ObservationEpoch) -> PositionFix:
-        """Solve one epoch, transparently handling warm-up and resets."""
+        """Solve one epoch, transparently handling warm-up and resets.
+
+        Raises
+        ------
+        GeometryError
+            If the epoch fails the shared input contract
+            (:func:`~repro.observations.epoch_integrity_error`):
+            undersized, duplicate PRNs, or non-finite measurements.
+            Checked before any solver or fallback runs, so a corrupt
+            epoch can never half-train the clock predictor.
+        """
+        integrity_error = epoch_integrity_error(epoch)
+        if integrity_error is not None:
+            self._event("rejected_epochs")
+            raise GeometryError(integrity_error)
         self._epochs_processed += 1
         registry = get_registry()
         if registry.enabled:

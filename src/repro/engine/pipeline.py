@@ -31,9 +31,9 @@ from repro.core.batch import (
     BatchDLOSolver,
     BatchNewtonRaphsonSolver,
 )
-from repro.engine.scheduler import bucket_epochs, scatter_bucket_results
+from repro.engine.scheduler import EpochBucket, bucket_epochs, scatter_bucket_results
 from repro.errors import ConfigurationError, EstimationError, GeometryError
-from repro.observations import ObservationEpoch
+from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.telemetry import get_registry, get_tracer
 
 _log = logging.getLogger(__name__)
@@ -53,6 +53,12 @@ class EngineDiagnostics:
         ``on_undersized="drop"``); their result rows are NaN.
     dropped_indices:
         Stream indices of the dropped epochs.
+    epochs_invalid:
+        Structurally invalid epochs (duplicate PRNs, non-finite
+        measurements) excluded under ``on_undersized="drop"``; their
+        result rows are NaN.
+    invalid_indices:
+        Stream indices of the invalid epochs.
     bucket_status:
         Per-bucket solve outcome, keyed by satellite count:
         ``"ok"`` or ``"failed"`` (a failed bucket also raises, so
@@ -62,6 +68,8 @@ class EngineDiagnostics:
 
     epochs_dropped: int = 0
     dropped_indices: Tuple[int, ...] = ()
+    epochs_invalid: int = 0
+    invalid_indices: Tuple[int, ...] = ()
     bucket_status: Dict[int, str] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
@@ -69,6 +77,8 @@ class EngineDiagnostics:
         return {
             "epochs_dropped": self.epochs_dropped,
             "dropped_indices": list(self.dropped_indices),
+            "epochs_invalid": self.epochs_invalid,
+            "invalid_indices": list(self.invalid_indices),
             "bucket_status": {str(k): v for k, v in self.bucket_status.items()},
         }
 
@@ -199,9 +209,12 @@ class PositioningEngine:
             already clock-free pseudoranges.  Ignored by NR.
         on_undersized:
             ``"raise"`` (default) rejects a stream containing epochs
-            with fewer than 4 satellites; ``"drop"`` solves everything
-            else, answers the undersized epochs with NaN rows, and
-            accounts for them in ``result.diagnostics``.
+            with fewer than 4 satellites — or structurally invalid
+            ones (duplicate PRNs, non-finite measurements, per
+            :func:`~repro.observations.epoch_integrity_error`);
+            ``"drop"`` solves everything else, answers the offending
+            epochs with NaN rows, and accounts for them in
+            ``result.diagnostics``.
 
         Results come back aligned with the input: row ``i`` of
         ``positions`` answers ``epochs[i]`` regardless of how the
@@ -214,6 +227,29 @@ class PositioningEngine:
         epochs = list(epochs)
         if not epochs:
             raise GeometryError("solve_stream needs at least one epoch")
+
+        # Structural integrity first (sized epochs are handled through
+        # the bucketing path below, with the same raise/drop policy).
+        invalid_pairs = []
+        for index, epoch in enumerate(epochs):
+            message = epoch_integrity_error(epoch, min_satellites=1)
+            if message is not None:
+                invalid_pairs.append((index, message))
+        if invalid_pairs and on_undersized == "raise":
+            index, message = invalid_pairs[0]
+            raise GeometryError(
+                f"stream contains {len(invalid_pairs)} structurally invalid "
+                f"epoch(s) (first at index {index}: {message}); "
+                f"filter or repair them before solving"
+            )
+        invalid_indices = tuple(index for index, _message in invalid_pairs)
+        invalid_set = frozenset(invalid_indices)
+        if invalid_indices:
+            _log.warning(
+                "dropping %d structurally invalid epochs from a %d-epoch stream",
+                len(invalid_indices),
+                len(epochs),
+            )
         stream_biases = self._resolve_biases(epochs, biases)
 
         registry = get_registry()
@@ -222,6 +258,23 @@ class PositioningEngine:
             "engine.solve_stream", algorithm=self._algorithm, epochs=len(epochs)
         ):
             buckets = bucket_epochs(epochs)
+            if invalid_set:
+                pruned = []
+                for bucket in buckets:
+                    kept = [
+                        (index, epoch)
+                        for index, epoch in zip(bucket.indices, bucket.epochs)
+                        if index not in invalid_set
+                    ]
+                    if kept:
+                        pruned.append(
+                            EpochBucket(
+                                satellite_count=bucket.satellite_count,
+                                indices=tuple(i for i, _e in kept),
+                                epochs=tuple(e for _i, e in kept),
+                            )
+                        )
+                buckets = pruned
             undersized = [b for b in buckets if b.satellite_count < 4]
             if undersized and on_undersized == "raise":
                 raise GeometryError(
@@ -269,7 +322,7 @@ class PositioningEngine:
                 position_blocks.append(block)
                 bias_blocks.append(bucket_biases)
 
-            allow_partial = bool(dropped_indices)
+            allow_partial = bool(dropped_indices or invalid_indices)
             positions = scatter_bucket_results(
                 solvable, position_blocks, len(epochs), allow_partial=allow_partial
             )
@@ -280,6 +333,8 @@ class PositioningEngine:
         diagnostics = EngineDiagnostics(
             epochs_dropped=len(dropped_indices),
             dropped_indices=dropped_indices,
+            epochs_invalid=len(invalid_indices),
+            invalid_indices=invalid_indices,
             bucket_status=bucket_status,
         )
         if registry.enabled:
@@ -298,10 +353,18 @@ class PositioningEngine:
                     "repro_engine_epochs_dropped_total",
                     "Undersized epochs dropped from streams.",
                 ).inc(len(dropped_indices))
+            if invalid_indices:
+                registry.counter(
+                    "repro_engine_epochs_invalid_total",
+                    "Structurally invalid epochs dropped from streams.",
+                ).inc(len(invalid_indices))
             registry.gauge(
                 "repro_engine_scatter_coverage",
                 "Fraction of the last stream answered with a solve.",
-            ).set(1.0 - len(dropped_indices) / len(epochs))
+            ).set(
+                1.0
+                - (len(dropped_indices) + len(invalid_indices)) / len(epochs)
+            )
 
         return EngineResult(
             positions=positions,

@@ -205,3 +205,45 @@ class ObservationEpoch:
         return ObservationEpoch(
             time=self.time, observations=tuple(observations), truth=self.truth
         )
+
+
+def epoch_integrity_error(
+    epoch: ObservationEpoch, min_satellites: int = 4
+) -> Optional[str]:
+    """Why ``epoch`` violates the solvers' input contract, or ``None``.
+
+    The *shared* entry-point guard: :meth:`GpsReceiver.process
+    <repro.core.receiver.GpsReceiver.process>` and
+    :meth:`PositioningEngine.solve_stream
+    <repro.engine.pipeline.PositioningEngine.solve_stream>` both call
+    it, so a broken epoch gets the same verdict wherever it enters —
+    the caller only decides *policy* (raise versus NaN-drop).  It
+    re-checks invariants the validating constructors already enforce
+    because fault injection — and any real decoder that trusts its
+    wire format — can hand over epochs that never went through those
+    constructors.
+
+    Checks, cheapest first: satellite count against ``min_satellites``,
+    duplicate PRNs, non-finite satellite positions, and non-finite or
+    non-positive pseudoranges.  Returns a human-readable description of
+    the *first* violation found.
+    """
+    count = len(epoch.observations)
+    if count < min_satellites:
+        return (
+            f"epoch has {count} satellites, fewer than {min_satellites} required"
+        )
+    prns = [obs.prn for obs in epoch.observations]
+    if len(set(prns)) != count:
+        duplicated = sorted({prn for prn in prns if prns.count(prn) > 1})
+        return f"epoch contains duplicate PRNs {duplicated}"
+    for obs in epoch.observations:
+        position = np.asarray(obs.position, dtype=float)
+        if position.shape != (3,) or not np.all(np.isfinite(position)):
+            return f"PRN {obs.prn} has a non-finite satellite position"
+        if not np.isfinite(obs.pseudorange) or obs.pseudorange <= 0:
+            return (
+                f"PRN {obs.prn} has a non-finite or non-positive pseudorange "
+                f"({obs.pseudorange})"
+            )
+    return None

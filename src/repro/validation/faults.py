@@ -1,0 +1,299 @@
+"""Composable observation-fault injection.
+
+A :class:`FaultProfile` is a deterministic, serializable perturbation
+of an :class:`~repro.observations.ObservationEpoch`: pseudorange
+spikes, satellite dropouts, NaN/Inf measurements, clock jumps,
+duplicated satellites.  Profiles compose with ``|`` (apply left, then
+right) and round-trip through :meth:`FaultProfile.spec` /
+:func:`fault_from_spec`, which is how a fuzz artifact records *exactly*
+which corruption produced a failure.
+
+Two families of faults exist, and they are checked differently:
+
+* **semantic** faults (spikes, clock jumps) keep the epoch structurally
+  valid but corrupt its measurements — solvers are expected to *answer*
+  (and typically disagree with truth / each other; the differential
+  oracle attributes that to the fault);
+* **structural** faults (NaN/Inf, undersized dropouts, duplicate PRNs)
+  violate the data-model contract itself.  The validating constructors
+  of :mod:`repro.observations` refuse to build such epochs, so the
+  injector deliberately constructs them through ``object.__new__`` —
+  exactly what a buggy decoder or a corrupted wire message would hand
+  the pipeline.  The uniform input guard
+  (:func:`repro.observations.epoch_integrity_error`) exists because
+  this injector proved such epochs previously reached the solvers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch, SatelliteObservation
+
+#: Structural faults are expected to be *rejected* by guarded entry
+#: points; semantic faults are expected to be *answered* (wrongly).
+EXPECT_REJECTED = "rejected"
+EXPECT_ANSWERED = "answered"
+
+
+def _unvalidated_observation(template: SatelliteObservation, **overrides) -> SatelliteObservation:
+    """A SatelliteObservation built *without* constructor validation.
+
+    Fault injection must be able to express states the validating
+    constructor forbids (NaN pseudoranges, non-finite positions); this
+    mirrors how unvalidated data enters a real pipeline through a
+    decoder that trusts its input.
+    """
+    observation = object.__new__(SatelliteObservation)
+    for fld in (
+        "prn",
+        "position",
+        "pseudorange",
+        "elevation",
+        "azimuth",
+        "carrier_range",
+        "pseudorange_l2",
+        "range_rate",
+        "velocity",
+    ):
+        value = overrides.get(fld, getattr(template, fld))
+        object.__setattr__(observation, fld, value)
+    return observation
+
+
+def _unvalidated_epoch(
+    template: ObservationEpoch, observations: Sequence[SatelliteObservation]
+) -> ObservationEpoch:
+    """An ObservationEpoch built without the duplicate-PRN/empty checks."""
+    epoch = object.__new__(ObservationEpoch)
+    object.__setattr__(epoch, "time", template.time)
+    object.__setattr__(epoch, "observations", tuple(observations))
+    object.__setattr__(epoch, "truth", template.truth)
+    return epoch
+
+
+class FaultProfile(ABC):
+    """One deterministic epoch perturbation."""
+
+    #: Short registry key, also the CLI spelling (``--inject``).
+    name: str = "?"
+
+    #: :data:`EXPECT_REJECTED` or :data:`EXPECT_ANSWERED` — how guarded
+    #: entry points are expected to treat the faulted epoch.
+    expectation: str = EXPECT_ANSWERED
+
+    @abstractmethod
+    def apply(
+        self, epoch: ObservationEpoch, rng: np.random.Generator
+    ) -> ObservationEpoch:
+        """The faulted epoch (the input epoch is never mutated)."""
+
+    def spec(self) -> Dict:
+        """JSON-ready description, replayable via :func:`fault_from_spec`."""
+        return {"name": self.name, **self._params()}
+
+    def _params(self) -> Dict:
+        return {}
+
+    def __or__(self, other: "FaultProfile") -> "CompositeFault":
+        """Compose: apply ``self`` first, then ``other``."""
+        return CompositeFault((self, other))
+
+
+class PseudorangeSpike(FaultProfile):
+    """Add a large bias to one (or more) random pseudoranges.
+
+    The classic undetected-fault shape RAIM exists for: measurements
+    stay finite and plausible, the solution silently walks away.
+    """
+
+    name = "spike"
+    expectation = EXPECT_ANSWERED
+
+    def __init__(self, magnitude_meters: float = 5.0e4, count: int = 1) -> None:
+        if not np.isfinite(magnitude_meters) or magnitude_meters <= 0:
+            raise ConfigurationError("magnitude_meters must be positive and finite")
+        if count < 1:
+            raise ConfigurationError("count must be at least 1")
+        self.magnitude_meters = float(magnitude_meters)
+        self.count = int(count)
+
+    def _params(self) -> Dict:
+        return {"magnitude_meters": self.magnitude_meters, "count": self.count}
+
+    def apply(self, epoch, rng):
+        hit = set(
+            rng.choice(len(epoch), size=min(self.count, len(epoch)), replace=False)
+        )
+        observations = [
+            _unvalidated_observation(
+                obs, pseudorange=obs.pseudorange + self.magnitude_meters
+            )
+            if index in hit
+            else obs
+            for index, obs in enumerate(epoch.observations)
+        ]
+        return epoch.with_observations(observations)
+
+
+class ClockJump(FaultProfile):
+    """Shift *every* pseudorange by a common step (meters).
+
+    Simulates a receiver clock reset the bias predictor has not seen
+    yet — the Section 5.2.2 failure mode the receiver's residual gate
+    watches for.  Solvers that estimate the bias (NR, Bancroft) absorb
+    it; closed-form solvers fed a stale prediction do not.
+    """
+
+    name = "clock_jump"
+    expectation = EXPECT_ANSWERED
+
+    def __init__(self, jump_meters: float = 2.99792458e5) -> None:
+        if not np.isfinite(jump_meters) or jump_meters == 0.0:
+            raise ConfigurationError("jump_meters must be finite and nonzero")
+        self.jump_meters = float(jump_meters)
+
+    def _params(self) -> Dict:
+        return {"jump_meters": self.jump_meters}
+
+    def apply(self, epoch, rng):
+        return epoch.with_observations(
+            _unvalidated_observation(obs, pseudorange=obs.pseudorange + self.jump_meters)
+            for obs in epoch.observations
+        )
+
+
+class SatelliteDropout(FaultProfile):
+    """Remove random satellites, possibly leaving an undersized epoch."""
+
+    name = "dropout"
+    #: Dropping below four satellites must be uniformly rejected (or
+    #: NaN-dropped) by the guarded entry points.
+    expectation = EXPECT_REJECTED
+
+    def __init__(self, remaining: int = 3) -> None:
+        if remaining < 1:
+            raise ConfigurationError("remaining must be at least 1")
+        self.remaining = int(remaining)
+
+    def _params(self) -> Dict:
+        return {"remaining": self.remaining}
+
+    def apply(self, epoch, rng):
+        keep = min(self.remaining, len(epoch))
+        order = list(rng.permutation(len(epoch)))
+        return epoch.subset(keep, order)
+
+
+class NonFiniteMeasurement(FaultProfile):
+    """Corrupt one observation with NaN or infinity.
+
+    ``field`` selects what breaks: the pseudorange or one satellite
+    position component — both shapes a corrupted ephemeris decode or a
+    DSP glitch produces in practice.
+    """
+
+    name = "non_finite"
+    expectation = EXPECT_REJECTED
+
+    def __init__(self, value: str = "nan", target: str = "pseudorange") -> None:
+        if value not in ("nan", "inf", "-inf"):
+            raise ConfigurationError("value must be 'nan', 'inf', or '-inf'")
+        if target not in ("pseudorange", "position"):
+            raise ConfigurationError("target must be 'pseudorange' or 'position'")
+        self.value = value
+        self.target = target
+
+    def _params(self) -> Dict:
+        return {"value": self.value, "target": self.target}
+
+    def apply(self, epoch, rng):
+        poison = {"nan": float("nan"), "inf": float("inf"), "-inf": float("-inf")}[
+            self.value
+        ]
+        hit = int(rng.integers(len(epoch)))
+        observations = list(epoch.observations)
+        victim = observations[hit]
+        if self.target == "pseudorange":
+            observations[hit] = _unvalidated_observation(victim, pseudorange=poison)
+        else:
+            position = np.array(victim.position, dtype=float)
+            position[int(rng.integers(3))] = poison
+            observations[hit] = _unvalidated_observation(victim, position=position)
+        return _unvalidated_epoch(epoch, observations)
+
+
+class DuplicateSatellite(FaultProfile):
+    """Repeat one observation verbatim (duplicate PRN included).
+
+    A double-counted satellite silently re-weights every estimator; the
+    data-model contract forbids it, so guarded entry points must refuse
+    the epoch rather than return a quietly biased fix.
+    """
+
+    name = "duplicate"
+    expectation = EXPECT_REJECTED
+
+    def apply(self, epoch, rng):
+        hit = int(rng.integers(len(epoch)))
+        observations = list(epoch.observations) + [epoch.observations[hit]]
+        return _unvalidated_epoch(epoch, observations)
+
+
+class CompositeFault(FaultProfile):
+    """Left-to-right composition of fault profiles."""
+
+    name = "composite"
+
+    def __init__(self, profiles: Sequence[FaultProfile]) -> None:
+        if not profiles:
+            raise ConfigurationError("a composite fault needs at least one profile")
+        self.profiles: Tuple[FaultProfile, ...] = tuple(profiles)
+
+    @property
+    def expectation(self) -> str:  # type: ignore[override]
+        """Rejected if any component demands rejection."""
+        if any(p.expectation == EXPECT_REJECTED for p in self.profiles):
+            return EXPECT_REJECTED
+        return EXPECT_ANSWERED
+
+    def spec(self) -> Dict:
+        return {"name": self.name, "profiles": [p.spec() for p in self.profiles]}
+
+    def apply(self, epoch, rng):
+        for profile in self.profiles:
+            epoch = profile.apply(epoch, rng)
+        return epoch
+
+    def __or__(self, other: FaultProfile) -> "CompositeFault":
+        return CompositeFault(self.profiles + (other,))
+
+
+#: Registry of injectable faults by name (CLI ``--inject`` choices).
+FAULT_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        PseudorangeSpike,
+        ClockJump,
+        SatelliteDropout,
+        NonFiniteMeasurement,
+        DuplicateSatellite,
+    )
+}
+
+
+def fault_from_spec(spec: Dict) -> FaultProfile:
+    """Rebuild a fault profile from its :meth:`FaultProfile.spec` dict."""
+    data = dict(spec)
+    name = data.pop("name", None)
+    if name == CompositeFault.name:
+        return CompositeFault(
+            [fault_from_spec(sub) for sub in data.get("profiles", [])]
+        )
+    if name not in FAULT_REGISTRY:
+        raise ConfigurationError(f"unknown fault profile {name!r}")
+    return FAULT_REGISTRY[name](**data)

@@ -1,0 +1,297 @@
+"""Metamorphic invariants: transformed input, predictable output.
+
+Where the differential oracle checks *solvers against each other*, the
+metamorphic checks compare *each solver against itself* under input
+transformations with exactly known effect:
+
+* **permutation** — reordering the satellites of an epoch must not move
+  any solver's fix (the equations are a set, not a sequence; only the
+  floating-point summation order changes);
+* **translation** — rigidly translating every satellite (and the truth)
+  by a vector ``t`` while keeping pseudoranges must translate the fix by
+  exactly ``t`` (the ECEF frame has no preferred origin at GPS scales;
+  offsets stay small enough that Bancroft's plausible-radius root
+  selection is unaffected);
+* **clock shift** — adding ``delta`` to every pseudorange is
+  indistinguishable from a receiver clock ``delta`` meters further
+  ahead: positions must not move, and solvers that estimate the bias
+  (NR, Bancroft) must report it shifted by exactly ``delta``.
+  Closed-form paths are handed the correspondingly shifted prediction.
+
+Every comparison is *same path versus same path*, which mostly cancels
+the four-satellite mirror-root ambiguity — a solver usually picks the
+same root before and after a transformation.  *Usually*: with two
+exactly-valid roots the selection can tie-break on rounding noise, and
+the transformation perturbs exactly that noise, so Bancroft (and,
+rarely, NR's iteration basin) can flip roots between the original and
+transformed epoch.  Exactly as in the differential oracle, a deviation
+where **both** fixes reproduce their own epoch's pseudoranges to
+sub-centimeter is classified as an
+:attr:`~MetamorphicReport.ambiguities` entry, not a violation — both
+answers satisfy the transformed problem.
+
+Deviations are judged against the same geometry-scaled tolerance as the
+differential oracle — the transformations leave the differenced design's
+conditioning (essentially) unchanged, so the same floating-point error
+model applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ReproError
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+from repro.validation.oracles import (
+    ORACLE_PATHS,
+    _exact_solution,
+    _solver_runners,
+    agreement_tolerance,
+)
+from repro.validation.scenarios import Scenario
+
+#: The invariant names, in the order they run.
+METAMORPHIC_INVARIANTS: Tuple[str, ...] = ("permutation", "translation", "clock_shift")
+
+#: Magnitude (meters) of the rigid translation applied to the
+#: constellation.  Large enough that an equivariance bug is glaring,
+#: small enough that Bancroft's plausible-radius root selection
+#: (6.0e6..7.5e6 m band) still accepts the translated fix.
+_TRANSLATION_METERS = 3.0e4
+
+#: Half-range (meters) of the pseudorange shift used for the clock
+#: linearity check (~33 microseconds of clock).
+_CLOCK_SHIFT_METERS = 1.0e4
+
+
+@dataclass(frozen=True)
+class MetamorphicDeviation:
+    """One (invariant, path) pair that broke its transformation law."""
+
+    invariant: str
+    path: str
+    deviation_meters: float
+    tolerance_meters: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and artifacts."""
+        return (
+            f"{self.invariant}/{self.path}: deviation "
+            f"{self.deviation_meters:.6g} m > tol {self.tolerance_meters:.3g} m"
+        )
+
+
+@dataclass(frozen=True)
+class MetamorphicReport:
+    """All metamorphic verdicts for one scenario."""
+
+    seed: int
+    checks: int
+    deviations: Tuple[MetamorphicDeviation, ...]
+    ambiguities: Tuple[MetamorphicDeviation, ...]
+    skipped: Tuple[str, ...]
+    max_deviation_meters: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether every executed check held its invariant."""
+        return not self.deviations
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form for artifacts and telemetry snapshots."""
+        return {
+            "seed": self.seed,
+            "checks": self.checks,
+            "max_deviation_meters": self.max_deviation_meters,
+            "skipped": list(self.skipped),
+            "deviations": [d.describe() for d in self.deviations],
+            "ambiguities": [d.describe() for d in self.ambiguities],
+        }
+
+
+def _permuted_epoch(epoch: ObservationEpoch, rng: np.random.Generator) -> ObservationEpoch:
+    order = list(rng.permutation(len(epoch)))
+    return epoch.subset(len(epoch), order)
+
+
+def _translated_epoch(epoch: ObservationEpoch, offset: np.ndarray) -> ObservationEpoch:
+    observations = [
+        SatelliteObservation(
+            prn=obs.prn,
+            position=obs.position + offset,
+            pseudorange=obs.pseudorange,
+            elevation=obs.elevation,
+            azimuth=obs.azimuth,
+        )
+        for obs in epoch.observations
+    ]
+    truth = epoch.truth
+    translated = ObservationEpoch(
+        time=epoch.time,
+        observations=tuple(observations),
+        truth=EpochTruth(
+            receiver_position=truth.receiver_position + offset,
+            clock_bias_meters=truth.clock_bias_meters,
+        )
+        if truth is not None
+        else None,
+    )
+    return translated
+
+
+def _shifted_epoch(epoch: ObservationEpoch, delta: float) -> ObservationEpoch:
+    observations = [
+        SatelliteObservation(
+            prn=obs.prn,
+            position=obs.position,
+            pseudorange=obs.pseudorange + delta,
+            elevation=obs.elevation,
+            azimuth=obs.azimuth,
+        )
+        for obs in epoch.observations
+    ]
+    truth = epoch.truth
+    return ObservationEpoch(
+        time=epoch.time,
+        observations=tuple(observations),
+        truth=EpochTruth(
+            receiver_position=truth.receiver_position,
+            clock_bias_meters=truth.clock_bias_meters + delta,
+        )
+        if truth is not None
+        else None,
+    )
+
+
+def run_metamorphic(
+    scenario: Scenario,
+    paths: Sequence[str] = ORACLE_PATHS,
+    invariants: Sequence[str] = METAMORPHIC_INVARIANTS,
+    rng: Optional[np.random.Generator] = None,
+) -> MetamorphicReport:
+    """Check every requested invariant on every requested solver path.
+
+    Parameters
+    ----------
+    scenario:
+        The generated scenario supplying the epoch, the clock bias the
+        closed-form paths are predicted, and the tolerance geometry.
+    paths:
+        Subset of :data:`~repro.validation.oracles.ORACLE_PATHS`.
+    invariants:
+        Subset of :data:`METAMORPHIC_INVARIANTS`.
+    rng:
+        Randomness source for the permutation and the translation
+        direction; defaults to a generator seeded from the scenario
+        seed, keeping the whole check a pure function of the scenario.
+
+    A path that rejects the *base* epoch (e.g. a geometry failure) is
+    recorded in :attr:`MetamorphicReport.skipped` rather than failed —
+    rejection consistency is the differential oracle's job.  A path
+    that answers the base epoch but rejects a transformed one is an
+    invariant violation (deviation ``inf``).
+    """
+    unknown = [p for p in paths if p not in ORACLE_PATHS]
+    if unknown:
+        raise ConfigurationError(f"unknown oracle paths: {unknown}")
+    unknown_invariants = [i for i in invariants if i not in METAMORPHIC_INVARIANTS]
+    if unknown_invariants:
+        raise ConfigurationError(f"unknown invariants: {unknown_invariants}")
+    if rng is None:
+        rng = np.random.default_rng(scenario.seed)
+
+    tolerance = agreement_tolerance(scenario)
+    epoch = scenario.epoch
+    bias = scenario.clock_bias_meters
+
+    direction = rng.normal(size=3)
+    direction /= np.linalg.norm(direction)
+    offset = direction * _TRANSLATION_METERS
+    delta = float(rng.uniform(0.25, 1.0) * _CLOCK_SHIFT_METERS * (1 if rng.integers(2) else -1))
+    permuted = _permuted_epoch(epoch, rng)
+    translated = _translated_epoch(epoch, offset)
+    shifted = _shifted_epoch(epoch, delta)
+
+    transformed: Dict[str, ObservationEpoch] = {
+        "permutation": permuted,
+        "translation": translated,
+        "clock_shift": shifted,
+    }
+
+    base_runners = _solver_runners(bias)
+    shifted_runners = _solver_runners(bias + delta)
+    ambiguity_possible = epoch.satellite_count == 4
+
+    deviations = []
+    ambiguities = []
+    skipped = []
+    checks = 0
+    max_deviation = 0.0
+    for path in paths:
+        try:
+            base_position, base_bias = base_runners[path](epoch)
+        except ReproError:
+            skipped.append(path)
+            continue
+        base_position = np.asarray(base_position, dtype=float)
+
+        for invariant in invariants:
+            runners = shifted_runners if invariant == "clock_shift" else base_runners
+            checks += 1
+            try:
+                position, solved_bias = runners[path](transformed[invariant])
+            except ReproError:
+                deviations.append(
+                    MetamorphicDeviation(
+                        invariant=invariant,
+                        path=path,
+                        deviation_meters=float("inf"),
+                        tolerance_meters=tolerance,
+                    )
+                )
+                continue
+            position = np.asarray(position, dtype=float)
+
+            expected = base_position
+            if invariant == "translation":
+                expected = base_position + offset
+            deviation = float(np.linalg.norm(position - expected))
+            if (
+                invariant == "clock_shift"
+                and base_bias is not None
+                and solved_bias is not None
+            ):
+                # Bias linearity: the solved bias must move by delta.
+                deviation = max(
+                    deviation, abs((solved_bias - base_bias) - delta)
+                )
+            max_deviation = max(max_deviation, deviation)
+            if np.isfinite(deviation) and deviation <= tolerance:
+                continue
+            record = MetamorphicDeviation(
+                invariant=invariant,
+                path=path,
+                deviation_meters=deviation,
+                tolerance_meters=tolerance,
+            )
+            if (
+                ambiguity_possible
+                and np.isfinite(deviation)
+                and _exact_solution(epoch, base_position, base_bias)
+                and _exact_solution(transformed[invariant], position, solved_bias)
+            ):
+                ambiguities.append(record)
+            else:
+                deviations.append(record)
+
+    return MetamorphicReport(
+        seed=scenario.seed,
+        checks=checks,
+        deviations=tuple(deviations),
+        ambiguities=tuple(ambiguities),
+        skipped=tuple(skipped),
+        max_deviation_meters=max_deviation,
+    )

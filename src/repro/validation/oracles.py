@@ -1,0 +1,524 @@
+"""Differential oracles: every solver path, one scenario, one verdict.
+
+The repo's central invariant — the paper's core claim — is that the
+closed-form solvers are drop-in replacements for Newton-Raphson with
+bounded accuracy loss.  The oracle operationalizes that: run **every**
+solver path (scalar NR/DLO/DLG/Bancroft and the stacked batch
+implementations) on the same epoch and demand pairwise agreement within
+a *geometry-scaled* tolerance.  On a noise-free scenario the truth
+position joins the comparison as one more "solver", so absolute
+correctness and cross-implementation consistency are checked by the
+same machinery.
+
+Tolerances are explicit, not hand-waved: noise-free disagreement
+between exact-arithmetic-equivalent solvers is pure floating-point
+error, which grows linearly with the condition number of the
+differenced design (the solvers solve normal equations, but the
+observed error tracks ``cond(A)``, not ``cond(A)^2``, because the
+right-hand side is consistent to machine precision).  The model
+
+    tol = floor + rate * cond(A)   [+ noise term]
+
+was calibrated empirically over 4000 generator scenarios (max observed
+error ``~3e-7 * cond`` meters at GPS ranges); the shipped ``rate``
+carries a ~30x safety margin and the ``floor`` sits above NR's 1e-4 m
+update-norm stopping tolerance.  A genuine solver bug — wrong base
+handling, a sign slip, a broken whitening — lands meters-to-kilometers
+away and cannot hide under this model.
+
+Solvers may also *reject* an epoch (raise a
+:class:`~repro.errors.ReproError` subclass).  A rejection is recorded,
+never silently ignored, but it is not a disagreement: near-singular
+geometry legitimately fails loudly in some formulations before others.
+Any non-``ReproError`` exception propagates — that is a crash, and the
+fuzz harness files it as one.
+
+**Four-satellite ambiguity.**  With exactly four satellites the
+pseudorange system has *two* exact solutions (the paper's Section 3.1
+trilateration ambiguity), and nothing in the measurements
+distinguishes them — NR's cold start at the earth's center sometimes
+converges to the mirror root (this harness found that on its first
+night out).  A pair separated beyond tolerance where **both** fixes
+reproduce every pseudorange to sub-centimeter is therefore classified
+as an :attr:`~DifferentialReport.ambiguities` entry, not a
+disagreement: both answers are correct by the problem definition.
+With five or more satellites the redundancy breaks the tie and the
+ambiguity path never triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clocks import ConstantClockBiasPredictor
+from repro.core import (
+    BancroftSolver,
+    BatchDLGSolver,
+    BatchDLOSolver,
+    BatchNewtonRaphsonSolver,
+    DLGSolver,
+    DLOSolver,
+    NewtonRaphsonSolver,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.observations import ObservationEpoch
+from repro.validation.scenarios import Scenario
+
+#: Every per-epoch solver path the oracle exercises.
+ORACLE_PATHS: Tuple[str, ...] = (
+    "nr",
+    "dlo",
+    "dlg",
+    "bancroft",
+    "batch_nr",
+    "batch_dlo",
+    "batch_dlg",
+)
+
+#: Tolerance floor (meters): above NR's update-norm stopping
+#: criterion, so NR's own truncation can never register as disagreement.
+TOLERANCE_FLOOR_METERS = 5e-3
+
+#: NR stopping tolerance used *inside the oracle* (meters) — the
+#: library default, deliberately.  NR judges convergence on the
+#: **update** norm, whose floor is the rounding error of the
+#: normal-equation solve, ~``cond(J) * eps * range`` meters; on
+#: near-coplanar four-satellite skies that floor exceeds 1e-5, so a
+#: tighter stop limit-cycles and NR reports non-convergence for a fix
+#: whose post-fit residual is already ~5e-9 m.  (Measured: at 1e-5,
+#: 3 of 72 satellite-order permutations of three near-coplanar fuzz
+#: seeds failed spuriously; at 1e-4, none.)
+_ORACLE_NR_TOLERANCE = 1e-4
+
+#: Residual bound (meters) under which a fix counts as an *exact*
+#: solution of the measurements — the four-satellite ambiguity test.
+#: Noise-free float error sits near 1e-7 m; a genuinely wrong fix
+#: misses by kilometers.
+_EXACT_RESIDUAL_METERS = 1e-2
+
+#: Meters of allowed disagreement per unit condition number of the
+#: differenced design.  Measured noise-free worst case: ~3e-7 * cond.
+TOLERANCE_CONDITION_RATE = 1e-5
+
+#: Extra meters of allowed disagreement per meter of pseudorange noise
+#: sigma.  DLO is *designed* to be suboptimal under noise (Theorem 4.1),
+#: so noisy estimator outputs legitimately spread by O(sigma * DOP).
+TOLERANCE_NOISE_RATE = 40.0
+
+
+def agreement_tolerance(scenario: Scenario) -> float:
+    """Geometry-scaled cross-solver agreement tolerance (meters)."""
+    tolerance = TOLERANCE_FLOOR_METERS + TOLERANCE_CONDITION_RATE * scenario.conditioning
+    if scenario.config.noise_sigma:
+        tolerance += TOLERANCE_NOISE_RATE * scenario.config.noise_sigma * max(
+            1.0, scenario.conditioning
+        )
+    return float(tolerance)
+
+
+@dataclass(frozen=True)
+class SolverOutcome:
+    """What one solver path did with the scenario epoch."""
+
+    path: str
+    position: Optional[np.ndarray]
+    clock_bias: Optional[float]
+    error: Optional[str] = None
+
+    @property
+    def answered(self) -> bool:
+        """Whether the path produced a (finite) position."""
+        return self.position is not None
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One solver pair separated beyond the tolerance."""
+
+    path_a: str
+    path_b: str
+    separation_meters: float
+    tolerance_meters: float
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports and artifacts."""
+        return (
+            f"{self.path_a} vs {self.path_b}: "
+            f"{self.separation_meters:.6g} m > tol {self.tolerance_meters:.3g} m"
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """The oracle verdict for one scenario."""
+
+    seed: int
+    satellite_count: int
+    conditioning: float
+    tolerance_meters: float
+    outcomes: Tuple[SolverOutcome, ...]
+    disagreements: Tuple[Disagreement, ...]
+    ambiguities: Tuple[Disagreement, ...]
+    max_separation_meters: float
+
+    @property
+    def agreed(self) -> bool:
+        """No pair exceeded the tolerance (explained ambiguities aside)."""
+        return not self.disagreements
+
+    @property
+    def rejections(self) -> Tuple[str, ...]:
+        """Paths that raised instead of answering."""
+        return tuple(o.path for o in self.outcomes if not o.answered)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form for artifacts and telemetry snapshots."""
+        return {
+            "seed": self.seed,
+            "satellite_count": self.satellite_count,
+            "conditioning": self.conditioning,
+            "tolerance_meters": self.tolerance_meters,
+            "max_separation_meters": self.max_separation_meters,
+            "rejections": list(self.rejections),
+            "disagreements": [d.describe() for d in self.disagreements],
+            "ambiguities": [d.describe() for d in self.ambiguities],
+        }
+
+
+def _exact_solution(
+    epoch: ObservationEpoch, position: np.ndarray, clock_bias: Optional[float]
+) -> bool:
+    """Whether (position, bias) reproduces every pseudorange exactly.
+
+    "Exactly" means to within :data:`_EXACT_RESIDUAL_METERS` — the
+    four-satellite ambiguity test.  A fix without a usable bias (or a
+    non-finite one) cannot certify exactness.
+    """
+    if clock_bias is None or not np.isfinite(clock_bias):
+        return False
+    ranges = np.linalg.norm(
+        epoch.satellite_positions() - np.asarray(position, dtype=float), axis=1
+    )
+    residuals = ranges + clock_bias - epoch.pseudoranges()
+    return bool(np.max(np.abs(residuals)) < _EXACT_RESIDUAL_METERS)
+
+
+#: Max post-fit residual (meters) above which an NR "fix" is a spurious
+#: stationary point, not a solution.  A genuine fix on a generator
+#: scenario leaves sub-meter residuals (noise-free ~1e-7 m, noisy a few
+#: sigma); NR cold-started from the earth's center occasionally stalls
+#: at a stationary point of the least-squares loss ~1e7 m from the
+#: receiver, where residuals are kilometers.  The gate converts that
+#: wrong-basin "convergence" into a recorded rejection instead of a
+#: phantom cross-solver disagreement.
+_NR_SPURIOUS_RESIDUAL_METERS = 1e3
+
+
+def _gate_nr_fix(
+    epoch: ObservationEpoch, position: np.ndarray, clock_bias: float
+) -> Tuple[np.ndarray, float]:
+    """Reject NR fixes whose post-fit residuals betray a wrong basin."""
+    ranges = np.linalg.norm(
+        epoch.satellite_positions() - np.asarray(position, dtype=float), axis=1
+    )
+    worst = float(np.max(np.abs(ranges + clock_bias - epoch.pseudoranges())))
+    if not np.isfinite(worst) or worst > _NR_SPURIOUS_RESIDUAL_METERS:
+        raise ReproError(
+            "NR converged to a spurious stationary point "
+            f"(max post-fit residual {worst:.6g} m)"
+        )
+    return position, clock_bias
+
+
+def _solver_runners(
+    bias_meters: float,
+) -> Dict[str, Callable[[ObservationEpoch], Tuple[np.ndarray, Optional[float]]]]:
+    """Uniform ``epoch -> (position, clock_bias)`` adapters per path."""
+    predictor = ConstantClockBiasPredictor(bias_meters)
+
+    def scalar(solver):
+        def run(epoch):
+            fix = solver.solve(epoch)
+            return fix.position, fix.clock_bias_meters
+
+        return run
+
+    def scalar_nr(epoch):
+        fix = NewtonRaphsonSolver(tolerance_meters=_ORACLE_NR_TOLERANCE).solve(epoch)
+        return _gate_nr_fix(epoch, fix.position, fix.clock_bias_meters)
+
+    def batch_nr(epoch):
+        record = BatchNewtonRaphsonSolver(
+            tolerance_meters=_ORACLE_NR_TOLERANCE
+        ).solve_batch_full([epoch])
+        if not bool(record.converged[0]):
+            raise ReproError("batched NR did not converge for the scenario epoch")
+        return _gate_nr_fix(epoch, record.positions[0], float(record.clock_biases[0]))
+
+    def batch_closed(solver_cls):
+        def run(epoch):
+            positions = solver_cls().solve_batch([epoch], [bias_meters])
+            return positions[0], bias_meters
+
+        return run
+
+    return {
+        "nr": scalar_nr,
+        "dlo": scalar(DLOSolver(predictor)),
+        "dlg": scalar(DLGSolver(predictor)),
+        "bancroft": scalar(BancroftSolver()),
+        "batch_nr": batch_nr,
+        "batch_dlo": batch_closed(BatchDLOSolver),
+        "batch_dlg": batch_closed(BatchDLGSolver),
+    }
+
+
+def run_differential(
+    scenario: Scenario,
+    paths: Sequence[str] = ORACLE_PATHS,
+    tolerance_meters: Optional[float] = None,
+    epoch: Optional[ObservationEpoch] = None,
+    compare_truth: Optional[bool] = None,
+) -> DifferentialReport:
+    """Run every requested solver path and cross-check the answers.
+
+    Parameters
+    ----------
+    scenario:
+        The generated scenario (supplies seed, truth, conditioning, and
+        the clock bias handed to the closed-form paths).
+    paths:
+        Subset of :data:`ORACLE_PATHS` to exercise.
+    tolerance_meters:
+        Override of :func:`agreement_tolerance`.
+    epoch:
+        Optional replacement epoch (e.g. a fault-injected variant);
+        defaults to the scenario's own epoch.
+    compare_truth:
+        Include the truth position as a reference point.  Defaults to
+        true exactly when the scenario is noise-free **and** no
+        replacement epoch was supplied — a faulted epoch is *supposed*
+        to miss the truth.
+    """
+    unknown = [p for p in paths if p not in ORACLE_PATHS]
+    if unknown:
+        raise ConfigurationError(f"unknown oracle paths: {unknown}")
+    target = epoch if epoch is not None else scenario.epoch
+    if compare_truth is None:
+        compare_truth = scenario.config.noise_sigma == 0.0 and epoch is None
+    tolerance = (
+        float(tolerance_meters)
+        if tolerance_meters is not None
+        else agreement_tolerance(scenario)
+    )
+
+    runners = _solver_runners(scenario.clock_bias_meters)
+    outcomes = []
+    for path in paths:
+        try:
+            position, clock_bias = runners[path](target)
+        except ReproError as exc:
+            outcomes.append(
+                SolverOutcome(
+                    path=path,
+                    position=None,
+                    clock_bias=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            outcomes.append(
+                SolverOutcome(
+                    path=path,
+                    position=np.asarray(position, dtype=float),
+                    clock_bias=clock_bias,
+                )
+            )
+
+    references = [(o.path, o.position, o.clock_bias) for o in outcomes if o.answered]
+    if compare_truth:
+        references.append(
+            ("truth", scenario.truth_position, scenario.clock_bias_meters)
+        )
+
+    # With exactly four satellites the system has two exact roots; a
+    # wide pair where both members reproduce the measurements exactly is
+    # the trilateration ambiguity, not an implementation disagreement.
+    ambiguity_possible = target.satellite_count == 4
+    disagreements = []
+    ambiguities = []
+    max_separation = 0.0
+    for i, (path_a, pos_a, bias_a) in enumerate(references):
+        for path_b, pos_b, bias_b in references[i + 1 :]:
+            separation = float(np.linalg.norm(pos_a - pos_b))
+            max_separation = max(max_separation, separation)
+            if np.isfinite(separation) and separation <= tolerance:
+                continue
+            record = Disagreement(
+                path_a=path_a,
+                path_b=path_b,
+                separation_meters=separation,
+                tolerance_meters=tolerance,
+            )
+            if (
+                ambiguity_possible
+                and np.isfinite(separation)
+                and _exact_solution(target, pos_a, bias_a)
+                and _exact_solution(target, pos_b, bias_b)
+            ):
+                ambiguities.append(record)
+            else:
+                disagreements.append(record)
+
+    return DifferentialReport(
+        seed=scenario.seed,
+        satellite_count=scenario.satellite_count,
+        conditioning=scenario.conditioning,
+        tolerance_meters=tolerance,
+        outcomes=tuple(outcomes),
+        disagreements=tuple(disagreements),
+        ambiguities=tuple(ambiguities),
+        max_separation_meters=max_separation,
+    )
+
+
+@dataclass(frozen=True)
+class StreamCheckReport:
+    """Verdict of the engine/parallel-path stream consistency check."""
+
+    epochs: int
+    max_engine_separation_meters: float
+    max_replay_separation_meters: float
+    disagreements: Tuple[str, ...]
+    #: Seeds excluded because a scalar reference path rejected the epoch
+    #: (cold-start NR divergence, singular geometry): with no scalar
+    #: answer there is nothing for the bulk paths to agree *with*.  Not
+    #: silent — the per-scenario differential already recorded each
+    #: rejection.
+    skipped_seeds: Tuple[int, ...] = ()
+
+    @property
+    def agreed(self) -> bool:
+        """No engine or replay row exceeded its tolerance."""
+        return not self.disagreements
+
+
+def run_stream_differential(
+    scenarios: Sequence[Scenario],
+    workers: int = 2,
+) -> StreamCheckReport:
+    """Cross-check the bulk paths against the scalar solvers.
+
+    Feeds the scenarios' epochs as one mixed-count stream to
+    :class:`~repro.engine.pipeline.PositioningEngine` (DLG and NR) and
+    replays them through a chunked
+    :class:`~repro.engine.parallel.ParallelReplay` of NR receivers,
+    comparing every row against the scalar solve of the same epoch
+    under each scenario's own geometry-scaled tolerance.
+
+    The replay uses NR receivers deliberately: NR carries no cross-epoch
+    state, so chunking must be *exactly* answer-preserving — any seam
+    effect at all is a bug, not a tolerance question.
+
+    Scenarios whose epoch the scalar reference solvers reject are
+    excluded from the stream (reported via
+    :attr:`StreamCheckReport.skipped_seeds`): without a scalar answer
+    the bulk-vs-scalar comparison is undefined.
+    """
+    from repro.core.receiver import GpsReceiver
+    from repro.engine import ParallelReplay, PositioningEngine
+
+    if not scenarios:
+        raise ConfigurationError("stream differential needs at least one scenario")
+
+    # Every NR instance (scalar reference, engine batch, replay
+    # receivers) runs at _ORACLE_NR_TOLERANCE, so the bulk paths stop
+    # on exactly the criterion the scalar reference stopped on.
+    scalar_nr = NewtonRaphsonSolver(tolerance_meters=_ORACLE_NR_TOLERANCE)
+
+    # The stream check asserts that the bulk paths reproduce the scalar
+    # answers row for row.  A scenario the scalar solvers themselves
+    # reject — NR cold-start divergence, a singular normal-equation
+    # system on near-degenerate skies — has no reference answer, and
+    # feeding it to the engine would abort the whole stream on a
+    # failure the per-scenario differential already recorded as a
+    # rejection.  Exclude it and report the seed.
+    kept = []
+    expected_rows = []  # (dlg_position, nr_position) per kept scenario
+    skipped = []
+    for scenario in scenarios:
+        try:
+            dlg_fix = DLGSolver(
+                ConstantClockBiasPredictor(scenario.clock_bias_meters)
+            ).solve(scenario.epoch)
+            nr_fix = scalar_nr.solve(scenario.epoch)
+            _gate_nr_fix(scenario.epoch, nr_fix.position, nr_fix.clock_bias_meters)
+        except ReproError:
+            skipped.append(scenario.seed)
+            continue
+        kept.append(scenario)
+        expected_rows.append((dlg_fix.position, nr_fix.position))
+
+    if not kept:
+        return StreamCheckReport(
+            epochs=0,
+            max_engine_separation_meters=0.0,
+            max_replay_separation_meters=0.0,
+            disagreements=(),
+            skipped_seeds=tuple(skipped),
+        )
+
+    epochs = [s.epoch for s in kept]
+    biases = [s.clock_bias_meters for s in kept]
+    tolerances = [agreement_tolerance(s) for s in kept]
+    disagreements = []
+    max_engine = 0.0
+
+    for algorithm, expected_index in (("dlg", 0), ("nr", 1)):
+        engine = PositioningEngine(
+            algorithm=algorithm,
+            nr_solver=BatchNewtonRaphsonSolver(
+                tolerance_meters=_ORACLE_NR_TOLERANCE
+            ),
+        )
+        result = engine.solve_stream(epochs, biases)
+        for index, scenario in enumerate(kept):
+            expected = expected_rows[index][expected_index]
+            separation = float(np.linalg.norm(result.positions[index] - expected))
+            max_engine = max(max_engine, separation)
+            if not np.isfinite(separation) or separation > tolerances[index]:
+                disagreements.append(
+                    f"engine[{algorithm}] row {index} (seed {scenario.seed}): "
+                    f"{separation:.6g} m > tol {tolerances[index]:.3g} m"
+                )
+
+    chunk_size = max(1, -(-len(epochs) // max(1, workers)))
+    receiver_kwargs = {"algorithm": "nr", "nr_solver": scalar_nr}
+    replay = ParallelReplay(
+        receiver_kwargs=receiver_kwargs,
+        workers=max(1, workers),
+        backend="thread",
+        chunk_size=chunk_size,
+    )
+    replayed = replay.replay(epochs)
+    serial = GpsReceiver(**receiver_kwargs).process_many(epochs)
+    max_replay = 0.0
+    for index, (parallel_fix, serial_fix) in enumerate(zip(replayed, serial)):
+        separation = float(np.linalg.norm(parallel_fix.position - serial_fix.position))
+        max_replay = max(max_replay, separation)
+        if not np.isfinite(separation) or separation > tolerances[index]:
+            disagreements.append(
+                f"parallel replay row {index} (seed {kept[index].seed}): "
+                f"{separation:.6g} m vs serial receiver"
+            )
+
+    return StreamCheckReport(
+        epochs=len(epochs),
+        max_engine_separation_meters=max_engine,
+        max_replay_separation_meters=max_replay,
+        disagreements=tuple(disagreements),
+        skipped_seeds=tuple(skipped),
+    )

@@ -1,0 +1,276 @@
+"""Seeded scenario generation for differential validation.
+
+A *scenario* is one randomized-but-reproducible observation epoch with
+exactly known truth: receiver position, clock bias, and the geometry
+conditioning the epoch was generated with.  Everything is derived
+deterministically from ``(seed, ScenarioConfig)``, which is what makes
+a failing fuzz case a two-integer artifact instead of a megabyte dump —
+regenerating the scenario from its seed reproduces the input bit for
+bit.
+
+Geometry spans the range where closed-form solvers are interesting:
+
+* **well-conditioned** skies spread satellites over the whole upper
+  hemisphere (difference-design condition numbers in the tens);
+* **near-coplanar** skies squash the line-of-sight directions toward a
+  common plane through the receiver.  Every differenced design row
+  ``s_j - s_base`` then lies (nearly) in that plane, so the ``(m-1, 3)``
+  system loses rank exactly the way the snapshot-positioning literature
+  warns about — the regime where closed-form solvers silently diverge
+  if tolerances are not geometry-aware.
+
+The conditioning knob is continuous: ``flatness`` in ``[0, 1)`` scales
+how far each direction is pulled into the plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.core.direct_linear import build_difference_system
+from repro.errors import ConfigurationError
+from repro.geodesy import geodetic_to_ecef
+from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
+from repro.timebase import GpsTime
+
+#: GPS orbital radius band used for synthetic satellite ranges (meters
+#: from the receiver, spanning zenith to low-elevation slant ranges).
+_RANGE_BAND = (2.0e7, 2.6e7)
+
+#: Reference GPS week for generated epochs (arbitrary but fixed, so a
+#: scenario's time is a pure function of its seed).
+_REFERENCE_WEEK = 2200
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of the scenario distribution.
+
+    Attributes
+    ----------
+    min_satellites, max_satellites:
+        Inclusive bounds on the per-scenario constellation size.
+    max_clock_bias_meters:
+        Receiver clock biases are swept uniformly over
+        ``[-max, +max]``.  The default (3e5 m ≈ 1 ms) covers the full
+        threshold-clock adjustment step of Section 5.2.2.
+    max_flatness:
+        Upper bound of the geometry-degradation sweep: ``0`` generates
+        only well-conditioned skies, values toward ``1`` include
+        near-coplanar ones.  Kept strictly below 1 so the design is
+        ill-conditioned, not exactly singular.
+    noise_sigma:
+        Gaussian pseudorange noise (meters).  The default is zero:
+        noise-free scenarios make cross-solver agreement a pure
+        numerics check with tight, defensible tolerances.
+    """
+
+    min_satellites: int = 4
+    max_satellites: int = 12
+    max_clock_bias_meters: float = 3.0e5
+    max_flatness: float = 0.98
+    noise_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 4 <= self.min_satellites <= self.max_satellites:
+            raise ConfigurationError(
+                "need 4 <= min_satellites <= max_satellites, got "
+                f"{self.min_satellites}..{self.max_satellites}"
+            )
+        if not np.isfinite(self.max_clock_bias_meters) or self.max_clock_bias_meters < 0:
+            raise ConfigurationError("max_clock_bias_meters must be finite and >= 0")
+        if not 0.0 <= self.max_flatness < 1.0:
+            raise ConfigurationError("max_flatness must be in [0, 1)")
+        if not np.isfinite(self.noise_sigma) or self.noise_sigma < 0:
+            raise ConfigurationError("noise_sigma must be finite and >= 0")
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form, embedded in fuzz artifacts."""
+        return {
+            "min_satellites": self.min_satellites,
+            "max_satellites": self.max_satellites,
+            "max_clock_bias_meters": self.max_clock_bias_meters,
+            "max_flatness": self.max_flatness,
+            "noise_sigma": self.noise_sigma,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioConfig":
+        """Inverse of :meth:`to_dict` (artifact replay)."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible validation case.
+
+    Attributes
+    ----------
+    seed:
+        The generator seed this scenario is a pure function of.
+    config:
+        The :class:`ScenarioConfig` it was drawn from.
+    epoch:
+        The observation epoch, truth attached.
+    clock_bias_meters:
+        The exact receiver clock bias baked into the pseudoranges —
+        what an oracle predictor should hand DLO/DLG.
+    flatness:
+        The geometry-degradation draw in ``[0, max_flatness]``.
+    conditioning:
+        2-norm condition number of the base-0 differenced design
+        (eq. 4-9) — the geometry severity the tolerance model scales
+        with.
+    """
+
+    seed: int
+    config: ScenarioConfig
+    epoch: ObservationEpoch = field(compare=False)
+    clock_bias_meters: float
+    flatness: float
+    conditioning: float
+
+    @property
+    def satellite_count(self) -> int:
+        """Satellites in the scenario epoch."""
+        return self.epoch.satellite_count
+
+    @property
+    def truth_position(self) -> np.ndarray:
+        """True receiver ECEF position."""
+        return self.epoch.truth.receiver_position
+
+
+class ScenarioGenerator:
+    """Deterministic scenario factory: ``generate(seed)`` is pure.
+
+    Two generators with equal configs produce identical scenarios for
+    equal seeds, across processes and platforms (only
+    ``numpy.random.default_rng`` streams are consumed, in a fixed
+    order).
+    """
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self._config = config if config is not None else ScenarioConfig()
+
+    @property
+    def config(self) -> ScenarioConfig:
+        """The scenario distribution being sampled."""
+        return self._config
+
+    def generate(self, seed: int) -> Scenario:
+        """The scenario for ``seed`` (same seed, same scenario)."""
+        cfg = self._config
+        rng = np.random.default_rng(seed)
+
+        # Receiver somewhere on (or slightly above) the ellipsoid.
+        latitude = np.arcsin(rng.uniform(-1.0, 1.0))  # area-uniform
+        longitude = rng.uniform(-np.pi, np.pi)
+        height = rng.uniform(0.0, 9000.0)
+        receiver = geodetic_to_ecef(latitude, longitude, height)
+        up = receiver / np.linalg.norm(receiver)
+
+        count = int(rng.integers(cfg.min_satellites, cfg.max_satellites + 1))
+        bias = float(rng.uniform(-cfg.max_clock_bias_meters, cfg.max_clock_bias_meters))
+        flatness = float(rng.uniform(0.0, cfg.max_flatness)) if cfg.max_flatness else 0.0
+
+        # A degradation plane through the receiver, tilted toward the
+        # sky: its normal mixes "up" with a random tangent direction so
+        # the squashed constellation is still overhead.
+        tangent = rng.normal(size=3)
+        tangent -= up * (tangent @ up)
+        tangent /= np.linalg.norm(tangent)
+        plane_normal = up * np.sqrt(0.5) + tangent * np.sqrt(0.5)
+
+        directions = self._sky_directions(rng, up, count, flatness, plane_normal)
+        ranges = rng.uniform(*_RANGE_BAND, size=count)
+
+        observations = []
+        for prn in range(1, count + 1):
+            position = receiver + directions[prn - 1] * ranges[prn - 1]
+            pseudorange = float(np.linalg.norm(position - receiver)) + bias
+            if cfg.noise_sigma:
+                pseudorange += float(rng.normal(0.0, cfg.noise_sigma))
+            elevation = float(np.arcsin(np.clip(directions[prn - 1] @ up, -1.0, 1.0)))
+            observations.append(
+                SatelliteObservation(
+                    prn=prn,
+                    position=position,
+                    pseudorange=pseudorange,
+                    elevation=elevation,
+                )
+            )
+
+        epoch = ObservationEpoch(
+            time=GpsTime(
+                week=_REFERENCE_WEEK, seconds_of_week=float(seed % 604800)
+            ),
+            observations=tuple(observations),
+            truth=EpochTruth(receiver_position=receiver, clock_bias_meters=bias),
+        )
+        design, _rhs = build_difference_system(
+            epoch.satellite_positions(), epoch.pseudoranges() - bias
+        )
+        return Scenario(
+            seed=int(seed),
+            config=cfg,
+            epoch=epoch,
+            clock_bias_meters=bias,
+            flatness=flatness,
+            conditioning=float(np.linalg.cond(design)),
+        )
+
+    def stream(self, start_seed: int, count: int) -> Iterator[Scenario]:
+        """``count`` scenarios at consecutive seeds from ``start_seed``."""
+        for offset in range(count):
+            yield self.generate(start_seed + offset)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sky_directions(
+        rng: np.random.Generator,
+        up: np.ndarray,
+        count: int,
+        flatness: float,
+        plane_normal: np.ndarray,
+    ) -> np.ndarray:
+        """``(count, 3)`` unit line-of-sight directions above the horizon.
+
+        Each direction starts as a uniform upper-hemisphere draw (min
+        elevation ~5 degrees), then has ``flatness`` of its component
+        along ``plane_normal`` removed — at ``flatness -> 1`` every
+        direction lies in the plane and the differenced design drops to
+        rank 2.
+        """
+        directions = np.empty((count, 3))
+        produced = 0
+        while produced < count:
+            candidate = rng.normal(size=3)
+            norm = np.linalg.norm(candidate)
+            if norm < 1e-12:
+                continue
+            candidate /= norm
+            if candidate @ up < 0:
+                candidate = -candidate  # fold into the upper hemisphere
+            if candidate @ up < np.sin(np.radians(5.0)):
+                continue  # below the elevation mask; redraw
+            squashed = candidate - flatness * (candidate @ plane_normal) * plane_normal
+            squashed /= np.linalg.norm(squashed)
+            directions[produced] = squashed
+            produced += 1
+        return directions
+
+
+def scenario_with_noise(scenario: Scenario, noise_sigma: float) -> Scenario:
+    """A noisy twin of a scenario (same geometry, same seed stream).
+
+    Useful for studying how a disagreement scales with measurement
+    noise without changing anything else about the case.
+    """
+    generator = ScenarioGenerator(
+        replace(scenario.config, noise_sigma=float(noise_sigma))
+    )
+    return generator.generate(scenario.seed)

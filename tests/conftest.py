@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import settings
@@ -10,9 +12,14 @@ from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservatio
 
 # Deterministic property testing: the suite is a reproduction artifact,
 # so every run must exercise the same examples (and never trip the
-# wall-clock deadline on a loaded CI box).
+# wall-clock deadline on a loaded CI box).  Local runs keep the default
+# example budget for fast iteration; CI (detected via the conventional
+# CI env var) spends more examples per property.
 settings.register_profile("repro", derandomize=True, deadline=None)
-settings.load_profile("repro")
+settings.register_profile(
+    "repro-ci", derandomize=True, deadline=None, max_examples=250
+)
+settings.load_profile("repro-ci" if os.environ.get("CI") else "repro")
 from repro.stations import DatasetConfig, ObservationDataset, get_station
 from repro.timebase import GpsTime
 
@@ -72,6 +79,42 @@ def make_epoch(gps_t0):
                 receiver_position=truth_position, clock_bias_meters=bias_meters
             ),
         )
+
+    return factory
+
+
+@pytest.fixture
+def make_stream(make_epoch, gps_t0):
+    """Factory for constant-bias epoch streams.
+
+    The shared builder behind the batch/pipeline/parallel suites: a
+    list of ``make_epoch`` epochs at consecutive seeds with one common
+    clock bias.  ``count`` may be a single satellite count or one per
+    epoch (mixed-count streams for the bucketing engine);
+    ``time_step`` spaces epoch timestamps (seconds) for pipelines that
+    care about time ordering.
+    """
+
+    def factory(
+        epochs: int,
+        bias_meters: float = 0.0,
+        count=8,
+        noise_sigma: float = 0.0,
+        start_seed: int = 0,
+        time_step: float = None,
+    ):
+        counts = [count] * epochs if isinstance(count, int) else list(count)
+        assert len(counts) == epochs, "one satellite count per epoch"
+        return [
+            make_epoch(
+                bias_meters=bias_meters,
+                count=counts[i],
+                noise_sigma=noise_sigma,
+                seed=start_seed + i,
+                time=(gps_t0 + float(i) * time_step) if time_step is not None else None,
+            )
+            for i in range(epochs)
+        ]
 
     return factory
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.clocks import OracleClockBiasPredictor
+from repro.clocks import ConstantClockBiasPredictor, OracleClockBiasPredictor
 from repro.core import (
     BatchDLGSolver,
     BatchDLOSolver,
@@ -17,12 +17,9 @@ from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 
 
 @pytest.fixture
-def batch(make_epoch):
+def batch(make_stream):
     """Ten same-size noisy epochs with a common bias."""
-    epochs = [
-        make_epoch(bias_meters=35.0, count=8, noise_sigma=1.0, seed=seed)
-        for seed in range(10)
-    ]
+    epochs = make_stream(10, bias_meters=35.0, count=8, noise_sigma=1.0)
     biases = [35.0] * len(epochs)
     return epochs, biases
 
@@ -62,15 +59,7 @@ class TestBatchDLG:
         epochs, biases = batch
         stacked = BatchDLGSolver().solve_batch(epochs, biases)
         # Compare through the per-epoch DLG with an exact-bias oracle.
-        class ConstBias:
-            is_ready = True
-
-            def observe(self, t, b): ...
-
-            def predict_bias_meters(self, t):
-                return 35.0
-
-        solver = DLGSolver(ConstBias())
+        solver = DLGSolver(ConstantClockBiasPredictor(35.0))
         for row, epoch in zip(stacked, epochs):
             np.testing.assert_allclose(
                 row, solver.solve(epoch).position, atol=1e-6
@@ -266,14 +255,6 @@ class TestBatchProperty:
             ]
             biases = [12.0] * n
 
-            class ConstBias:
-                is_ready = True
-
-                def observe(self, t, b): ...
-
-                def predict_bias_meters(self, t):
-                    return 12.0
-
             from repro.errors import EstimationError, GeometryError
 
             try:
@@ -281,8 +262,8 @@ class TestBatchProperty:
                 stacked_dlg = BatchDLGSolver().solve_batch(epochs, biases)
             except EstimationError:
                 return  # a degenerate random sky in the batch; acceptable
-            dlo = DLOSolver(ConstBias())
-            dlg = DLGSolver(ConstBias())
+            dlo = DLOSolver(ConstantClockBiasPredictor(12.0))
+            dlg = DLGSolver(ConstantClockBiasPredictor(12.0))
             for row_o, row_g, epoch in zip(stacked_dlo, stacked_dlg, epochs):
                 try:
                     single_o = dlo.solve(epoch).position

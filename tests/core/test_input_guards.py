@@ -1,0 +1,95 @@
+"""Tests for the shared epoch-integrity guard and its receiver wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpsReceiver
+from repro.errors import GeometryError
+from repro.observations import epoch_integrity_error
+from repro.validation.faults import (
+    DuplicateSatellite,
+    NonFiniteMeasurement,
+    SatelliteDropout,
+)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestEpochIntegrityError:
+    def test_clean_epoch_passes(self, make_epoch):
+        assert epoch_integrity_error(make_epoch(count=8)) is None
+
+    def test_undersized_epoch_reported(self, make_epoch):
+        message = epoch_integrity_error(make_epoch(count=3))
+        assert message is not None and "fewer than 4" in message
+
+    def test_min_satellites_is_adjustable(self, make_epoch):
+        assert epoch_integrity_error(make_epoch(count=3), min_satellites=3) is None
+        message = epoch_integrity_error(make_epoch(count=3), min_satellites=5)
+        assert message is not None and "fewer than 5" in message
+
+    def test_duplicate_prn_reported(self, make_epoch):
+        faulted = DuplicateSatellite().apply(make_epoch(count=6), _rng())
+        message = epoch_integrity_error(faulted)
+        assert message is not None and "duplicate PRN" in message
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf"])
+    def test_non_finite_pseudorange_reported(self, make_epoch, value):
+        faulted = NonFiniteMeasurement(value=value).apply(make_epoch(count=6), _rng())
+        message = epoch_integrity_error(faulted)
+        assert message is not None and "pseudorange" in message
+
+    def test_non_finite_position_reported(self, make_epoch):
+        faulted = NonFiniteMeasurement(target="position").apply(
+            make_epoch(count=6), _rng()
+        )
+        message = epoch_integrity_error(faulted)
+        assert message is not None and "position" in message
+
+
+class TestReceiverGuard:
+    @pytest.mark.parametrize("algorithm", ["nr", "dlo", "dlg"])
+    def test_rejects_corrupt_epochs_before_solving(self, make_epoch, algorithm):
+        receiver = GpsReceiver(algorithm=algorithm)
+        faulted = NonFiniteMeasurement().apply(make_epoch(count=8), _rng())
+        with pytest.raises(GeometryError, match="pseudorange"):
+            receiver.process(faulted)
+
+    def test_rejects_undersized_epochs(self, make_epoch):
+        with pytest.raises(GeometryError, match="fewer than 4"):
+            GpsReceiver(algorithm="nr").process(
+                SatelliteDropout(remaining=3).apply(make_epoch(count=8), _rng())
+            )
+
+    def test_rejects_duplicate_prns(self, make_epoch):
+        with pytest.raises(GeometryError, match="duplicate PRN"):
+            GpsReceiver(algorithm="nr").process(
+                DuplicateSatellite().apply(make_epoch(count=8), _rng())
+            )
+
+    def test_rejections_counted_not_processed(self, make_epoch):
+        receiver = GpsReceiver(algorithm="nr")
+        faulted = NonFiniteMeasurement().apply(make_epoch(count=8), _rng())
+        for _ in range(2):
+            with pytest.raises(GeometryError):
+                receiver.process(faulted)
+        stats = receiver.stats
+        assert stats["rejected_epochs"] == 2
+        # No fix of any kind was produced for the rejected epochs.
+        assert stats["warmup_fixes"] == 0
+        assert stats["closed_form_fixes"] == 0
+        assert stats["nr_fixes"] == 0
+
+    def test_rejection_leaves_receiver_usable(self, make_epoch):
+        # A corrupt epoch must not half-train the clock predictor: the
+        # next clean epoch solves as if the corrupt one never arrived.
+        clean = make_epoch(bias_meters=12.0, count=8, seed=3)
+        poisoned = GpsReceiver(algorithm="nr")
+        with pytest.raises(GeometryError):
+            poisoned.process(NonFiniteMeasurement().apply(clean, _rng()))
+        fresh = GpsReceiver(algorithm="nr")
+        np.testing.assert_allclose(
+            poisoned.process(clean).position, fresh.process(clean).position
+        )

@@ -16,18 +16,11 @@ RECEIVER_KWARGS = {
 
 
 @pytest.fixture
-def stream(make_epoch, gps_t0):
+def stream(make_stream):
     """A short constant-bias stream long enough to pass warm-up."""
-    return [
-        make_epoch(
-            bias_meters=30.0,
-            count=8,
-            noise_sigma=0.5,
-            seed=i,
-            time=gps_t0 + float(i),
-        )
-        for i in range(16)
-    ]
+    return make_stream(
+        16, bias_meters=30.0, count=8, noise_sigma=0.5, time_step=1.0
+    )
 
 
 class TestParallelReplay:

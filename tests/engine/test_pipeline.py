@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.clocks import ConstantClockBiasPredictor
 from repro.core import DLGSolver, DLOSolver, NewtonRaphsonSolver
 from repro.engine import EngineDiagnostics, PositioningEngine
 from repro.errors import ConfigurationError, GeometryError
@@ -10,22 +11,15 @@ from repro.errors import ConfigurationError, GeometryError
 BIAS = 21.0
 
 
-class _FixedBias:
-    is_ready = True
-
-    def observe(self, time, bias_meters): ...
-
-    def predict_bias_meters(self, time):
-        return BIAS
-
-
 @pytest.fixture
-def mixed_stream(make_epoch):
+def mixed_stream(make_stream):
     """A mixed-count stream with a constant, known clock bias."""
-    return [
-        make_epoch(bias_meters=BIAS, count=7 + (i % 4), noise_sigma=1.0, seed=i)
-        for i in range(24)
-    ]
+    return make_stream(
+        24,
+        bias_meters=BIAS,
+        count=[7 + (i % 4) for i in range(24)],
+        noise_sigma=1.0,
+    )
 
 
 class TestSolveStream:
@@ -45,8 +39,8 @@ class TestSolveStream:
         dlo = PositioningEngine(algorithm="dlo").solve_stream(mixed_stream, biases)
         dlg = PositioningEngine(algorithm="dlg").solve_stream(mixed_stream, biases)
         nr = PositioningEngine(algorithm="nr").solve_stream(mixed_stream, biases)
-        scalar_dlo = DLOSolver(_FixedBias())
-        scalar_dlg = DLGSolver(_FixedBias())
+        scalar_dlo = DLOSolver(ConstantClockBiasPredictor(BIAS))
+        scalar_dlg = DLGSolver(ConstantClockBiasPredictor(BIAS))
         scalar_nr = NewtonRaphsonSolver()
         for i, epoch in enumerate(mixed_stream):
             np.testing.assert_allclose(
@@ -64,7 +58,9 @@ class TestSolveStream:
         np.testing.assert_allclose(result.clock_biases, BIAS, atol=5.0)
 
     def test_closed_form_uses_predictor_when_no_biases(self, mixed_stream):
-        engine = PositioningEngine(algorithm="dlg", clock_predictor=_FixedBias())
+        engine = PositioningEngine(
+            algorithm="dlg", clock_predictor=ConstantClockBiasPredictor(BIAS)
+        )
         explicit = PositioningEngine(algorithm="dlg").solve_stream(
             mixed_stream, biases=[BIAS] * len(mixed_stream)
         )
@@ -135,6 +131,8 @@ class TestDiagnostics:
         assert doc == {
             "epochs_dropped": 1,
             "dropped_indices": [1],
+            "epochs_invalid": 0,
+            "invalid_indices": [],
             "bucket_status": {"8": "ok"},
         }
 

@@ -1,0 +1,118 @@
+"""Tests for the engine's structural-integrity guard on streams.
+
+The engine distinguishes two defect classes, consistent with
+``on_undersized``:
+
+* *undersized* epochs (fewer than four satellites) — a size problem the
+  bucketing path already understands;
+* *structurally invalid* epochs (non-finite measurements, duplicate
+  PRNs) — contract violations caught by the shared
+  :func:`~repro.observations.epoch_integrity_error` guard.
+
+Both honor the same policy knob: ``raise`` refuses the stream, ``drop``
+answers the offending rows with NaN and reports them in diagnostics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import PositioningEngine
+from repro.errors import GeometryError
+from repro.validation.faults import DuplicateSatellite, NonFiniteMeasurement
+
+BIAS = 21.0
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def stream(make_stream):
+    return make_stream(6, bias_meters=BIAS, count=8, noise_sigma=1.0)
+
+
+def _poison(stream, index, fault):
+    poisoned = list(stream)
+    poisoned[index] = fault.apply(poisoned[index], _rng())
+    return poisoned
+
+
+class TestRaiseMode:
+    @pytest.mark.parametrize(
+        "fault", [NonFiniteMeasurement(), NonFiniteMeasurement(target="position")]
+    )
+    def test_non_finite_epoch_refused(self, stream, fault):
+        with pytest.raises(GeometryError, match="structurally invalid"):
+            PositioningEngine(algorithm="dlg").solve_stream(
+                _poison(stream, 2, fault), biases=[BIAS] * len(stream)
+            )
+
+    def test_duplicate_prn_refused(self, stream):
+        with pytest.raises(GeometryError, match="structurally invalid"):
+            PositioningEngine(algorithm="dlg").solve_stream(
+                _poison(stream, 0, DuplicateSatellite()),
+                biases=[BIAS] * len(stream),
+            )
+
+    def test_error_names_the_first_offender(self, stream):
+        poisoned = _poison(
+            _poison(stream, 4, NonFiniteMeasurement()), 1, NonFiniteMeasurement()
+        )
+        with pytest.raises(GeometryError, match="first at index 1"):
+            PositioningEngine(algorithm="dlg").solve_stream(
+                poisoned, biases=[BIAS] * len(stream)
+            )
+
+
+class TestDropMode:
+    def test_invalid_row_answers_nan_and_is_diagnosed(self, stream):
+        poisoned = _poison(stream, 3, NonFiniteMeasurement())
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            poisoned, biases=[BIAS] * len(stream), on_undersized="drop"
+        )
+        assert np.all(np.isnan(result.positions[3]))
+        assert np.isnan(result.clock_biases[3])
+        assert result.diagnostics.epochs_invalid == 1
+        assert result.diagnostics.invalid_indices == (3,)
+        # The valid rows are untouched by the pruning.
+        clean = PositioningEngine(algorithm="dlg").solve_stream(
+            stream, biases=[BIAS] * len(stream)
+        )
+        keep = [0, 1, 2, 4, 5]
+        np.testing.assert_allclose(
+            result.positions[keep], clean.positions[keep]
+        )
+
+    def test_invalid_and_undersized_are_classified_separately(
+        self, stream, make_epoch
+    ):
+        poisoned = list(stream)
+        poisoned[1] = NonFiniteMeasurement().apply(poisoned[1], _rng())
+        poisoned[4] = make_epoch(bias_meters=BIAS, count=3, seed=99)
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            poisoned, biases=[BIAS] * len(poisoned), on_undersized="drop"
+        )
+        assert result.diagnostics.invalid_indices == (1,)
+        assert result.diagnostics.dropped_indices == (4,)
+        assert np.all(np.isnan(result.positions[[1, 4]]))
+
+    def test_diagnostics_dict_reports_both_classes(self, stream, make_epoch):
+        poisoned = list(stream)
+        poisoned[0] = DuplicateSatellite().apply(poisoned[0], _rng())
+        result = PositioningEngine(algorithm="dlg").solve_stream(
+            poisoned, biases=[BIAS] * len(poisoned), on_undersized="drop"
+        )
+        doc = result.diagnostics.to_dict()
+        assert doc["epochs_invalid"] == 1
+        assert doc["invalid_indices"] == [0]
+        assert doc["epochs_dropped"] == 0
+
+    @pytest.mark.parametrize("algorithm", ["dlo", "dlg", "nr"])
+    def test_all_algorithms_honor_the_guard(self, stream, algorithm):
+        poisoned = _poison(stream, 5, NonFiniteMeasurement())
+        result = PositioningEngine(algorithm=algorithm).solve_stream(
+            poisoned, biases=[BIAS] * len(stream), on_undersized="drop"
+        )
+        assert np.all(np.isnan(result.positions[5]))
+        assert np.all(np.isfinite(result.positions[:5]))

@@ -1,0 +1,158 @@
+"""Property tests for the geodesy round-trips (ISSUE: validation PR).
+
+Every tolerance below is justified where it is used; the shared
+reasoning is:
+
+* ``ecef_to_geodetic`` (Bowring) iterates until the latitude update is
+  below 1e-14 rad, i.e. ~64 nanometers of northing on the WGS84
+  ellipsoid — so round-trip error is dominated by float rounding in the
+  trig/projection arithmetic, which is O(eps * coordinate magnitude):
+  about ``2e-16 * 6.4e6 ≈ 1.4e-9 m`` at the surface and
+  ``2e-16 * 3e7 ≈ 7e-9 m`` at GPS orbit radius.  A 1e-6 m (micrometer)
+  bound sits three orders of magnitude above that float noise while
+  staying six orders below anything physically meaningful.
+* Near the poles the (latitude, height) parameterization itself becomes
+  ill-conditioned (``height = p / cos(lat) - N`` divides by a vanishing
+  cosine), so parameter-space assertions keep 1e-3 rad (~6.4 km) of
+  margin from the poles; polar coverage is asserted in *ECEF space*,
+  where the round-trip stays well-conditioned, plus the exact on-axis
+  branch.
+* The ENU rotation is orthonormal by construction, so ENU round-trips
+  add only O(eps * |target - origin|) error: at most ~7e-9 m for
+  targets a GPS-orbit diameter away.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geodesy import (
+    WGS84,
+    ecef_to_enu,
+    ecef_to_enu_matrix,
+    ecef_to_geodetic,
+    enu_to_ecef,
+    geodetic_to_ecef,
+)
+
+# Strategy bounds.  Latitudes for *parameter-space* round trips stay
+# 1e-3 rad away from the poles (see module docstring); longitude covers
+# the full principal range; heights span the Mariana trench to above
+# GPS orbit altitude ("high-altitude" per the issue).
+interior_latitudes = st.floats(
+    min_value=-math.pi / 2 + 1e-3, max_value=math.pi / 2 - 1e-3
+)
+all_latitudes = st.floats(min_value=-math.pi / 2, max_value=math.pi / 2)
+longitudes = st.floats(min_value=-math.pi + 1e-12, max_value=math.pi)
+surface_heights = st.floats(min_value=-11_000.0, max_value=9_000.0)
+orbit_heights = st.floats(min_value=-11_000.0, max_value=2.6e7)
+
+
+class TestGeodeticRoundTrip:
+    @given(latitude=interior_latitudes, longitude=longitudes, height=surface_heights)
+    def test_parameters_recovered_near_surface(self, latitude, longitude, height):
+        ecef = geodetic_to_ecef(latitude, longitude, height)
+        lat2, lon2, h2 = ecef_to_geodetic(ecef)
+        # 1e-11 rad of latitude is ~64 micrometers of northing — three
+        # orders above the 1e-14 rad iteration stop, far below use.
+        assert lat2 == pytest.approx(latitude, abs=1e-11)
+        assert lon2 == pytest.approx(longitude, abs=1e-11)
+        # Height is the ill-conditioned parameter near the poles; with
+        # |lat| <= pi/2 - 1e-3 the amplification p/cos^2 keeps the
+        # error below ~1e-4 m * (iteration stop), so 1e-6 m holds.
+        assert h2 == pytest.approx(height, abs=1e-6)
+
+    @given(latitude=all_latitudes, longitude=longitudes, height=orbit_heights)
+    def test_ecef_fixed_point_everywhere(self, latitude, longitude, height):
+        # Pole-inclusive, orbit-altitude-inclusive coverage, asserted in
+        # ECEF space where the map stays well-conditioned (the
+        # parameter-space lat/height trade-off collapses back onto the
+        # same point).  1e-6 m ≈ 100x the float noise at 3e7 m scale.
+        ecef = geodetic_to_ecef(latitude, longitude, height)
+        reprojected = geodetic_to_ecef(*ecef_to_geodetic(ecef))
+        np.testing.assert_allclose(reprojected, ecef, atol=1e-6)
+
+    @given(z_sign=st.sampled_from([-1.0, 1.0]), height=orbit_heights)
+    def test_polar_axis_branch_is_exact(self, z_sign, height):
+        # On the axis the closed-form branch answers: latitude is
+        # exactly +/- pi/2 and the height algebra is a subtraction, so
+        # only one rounding at the coordinate's own magnitude applies.
+        z = z_sign * (WGS84.semi_minor_axis + height)
+        latitude, _longitude, h = ecef_to_geodetic(np.array([0.0, 0.0, z]))
+        assert latitude == math.copysign(math.pi / 2, z_sign)
+        assert h == pytest.approx(height, abs=1e-8)
+
+    @given(longitude=longitudes, height=orbit_heights)
+    def test_equator_has_zero_latitude(self, longitude, height):
+        # z == 0 must map to exactly latitude 0: Bowring's initial
+        # guess atan2(0, p(1-e2)) is already the fixed point.
+        latitude, lon2, h2 = ecef_to_geodetic(
+            geodetic_to_ecef(0.0, longitude, height)
+        )
+        assert latitude == pytest.approx(0.0, abs=1e-12)
+        assert lon2 == pytest.approx(longitude, abs=1e-11)
+        assert h2 == pytest.approx(height, abs=1e-6)
+
+    @given(latitude=interior_latitudes, longitude=longitudes)
+    def test_height_is_distance_along_normal(self, latitude, longitude):
+        # Geometric definition of geodetic height: moving 1000 m of
+        # height moves exactly 1000 m in ECEF (along the ellipsoid
+        # normal).  Differencing two ~6.4e6 m vectors leaves
+        # O(eps * 6.4e6) ≈ 1.4e-9 m of cancellation noise, so assert
+        # at 1e-8 m absolute (7x that noise, still sub-micrometer).
+        ground = geodetic_to_ecef(latitude, longitude, 0.0)
+        raised = geodetic_to_ecef(latitude, longitude, 1000.0)
+        assert np.linalg.norm(raised - ground) == pytest.approx(1000.0, abs=1e-8)
+
+
+def _ecef_points(draw_scale=1.0):
+    """Strategy for ECEF points from surface to GPS orbit radius."""
+    return st.builds(
+        lambda lat, lon, h: geodetic_to_ecef(lat, lon, h * draw_scale),
+        all_latitudes,
+        longitudes,
+        orbit_heights,
+    )
+
+
+class TestEnuRoundTrip:
+    @given(latitude=all_latitudes, longitude=longitudes)
+    def test_rotation_is_orthonormal(self, latitude, longitude):
+        # R R^T = I to ~eps: the matrix is built from sin/cos pairs, so
+        # each dot product is a two-term trig identity (1e-12 is ~1e4
+        # times float eps — slack for the pairwise sums).
+        rotation = ecef_to_enu_matrix(latitude, longitude)
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rotation) == pytest.approx(1.0, abs=1e-12)
+
+    @given(target=_ecef_points(), origin=_ecef_points())
+    def test_enu_round_trips_to_ecef(self, target, origin):
+        # enu_to_ecef inverts ecef_to_enu through the same origin
+        # geodetic solve, so the error is purely the orthonormal
+        # rotate/unrotate: O(eps * |target - origin|) <= ~2e-8 m for
+        # a 6e7 m baseline.  1e-6 m gives 50x margin.
+        round_tripped = enu_to_ecef(ecef_to_enu(target, origin), origin)
+        np.testing.assert_allclose(round_tripped, target, atol=1e-6)
+
+    @given(target=_ecef_points(), origin=_ecef_points())
+    def test_enu_preserves_distance(self, target, origin):
+        # A rotation preserves norms; compare at rel 1e-12 (float
+        # precision of the norm itself at these magnitudes).
+        baseline = float(np.linalg.norm(target - origin))
+        local = float(np.linalg.norm(ecef_to_enu(target, origin)))
+        assert local == pytest.approx(baseline, rel=1e-12, abs=1e-9)
+
+    @given(origin=_ecef_points())
+    def test_origin_maps_to_zero(self, origin):
+        np.testing.assert_allclose(ecef_to_enu(origin, origin), 0.0, atol=1e-12)
+
+    @given(latitude=interior_latitudes, longitude=longitudes)
+    def test_up_axis_points_along_increasing_height(self, latitude, longitude):
+        # The ENU "up" of a point 100 m above the origin is (0, 0, 100)
+        # by the definition of geodetic height; 1e-6 m ≈ rotation noise.
+        origin = geodetic_to_ecef(latitude, longitude, 0.0)
+        above = geodetic_to_ecef(latitude, longitude, 100.0)
+        enu = ecef_to_enu(above, origin)
+        np.testing.assert_allclose(enu, [0.0, 0.0, 100.0], atol=1e-6)

@@ -31,6 +31,7 @@ PACKAGES = [
     "repro.rinex",
     "repro.evaluation",
     "repro.telemetry",
+    "repro.validation",
 ]
 
 

@@ -1,0 +1,1 @@
+"""Tests for the repro.validation differential/fuzz subsystem."""

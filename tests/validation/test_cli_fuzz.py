@@ -1,0 +1,137 @@
+"""End-to-end tests for the ``repro-gps fuzz`` command."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import _parse_budget, main
+
+
+class TestParseBudget:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("45", 45.0), ("60s", 60.0), ("2m", 120.0), ("1h", 3600.0), (" 10S ", 10.0)],
+    )
+    def test_accepted_spellings(self, text, seconds):
+        assert _parse_budget(text) == seconds
+
+    @pytest.mark.parametrize("text", ["", "fast", "10q", "-5", "0"])
+    def test_rejected_spellings(self, text):
+        with pytest.raises(SystemExit):
+            _parse_budget(text)
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--scenarios",
+                "5",
+                "--seed",
+                "0",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzzed 5 scenarios" in out
+        assert "0 unexplained failures" in out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_injected_fault_persists_artifacts(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--scenarios",
+                "2",
+                "--inject",
+                "spike",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        # Explained fault disagreements are not failures: exit 0.
+        assert code == 0
+        assert "2 fault-explained" in out
+        artifacts = sorted(tmp_path.iterdir())
+        assert len(artifacts) == 2
+        for artifact in artifacts:
+            assert json.loads(artifact.read_text())["fault"]["name"] == "spike"
+
+    def test_replay_reproduces_and_exits_zero(self, tmp_path, capsys):
+        main(
+            [
+                "fuzz",
+                "--scenarios",
+                "1",
+                "--inject",
+                "spike",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        (artifact,) = tmp_path.iterdir()
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(artifact)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict reproduced" in out
+
+    def test_replay_detects_a_changed_verdict(self, tmp_path, capsys):
+        main(
+            [
+                "fuzz",
+                "--scenarios",
+                "1",
+                "--inject",
+                "spike",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        (artifact,) = tmp_path.iterdir()
+        payload = json.loads(artifact.read_text())
+        payload["detail"] = ["doctored detail line"]
+        artifact.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(artifact)])
+        assert code == 2
+        assert "VERDICT CHANGED" in capsys.readouterr().out
+
+    def test_structural_inject_is_rejected_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--scenarios",
+                "2",
+                "--inject",
+                "non_finite",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 rejected" in out
+
+    def test_metrics_out_writes_fuzz_counters(self, tmp_path, capsys):
+        metrics = tmp_path / "fuzz.json"
+        code = main(
+            [
+                "fuzz",
+                "--scenarios",
+                "3",
+                "--artifacts-dir",
+                str(tmp_path / "artifacts"),
+                "--metrics-out",
+                str(metrics),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(metrics.read_text())
+        dumped = json.dumps(snapshot)
+        assert "repro_fuzz_scenarios_total" in dumped

@@ -1,0 +1,160 @@
+"""Tests for the composable fault-injection profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation import ScenarioGenerator
+from repro.validation.faults import (
+    EXPECT_ANSWERED,
+    EXPECT_REJECTED,
+    FAULT_REGISTRY,
+    ClockJump,
+    CompositeFault,
+    DuplicateSatellite,
+    NonFiniteMeasurement,
+    PseudorangeSpike,
+    SatelliteDropout,
+    fault_from_spec,
+)
+
+
+@pytest.fixture
+def epoch():
+    return ScenarioGenerator().generate(42).epoch
+
+
+def _rng():
+    return np.random.default_rng(99)
+
+
+class TestExpectations:
+    def test_semantic_faults_expect_answers(self):
+        assert PseudorangeSpike().expectation == EXPECT_ANSWERED
+        assert ClockJump().expectation == EXPECT_ANSWERED
+
+    def test_structural_faults_expect_rejection(self):
+        assert SatelliteDropout().expectation == EXPECT_REJECTED
+        assert NonFiniteMeasurement().expectation == EXPECT_REJECTED
+        assert DuplicateSatellite().expectation == EXPECT_REJECTED
+
+    def test_composite_rejection_dominates(self):
+        composite = PseudorangeSpike() | NonFiniteMeasurement()
+        assert composite.expectation == EXPECT_REJECTED
+        assert (PseudorangeSpike() | ClockJump()).expectation == EXPECT_ANSWERED
+
+
+class TestApply:
+    def test_spike_hits_exactly_count_satellites(self, epoch):
+        fault = PseudorangeSpike(magnitude_meters=1.0e4, count=2)
+        faulted = fault.apply(epoch, _rng())
+        delta = faulted.pseudoranges() - epoch.pseudoranges()
+        assert np.count_nonzero(delta) == 2
+        np.testing.assert_allclose(delta[delta != 0.0], 1.0e4)
+
+    def test_clock_jump_shifts_every_pseudorange(self, epoch):
+        faulted = ClockJump(jump_meters=123.0).apply(epoch, _rng())
+        np.testing.assert_allclose(
+            faulted.pseudoranges() - epoch.pseudoranges(), 123.0
+        )
+
+    def test_dropout_leaves_requested_count(self, epoch):
+        faulted = SatelliteDropout(remaining=3).apply(epoch, _rng())
+        assert faulted.satellite_count == 3
+        original = {o.prn for o in epoch.observations}
+        assert {o.prn for o in faulted.observations} <= original
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf"])
+    def test_non_finite_pseudorange(self, epoch, value):
+        faulted = NonFiniteMeasurement(value=value).apply(epoch, _rng())
+        assert np.count_nonzero(~np.isfinite(faulted.pseudoranges())) == 1
+
+    def test_non_finite_position(self, epoch):
+        faulted = NonFiniteMeasurement(target="position").apply(epoch, _rng())
+        positions = faulted.satellite_positions()
+        assert np.count_nonzero(~np.isfinite(positions)) == 1
+
+    def test_duplicate_repeats_one_prn(self, epoch):
+        faulted = DuplicateSatellite().apply(epoch, _rng())
+        assert faulted.satellite_count == epoch.satellite_count + 1
+        prns = [o.prn for o in faulted.observations]
+        assert len(prns) == len(set(prns)) + 1
+
+    def test_composite_applies_in_order(self, epoch):
+        composite = ClockJump(jump_meters=100.0) | ClockJump(jump_meters=23.0)
+        faulted = composite.apply(epoch, _rng())
+        np.testing.assert_allclose(
+            faulted.pseudoranges() - epoch.pseudoranges(), 123.0
+        )
+
+    def test_input_epoch_never_mutated(self, epoch):
+        before = epoch.pseudoranges().copy()
+        for name, cls in FAULT_REGISTRY.items():
+            cls().apply(epoch, _rng())
+        np.testing.assert_array_equal(epoch.pseudoranges(), before)
+
+    def test_apply_is_deterministic_per_rng_seed(self, epoch):
+        for name, cls in FAULT_REGISTRY.items():
+            a = cls().apply(epoch, np.random.default_rng(5))
+            b = cls().apply(epoch, np.random.default_rng(5))
+            np.testing.assert_array_equal(
+                a.pseudoranges(), b.pseudoranges(), err_msg=name
+            )
+
+
+class TestSpecRoundTrip:
+    def test_registry_faults_round_trip(self):
+        for name, cls in FAULT_REGISTRY.items():
+            fault = cls()
+            rebuilt = fault_from_spec(fault.spec())
+            assert type(rebuilt) is type(fault)
+            assert rebuilt.spec() == fault.spec()
+
+    def test_parameters_survive_round_trip(self):
+        fault = PseudorangeSpike(magnitude_meters=7.5e3, count=3)
+        rebuilt = fault_from_spec(fault.spec())
+        assert rebuilt.magnitude_meters == 7.5e3
+        assert rebuilt.count == 3
+
+    def test_composite_round_trips(self):
+        composite = PseudorangeSpike(magnitude_meters=1e3) | DuplicateSatellite()
+        rebuilt = fault_from_spec(composite.spec())
+        assert isinstance(rebuilt, CompositeFault)
+        assert rebuilt.spec() == composite.spec()
+        assert rebuilt.expectation == EXPECT_REJECTED
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault"):
+            fault_from_spec({"name": "gremlin"})
+
+    def test_spec_is_json_ready(self):
+        import json
+
+        for cls in FAULT_REGISTRY.values():
+            json.dumps(cls().spec())
+
+
+class TestValidation:
+    def test_spike_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PseudorangeSpike(magnitude_meters=0.0)
+        with pytest.raises(ConfigurationError):
+            PseudorangeSpike(count=0)
+
+    def test_clock_jump_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            ClockJump(jump_meters=0.0)
+
+    def test_dropout_rejects_zero_remaining(self):
+        with pytest.raises(ConfigurationError):
+            SatelliteDropout(remaining=0)
+
+    def test_non_finite_rejects_bad_choices(self):
+        with pytest.raises(ConfigurationError):
+            NonFiniteMeasurement(value="huge")
+        with pytest.raises(ConfigurationError):
+            NonFiniteMeasurement(target="elevation")
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeFault(())

@@ -1,0 +1,131 @@
+"""Tests for the differential oracles (scalar, batch, and stream paths)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation import ScenarioConfig, ScenarioGenerator, run_differential
+from repro.validation.faults import PseudorangeSpike
+from repro.validation.oracles import (
+    ORACLE_PATHS,
+    agreement_tolerance,
+    run_stream_differential,
+)
+from repro.validation.scenarios import scenario_with_noise
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ScenarioGenerator()
+
+
+class TestAgreementTolerance:
+    def test_scales_with_conditioning(self, generator):
+        scenarios = [generator.generate(seed) for seed in range(100)]
+        worst = max(scenarios, key=lambda s: s.conditioning)
+        best = min(scenarios, key=lambda s: s.conditioning)
+        assert agreement_tolerance(worst) > agreement_tolerance(best)
+
+    def test_noise_widens_the_tolerance(self, generator):
+        clean = generator.generate(0)
+        noisy = scenario_with_noise(clean, noise_sigma=2.0)
+        assert agreement_tolerance(noisy) > 10.0 * agreement_tolerance(clean)
+
+
+class TestCleanAgreement:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_all_paths_agree_on_clean_scenarios(self, generator, seed):
+        report = run_differential(generator.generate(seed))
+        assert report.agreed, [d.describe() for d in report.disagreements]
+        # Noise-free default: the truth itself is one of the compared
+        # references, so agreement is also an accuracy statement.
+        answered = [o for o in report.outcomes if o.answered]
+        assert len(answered) >= 4
+
+    def test_solved_biases_match_the_scenario(self, generator):
+        scenario = generator.generate(1)
+        report = run_differential(scenario)
+        for outcome in report.outcomes:
+            if outcome.answered and outcome.clock_bias is not None:
+                assert outcome.clock_bias == pytest.approx(
+                    scenario.clock_bias_meters, abs=report.tolerance_meters
+                )
+
+    def test_report_is_json_ready(self, generator):
+        json.dumps(run_differential(generator.generate(2)).to_dict())
+
+    def test_path_subset_runs_only_those(self, generator):
+        report = run_differential(generator.generate(3), paths=("nr", "bancroft"))
+        assert tuple(o.path for o in report.outcomes) == ("nr", "bancroft")
+
+    def test_unknown_path_rejected(self, generator):
+        with pytest.raises(ConfigurationError, match="unknown oracle"):
+            run_differential(generator.generate(0), paths=("nr", "warp"))
+
+    def test_tolerance_override_respected(self, generator):
+        report = run_differential(generator.generate(4), tolerance_meters=123.0)
+        assert report.tolerance_meters == 123.0
+
+
+class TestFourSatelliteAmbiguity:
+    # With exactly four satellites the trilateration system has two
+    # exact roots; solvers may legitimately pick different ones.  Seed 6
+    # under a 4-satellite-only config is a measured instance (found by
+    # seed scan; deterministic because scenarios are pure in the seed).
+    AMBIGUOUS_SEED = 6
+
+    @pytest.fixture(scope="class")
+    def four_sat(self):
+        return ScenarioGenerator(ScenarioConfig(min_satellites=4, max_satellites=4))
+
+    def test_mirror_roots_classified_as_ambiguity(self, four_sat):
+        report = run_differential(four_sat.generate(self.AMBIGUOUS_SEED))
+        assert report.ambiguities, "seed no longer ambiguous — regenerate the scan"
+        assert report.agreed
+        # Both members of each ambiguous pair reproduce the
+        # measurements, so the separation is a geometry fact, not noise.
+        for record in report.ambiguities:
+            assert record.separation_meters > record.tolerance_meters
+
+    def test_ambiguities_never_classified_above_four_sats(self, generator):
+        for seed in range(25):
+            scenario = generator.generate(seed)
+            if scenario.satellite_count > 4:
+                assert not run_differential(scenario).ambiguities
+
+
+class TestFaultedEpochs:
+    def test_spike_produces_disagreement_not_crash(self, generator):
+        scenario = generator.generate(10)
+        faulted = PseudorangeSpike(magnitude_meters=5.0e4).apply(
+            scenario.epoch, np.random.default_rng(0)
+        )
+        report = run_differential(scenario, epoch=faulted)
+        # Solvers answer (the fault is semantically valid data) but the
+        # linearized and iterative paths absorb the spike differently.
+        assert not report.agreed
+        # With a replacement epoch the truth is excluded by default —
+        # a faulted epoch is *supposed* to miss the truth.
+        assert all(o.path != "truth" for o in report.outcomes)
+
+    def test_rejections_recorded_not_raised(self, generator):
+        scenario = generator.generate(11)
+        undersized = scenario.epoch.subset(3, list(range(scenario.satellite_count)))
+        report = run_differential(scenario, epoch=undersized)
+        assert set(report.rejections) == set(ORACLE_PATHS)
+
+
+class TestStreamDifferential:
+    def test_bulk_paths_agree_with_scalar(self, generator):
+        scenarios = [generator.generate(seed) for seed in range(12)]
+        report = run_stream_differential(scenarios, workers=2)
+        assert report.agreed, report.disagreements
+        assert report.epochs == 12
+        assert report.max_engine_separation_meters < 1.0
+        assert report.max_replay_separation_meters < 1e-9
+
+    def test_rejects_empty_stream(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_stream_differential([])

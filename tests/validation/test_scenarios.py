@@ -1,0 +1,149 @@
+"""Tests for the seeded scenario generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.validation import Scenario, ScenarioConfig, ScenarioGenerator
+from repro.validation.scenarios import scenario_with_noise
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return ScenarioGenerator()
+
+
+class TestDeterminism:
+    def test_same_seed_same_scenario_bitwise(self, generator):
+        a = generator.generate(7)
+        b = generator.generate(7)
+        assert a.seed == b.seed == 7
+        assert a.clock_bias_meters == b.clock_bias_meters
+        assert a.flatness == b.flatness
+        assert a.conditioning == b.conditioning
+        np.testing.assert_array_equal(a.epoch.pseudoranges(), b.epoch.pseudoranges())
+        np.testing.assert_array_equal(
+            a.epoch.satellite_positions(), b.epoch.satellite_positions()
+        )
+
+    def test_fresh_generator_agrees(self):
+        # Purity across instances: no hidden mutable generator state.
+        np.testing.assert_array_equal(
+            ScenarioGenerator().generate(11).epoch.pseudoranges(),
+            ScenarioGenerator().generate(11).epoch.pseudoranges(),
+        )
+
+    def test_different_seeds_differ(self, generator):
+        a, b = generator.generate(0), generator.generate(1)
+        assert not np.array_equal(a.epoch.pseudoranges(), b.epoch.pseudoranges())
+
+    def test_stream_is_consecutive_seeds(self, generator):
+        scenarios = list(generator.stream(start_seed=5, count=4))
+        assert [s.seed for s in scenarios] == [5, 6, 7, 8]
+        np.testing.assert_array_equal(
+            scenarios[2].epoch.pseudoranges(),
+            generator.generate(7).epoch.pseudoranges(),
+        )
+
+
+class TestScenarioShape:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_respects_config_bounds(self, generator, seed):
+        scenario = generator.generate(seed)
+        cfg = scenario.config
+        assert cfg.min_satellites <= scenario.satellite_count <= cfg.max_satellites
+        assert abs(scenario.clock_bias_meters) <= cfg.max_clock_bias_meters
+        assert 0.0 <= scenario.flatness <= cfg.max_flatness
+        assert scenario.conditioning >= 1.0
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_pseudoranges_encode_truth_exactly(self, generator, seed):
+        # Noise-free scenarios are exact by construction: every
+        # pseudorange is ||s - x|| + bias to float precision, which is
+        # what makes cross-solver agreement a pure numerics check.
+        scenario = generator.generate(seed)
+        ranges = np.linalg.norm(
+            scenario.epoch.satellite_positions() - scenario.truth_position, axis=1
+        )
+        # One ulp at 2.6e7 m is ~4e-9 m; 1e-7 allows the float
+        # rounding of the norm+bias sum and nothing else.
+        np.testing.assert_allclose(
+            scenario.epoch.pseudoranges(),
+            ranges + scenario.clock_bias_meters,
+            rtol=0,
+            atol=1e-7,
+        )
+
+    def test_satellite_count_band_is_reachable(self, generator):
+        counts = {generator.generate(seed).satellite_count for seed in range(200)}
+        cfg = generator.config
+        assert min(counts) == cfg.min_satellites
+        assert max(counts) == cfg.max_satellites
+
+    def test_flatness_degrades_conditioning(self, generator):
+        # The whole point of the flatness sweep: near-coplanar skies
+        # must actually produce worse-conditioned designs.  Compare
+        # within one generator (so only the flatness draw separates the
+        # groups); empirically the high-flatness mean is ~5x the
+        # low-flatness mean, so 2x is a robust floor.
+        scenarios = [generator.generate(seed) for seed in range(400)]
+        flat = [s.conditioning for s in scenarios if s.flatness > 0.8]
+        round_ = [s.conditioning for s in scenarios if s.flatness < 0.2]
+        assert flat and round_
+        assert np.mean(flat) > 2.0 * np.mean(round_)
+
+    def test_truth_is_on_or_near_the_ellipsoid(self, generator):
+        for seed in range(10):
+            radius = float(np.linalg.norm(generator.generate(seed).truth_position))
+            assert 6.3e6 < radius < 6.4e6
+
+
+class TestConfig:
+    def test_to_dict_round_trips(self):
+        cfg = ScenarioConfig(
+            min_satellites=5,
+            max_satellites=9,
+            max_clock_bias_meters=1e4,
+            max_flatness=0.5,
+            noise_sigma=2.0,
+        )
+        assert ScenarioConfig.from_dict(cfg.to_dict()) == cfg
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_satellites": 3},
+            {"min_satellites": 9, "max_satellites": 5},
+            {"max_clock_bias_meters": -1.0},
+            {"max_clock_bias_meters": float("inf")},
+            {"max_flatness": 1.0},
+            {"max_flatness": -0.1},
+            {"noise_sigma": -1.0},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(**kwargs)
+
+
+class TestNoisyTwin:
+    def test_same_geometry_different_pseudoranges(self, generator):
+        clean = generator.generate(3)
+        noisy = scenario_with_noise(clean, noise_sigma=2.0)
+        np.testing.assert_array_equal(
+            noisy.epoch.satellite_positions(), clean.epoch.satellite_positions()
+        )
+        assert noisy.config.noise_sigma == 2.0
+        assert not np.array_equal(
+            noisy.epoch.pseudoranges(), clean.epoch.pseudoranges()
+        )
+        # The noise is zero-mean and small: pseudoranges move by O(sigma).
+        assert np.max(
+            np.abs(noisy.epoch.pseudoranges() - clean.epoch.pseudoranges())
+        ) < 20.0
+
+    def test_noisy_twin_is_deterministic(self, generator):
+        clean = generator.generate(3)
+        a = scenario_with_noise(clean, noise_sigma=2.0)
+        b = scenario_with_noise(clean, noise_sigma=2.0)
+        np.testing.assert_array_equal(a.epoch.pseudoranges(), b.epoch.pseudoranges())
