@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 from conftest import BENCH_EXPERIMENT_CONFIG, add_report
-from repro.core.direct_linear import build_difference_system, difference_covariance
+from repro.solvers.direct_linear import build_difference_system, difference_covariance
 from repro.errors import EstimationError
 from repro.estimation import gls_solve
 from repro.evaluation.experiments import StationPipeline, prn_order_subset

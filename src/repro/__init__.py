@@ -30,6 +30,9 @@ from repro.errors import (
     RinexError,
     DatasetError,
     EstimationError,
+    ServiceError,
+    QueueFullError,
+    RequestTimeoutError,
 )
 from repro.timebase import GpsTime
 from repro.observations import (
@@ -75,6 +78,13 @@ from repro.engine import (
     EngineResult,
     ParallelReplay,
     PositioningEngine,
+)
+from repro.api import SolverConfig, solve, solve_batch
+from repro.service import (
+    AsyncPositioningClient,
+    PositioningService,
+    ServiceConfig,
+    ServiceResult,
 )
 from repro import telemetry
 from repro.validation import (
@@ -126,6 +136,9 @@ __all__ = [
     "RinexError",
     "DatasetError",
     "EstimationError",
+    "ServiceError",
+    "QueueFullError",
+    "RequestTimeoutError",
     "GpsTime",
     "SatelliteObservation",
     "ObservationEpoch",
@@ -155,6 +168,13 @@ __all__ = [
     "EngineResult",
     "ParallelReplay",
     "PositioningEngine",
+    "SolverConfig",
+    "solve",
+    "solve_batch",
+    "AsyncPositioningClient",
+    "PositioningService",
+    "ServiceConfig",
+    "ServiceResult",
     "telemetry",
     "FaultProfile",
     "FuzzConfig",

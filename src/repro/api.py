@@ -1,0 +1,347 @@
+"""repro.api — the unified solver facade.
+
+One frozen :class:`SolverConfig` value subsumes the seven scattered
+solver constructors (:class:`~repro.solvers.NewtonRaphsonSolver`,
+:class:`~repro.solvers.DLOSolver`, :class:`~repro.solvers.DLGSolver`,
+:class:`~repro.solvers.BancroftSolver` and the batch trio): pick the
+algorithm, tune it, and hand the *value* around — the service, the
+CLI, the validation oracles, and the benchmarks all consume it, so
+"which solver, configured how" travels as data instead of as seven
+call-site-specific constructor signatures.
+
+Entry points::
+
+    from repro.api import SolverConfig, solve
+
+    fix = solve(epoch)                          # default: DLG
+    fix = solve(epoch, "nr")                    # algorithm shorthand
+    fix = solve(epoch, SolverConfig(algorithm="dlg", clock_bias_meters=35.0))
+
+    config = SolverConfig(algorithm="nr", tolerance_meters=1e-5)
+    solver = config.build_solver()              # reusable scalar solver
+    batch = config.build_batch_solver()         # reusable batch solver
+    positions = solve_batch(epochs, config)     # (N, 3) stacked solve
+
+Design rules:
+
+* **Frozen value semantics.**  A ``SolverConfig`` never mutates;
+  derive variants with :func:`dataclasses.replace` (the service builds
+  its NR degradation ladder exactly that way).
+* **Ignored is documented, contradictory is an error.**  Knobs that do
+  not apply to the chosen algorithm are *ignored* when harmless (NR
+  tuning on a DLG config also parameterizes any NR fallback built from
+  the same config) but *rejected* when contradictory (two clock-bias
+  sources at once, batched Bancroft).
+* **Back-compat.**  The solver classes stay public in
+  :mod:`repro.solvers` (re-exported by :mod:`repro.core`); only the
+  deep ``repro.core.<solver module>`` import paths are deprecated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.clocks.prediction import ClockBiasPredictor, ConstantClockBiasPredictor
+from repro.core.base import PositioningAlgorithm
+from repro.core.selection import BaseSatelliteSelector
+from repro.core.types import PositionFix
+from repro.errors import ConfigurationError
+from repro.observations import ObservationEpoch
+from repro.solvers import (
+    BancroftSolver,
+    BatchDLGSolver,
+    BatchDLOSolver,
+    BatchNewtonRaphsonSolver,
+    DLGSolver,
+    DLOSolver,
+    NewtonRaphsonSolver,
+)
+
+#: Algorithms a :class:`SolverConfig` can name.
+ALGORITHMS: Tuple[str, ...] = ("nr", "dlo", "dlg", "bancroft")
+
+#: Algorithms with a batched implementation (Bancroft has none).
+BATCH_ALGORITHMS: Tuple[str, ...] = ("nr", "dlo", "dlg")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Everything needed to build any solver path, as one frozen value.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"nr"``, ``"dlo"``, ``"dlg"`` (the paper's algorithms) or
+        ``"bancroft"`` (the classic closed-form comparator).
+    clock_bias_meters:
+        Known receiver clock bias (meters) handed to DLO/DLG as a
+        fixed :class:`~repro.clocks.ConstantClockBiasPredictor`.
+        Ignored by NR and Bancroft, which solve their own bias.
+        Mutually exclusive with ``clock_predictor``.
+    clock_predictor:
+        A live bias predictor for DLO/DLG (e.g. a warmed-up
+        :class:`~repro.clocks.LinearClockBiasPredictor`).  Ignored by
+        NR and Bancroft.
+    base_selector:
+        Base-satellite strategy for the DLO/DLG difference system;
+        defaults to the first (highest-elevation) satellite.
+    max_iterations, tolerance_meters, initial_state:
+        Newton-Raphson iteration budget, update-norm stopping tolerance
+        and optional warm start.  Consumed when ``algorithm="nr"`` —
+        and by any NR fallback derived from this config with
+        ``dataclasses.replace(config, algorithm="nr")``, which is why
+        they are legal on every algorithm.
+    elevation_weighted, convergence:
+        NR-only refinements (see
+        :class:`~repro.solvers.NewtonRaphsonSolver`).  Rejected by
+        :meth:`build_batch_solver` when set to non-batchable values,
+        exactly as :meth:`NewtonRaphsonSolver.as_batch` would.
+    """
+
+    algorithm: str = "dlg"
+    clock_bias_meters: Optional[float] = None
+    clock_predictor: Optional[ClockBiasPredictor] = field(
+        default=None, compare=False
+    )
+    base_selector: Optional[BaseSatelliteSelector] = field(
+        default=None, compare=False
+    )
+    max_iterations: int = 20
+    tolerance_meters: float = 1e-4
+    initial_state: Optional[Tuple[float, float, float, float]] = None
+    elevation_weighted: bool = False
+    convergence: str = "update"
+
+    def __post_init__(self) -> None:
+        algorithm = str(self.algorithm).lower()
+        if algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"algorithm must be one of {'/'.join(ALGORITHMS)}, "
+                f"got {self.algorithm!r}"
+            )
+        object.__setattr__(self, "algorithm", algorithm)
+        if self.clock_bias_meters is not None and self.clock_predictor is not None:
+            raise ConfigurationError(
+                "set clock_bias_meters or clock_predictor, not both: the "
+                "fixed bias would silently shadow the live predictor"
+            )
+        if self.clock_bias_meters is not None and not np.isfinite(
+            self.clock_bias_meters
+        ):
+            raise ConfigurationError("clock_bias_meters must be finite")
+        if self.initial_state is not None:
+            state = tuple(float(v) for v in self.initial_state)
+            if len(state) != 4 or not all(np.isfinite(v) for v in state):
+                raise ConfigurationError("initial_state must be a finite 4-tuple")
+            object.__setattr__(self, "initial_state", state)
+        # Delegate the remaining NR validation to the constructor it
+        # parameterizes, so the rules live in exactly one place.
+        if self.algorithm == "nr":
+            self.build_solver()
+
+    # ------------------------------------------------------------------
+    def bias_predictor(self) -> Optional[ClockBiasPredictor]:
+        """The DLO/DLG bias source this config describes (or ``None``)."""
+        if self.clock_bias_meters is not None:
+            return ConstantClockBiasPredictor(float(self.clock_bias_meters))
+        return self.clock_predictor
+
+    def build_solver(self) -> PositioningAlgorithm:
+        """A scalar solver configured from this value.
+
+        Solvers are cheap to construct but reusable; hot paths should
+        build once and call ``solver.solve(epoch)`` per epoch, which is
+        exactly what :func:`solve` does when handed a config it has
+        seen before via its internal one-slot cache.
+        """
+        if self.algorithm == "nr":
+            return NewtonRaphsonSolver(
+                max_iterations=self.max_iterations,
+                tolerance_meters=self.tolerance_meters,
+                initial_state=(
+                    np.asarray(self.initial_state, dtype=float)
+                    if self.initial_state is not None
+                    else None
+                ),
+                elevation_weighted=self.elevation_weighted,
+                convergence=self.convergence,
+            )
+        if self.algorithm == "dlo":
+            return DLOSolver(self.bias_predictor(), self.base_selector)
+        if self.algorithm == "dlg":
+            return DLGSolver(self.bias_predictor(), self.base_selector)
+        return BancroftSolver()
+
+    def build_batch_solver(self):
+        """The batched counterpart of :meth:`build_solver`.
+
+        Returns a :class:`~repro.solvers.BatchNewtonRaphsonSolver`,
+        :class:`~repro.solvers.BatchDLOSolver` or
+        :class:`~repro.solvers.BatchDLGSolver`; Bancroft has no batch
+        implementation and raises
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        if self.algorithm == "bancroft":
+            raise ConfigurationError(
+                "Bancroft has no batched implementation; use algorithm "
+                "'nr', 'dlo', or 'dlg' for batch solving"
+            )
+        if self.algorithm == "nr":
+            if self.elevation_weighted:
+                raise ConfigurationError(
+                    "batched NR does not support elevation weighting"
+                )
+            if self.convergence != "update":
+                raise ConfigurationError(
+                    "batched NR only supports the 'update' convergence criterion"
+                )
+            return BatchNewtonRaphsonSolver(
+                max_iterations=self.max_iterations,
+                tolerance_meters=self.tolerance_meters,
+                initial_state=(
+                    np.asarray(self.initial_state, dtype=float)
+                    if self.initial_state is not None
+                    else None
+                ),
+            )
+        return BatchDLOSolver() if self.algorithm == "dlo" else BatchDLGSolver()
+
+    def nr_fallback(self) -> "SolverConfig":
+        """This config's NR degradation target.
+
+        The same tuning with ``algorithm="nr"`` — what the service (and
+        :class:`~repro.core.receiver.GpsReceiver`-style ladders) solve
+        with when the closed-form path rejects an epoch.
+        """
+        if self.algorithm == "nr":
+            return self
+        return replace(
+            self,
+            algorithm="nr",
+            clock_bias_meters=None,
+            clock_predictor=None,
+        )
+
+    def batch_biases(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Per-epoch clock biases (meters) for a DLO/DLG batch solve.
+
+        Resolution order: explicit ``biases`` argument, the config's
+        fixed ``clock_bias_meters``, the config's ``clock_predictor``
+        evaluated at each epoch time, else zeros (pseudoranges already
+        clock-free).
+        """
+        if biases is not None:
+            resolved = np.asarray(biases, dtype=float)
+            if resolved.shape != (len(epochs),):
+                raise ConfigurationError(
+                    f"biases must be one per epoch: expected ({len(epochs)},), "
+                    f"got {resolved.shape}"
+                )
+            return resolved
+        if self.clock_bias_meters is not None:
+            return np.full(len(epochs), float(self.clock_bias_meters))
+        if self.clock_predictor is not None:
+            return np.array(
+                [
+                    self.clock_predictor.predict_bias_meters(epoch.time)
+                    for epoch in epochs
+                ]
+            )
+        return np.zeros(len(epochs))
+
+
+def _as_config(config: Union[SolverConfig, str, None]) -> SolverConfig:
+    """Normalize the facade's ``config`` argument."""
+    if config is None:
+        return SolverConfig()
+    if isinstance(config, str):
+        return SolverConfig(algorithm=config)
+    if isinstance(config, SolverConfig):
+        return config
+    raise ConfigurationError(
+        f"config must be a SolverConfig, an algorithm name, or None, "
+        f"got {type(config).__name__}"
+    )
+
+
+#: One-slot solver cache: repeated ``solve(epoch, same_config)`` calls
+#: (the fuzzer's pattern) reuse the built solver instead of paying
+#: construction per epoch.  Keyed by config identity, not equality, so
+#: stateful predictors are never shared across distinct configs.
+_LAST_BUILT: Tuple[Optional[SolverConfig], Optional[PositioningAlgorithm]] = (
+    None,
+    None,
+)
+
+
+def solve(
+    epoch: ObservationEpoch,
+    config: Union[SolverConfig, str, None] = None,
+) -> PositionFix:
+    """Solve one epoch under a :class:`SolverConfig` (default: DLG).
+
+    The single scalar entry point of the facade: ``config`` may be a
+    full :class:`SolverConfig`, a bare algorithm name (``"nr"``,
+    ``"dlo"``, ``"dlg"``, ``"bancroft"``), or ``None`` for the default
+    DLG with a zero clock-bias predictor.
+    """
+    global _LAST_BUILT
+    resolved = _as_config(config)
+    cached_config, cached_solver = _LAST_BUILT
+    if cached_config is resolved and cached_solver is not None:
+        return cached_solver.solve(epoch)
+    solver = resolved.build_solver()
+    if isinstance(config, SolverConfig):
+        _LAST_BUILT = (resolved, solver)
+    return solver.solve(epoch)
+
+
+def solve_batch(
+    epochs: Sequence[ObservationEpoch],
+    config: Union[SolverConfig, str, None] = None,
+    biases: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Solve N same-satellite-count epochs as one stacked batch.
+
+    Returns ``(N, 3)`` positions.  For DLO/DLG the per-epoch clock
+    biases follow :meth:`SolverConfig.batch_biases`; NR solves its own
+    biases and raises :class:`~repro.errors.ConvergenceError` if any
+    epoch fails to converge.  Mixed-count streams belong to
+    :class:`~repro.engine.PositioningEngine` (or the async service),
+    which buckets them and calls this layer per bucket.
+    """
+    resolved = _as_config(config)
+    solver = resolved.build_batch_solver()
+    if resolved.algorithm == "nr":
+        return solver.solve_batch(epochs)
+    return solver.solve_batch(epochs, resolved.batch_biases(epochs, biases))
+
+
+def build_solver(
+    config: Union[SolverConfig, str, None] = None,
+) -> PositioningAlgorithm:
+    """A reusable scalar solver for ``config`` (see :func:`solve`)."""
+    return _as_config(config).build_solver()
+
+
+def build_batch_solver(config: Union[SolverConfig, str, None] = None):
+    """A reusable batch solver for ``config`` (see :func:`solve_batch`)."""
+    return _as_config(config).build_batch_solver()
+
+
+__all__ = [
+    "ALGORITHMS",
+    "BATCH_ALGORITHMS",
+    "SolverConfig",
+    "solve",
+    "solve_batch",
+    "build_solver",
+    "build_batch_solver",
+]

@@ -14,11 +14,20 @@ Subcommands:
 * ``fuzz`` — run seeded differential/metamorphic validation scenarios
   under a time or count budget, persisting failures as replayable
   artifacts (``--replay`` reruns one).
+* ``serve`` — run the async micro-batching positioning service against
+  a station's simulated stream of concurrent requests and report
+  throughput, batching, and latency percentiles.
 
 ``solve`` and ``experiment`` also accept ``--metrics-out PATH`` to
 record their telemetry alongside the normal output; the format follows
 the extension (``.prom``/``.txt`` for Prometheus text, anything else
 for the JSON snapshot).
+
+Exit codes are uniform across subcommands: :data:`EXIT_OK` (0) when
+the requested work succeeded, :data:`EXIT_FAILURE` (1) for any
+solver/validation/service failure (including :class:`ReproError`
+raised anywhere in a handler), and argparse's conventional 2 for
+usage errors.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from typing import List, Optional
 
 from repro import telemetry
 
+from repro.errors import ConfigurationError, ReproError
 from repro.evaluation import (
     ExperimentConfig,
     format_station_report,
@@ -41,6 +51,20 @@ from repro.core import GpsReceiver
 from repro.rinex import ObservationHeader, write_navigation_file, write_observation_file
 from repro.signals import HatchFilter
 from repro.stations import DatasetConfig, ObservationDataset, all_stations, get_station
+
+#: The work succeeded.
+EXIT_OK = 0
+#: A solver, validation, or service failure (anything a ReproError
+#: signals, a fuzz run with unexplained failures, a changed replay
+#: verdict, a serve run with failed requests).
+EXIT_FAILURE = 1
+#: Bad invocation — argparse's own convention, listed for completeness.
+EXIT_USAGE = 2
+
+
+def exit_code(success: bool) -> int:
+    """The uniform success/failure mapping every subcommand returns."""
+    return EXIT_OK if success else EXIT_FAILURE
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -55,8 +79,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "skyplot": _cmd_skyplot,
         "telemetry": _cmd_telemetry,
         "fuzz": _cmd_fuzz,
+        "serve": _cmd_serve,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"repro-gps {args.command}: error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 @contextmanager
@@ -216,13 +245,67 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record telemetry for the run (.prom/.txt or .json)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async micro-batching service under concurrent load",
+    )
+    serve.add_argument("station", nargs="?", default="SRZN", help="site id")
+    serve.add_argument(
+        "--algorithm",
+        default="dlg",
+        choices=["nr", "dlo", "dlg"],
+        help="batchable solver the service runs",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200, help="concurrent requests to fire"
+    )
+    serve.add_argument(
+        "--warmup",
+        type=int,
+        default=30,
+        help="NR epochs used to train the clock-bias predictor (dlo/dlg)",
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=64, help="micro-batch flush size"
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch flush deadline in milliseconds",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=1024,
+        help="admission limit before backpressure rejection",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline in milliseconds (default: none)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=256,
+        help="client-side in-flight submission bound",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="record service telemetry (.prom/.txt or .json)",
+    )
     return parser
 
 
 def _cmd_stations(args: argparse.Namespace) -> int:
     counts = {station.site_id: DatasetConfig().epoch_count for station in all_stations()}
     print(format_table_5_1(all_stations(), counts))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -252,7 +335,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                     f"alg={fix.algorithm:<4} error={error:7.2f} m"
                 )
         print(f"pipeline stats: {receiver.stats}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -281,7 +364,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             ),
         )
         print(f"wrote markdown report to {path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -302,7 +385,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     n_obs = write_observation_file(obs_path, header, epochs)
     n_nav = write_navigation_file(nav_path, dataset.navigation_records())
     print(f"wrote {n_obs} epochs to {obs_path} and {n_nav} ephemerides to {nav_path}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_skyplot(args: argparse.Namespace) -> int:
@@ -319,7 +402,7 @@ def _cmd_skyplot(args: argparse.Namespace) -> int:
     dop = compute_dop(epoch.satellite_positions(), station.position)
     print(f"GDOP {dop.gdop:.2f}  PDOP {dop.pdop:.2f}  "
           f"HDOP {dop.hdop:.2f}  VDOP {dop.vdop:.2f}")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
@@ -359,7 +442,7 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
                 sort_keys=True,
             )
             sys.stdout.write("\n")
-    return 0
+    return EXIT_OK
 
 
 def _fault_registry():
@@ -379,9 +462,11 @@ def _parse_budget(text: str) -> float:
     try:
         seconds = float(text) * scale
     except ValueError:
-        raise SystemExit(f"invalid --budget {text!r}: use e.g. 45, 60s, or 2m")
+        raise ConfigurationError(
+            f"invalid --budget {text!r}: use e.g. 45, 60s, or 2m"
+        )
     if seconds <= 0:
-        raise SystemExit("--budget must be positive")
+        raise ConfigurationError("--budget must be positive")
     return seconds
 
 
@@ -408,7 +493,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         for line in result.detail:
             print(f"  {line}")
         print("verdict reproduced" if reproduced else "VERDICT CHANGED since recording")
-        return 0 if reproduced else 2
+        return exit_code(reproduced)
 
     fault = None
     fault_rate = args.fault_rate
@@ -440,7 +525,123 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 print(f"    {line}")
         for path in report.artifact_paths:
             print(f"  artifact: {path}")
-    return 0 if report.ok else 1
+    return exit_code(report.ok)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.api import SolverConfig
+    from repro.clocks import LinearClockBiasPredictor
+    from repro.service import AsyncPositioningClient, PositioningService, ServiceConfig
+    from repro.solvers import NewtonRaphsonSolver
+
+    if args.requests < 1:
+        raise ConfigurationError("--requests must be >= 1")
+    station = get_station(args.station)
+    needs_predictor = args.algorithm in ("dlo", "dlg")
+    warmup_count = max(2, args.warmup) if needs_predictor else 0
+    total = warmup_count + args.requests
+    dataset = ObservationDataset(
+        station, DatasetConfig(duration_seconds=float(total))
+    )
+    epochs = dataset.realize()[:total]
+
+    if needs_predictor:
+        # The receiver pipeline's calibration step, inlined: solve the
+        # warm-up epochs with NR and train the linear bias model the
+        # closed-form service path will predict from.
+        mode = "steering" if station.uses_steering_clock else "threshold"
+        predictor = LinearClockBiasPredictor(
+            mode=mode, warmup_samples=warmup_count
+        )
+        nr = NewtonRaphsonSolver()
+        for epoch in epochs[:warmup_count]:
+            fix = nr.solve(epoch)
+            predictor.observe(epoch.time, fix.clock_bias_meters)
+        solver = SolverConfig(algorithm=args.algorithm, clock_predictor=predictor)
+    else:
+        solver = SolverConfig(algorithm="nr")
+    service_config = ServiceConfig(
+        solver=solver,
+        max_batch_size=args.batch_size,
+        max_wait_seconds=args.max_wait_ms / 1000.0,
+        max_queue_depth=args.queue_depth,
+        default_timeout_seconds=(
+            None if args.timeout_ms is None else args.timeout_ms / 1000.0
+        ),
+    )
+    serve_epochs = epochs[warmup_count:]
+
+    async def run():
+        results = [None] * len(serve_epochs)
+        latencies = [0.0] * len(serve_epochs)
+        # Bounded in-flight window as a pool of pump tasks over a shared
+        # iterator (a per-request semaphore rescans its waiter queue
+        # quadratically when a whole batch resolves at once).
+        indices = iter(range(len(serve_epochs)))
+        async with PositioningService(service_config) as service:
+            client = AsyncPositioningClient(service)
+            loop = asyncio.get_running_loop()
+
+            async def pump():
+                for index in indices:
+                    epoch = serve_epochs[index]
+                    started = loop.time()
+                    result = await client.submit(epoch)
+                    for _ in range(3):  # polite backpressure retry
+                        if result.status != "rejected":
+                            break
+                        await asyncio.sleep(result.retry_after_seconds or 0.05)
+                        result = await client.submit(epoch)
+                    latencies[index] = loop.time() - started
+                    results[index] = result
+
+            pumps = min(max(1, args.concurrency), max(1, len(serve_epochs)))
+            started = loop.time()
+            await asyncio.gather(*(pump() for _ in range(pumps)))
+            wall = loop.time() - started
+        return results, latencies, wall
+
+    with _metrics_sink(args.metrics_out):
+        results, latencies, wall = asyncio.run(run())
+
+    statuses = {}
+    for result in results:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    ok_results = [r for r in results if r.ok]
+    batch_sizes = np.array([r.batch_size for r in ok_results]) if ok_results else np.array([0])
+    latency = np.array(latencies)
+    print(
+        f"served {len(results)} requests in {wall:.3f}s "
+        f"({len(results) / wall:,.0f} req/s) with {args.algorithm.upper()} "
+        f"batches<={args.batch_size}, wait<={args.max_wait_ms:g}ms"
+    )
+    print(f"statuses: {statuses}")
+    print(
+        f"batch size: mean {batch_sizes.mean():.1f}, "
+        f"p50 {np.percentile(batch_sizes, 50):.0f}, "
+        f"max {batch_sizes.max()}"
+    )
+    print(
+        f"latency: p50 {1e3 * np.percentile(latency, 50):.2f}ms, "
+        f"p99 {1e3 * np.percentile(latency, 99):.2f}ms, "
+        f"max {1e3 * latency.max():.2f}ms"
+    )
+    if ok_results:
+        errors = np.array(
+            [
+                float(np.linalg.norm(r.position - station.position))
+                for r in ok_results
+            ]
+        )
+        print(
+            f"position error vs station: mean {errors.mean():.2f}m, "
+            f"max {errors.max():.2f}m"
+        )
+    return exit_code(len(ok_results) == len(results))
 
 
 if __name__ == "__main__":

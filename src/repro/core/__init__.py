@@ -1,28 +1,32 @@
-"""The paper's positioning algorithms and the receiver API.
+"""The receiver pipeline and positioning primitives.
 
-* :class:`NewtonRaphsonSolver` — the classic iterative method (Section
-  3.4), the baseline everything is measured against.
-* :class:`DLOSolver` / :class:`DLGSolver` — the paper's contribution
-  (Section 4.5): direct linearization solved with OLS and GLS.
-* :class:`BancroftSolver` — the classic closed-form comparator [2].
 * :class:`GpsReceiver` — the end-to-end pipeline: NR warm-up, clock
   bias prediction, then closed-form solving, with threshold-reset
   recalibration.
+* RAIM, velocity, EKF/smoother, satellite selection, and DOP — the
+  machinery around the solvers.
+
+The solver implementations themselves (NR, DLO, DLG, Bancroft and the
+batch trio) live in :mod:`repro.solvers` since the PR 4 API redesign;
+this package re-exports them so ``from repro.core import DLGSolver``
+keeps working warning-free.  The old *deep* import paths
+(``repro.core.direct_linear`` et al.) are deprecated shims.  New code
+should reach solvers through the :mod:`repro.api` facade.
 """
 
 from repro.core.types import PositionFix
 from repro.core.base import PositioningAlgorithm
-from repro.core.newton_raphson import NewtonRaphsonSolver
-from repro.core.direct_linear import (
+from repro.solvers.newton_raphson import NewtonRaphsonSolver
+from repro.solvers.direct_linear import (
     DLOSolver,
     DLGSolver,
     build_difference_system,
     difference_covariance,
     difference_covariance_components,
 )
-from repro.core.bancroft import BancroftSolver
+from repro.solvers.bancroft import BancroftSolver
 from repro.core.three_sat import ThreeSatelliteSolver
-from repro.core.batch import (
+from repro.solvers.batch import (
     BatchDLOSolver,
     BatchDLGSolver,
     BatchNewtonRaphsonSolver,

@@ -1,126 +1,30 @@
-"""Bancroft's algebraic GPS solution (reference [2] of the paper).
+"""Deprecated shim: :mod:`repro.core.bancroft` moved to
+:mod:`repro.solvers.bancroft` (PR 4 API redesign).
 
-The best-known closed-form comparator: solves position *and* clock
-bias directly via the Lorentz inner product, with no clock prediction
-model.  Included as an additional baseline so the benches can place
-DLO/DLG against the classic direct method as well as against NR.
-
-Derivation sketch: with ``y = (x, b)`` and ``B_i = (s_i, rho_i)``, each
-pseudorange equation rearranges to ``<B_i, y> = a_i + Lambda`` where
-``<.,.>`` is the Minkowski product with signature ``(+,+,+,-)``,
-``Lambda = <y, y>/2`` and ``a_i = <B_i, B_i>/2``.  Solving the linear
-part by pseudo-inverse and substituting back yields a scalar quadratic
-in ``Lambda`` whose two roots give two candidate fixes.  With exactly
-four satellites *both* roots satisfy the measurements exactly (the
-classic trilateration ambiguity the paper notes in Section 3.1), so
-selection is physical first — a candidate whose geocentric radius is
-plausible for a terrestrial/airborne receiver wins — and
-residual-based only among equally plausible candidates.
+Importing names through this path keeps working but emits a
+:class:`DeprecationWarning`; switch to ``repro.solvers`` (or the
+:mod:`repro.api` facade) at your convenience.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 
-import numpy as np
-
-from repro.core.base import PositioningAlgorithm
-from repro.core.types import PositionFix
-from repro.errors import EstimationError, GeometryError
-from repro.estimation import cholesky_solve
-from repro.observations import ObservationEpoch
-
-#: Minkowski metric signature used by the algorithm.
-_METRIC = np.array([1.0, 1.0, 1.0, -1.0])
-
-#: Geocentric radius band (m) considered physically plausible for the
-#: receiver: from slightly inside the earth (deep mines, numerical
-#: slack) to well above airliner altitude.  The spurious Bancroft root
-#: lands tens of thousands of kilometers away, far outside this band.
-_PLAUSIBLE_RADIUS = (6.0e6, 7.5e6)
+from repro.solvers import bancroft as _moved
 
 
-def _lorentz(a: np.ndarray, b: np.ndarray) -> float:
-    """Minkowski inner product ``<a, b>`` with signature (+,+,+,-)."""
-    return float(a @ (_METRIC * b))
+def __getattr__(name: str):
+    if name.startswith("__"):
+        raise AttributeError(name)
+    value = getattr(_moved, name)
+    warnings.warn(
+        f"repro.core.bancroft.{name} is deprecated; import it from "
+        "repro.solvers (or use repro.api.solve)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return value
 
 
-class BancroftSolver(PositioningAlgorithm):
-    """Closed-form position + clock bias via Bancroft's method."""
-
-    name = "Bancroft"
-    min_satellites = 4
-
-    def solve(self, epoch: ObservationEpoch) -> PositionFix:
-        self._require_satellites(epoch)
-        positions = epoch.satellite_positions()
-        pseudoranges = epoch.pseudoranges()
-        m = len(pseudoranges)
-
-        b_matrix = np.column_stack([positions, pseudoranges])  # (m, 4)
-        a_vector = 0.5 * np.array(
-            [_lorentz(b_matrix[i], b_matrix[i]) for i in range(m)]
-        )
-        ones = np.ones(m)
-
-        # Least-squares pseudo-inverse application: B+ z = (B^T B)^-1 B^T z.
-        gram = b_matrix.T @ b_matrix
-        try:
-            u = cholesky_solve(gram, b_matrix.T @ ones)
-            v = cholesky_solve(gram, b_matrix.T @ a_vector)
-        except EstimationError as exc:
-            raise GeometryError(f"Bancroft system is degenerate: {exc}") from exc
-
-        # Quadratic <u,u> L^2 + 2(<u,v> - 1) L + <v,v> = 0 in Lambda,
-        # from substituting y = M (v + Lambda u) into 2 Lambda = <y, y>.
-        # <u,u> is often vanishingly small (u is near-null in the
-        # Lorentz metric for GPS geometries), so the roots are computed
-        # with the cancellation-free "q" form: lam1 = q/qa, lam2 = qc/q
-        # with q = -(qb + sign(qb) sqrt(disc))/2.  As qa -> 0 the first
-        # root diverges harmlessly (filtered as non-finite) while the
-        # second stays accurate — unlike the naive (-b +/- sqrt)/2a.
-        qa = _lorentz(u, u)
-        qb = 2.0 * (_lorentz(u, v) - 1.0)
-        qc = _lorentz(v, v)
-
-        candidates = []
-        if qa == 0.0:
-            if qb == 0.0:
-                raise GeometryError("Bancroft quadratic is degenerate")
-            candidates.append(-qc / qb)
-        else:
-            discriminant = qb * qb - 4.0 * qa * qc
-            if discriminant < 0:
-                raise GeometryError(
-                    "Bancroft discriminant is negative; measurements are "
-                    "inconsistent with any real solution"
-                )
-            q = -0.5 * (qb + math.copysign(math.sqrt(discriminant), qb))
-            if q != 0.0:
-                candidates.append(qc / q)
-            candidates.append(q / qa)
-            candidates = [lam for lam in candidates if math.isfinite(lam)]
-
-        scored = []
-        for lam in candidates:
-            y = _METRIC * (v + lam * u)
-            position, bias = y[:3], float(y[3])
-            predicted = np.linalg.norm(positions - position, axis=1) + bias
-            residual = float(np.linalg.norm(predicted - pseudoranges))
-            radius = float(np.linalg.norm(position))
-            plausible = _PLAUSIBLE_RADIUS[0] <= radius <= _PLAUSIBLE_RADIUS[1]
-            scored.append((not plausible, residual, position, bias))
-
-        if not scored:
-            raise GeometryError("Bancroft produced no candidate solutions")
-        # Plausible-radius candidates first, then smallest residual.
-        scored.sort(key=lambda item: (item[0], item[1]))
-        _implausible, residual, position, bias = scored[0]
-        return PositionFix(
-            position=position,
-            clock_bias_meters=bias,
-            algorithm=self.name,
-            iterations=1,
-            converged=True,
-            residual_norm=residual,
-        )
+def __dir__():
+    return sorted(set(dir(_moved)))

@@ -27,7 +27,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.solvers.newton_raphson import NewtonRaphsonSolver
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 from repro.observations import ObservationEpoch

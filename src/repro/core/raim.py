@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.base import PositioningAlgorithm
-from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.solvers.newton_raphson import NewtonRaphsonSolver
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 from repro.observations import ObservationEpoch

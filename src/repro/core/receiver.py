@@ -34,9 +34,9 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.clocks.prediction import ClockBiasPredictor, LinearClockBiasPredictor
 from repro.core.base import PositioningAlgorithm
-from repro.core.bancroft import BancroftSolver
-from repro.core.direct_linear import DLGSolver, DLOSolver
-from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.solvers.bancroft import BancroftSolver
+from repro.solvers.direct_linear import DLGSolver, DLOSolver
+from repro.solvers.newton_raphson import NewtonRaphsonSolver
 from repro.core.selection import BaseSatelliteSelector
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError

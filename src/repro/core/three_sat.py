@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.clocks.prediction import ClockBiasPredictor, ZeroClockBiasPredictor
 from repro.core.base import PositioningAlgorithm
-from repro.core.direct_linear import build_difference_system
+from repro.solvers.direct_linear import build_difference_system
 from repro.core.types import PositionFix
 from repro.errors import GeometryError
 from repro.observations import ObservationEpoch

@@ -4,7 +4,7 @@ Three layers, composable but independently useful:
 
 * :mod:`repro.engine.scheduler` — mixed-size batch scheduling: bucket
   an arbitrary epoch stream by satellite count so the stacked-tensor
-  solvers of :mod:`repro.core.batch` apply, and scatter results back
+  solvers of :mod:`repro.solvers.batch` apply, and scatter results back
   into stream order.
 * :mod:`repro.engine.pipeline` — :class:`PositioningEngine`, the
   bucket-and-batch dispatcher: a whole mixed stream solved in a

@@ -26,7 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.clocks.prediction import ClockBiasPredictor
-from repro.core.batch import (
+from repro.solvers.batch import (
     BatchDLGSolver,
     BatchDLOSolver,
     BatchNewtonRaphsonSolver,
@@ -148,6 +148,22 @@ class PositioningEngine:
         self._nr = nr_solver if nr_solver is not None else BatchNewtonRaphsonSolver()
         self._dlo = BatchDLOSolver()
         self._dlg = BatchDLGSolver()
+
+    @classmethod
+    def from_config(cls, config) -> "PositioningEngine":
+        """An engine for a :class:`repro.api.SolverConfig`.
+
+        The config's bias source (fixed bias or live predictor) becomes
+        the stream-level predictor; its NR tuning parameterizes the
+        batched NR used either as the primary algorithm or by callers
+        building degradation ladders (the async service).  Bancroft has
+        no batch path and is rejected by the config itself.
+        """
+        return cls(
+            algorithm=config.algorithm,
+            clock_predictor=config.bias_predictor(),
+            nr_solver=config.nr_fallback().build_batch_solver(),
+        )
 
     @property
     def algorithm(self) -> str:

@@ -1,6 +1,6 @@
 """Mixed-size batch scheduling: bucket epochs so stacked solvers apply.
 
-The stacked-tensor solvers in :mod:`repro.core.batch` require every
+The stacked-tensor solvers in :mod:`repro.solvers.batch` require every
 epoch in a batch to share a satellite count — but a real observation
 stream (a day of station data, a fleet of rovers) mixes counts freely
 as satellites rise and set.  The scheduler closes that gap: it buckets

@@ -52,3 +52,29 @@ class DatasetError(ReproError):
 
 class EstimationError(ReproError):
     """A least-squares problem is ill-posed (rank deficient, bad weights)."""
+
+
+class ServiceError(ReproError):
+    """The async positioning service could not complete a request."""
+
+
+class QueueFullError(ServiceError):
+    """The service queue is at capacity; retry after a backoff.
+
+    The backpressure signal: the request was *rejected at admission*,
+    never enqueued, so retrying after :attr:`retry_after_seconds` is
+    always safe (no duplicate work in flight).
+    """
+
+    def __init__(self, message: str, retry_after_seconds: float = 0.05) -> None:
+        super().__init__(message)
+        #: Suggested client backoff before resubmitting.
+        self.retry_after_seconds = retry_after_seconds
+
+
+class RequestTimeoutError(ServiceError):
+    """A request's deadline expired before its batch produced an answer.
+
+    The epoch may still have been solved (deadline hit mid-batch) —
+    the service guarantees only that *this request* stopped waiting.
+    """

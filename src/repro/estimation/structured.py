@@ -13,8 +13,8 @@ so applying ``Psi^-1`` costs O(k) per vector instead of the O(k^3)
 Cholesky factorization that a dense GLS solve pays — and, unlike a
 factorization, it vectorizes trivially across a whole ``(N, k)`` stack
 of epochs.  This module is the shared fast path behind the scalar
-:class:`~repro.core.direct_linear.DLGSolver` and the batch engine's
-:class:`~repro.core.batch.BatchDLGSolver`.
+:class:`~repro.solvers.direct_linear.DLGSolver` and the batch engine's
+:class:`~repro.solvers.batch.BatchDLGSolver`.
 """
 
 from __future__ import annotations

@@ -33,10 +33,10 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.clocks.prediction import ClockBiasPredictor, LinearClockBiasPredictor
-from repro.core.bancroft import BancroftSolver
-from repro.core.direct_linear import DLGSolver, DLOSolver
+from repro.solvers.bancroft import BancroftSolver
+from repro.solvers.direct_linear import DLGSolver, DLOSolver
 from repro.core.dop import compute_dop
-from repro.core.newton_raphson import NewtonRaphsonSolver
+from repro.solvers.newton_raphson import NewtonRaphsonSolver
 from repro.core.selection import BaseSatelliteSelector
 from repro.errors import ConfigurationError, ConvergenceError, EstimationError, GeometryError
 from repro.evaluation.timing import time_solver

@@ -228,16 +228,38 @@ def epoch_integrity_error(
     non-positive pseudoranges.  Returns a human-readable description of
     the *first* violation found.
     """
-    count = len(epoch.observations)
+    observations = epoch.observations
+    count = len(observations)
     if count < min_satellites:
         return (
             f"epoch has {count} satellites, fewer than {min_satellites} required"
         )
-    prns = [obs.prn for obs in epoch.observations]
+    prns = [obs.prn for obs in observations]
     if len(set(prns)) != count:
         duplicated = sorted({prn for prn in prns if prns.count(prn) > 1})
         return f"epoch contains duplicate PRNs {duplicated}"
-    for obs in epoch.observations:
+    # Fast path: one stacked finite-check for the whole epoch instead of
+    # per-satellite numpy round-trips (this guard sits on the service's
+    # per-request hot path).  It may only certify *clean* epochs — any
+    # failure to stack, wrong shape, or suspect value falls through to
+    # the per-satellite scan, which stays the authority on naming the
+    # first offender.
+    try:
+        positions = np.array([obs.position for obs in observations], dtype=float)
+        pseudoranges = np.array(
+            [obs.pseudorange for obs in observations], dtype=float
+        )
+    except (TypeError, ValueError):
+        positions = None
+    if (
+        positions is not None
+        and positions.shape == (count, 3)
+        and np.isfinite(positions).all()
+        and np.isfinite(pseudoranges).all()
+        and (pseudoranges > 0).all()
+    ):
+        return None
+    for obs in observations:
         position = np.asarray(obs.position, dtype=float)
         if position.shape != (3,) or not np.all(np.isfinite(position)):
             return f"PRN {obs.prn} has a non-finite satellite position"

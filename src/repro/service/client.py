@@ -1,0 +1,131 @@
+"""In-process async client for :class:`~repro.service.PositioningService`.
+
+Two consumption styles:
+
+* :meth:`AsyncPositioningClient.submit` — the service's own structured
+  contract: always returns a :class:`~repro.service.types.ServiceResult`,
+  never raises for per-request outcomes.
+* :meth:`AsyncPositioningClient.solve` — the exception-style contract
+  callers coming from ``solver.solve(epoch)`` expect: returns a
+  :class:`~repro.core.types.PositionFix` or raises a typed error
+  (:class:`~repro.errors.QueueFullError`,
+  :class:`~repro.errors.RequestTimeoutError`,
+  :class:`~repro.errors.ServiceError`).
+
+:meth:`solve_many` fans a sequence out with bounded concurrency and
+optional bounded retry of backpressure rejections — the polite-client
+loop the benchmark and the ``serve`` CLI both run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional, Sequence
+
+from repro.core.types import PositionFix
+from repro.errors import QueueFullError, RequestTimeoutError, ServiceError
+from repro.observations import ObservationEpoch
+from repro.service.service import _UNSET, PositioningService
+from repro.service.types import ServiceResult
+
+
+class AsyncPositioningClient:
+    """Thin, stateless wrapper around one running service."""
+
+    def __init__(self, service: PositioningService) -> None:
+        self._service = service
+
+    async def submit(
+        self,
+        epoch: ObservationEpoch,
+        timeout: object = _UNSET,
+        bias_meters: Optional[float] = None,
+    ) -> ServiceResult:
+        """Forward to the service; structured result, never raises."""
+        return await self._service.submit(
+            epoch, timeout=timeout, bias_meters=bias_meters
+        )
+
+    async def solve(
+        self,
+        epoch: ObservationEpoch,
+        timeout: object = _UNSET,
+        bias_meters: Optional[float] = None,
+    ) -> PositionFix:
+        """Exception-style solve: a fix, or a typed error.
+
+        Raises
+        ------
+        QueueFullError
+            Backpressure rejection; carries ``retry_after_seconds``.
+        RequestTimeoutError
+            The request's deadline expired before (or during) solving.
+        ServiceError
+            The epoch was invalid, every solver rung rejected it, or
+            the request was cancelled.
+        """
+        result = await self.submit(epoch, timeout=timeout, bias_meters=bias_meters)
+        if result.ok:
+            assert result.position is not None
+            return PositionFix(
+                position=result.position,
+                clock_bias_meters=result.clock_bias_meters,
+                algorithm=result.solver or "",
+            )
+        if result.status == "rejected":
+            raise QueueFullError(
+                result.error or "service queue full",
+                retry_after_seconds=(
+                    result.retry_after_seconds
+                    if result.retry_after_seconds is not None
+                    else 0.05
+                ),
+            )
+        if result.status == "timeout":
+            raise RequestTimeoutError(result.error or "request timed out")
+        raise ServiceError(f"{result.status}: {result.error or 'request failed'}")
+
+    async def solve_many(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        timeout: object = _UNSET,
+        biases: Optional[Sequence[Optional[float]]] = None,
+        concurrency: int = 256,
+        max_retries: int = 0,
+    ) -> List[ServiceResult]:
+        """Submit many epochs concurrently; results in input order.
+
+        ``concurrency`` bounds in-flight submissions (keep it at or
+        below the service's ``max_queue_depth`` to avoid manufacturing
+        rejections); the bound is a pool of that many pump tasks over a
+        shared index iterator rather than a per-request semaphore,
+        whose waiter-queue rescans grow quadratically in the size of
+        each resolved batch.  ``max_retries`` > 0 resubmits *rejected*
+        requests after sleeping their ``retry_after_seconds`` hint, up
+        to the given attempts — other statuses are final.
+        """
+        if biases is not None and len(biases) != len(epochs):
+            raise ServiceError(
+                f"biases must be one per epoch: got {len(biases)} "
+                f"for {len(epochs)} epochs"
+            )
+        results: List[Optional[ServiceResult]] = [None] * len(epochs)
+        indices = iter(range(len(epochs)))
+
+        async def pump() -> None:
+            for index in indices:
+                epoch = epochs[index]
+                bias = None if biases is None else biases[index]
+                result = await self.submit(epoch, timeout=timeout, bias_meters=bias)
+                for _ in range(max_retries):
+                    if result.status != "rejected":
+                        break
+                    await asyncio.sleep(result.retry_after_seconds or 0.05)
+                    result = await self.submit(
+                        epoch, timeout=timeout, bias_meters=bias
+                    )
+                results[index] = result
+
+        pumps = min(max(1, int(concurrency)), max(1, len(epochs)))
+        await asyncio.gather(*(pump() for _ in range(pumps)))
+        return list(results)

@@ -1,0 +1,520 @@
+"""The async positioning service.
+
+:class:`PositioningService` turns the stacked-solver throughput of
+:class:`~repro.engine.PositioningEngine` into a request/response
+surface: callers submit *single epochs* from concurrent asyncio tasks,
+the service coalesces them through a :class:`~repro.service.batcher.
+MicroBatcher`, solves each formed batch in one vectorized call, and
+scatters :class:`~repro.service.types.ServiceResult`\\ s back onto the
+callers' futures.
+
+Everything runs on one event loop; the solve itself executes inline in
+the worker task.  On the single-core boxes this repo targets, a thread
+pool would only add handoff latency — batching, not parallelism, is
+where the throughput comes from (see ``BENCH_engine_throughput.json``:
+the batched solvers are ~18× the scalar ones).
+
+Failure is data, not control flow.  Every submitted request resolves
+to exactly one structured result; the degradation ladder runs
+
+1. the batched solve (invalid epochs screened out per-row, healthy
+   rows unaffected — partial-batch completion),
+2. on whole-batch rejection, per-epoch scalar re-solve with the
+   configured algorithm,
+3. per-epoch Newton-Raphson fallback for epochs the closed-form path
+   rejects (ill-conditioned difference geometry), when enabled,
+
+and only a request whose *own* epoch defeats every rung comes back
+``status="failed"`` — its batchmates still succeed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine import PositioningEngine
+from repro.errors import ReproError, ServiceError
+from repro.observations import ObservationEpoch, epoch_integrity_error
+from repro.service.batcher import Flush, MicroBatcher
+from repro.service.types import ServiceConfig, ServiceResult
+from repro.telemetry import get_registry, get_tracer
+
+#: Distinguishes "no timeout argument" from an explicit ``None``
+#: (= wait indefinitely).
+_UNSET = object()
+
+#: Batch-size histogram bounds (requests per dispatch).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+#: Request-latency histogram bounds (seconds, submit → resolve).
+_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.002,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+
+@dataclass
+class _PendingRequest:
+    """One queued epoch and the future its submitter awaits."""
+
+    epoch: ObservationEpoch
+    bias_meters: Optional[float]
+    future: "asyncio.Future[ServiceResult]"
+    submitted_at: float
+    deadline: Optional[float]
+
+
+class _MetricHandles:
+    """Pre-resolved telemetry children for the per-request hot path.
+
+    Looking metric families and label children up through the registry
+    costs a handful of dict probes per call — noise anywhere else, but
+    the service resolves *every request* through this path, and at
+    micro-batch throughputs those probes were a measurable slice of
+    the per-request budget.  One instance is built per installed
+    registry (rebuilt if telemetry is reinstalled) and caches every
+    child the dispatch loop touches.
+    """
+
+    __slots__ = (
+        "registry",
+        "latency",
+        "batch_size",
+        "queue_depth",
+        "_requests_family",
+        "_batches_family",
+        "_request_children",
+        "_batch_children",
+    )
+
+    def __init__(self, registry) -> None:
+        self.registry = registry
+        self._requests_family = registry.counter(
+            "repro_service_requests_total",
+            "Requests by final status.",
+            labels=("status",),
+        )
+        self._batches_family = registry.counter(
+            "repro_service_batches_total",
+            "Batches by flush reason.",
+            labels=("reason",),
+        )
+        self.latency = registry.histogram(
+            "repro_service_request_latency_seconds",
+            "Submit-to-resolve latency.",
+            buckets=_LATENCY_BUCKETS,
+        ).labels()
+        self.batch_size = registry.histogram(
+            "repro_service_batch_size",
+            "Requests per dispatched batch.",
+            buckets=_BATCH_SIZE_BUCKETS,
+        ).labels()
+        self.queue_depth = registry.gauge(
+            "repro_service_queue_depth",
+            "Requests waiting to be batched, sampled at each flush.",
+        ).labels()
+        self._request_children: dict = {}
+        self._batch_children: dict = {}
+
+    def request_child(self, status: str):
+        child = self._request_children.get(status)
+        if child is None:
+            child = self._requests_family.labels(status=status)
+            self._request_children[status] = child
+        return child
+
+    def batch_child(self, reason: str):
+        child = self._batch_children.get(reason)
+        if child is None:
+            child = self._batches_family.labels(reason=reason)
+            self._batch_children[reason] = child
+        return child
+
+
+class PositioningService:
+    """Micro-batching request server over the positioning engine.
+
+    Usage::
+
+        config = ServiceConfig(solver=SolverConfig(algorithm="dlg"))
+        async with PositioningService(config) as service:
+            results = await asyncio.gather(
+                *(service.submit(epoch) for epoch in epochs)
+            )
+
+    ``engine`` may be injected for tests; by default it is built from
+    the config's solver via :meth:`PositioningEngine.from_config`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        engine: Optional[PositioningEngine] = None,
+    ) -> None:
+        self._config = config if config is not None else ServiceConfig()
+        self._engine = (
+            engine
+            if engine is not None
+            else PositioningEngine.from_config(self._config.solver)
+        )
+        solver_config = self._config.solver
+        self._scalar = solver_config.build_solver()
+        self._nr_scalar = (
+            solver_config.nr_fallback().build_solver()
+            if self._config.nr_fallback and solver_config.algorithm != "nr"
+            else None
+        )
+        self._batcher: Optional[MicroBatcher] = None
+        self._worker: Optional["asyncio.Task[None]"] = None
+        self._handles: Optional[_MetricHandles] = None
+
+    def _telemetry_handles(self) -> Optional[_MetricHandles]:
+        """Cached hot-path metric children for the installed registry."""
+        registry = get_registry()
+        if not registry.enabled:
+            return None
+        handles = self._handles
+        if handles is None or handles.registry is not registry:
+            handles = _MetricHandles(registry)
+            self._handles = handles
+        return handles
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The frozen tuning this service runs with."""
+        return self._config
+
+    @property
+    def running(self) -> bool:
+        """Whether the worker is accepting requests."""
+        return (
+            self._worker is not None
+            and self._batcher is not None
+            and not self._batcher.closed
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a batch."""
+        return 0 if self._batcher is None else len(self._batcher)
+
+    async def start(self) -> None:
+        """Spawn the worker; must run inside an event loop."""
+        if self._worker is not None:
+            raise ServiceError("service is already running")
+        self._batcher = MicroBatcher(
+            max_batch_size=self._config.max_batch_size,
+            max_wait_seconds=self._config.max_wait_seconds,
+        )
+        self._worker = asyncio.get_running_loop().create_task(
+            self._run_worker(), name="repro-positioning-service"
+        )
+
+    async def stop(self) -> None:
+        """Stop admissions, drain every pending request, join the worker."""
+        if self._worker is None:
+            return
+        assert self._batcher is not None
+        self._batcher.close()
+        try:
+            await self._worker
+        finally:
+            self._worker = None
+            self._batcher = None
+
+    async def __aenter__(self) -> "PositioningService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # -- request intake ------------------------------------------------
+
+    async def submit(
+        self,
+        epoch: ObservationEpoch,
+        timeout: object = _UNSET,
+        bias_meters: Optional[float] = None,
+    ) -> ServiceResult:
+        """One epoch in, one structured result out.
+
+        ``timeout`` defaults to the config's
+        ``default_timeout_seconds``; pass ``None`` explicitly to wait
+        indefinitely.  ``bias_meters`` overrides the solver config's
+        clock-bias source for this request only (DLO/DLG).
+
+        Never raises for per-request outcomes — backpressure, deadline
+        expiry, and solver failure all come back as statuses.  Raises
+        :class:`~repro.errors.ServiceError` only for *misuse*:
+        submitting to a service that is not running.
+        """
+        if not self.running:
+            raise ServiceError(
+                "service is not running; enter it with 'async with' or start()"
+            )
+        assert self._batcher is not None
+        if len(self._batcher) >= self._config.max_queue_depth:
+            handles = self._telemetry_handles()
+            if handles is not None:
+                handles.request_child("rejected").inc()
+            return ServiceResult(
+                status="rejected",
+                error=(
+                    f"queue full ({self._config.max_queue_depth} pending); "
+                    f"retry after {self._config.retry_after_seconds:g}s"
+                ),
+                retry_after_seconds=self._config.retry_after_seconds,
+            )
+
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        effective_timeout = (
+            self._config.default_timeout_seconds if timeout is _UNSET else timeout
+        )
+        if effective_timeout is not None and effective_timeout <= 0.0:
+            raise ServiceError("timeout must be positive (or None)")
+        request = _PendingRequest(
+            epoch=epoch,
+            bias_meters=bias_meters,
+            future=loop.create_future(),
+            submitted_at=now,
+            deadline=None if effective_timeout is None else now + effective_timeout,
+        )
+        self._batcher.put(request)
+        # No wait_for here: the worker always resolves the future — on
+        # solve, on deadline expiry at dispatch, or on drain at stop().
+        return await request.future
+
+    # -- worker --------------------------------------------------------
+
+    async def _run_worker(self) -> None:
+        assert self._batcher is not None
+        while True:
+            flush = await self._batcher.next_batch()
+            if flush is None:
+                return
+            try:
+                self._dispatch(flush)
+            except Exception as exc:  # never strand a caller's future
+                handles = self._telemetry_handles()
+                for request in flush.items:
+                    self._finish(
+                        request,
+                        ServiceResult(
+                            status="failed",
+                            error=f"internal dispatch error: {exc}",
+                            batch_size=len(flush),
+                        ),
+                        handles,
+                        None,
+                    )
+
+    @staticmethod
+    def _finish(
+        request: _PendingRequest,
+        result: ServiceResult,
+        handles: Optional[_MetricHandles],
+        now: Optional[float],
+    ) -> None:
+        """Hand a result to the submitter, if it is still listening."""
+        future = request.future
+        if not future.done():
+            future.set_result(result)
+            status = result.status
+        elif future.cancelled():
+            status = "cancelled"
+        else:
+            status = future.result().status
+        if handles is not None:
+            handles.request_child(status).inc()
+            if now is None:
+                now = asyncio.get_running_loop().time()
+            handles.latency.observe(max(0.0, now - request.submitted_at))
+
+    def _dispatch(self, flush: Flush) -> None:
+        """Solve one formed batch and resolve every request in it."""
+        handles = self._telemetry_handles()
+        tracer = get_tracer()
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+
+        if handles is not None:
+            handles.batch_child(flush.reason).inc()
+            handles.batch_size.observe(len(flush))
+            handles.queue_depth.set(self.queue_depth)
+
+        # Screen out requests nobody is waiting for anymore.
+        live: List[_PendingRequest] = []
+        for request in flush.items:
+            if request.future.cancelled():
+                self._finish(request, ServiceResult(status="cancelled"), handles, now)
+            elif request.deadline is not None and now >= request.deadline:
+                self._finish(
+                    request,
+                    ServiceResult(
+                        status="timeout",
+                        error="deadline expired while queued",
+                        wait_seconds=now - request.submitted_at,
+                    ),
+                    handles,
+                    now,
+                )
+            else:
+                live.append(request)
+        if not live:
+            return
+
+        batch_size = len(live)
+        solve_started = loop.time()
+        with tracer.span(
+            "service.dispatch",
+            batch=batch_size,
+            reason=flush.reason,
+            algorithm=self._engine.algorithm,
+        ):
+            outcomes = self._solve_batch(live)
+        solve_seconds = loop.time() - solve_started
+
+        resolved_at = loop.time()
+        for request, outcome in zip(live, outcomes):
+            status, position, bias, solver, error = outcome
+            if (
+                request.deadline is not None
+                and resolved_at >= request.deadline
+            ):
+                # Solved, but past the caller's deadline: the contract
+                # is the deadline, so report the timeout (noting the
+                # answer existed — it helps operators size timeouts).
+                status, position, bias, solver = "timeout", None, None, None
+                error = "deadline expired during batch solve"
+            self._finish(
+                request,
+                ServiceResult(
+                    status=status,
+                    position=position,
+                    clock_bias_meters=bias,
+                    solver=solver,
+                    error=error,
+                    batch_size=batch_size,
+                    wait_seconds=max(0.0, solve_started - request.submitted_at),
+                    solve_seconds=solve_seconds,
+                ),
+                handles,
+                resolved_at,
+            )
+
+    # -- solving -------------------------------------------------------
+
+    def _batch_biases(self, live: Sequence[_PendingRequest]) -> Optional[np.ndarray]:
+        """Per-request bias overrides, or ``None`` to let the engine's
+        stream-level predictor (from the solver config) resolve them."""
+        if all(request.bias_meters is None for request in live):
+            return None
+        predictor = self._config.solver.bias_predictor()
+        biases = np.empty(len(live))
+        for index, request in enumerate(live):
+            if request.bias_meters is not None:
+                biases[index] = float(request.bias_meters)
+            elif predictor is not None:
+                biases[index] = predictor.predict_bias_meters(request.epoch.time)
+            else:
+                biases[index] = 0.0
+        return biases
+
+    def _solve_batch(self, live: Sequence[_PendingRequest]) -> List[tuple]:
+        """(status, position, bias, solver, error) per live request."""
+        epochs = [request.epoch for request in live]
+        algorithm = self._engine.algorithm
+        try:
+            stream = self._engine.solve_stream(
+                epochs,
+                self._batch_biases(live),
+                on_undersized="drop",
+            )
+        except ReproError:
+            # Rung 2/3: the batched solve rejects whole buckets, so one
+            # poisoned epoch fails its batchmates here.  Re-solve
+            # per-epoch so every request gets its own verdict.
+            return [self._solve_scalar(request) for request in live]
+
+        screened = set(stream.diagnostics.invalid_indices) | set(
+            stream.diagnostics.dropped_indices
+        )
+        outcomes: List[tuple] = []
+        for index, request in enumerate(live):
+            if index in screened:
+                detail = epoch_integrity_error(request.epoch) or (
+                    "epoch failed batch screening"
+                )
+                outcomes.append(("invalid", None, None, None, detail))
+            else:
+                outcomes.append(
+                    (
+                        "ok",
+                        stream.positions[index],
+                        float(stream.clock_biases[index]),
+                        algorithm,
+                        None,
+                    )
+                )
+        return outcomes
+
+    def _solve_scalar(self, request: _PendingRequest) -> tuple:
+        """Degradation rungs for one epoch: scalar primary, then NR."""
+        detail = epoch_integrity_error(request.epoch)
+        if detail is not None:
+            return ("invalid", None, None, None, detail)
+        algorithm = self._config.solver.algorithm
+        solver = self._scalar
+        if request.bias_meters is not None:
+            solver = replace(
+                self._config.solver,
+                clock_bias_meters=request.bias_meters,
+                clock_predictor=None,
+            ).build_solver()
+        try:
+            fix = solver.solve(request.epoch)
+            return (
+                "ok",
+                fix.position,
+                fix.clock_bias_meters,
+                f"{algorithm}/scalar",
+                None,
+            )
+        except ReproError as primary_error:
+            if self._nr_scalar is None:
+                return ("failed", None, None, None, str(primary_error))
+            try:
+                fix = self._nr_scalar.solve(request.epoch)
+            except ReproError as fallback_error:
+                return (
+                    "failed",
+                    None,
+                    None,
+                    None,
+                    f"{algorithm}: {primary_error}; nr fallback: {fallback_error}",
+                )
+            return (
+                "ok",
+                fix.position,
+                fix.clock_bias_meters,
+                f"{algorithm}/nr-fallback",
+                None,
+            )

@@ -1,0 +1,168 @@
+"""Value types for the async positioning service.
+
+:class:`ServiceConfig` is the service's entire tuning surface — the
+solver it serves (as a :class:`repro.api.SolverConfig`), the
+micro-batching window, and the backpressure limits — frozen so a
+running service can never be reconfigured under its worker's feet.
+:class:`ServiceResult` is the structured per-request answer: every
+request gets exactly one, whatever happened to it; failure is a
+*status*, never an exception escaping the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.api import BATCH_ALGORITHMS, SolverConfig
+from repro.errors import ConfigurationError
+
+#: Every status a :class:`ServiceResult` can carry.
+RESULT_STATUSES: Tuple[str, ...] = (
+    "ok",  # solved; position/clock_bias/solver are set
+    "invalid",  # the epoch failed integrity screening (never solved)
+    "failed",  # solver(s) rejected the epoch (degradation exhausted)
+    "timeout",  # the request's deadline expired (possibly mid-batch)
+    "rejected",  # backpressure: queue full at admission, retry later
+    "cancelled",  # the submitting task was cancelled while queued
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning for one :class:`~repro.service.PositioningService`.
+
+    Attributes
+    ----------
+    solver:
+        Which solver the service runs, as a facade
+        :class:`~repro.api.SolverConfig`.  Must name a batchable
+        algorithm (``nr``/``dlo``/``dlg``) — micro-batching *is* the
+        service.
+    max_batch_size:
+        Flush the aggregator as soon as this many requests are pending.
+    max_wait_seconds:
+        Flush no later than this long after the *oldest* pending
+        request arrived — the latency a lone request pays to give
+        followers a chance to coalesce with it.
+    max_queue_depth:
+        Admission limit.  A request arriving with this many already
+        pending is rejected with ``status="rejected"`` and
+        :attr:`retry_after_seconds` instead of growing the queue
+        without bound.
+    default_timeout_seconds:
+        Per-request deadline when ``submit()`` is not given one;
+        ``None`` means requests wait as long as dispatch takes.
+    nr_fallback:
+        Degrade to Newton-Raphson (tuned by ``solver``'s NR knobs) when
+        the primary closed-form path rejects an epoch, instead of
+        failing the request outright.  Ignored when the primary *is*
+        NR.
+    retry_after_seconds:
+        Backoff hint attached to rejected results.
+    """
+
+    solver: SolverConfig = field(default_factory=SolverConfig)
+    max_batch_size: int = 64
+    max_wait_seconds: float = 0.002
+    max_queue_depth: int = 1024
+    default_timeout_seconds: Optional[float] = None
+    nr_fallback: bool = True
+    retry_after_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.solver.algorithm not in BATCH_ALGORITHMS:
+            raise ConfigurationError(
+                f"service solver must be batchable ({'/'.join(BATCH_ALGORITHMS)}), "
+                f"got {self.solver.algorithm!r}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if self.max_wait_seconds < 0.0:
+            raise ConfigurationError("max_wait_seconds must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ConfigurationError("max_queue_depth must be >= 1")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds <= 0.0
+        ):
+            raise ConfigurationError("default_timeout_seconds must be positive")
+        if self.retry_after_seconds < 0.0:
+            raise ConfigurationError("retry_after_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """The structured answer to one submitted request.
+
+    Attributes
+    ----------
+    status:
+        One of :data:`RESULT_STATUSES`.
+    position:
+        ``(3,)`` ECEF position in meters when ``status="ok"``, else
+        ``None``.
+    clock_bias_meters:
+        The bias associated with the fix (predicted for DLO/DLG,
+        solved for NR), when available.
+    solver:
+        Which path actually answered: the batch path (``"dlg"``), the
+        scalar degradation (``"dlg/scalar"``), or the NR fallback
+        (``"dlg/nr-fallback"``).
+    error:
+        Human-readable failure detail for non-``ok`` statuses.
+    retry_after_seconds:
+        Backoff hint, set only on ``rejected`` results.
+    batch_size:
+        How many requests shared this request's dispatch (0 when it
+        never reached a batch).
+    wait_seconds / solve_seconds:
+        Time spent queued before dispatch, and inside the solve that
+        answered (the whole batch's solve time — requests in one batch
+        share it).
+    """
+
+    status: str
+    position: Optional[np.ndarray] = field(default=None, compare=False)
+    clock_bias_meters: Optional[float] = None
+    solver: Optional[str] = None
+    error: Optional[str] = None
+    retry_after_seconds: Optional[float] = None
+    batch_size: int = 0
+    wait_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.status not in RESULT_STATUSES:
+            raise ConfigurationError(
+                f"status must be one of {'/'.join(RESULT_STATUSES)}, "
+                f"got {self.status!r}"
+            )
+        if self.position is not None:
+            position = np.asarray(self.position, dtype=float)
+            if position.shape != (3,):
+                raise ConfigurationError("result position must be a 3-vector")
+            object.__setattr__(self, "position", position)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was answered with a position."""
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form (latency report rows, CLI output)."""
+        return {
+            "status": self.status,
+            "position": (
+                None if self.position is None else [float(v) for v in self.position]
+            ),
+            "clock_bias_meters": self.clock_bias_meters,
+            "solver": self.solver,
+            "error": self.error,
+            "retry_after_seconds": self.retry_after_seconds,
+            "batch_size": self.batch_size,
+            "wait_seconds": self.wait_seconds,
+            "solve_seconds": self.solve_seconds,
+        }

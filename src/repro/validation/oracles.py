@@ -53,16 +53,9 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.clocks import ConstantClockBiasPredictor
-from repro.core import (
-    BancroftSolver,
-    BatchDLGSolver,
-    BatchDLOSolver,
-    BatchNewtonRaphsonSolver,
-    DLGSolver,
-    DLOSolver,
-    NewtonRaphsonSolver,
-)
+from repro.api import SolverConfig
+from repro.api import solve as api_solve
+from repro.api import solve_batch as api_solve_batch
 from repro.errors import ConfigurationError, ReproError
 from repro.observations import ObservationEpoch
 from repro.validation.scenarios import Scenario
@@ -236,43 +229,53 @@ def _gate_nr_fix(
 def _solver_runners(
     bias_meters: float,
 ) -> Dict[str, Callable[[ObservationEpoch], Tuple[np.ndarray, Optional[float]]]]:
-    """Uniform ``epoch -> (position, clock_bias)`` adapters per path."""
-    predictor = ConstantClockBiasPredictor(bias_meters)
+    """Uniform ``epoch -> (position, clock_bias)`` adapters per path.
 
-    def scalar(solver):
+    Every path is built through the :mod:`repro.api` facade, so the
+    fuzzer cross-checks exactly the construction production callers
+    use — a facade wiring bug fails the oracle like any solver bug.
+    """
+    nr_config = SolverConfig(
+        algorithm="nr", tolerance_meters=_ORACLE_NR_TOLERANCE
+    )
+    configs = {
+        "dlo": SolverConfig(algorithm="dlo", clock_bias_meters=bias_meters),
+        "dlg": SolverConfig(algorithm="dlg", clock_bias_meters=bias_meters),
+        "bancroft": SolverConfig(algorithm="bancroft"),
+    }
+
+    def scalar(config):
         def run(epoch):
-            fix = solver.solve(epoch)
+            fix = api_solve(epoch, config)
             return fix.position, fix.clock_bias_meters
 
         return run
 
     def scalar_nr(epoch):
-        fix = NewtonRaphsonSolver(tolerance_meters=_ORACLE_NR_TOLERANCE).solve(epoch)
+        fix = api_solve(epoch, nr_config)
         return _gate_nr_fix(epoch, fix.position, fix.clock_bias_meters)
 
     def batch_nr(epoch):
-        record = BatchNewtonRaphsonSolver(
-            tolerance_meters=_ORACLE_NR_TOLERANCE
-        ).solve_batch_full([epoch])
+        record = nr_config.build_batch_solver().solve_batch_full([epoch])
         if not bool(record.converged[0]):
             raise ReproError("batched NR did not converge for the scenario epoch")
         return _gate_nr_fix(epoch, record.positions[0], float(record.clock_biases[0]))
 
-    def batch_closed(solver_cls):
+    def batch_closed(config):
         def run(epoch):
-            positions = solver_cls().solve_batch([epoch], [bias_meters])
+            positions = api_solve_batch([epoch], config)
             return positions[0], bias_meters
 
         return run
 
     return {
         "nr": scalar_nr,
-        "dlo": scalar(DLOSolver(predictor)),
-        "dlg": scalar(DLGSolver(predictor)),
-        "bancroft": scalar(BancroftSolver()),
+        "dlo": scalar(configs["dlo"]),
+        "dlg": scalar(configs["dlg"]),
+        "bancroft": scalar(configs["bancroft"]),
         "batch_nr": batch_nr,
-        "batch_dlo": batch_closed(BatchDLOSolver),
-        "batch_dlg": batch_closed(BatchDLGSolver),
+        "batch_dlo": batch_closed(configs["dlo"]),
+        "batch_dlg": batch_closed(configs["dlg"]),
     }
 
 
@@ -437,7 +440,8 @@ def run_stream_differential(
     # Every NR instance (scalar reference, engine batch, replay
     # receivers) runs at _ORACLE_NR_TOLERANCE, so the bulk paths stop
     # on exactly the criterion the scalar reference stopped on.
-    scalar_nr = NewtonRaphsonSolver(tolerance_meters=_ORACLE_NR_TOLERANCE)
+    nr_config = SolverConfig(algorithm="nr", tolerance_meters=_ORACLE_NR_TOLERANCE)
+    scalar_nr = nr_config.build_solver()
 
     # The stream check asserts that the bulk paths reproduce the scalar
     # answers row for row.  A scenario the scalar solvers themselves
@@ -451,9 +455,13 @@ def run_stream_differential(
     skipped = []
     for scenario in scenarios:
         try:
-            dlg_fix = DLGSolver(
-                ConstantClockBiasPredictor(scenario.clock_bias_meters)
-            ).solve(scenario.epoch)
+            dlg_fix = api_solve(
+                scenario.epoch,
+                SolverConfig(
+                    algorithm="dlg",
+                    clock_bias_meters=scenario.clock_bias_meters,
+                ),
+            )
             nr_fix = scalar_nr.solve(scenario.epoch)
             _gate_nr_fix(scenario.epoch, nr_fix.position, nr_fix.clock_bias_meters)
         except ReproError:
@@ -480,9 +488,7 @@ def run_stream_differential(
     for algorithm, expected_index in (("dlg", 0), ("nr", 1)):
         engine = PositioningEngine(
             algorithm=algorithm,
-            nr_solver=BatchNewtonRaphsonSolver(
-                tolerance_meters=_ORACLE_NR_TOLERANCE
-            ),
+            nr_solver=nr_config.build_batch_solver(),
         )
         result = engine.solve_stream(epochs, biases)
         for index, scenario in enumerate(kept):

@@ -30,7 +30,7 @@ from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from repro.core.direct_linear import build_difference_system
+from repro.solvers.direct_linear import build_difference_system
 from repro.errors import ConfigurationError
 from repro.geodesy import geodetic_to_ecef
 from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation

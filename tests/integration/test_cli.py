@@ -26,11 +26,10 @@ class TestSolveCommand:
         out = capsys.readouterr().out
         assert "NR" in out
 
-    def test_unknown_station_raises(self):
-        from repro.errors import DatasetError
-
-        with pytest.raises(DatasetError):
-            main(["solve", "NOPE", "--duration", "5"])
+    def test_unknown_station_exits_nonzero(self, capsys):
+        code = main(["solve", "NOPE", "--duration", "5"])
+        assert code == 1
+        assert "unknown station" in capsys.readouterr().err
 
 
 class TestExportCommand:

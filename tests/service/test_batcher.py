@@ -1,0 +1,163 @@
+"""MicroBatcher state-machine tests.
+
+The batcher is solver-agnostic, so these tests drive it with plain
+integers and assert on the three flush triggers (full, deadline,
+close) plus the drain semantics.  Everything runs under
+``asyncio.run`` from synchronous tests — the suite has no asyncio
+pytest plugin, by design.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service import MicroBatcher
+from repro.service.batcher import FLUSH_CLOSE, FLUSH_DEADLINE, FLUSH_FULL
+
+
+class TestConstruction:
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_batch_size=0, max_wait_seconds=0.01)
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_batch_size=4, max_wait_seconds=-0.001)
+
+
+class TestFlushTriggers:
+    def test_flush_on_full_does_not_wait_for_deadline(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=3, max_wait_seconds=60.0)
+            for item in (1, 2, 3):
+                batcher.put(item)
+            started = asyncio.get_running_loop().time()
+            flush = await batcher.next_batch()
+            elapsed = asyncio.get_running_loop().time() - started
+            return flush, elapsed
+
+        flush, elapsed = asyncio.run(scenario())
+        assert flush.reason == FLUSH_FULL
+        assert flush.items == (1, 2, 3)
+        assert elapsed < 1.0  # nowhere near the 60s deadline
+
+    def test_flush_on_deadline_with_partial_batch(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=100, max_wait_seconds=0.02)
+            loop = asyncio.get_running_loop()
+            batcher.put("only")
+            started = loop.time()
+            flush = await batcher.next_batch()
+            return flush, loop.time() - started
+
+        flush, elapsed = asyncio.run(scenario())
+        assert flush.reason == FLUSH_DEADLINE
+        assert flush.items == ("only",)
+        assert elapsed >= 0.02
+
+    def test_deadline_pinned_to_oldest_item(self):
+        """Late followers must not extend the first item's wait."""
+
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=100, max_wait_seconds=0.05)
+            loop = asyncio.get_running_loop()
+
+            async def trickle():
+                for item in range(5):
+                    await asyncio.sleep(0.015)
+                    if not batcher.closed:
+                        batcher.put(item)
+
+            batcher.put("first")
+            started = loop.time()
+            trickler = loop.create_task(trickle())
+            flush = await batcher.next_batch()
+            elapsed = loop.time() - started
+            trickler.cancel()
+            return flush, elapsed
+
+        flush, elapsed = asyncio.run(scenario())
+        assert flush.reason == FLUSH_DEADLINE
+        assert flush.items[0] == "first"
+        # Flushed at the oldest item's deadline (~0.05s), not at
+        # last-put + max_wait (which the trickler keeps pushing out).
+        assert elapsed < 0.09
+
+    def test_close_flushes_remainder_then_returns_none(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=60.0)
+            for item in range(5):
+                batcher.put(item)
+            batcher.close()
+            flushes = []
+            while True:
+                flush = await batcher.next_batch()
+                if flush is None:
+                    return flushes
+                flushes.append(flush)
+
+        flushes = asyncio.run(scenario())
+        # 5 items, max batch 2: chunked 2 + 2 + 1, nothing dropped.
+        assert [len(f) for f in flushes] == [2, 2, 1]
+        assert [f.reason for f in flushes] == [FLUSH_FULL, FLUSH_FULL, FLUSH_CLOSE]
+        assert [i for f in flushes for i in f.items] == list(range(5))
+
+    def test_next_batch_parks_until_put(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=1, max_wait_seconds=0.0)
+            loop = asyncio.get_running_loop()
+            waiter = loop.create_task(batcher.next_batch())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # parked in EMPTY
+            batcher.put("wake")
+            return await waiter
+
+        flush = asyncio.run(scenario())
+        assert flush.items == ("wake",)
+
+    def test_next_batch_returns_none_when_closed_empty(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=0.01)
+            batcher.close()
+            return await batcher.next_batch()
+
+        assert asyncio.run(scenario()) is None
+
+
+class TestDrainAndMisuse:
+    def test_put_after_close_raises(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=4, max_wait_seconds=0.01)
+            batcher.close()
+            with pytest.raises(ServiceError):
+                batcher.put("late")
+
+        asyncio.run(scenario())
+
+    def test_drain_now_empties_in_chunks(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=3, max_wait_seconds=60.0)
+            for item in range(7):
+                batcher.put(item)
+            return batcher.drain_now(), len(batcher)
+
+        flushes, remaining = asyncio.run(scenario())
+        assert [len(f) for f in flushes] == [3, 3, 1]
+        assert all(f.reason == FLUSH_CLOSE for f in flushes)
+        assert remaining == 0
+
+    def test_oldest_enqueued_at_tracks_first_item(self):
+        async def scenario():
+            batcher = MicroBatcher(max_batch_size=2, max_wait_seconds=60.0)
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            batcher.put("a")
+            await asyncio.sleep(0.01)
+            batcher.put("b")
+            flush = await batcher.next_batch()
+            return flush, before
+
+        flush, before = asyncio.run(scenario())
+        # Stamped when "a" was put — before "b" arrived.
+        assert before <= flush.oldest_enqueued_at < before + 0.01

@@ -24,7 +24,10 @@ PACKAGES = [
     "repro.signals",
     "repro.estimation",
     "repro.core",
+    "repro.solvers",
     "repro.engine",
+    "repro.api",
+    "repro.service",
     "repro.dgps",
     "repro.motion",
     "repro.stations",
@@ -77,6 +80,20 @@ class TestRootSurface:
             RaimMonitor,
             VelocitySolver,
             get_station,
+        )
+
+    def test_facade_and_service_importable_from_root(self):
+        from repro import (  # noqa: F401
+            AsyncPositioningClient,
+            PositioningService,
+            QueueFullError,
+            RequestTimeoutError,
+            ServiceConfig,
+            ServiceError,
+            ServiceResult,
+            SolverConfig,
+            solve,
+            solve_batch,
         )
 
     def test_version_string(self):

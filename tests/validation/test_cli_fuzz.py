@@ -18,8 +18,15 @@ class TestParseBudget:
 
     @pytest.mark.parametrize("text", ["", "fast", "10q", "-5", "0"])
     def test_rejected_spellings(self, text):
-        with pytest.raises(SystemExit):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
             _parse_budget(text)
+
+    def test_bad_budget_exits_nonzero_via_main(self, capsys):
+        code = main(["fuzz", "--budget", "fast"])
+        assert code == 1
+        assert "invalid --budget" in capsys.readouterr().err
 
 
 class TestFuzzCommand:
@@ -99,7 +106,7 @@ class TestFuzzCommand:
         artifact.write_text(json.dumps(payload))
         capsys.readouterr()
         code = main(["fuzz", "--replay", str(artifact)])
-        assert code == 2
+        assert code == 1
         assert "VERDICT CHANGED" in capsys.readouterr().out
 
     def test_structural_inject_is_rejected_cleanly(self, tmp_path, capsys):
