@@ -63,8 +63,6 @@ from repro.core import (
     BatchDLGSolver,
     BatchNewtonRaphsonSolver,
     group_epochs_by_count,
-    RaimMonitor,
-    RaimResult,
     VelocityFix,
     VelocitySolver,
     NavigationEkf,
@@ -80,6 +78,16 @@ from repro.engine import (
     PositioningEngine,
 )
 from repro.api import SolverConfig, solve, solve_batch
+from repro.integrity import (
+    BatchFde,
+    EpochVerdict,
+    FdeConfig,
+    FdeRecord,
+    HealthConfig,
+    RaimMonitor,
+    RaimResult,
+    SatelliteHealthTracker,
+)
 from repro.service import (
     AsyncPositioningClient,
     PositioningService,
@@ -186,6 +194,12 @@ __all__ = [
     "run_metamorphic",
     "RaimMonitor",
     "RaimResult",
+    "BatchFde",
+    "EpochVerdict",
+    "FdeConfig",
+    "FdeRecord",
+    "HealthConfig",
+    "SatelliteHealthTracker",
     "VelocityFix",
     "VelocitySolver",
     "NavigationEkf",

@@ -13,7 +13,9 @@ Subcommands:
   metrics (Prometheus text or JSON snapshot).
 * ``fuzz`` — run seeded differential/metamorphic validation scenarios
   under a time or count budget, persisting failures as replayable
-  artifacts (``--replay`` reruns one).
+  artifacts (``--replay`` reruns one; ``--fde`` switches to the
+  integrity chaos loop that grades the batch FDE gate against
+  injected pseudorange spikes).
 * ``serve`` — run the async micro-batching positioning service against
   a station's simulated stream of concurrent requests and report
   throughput, batching, and latency percentiles.
@@ -226,6 +228,27 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(_fault_registry()),
         help="inject this specific fault (implies --fault-rate 1.0 "
         "unless --fault-rate is given)",
+    )
+    fuzz.add_argument(
+        "--fde",
+        action="store_true",
+        help="chaos-test the batch FDE gate instead of the oracle fuzz "
+        "loop: seeded pseudorange spikes through the integrity-armed "
+        "engine, graded on injected-PRN identification and false-alarm "
+        "rate (use with --inject spike)",
+    )
+    fuzz.add_argument(
+        "--spike-meters",
+        type=float,
+        default=75.0,
+        metavar="M",
+        help="injected spike magnitude for --fde (default 75)",
+    )
+    fuzz.add_argument(
+        "--fde-out",
+        default=None,
+        metavar="PATH",
+        help="write the --fde verdict JSON to this path",
     )
     fuzz.add_argument(
         "--artifacts-dir",
@@ -478,6 +501,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         replay_artifact,
     )
 
+    if args.fde:
+        return _cmd_fuzz_fde(args)
+
     if args.replay:
         recorded = json.loads(open(args.replay).read())
         result = replay_artifact(args.replay)
@@ -525,6 +551,63 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                 print(f"    {line}")
         for path in report.artifact_paths:
             print(f"  artifact: {path}")
+    return exit_code(report.ok)
+
+
+def _cmd_fuzz_fde(args: argparse.Namespace) -> int:
+    from repro.validation import FdeChaosConfig, run_fde_chaos
+
+    if args.inject not in (None, "spike"):
+        raise ConfigurationError(
+            "--fde chaos mode injects pseudorange spikes; drop --inject "
+            "or use --inject spike"
+        )
+    config = FdeChaosConfig(
+        scenarios=args.scenarios if args.scenarios is not None else 400,
+        start_seed=args.seed,
+        spike_meters=args.spike_meters,
+        fault_rate=args.fault_rate if args.fault_rate > 0 else 0.5,
+    )
+    with _metrics_sink(args.metrics_out):
+        report = run_fde_chaos(config)
+    gates = report.to_dict()["gates"]
+    print(
+        f"FDE chaos: {report.faulted} spiked + {report.clean} clean epochs "
+        f"from seed {config.start_seed} "
+        f"({config.spike_meters:g} m spikes, m {config.min_satellites}-"
+        f"{config.max_satellites}, sigma {config.sigma_meters:g} m)"
+    )
+    print(
+        f"  identification: {report.identified}/{report.faulted} "
+        f"({100 * report.identification_rate:.1f}%, floor "
+        f"{100 * config.identification_floor:.0f}%) "
+        f"[{'PASS' if report.identification_ok else 'FAIL'}]"
+    )
+    print(
+        f"    missed {report.missed}, wrong satellite "
+        f"{report.misidentified}, detected-unrepaired "
+        f"{report.detected_unrepaired}"
+    )
+    print(
+        f"  false alarms: {report.false_alarms}/{report.clean} "
+        f"({100 * report.false_alarm_rate:.2f}%, budget "
+        f"{100 * gates['false_alarm']['budget']:.2f}%) "
+        f"[{'PASS' if report.false_alarm_ok else 'FAIL'}]"
+    )
+    for case in report.mistakes[:8]:
+        print(
+            f"    seed {case.seed}: injected PRN {case.injected_prn}, "
+            f"verdict {case.status}"
+            + (
+                f" (excluded PRN {case.excluded_prn})"
+                if case.excluded_prn is not None
+                else ""
+            )
+        )
+    if args.fde_out:
+        with open(args.fde_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote chaos verdict to {args.fde_out}")
     return exit_code(report.ok)
 
 

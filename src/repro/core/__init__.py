@@ -3,15 +3,17 @@
 * :class:`GpsReceiver` — the end-to-end pipeline: NR warm-up, clock
   bias prediction, then closed-form solving, with threshold-reset
   recalibration.
-* RAIM, velocity, EKF/smoother, satellite selection, and DOP — the
+* Velocity, EKF/smoother, satellite selection, and DOP — the
   machinery around the solvers.
 
 The solver implementations themselves (NR, DLO, DLG, Bancroft and the
-batch trio) live in :mod:`repro.solvers` since the PR 4 API redesign;
-this package re-exports them so ``from repro.core import DLGSolver``
-keeps working warning-free.  The old *deep* import paths
-(``repro.core.direct_linear`` et al.) are deprecated shims.  New code
-should reach solvers through the :mod:`repro.api` facade.
+batch trio) live in :mod:`repro.solvers` since the PR 4 API redesign,
+and RAIM lives in :mod:`repro.integrity` since the PR 5 integrity
+subsystem; this package re-exports them so ``from repro.core import
+DLGSolver`` keeps working warning-free.  The old *deep* import paths
+(``repro.core.direct_linear``, ``repro.core.raim`` et al.) are
+deprecated shims.  New code should reach solvers through the
+:mod:`repro.api` facade and integrity through :mod:`repro.integrity`.
 """
 
 from repro.core.types import PositionFix
@@ -33,7 +35,7 @@ from repro.solvers.batch import (
     BatchNrResult,
     group_epochs_by_count,
 )
-from repro.core.raim import RaimMonitor, RaimResult, chi_square_quantile
+from repro.integrity.raim import RaimMonitor, RaimResult, chi_square_quantile
 from repro.core.velocity import VelocityFix, VelocitySolver
 from repro.core.ekf import NavigationEkf
 from repro.core.smoother import RtsSmoother

@@ -30,7 +30,7 @@ from __future__ import annotations
 import logging
 import math
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Iterable, List, Optional
 
 from repro.clocks.prediction import ClockBiasPredictor, LinearClockBiasPredictor
 from repro.core.base import PositioningAlgorithm
@@ -42,6 +42,10 @@ from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, GeometryError
 from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.telemetry import get_registry
+
+if TYPE_CHECKING:
+    from repro.integrity.health import SatelliteHealthTracker
+    from repro.integrity.raim import RaimMonitor
 
 _log = logging.getLogger(__name__)
 
@@ -77,11 +81,19 @@ class GpsReceiver:
         Optional pre-configured NR instance (warm starts, tolerances).
     raim_sigma_meters:
         When set, every steady-state epoch with enough redundancy runs
-        through a :class:`~repro.core.raim.RaimMonitor` built around
-        the configured solver with this residual sigma — faults are
-        detected and excluded transparently.  Only valid with ``nr``
-        and ``dlg`` (whose residual norms are chi-square scaled); DLO's
-        raw differenced residuals are not.
+        through a :class:`~repro.integrity.raim.RaimMonitor` built
+        around the configured solver with this residual sigma — faults
+        are detected and excluded transparently.  Only valid with
+        ``nr`` and ``dlg`` (whose residual norms are chi-square
+        scaled); DLO's raw differenced residuals are not.
+    health_tracker:
+        Optional shared
+        :class:`~repro.integrity.health.SatelliteHealthTracker`.
+        Quarantined satellites are pre-excluded from each epoch before
+        solving, and RAIM exclusions/clean passes feed the tracker so
+        persistently faulty satellites stop paying the per-epoch
+        exclusion search.  Useful standalone, or shared with an async
+        service so both paths agree on satellite health.
     """
 
     def __init__(
@@ -94,6 +106,7 @@ class GpsReceiver:
         base_selector: Optional[BaseSatelliteSelector] = None,
         nr_solver: Optional[NewtonRaphsonSolver] = None,
         raim_sigma_meters: Optional[float] = None,
+        health_tracker: Optional["SatelliteHealthTracker"] = None,
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ("nr", "dlo", "dlg", "bancroft"):
@@ -130,11 +143,12 @@ class GpsReceiver:
                     "RAIM integration requires chi-square-scaled residuals: "
                     "use algorithm='nr' or 'dlg'"
                 )
-            from repro.core.raim import RaimMonitor
+            from repro.integrity.raim import RaimMonitor
 
             self._raim = RaimMonitor(
                 solver=self._solver, sigma_meters=raim_sigma_meters
             )
+        self._health = health_tracker
 
         self._epochs_processed = 0
         #: Recent closed-form residual norms; a new residual far above
@@ -155,6 +169,7 @@ class GpsReceiver:
             "raim_exclusions": 0,
             "raim_unrepaired": 0,
             "rejected_epochs": 0,
+            "health_preexclusions": 0,
         }
 
     # ------------------------------------------------------------------
@@ -226,6 +241,15 @@ class GpsReceiver:
                 "Epochs seen by GpsReceiver.process.",
                 labels=("algorithm",),
             ).labels(algorithm=self._algorithm_name).inc()
+
+        if self._health is not None:
+            pre_excluded = self._health.admit(epoch.prns)
+            if pre_excluded:
+                banned = set(pre_excluded)
+                kept = [obs for obs in epoch.observations if obs.prn not in banned]
+                if len(kept) >= 4:
+                    epoch = epoch.with_observations(kept)
+                    self._event("health_preexclusions")
 
         if self._algorithm_name in ("nr", "bancroft"):
             if self._algorithm_name == "nr":
@@ -314,6 +338,14 @@ class GpsReceiver:
             self._event("raim_exclusions")
         if not result.passed:
             self._event("raim_unrepaired")
+        if self._health is not None:
+            if result.excluded_prn is not None:
+                self._health.record_exclusion(result.excluded_prn)
+                self._health.record_clean(
+                    prn for prn in epoch.prns if prn != result.excluded_prn
+                )
+            elif result.passed:
+                self._health.record_clean(epoch.prns)
         return result.fix
 
     def _residual_is_anomalous(self, residual_norm: float) -> bool:

@@ -33,6 +33,7 @@ from repro.solvers.batch import (
 )
 from repro.engine.scheduler import EpochBucket, bucket_epochs, scatter_bucket_results
 from repro.errors import ConfigurationError, EstimationError, GeometryError
+from repro.integrity.fde import BatchFde, FdeConfig, FdeRecord
 from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.telemetry import get_registry, get_tracer
 
@@ -64,6 +65,11 @@ class EngineDiagnostics:
         ``"ok"`` or ``"failed"`` (a failed bucket also raises, so
         ``"failed"`` is only observable through telemetry callbacks
         and post-mortem snapshots).
+    fde:
+        Per-epoch integrity verdicts
+        (:class:`~repro.integrity.fde.FdeRecord`, stream-ordered) when
+        the engine runs with FDE enabled, else ``None``.  Epochs the
+        stream dropped as invalid/undersized appear as ``unchecked``.
     """
 
     epochs_dropped: int = 0
@@ -71,6 +77,7 @@ class EngineDiagnostics:
     epochs_invalid: int = 0
     invalid_indices: Tuple[int, ...] = ()
     bucket_status: Dict[int, str] = field(default_factory=dict)
+    fde: Optional[FdeRecord] = None
 
     def to_dict(self) -> Dict:
         """JSON-ready form, used by the telemetry snapshot exporters."""
@@ -80,6 +87,7 @@ class EngineDiagnostics:
             "epochs_invalid": self.epochs_invalid,
             "invalid_indices": list(self.invalid_indices),
             "bucket_status": {str(k): v for k, v in self.bucket_status.items()},
+            "fde": self.fde.to_dict() if self.fde is not None else None,
         }
 
 
@@ -130,6 +138,13 @@ class PositioningEngine:
         Unused by NR.
     nr_solver:
         Optional pre-configured batched NR (tolerances, warm start).
+    fde_config:
+        When set, every DLG bucket is screened by
+        :class:`~repro.integrity.fde.BatchFde` — flagged epochs are
+        repaired in-batch by leave-one-out exclusion and the per-epoch
+        verdicts land on ``result.diagnostics.fde``.  Requires
+        ``algorithm="dlg"``: only the GLS whitened residual norm is
+        chi-square scaled.
     """
 
     def __init__(
@@ -137,20 +152,29 @@ class PositioningEngine:
         algorithm: str = "dlg",
         clock_predictor: Optional[ClockBiasPredictor] = None,
         nr_solver: Optional[BatchNewtonRaphsonSolver] = None,
+        fde_config: Optional[FdeConfig] = None,
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ("dlo", "dlg", "nr"):
             raise ConfigurationError(
                 f"algorithm must be one of dlo/dlg/nr, got {algorithm!r}"
             )
+        if fde_config is not None and algorithm != "dlg":
+            raise ConfigurationError(
+                "FDE needs chi-square-scaled residuals, which only the "
+                f"DLG whitened norm provides; got algorithm={algorithm!r}"
+            )
         self._algorithm = algorithm
         self._predictor = clock_predictor
         self._nr = nr_solver if nr_solver is not None else BatchNewtonRaphsonSolver()
         self._dlo = BatchDLOSolver()
         self._dlg = BatchDLGSolver()
+        self._fde = BatchFde(fde_config) if fde_config is not None else None
 
     @classmethod
-    def from_config(cls, config) -> "PositioningEngine":
+    def from_config(
+        cls, config, fde_config: Optional[FdeConfig] = None
+    ) -> "PositioningEngine":
         """An engine for a :class:`repro.api.SolverConfig`.
 
         The config's bias source (fixed bias or live predictor) becomes
@@ -158,17 +182,24 @@ class PositioningEngine:
         batched NR used either as the primary algorithm or by callers
         building degradation ladders (the async service).  Bancroft has
         no batch path and is rejected by the config itself.
+        ``fde_config`` optionally arms the integrity gate (DLG only).
         """
         return cls(
             algorithm=config.algorithm,
             clock_predictor=config.bias_predictor(),
             nr_solver=config.nr_fallback().build_batch_solver(),
+            fde_config=fde_config,
         )
 
     @property
     def algorithm(self) -> str:
         """The configured algorithm name."""
         return self._algorithm
+
+    @property
+    def fde_enabled(self) -> bool:
+        """Whether buckets run through the batch FDE gate."""
+        return self._fde is not None
 
     def _resolve_biases(
         self,
@@ -190,7 +221,10 @@ class PositioningEngine:
         return np.zeros(len(epochs))
 
     def _solve_bucket(self, bucket, stream_biases: np.ndarray):
-        """One bucket through the batched solver; (positions, biases)."""
+        """One bucket through the batched solver.
+
+        Returns ``(positions, biases, fde_record-or-None)``.
+        """
         if self._algorithm == "nr":
             record = self._nr.solve_batch_full(bucket.epochs)
             if not np.all(record.converged):
@@ -201,10 +235,15 @@ class PositioningEngine:
                 raise GeometryError(
                     f"NR failed to converge for stream epochs {stuck}"
                 )
-            return record.positions, record.clock_biases
+            return record.positions, record.clock_biases, None
         bucket_biases = stream_biases[np.asarray(bucket.indices, dtype=int)]
+        if self._fde is not None:
+            positions, fde_record = self._fde.solve_batch(
+                bucket.epochs, bucket_biases
+            )
+            return positions, bucket_biases, fde_record
         solver = self._dlo if self._algorithm == "dlo" else self._dlg
-        return solver.solve_batch(bucket.epochs, bucket_biases), bucket_biases
+        return solver.solve_batch(bucket.epochs, bucket_biases), bucket_biases, None
 
     def solve_stream(
         self,
@@ -316,6 +355,7 @@ class PositioningEngine:
             bucket_status: Dict[int, str] = {}
             position_blocks = []
             bias_blocks = []
+            fde_pieces = []
             for bucket in solvable:
                 with tracer.span(
                     "engine.solve_bucket",
@@ -324,7 +364,7 @@ class PositioningEngine:
                     algorithm=self._algorithm,
                 ):
                     try:
-                        block, bucket_biases = self._solve_bucket(
+                        block, bucket_biases, fde_record = self._solve_bucket(
                             bucket, stream_biases
                         )
                     except (GeometryError, EstimationError):
@@ -337,6 +377,8 @@ class PositioningEngine:
                     self._record_bucket(registry, bucket, "ok")
                 position_blocks.append(block)
                 bias_blocks.append(bucket_biases)
+                if fde_record is not None:
+                    fde_pieces.append((bucket.indices, fde_record))
 
             allow_partial = bool(dropped_indices or invalid_indices)
             positions = scatter_bucket_results(
@@ -352,6 +394,11 @@ class PositioningEngine:
             epochs_invalid=len(invalid_indices),
             invalid_indices=invalid_indices,
             bucket_status=bucket_status,
+            fde=(
+                FdeRecord.scatter(fde_pieces, len(epochs))
+                if self._fde is not None
+                else None
+            ),
         )
         if registry.enabled:
             registry.counter(

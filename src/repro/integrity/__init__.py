@@ -1,0 +1,53 @@
+"""Online integrity: fault detection, exclusion, and health memory.
+
+Three layers, stacked by time horizon:
+
+* :mod:`repro.integrity.raim` — the scalar per-epoch monitor
+  (:class:`RaimMonitor`), one epoch at a time with full re-solves;
+  the reference implementation.
+* :mod:`repro.integrity.fde` — :class:`BatchFde`, the vectorized
+  batch counterpart the engine and service actually run: chi-square
+  gate over stacked DLG solves, leave-one-out exclusion through one
+  stacked Sherman-Morrison GLS call.
+* :mod:`repro.integrity.health` — :class:`SatelliteHealthTracker`,
+  cross-epoch exclusion memory with quarantine, probation, and
+  reinstatement backoff.
+"""
+
+from repro.integrity.fde import (
+    BatchFde,
+    EpochVerdict,
+    FdeConfig,
+    FdeRecord,
+    NO_EXCLUSION,
+    STATUS_NAMES,
+    STATUS_PASSED,
+    STATUS_REPAIRED,
+    STATUS_UNCHECKED,
+    STATUS_UNUSABLE,
+)
+from repro.integrity.health import (
+    HEALTH_STATES,
+    HealthConfig,
+    SatelliteHealthTracker,
+)
+from repro.integrity.raim import RaimMonitor, RaimResult, chi_square_quantile
+
+__all__ = [
+    "BatchFde",
+    "EpochVerdict",
+    "FdeConfig",
+    "FdeRecord",
+    "HEALTH_STATES",
+    "HealthConfig",
+    "NO_EXCLUSION",
+    "RaimMonitor",
+    "RaimResult",
+    "STATUS_NAMES",
+    "STATUS_PASSED",
+    "STATUS_REPAIRED",
+    "STATUS_UNCHECKED",
+    "STATUS_UNUSABLE",
+    "SatelliteHealthTracker",
+    "chi_square_quantile",
+]

@@ -1,0 +1,436 @@
+"""Vectorized fault detection and exclusion over DLG batches.
+
+:class:`BatchFde` is the batch counterpart of
+:class:`~repro.integrity.raim.RaimMonitor`: the same residual
+chi-square test and leave-one-out exclusion, restructured so a whole
+same-satellite-count bucket is screened in a handful of stacked numpy
+operations.
+
+Two structural facts make this cheap enough to run on every epoch of
+a high-rate stream:
+
+* **Detection is free.**  The whitened (Mahalanobis) residual norm the
+  Sherman-Morrison GLS path already computes — and
+  :class:`~repro.solvers.batch.BatchDLGSolver` discards — *is* the
+  RAIM test quantity: ``(norm / sigma)^2`` is chi-square with ``m - 4``
+  degrees of freedom under no fault.  The gate is one vectorized
+  comparison against a single per-bucket threshold.
+* **Exclusion stays structured.**  Deleting one satellite from the
+  eq. 4-26 difference system preserves the diagonal-plus-rank-one
+  covariance shape (drop one diagonal entry for a non-base satellite;
+  promote satellite 1 to base when the base itself is dropped), so
+  every leave-one-out candidate solves through the same O(m)
+  Sherman-Morrison whitening — the ``m`` candidates of all flagged
+  epochs stack into *one*
+  :func:`~repro.estimation.batched_gls_solve_diag_rank1` call instead
+  of the scalar monitor's m full re-solves per flagged epoch.
+
+Candidate subsets are ranked by normalized margin ``statistic /
+threshold`` with a keep-first tie-break, matching the scalar
+monitor's selection exactly; the two implementations are
+differentially tested for identical verdicts and excluded PRNs.
+
+Per-epoch outcomes come back as a compact :class:`FdeRecord` (int8
+status codes plus flat arrays) so the fault-free fast path stays
+allocation-light; individual :class:`EpochVerdict` objects are
+materialized lazily on access.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EstimationError
+from repro.estimation import batched_gls_solve_diag_rank1, gls_solve_diag_rank1
+from repro.integrity.raim import chi_square_quantile
+from repro.observations import ObservationEpoch
+from repro.solvers.batch import _stack_epochs, build_difference_systems
+from repro.telemetry import get_registry
+
+#: Compact per-epoch status codes (int8 in :class:`FdeRecord`).
+STATUS_PASSED = 0
+STATUS_REPAIRED = 1
+STATUS_UNUSABLE = 2
+STATUS_UNCHECKED = 3
+
+#: Code -> name, indexable by the int8 status.
+STATUS_NAMES: Tuple[str, ...] = ("passed", "repaired", "unusable", "unchecked")
+
+#: Sentinel for "no satellite excluded" in :attr:`FdeRecord.excluded_prns`.
+NO_EXCLUSION = -1
+
+#: Exclusion-latency histogram bounds (seconds per flagged batch).
+_EXCLUSION_LATENCY_BUCKETS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2,
+)
+
+
+@dataclass(frozen=True)
+class FdeConfig:
+    """Tuning for the batch FDE gate.
+
+    Attributes
+    ----------
+    sigma_meters:
+        Expected 1-sigma of the pseudorange residuals under no fault.
+    p_false_alarm:
+        Probability of flagging a fault-free epoch.
+    exclude:
+        Whether detection is followed by leave-one-out exclusion
+        (``False`` gives a detect-only gate: flagged epochs go
+        straight to ``unusable``).
+    """
+
+    sigma_meters: float = 3.0
+    p_false_alarm: float = 1e-3
+    exclude: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sigma_meters <= 0:
+            raise ConfigurationError("sigma_meters must be positive")
+        if not 0.0 < self.p_false_alarm < 1.0:
+            raise ConfigurationError("p_false_alarm must be in (0, 1)")
+
+    def to_dict(self) -> Dict:
+        return {
+            "sigma_meters": self.sigma_meters,
+            "p_false_alarm": self.p_false_alarm,
+            "exclude": self.exclude,
+        }
+
+
+@dataclass(frozen=True)
+class EpochVerdict:
+    """Integrity outcome for one epoch, materialized from an FdeRecord.
+
+    Attributes
+    ----------
+    status:
+        ``"passed"`` (test satisfied), ``"repaired"`` (fault detected,
+        one satellite excluded, subset passes), ``"unusable"`` (fault
+        detected, no passing exclusion — position is the full-set
+        solution and should not be trusted), or ``"unchecked"`` (no
+        redundancy: fewer than 5 satellites, no test possible).
+    test_statistic, threshold:
+        The chi-square quantity and gate that produced the verdict —
+        the *subset* pair for repaired epochs, the full-set pair
+        otherwise, NaN when unchecked.
+    excluded_prn:
+        PRN removed by exclusion, or ``None``.
+    """
+
+    status: str
+    test_statistic: float
+    threshold: float
+    excluded_prn: Optional[int] = None
+
+    @property
+    def usable(self) -> bool:
+        """Whether the accompanying position should be trusted."""
+        return self.status in ("passed", "repaired")
+
+    def to_dict(self) -> Dict:
+        return {
+            "status": self.status,
+            "test_statistic": self.test_statistic,
+            "threshold": self.threshold,
+            "excluded_prn": self.excluded_prn,
+        }
+
+
+@dataclass(frozen=True)
+class FdeRecord:
+    """Compact per-epoch FDE outcomes for one stream or bucket.
+
+    Array-of-structs would cost a python object per epoch on the
+    fault-free fast path; this struct-of-arrays form keeps the common
+    case (everything ``passed``) at four numpy arrays regardless of
+    stream length.
+
+    Attributes
+    ----------
+    statuses:
+        ``(N,)`` int8 status codes (see ``STATUS_*``).
+    statistics, thresholds:
+        ``(N,)`` chi-square test quantities and gates (NaN when
+        unchecked).
+    excluded_prns:
+        ``(N,)`` int32 excluded PRNs, ``NO_EXCLUSION`` (-1) where no
+        exclusion happened.
+    """
+
+    statuses: np.ndarray
+    statistics: np.ndarray
+    thresholds: np.ndarray
+    excluded_prns: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.statuses.shape[0])
+
+    # ------------------------------------------------------------------
+    def verdict(self, index: int) -> EpochVerdict:
+        """Materialize the verdict for one epoch."""
+        code = int(self.statuses[index])
+        prn = int(self.excluded_prns[index])
+        return EpochVerdict(
+            status=STATUS_NAMES[code],
+            test_statistic=float(self.statistics[index]),
+            threshold=float(self.thresholds[index]),
+            excluded_prn=None if prn == NO_EXCLUSION else prn,
+        )
+
+    def verdicts(self) -> Tuple[EpochVerdict, ...]:
+        """All verdicts, materialized (prefer :meth:`verdict` on hot paths)."""
+        return tuple(self.verdict(i) for i in range(len(self)))
+
+    def counts(self) -> Dict[str, int]:
+        """``{status_name: epochs}`` over the record."""
+        tallies = np.bincount(self.statuses, minlength=len(STATUS_NAMES))
+        return {name: int(tallies[code]) for code, name in enumerate(STATUS_NAMES)}
+
+    @property
+    def usable(self) -> np.ndarray:
+        """``(N,)`` boolean mask of trustworthy rows."""
+        return (self.statuses == STATUS_PASSED) | (self.statuses == STATUS_REPAIRED)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary (counts plus an excluded-PRN tally)."""
+        excluded = self.excluded_prns[self.excluded_prns != NO_EXCLUSION]
+        prns, tallies = np.unique(excluded, return_counts=True)
+        return {
+            "counts": self.counts(),
+            "excluded_prn_counts": {
+                str(int(prn)): int(count) for prn, count in zip(prns, tallies)
+            },
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def unchecked(cls, count: int) -> "FdeRecord":
+        """An all-``unchecked`` record (redundancy-free bucket)."""
+        return cls(
+            statuses=np.full(count, STATUS_UNCHECKED, dtype=np.int8),
+            statistics=np.full(count, np.nan),
+            thresholds=np.full(count, np.nan),
+            excluded_prns=np.full(count, NO_EXCLUSION, dtype=np.int32),
+        )
+
+    @classmethod
+    def scatter(
+        cls,
+        pieces: Sequence["tuple[Sequence[int], FdeRecord]"],
+        total: int,
+    ) -> "FdeRecord":
+        """Assemble per-bucket records back into stream order.
+
+        ``pieces`` pairs each bucket's stream indices with its record;
+        rows no piece claims (dropped/invalid epochs) stay
+        ``unchecked`` with NaN statistics.
+        """
+        merged = cls.unchecked(total)
+        for indices, record in pieces:
+            idx = np.asarray(indices, dtype=int)
+            merged.statuses[idx] = record.statuses
+            merged.statistics[idx] = record.statistics
+            merged.thresholds[idx] = record.thresholds
+            merged.excluded_prns[idx] = record.excluded_prns
+        return merged
+
+
+class BatchFde:
+    """Chi-square detection + stacked leave-one-out exclusion for DLG.
+
+    The gate is DLG-specific by design: only the GLS whitened residual
+    norm is chi-square scaled (OLS residuals from DLO are not
+    normalized by the measurement covariance, and batched NR solves its
+    own bias so its redundancy bookkeeping differs).  The engine
+    enforces this at configuration time.
+
+    Parameters
+    ----------
+    config:
+        :class:`FdeConfig`; defaults match
+        :class:`~repro.integrity.raim.RaimMonitor`.
+    """
+
+    name = "BatchFDE"
+
+    def __init__(self, config: Optional[FdeConfig] = None) -> None:
+        self._config = config if config is not None else FdeConfig()
+
+    @property
+    def config(self) -> FdeConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    def solve_batch(
+        self,
+        epochs: Sequence[ObservationEpoch],
+        biases: Sequence[float],
+    ) -> "tuple[np.ndarray, FdeRecord]":
+        """Solve N same-size epochs with FDE; ``((N, 3), FdeRecord)``.
+
+        The fault-free path costs one stacked DLG solve (the whitened
+        norms it produces are the test statistics) plus one vectorized
+        comparison; only flagged epochs pay for exclusion, and all
+        their candidates solve in one additional stacked GLS call.
+        ``repaired`` rows hold the post-exclusion position;
+        ``unusable`` rows keep the full-set solution so callers can
+        apply their own trust policy.
+        """
+        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
+        design, rhs = build_difference_systems(positions, corrected)
+        diag = corrected[:, 1:] ** 2
+        scale = corrected[:, 0] ** 2
+        try:
+            solutions, norms = batched_gls_solve_diag_rank1(design, rhs, diag, scale)
+        except EstimationError as exc:
+            raise EstimationError(
+                "a batch epoch has degenerate geometry; solve epochs "
+                "individually to identify it"
+            ) from exc
+
+        n = len(epochs)
+        m = epochs[0].satellite_count
+        if m < 5:
+            record = FdeRecord.unchecked(n)
+            self._count(record)
+            return solutions, record
+
+        sigma = self._config.sigma_meters
+        statistics = (norms / sigma) ** 2
+        threshold = chi_square_quantile(1.0 - self._config.p_false_alarm, m - 4)
+        flagged = statistics > threshold
+
+        statuses = np.where(flagged, STATUS_UNUSABLE, STATUS_PASSED).astype(np.int8)
+        thresholds = np.full(n, threshold)
+        excluded = np.full(n, NO_EXCLUSION, dtype=np.int32)
+
+        if self._config.exclude and m >= 6 and np.any(flagged):
+            registry = get_registry()
+            started = time.perf_counter() if registry.enabled else 0.0
+            self._exclude_flagged(
+                np.flatnonzero(flagged),
+                epochs,
+                positions,
+                corrected,
+                solutions,
+                statuses,
+                statistics,
+                thresholds,
+                excluded,
+            )
+            if registry.enabled:
+                registry.histogram(
+                    "repro_integrity_exclusion_seconds",
+                    "Leave-one-out exclusion latency per flagged batch.",
+                    buckets=_EXCLUSION_LATENCY_BUCKETS,
+                ).observe(time.perf_counter() - started)
+
+        record = FdeRecord(
+            statuses=statuses,
+            statistics=statistics,
+            thresholds=thresholds,
+            excluded_prns=excluded,
+        )
+        self._count(record)
+        return solutions, record
+
+    # ------------------------------------------------------------------
+    def _exclude_flagged(
+        self,
+        flagged_idx: np.ndarray,
+        epochs: Sequence[ObservationEpoch],
+        positions: np.ndarray,
+        corrected: np.ndarray,
+        solutions: np.ndarray,
+        statuses: np.ndarray,
+        statistics: np.ndarray,
+        thresholds: np.ndarray,
+        excluded: np.ndarray,
+    ) -> None:
+        """Stacked leave-one-out exclusion; mutates the result arrays.
+
+        All m candidate subsets of all F flagged epochs become one
+        ``(F*m, m-1)``-satellite stack.  Rebuilding each subset's
+        difference system from its surviving satellites handles both
+        drop cases uniformly: dropping a non-base satellite deletes
+        one row (base unchanged), dropping the base promotes satellite
+        1 — exactly the subsets the scalar monitor's first-satellite
+        base selection produces.
+        """
+        f = flagged_idx.size
+        m = positions.shape[1]
+        # keep[k] = all satellite columns except k.
+        keep = np.array(
+            [[j for j in range(m) if j != k] for k in range(m)], dtype=int
+        )  # (m, m-1)
+        cand_positions = positions[flagged_idx][:, keep, :].reshape(f * m, m - 1, 3)
+        cand_corrected = corrected[flagged_idx][:, keep].reshape(f * m, m - 1)
+
+        sub_design, sub_rhs = build_difference_systems(cand_positions, cand_corrected)
+        sub_diag = cand_corrected[:, 1:] ** 2
+        sub_scale = cand_corrected[:, 0] ** 2
+        try:
+            sub_solutions, sub_norms = batched_gls_solve_diag_rank1(
+                sub_design, sub_rhs, sub_diag, sub_scale
+            )
+        except EstimationError:
+            # One degenerate candidate poisons the stacked solve; fall
+            # back to per-candidate solves, pricing degenerate subsets
+            # out of the selection (mirrors the scalar monitor skipping
+            # subsets its solver rejects).
+            sub_solutions = np.full((f * m, 3), np.nan)
+            sub_norms = np.full(f * m, np.inf)
+            for i in range(f * m):
+                try:
+                    sub_solutions[i], sub_norms[i] = gls_solve_diag_rank1(
+                        sub_design[i], sub_rhs[i], sub_diag[i], sub_scale[i]
+                    )
+                except EstimationError:
+                    continue
+
+        sigma = self._config.sigma_meters
+        sub_threshold = chi_square_quantile(
+            1.0 - self._config.p_false_alarm, m - 5
+        )
+        sub_stats = ((sub_norms / sigma) ** 2).reshape(f, m)
+        # Normalized margins; non-passing candidates priced out so
+        # argmin's first-minimum semantics give the keep-first tie-break.
+        margins = sub_stats / sub_threshold
+        margins = np.where(margins <= 1.0, margins, np.inf)
+        best_k = np.argmin(margins, axis=1)
+        rows = np.arange(f)
+        has_pass = np.isfinite(margins[rows, best_k])
+        if not np.any(has_pass):
+            return
+
+        repaired_rows = rows[has_pass]
+        stream_rows = flagged_idx[repaired_rows]
+        chosen = best_k[repaired_rows]
+        statuses[stream_rows] = STATUS_REPAIRED
+        statistics[stream_rows] = sub_stats[repaired_rows, chosen]
+        thresholds[stream_rows] = sub_threshold
+        solutions[stream_rows] = sub_solutions.reshape(f, m, 3)[repaired_rows, chosen]
+        # PRNs only for the epochs that actually repaired — keeps the
+        # python-object walk off the fault-free path.
+        for row, k in zip(stream_rows, chosen):
+            excluded[row] = epochs[int(row)].observations[int(k)].prn
+
+    # ------------------------------------------------------------------
+    def _count(self, record: FdeRecord) -> None:
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        counter = registry.counter(
+            "repro_integrity_fde_epochs_total",
+            "Epochs screened by batch FDE, by verdict.",
+            labels=("status",),
+        )
+        for name, count in record.counts().items():
+            if count:
+                counter.labels(status=name).inc(count)

@@ -1,0 +1,281 @@
+"""Cross-epoch satellite health memory.
+
+Batch FDE is stateless: a satellite with a persistent fault (a stuck
+clock, a bad ephemeris upload) is re-detected from scratch every
+epoch, paying the exclusion search each time and briefly polluting
+every solve it enters.  :class:`SatelliteHealthTracker` adds the
+memory: satellites excluded repeatedly are *quarantined* — pre-excluded
+cheaply at admission, before any solving — then re-admitted through a
+watched *probation* with exponential reinstatement backoff so a
+genuinely flapping satellite settles into long quarantines instead of
+oscillating in and out of the solution (flap suppression).
+
+State machine (per PRN)::
+
+    healthy ──exclusion──▶ suspect ──threshold in window──▶ quarantined
+       ▲                                                        │
+       │                                              quarantine expires
+       │                                                        ▼
+       └────── probation_epochs clean epochs ────────── probation
+                                                                │
+                                                 any exclusion  │
+                                                                ▼
+                                             quarantined (backoff × longer)
+
+Time is the *admission counter*, not wall time: the tracker advances
+one tick per :meth:`admit` call, so replayed streams behave
+identically to live ones and tests are deterministic.
+
+The tracker is intentionally solver-agnostic — it consumes exclusion
+events from any source (batch FDE verdicts, scalar RAIM results) and
+is shared by :class:`~repro.core.receiver.GpsReceiver` and the async
+service's circuit breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional, Sequence, Tuple
+from collections import deque
+
+from repro.errors import ConfigurationError
+from repro.telemetry import get_registry
+
+#: The four externally visible per-PRN states.
+HEALTH_STATES: Tuple[str, ...] = ("healthy", "suspect", "quarantined", "probation")
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tuning for :class:`SatelliteHealthTracker`.
+
+    Attributes
+    ----------
+    window_epochs:
+        Sliding window (in admitted epochs) over which exclusions are
+        counted toward quarantine.
+    exclusion_threshold:
+        Exclusions within the window that trigger quarantine.  The
+        default of 3 tolerates isolated false exclusions (a noisy epoch
+        scapegoating a healthy satellite) without quarantining.
+    quarantine_epochs:
+        Base quarantine duration; doubled (``backoff_factor``) on each
+        re-quarantine, capped at ``max_quarantine_epochs``.
+    probation_epochs:
+        Clean epochs a reinstated satellite must serve before it is
+        healthy again.  A single exclusion during probation
+        re-quarantines immediately.
+    backoff_factor, max_quarantine_epochs:
+        Reinstatement backoff: quarantine ``i`` lasts
+        ``quarantine_epochs * backoff_factor**(i-1)`` epochs, capped.
+    min_satellites:
+        Admission floor: pre-exclusion never leaves an epoch with
+        fewer than this many satellites (5 keeps the epoch
+        RAIM-testable; the worst offenders stay excluded, the rest are
+        readmitted and left to per-epoch FDE).
+    """
+
+    window_epochs: int = 50
+    exclusion_threshold: int = 3
+    quarantine_epochs: int = 200
+    probation_epochs: int = 20
+    backoff_factor: float = 2.0
+    max_quarantine_epochs: int = 5000
+    min_satellites: int = 5
+
+    def __post_init__(self) -> None:
+        if self.window_epochs < 1:
+            raise ConfigurationError("window_epochs must be at least 1")
+        if self.exclusion_threshold < 1:
+            raise ConfigurationError("exclusion_threshold must be at least 1")
+        if self.quarantine_epochs < 1:
+            raise ConfigurationError("quarantine_epochs must be at least 1")
+        if self.probation_epochs < 1:
+            raise ConfigurationError("probation_epochs must be at least 1")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be at least 1.0")
+        if self.max_quarantine_epochs < self.quarantine_epochs:
+            raise ConfigurationError(
+                "max_quarantine_epochs must be at least quarantine_epochs"
+            )
+        if self.min_satellites < 4:
+            raise ConfigurationError("min_satellites must be at least 4")
+
+    def to_dict(self) -> Dict:
+        return {
+            "window_epochs": self.window_epochs,
+            "exclusion_threshold": self.exclusion_threshold,
+            "quarantine_epochs": self.quarantine_epochs,
+            "probation_epochs": self.probation_epochs,
+            "backoff_factor": self.backoff_factor,
+            "max_quarantine_epochs": self.max_quarantine_epochs,
+            "min_satellites": self.min_satellites,
+        }
+
+
+class _PrnRecord:
+    """Mutable per-PRN bookkeeping (internal)."""
+
+    __slots__ = (
+        "exclusion_epochs",
+        "quarantined",
+        "quarantine_until",
+        "strikes",
+        "probation_left",
+    )
+
+    def __init__(self) -> None:
+        self.exclusion_epochs: Deque[int] = deque()
+        self.quarantined = False
+        self.quarantine_until = 0
+        self.strikes = 0  # lifetime quarantine count, drives backoff
+        self.probation_left = 0  # > 0 means on probation
+
+
+class SatelliteHealthTracker:
+    """Exclusion memory with probation, backoff, and flap suppression.
+
+    Not thread-safe: the service serializes access through its worker
+    thread, and the receiver is single-threaded by construction.
+    """
+
+    def __init__(self, config: Optional[HealthConfig] = None) -> None:
+        self._config = config if config is not None else HealthConfig()
+        self._records: Dict[int, _PrnRecord] = {}
+        self._epoch = 0
+
+    @property
+    def config(self) -> HealthConfig:
+        return self._config
+
+    @property
+    def epoch(self) -> int:
+        """Admission-counter time: epochs admitted so far."""
+        return self._epoch
+
+    # ------------------------------------------------------------------
+    def admit(self, prns: Sequence[int]) -> Tuple[int, ...]:
+        """Advance one epoch; return the PRNs to pre-exclude from it.
+
+        Quarantines whose sentence expired flip to probation here.
+        The returned PRNs are currently quarantined members of
+        ``prns``, trimmed (worst strikes first survive) so the epoch
+        keeps at least ``min_satellites`` satellites.
+        """
+        self._epoch += 1
+        candidates = []
+        for prn in prns:
+            record = self._records.get(prn)
+            if record is None or not record.quarantined:
+                continue
+            if self._epoch >= record.quarantine_until:
+                record.quarantined = False
+                record.probation_left = self._config.probation_epochs
+                record.exclusion_epochs.clear()
+                continue
+            candidates.append(prn)
+        if not candidates:
+            return ()
+        # Admission floor: keep the epoch solvable and testable.  The
+        # most-struck satellites stay excluded; the tie-break on PRN
+        # keeps trimming deterministic.
+        budget = len(prns) - self._config.min_satellites
+        if budget <= 0:
+            return ()
+        if len(candidates) > budget:
+            candidates.sort(key=lambda prn: (-self._records[prn].strikes, prn))
+            candidates = candidates[:budget]
+        return tuple(sorted(candidates))
+
+    # ------------------------------------------------------------------
+    def record_exclusion(self, prn: int) -> None:
+        """An FDE/RAIM exclusion of ``prn`` at the current epoch."""
+        record = self._records.setdefault(prn, _PrnRecord())
+        if record.quarantined:
+            return  # already serving; nothing new to learn
+        if record.probation_left > 0:
+            # Probation is one-strike: the satellite already proved
+            # flappy, so a single exclusion re-quarantines with backoff.
+            record.probation_left = 0
+            self._quarantine(record)
+            return
+        record.exclusion_epochs.append(self._epoch)
+        self._prune_window(record)
+        if len(record.exclusion_epochs) >= self._config.exclusion_threshold:
+            record.exclusion_epochs.clear()
+            self._quarantine(record)
+
+    def record_clean(self, prns: Iterable[int]) -> None:
+        """Satellites that served in a passed (un-excluded) epoch."""
+        for prn in prns:
+            record = self._records.get(prn)
+            if record is None or record.probation_left <= 0:
+                continue
+            record.probation_left -= 1
+            # Probation served; strikes persist so the *next*
+            # quarantine is still longer (flap suppression).
+
+    # ------------------------------------------------------------------
+    def state(self, prn: int) -> str:
+        """The PRN's current state name (``HEALTH_STATES``)."""
+        record = self._records.get(prn)
+        if record is None:
+            return "healthy"
+        if record.quarantined:
+            return "quarantined"
+        if record.probation_left > 0:
+            return "probation"
+        self._prune_window(record)
+        if record.exclusion_epochs:
+            return "suspect"
+        return "healthy"
+
+    def state_counts(self) -> Dict[str, int]:
+        """``{state: PRNs}`` over every PRN the tracker has seen."""
+        counts = {name: 0 for name in HEALTH_STATES}
+        for prn in self._records:
+            counts[self.state(prn)] += 1
+        return counts
+
+    def quarantined_prns(self) -> Tuple[int, ...]:
+        """Currently quarantined PRNs, sorted."""
+        return tuple(
+            sorted(prn for prn, rec in self._records.items() if rec.quarantined)
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready snapshot for diagnostics and chaos artifacts."""
+        return {
+            "epoch": self._epoch,
+            "state_counts": self.state_counts(),
+            "quarantined_prns": list(self.quarantined_prns()),
+            "config": self._config.to_dict(),
+        }
+
+    def publish(self) -> None:
+        """Push per-state PRN counts to the telemetry gauge."""
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        gauge = registry.gauge(
+            "repro_integrity_tracker_prns",
+            "Tracked PRNs by health state.",
+            labels=("state",),
+        )
+        for name, count in self.state_counts().items():
+            gauge.labels(state=name).set(count)
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, record: _PrnRecord) -> None:
+        record.strikes += 1
+        duration = self._config.quarantine_epochs * (
+            self._config.backoff_factor ** (record.strikes - 1)
+        )
+        duration = min(duration, float(self._config.max_quarantine_epochs))
+        record.quarantined = True
+        record.quarantine_until = self._epoch + int(duration)
+
+    def _prune_window(self, record: _PrnRecord) -> None:
+        horizon = self._epoch - self._config.window_epochs
+        while record.exclusion_epochs and record.exclusion_epochs[0] <= horizon:
+            record.exclusion_epochs.popleft()

@@ -26,6 +26,20 @@ to exactly one structured result; the degradation ladder runs
 
 and only a request whose *own* epoch defeats every rung comes back
 ``status="failed"`` — its batchmates still succeed.
+
+With ``config.integrity`` set the ladder gains a fault rung *inside*
+step 1: the batched solve runs through
+:class:`~repro.integrity.fde.BatchFde`, so a spiked pseudorange is
+detected, its satellite excluded, and the epoch re-solved within the
+same batch — the requester sees ``status="ok"`` with a ``repaired``
+verdict naming the excluded PRN.  A
+:class:`~repro.integrity.health.SatelliteHealthTracker` remembers
+exclusions across requests and pre-excludes persistently faulty
+satellites at admission (the circuit breaker), so a satellite with a
+stuck fault stops costing an exclusion search per epoch.  Epochs a
+detected fault leaves unrepairable come back ``status="failed"`` with
+an ``unusable`` verdict — the service never serves a fix it knows is
+bad.
 """
 
 from __future__ import annotations
@@ -38,6 +52,8 @@ import numpy as np
 
 from repro.engine import PositioningEngine
 from repro.errors import ReproError, ServiceError
+from repro.integrity.fde import EpochVerdict
+from repro.integrity.health import SatelliteHealthTracker
 from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.service.batcher import Flush, MicroBatcher
 from repro.service.types import ServiceConfig, ServiceResult
@@ -95,10 +111,13 @@ class _MetricHandles:
         "latency",
         "batch_size",
         "queue_depth",
+        "preexclusions",
         "_requests_family",
         "_batches_family",
+        "_integrity_family",
         "_request_children",
         "_batch_children",
+        "_integrity_children",
     )
 
     def __init__(self, registry) -> None:
@@ -113,6 +132,15 @@ class _MetricHandles:
             "Batches by flush reason.",
             labels=("reason",),
         )
+        self._integrity_family = registry.counter(
+            "repro_service_integrity_verdicts_total",
+            "FDE verdicts on served epochs.",
+            labels=("status",),
+        )
+        self.preexclusions = registry.counter(
+            "repro_service_integrity_preexclusions_total",
+            "Quarantined satellites pre-excluded at admission.",
+        ).labels()
         self.latency = registry.histogram(
             "repro_service_request_latency_seconds",
             "Submit-to-resolve latency.",
@@ -129,6 +157,7 @@ class _MetricHandles:
         ).labels()
         self._request_children: dict = {}
         self._batch_children: dict = {}
+        self._integrity_children: dict = {}
 
     def request_child(self, status: str):
         child = self._request_children.get(status)
@@ -144,6 +173,13 @@ class _MetricHandles:
             self._batch_children[reason] = child
         return child
 
+    def integrity_child(self, status: str):
+        child = self._integrity_children.get(status)
+        if child is None:
+            child = self._integrity_family.labels(status=status)
+            self._integrity_children[status] = child
+        return child
+
 
 class PositioningService:
     """Micro-batching request server over the positioning engine.
@@ -157,20 +193,34 @@ class PositioningService:
             )
 
     ``engine`` may be injected for tests; by default it is built from
-    the config's solver via :meth:`PositioningEngine.from_config`.
+    the config's solver via :meth:`PositioningEngine.from_config`
+    (with the FDE gate armed when ``config.integrity`` is set).
+    ``health_tracker`` may be injected to share satellite-health state
+    with other consumers (a :class:`~repro.core.receiver.GpsReceiver`,
+    another service); by default one is built from ``config.health``
+    when the integrity rung is armed.
     """
 
     def __init__(
         self,
         config: Optional[ServiceConfig] = None,
         engine: Optional[PositioningEngine] = None,
+        health_tracker: Optional[SatelliteHealthTracker] = None,
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
         self._engine = (
             engine
             if engine is not None
-            else PositioningEngine.from_config(self._config.solver)
+            else PositioningEngine.from_config(
+                self._config.solver, fde_config=self._config.integrity
+            )
         )
+        if health_tracker is not None:
+            self._tracker: Optional[SatelliteHealthTracker] = health_tracker
+        elif self._config.integrity is not None:
+            self._tracker = SatelliteHealthTracker(self._config.health)
+        else:
+            self._tracker = None
         solver_config = self._config.solver
         self._scalar = solver_config.build_solver()
         self._nr_scalar = (
@@ -199,6 +249,11 @@ class PositioningService:
     def config(self) -> ServiceConfig:
         """The frozen tuning this service runs with."""
         return self._config
+
+    @property
+    def health_tracker(self) -> Optional[SatelliteHealthTracker]:
+        """The satellite-health circuit breaker, when integrity is armed."""
+        return self._tracker
 
     @property
     def running(self) -> bool:
@@ -394,7 +449,7 @@ class PositioningService:
 
         resolved_at = loop.time()
         for request, outcome in zip(live, outcomes):
-            status, position, bias, solver, error = outcome
+            status, position, bias, solver, error, verdict = outcome
             if (
                 request.deadline is not None
                 and resolved_at >= request.deadline
@@ -404,6 +459,7 @@ class PositioningService:
                 # answer existed — it helps operators size timeouts).
                 status, position, bias, solver = "timeout", None, None, None
                 error = "deadline expired during batch solve"
+                verdict = None
             self._finish(
                 request,
                 ServiceResult(
@@ -415,6 +471,7 @@ class PositioningService:
                     batch_size=batch_size,
                     wait_seconds=max(0.0, solve_started - request.submitted_at),
                     solve_seconds=solve_seconds,
+                    integrity=verdict,
                 ),
                 handles,
                 resolved_at,
@@ -438,9 +495,52 @@ class PositioningService:
                 biases[index] = 0.0
         return biases
 
+    def _admit(self, epochs: List[ObservationEpoch]) -> List[ObservationEpoch]:
+        """Circuit breaker: pre-exclude quarantined satellites.
+
+        One :meth:`~repro.integrity.health.SatelliteHealthTracker.admit`
+        tick per epoch; the tracker's admission floor guarantees the
+        trimmed epoch stays solvable and RAIM-testable.
+        """
+        assert self._tracker is not None
+        admitted: List[ObservationEpoch] = []
+        removed = 0
+        for epoch in epochs:
+            banned = self._tracker.admit(epoch.prns)
+            if banned:
+                banned_set = set(banned)
+                epoch = epoch.with_observations(
+                    obs for obs in epoch.observations if obs.prn not in banned_set
+                )
+                removed += len(banned_set)
+            admitted.append(epoch)
+        if removed:
+            handles = self._telemetry_handles()
+            if handles is not None:
+                handles.preexclusions.inc(removed)
+        return admitted
+
+    def _observe_verdict(
+        self, epoch: ObservationEpoch, verdict: EpochVerdict
+    ) -> None:
+        """Feed one verdict to the health tracker and telemetry."""
+        if self._tracker is not None:
+            if verdict.status == "repaired":
+                self._tracker.record_exclusion(verdict.excluded_prn)
+                self._tracker.record_clean(
+                    prn for prn in epoch.prns if prn != verdict.excluded_prn
+                )
+            elif verdict.status == "passed":
+                self._tracker.record_clean(epoch.prns)
+        handles = self._telemetry_handles()
+        if handles is not None:
+            handles.integrity_child(verdict.status).inc()
+
     def _solve_batch(self, live: Sequence[_PendingRequest]) -> List[tuple]:
-        """(status, position, bias, solver, error) per live request."""
+        """(status, position, bias, solver, error, verdict) per live request."""
         epochs = [request.epoch for request in live]
+        if self._tracker is not None:
+            epochs = self._admit(epochs)
         algorithm = self._engine.algorithm
         try:
             stream = self._engine.solve_stream(
@@ -454,33 +554,56 @@ class PositioningService:
             # per-epoch so every request gets its own verdict.
             return [self._solve_scalar(request) for request in live]
 
+        fde = stream.diagnostics.fde
         screened = set(stream.diagnostics.invalid_indices) | set(
             stream.diagnostics.dropped_indices
         )
         outcomes: List[tuple] = []
         for index, request in enumerate(live):
             if index in screened:
-                detail = epoch_integrity_error(request.epoch) or (
+                detail = epoch_integrity_error(epochs[index]) or (
                     "epoch failed batch screening"
                 )
-                outcomes.append(("invalid", None, None, None, detail))
-            else:
-                outcomes.append(
-                    (
-                        "ok",
-                        stream.positions[index],
-                        float(stream.clock_biases[index]),
-                        algorithm,
-                        None,
+                outcomes.append(("invalid", None, None, None, detail, None))
+                continue
+            verdict = None
+            if fde is not None:
+                verdict = fde.verdict(index)
+                self._observe_verdict(epochs[index], verdict)
+                if verdict.status == "unusable":
+                    outcomes.append(
+                        (
+                            "failed",
+                            None,
+                            None,
+                            None,
+                            "integrity: fault detected (statistic "
+                            f"{verdict.test_statistic:.1f} > threshold "
+                            f"{verdict.threshold:.1f}) and no single-satellite "
+                            "exclusion repairs the epoch",
+                            verdict,
+                        )
                     )
+                    continue
+            outcomes.append(
+                (
+                    "ok",
+                    stream.positions[index],
+                    float(stream.clock_biases[index]),
+                    algorithm,
+                    None,
+                    verdict,
                 )
+            )
+        if fde is not None and self._tracker is not None:
+            self._tracker.publish()
         return outcomes
 
     def _solve_scalar(self, request: _PendingRequest) -> tuple:
         """Degradation rungs for one epoch: scalar primary, then NR."""
         detail = epoch_integrity_error(request.epoch)
         if detail is not None:
-            return ("invalid", None, None, None, detail)
+            return ("invalid", None, None, None, detail, None)
         algorithm = self._config.solver.algorithm
         solver = self._scalar
         if request.bias_meters is not None:
@@ -497,10 +620,11 @@ class PositioningService:
                 fix.clock_bias_meters,
                 f"{algorithm}/scalar",
                 None,
+                None,
             )
         except ReproError as primary_error:
             if self._nr_scalar is None:
-                return ("failed", None, None, None, str(primary_error))
+                return ("failed", None, None, None, str(primary_error), None)
             try:
                 fix = self._nr_scalar.solve(request.epoch)
             except ReproError as fallback_error:
@@ -510,11 +634,13 @@ class PositioningService:
                     None,
                     None,
                     f"{algorithm}: {primary_error}; nr fallback: {fallback_error}",
+                    None,
                 )
             return (
                 "ok",
                 fix.position,
                 fix.clock_bias_meters,
                 f"{algorithm}/nr-fallback",
+                None,
                 None,
             )

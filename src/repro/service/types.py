@@ -18,6 +18,8 @@ import numpy as np
 
 from repro.api import BATCH_ALGORITHMS, SolverConfig
 from repro.errors import ConfigurationError
+from repro.integrity.fde import EpochVerdict, FdeConfig
+from repro.integrity.health import HealthConfig
 
 #: Every status a :class:`ServiceResult` can carry.
 RESULT_STATUSES: Tuple[str, ...] = (
@@ -62,6 +64,22 @@ class ServiceConfig:
         NR.
     retry_after_seconds:
         Backoff hint attached to rejected results.
+    integrity:
+        When set (an :class:`~repro.integrity.fde.FdeConfig`), every
+        batched solve runs through the FDE rung: faults are detected,
+        the faulty satellite is excluded and the epoch re-solved
+        *within the batch*, and each result carries a structured
+        verdict.  Epochs a detected fault leaves unrepaired come back
+        ``status="failed"`` rather than serving a known-bad fix.
+        Requires ``solver.algorithm="dlg"`` (the only batch path with
+        chi-square-scaled residuals).
+    health:
+        Tuning for the integrity circuit breaker
+        (:class:`~repro.integrity.health.SatelliteHealthTracker`):
+        satellites excluded repeatedly get quarantined and are
+        pre-excluded from incoming epochs before any solving.  Only
+        meaningful with ``integrity`` set; ``None`` uses the tracker's
+        defaults.
     """
 
     solver: SolverConfig = field(default_factory=SolverConfig)
@@ -71,12 +89,24 @@ class ServiceConfig:
     default_timeout_seconds: Optional[float] = None
     nr_fallback: bool = True
     retry_after_seconds: float = 0.05
+    integrity: Optional[FdeConfig] = None
+    health: Optional[HealthConfig] = None
 
     def __post_init__(self) -> None:
         if self.solver.algorithm not in BATCH_ALGORITHMS:
             raise ConfigurationError(
                 f"service solver must be batchable ({'/'.join(BATCH_ALGORITHMS)}), "
                 f"got {self.solver.algorithm!r}"
+            )
+        if self.integrity is not None and self.solver.algorithm != "dlg":
+            raise ConfigurationError(
+                "the integrity rung needs chi-square-scaled residuals, which "
+                f"only DLG provides; got solver.algorithm={self.solver.algorithm!r}"
+            )
+        if self.health is not None and self.integrity is None:
+            raise ConfigurationError(
+                "health tracking is driven by integrity verdicts; set "
+                "integrity=FdeConfig(...) alongside health"
             )
         if self.max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -122,6 +152,12 @@ class ServiceResult:
         Time spent queued before dispatch, and inside the solve that
         answered (the whole batch's solve time — requests in one batch
         share it).
+    integrity:
+        The FDE verdict for this request's epoch
+        (:class:`~repro.integrity.fde.EpochVerdict`) when the service
+        runs with the integrity rung armed, else ``None``.  A
+        ``repaired`` verdict names the excluded PRN; an ``unusable``
+        one accompanies ``status="failed"``.
     """
 
     status: str
@@ -133,6 +169,7 @@ class ServiceResult:
     batch_size: int = 0
     wait_seconds: float = 0.0
     solve_seconds: float = 0.0
+    integrity: Optional[EpochVerdict] = None
 
     def __post_init__(self) -> None:
         if self.status not in RESULT_STATUSES:
@@ -165,4 +202,7 @@ class ServiceResult:
             "batch_size": self.batch_size,
             "wait_seconds": self.wait_seconds,
             "solve_seconds": self.solve_seconds,
+            "integrity": (
+                None if self.integrity is None else self.integrity.to_dict()
+            ),
         }

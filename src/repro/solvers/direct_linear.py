@@ -263,7 +263,8 @@ class DLGSolver(_DirectLinearBase):
     residual norm, which the eq. 4-26 covariance scales back to
     pseudorange-domain units — chi-square testable with ``m - 4``
     degrees of freedom, so DLG plugs directly into
-    :class:`~repro.core.raim.RaimMonitor`.  (DLO's residual norm stays
+    :class:`~repro.integrity.raim.RaimMonitor`.  (DLO's residual norm
+    stays
     in the raw differenced domain, ~range-times-larger.)
     """
 

@@ -14,8 +14,19 @@ The subsystem that tests the rest of the library *against itself*:
   translation equivariance, and clock-shift linearity per path;
 * :mod:`repro.validation.fuzzer` — the seeded budget-driven harness
   behind ``repro-gps fuzz``, persisting failures as replayable JSON
-  artifacts.
+  artifacts;
+* :mod:`repro.validation.fdechaos` — the chaos loop behind
+  ``repro-gps fuzz --fde``: seeded pseudorange spikes against the
+  batch FDE gate, graded on injected-PRN identification and realized
+  false-alarm rate.
 """
+
+from repro.validation.fdechaos import (
+    FdeChaosCase,
+    FdeChaosConfig,
+    FdeChaosReport,
+    run_fde_chaos,
+)
 
 from repro.validation.faults import (
     EXPECT_ANSWERED,
@@ -76,6 +87,10 @@ __all__ = [
     "PseudorangeSpike",
     "SatelliteDropout",
     "fault_from_spec",
+    "FdeChaosCase",
+    "FdeChaosConfig",
+    "FdeChaosReport",
+    "run_fde_chaos",
     "FUZZ_FAILURE_KINDS",
     "FuzzCaseResult",
     "FuzzConfig",

@@ -1,0 +1,329 @@
+"""Chaos-testing the batch FDE gate: seeded spikes, measured catch rate.
+
+PR 3's fault injectors prove that corrupted epochs *reach* the
+solvers; this module closes the loop with PR 5's integrity layer by
+measuring whether the batch FDE gate actually *catches* them.  A run
+is a pure function of its :class:`FdeChaosConfig`: scenarios are drawn
+from :class:`~repro.validation.scenarios.ScenarioGenerator` at
+consecutive seeds, a seed-derived coin decides which epochs get a
+:class:`~repro.validation.faults.PseudorangeSpike`, and the whole
+population is pushed through one FDE-armed
+:class:`~repro.engine.PositioningEngine` stream solve — the exact
+code path the service's integrity rung runs.
+
+The report grades two things, and both are release gates
+(``repro-gps fuzz --fde`` exits nonzero when either fails):
+
+* **identification** — of the faulted epochs, how many came back
+  ``repaired`` with *the injected satellite* excluded.  Detecting a
+  fault but excluding the wrong satellite is counted against the
+  gate: a wrong exclusion serves a fix that still contains the fault.
+* **false alarms** — of the clean epochs, how many were flagged at
+  all.  The chi-square gate is built to a ``p_false_alarm`` budget;
+  chaos verifies the realized rate stays within a slack factor of it
+  (the scenarios' noise is drawn at exactly ``sigma_meters``, so the
+  test statistic is genuinely chi-square and the budget is testable).
+
+The injected satellite is recovered by diffing the clean and faulted
+pseudoranges rather than by instrumenting the injector — the fault
+profile stays a black box, exactly as replayed fuzz artifacts use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine import PositioningEngine
+from repro.errors import ConfigurationError
+from repro.integrity import FdeConfig
+from repro.validation.faults import PseudorangeSpike
+from repro.validation.fuzzer import _FAULT_SEED_OFFSET
+from repro.validation.scenarios import ScenarioConfig, ScenarioGenerator
+
+
+@dataclass(frozen=True)
+class FdeChaosConfig:
+    """Everything one chaos run depends on (and its verdict records).
+
+    Attributes
+    ----------
+    scenarios:
+        Population size; faulted/clean split is decided per seed.
+    start_seed:
+        First scenario seed (seeds advance consecutively, so a run is
+        fully described by ``(start_seed, scenarios)``).
+    spike_meters:
+        Magnitude of the injected pseudorange spike.  The headline
+        gate is calibrated for ``>= 50`` m faults; smaller spikes sink
+        into the noise floor and the identification floor stops being
+        meaningful.
+    fault_rate:
+        Per-seed probability of injecting a spike (the seed-derived
+        coin of the fuzz harness, so faulted populations match between
+        ``fuzz --inject spike`` and ``fuzz --fde`` at equal seeds).
+    sigma_meters, p_false_alarm:
+        The FDE gate under test *and* the scenario noise level —
+        keeping them equal makes the false-alarm budget a testable
+        statement instead of a tuning accident.
+    min_satellites, max_satellites:
+        Constellation-size band.  The identification gate assumes
+        ``m >= 6`` (exclusion needs a testable subset).
+    max_flatness:
+        Geometry-degradation ceiling.  Kept moderate by default:
+        near-coplanar skies blunt any residual test's power, which is
+        a property of the geometry, not a bug in the gate.
+    identification_floor:
+        Minimum fraction of faulted epochs repaired with the injected
+        PRN excluded.
+    false_alarm_slack:
+        Allowed multiple of ``p_false_alarm`` for the realized clean
+        flag rate.
+    """
+
+    scenarios: int = 400
+    start_seed: int = 0
+    spike_meters: float = 75.0
+    fault_rate: float = 0.5
+    sigma_meters: float = 3.0
+    p_false_alarm: float = 0.01
+    min_satellites: int = 6
+    max_satellites: int = 12
+    max_flatness: float = 0.5
+    identification_floor: float = 0.95
+    false_alarm_slack: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.scenarios < 1:
+            raise ConfigurationError("scenarios must be at least 1")
+        if not np.isfinite(self.spike_meters) or self.spike_meters <= 0:
+            raise ConfigurationError("spike_meters must be positive and finite")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ConfigurationError("fault_rate must be in [0, 1]")
+        if self.sigma_meters <= 0:
+            raise ConfigurationError("sigma_meters must be positive")
+        if not 0.0 < self.p_false_alarm < 1.0:
+            raise ConfigurationError("p_false_alarm must be in (0, 1)")
+        if self.min_satellites < 6:
+            raise ConfigurationError(
+                "chaos identification needs exclusion redundancy; "
+                "min_satellites must be >= 6"
+            )
+        if self.max_satellites < self.min_satellites:
+            raise ConfigurationError("max_satellites must be >= min_satellites")
+        if not 0.0 < self.identification_floor <= 1.0:
+            raise ConfigurationError("identification_floor must be in (0, 1]")
+        if self.false_alarm_slack < 1.0:
+            raise ConfigurationError("false_alarm_slack must be >= 1")
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form, embedded in the verdict artifact."""
+        return {
+            "scenarios": self.scenarios,
+            "start_seed": self.start_seed,
+            "spike_meters": self.spike_meters,
+            "fault_rate": self.fault_rate,
+            "sigma_meters": self.sigma_meters,
+            "p_false_alarm": self.p_false_alarm,
+            "min_satellites": self.min_satellites,
+            "max_satellites": self.max_satellites,
+            "max_flatness": self.max_flatness,
+            "identification_floor": self.identification_floor,
+            "false_alarm_slack": self.false_alarm_slack,
+        }
+
+
+@dataclass(frozen=True)
+class FdeChaosCase:
+    """One epoch the gate got wrong (kept small: seed + what happened)."""
+
+    seed: int
+    injected_prn: Optional[int]
+    status: str
+    excluded_prn: Optional[int]
+
+    def to_dict(self) -> Dict:
+        return {
+            "seed": self.seed,
+            "injected_prn": self.injected_prn,
+            "status": self.status,
+            "excluded_prn": self.excluded_prn,
+        }
+
+
+@dataclass(frozen=True)
+class FdeChaosReport:
+    """Aggregate verdict of one chaos run.
+
+    ``identified`` counts faulted epochs repaired with the injected
+    PRN excluded; ``misidentified`` those repaired around the *wrong*
+    satellite; ``detected_unrepaired`` those flagged but left
+    ``unusable``; ``missed`` those the gate passed outright.  Clean
+    epochs flagged in any way are ``false_alarms``.
+    """
+
+    config: FdeChaosConfig
+    faulted: int
+    identified: int
+    misidentified: int
+    detected_unrepaired: int
+    missed: int
+    clean: int
+    false_alarms: int
+    mistakes: Tuple[FdeChaosCase, ...]
+
+    @property
+    def identification_rate(self) -> float:
+        """Fraction of faulted epochs repaired around the injected PRN."""
+        return self.identified / self.faulted if self.faulted else 1.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        """Fraction of clean epochs flagged."""
+        return self.false_alarms / self.clean if self.clean else 0.0
+
+    @property
+    def identification_ok(self) -> bool:
+        """Whether the identification gate holds."""
+        return self.identification_rate >= self.config.identification_floor
+
+    @property
+    def false_alarm_ok(self) -> bool:
+        """Whether the realized false-alarm rate is within budget."""
+        budget = self.config.false_alarm_slack * self.config.p_false_alarm
+        return self.false_alarm_rate <= budget
+
+    @property
+    def ok(self) -> bool:
+        """Whether both chaos gates hold."""
+        return self.identification_ok and self.false_alarm_ok
+
+    def to_dict(self) -> Dict:
+        """The verdict artifact ``repro-gps fuzz --fde`` persists."""
+        return {
+            "config": self.config.to_dict(),
+            "faulted": self.faulted,
+            "identified": self.identified,
+            "misidentified": self.misidentified,
+            "detected_unrepaired": self.detected_unrepaired,
+            "missed": self.missed,
+            "clean": self.clean,
+            "false_alarms": self.false_alarms,
+            "identification_rate": self.identification_rate,
+            "false_alarm_rate": self.false_alarm_rate,
+            "gates": {
+                "identification": {
+                    "floor": self.config.identification_floor,
+                    "rate": self.identification_rate,
+                    "passed": self.identification_ok,
+                },
+                "false_alarm": {
+                    "budget": self.config.false_alarm_slack
+                    * self.config.p_false_alarm,
+                    "rate": self.false_alarm_rate,
+                    "passed": self.false_alarm_ok,
+                },
+            },
+            "ok": self.ok,
+            "mistakes": [case.to_dict() for case in self.mistakes],
+        }
+
+
+def _injected_prn(clean_epoch, faulted_epoch) -> int:
+    """The PRN the spike landed on, recovered by diffing pseudoranges."""
+    for clean, faulted in zip(clean_epoch.observations, faulted_epoch.observations):
+        if faulted.pseudorange != clean.pseudorange:
+            return int(faulted.prn)
+    raise ConfigurationError("fault profile did not change any pseudorange")
+
+
+def run_fde_chaos(config: Optional[FdeChaosConfig] = None) -> FdeChaosReport:
+    """One chaos run: generate, corrupt, screen, grade.
+
+    Every scenario epoch — spiked or clean — goes through a single
+    FDE-armed :meth:`~repro.engine.PositioningEngine.solve_stream`
+    call with the exact clock biases truth dictates, so the verdicts
+    grade the gate alone, not the bias predictor.
+    """
+    config = config if config is not None else FdeChaosConfig()
+    generator = ScenarioGenerator(
+        ScenarioConfig(
+            min_satellites=config.min_satellites,
+            max_satellites=config.max_satellites,
+            noise_sigma=config.sigma_meters,
+            max_flatness=config.max_flatness,
+        )
+    )
+    spike = PseudorangeSpike(magnitude_meters=config.spike_meters)
+
+    seeds: List[int] = []
+    epochs = []
+    biases: List[float] = []
+    injected: List[Optional[int]] = []
+    for seed in range(config.start_seed, config.start_seed + config.scenarios):
+        scenario = generator.generate(seed)
+        fault_rng = np.random.default_rng(seed + _FAULT_SEED_OFFSET)
+        epoch = scenario.epoch
+        prn: Optional[int] = None
+        if config.fault_rate > 0 and float(fault_rng.random()) < config.fault_rate:
+            apply_rng = np.random.default_rng(seed + _FAULT_SEED_OFFSET + 1)
+            faulted = spike.apply(epoch, apply_rng)
+            prn = _injected_prn(epoch, faulted)
+            epoch = faulted
+        seeds.append(seed)
+        epochs.append(epoch)
+        biases.append(scenario.clock_bias_meters)
+        injected.append(prn)
+
+    engine = PositioningEngine(
+        algorithm="dlg",
+        fde_config=FdeConfig(
+            sigma_meters=config.sigma_meters,
+            p_false_alarm=config.p_false_alarm,
+        ),
+    )
+    fde = engine.solve_stream(epochs, biases=biases).diagnostics.fde
+
+    faulted = identified = misidentified = detected_unrepaired = missed = 0
+    clean = false_alarms = 0
+    mistakes: List[FdeChaosCase] = []
+    for index, prn in enumerate(injected):
+        verdict = fde.verdict(index)
+        if prn is None:
+            clean += 1
+            if verdict.status == "passed":
+                continue
+            false_alarms += 1
+        else:
+            faulted += 1
+            if verdict.status == "repaired" and verdict.excluded_prn == prn:
+                identified += 1
+                continue
+            if verdict.status == "repaired":
+                misidentified += 1
+            elif verdict.status == "unusable":
+                detected_unrepaired += 1
+            else:
+                missed += 1
+        mistakes.append(
+            FdeChaosCase(
+                seed=seeds[index],
+                injected_prn=prn,
+                status=verdict.status,
+                excluded_prn=verdict.excluded_prn,
+            )
+        )
+
+    return FdeChaosReport(
+        config=config,
+        faulted=faulted,
+        identified=identified,
+        misidentified=misidentified,
+        detected_unrepaired=detected_unrepaired,
+        missed=missed,
+        clean=clean,
+        false_alarms=false_alarms,
+        mistakes=tuple(mistakes),
+    )

@@ -134,6 +134,7 @@ class TestDiagnostics:
             "epochs_invalid": 0,
             "invalid_indices": [],
             "bucket_status": {"8": "ok"},
+            "fde": None,
         }
 
 

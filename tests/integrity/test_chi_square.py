@@ -1,0 +1,87 @@
+"""Regression tests for the chi-square quantile, exact at one dof.
+
+The dof == 1 case is RAIM's m=5 detection gate *and* every m=6
+exclusion subset's test, so it must be exact, not Wilson-Hilferty
+(whose cube-root normalization is off by several percent there).  The
+identity ``chi2_1(p) = Phi^-1((1 + p) / 2)^2`` reduces the quantile to
+Acklam's normal quantile, accurate to ~1e-9 relative — these checks
+pin that tightly against textbook table values.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.integrity import chi_square_quantile
+
+#: Exact chi-square quantiles at one degree of freedom (upper-tail
+#: probabilities RAIM actually uses).  Values from the standard normal
+#: quantile squared, 7 significant digits.
+DOF1_TABLE = (
+    (0.90, 2.705543),
+    (0.95, 3.841459),
+    (0.975, 5.023886),
+    (0.99, 6.634897),
+    (0.999, 10.827566),
+    (0.9999, 15.136705),
+)
+
+
+class TestDofOneExact:
+    @pytest.mark.parametrize("probability, expected", DOF1_TABLE)
+    def test_matches_exact_table(self, probability, expected):
+        # 1e-6 relative: far tighter than Wilson-Hilferty could pass
+        # (its dof=1 error is percent-scale), well inside Acklam's
+        # ~1e-9 accuracy.
+        assert chi_square_quantile(probability, 1) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_wilson_hilferty_would_fail_this(self):
+        # Guard the guard: the dof=1 branch must NOT be the dof>=2
+        # approximation.  Evaluate Wilson-Hilferty by hand at dof=1 and
+        # confirm it is percent-level wrong where the identity is exact.
+        import math
+
+        z = 3.090232  # Phi^-1(0.999)
+        wilson_hilferty = 1.0 * (
+            1.0 - 2.0 / 9.0 + z * math.sqrt(2.0 / 9.0)
+        ) ** 3
+        assert abs(wilson_hilferty - 10.827566) / 10.827566 > 0.01
+        assert chi_square_quantile(0.999, 1) == pytest.approx(
+            10.827566, rel=1e-6
+        )
+
+
+class TestHigherDof:
+    @pytest.mark.parametrize(
+        "probability, dof, expected",
+        [
+            (0.95, 2, 5.991),
+            (0.99, 2, 9.210),
+            (0.95, 5, 11.070),
+            (0.99, 8, 20.090),
+        ],
+    )
+    def test_wilson_hilferty_within_a_percent(self, probability, dof, expected):
+        assert chi_square_quantile(probability, dof) == pytest.approx(
+            expected, rel=0.02
+        )
+
+    def test_monotone_in_probability_and_dof(self):
+        for dof in (1, 2, 5):
+            assert chi_square_quantile(0.99, dof) > chi_square_quantile(0.95, dof)
+        for probability in (0.95, 0.999):
+            assert chi_square_quantile(probability, 3) > chi_square_quantile(
+                probability, 1
+            )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("probability", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_probability_outside_open_interval(self, probability):
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(probability, 1)
+
+    def test_rejects_nonpositive_dof(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(0.95, 0)

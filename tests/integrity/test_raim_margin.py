@@ -1,0 +1,110 @@
+"""Pinning tests for RaimMonitor's exclusion selection rule.
+
+The scalar monitor ranks passing leave-one-out subsets by *normalized
+margin* ``statistic / threshold`` with a keep-first tie-break.  The
+batch FDE gate reimplements the same rule with ``argmin`` over priced
+margins, so this selection behaviour is load-bearing: these tests pin
+it with a scripted solver whose residual norms are chosen per subset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.types import PositionFix
+from repro.errors import GeometryError
+from repro.integrity import RaimMonitor, chi_square_quantile
+
+
+class ScriptedSolver:
+    """Returns a scripted residual norm keyed by the dropped PRN.
+
+    ``subset_norms[prn]`` is the norm reported when ``prn`` is absent
+    from the epoch; the full constellation gets ``full_norm``.
+    """
+
+    name = "scripted"
+
+    def __init__(self, all_prns, full_norm, subset_norms):
+        self.all_prns = frozenset(all_prns)
+        self.full_norm = float(full_norm)
+        self.subset_norms = dict(subset_norms)
+
+    def solve(self, epoch):
+        present = {obs.prn for obs in epoch.observations}
+        missing = self.all_prns - present
+        if missing:
+            (prn,) = missing
+            norm = self.subset_norms[prn]
+        else:
+            norm = self.full_norm
+        return PositionFix(
+            position=np.zeros(3),
+            clock_bias_meters=0.0,
+            algorithm=self.name,
+            iterations=1,
+            converged=True,
+            residual_norm=float(norm),
+        )
+
+
+def monitor_for(norms, make_epoch, count=6, full_norm=50.0):
+    epoch = make_epoch(count=count)
+    prns = [obs.prn for obs in epoch.observations]
+    solver = ScriptedSolver(prns, full_norm, norms)
+    return epoch, RaimMonitor(solver=solver, sigma_meters=1.0, p_false_alarm=1e-3)
+
+
+class TestMarginSelection:
+    def test_lowest_margin_wins_regardless_of_index(self, make_epoch):
+        # All subsets are m=5 (dof 1, threshold ~10.83); norms below
+        # sqrt(threshold) pass.  PRN 4's subset has the smallest
+        # statistic, so it must be excluded even though PRN 1's subset
+        # also passes and comes first.
+        norms = {1: 1.0, 2: 20.0, 3: 20.0, 4: 0.5, 5: 20.0, 6: 20.0}
+        epoch, monitor = monitor_for(norms, make_epoch)
+        result = monitor.check(epoch)
+        assert result.passed
+        assert result.excluded_prn == 4
+        assert result.test_statistic == pytest.approx(0.25)
+        assert result.threshold == pytest.approx(
+            chi_square_quantile(1.0 - 1e-3, 1), rel=1e-12
+        )
+
+    def test_equal_margins_keep_first_candidate(self, make_epoch):
+        # PRNs 1 and 3 tie exactly; the rule keeps the first (lowest
+        # drop index), so the selection is deterministic under
+        # permutation of equal margins.
+        norms = {1: 2.0, 2: 20.0, 3: 2.0, 4: 20.0, 5: 20.0, 6: 20.0}
+        epoch, monitor = monitor_for(norms, make_epoch)
+        result = monitor.check(epoch)
+        assert result.passed
+        assert result.excluded_prn == 1
+
+    def test_no_passing_subset_is_unrepaired(self, make_epoch):
+        norms = {prn: 20.0 for prn in range(1, 7)}
+        epoch, monitor = monitor_for(norms, make_epoch)
+        result = monitor.check(epoch)
+        assert not result.passed
+        assert result.excluded_prn is None
+        # The reported statistic is the full-set one that flagged.
+        assert result.test_statistic == pytest.approx(50.0**2)
+
+    def test_passing_full_set_never_excludes(self, make_epoch):
+        norms = {prn: 0.1 for prn in range(1, 7)}
+        epoch, monitor = monitor_for(norms, make_epoch, full_norm=0.5)
+        result = monitor.check(epoch)
+        assert result.passed
+        assert result.excluded_prn is None
+
+    def test_five_satellites_detect_but_cannot_exclude(self, make_epoch):
+        # m=5 flags but exclusion needs m - 1 >= 5 for a residual test.
+        norms = {prn: 0.1 for prn in range(1, 6)}
+        epoch, monitor = monitor_for(norms, make_epoch, count=5)
+        result = monitor.check(epoch)
+        assert not result.passed
+        assert result.excluded_prn is None
+
+    def test_four_satellites_have_no_redundancy(self, make_epoch):
+        epoch, monitor = monitor_for({}, make_epoch, count=4)
+        with pytest.raises(GeometryError):
+            monitor.check(epoch)

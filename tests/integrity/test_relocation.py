@@ -1,0 +1,30 @@
+"""The ``repro.core.raim`` -> ``repro.integrity`` move keeps old imports alive."""
+
+import warnings
+
+import pytest
+
+import repro.core.raim as legacy
+from repro.integrity import raim as current
+
+
+class TestDeprecatedShim:
+    def test_old_names_resolve_to_the_moved_objects(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert legacy.RaimMonitor is current.RaimMonitor
+            assert legacy.RaimResult is current.RaimResult
+            assert legacy.chi_square_quantile is current.chi_square_quantile
+
+    def test_access_emits_deprecation_warning_naming_the_new_home(self):
+        with pytest.warns(DeprecationWarning, match="repro.integrity"):
+            legacy.RaimMonitor
+
+    def test_unknown_names_still_raise_attribute_error(self):
+        with pytest.raises(AttributeError):
+            legacy.NotARaimThing
+
+    def test_dir_lists_the_moved_module(self):
+        listing = dir(legacy)
+        assert "RaimMonitor" in listing
+        assert "chi_square_quantile" in listing
