@@ -41,6 +41,7 @@ from repro.observations import (
     EpochTruth,
     epoch_integrity_error,
 )
+from repro.blocks import EpochBlock, PackedBucket, PackedStream, pack_stream
 from repro.constellation import Constellation, Satellite
 from repro.clocks import (
     SteeringClock,
@@ -152,6 +153,10 @@ __all__ = [
     "ObservationEpoch",
     "EpochTruth",
     "epoch_integrity_error",
+    "EpochBlock",
+    "PackedBucket",
+    "PackedStream",
+    "pack_stream",
     "Constellation",
     "Satellite",
     "SteeringClock",

@@ -6,32 +6,43 @@ one epoch at a time with full adaptive machinery (warm-up, residual
 gates, fallbacks), the engine answers a whole stream at once with the
 stacked-tensor solvers — the shape a post-processing service or a
 high-rate tracking backend actually runs.  The stream may mix
-satellite counts freely; the engine buckets it
-(:func:`~repro.engine.scheduler.bucket_epochs`), dispatches each
-bucket to the batched solver, and scatters the results back into
-stream order.
+satellite counts freely; the engine packs it **once** into columnar
+:class:`~repro.blocks.EpochBlock` buckets (:func:`~repro.blocks.
+pack_stream`), screens validity with vectorized reductions, dispatches
+each block zero-copy to the batched solver, and scatters the results
+back into stream order.
+
+Callers that already hold columnar data — the service's micro-batch
+flush, a decoder that fills blocks directly — can pass an
+:class:`~repro.blocks.EpochBlock` or :class:`~repro.blocks.
+PackedStream` instead of epoch objects and skip the packing stage
+entirely; the solve path is byte-for-byte the same from there.
 
 Every ``solve_stream`` call is instrumented (stream/bucket spans,
 bucket-size and coverage metrics) through :mod:`repro.telemetry` —
 free when telemetry is not installed — and returns an
-:class:`EngineDiagnostics` record of what happened to every epoch.
+:class:`EngineDiagnostics` record of what happened to every epoch,
+plus a per-stage wall-time split (``result.stage_seconds``) so perf
+work can see where a stream's time actually went.
 """
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.blocks import EpochBlock, PackedBucket, PackedStream, pack_stream
 from repro.clocks.prediction import ClockBiasPredictor
 from repro.solvers.batch import (
     BatchDLGSolver,
     BatchDLOSolver,
     BatchNewtonRaphsonSolver,
 )
-from repro.engine.scheduler import EpochBucket, bucket_epochs, scatter_bucket_results
+from repro.engine.scheduler import scatter_bucket_results
 from repro.errors import ConfigurationError, EstimationError, GeometryError
 from repro.integrity.fde import BatchFde, FdeConfig, FdeRecord
 from repro.observations import ObservationEpoch, epoch_integrity_error
@@ -41,6 +52,10 @@ _log = logging.getLogger(__name__)
 
 #: Stream-composition histogram buckets (epochs per bucket).
 _BUCKET_SIZE_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
+
+#: What solve_stream accepts: epoch objects (packed internally, once),
+#: or already-columnar input that skips the packing stage.
+StreamLike = Union[Sequence[ObservationEpoch], EpochBlock, PackedStream]
 
 
 @dataclass(frozen=True)
@@ -111,6 +126,12 @@ class EngineResult:
     diagnostics:
         Failure/drop accounting for the call
         (:class:`EngineDiagnostics`).
+    stage_seconds:
+        Wall-time split of the call: ``pack`` (object→columnar
+        conversion; ~0 when the caller passed columnar input),
+        ``validate`` (vectorized integrity screening), ``solve``
+        (batched kernels), ``fde`` (integrity gate, 0 when disabled),
+        and ``scatter`` (reassembly into stream order).
     """
 
     positions: np.ndarray
@@ -118,6 +139,7 @@ class EngineResult:
     algorithm: str
     bucket_sizes: Dict[int, int]
     diagnostics: EngineDiagnostics = field(default_factory=EngineDiagnostics)
+    stage_seconds: Optional[Dict[str, float]] = None
 
     def __len__(self) -> int:
         return self.positions.shape[0]
@@ -145,6 +167,13 @@ class PositioningEngine:
         verdicts land on ``result.diagnostics.fde``.  Requires
         ``algorithm="dlg"``: only the GLS whitened residual norm is
         chi-square scaled.
+    precision:
+        ``"float64"`` (default) or ``"float32"`` — the opt-in
+        mixed-precision DLG kernel (float32 whitening/factorization,
+        float64 residual refinement), guarded by a differential audit
+        against the float64 kernel that permanently falls back on the
+        first out-of-tolerance solve.  DLG only, incompatible with
+        FDE (integrity statistics require the reference kernel).
     """
 
     def __init__(
@@ -153,6 +182,7 @@ class PositioningEngine:
         clock_predictor: Optional[ClockBiasPredictor] = None,
         nr_solver: Optional[BatchNewtonRaphsonSolver] = None,
         fde_config: Optional[FdeConfig] = None,
+        precision: str = "float64",
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ("dlo", "dlg", "nr"):
@@ -164,11 +194,26 @@ class PositioningEngine:
                 "FDE needs chi-square-scaled residuals, which only the "
                 f"DLG whitened norm provides; got algorithm={algorithm!r}"
             )
+        if precision not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"precision must be 'float64' or 'float32', got {precision!r}"
+            )
+        if precision == "float32":
+            if algorithm != "dlg":
+                raise ConfigurationError(
+                    "float32 precision is only supported for the dlg kernel; "
+                    f"got algorithm={algorithm!r}"
+                )
+            if fde_config is not None:
+                raise ConfigurationError(
+                    "float32 precision cannot be combined with FDE: the "
+                    "integrity statistics require the float64 kernel"
+                )
         self._algorithm = algorithm
         self._predictor = clock_predictor
         self._nr = nr_solver if nr_solver is not None else BatchNewtonRaphsonSolver()
         self._dlo = BatchDLOSolver()
-        self._dlg = BatchDLGSolver()
+        self._dlg = BatchDLGSolver(dtype=precision)
         self._fde = BatchFde(fde_config) if fde_config is not None else None
 
     @classmethod
@@ -201,53 +246,83 @@ class PositioningEngine:
         """Whether buckets run through the batch FDE gate."""
         return self._fde is not None
 
-    def _resolve_biases(
-        self,
-        epochs: Sequence[ObservationEpoch],
-        biases: Optional[Sequence[float]],
+    @property
+    def precision(self) -> str:
+        """The *active* kernel precision (reflects an audit fallback)."""
+        return "float32" if self._dlg.float32_active else "float64"
+
+    # -- per-bucket solving --------------------------------------------
+    def _bucket_biases(
+        self, bucket: PackedBucket, stream_biases: Optional[np.ndarray]
     ) -> np.ndarray:
-        if biases is not None:
-            resolved = np.asarray(biases, dtype=float)
-            if resolved.shape != (len(epochs),):
-                raise ConfigurationError(
-                    f"biases must be one per epoch: expected ({len(epochs)},), "
-                    f"got {resolved.shape}"
-                )
-            return resolved
+        if stream_biases is not None:
+            return stream_biases[np.asarray(bucket.indices, dtype=int)]
         if self._predictor is not None:
+            block = bucket.block
             return np.array(
-                [self._predictor.predict_bias_meters(epoch.time) for epoch in epochs]
+                [
+                    self._predictor.predict_bias_meters(block.time(i))
+                    for i in range(len(block))
+                ]
             )
-        return np.zeros(len(epochs))
+        return np.zeros(len(bucket))
 
-    def _solve_bucket(self, bucket, stream_biases: np.ndarray):
-        """One bucket through the batched solver.
+    def _solve_bucket(
+        self, bucket: PackedBucket, stream_biases: Optional[np.ndarray]
+    ):
+        """One bucket through the batched solver, zero-copy.
 
-        Returns ``(positions, biases, fde_record-or-None)``.
+        Returns ``(positions, biases, fde_record-or-None, solve_seconds,
+        fde_seconds)``.
         """
         if self._algorithm == "nr":
-            record = self._nr.solve_batch_full(bucket.epochs)
+            started = perf_counter()
+            record = self._nr.solve_block_full(bucket.block)
             if not np.all(record.converged):
                 stuck = [
-                    bucket.indices[i]
+                    int(bucket.indices[i])
                     for i in np.flatnonzero(~record.converged)
                 ]
                 raise GeometryError(
                     f"NR failed to converge for stream epochs {stuck}"
                 )
-            return record.positions, record.clock_biases, None
-        bucket_biases = stream_biases[np.asarray(bucket.indices, dtype=int)]
-        if self._fde is not None:
-            positions, fde_record = self._fde.solve_batch(
-                bucket.epochs, bucket_biases
+            return (
+                record.positions,
+                record.clock_biases,
+                None,
+                perf_counter() - started,
+                0.0,
             )
-            return positions, bucket_biases, fde_record
+        bucket_biases = self._bucket_biases(bucket, stream_biases)
+        if self._fde is not None:
+            started = perf_counter()
+            solutions, norms, corrected = self._dlg.solve_block_full(
+                bucket.block, bucket_biases
+            )
+            solve_seconds = perf_counter() - started
+            started = perf_counter()
+            # screen() reuses the solve's own whitened norms and
+            # corrected pseudoranges — no repacking, no re-solve — and
+            # repairs flagged rows of `solutions` in place.
+            fde_record = self._fde.screen(
+                bucket.block, corrected, solutions, norms
+            )
+            return (
+                solutions,
+                bucket_biases,
+                fde_record,
+                solve_seconds,
+                perf_counter() - started,
+            )
         solver = self._dlo if self._algorithm == "dlo" else self._dlg
-        return solver.solve_batch(bucket.epochs, bucket_biases), bucket_biases, None
+        started = perf_counter()
+        solutions = solver.solve_block(bucket.block, bucket_biases)
+        return solutions, bucket_biases, None, perf_counter() - started, 0.0
 
+    # -- stream solving ------------------------------------------------
     def solve_stream(
         self,
-        epochs: Sequence[ObservationEpoch],
+        epochs: StreamLike,
         biases: Optional[Sequence[float]] = None,
         on_undersized: str = "raise",
     ) -> EngineResult:
@@ -256,8 +331,12 @@ class PositioningEngine:
         Parameters
         ----------
         epochs:
-            The stream, in any satellite-count mix.  Every epoch needs
-            at least 4 satellites.
+            The stream, in any satellite-count mix: a sequence of
+            :class:`~repro.observations.ObservationEpoch` (packed into
+            columnar form internally, once), or an already-columnar
+            :class:`~repro.blocks.EpochBlock` /
+            :class:`~repro.blocks.PackedStream` that enters the solve
+            path zero-copy.  Every epoch needs at least 4 satellites.
         biases:
             Optional explicit per-epoch clock biases (meters) for
             DLO/DLG; defaults to the configured predictor, or zero for
@@ -272,80 +351,94 @@ class PositioningEngine:
             ``result.diagnostics``.
 
         Results come back aligned with the input: row ``i`` of
-        ``positions`` answers ``epochs[i]`` regardless of how the
+        ``positions`` answers stream epoch ``i`` regardless of how the
         stream was bucketed internally.
         """
         if on_undersized not in ("raise", "drop"):
             raise ConfigurationError(
                 f"on_undersized must be 'raise' or 'drop', got {on_undersized!r}"
             )
-        epochs = list(epochs)
-        if not epochs:
+        stage_started = perf_counter()
+        source: Optional[List[ObservationEpoch]] = None
+        if isinstance(epochs, PackedStream):
+            packed = epochs
+        elif isinstance(epochs, EpochBlock):
+            packed = PackedStream.from_block(epochs)
+        else:
+            source = list(epochs)
+            packed = pack_stream(source)
+        total = len(packed)
+        if total == 0:
             raise GeometryError("solve_stream needs at least one epoch")
+        pack_seconds = perf_counter() - stage_started
 
-        # Structural integrity first (sized epochs are handled through
-        # the bucketing path below, with the same raise/drop policy).
-        invalid_pairs = []
-        for index, epoch in enumerate(epochs):
-            message = epoch_integrity_error(epoch, min_satellites=1)
-            if message is not None:
-                invalid_pairs.append((index, message))
-        if invalid_pairs and on_undersized == "raise":
-            index, message = invalid_pairs[0]
+        # Structural integrity: one vectorized screen per bucket
+        # (min_satellites=1 — sized epochs are handled through the
+        # undersized path below, with the same raise/drop policy).
+        stage_started = perf_counter()
+        kept_buckets: List[PackedBucket] = []
+        invalid_list: List[int] = list(packed.unpackable)
+        for bucket in packed.buckets:
+            mask = bucket.block.validity_mask(min_satellites=1)
+            if mask.all():
+                kept_buckets.append(bucket)
+                continue
+            bad_rows = np.flatnonzero(~mask)
+            invalid_list.extend(
+                int(i) for i in np.asarray(bucket.indices)[bad_rows]
+            )
+            if mask.any():
+                kept_buckets.append(bucket.take(mask))
+        invalid_indices = tuple(sorted(invalid_list))
+        if invalid_indices and on_undersized == "raise":
+            first = invalid_indices[0]
             raise GeometryError(
-                f"stream contains {len(invalid_pairs)} structurally invalid "
-                f"epoch(s) (first at index {index}: {message}); "
+                f"stream contains {len(invalid_indices)} structurally invalid "
+                f"epoch(s) (first at index {first}: "
+                f"{self._invalid_detail(first, source, packed)}); "
                 f"filter or repair them before solving"
             )
-        invalid_indices = tuple(index for index, _message in invalid_pairs)
         invalid_set = frozenset(invalid_indices)
         if invalid_indices:
             _log.warning(
                 "dropping %d structurally invalid epochs from a %d-epoch stream",
                 len(invalid_indices),
-                len(epochs),
+                total,
             )
-        stream_biases = self._resolve_biases(epochs, biases)
+
+        stream_biases: Optional[np.ndarray] = None
+        if biases is not None:
+            stream_biases = np.asarray(biases, dtype=float)
+            if stream_biases.shape != (total,):
+                raise ConfigurationError(
+                    f"biases must be one per epoch: expected ({total},), "
+                    f"got {stream_biases.shape}"
+                )
+        validate_seconds = perf_counter() - stage_started
 
         registry = get_registry()
         tracer = get_tracer()
+        solve_seconds = 0.0
+        fde_seconds = 0.0
         with tracer.span(
-            "engine.solve_stream", algorithm=self._algorithm, epochs=len(epochs)
+            "engine.solve_stream", algorithm=self._algorithm, epochs=total
         ):
-            buckets = bucket_epochs(epochs)
-            if invalid_set:
-                pruned = []
-                for bucket in buckets:
-                    kept = [
-                        (index, epoch)
-                        for index, epoch in zip(bucket.indices, bucket.epochs)
-                        if index not in invalid_set
-                    ]
-                    if kept:
-                        pruned.append(
-                            EpochBucket(
-                                satellite_count=bucket.satellite_count,
-                                indices=tuple(i for i, _e in kept),
-                                epochs=tuple(e for _i, e in kept),
-                            )
-                        )
-                buckets = pruned
-            undersized = [b for b in buckets if b.satellite_count < 4]
+            undersized = [b for b in kept_buckets if b.satellite_count < 4]
             if undersized and on_undersized == "raise":
                 raise GeometryError(
                     f"stream contains epochs with fewer than 4 satellites "
                     f"(counts {[b.satellite_count for b in undersized]}); "
                     f"filter or augment them before solving"
                 )
-            solvable = [b for b in buckets if b.satellite_count >= 4]
+            solvable = [b for b in kept_buckets if b.satellite_count >= 4]
             dropped_indices = tuple(
-                index for b in undersized for index in b.indices
+                int(index) for b in undersized for index in np.asarray(b.indices)
             )
             if dropped_indices:
                 _log.warning(
                     "dropping %d undersized epochs from a %d-epoch stream",
                     len(dropped_indices),
-                    len(epochs),
+                    total,
                 )
             if not solvable:
                 raise GeometryError(
@@ -364,29 +457,37 @@ class PositioningEngine:
                     algorithm=self._algorithm,
                 ):
                     try:
-                        block, bucket_biases, fde_record = self._solve_bucket(
-                            bucket, stream_biases
-                        )
+                        (
+                            block_positions,
+                            bucket_biases,
+                            fde_record,
+                            bucket_solve_s,
+                            bucket_fde_s,
+                        ) = self._solve_bucket(bucket, stream_biases)
                     except (GeometryError, EstimationError):
                         bucket_status[bucket.satellite_count] = "failed"
                         if registry.enabled:
                             self._record_bucket(registry, bucket, "failed")
                         raise
+                solve_seconds += bucket_solve_s
+                fde_seconds += bucket_fde_s
                 bucket_status[bucket.satellite_count] = "ok"
                 if registry.enabled:
                     self._record_bucket(registry, bucket, "ok")
-                position_blocks.append(block)
+                position_blocks.append(block_positions)
                 bias_blocks.append(bucket_biases)
                 if fde_record is not None:
                     fde_pieces.append((bucket.indices, fde_record))
 
+            stage_started = perf_counter()
             allow_partial = bool(dropped_indices or invalid_indices)
             positions = scatter_bucket_results(
-                solvable, position_blocks, len(epochs), allow_partial=allow_partial
+                solvable, position_blocks, total, allow_partial=allow_partial
             )
             clock_biases = scatter_bucket_results(
-                solvable, bias_blocks, len(epochs), allow_partial=allow_partial
+                solvable, bias_blocks, total, allow_partial=allow_partial
             )
+            scatter_seconds = perf_counter() - stage_started
 
         diagnostics = EngineDiagnostics(
             epochs_dropped=len(dropped_indices),
@@ -395,11 +496,12 @@ class PositioningEngine:
             invalid_indices=invalid_indices,
             bucket_status=bucket_status,
             fde=(
-                FdeRecord.scatter(fde_pieces, len(epochs))
+                FdeRecord.scatter(fde_pieces, total)
                 if self._fde is not None
                 else None
             ),
         )
+        self._dlg.workspace.flush_telemetry()
         if registry.enabled:
             registry.counter(
                 "repro_engine_streams_total",
@@ -410,7 +512,7 @@ class PositioningEngine:
                 "repro_engine_epochs_total",
                 "Epochs submitted to solve_stream.",
                 labels=("algorithm",),
-            ).labels(algorithm=self._algorithm).inc(len(epochs))
+            ).labels(algorithm=self._algorithm).inc(total)
             if dropped_indices:
                 registry.counter(
                     "repro_engine_epochs_dropped_total",
@@ -426,7 +528,7 @@ class PositioningEngine:
                 "Fraction of the last stream answered with a solve.",
             ).set(
                 1.0
-                - (len(dropped_indices) + len(invalid_indices)) / len(epochs)
+                - (len(dropped_indices) + len(invalid_indices)) / total
             )
 
         return EngineResult(
@@ -435,7 +537,41 @@ class PositioningEngine:
             algorithm=self._algorithm,
             bucket_sizes={b.satellite_count: len(b) for b in solvable},
             diagnostics=diagnostics,
+            stage_seconds={
+                "pack": pack_seconds,
+                "validate": validate_seconds,
+                "solve": solve_seconds,
+                "fde": fde_seconds,
+                "scatter": scatter_seconds,
+            },
         )
+
+    @staticmethod
+    def _invalid_detail(
+        index: int,
+        source: Optional[List[ObservationEpoch]],
+        packed: PackedStream,
+    ) -> str:
+        """Human-readable reason stream epoch ``index`` is invalid.
+
+        Only materialized on the raise path — the vectorized screen
+        never builds per-epoch messages for streams it accepts.
+        """
+        if source is not None:
+            message = epoch_integrity_error(source[index], min_satellites=1)
+            if message is not None:
+                return message
+        if index in packed.unpackable:
+            return "epoch could not be packed into dense arrays"
+        for bucket in packed.buckets:
+            rows = np.flatnonzero(np.asarray(bucket.indices) == index)
+            if rows.size:
+                message = bucket.block.row_integrity_error(
+                    int(rows[0]), min_satellites=1
+                )
+                if message is not None:
+                    return message
+        return "epoch violates the solver input contract"
 
     def _record_bucket(self, registry, bucket, status: str) -> None:
         """Per-bucket composition and outcome metrics."""

@@ -28,6 +28,7 @@ from repro.estimation.structured import (
     batched_gls_solve_diag_rank1,
     gls_solve_diag_rank1,
 )
+from repro.estimation.workspace import KernelWorkspace
 
 __all__ = [
     "cholesky_solve",
@@ -44,4 +45,5 @@ __all__ = [
     "batched_apply_inverse_diag_rank1",
     "batched_gls_solve_diag_rank1",
     "gls_solve_diag_rank1",
+    "KernelWorkspace",
 ]

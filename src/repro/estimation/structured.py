@@ -19,13 +19,16 @@ of epochs.  This module is the shared fast path behind the scalar
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.estimation.linalg import cholesky_solve
 from repro.telemetry import get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.estimation.workspace import KernelWorkspace
 
 
 def _count_gls_path(path: str, solves: int = 1) -> None:
@@ -156,6 +159,7 @@ def batched_gls_solve_diag_rank1(
     observations: np.ndarray,
     diag: np.ndarray,
     scale: np.ndarray,
+    workspace: "Optional[KernelWorkspace]" = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """One stacked GLS solve for N diag+rank-one systems.
 
@@ -168,11 +172,22 @@ def batched_gls_solve_diag_rank1(
     diag, scale:
         ``(N, k)`` diagonals and ``(N,)`` rank-one scales of the per-
         system covariances.
+    workspace:
+        Optional :class:`~repro.estimation.workspace.KernelWorkspace`
+        supplying the whitening scratch tensors, so repeated solves of
+        the same bucket shape allocate nothing.  Results are bitwise
+        independent of whether a workspace is passed.
 
     Returns
     -------
     (solutions, whitened_norms)
         ``(N, p)`` solutions and ``(N,)`` Mahalanobis residual norms.
+
+    The design and right-hand side are whitened as one fused ``[A | b]``
+    stack: the Sherman-Morrison correction is column-independent
+    (elementwise scaling plus a per-column axis-k reduction), so the
+    fused pass is bitwise identical to whitening them separately while
+    touching the diagonal/denominator arithmetic once instead of twice.
     """
     a = np.asarray(design, dtype=float)
     b = np.asarray(observations, dtype=float)
@@ -180,9 +195,30 @@ def batched_gls_solve_diag_rank1(
         raise EstimationError(
             f"batched design {a.shape} and observations {b.shape} are inconsistent"
         )
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scale, dtype=float)
+    _validate_components(d, s)
     _count_gls_path("sherman_morrison_batched", solves=a.shape[0])
-    psi_inv_design = batched_apply_inverse_diag_rank1(diag, scale, a)  # (N,k,p)
-    psi_inv_obs = batched_apply_inverse_diag_rank1(diag, scale, b)  # (N,k)
+    n, k, p = a.shape
+
+    def _scratch(name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        if workspace is not None:
+            return workspace.buffer(name, shape, a.dtype)
+        return np.empty(shape, dtype=a.dtype)
+
+    # Fused [A | b] whitening through the Sherman-Morrison identity.
+    ab = _scratch("gls_ab", (n, k, p + 1))
+    ab[..., :p] = a
+    ab[..., p] = b
+    inv_d = 1.0 / d  # (N, k)
+    denominator = 1.0 + s * inv_d.sum(axis=1)  # (N,)
+    whitened = np.multiply(ab, inv_d[:, :, None], out=_scratch("gls_u", (n, k, p + 1)))
+    correction = (s / denominator)[:, None] * whitened.sum(axis=1)  # (N, p+1)
+    whitened -= np.multiply(
+        inv_d[:, :, None], correction[:, None, :], out=ab
+    )
+    psi_inv_design = whitened[..., :p]  # (N,k,p)
+    psi_inv_obs = whitened[..., p]  # (N,k)
     gram = np.einsum("nki,nkj->nij", a, psi_inv_design)  # (N,p,p)
     moment = np.einsum("nki,nk->ni", a, psi_inv_obs)  # (N,p)
     try:

@@ -1,0 +1,116 @@
+"""Preallocated kernel workspaces for the batched solve hot path.
+
+The batched Sherman-Morrison kernel allocates a handful of large
+scratch tensors per call (whitened stacks, Gram matrices).  On a
+steady-state stream the bucket shapes repeat every call, so those
+allocations are pure churn: same sizes, freed and re-requested tens of
+times per second.  :class:`KernelWorkspace` keeps one buffer per
+``(name, shape, dtype)`` and hands it back on every later request,
+turning the steady state into zero allocations.
+
+The workspace also makes the zero-copy claim *observable*: it counts
+buffer reuses versus fresh allocations, and
+:meth:`~KernelWorkspace.flush_telemetry` publishes the deltas as
+``repro_kernel_workspace_requests_total{outcome=...}`` counters, so a
+``repro-gps telemetry`` scrape shows directly whether the hot path is
+recycling its scratch memory or thrashing the allocator.
+
+Thread safety: a workspace is single-owner by design — each solver
+instance owns one, and solver instances are not shared across threads
+(the process-backend parallel replay gives every worker its own
+solvers).  Buffers returned from :meth:`buffer` are only valid until
+the next solve call requests the same key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.telemetry import get_registry
+
+
+class KernelWorkspace:
+    """Shape-keyed scratch buffers reused across batched solve calls."""
+
+    __slots__ = ("_buffers", "_reused", "_allocated", "_flushed")
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
+        self._reused = 0
+        self._allocated = 0
+        # Counts already published to telemetry (flush publishes deltas).
+        self._flushed = (0, 0)
+
+    def buffer(
+        self,
+        name: str,
+        shape: Tuple[int, ...],
+        dtype: "np.typing.DTypeLike" = np.float64,
+    ) -> np.ndarray:
+        """An uninitialized ``shape``/``dtype`` scratch array.
+
+        The same ``(name, shape, dtype)`` request returns the *same*
+        array on every later call — contents are whatever the previous
+        use left there, so callers must fully overwrite it.
+        """
+        key = (name, tuple(shape), np.dtype(dtype))
+        existing = self._buffers.get(key)
+        if existing is not None:
+            self._reused += 1
+            return existing
+        self._allocated += 1
+        fresh = np.empty(key[1], dtype=key[2])
+        self._buffers[key] = fresh
+        return fresh
+
+    # ------------------------------------------------------------------
+    @property
+    def reused(self) -> int:
+        """Buffer requests served from the cache since construction."""
+        return self._reused
+
+    @property
+    def allocated(self) -> int:
+        """Buffer requests that had to allocate since construction."""
+        return self._allocated
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes currently held by cached buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every cached buffer (counters are kept)."""
+        self._buffers.clear()
+
+    def flush_telemetry(self) -> None:
+        """Publish reuse/allocation deltas since the last flush.
+
+        Called once per engine stream (not per buffer request) so the
+        telemetry cost stays off the kernel's inner loop; free when no
+        registry is installed.
+        """
+        registry = get_registry()
+        if not registry.enabled:
+            return
+        flushed_reused, flushed_allocated = self._flushed
+        delta_reused = self._reused - flushed_reused
+        delta_allocated = self._allocated - flushed_allocated
+        if not (delta_reused or delta_allocated):
+            return
+        counter = registry.counter(
+            "repro_kernel_workspace_requests_total",
+            "Kernel scratch-buffer requests by outcome.",
+            labels=("outcome",),
+        )
+        if delta_reused:
+            counter.labels(outcome="reused").inc(delta_reused)
+        if delta_allocated:
+            counter.labels(outcome="allocated").inc(delta_allocated)
+        registry.gauge(
+            "repro_kernel_workspace_resident_bytes",
+            "Bytes held by cached kernel scratch buffers.",
+        ).set(float(self.resident_bytes))
+        self._flushed = (self._reused, self._allocated)

@@ -40,15 +40,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError, EstimationError
+from repro.blocks import EpochBlock
+from repro.errors import ConfigurationError, EstimationError, GeometryError
 from repro.estimation import batched_gls_solve_diag_rank1, gls_solve_diag_rank1
 from repro.integrity.raim import chi_square_quantile
 from repro.observations import ObservationEpoch
-from repro.solvers.batch import _stack_epochs, build_difference_systems
+from repro.solvers.batch import BatchDLGSolver, build_difference_systems
 from repro.telemetry import get_registry
 
 #: Compact per-epoch status codes (int8 in :class:`FdeRecord`).
@@ -259,8 +260,16 @@ class BatchFde:
 
     name = "BatchFDE"
 
-    def __init__(self, config: Optional[FdeConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[FdeConfig] = None,
+        solver: Optional[BatchDLGSolver] = None,
+    ) -> None:
         self._config = config if config is not None else FdeConfig()
+        # Base solver for the standalone solve_batch/solve_block entry
+        # points; the engine bypasses it and calls screen() with the
+        # solve it already ran.
+        self._solver = solver if solver is not None else BatchDLGSolver()
 
     @property
     def config(self) -> FdeConfig:
@@ -269,7 +278,7 @@ class BatchFde:
     # ------------------------------------------------------------------
     def solve_batch(
         self,
-        epochs: Sequence[ObservationEpoch],
+        epochs: "Union[Sequence[ObservationEpoch], EpochBlock]",
         biases: Sequence[float],
     ) -> "tuple[np.ndarray, FdeRecord]":
         """Solve N same-size epochs with FDE; ``((N, 3), FdeRecord)``.
@@ -280,26 +289,54 @@ class BatchFde:
         their candidates solve in one additional stacked GLS call.
         ``repaired`` rows hold the post-exclusion position;
         ``unusable`` rows keep the full-set solution so callers can
-        apply their own trust policy.
+        apply their own trust policy.  Accepts an
+        :class:`~repro.blocks.EpochBlock` directly.
         """
-        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
-        design, rhs = build_difference_systems(positions, corrected)
-        diag = corrected[:, 1:] ** 2
-        scale = corrected[:, 0] ** 2
-        try:
-            solutions, norms = batched_gls_solve_diag_rank1(design, rhs, diag, scale)
-        except EstimationError as exc:
-            raise EstimationError(
-                "a batch epoch has degenerate geometry; solve epochs "
-                "individually to identify it"
-            ) from exc
+        block = epochs if isinstance(epochs, EpochBlock) else None
+        if block is None:
+            if not epochs:
+                raise GeometryError("solve_batch needs at least one epoch")
+            if epochs[0].satellite_count < 4:
+                raise GeometryError(
+                    "batched direct linearization needs at least 4 "
+                    f"satellites, got {epochs[0].satellite_count}"
+                )
+            block = EpochBlock.from_epochs(epochs)
+        return self.solve_block(block, np.asarray(biases, dtype=float))
 
-        n = len(epochs)
-        m = epochs[0].satellite_count
+    def solve_block(
+        self, block: EpochBlock, biases: np.ndarray
+    ) -> "tuple[np.ndarray, FdeRecord]":
+        """Base DLG solve plus :meth:`screen` for a columnar block."""
+        solutions, norms, corrected = self._solver.solve_block_full(
+            block, biases
+        )
+        record = self.screen(block, corrected, solutions, norms)
+        return solutions, record
+
+    def screen(
+        self,
+        block: EpochBlock,
+        corrected: np.ndarray,
+        solutions: np.ndarray,
+        norms: np.ndarray,
+    ) -> FdeRecord:
+        """Chi-square detection + exclusion over an already-solved block.
+
+        This is the zero-copy entry point: the engine has already built
+        the clock-corrected pseudoranges and run the base DLG solve
+        whose whitened ``norms`` double as the test statistics, so the
+        gate re-derives *nothing* — detection is one vectorized
+        comparison against the block's arrays, and only flagged epochs
+        pay for the stacked leave-one-out exclusion.  ``solutions`` is
+        updated **in place** for rows the exclusion repairs.
+        """
+        n = len(block)
+        m = block.satellite_count
         if m < 5:
             record = FdeRecord.unchecked(n)
             self._count(record)
-            return solutions, record
+            return record
 
         sigma = self._config.sigma_meters
         statistics = (norms / sigma) ** 2
@@ -315,8 +352,7 @@ class BatchFde:
             started = time.perf_counter() if registry.enabled else 0.0
             self._exclude_flagged(
                 np.flatnonzero(flagged),
-                epochs,
-                positions,
+                block,
                 corrected,
                 solutions,
                 statuses,
@@ -338,14 +374,13 @@ class BatchFde:
             excluded_prns=excluded,
         )
         self._count(record)
-        return solutions, record
+        return record
 
     # ------------------------------------------------------------------
     def _exclude_flagged(
         self,
         flagged_idx: np.ndarray,
-        epochs: Sequence[ObservationEpoch],
-        positions: np.ndarray,
+        block: EpochBlock,
         corrected: np.ndarray,
         solutions: np.ndarray,
         statuses: np.ndarray,
@@ -364,7 +399,8 @@ class BatchFde:
         base selection produces.
         """
         f = flagged_idx.size
-        m = positions.shape[1]
+        m = block.satellite_count
+        positions = block.positions
         # keep[k] = all satellite columns except k.
         keep = np.array(
             [[j for j in range(m) if j != k] for k in range(m)], dtype=int
@@ -416,10 +452,9 @@ class BatchFde:
         statistics[stream_rows] = sub_stats[repaired_rows, chosen]
         thresholds[stream_rows] = sub_threshold
         solutions[stream_rows] = sub_solutions.reshape(f, m, 3)[repaired_rows, chosen]
-        # PRNs only for the epochs that actually repaired — keeps the
-        # python-object walk off the fault-free path.
-        for row, k in zip(stream_rows, chosen):
-            excluded[row] = epochs[int(row)].observations[int(k)].prn
+        # PRN lookup is one fancy-index into the block's columnar PRNs —
+        # the last remnant of the old python-object walk.
+        excluded[stream_rows] = block.prns[stream_rows, chosen]
 
     # ------------------------------------------------------------------
     def _count(self, record: FdeRecord) -> None:

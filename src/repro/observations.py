@@ -158,13 +158,47 @@ class ObservationEpoch:
         return tuple(obs.prn for obs in self.observations)
 
     # ------------------------------------------------------------------
+    def dense(self) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """The epoch's hot-path arrays, packed once and memoized.
+
+        Returns ``(positions (m, 3), pseudoranges (m,), prns (m,))`` as
+        *read-only* float64/float64/int64 arrays.  The epoch is frozen,
+        so the pack is computed on first access and cached: every later
+        consumer (the columnar :class:`~repro.blocks.EpochBlock`
+        builder, the scalar solvers, repeated batch solves over the
+        same stream) shares the same buffers instead of re-walking the
+        observation objects.  Callers must treat the arrays as
+        immutable; :meth:`satellite_positions` / :meth:`pseudoranges`
+        hand out copies for code that wants to mutate.
+        """
+        cached = self.__dict__.get("_dense")
+        if cached is None:
+            observations = self.observations
+            if observations:
+                positions = np.array(
+                    [obs.position for obs in observations], dtype=float
+                ).reshape(len(observations), 3)
+                pseudoranges = np.array(
+                    [obs.pseudorange for obs in observations], dtype=float
+                )
+                prns = np.array([obs.prn for obs in observations], dtype=np.int64)
+            else:  # unvalidated decoders can hand over empty epochs
+                positions = np.empty((0, 3))
+                pseudoranges = np.empty(0)
+                prns = np.empty(0, dtype=np.int64)
+            for array in (positions, pseudoranges, prns):
+                array.flags.writeable = False
+            cached = (positions, pseudoranges, prns)
+            object.__setattr__(self, "_dense", cached)
+        return cached
+
     def satellite_positions(self) -> np.ndarray:
         """``(m, 3)`` matrix of satellite ECEF positions."""
-        return np.array([obs.position for obs in self.observations])
+        return self.dense()[0].copy()
 
     def pseudoranges(self) -> np.ndarray:
         """``(m,)`` vector of measured pseudoranges."""
-        return np.array([obs.pseudorange for obs in self.observations])
+        return self.dense()[1].copy()
 
     # ------------------------------------------------------------------
     def subset(
@@ -245,11 +279,8 @@ def epoch_integrity_error(
     # the per-satellite scan, which stays the authority on naming the
     # first offender.
     try:
-        positions = np.array([obs.position for obs in observations], dtype=float)
-        pseudoranges = np.array(
-            [obs.pseudorange for obs in observations], dtype=float
-        )
-    except (TypeError, ValueError):
+        positions, pseudoranges, _prns = epoch.dense()
+    except (TypeError, ValueError, OverflowError):
         positions = None
     if (
         positions is not None

@@ -50,6 +50,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.blocks import pack_stream
 from repro.engine import PositioningEngine
 from repro.errors import ReproError, ServiceError
 from repro.integrity.fde import EpochVerdict
@@ -543,8 +544,11 @@ class PositioningService:
             epochs = self._admit(epochs)
         algorithm = self._engine.algorithm
         try:
+            # Pack the flushed batch into columnar blocks here, at the
+            # request/array boundary — the engine and everything below
+            # it (solvers, FDE) then run zero-copy on these arrays.
             stream = self._engine.solve_stream(
-                epochs,
+                pack_stream(epochs),
                 self._batch_biases(live),
                 on_undersized="drop",
             )

@@ -24,48 +24,83 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.blocks import EpochBlock
 from repro.errors import ConfigurationError, ConvergenceError, EstimationError, GeometryError
-from repro.estimation import batched_gls_solve_diag_rank1
+from repro.estimation import (
+    batched_apply_inverse_diag_rank1,
+    batched_gls_solve_diag_rank1,
+)
+from repro.estimation.workspace import KernelWorkspace
 from repro.observations import ObservationEpoch
+from repro.telemetry import get_registry
+
+_log = logging.getLogger(__name__)
+
+#: What the batch solvers accept: the legacy epoch-object form or the
+#: already-columnar block the engine's zero-copy path hands over.
+Batchable = Union[Sequence[ObservationEpoch], EpochBlock]
 
 
-def _stack_epochs(epochs: Sequence[ObservationEpoch], biases: np.ndarray):
-    """Validate and stack N same-size epochs into dense tensors."""
-    if not epochs:
-        raise GeometryError("solve_batch needs at least one epoch")
-    m = epochs[0].satellite_count
-    if m < 4:
-        raise GeometryError(
-            f"batched direct linearization needs at least 4 satellites, got {m}"
-        )
-    for epoch in epochs:
-        if epoch.satellite_count != m:
+def _as_block(epochs: Batchable, kind: str) -> EpochBlock:
+    """Coerce solver input to an :class:`EpochBlock`, validating size.
+
+    ``kind`` names the algorithm family for the under-4-satellites
+    message ("direct linearization" / "Newton-Raphson").
+    """
+    if isinstance(epochs, EpochBlock):
+        block = epochs
+        if len(block) == 0:
+            raise GeometryError("solve_batch needs at least one epoch")
+    else:
+        if not epochs:
+            raise GeometryError("solve_batch needs at least one epoch")
+        if epochs[0].satellite_count < 4:
             raise GeometryError(
-                "all epochs in a batch must have the same satellite count "
-                f"(got {epoch.satellite_count} and {m}); group epochs by "
-                "count before batching"
+                f"batched {kind} needs at least 4 satellites, "
+                f"got {epochs[0].satellite_count}"
             )
-    biases = np.asarray(biases, dtype=float)
-    if biases.shape != (len(epochs),):
+        block = EpochBlock.from_epochs(epochs)
+    if block.satellite_count < 4:
         raise GeometryError(
-            f"biases must be one per epoch: expected shape ({len(epochs)},), "
+            f"batched {kind} needs at least 4 satellites, "
+            f"got {block.satellite_count}"
+        )
+    return block
+
+
+def _corrected_pseudoranges(block: EpochBlock, biases: np.ndarray) -> np.ndarray:
+    """Clock-corrected ``(N, m)`` pseudoranges, with bias validation."""
+    biases = np.asarray(biases, dtype=float)
+    if biases.shape != (len(block),):
+        raise GeometryError(
+            f"biases must be one per epoch: expected shape ({len(block)},), "
             f"got {biases.shape}"
         )
-
-    positions = np.stack([epoch.satellite_positions() for epoch in epochs])  # (N,m,3)
-    pseudoranges = np.stack([epoch.pseudoranges() for epoch in epochs])  # (N,m)
-    corrected = pseudoranges - biases[:, None]
+    corrected = block.pseudoranges - biases[:, None]
     if np.any(corrected <= 0):
         raise GeometryError(
             "clock-corrected pseudoranges are non-positive for some epoch; "
             "check the bias predictions"
         )
-    return positions, corrected
+    return corrected
+
+
+def _stack_epochs(epochs: Sequence[ObservationEpoch], biases: np.ndarray):
+    """Validate and stack N same-size epochs into dense tensors.
+
+    Retained for callers that want raw arrays; the solvers themselves
+    now flow through :class:`~repro.blocks.EpochBlock`, which this
+    helper builds (and whose memoized per-epoch arrays it reuses).
+    """
+    block = _as_block(epochs, "direct linearization")
+    corrected = _corrected_pseudoranges(block, biases)
+    return block.positions, corrected
 
 
 def build_difference_systems(
@@ -94,7 +129,7 @@ class BatchDLOSolver:
 
     def solve_batch(
         self,
-        epochs: Sequence[ObservationEpoch],
+        epochs: Batchable,
         biases: Sequence[float],
     ) -> np.ndarray:
         """Positions for N same-size epochs, as an ``(N, 3)`` array.
@@ -102,9 +137,15 @@ class BatchDLOSolver:
         ``biases`` are the predicted receiver clock biases (meters),
         one per epoch — the batched equivalent of the clock predictor
         hook on :class:`~repro.solvers.direct_linear.DLOSolver`.
+        Accepts an :class:`~repro.blocks.EpochBlock` directly.
         """
-        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
-        design, rhs = build_difference_systems(positions, corrected)
+        block = _as_block(epochs, "direct linearization")
+        return self.solve_block(block, np.asarray(biases, dtype=float))
+
+    def solve_block(self, block: EpochBlock, biases: np.ndarray) -> np.ndarray:
+        """Positions for an already-columnar block; zero repacking."""
+        corrected = _corrected_pseudoranges(block, biases)
+        design, rhs = build_difference_systems(block.positions, corrected)
         # Batched normal equations: (N,3,3) and (N,3).
         gram = np.einsum("nij,nik->njk", design, design)
         moment = np.einsum("nij,ni->nj", design, rhs)
@@ -131,25 +172,200 @@ class BatchDLGSolver:
 
     name = "BatchDLG"
 
+    def __init__(
+        self,
+        dtype: str = "float64",
+        audit_every: int = 64,
+        audit_tolerance_meters: float = 1.0,
+    ) -> None:
+        """Configure the kernel precision.
+
+        Parameters
+        ----------
+        dtype:
+            ``"float64"`` (default, bit-stable reference path) or
+            ``"float32"`` — an opt-in mixed-precision kernel that
+            whitens and factorizes in single precision with float64
+            residual refinement (see :meth:`_solve_float32`).
+        audit_every:
+            With ``dtype="float32"``, every ``audit_every``-th solve is
+            also run through the float64 kernel and compared; the first
+            solve is always audited.
+        audit_tolerance_meters:
+            Maximum allowed float32-vs-float64 position discrepancy.
+            An audit exceeding it *permanently* drops the solver back
+            to float64 (fail-safe: accuracy wins over throughput) and
+            records ``repro_kernel_float32_audits_total{outcome=
+            "tripped"}``.
+        """
+        if dtype not in ("float64", "float32"):
+            raise ConfigurationError(
+                f"dtype must be 'float64' or 'float32', got {dtype!r}"
+            )
+        if audit_every < 1:
+            raise ConfigurationError("audit_every must be at least 1")
+        if audit_tolerance_meters <= 0:
+            raise ConfigurationError("audit_tolerance_meters must be positive")
+        self._dtype = dtype
+        self._audit_every = int(audit_every)
+        self._audit_tolerance = float(audit_tolerance_meters)
+        self._solves = 0
+        self._float32_tripped = False
+        self._workspace = KernelWorkspace()
+
+    @property
+    def workspace(self) -> KernelWorkspace:
+        """The preallocated scratch buffers this solver reuses."""
+        return self._workspace
+
+    @property
+    def float32_active(self) -> bool:
+        """Whether the float32 kernel is configured and not tripped."""
+        return self._dtype == "float32" and not self._float32_tripped
+
     def solve_batch(
         self,
-        epochs: Sequence[ObservationEpoch],
+        epochs: Batchable,
         biases: Sequence[float],
     ) -> np.ndarray:
-        """Positions for N same-size epochs, as an ``(N, 3)`` array."""
-        positions, corrected = _stack_epochs(epochs, np.asarray(biases, dtype=float))
+        """Positions for N same-size epochs, as an ``(N, 3)`` array.
+
+        Accepts an :class:`~repro.blocks.EpochBlock` directly.
+        """
+        block = _as_block(epochs, "direct linearization")
+        return self.solve_block_full(
+            block, np.asarray(biases, dtype=float)
+        )[0]
+
+    def solve_block(self, block: EpochBlock, biases: np.ndarray) -> np.ndarray:
+        """Positions for an already-columnar block; zero repacking."""
+        return self.solve_block_full(block, biases)[0]
+
+    def solve_block_full(
+        self, block: EpochBlock, biases: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Solve a block, returning ``(solutions, norms, corrected)``.
+
+        ``norms`` are the whitened (Mahalanobis) residual norms — the
+        RAIM/FDE test quantities the GLS whitening produces for free —
+        and ``corrected`` the clock-corrected pseudoranges, so the
+        integrity gate can screen the batch without re-deriving either.
+        """
+        corrected = _corrected_pseudoranges(block, biases)
+        if self.float32_active:
+            self._solves += 1
+            audited = (self._solves - 1) % self._audit_every == 0
+            solutions, norms = self._solve_float32(block.positions, corrected)
+            if audited:
+                reference, ref_norms = self._solve_float64(
+                    block.positions, corrected
+                )
+                worst = float(
+                    np.max(np.linalg.norm(solutions - reference, axis=1))
+                )
+                if worst > self._audit_tolerance:
+                    self._float32_tripped = True
+                    _log.warning(
+                        "float32 DLG kernel audit failed (%.3f m > %.3f m); "
+                        "permanently falling back to float64",
+                        worst,
+                        self._audit_tolerance,
+                    )
+                    self._count_audit("tripped")
+                    return reference, ref_norms, corrected
+                self._count_audit("passed")
+            return solutions, norms, corrected
+        solutions, norms = self._solve_float64(block.positions, corrected)
+        return solutions, norms, corrected
+
+    def _solve_float64(
+        self, positions: np.ndarray, corrected: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
         design, rhs = build_difference_systems(positions, corrected)
         # Batched eq. 4-26 in structured form: diag rho_j^2, scale rho_base^2.
         diag = corrected[:, 1:] ** 2  # (N, m-1)
         scale = corrected[:, 0] ** 2  # (N,)
         try:
-            solutions, _norms = batched_gls_solve_diag_rank1(design, rhs, diag, scale)
+            return batched_gls_solve_diag_rank1(
+                design, rhs, diag, scale, workspace=self._workspace
+            )
         except EstimationError as exc:
             raise EstimationError(
                 "a batch epoch has degenerate geometry; solve epochs "
                 "individually to identify it"
             ) from exc
-        return solutions
+
+    def _solve_float32(
+        self, positions: np.ndarray, corrected: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mixed-precision kernel: float32 factorization, float64 refinement.
+
+        A naive full-float32 solve is hopeless here: the difference
+        right-hand sides are ~1e13 m² (squares of ECEF radii), so
+        float32's 2^-24 relative precision maps to ~1e6 m of rhs error.
+        Instead the system is *built* in float64, the whitening and
+        Gram factorization are demoted to float32 (the memory-bound
+        part whose cost scales with satellite count), and the solution
+        is recovered by iterative refinement: each pass recomputes the
+        residual ``rhs - A x`` in float64 (cheap, exact to ~mm) and
+        solves for the correction against the float32 Gram.  Three
+        passes contract the initial kilometer-scale error below the
+        audit tolerance for any geometry the float64 path itself can
+        solve; pathological conditioning is what the audit gate exists
+        to catch.
+        """
+        design, rhs = build_difference_systems(positions, corrected)
+        diag = corrected[:, 1:] ** 2
+        scale = corrected[:, 0] ** 2
+        ws = self._workspace
+        n, k, p = design.shape
+        design32 = ws.buffer("f32_design", (n, k, p), np.float32)
+        design32[...] = design
+        inv_d = 1.0 / diag
+        inv_d32 = ws.buffer("f32_inv_d", (n, k), np.float32)
+        inv_d32[...] = inv_d
+        s_over_denom = (scale / (1.0 + scale * inv_d.sum(axis=1))).astype(
+            np.float32
+        )
+        whitened = np.multiply(
+            design32, inv_d32[:, :, None], out=ws.buffer("f32_u", (n, k, p), np.float32)
+        )
+        correction = s_over_denom[:, None] * whitened.sum(axis=1)
+        whitened -= inv_d32[:, :, None] * correction[:, None, :]
+        gram = np.einsum("nki,nkj->nij", design32, whitened)
+        solutions = np.zeros((n, p))
+        residual = rhs
+        for _pass in range(3):
+            moment = np.einsum(
+                "nki,nk->ni", whitened, residual.astype(np.float32)
+            )
+            try:
+                delta = np.linalg.solve(gram, moment[..., None])[..., 0]
+            except np.linalg.LinAlgError as exc:
+                raise EstimationError(
+                    "a batch epoch has degenerate geometry; solve epochs "
+                    "individually to identify it"
+                ) from exc
+            solutions = solutions + delta.astype(float)
+            residual = rhs - np.einsum("nki,ni->nk", design, solutions)
+        # Mahalanobis norms from the float64 residual, so FDE-style
+        # consumers see statistics on the same scale as the reference
+        # kernel (the engine still refuses float32+FDE outright).
+        mahalanobis_sq = np.einsum(
+            "nk,nk->n",
+            residual,
+            batched_apply_inverse_diag_rank1(diag, scale, residual),
+        )
+        return solutions, np.sqrt(np.maximum(mahalanobis_sq, 0.0))
+
+    def _count_audit(self, outcome: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_kernel_float32_audits_total",
+                "Float32 kernel differential audits by outcome.",
+                labels=("outcome",),
+            ).labels(outcome=outcome).inc()
 
 
 @dataclass(frozen=True)
@@ -231,26 +447,24 @@ class BatchNewtonRaphsonSolver:
             )
         return result.positions
 
-    def solve_batch_full(self, epochs: Sequence[ObservationEpoch]) -> BatchNrResult:
-        """Solve N same-size epochs, reporting per-epoch convergence."""
-        if not epochs:
-            raise GeometryError("solve_batch needs at least one epoch")
-        m = epochs[0].satellite_count
-        if m < 4:
-            raise GeometryError(
-                f"batched Newton-Raphson needs at least 4 satellites, got {m}"
-            )
-        for epoch in epochs:
-            if epoch.satellite_count != m:
-                raise GeometryError(
-                    "all epochs in a batch must have the same satellite count "
-                    f"(got {epoch.satellite_count} and {m}); group epochs by "
-                    "count before batching"
-                )
-        positions = np.stack([epoch.satellite_positions() for epoch in epochs])
-        pseudoranges = np.stack([epoch.pseudoranges() for epoch in epochs])
+    def solve_batch_full(self, epochs: Batchable) -> BatchNrResult:
+        """Solve N same-size epochs, reporting per-epoch convergence.
 
-        n = len(epochs)
+        Accepts an :class:`~repro.blocks.EpochBlock` directly (alias
+        :meth:`solve_block_full`); epoch sequences are packed once.
+        """
+        block = _as_block(epochs, "Newton-Raphson")
+        return self._iterate(block.positions, block.pseudoranges)
+
+    def solve_block_full(self, block: EpochBlock) -> BatchNrResult:
+        """Solve an already-columnar block; zero repacking."""
+        return self.solve_batch_full(block)
+
+    def _iterate(
+        self, positions: np.ndarray, pseudoranges: np.ndarray
+    ) -> BatchNrResult:
+        m = positions.shape[1]
+        n = positions.shape[0]
         states = np.tile(self._initial_state, (n, 1))  # (N, 4)
         iterations = np.zeros(n, dtype=int)
         converged = np.zeros(n, dtype=bool)
