@@ -82,6 +82,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "telemetry": _cmd_telemetry,
         "fuzz": _cmd_fuzz,
         "serve": _cmd_serve,
+        "inspect": _cmd_inspect,
     }[args.command]
     try:
         return handler(args)
@@ -91,14 +92,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 @contextmanager
-def _metrics_sink(path: Optional[str]):
+def _metrics_sink(path: Optional[str], ensure: bool = False):
     """Scoped telemetry for a subcommand: no-op unless a path is given.
 
     With a path, installs a fresh registry/tracer for the body and
     writes the snapshot on the way out (format by extension).
+    ``ensure`` installs a registry even without a sink path — the
+    serve command's status port scrapes the live registry, so arming
+    the port must arm collection too or ``/metrics`` serves nothing.
     """
     if not path:
-        yield
+        if ensure:
+            with telemetry.capture():
+                yield
+        else:
+            yield
         return
     with telemetry.capture() as (registry, tracer):
         yield
@@ -321,6 +329,67 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="record service telemetry (.prom/.txt or .json)",
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm the per-request trace plane (span trees on every result)",
+    )
+    serve.add_argument(
+        "--record-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the anomaly flight recorder; replayable incident "
+            "artifacts and a flight-records.json snapshot land here"
+        ),
+    )
+    serve.add_argument(
+        "--status-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /metrics.json, /slo, /records, /healthz on "
+            "127.0.0.1:PORT while running (0 picks a free port); also "
+            "arms the SLO engine"
+        ),
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.999,
+        help="availability objective for the SLO engine (with --status-port)",
+    )
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="browse flight-recorder records and incident artifacts",
+    )
+    inspect.add_argument(
+        "path",
+        help=(
+            "an incident artifact, a flight-records.json snapshot, or a "
+            "directory holding either (e.g. a serve run's --record-dir)"
+        ),
+    )
+    inspect.add_argument(
+        "--request",
+        default=None,
+        metavar="ID",
+        help="show one request's full record (and span tree, if traced)",
+    )
+    inspect.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the most recent N records",
+    )
+    inspect.add_argument(
+        "--triggered",
+        action="store_true",
+        help="only records that tripped an anomaly trigger",
     )
     return parser
 
@@ -611,6 +680,108 @@ def _cmd_fuzz_fde(args: argparse.Namespace) -> int:
     return exit_code(report.ok)
 
 
+def _load_flight_records(path: str) -> List[dict]:
+    """Every flight record reachable from ``path``, oldest first.
+
+    Understands both artifact shapes the recorder writes: a replayable
+    incident payload (``format: repro-flight-record-v1``, one embedded
+    record) and a ``FlightRecorder.snapshot()`` dump (a ``records``
+    list).  A directory is scanned for ``*.json`` holding either.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry.recorder import INCIDENT_FORMAT
+
+    target = Path(path)
+    if not target.exists():
+        raise ConfigurationError(f"no such file or directory: {path}")
+    files = sorted(target.glob("*.json")) if target.is_dir() else [target]
+    records: List[dict] = []
+    for file in files:
+        try:
+            payload = json.loads(file.read_text())
+        except (OSError, ValueError):
+            continue  # unreadable / not JSON: not ours to judge
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("format") == INCIDENT_FORMAT:
+            record = payload.get("record")
+            if isinstance(record, dict):
+                records.append(record)
+        elif isinstance(payload.get("records"), list):
+            records.extend(
+                r for r in payload["records"] if isinstance(r, dict)
+            )
+    records.sort(key=lambda r: r.get("recorded_at") or 0.0)
+    return records
+
+
+def _print_flight_record(record: dict) -> None:
+    """Full single-record rendering for ``inspect --request``."""
+    from repro.telemetry.trace import RequestTrace
+
+    for key in ("request_id", "trace_id", "status", "solver", "trigger",
+                "inputs_digest", "config_hash", "error"):
+        value = record.get(key)
+        if value not in (None, ""):
+            print(f"{key}: {value}")
+    stage_seconds = record.get("stage_seconds") or {}
+    if stage_seconds:
+        stages = " ".join(
+            f"{name}={1e3 * float(sec):.3f}ms"
+            for name, sec in stage_seconds.items()
+        )
+        print(f"stages: {stages}")
+    verdict = record.get("verdict")
+    if verdict:
+        print(f"verdict: {verdict}")
+    attributes = record.get("attributes") or {}
+    if attributes:
+        print(f"attributes: {attributes}")
+    print(f"replayable: {'yes' if record.get('epoch') else 'no'}")
+    trace = record.get("trace")
+    if trace:
+        print(RequestTrace.from_dict(trace).format())
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    records = _load_flight_records(args.path)
+    if args.request is not None:
+        matches = [
+            r for r in records if r.get("request_id") == args.request
+        ]
+        if not matches:
+            print(
+                f"repro-gps inspect: no record for request "
+                f"{args.request!r} under {args.path}",
+                file=sys.stderr,
+            )
+            return EXIT_FAILURE
+        _print_flight_record(matches[-1])  # newest wins, like find()
+        return EXIT_OK
+    if args.triggered:
+        records = [r for r in records if r.get("trigger")]
+    if args.last is not None:
+        records = records[-args.last:]
+    if not records:
+        print(f"no flight records under {args.path}")
+        return EXIT_OK
+    print(f"{'recorded_at':>14}  {'status':<8} {'trigger':<16} "
+          f"{'solver':<16} request_id")
+    for record in records:
+        print(
+            f"{record.get('recorded_at') or 0.0:>14.3f}  "
+            f"{record.get('status') or '-':<8} "
+            f"{record.get('trigger') or '-':<16} "
+            f"{record.get('solver') or '-':<16} "
+            f"{record.get('request_id') or '-'}"
+        )
+    triggered = sum(1 for r in records if r.get("trigger"))
+    print(f"{len(records)} records ({triggered} triggered)")
+    return EXIT_OK
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -647,6 +818,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         solver = SolverConfig(algorithm=args.algorithm, clock_predictor=predictor)
     else:
         solver = SolverConfig(algorithm="nr")
+    from repro.telemetry.recorder import RecorderConfig
+    from repro.telemetry.slo import SloConfig
+
     service_config = ServiceConfig(
         solver=solver,
         max_batch_size=args.batch_size,
@@ -654,6 +828,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.queue_depth,
         default_timeout_seconds=(
             None if args.timeout_ms is None else args.timeout_ms / 1000.0
+        ),
+        trace=args.trace,
+        recorder=(
+            RecorderConfig(dump_dir=args.record_dir)
+            if args.record_dir is not None
+            else None
+        ),
+        slo=(
+            SloConfig(availability_target=args.slo_target)
+            if args.status_port is not None
+            else None
         ),
     )
     serve_epochs = epochs[warmup_count:]
@@ -666,6 +851,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # quadratically when a whole batch resolves at once).
         indices = iter(range(len(serve_epochs)))
         async with PositioningService(service_config) as service:
+            status_server = None
+            if args.status_port is not None:
+                from repro.telemetry import get_registry
+                from repro.telemetry.statusd import StatusServer
+
+                status_server = StatusServer(
+                    registries=lambda: [get_registry()],
+                    slo=service.slo,
+                    recorder=service.recorder,
+                    port=args.status_port,
+                )
+                await status_server.start()
+                print(
+                    f"status endpoint: http://127.0.0.1:{status_server.port}"
+                    "/metrics (.json, /slo, /records, /healthz)"
+                )
             client = AsyncPositioningClient(service)
             loop = asyncio.get_running_loop()
 
@@ -684,12 +885,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
             pumps = min(max(1, args.concurrency), max(1, len(serve_epochs)))
             started = loop.time()
-            await asyncio.gather(*(pump() for _ in range(pumps)))
+            try:
+                await asyncio.gather(*(pump() for _ in range(pumps)))
+            finally:
+                if status_server is not None:
+                    await status_server.stop()
             wall = loop.time() - started
-        return results, latencies, wall
+            slo_snapshot = (
+                service.slo.snapshot() if service.slo is not None else None
+            )
+            recorder_snapshot = (
+                service.recorder.snapshot()
+                if service.recorder is not None
+                else None
+            )
+        return results, latencies, wall, slo_snapshot, recorder_snapshot
 
-    with _metrics_sink(args.metrics_out):
-        results, latencies, wall = asyncio.run(run())
+    with _metrics_sink(args.metrics_out, ensure=args.status_port is not None):
+        results, latencies, wall, slo_snapshot, recorder_snapshot = (
+            asyncio.run(run())
+        )
+
+    if recorder_snapshot is not None:
+        # Persist the full ring alongside any incident dumps so
+        # `repro-gps inspect <dir> [--request <id>]` works offline.
+        import json as _json
+        from pathlib import Path
+
+        snapshot_path = Path(args.record_dir) / "flight-records.json"
+        snapshot_path.parent.mkdir(parents=True, exist_ok=True)
+        snapshot_path.write_text(
+            _json.dumps(recorder_snapshot, indent=2, sort_keys=True)
+        )
+        print(
+            f"flight recorder: {recorder_snapshot['retained']} records, "
+            f"{len(recorder_snapshot['dumps'])} incident dumps -> "
+            f"{snapshot_path}"
+        )
+    if slo_snapshot is not None:
+        quantiles = slo_snapshot["latency_seconds"]
+        rendered = " ".join(
+            f"{name}={1e3 * value:.2f}ms"
+            for name, value in quantiles.items()
+            if value == value  # skip NaN (empty window)
+        )
+        print(
+            f"slo: availability {slo_snapshot['availability']:.6f} "
+            f"(budget remaining {slo_snapshot['error_budget_remaining']:+.3f}) "
+            f"latency {rendered}"
+        )
 
     statuses = {}
     for result in results:

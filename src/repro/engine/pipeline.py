@@ -85,6 +85,12 @@ class EngineDiagnostics:
         (:class:`~repro.integrity.fde.FdeRecord`, stream-ordered) when
         the engine runs with FDE enabled, else ``None``.  Epochs the
         stream dropped as invalid/undersized appear as ``unchecked``.
+    bucket_keys / bucket_rows:
+        Batch lineage, stream-ordered int32 arrays: for epoch ``i``,
+        the satellite count of the bucket it solved in and the row it
+        occupied there (``-1`` for epochs that never reached a bucket
+        solve).  This is what lets a trace or an incident record say
+        *where in the batch* a given request's epoch actually ran.
     """
 
     epochs_dropped: int = 0
@@ -93,6 +99,12 @@ class EngineDiagnostics:
     invalid_indices: Tuple[int, ...] = ()
     bucket_status: Dict[int, str] = field(default_factory=dict)
     fde: Optional[FdeRecord] = None
+    bucket_keys: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
+    bucket_rows: Optional[np.ndarray] = field(
+        default=None, compare=False, repr=False
+    )
 
     def to_dict(self) -> Dict:
         """JSON-ready form, used by the telemetry snapshot exporters."""
@@ -103,6 +115,16 @@ class EngineDiagnostics:
             "invalid_indices": list(self.invalid_indices),
             "bucket_status": {str(k): v for k, v in self.bucket_status.items()},
             "fde": self.fde.to_dict() if self.fde is not None else None,
+            "bucket_keys": (
+                [int(k) for k in self.bucket_keys]
+                if self.bucket_keys is not None
+                else None
+            ),
+            "bucket_rows": (
+                [int(r) for r in self.bucket_rows]
+                if self.bucket_rows is not None
+                else None
+            ),
         }
 
 
@@ -143,6 +165,63 @@ class EngineResult:
 
     def __len__(self) -> int:
         return self.positions.shape[0]
+
+
+class _EngineMetrics:
+    """Bound metric children for one (registry, algorithm) pair.
+
+    ``solve_stream`` publishes stream- and bucket-level metrics on
+    every flush of the serving path; resolving the name -> family ->
+    child chain each time costs more than the updates themselves, so
+    the children are bound once per installed registry.
+    """
+
+    __slots__ = (
+        "bucket_size",
+        "bucket_ok",
+        "bucket_failed",
+        "streams",
+        "epochs",
+        "dropped",
+        "invalid",
+        "coverage",
+    )
+
+    def __init__(self, registry, algorithm: str) -> None:
+        self.bucket_size = registry.histogram(
+            "repro_engine_bucket_size",
+            "Epochs per same-satellite-count bucket.",
+            buckets=_BUCKET_SIZE_BUCKETS,
+        ).labels()
+        solves = registry.counter(
+            "repro_engine_bucket_solves_total",
+            "Bucket solves by outcome.",
+            labels=("algorithm", "status"),
+        )
+        self.bucket_ok = solves.labels(algorithm=algorithm, status="ok")
+        self.bucket_failed = solves.labels(algorithm=algorithm, status="failed")
+        self.streams = registry.counter(
+            "repro_engine_streams_total",
+            "solve_stream calls.",
+            labels=("algorithm",),
+        ).labels(algorithm=algorithm)
+        self.epochs = registry.counter(
+            "repro_engine_epochs_total",
+            "Epochs submitted to solve_stream.",
+            labels=("algorithm",),
+        ).labels(algorithm=algorithm)
+        self.dropped = registry.counter(
+            "repro_engine_epochs_dropped_total",
+            "Undersized epochs dropped from streams.",
+        ).labels()
+        self.invalid = registry.counter(
+            "repro_engine_epochs_invalid_total",
+            "Structurally invalid epochs dropped from streams.",
+        ).labels()
+        self.coverage = registry.gauge(
+            "repro_engine_scatter_coverage",
+            "Fraction of the last stream answered with a solve.",
+        ).labels()
 
 
 class PositioningEngine:
@@ -215,6 +294,18 @@ class PositioningEngine:
         self._dlo = BatchDLOSolver()
         self._dlg = BatchDLGSolver(dtype=precision)
         self._fde = BatchFde(fde_config) if fde_config is not None else None
+        # Per-registry cached metric children: solve_stream publishes a
+        # handful of counters per flush and two per bucket, and the
+        # name->family->child lookups are measurable at serving flush
+        # rates (invalidated when the installed registry changes).
+        self._metrics_registry = None
+        self._metrics: Optional[_EngineMetrics] = None
+
+    def _engine_metrics(self, registry) -> "_EngineMetrics":
+        if registry is not self._metrics_registry:
+            self._metrics = _EngineMetrics(registry, self._algorithm)
+            self._metrics_registry = registry
+        return self._metrics
 
     @classmethod
     def from_config(
@@ -418,6 +509,7 @@ class PositioningEngine:
 
         registry = get_registry()
         tracer = get_tracer()
+        metrics = self._engine_metrics(registry) if registry.enabled else None
         solve_seconds = 0.0
         fde_seconds = 0.0
         with tracer.span(
@@ -466,14 +558,16 @@ class PositioningEngine:
                         ) = self._solve_bucket(bucket, stream_biases)
                     except (GeometryError, EstimationError):
                         bucket_status[bucket.satellite_count] = "failed"
-                        if registry.enabled:
-                            self._record_bucket(registry, bucket, "failed")
+                        if metrics is not None:
+                            metrics.bucket_size.observe(len(bucket))
+                            metrics.bucket_failed.inc()
                         raise
                 solve_seconds += bucket_solve_s
                 fde_seconds += bucket_fde_s
                 bucket_status[bucket.satellite_count] = "ok"
-                if registry.enabled:
-                    self._record_bucket(registry, bucket, "ok")
+                if metrics is not None:
+                    metrics.bucket_size.observe(len(bucket))
+                    metrics.bucket_ok.inc()
                 position_blocks.append(block_positions)
                 bias_blocks.append(bucket_biases)
                 if fde_record is not None:
@@ -487,6 +581,15 @@ class PositioningEngine:
             clock_biases = scatter_bucket_results(
                 solvable, bias_blocks, total, allow_partial=allow_partial
             )
+            # Batch lineage: which bucket (keyed by satellite count)
+            # answered each stream row, and on which row of that
+            # bucket — two vectorized scatters, a few µs per stream.
+            bucket_keys = np.full(total, -1, dtype=np.int32)
+            bucket_rows = np.full(total, -1, dtype=np.int32)
+            for bucket in solvable:
+                rows = np.asarray(bucket.indices, dtype=int)
+                bucket_keys[rows] = bucket.satellite_count
+                bucket_rows[rows] = np.arange(len(rows), dtype=np.int32)
             scatter_seconds = perf_counter() - stage_started
 
         diagnostics = EngineDiagnostics(
@@ -500,33 +603,18 @@ class PositioningEngine:
                 if self._fde is not None
                 else None
             ),
+            bucket_keys=bucket_keys,
+            bucket_rows=bucket_rows,
         )
         self._dlg.workspace.flush_telemetry()
-        if registry.enabled:
-            registry.counter(
-                "repro_engine_streams_total",
-                "solve_stream calls.",
-                labels=("algorithm",),
-            ).labels(algorithm=self._algorithm).inc()
-            registry.counter(
-                "repro_engine_epochs_total",
-                "Epochs submitted to solve_stream.",
-                labels=("algorithm",),
-            ).labels(algorithm=self._algorithm).inc(total)
+        if metrics is not None:
+            metrics.streams.inc()
+            metrics.epochs.inc(total)
             if dropped_indices:
-                registry.counter(
-                    "repro_engine_epochs_dropped_total",
-                    "Undersized epochs dropped from streams.",
-                ).inc(len(dropped_indices))
+                metrics.dropped.inc(len(dropped_indices))
             if invalid_indices:
-                registry.counter(
-                    "repro_engine_epochs_invalid_total",
-                    "Structurally invalid epochs dropped from streams.",
-                ).inc(len(invalid_indices))
-            registry.gauge(
-                "repro_engine_scatter_coverage",
-                "Fraction of the last stream answered with a solve.",
-            ).set(
+                metrics.invalid.inc(len(invalid_indices))
+            metrics.coverage.set(
                 1.0
                 - (len(dropped_indices) + len(invalid_indices)) / total
             )
@@ -573,15 +661,3 @@ class PositioningEngine:
                     return message
         return "epoch violates the solver input contract"
 
-    def _record_bucket(self, registry, bucket, status: str) -> None:
-        """Per-bucket composition and outcome metrics."""
-        registry.histogram(
-            "repro_engine_bucket_size",
-            "Epochs per same-satellite-count bucket.",
-            buckets=_BUCKET_SIZE_BUCKETS,
-        ).observe(len(bucket))
-        registry.counter(
-            "repro_engine_bucket_solves_total",
-            "Bucket solves by outcome.",
-            labels=("algorithm", "status"),
-        ).labels(algorithm=self._algorithm, status=status).inc()

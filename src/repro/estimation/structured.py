@@ -19,7 +19,7 @@ of epochs.  This module is the shared fast path behind the scalar
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -31,6 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.estimation.workspace import KernelWorkspace
 
 
+# Per-registry cached counter children for _count_gls_path: it runs
+# once per solved bucket on the serving path, where the uncached
+# name -> family -> child lookup costs more than the increment.
+_GLS_PATH_CACHE: Tuple[object, Dict[str, object]] = (None, {})
+
+
 def _count_gls_path(path: str, solves: int = 1) -> None:
     """Record which GLS implementation answered (telemetry only).
 
@@ -38,13 +44,23 @@ def _count_gls_path(path: str, solves: int = 1) -> None:
     produce identical answers, so *which one ran* is invisible without
     this counter — yet it is exactly what a perf investigation needs.
     """
+    global _GLS_PATH_CACHE
     registry = get_registry()
-    if registry.enabled:
-        registry.counter(
+    if not registry.enabled:
+        return
+    cached_registry, children = _GLS_PATH_CACHE
+    if cached_registry is not registry:
+        children = {}
+        _GLS_PATH_CACHE = (registry, children)
+    child = children.get(path)
+    if child is None:
+        child = registry.counter(
             "repro_estimation_gls_solves_total",
             "GLS solves by implementation path.",
             labels=("path",),
-        ).labels(path=path).inc(solves)
+        ).labels(path=path)
+        children[path] = child
+    child.inc(solves)
 
 
 def _validate_components(diag: np.ndarray, scale: np.ndarray) -> None:

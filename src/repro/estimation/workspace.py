@@ -24,17 +24,25 @@ the next solve call requests the same key.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.telemetry import get_registry
 
+#: Block-size histogram bounds (bytes per allocated scratch buffer):
+#: geometric 4KiB → 256MiB, wide enough for a 4-sat micro-batch row up
+#: to the large-n constellation sweeps.
+_BLOCK_BYTES_BUCKETS = tuple(4096.0 * 4**e for e in range(9))
+
 
 class KernelWorkspace:
     """Shape-keyed scratch buffers reused across batched solve calls."""
 
-    __slots__ = ("_buffers", "_reused", "_allocated", "_flushed")
+    __slots__ = ("_buffers", "_reused", "_allocated", "_flushed",
+                 "_unflushed_block_bytes", "_metrics_registry",
+                 "_reused_child", "_allocated_child", "_resident_gauge",
+                 "_block_histogram")
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
@@ -42,6 +50,36 @@ class KernelWorkspace:
         self._allocated = 0
         # Counts already published to telemetry (flush publishes deltas).
         self._flushed = (0, 0)
+        # Sizes of buffers allocated since the last flush, for the
+        # scrape-visible block-size histogram.
+        self._unflushed_block_bytes: List[int] = []
+        # Per-registry cached metric children; flush_telemetry runs on
+        # every engine stream, so the family lookups are bound once per
+        # installed registry.
+        self._metrics_registry = None
+        self._reused_child = None
+        self._allocated_child = None
+        self._resident_gauge = None
+        self._block_histogram = None
+
+    def _bind_metrics(self, registry) -> None:
+        counter = registry.counter(
+            "repro_kernel_workspace_requests_total",
+            "Kernel scratch-buffer requests by outcome.",
+            labels=("outcome",),
+        )
+        self._reused_child = counter.labels(outcome="reused")
+        self._allocated_child = counter.labels(outcome="allocated")
+        self._resident_gauge = registry.gauge(
+            "repro_kernel_workspace_resident_bytes",
+            "Bytes held by cached kernel scratch buffers.",
+        ).labels()
+        self._block_histogram = registry.histogram(
+            "repro_kernel_workspace_block_bytes",
+            "Size of freshly allocated kernel scratch buffers.",
+            buckets=_BLOCK_BYTES_BUCKETS,
+        ).labels()
+        self._metrics_registry = registry
 
     def buffer(
         self,
@@ -63,6 +101,7 @@ class KernelWorkspace:
         self._allocated += 1
         fresh = np.empty(key[1], dtype=key[2])
         self._buffers[key] = fresh
+        self._unflushed_block_bytes.append(fresh.nbytes)
         return fresh
 
     # ------------------------------------------------------------------
@@ -94,23 +133,25 @@ class KernelWorkspace:
         """
         registry = get_registry()
         if not registry.enabled:
+            # Nobody will scrape these; don't let the pending-size list
+            # grow for the life of an uninstrumented process.
+            self._unflushed_block_bytes.clear()
             return
         flushed_reused, flushed_allocated = self._flushed
         delta_reused = self._reused - flushed_reused
         delta_allocated = self._allocated - flushed_allocated
         if not (delta_reused or delta_allocated):
             return
-        counter = registry.counter(
-            "repro_kernel_workspace_requests_total",
-            "Kernel scratch-buffer requests by outcome.",
-            labels=("outcome",),
-        )
+        if registry is not self._metrics_registry:
+            self._bind_metrics(registry)
         if delta_reused:
-            counter.labels(outcome="reused").inc(delta_reused)
+            self._reused_child.inc(delta_reused)
         if delta_allocated:
-            counter.labels(outcome="allocated").inc(delta_allocated)
-        registry.gauge(
-            "repro_kernel_workspace_resident_bytes",
-            "Bytes held by cached kernel scratch buffers.",
-        ).set(float(self.resident_bytes))
+            self._allocated_child.inc(delta_allocated)
+        self._resident_gauge.set(float(self.resident_bytes))
+        if self._unflushed_block_bytes:
+            self._block_histogram.observe_many(
+                [float(nbytes) for nbytes in self._unflushed_block_bytes]
+            )
+            self._unflushed_block_bytes.clear()
         self._flushed = (self._reused, self._allocated)

@@ -47,11 +47,15 @@ class Flush:
 
     ``oldest_enqueued_at`` is the loop-clock enqueue time of the batch's
     oldest item — what queue-delay metrics are computed from.
+    ``sequence`` numbers flushes monotonically per batcher (starting at
+    0), giving every dispatched batch a stable identity that traces and
+    flight-recorder records use as batch lineage.
     """
 
     items: Tuple
     reason: str
     oldest_enqueued_at: float
+    sequence: int = 0
 
     def __len__(self) -> int:
         return len(self.items)
@@ -70,6 +74,7 @@ class MicroBatcher:
         self._pending: Deque[Tuple[object, float]] = deque()
         self._wakeup = asyncio.Event()
         self._closed = False
+        self._sequence = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -96,7 +101,14 @@ class MicroBatcher:
         take = min(self._max_batch, len(self._pending))
         oldest = self._pending[0][1]
         items = tuple(self._pending.popleft()[0] for _ in range(take))
-        return Flush(items=items, reason=reason, oldest_enqueued_at=oldest)
+        sequence = self._sequence
+        self._sequence += 1
+        return Flush(
+            items=items,
+            reason=reason,
+            oldest_enqueued_at=oldest,
+            sequence=sequence,
+        )
 
     async def next_batch(self) -> Optional[Flush]:
         """The next formed batch, or ``None`` once closed and drained."""

@@ -45,8 +45,9 @@ bad.
 from __future__ import annotations
 
 import asyncio
+from collections import Counter
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -59,6 +60,23 @@ from repro.observations import ObservationEpoch, epoch_integrity_error
 from repro.service.batcher import Flush, MicroBatcher
 from repro.service.types import ServiceConfig, ServiceResult
 from repro.telemetry import get_registry, get_tracer
+from repro.telemetry.recorder import (
+    TRIGGER_DEADLINE_MISS,
+    TRIGGER_DEGRADED,
+    TRIGGER_FDE_EXCLUSION,
+    TRIGGER_FDE_UNREPAIRED,
+    FixRecord,
+    FlightRecorder,
+    config_hash,
+    epoch_payload,
+    now_seconds,
+)
+from repro.telemetry.slo import SloTracker
+from repro.telemetry.trace import (
+    RequestTrace,
+    assemble_request_trace,
+    mint_request_number,
+)
 
 #: Distinguishes "no timeout argument" from an explicit ``None``
 #: (= wait indefinitely).
@@ -93,6 +111,41 @@ class _PendingRequest:
     future: "asyncio.Future[ServiceResult]"
     submitted_at: float
     deadline: Optional[float]
+    # The request's trace identity: a bare counter number from
+    # mint_request_number (the TraceContext materializes lazily from
+    # whichever RequestTrace carries it), or None when tracing is off.
+    trace: Optional[int] = None
+
+
+@dataclass
+class _BatchMeta:
+    """What one dispatch learned beyond the per-request outcomes.
+
+    Carried from :meth:`PositioningService._solve_batch` back to
+    ``_dispatch`` so traces and flight-recorder entries can name the
+    stage split, the bucket lineage, and the resolved biases without
+    re-deriving anything.
+    """
+
+    rung: str  # "batch" (engine answered) or "scalar" (ladder ran)
+    epochs: List[ObservationEpoch]  # post-admission, what actually solved
+    stage_seconds: Optional[Dict[str, float]] = None
+    bucket_keys: Optional[np.ndarray] = None
+    bucket_rows: Optional[np.ndarray] = None
+    resolved_biases: Optional[np.ndarray] = None
+
+    def lineage(self, index: int):
+        """``(bucket_satellites, bucket_row)`` for live-row ``index``."""
+        if self.bucket_keys is None or self.bucket_rows is None:
+            return -1, -1
+        return int(self.bucket_keys[index]), int(self.bucket_rows[index])
+
+    def bias(self, index: int) -> Optional[float]:
+        """The clock bias the solve consumed for row ``index``."""
+        if self.resolved_biases is None:
+            return None
+        value = float(self.resolved_biases[index])
+        return value if np.isfinite(value) else None
 
 
 class _MetricHandles:
@@ -232,6 +285,35 @@ class PositioningService:
         self._batcher: Optional[MicroBatcher] = None
         self._worker: Optional["asyncio.Task[None]"] = None
         self._handles: Optional[_MetricHandles] = None
+        # Observability plane (all opt-in, all None/off by default).
+        self._recorder = (
+            FlightRecorder(self._config.recorder)
+            if self._config.recorder is not None
+            else None
+        )
+        self._slo = (
+            SloTracker(self._config.slo) if self._config.slo is not None else None
+        )
+        # Fallback record ids for trace-off recording ("fix-<n>").
+        self._fix_sequence = 0
+        # Shared solver spec for untriggered fix records: only
+        # triggered records are replayable (they capture the epoch), so
+        # only they pay for a per-request spec with the resolved bias.
+        self._base_solver_spec = {
+            "algorithm": solver_config.algorithm,
+            "clock_bias_meters": solver_config.clock_bias_meters,
+        }
+        self._fde_spec = (
+            self._config.integrity.to_dict()
+            if self._config.integrity is not None
+            else None
+        )
+        self._config_hash = config_hash(
+            {"algorithm": self._config.solver.algorithm},
+            self._fde_spec,
+            nr_fallback=self._config.nr_fallback,
+            max_batch_size=self._config.max_batch_size,
+        )
 
     def _telemetry_handles(self) -> Optional[_MetricHandles]:
         """Cached hot-path metric children for the installed registry."""
@@ -255,6 +337,16 @@ class PositioningService:
     def health_tracker(self) -> Optional[SatelliteHealthTracker]:
         """The satellite-health circuit breaker, when integrity is armed."""
         return self._tracker
+
+    @property
+    def recorder(self) -> Optional[FlightRecorder]:
+        """The anomaly flight recorder, when ``config.recorder`` is set."""
+        return self._recorder
+
+    @property
+    def slo(self) -> Optional[SloTracker]:
+        """The SLO tracker, when ``config.slo`` is set."""
+        return self._slo
 
     @property
     def running(self) -> bool:
@@ -330,6 +422,8 @@ class PositioningService:
             handles = self._telemetry_handles()
             if handles is not None:
                 handles.request_child("rejected").inc()
+            if self._slo is not None:
+                self._slo.observe("rejected", 0.0)
             return ServiceResult(
                 status="rejected",
                 error=(
@@ -337,6 +431,7 @@ class PositioningService:
                     f"retry after {self._config.retry_after_seconds:g}s"
                 ),
                 retry_after_seconds=self._config.retry_after_seconds,
+                completed_at=asyncio.get_running_loop().time(),
             )
 
         loop = asyncio.get_running_loop()
@@ -346,12 +441,14 @@ class PositioningService:
         )
         if effective_timeout is not None and effective_timeout <= 0.0:
             raise ServiceError("timeout must be positive (or None)")
+        deadline = None if effective_timeout is None else now + effective_timeout
         request = _PendingRequest(
             epoch=epoch,
             bias_meters=bias_meters,
             future=loop.create_future(),
             submitted_at=now,
-            deadline=None if effective_timeout is None else now + effective_timeout,
+            deadline=deadline,
+            trace=mint_request_number() if self._config.trace else None,
         )
         self._batcher.put(request)
         # No wait_for here: the worker always resolves the future — on
@@ -382,8 +479,8 @@ class PositioningService:
                         None,
                     )
 
-    @staticmethod
     def _finish(
+        self,
         request: _PendingRequest,
         result: ServiceResult,
         handles: Optional[_MetricHandles],
@@ -398,11 +495,15 @@ class PositioningService:
             status = "cancelled"
         else:
             status = future.result().status
-        if handles is not None:
-            handles.request_child(status).inc()
+        if handles is not None or self._slo is not None:
             if now is None:
                 now = asyncio.get_running_loop().time()
-            handles.latency.observe(max(0.0, now - request.submitted_at))
+            latency = max(0.0, now - request.submitted_at)
+            if handles is not None:
+                handles.request_child(status).inc()
+                handles.latency.observe(latency)
+            if self._slo is not None:
+                self._slo.observe(status, latency)
 
     def _dispatch(self, flush: Flush) -> None:
         """Solve one formed batch and resolve every request in it."""
@@ -420,18 +521,19 @@ class PositioningService:
         live: List[_PendingRequest] = []
         for request in flush.items:
             if request.future.cancelled():
-                self._finish(request, ServiceResult(status="cancelled"), handles, now)
-            elif request.deadline is not None and now >= request.deadline:
                 self._finish(
                     request,
-                    ServiceResult(
-                        status="timeout",
-                        error="deadline expired while queued",
-                        wait_seconds=now - request.submitted_at,
-                    ),
+                    self._screened_result("cancelled", None, request, now, flush),
                     handles,
                     now,
                 )
+            elif request.deadline is not None and now >= request.deadline:
+                result = self._screened_result(
+                    "timeout", "deadline expired while queued", request, now, flush
+                )
+                self._finish(request, result, handles, now)
+                if self._recorder is not None:
+                    self._record_fix(request, result, request.epoch, None, flush)
             else:
                 live.append(request)
         if not live:
@@ -445,11 +547,74 @@ class PositioningService:
             reason=flush.reason,
             algorithm=self._engine.algorithm,
         ):
-            outcomes = self._solve_batch(live)
+            outcomes, meta = self._solve_batch(live)
         solve_seconds = loop.time() - solve_started
 
         resolved_at = loop.time()
-        for request, outcome in zip(live, outcomes):
+        # Per-flush trace constants: the peer list and the solve-span
+        # annotations are shared (never copied, never mutated) by every
+        # trace of the flush, and the bucket lineage arrays are
+        # converted to plain lists once instead of through two numpy
+        # scalar casts per request.
+        peers: tuple = ()
+        solve_attributes = None
+        bucket_keys = bucket_rows = None
+        if self._config.trace:
+            # Peer request *numbers*, shared by every trace of the
+            # flush; the id strings materialize lazily in
+            # RequestTrace.batch_peers so the dispatch loop never
+            # formats (or even allocates contexts for) them.
+            peers = tuple(
+                [
+                    request.trace
+                    for request in live
+                    if request.trace is not None
+                ]
+            )
+            solve_attributes = {
+                "algorithm": self._engine.algorithm,
+                "rung": meta.rung,
+                "batch": batch_size,
+                "reason": flush.reason,
+            }
+            if meta.bucket_keys is not None and meta.bucket_rows is not None:
+                bucket_keys = meta.bucket_keys.tolist()
+                bucket_rows = meta.bucket_rows.tolist()
+            else:
+                # Pre-built "-1 everywhere" lineage so the per-request
+                # loop indexes unconditionally instead of branching.
+                bucket_keys = bucket_rows = (-1,) * batch_size
+        # Per-flush flight-recorder constants (stamp, shared attributes
+        # and stage split), hoisted off the per-request path.
+        recording = self._recorder is not None
+        if recording:
+            record_stamp = now_seconds()
+            record_stages = meta.stage_seconds if meta.stage_seconds else {}
+            record_attributes = {
+                "batch_sequence": flush.sequence,
+                "batch_size": batch_size,
+                "flush_reason": flush.reason,
+                "rung": meta.rung,
+            }
+            # The shared half of every lazy flush entry (see
+            # FlightRecorder.record_flush): uneventful fixes ride the
+            # ring as tuples over these constants plus the live
+            # result/epoch, and only anomalies build a FixRecord here.
+            record_shared = (
+                record_stamp,
+                self._config_hash,
+                record_attributes,
+                record_stages,
+                self._base_solver_spec,
+                self._fde_spec,
+            )
+            record_entries: List = []
+            record_triggered: List[FixRecord] = []
+        slo = self._slo
+        observing = handles is not None or slo is not None
+        statuses: List[str] = []
+        latencies: List[float] = []
+        for index, (request, outcome) in enumerate(zip(live, outcomes)):
             status, position, bias, solver, error, verdict = outcome
             if (
                 request.deadline is not None
@@ -461,22 +626,263 @@ class PositioningService:
                 status, position, bias, solver = "timeout", None, None, None
                 error = "deadline expired during batch solve"
                 verdict = None
-            self._finish(
-                request,
-                ServiceResult(
-                    status=status,
-                    position=position,
-                    clock_bias_meters=bias,
-                    solver=solver,
-                    error=error,
-                    batch_size=batch_size,
-                    wait_seconds=max(0.0, solve_started - request.submitted_at),
-                    solve_seconds=solve_seconds,
-                    integrity=verdict,
-                ),
-                handles,
-                resolved_at,
+            trace = None
+            if request.trace is not None:
+                # Constructed directly (not via assemble_request_trace)
+                # on the dispatch path: resolved_at >= submitted_at by
+                # construction, and the helper's validation plus kwargs
+                # forwarding are measurable per request.
+                trace = RequestTrace(
+                    request.trace,
+                    request.submitted_at,
+                    resolved_at,
+                    solve_started,
+                    solve_seconds,
+                    meta.stage_seconds,
+                    solve_attributes,
+                    flush.sequence,
+                    peers,
+                    bucket_keys[index],
+                    bucket_rows[index],
+                    request.deadline,
+                )
+            result = ServiceResult(
+                status=status,
+                position=position,
+                clock_bias_meters=bias,
+                solver=solver,
+                error=error,
+                batch_size=batch_size,
+                wait_seconds=max(0.0, solve_started - request.submitted_at),
+                solve_seconds=solve_seconds,
+                integrity=verdict,
+                enqueued_at=request.submitted_at,
+                dispatched_at=solve_started,
+                completed_at=resolved_at,
+                trace=trace,
             )
+            # Resolve the caller's future inline; the metric, SLO, and
+            # flight-recorder accounting for the whole flush is batched
+            # after the loop (one counter increment per status, one
+            # histogram lock, one recorder pass — not one each per
+            # request).
+            future = request.future
+            if not future.done():
+                future.set_result(result)
+                effective = status
+            elif future.cancelled():
+                effective = "cancelled"
+            else:
+                effective = future.result().status
+            if observing:
+                statuses.append(effective)
+                latencies.append(resolved_at - request.submitted_at)
+            if recording:
+                # Mirror of _build_fix_record's trigger derivation: an
+                # FDE exclusion/unrepaired verdict, a deadline miss, or
+                # a degraded solver rung ("dlg/scalar") is an anomaly
+                # and builds its record (and dump) eagerly; everything
+                # else defers construction to the recorder's read
+                # paths.
+                if (
+                    status == "timeout"
+                    or (
+                        verdict is not None
+                        and verdict.status in ("repaired", "unusable")
+                    )
+                    or (solver is not None and "/" in solver)
+                ):
+                    record = self._build_fix_record(
+                        request,
+                        result,
+                        meta.epochs[index],
+                        meta,
+                        flush,
+                        index,
+                        record_stamp,
+                        record_attributes,
+                        record_stages,
+                    )
+                    record_entries.append(record)
+                    record_triggered.append(record)
+                else:
+                    # The entry carries the record-relevant *fields*,
+                    # not the result: retaining whole results in the
+                    # ring makes their (cold) deallocation a recorder
+                    # cost a few flushes later.
+                    record_entries.append(
+                        (
+                            record_shared,
+                            request.trace,
+                            status,
+                            solver,
+                            error,
+                            verdict,
+                            trace,
+                            meta.epochs[index],
+                            index,
+                        )
+                    )
+        if observing:
+            if handles is not None:
+                for effective, count in Counter(statuses).items():
+                    handles.request_child(effective).inc(count)
+                handles.latency.observe_many(latencies)
+            if slo is not None:
+                slo.observe_batch(statuses, latencies)
+        if recording:
+            self._recorder.record_flush(record_entries, record_triggered)
+
+    def _screened_result(
+        self,
+        status: str,
+        error: Optional[str],
+        request: _PendingRequest,
+        now: float,
+        flush: Flush,
+    ) -> ServiceResult:
+        """A stamped (and traced, if armed) result for a request that
+        was screened out of its dispatch before solving."""
+        trace = None
+        if request.trace is not None:
+            trace = assemble_request_trace(
+                request.trace,
+                submitted_at=request.submitted_at,
+                completed_at=now,
+                batch_sequence=flush.sequence,
+                deadline=request.deadline,
+            )
+        return ServiceResult(
+            status=status,
+            error=error,
+            wait_seconds=(
+                max(0.0, now - request.submitted_at) if status == "timeout" else 0.0
+            ),
+            enqueued_at=request.submitted_at,
+            completed_at=now,
+            trace=trace,
+        )
+
+    def _record_fix(
+        self,
+        request: _PendingRequest,
+        result: ServiceResult,
+        epoch: ObservationEpoch,
+        meta: Optional[_BatchMeta],
+        flush: Flush,
+    ) -> None:
+        """Retain one screened-out fix in the flight recorder."""
+        self._recorder.record(
+            self._build_fix_record(request, result, epoch, meta, flush)
+        )
+
+    def _build_fix_record(
+        self,
+        request: _PendingRequest,
+        result: ServiceResult,
+        epoch: ObservationEpoch,
+        meta: Optional[_BatchMeta],
+        flush: Flush,
+        index: Optional[int] = None,
+        recorded_at: Optional[float] = None,
+        attributes: Optional[Dict] = None,
+        stages: Optional[Dict[str, float]] = None,
+    ) -> FixRecord:
+        """The flight-recorder record for one served fix.
+
+        ``recorded_at``/``attributes``/``stages`` are supplied per
+        flush by ``_dispatch`` so the per-request work here stays at
+        one :class:`FixRecord` construction; only triggered records —
+        the replayable ones — pay for the epoch capture and the
+        resolved per-request solver spec.
+        """
+        trigger = None
+        verdict_dict = None
+        if result.integrity is not None:
+            verdict_dict = result.integrity.to_dict()
+            if result.integrity.status == "repaired":
+                trigger = TRIGGER_FDE_EXCLUSION
+            elif result.integrity.status == "unusable":
+                trigger = TRIGGER_FDE_UNREPAIRED
+        if result.status == "timeout":
+            trigger = TRIGGER_DEADLINE_MISS
+        elif result.solver is not None and "/" in result.solver:
+            # "dlg/scalar", "dlg/nr-fallback": the ladder degraded.
+            trigger = TRIGGER_DEGRADED
+        if trigger is None:
+            epoch_dict = None
+            solver_spec = self._base_solver_spec
+        else:
+            resolved_bias = (
+                meta.bias(index)
+                if meta is not None and index is not None
+                else None
+            )
+            if resolved_bias is None:
+                resolved_bias = (
+                    result.clock_bias_meters
+                    if result.clock_bias_meters is not None
+                    else request.bias_meters
+                )
+            # The captured epoch is the expensive part; only triggered
+            # records (the ones that can dump) carry it.
+            epoch_dict = epoch_payload(epoch)
+            solver_spec = {
+                "algorithm": self._engine.algorithm,
+                "clock_bias_meters": resolved_bias,
+            }
+        if attributes is None:
+            attributes = {
+                "batch_sequence": flush.sequence,
+                "batch_size": result.batch_size,
+                "flush_reason": flush.reason,
+                "rung": meta.rung if meta is not None else "screened",
+            }
+        # The materialized context (ids resolve lazily from it inside
+        # FixRecord).  request.trace is just a number; the trace on the
+        # result — built whenever tracing is armed — owns the lazy
+        # materialization, and this path only runs for triggered or
+        # screened fixes, never per uneventful request.
+        context = result.trace.context if result.trace is not None else None
+        self._fix_sequence += 1
+        # Positional FixRecord construction (parameter order matches
+        # recorder.FixRecord.__init__): keyword passing of 17 fields is
+        # measurable at once-per-served-fix rates.  stage_seconds is
+        # shared with every record of the flush and never mutated; the
+        # digest hashes lazily off epoch_ref, and when a trace context
+        # exists the id *strings* resolve lazily from it at read time.
+        return FixRecord(
+            (
+                None
+                if context is not None
+                else f"fix-{self._fix_sequence}"
+            ),  # request_id: lazy via context when traced
+            result.status,
+            result.solver or "",
+            recorded_at if recorded_at is not None else now_seconds(),
+            self._config_hash,
+            "",  # inputs_digest: lazy, via epoch_ref
+            None if context is not None else "",  # trace_id: lazy
+            trigger,
+            (
+                stages
+                if stages is not None
+                else (
+                    meta.stage_seconds
+                    if meta is not None and meta.stage_seconds
+                    else {}
+                )
+            ),
+            verdict_dict,
+            result.error,
+            epoch_dict,
+            solver_spec,
+            self._fde_spec,
+            result.trace,
+            attributes,
+            epoch,  # epoch_ref
+            context,
+        )
 
     # -- solving -------------------------------------------------------
 
@@ -537,8 +943,10 @@ class PositioningService:
         if handles is not None:
             handles.integrity_child(verdict.status).inc()
 
-    def _solve_batch(self, live: Sequence[_PendingRequest]) -> List[tuple]:
-        """(status, position, bias, solver, error, verdict) per live request."""
+    def _solve_batch(self, live: Sequence[_PendingRequest]):
+        """``(outcomes, _BatchMeta)``: one
+        ``(status, position, bias, solver, error, verdict)`` tuple per
+        live request, plus what the dispatch learned along the way."""
         epochs = [request.epoch for request in live]
         if self._tracker is not None:
             epochs = self._admit(epochs)
@@ -556,7 +964,10 @@ class PositioningService:
             # Rung 2/3: the batched solve rejects whole buckets, so one
             # poisoned epoch fails its batchmates here.  Re-solve
             # per-epoch so every request gets its own verdict.
-            return [self._solve_scalar(request) for request in live]
+            return (
+                [self._solve_scalar(request) for request in live],
+                _BatchMeta(rung="scalar", epochs=epochs),
+            )
 
         fde = stream.diagnostics.fde
         screened = set(stream.diagnostics.invalid_indices) | set(
@@ -601,7 +1012,14 @@ class PositioningService:
             )
         if fde is not None and self._tracker is not None:
             self._tracker.publish()
-        return outcomes
+        return outcomes, _BatchMeta(
+            rung="batch",
+            epochs=epochs,
+            stage_seconds=stream.stage_seconds,
+            bucket_keys=stream.diagnostics.bucket_keys,
+            bucket_rows=stream.diagnostics.bucket_rows,
+            resolved_biases=stream.clock_biases,
+        )
 
     def _solve_scalar(self, request: _PendingRequest) -> tuple:
         """Degradation rungs for one epoch: scalar primary, then NR."""

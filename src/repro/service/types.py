@@ -20,6 +20,9 @@ from repro.api import BATCH_ALGORITHMS, SolverConfig
 from repro.errors import ConfigurationError
 from repro.integrity.fde import EpochVerdict, FdeConfig
 from repro.integrity.health import HealthConfig
+from repro.telemetry.recorder import RecorderConfig
+from repro.telemetry.slo import SloConfig
+from repro.telemetry.trace import RequestTrace
 
 #: Every status a :class:`ServiceResult` can carry.
 RESULT_STATUSES: Tuple[str, ...] = (
@@ -80,6 +83,27 @@ class ServiceConfig:
         pre-excluded from incoming epochs before any solving.  Only
         meaningful with ``integrity`` set; ``None`` uses the tracker's
         defaults.
+    trace:
+        Arm the per-request trace plane: every submission mints a
+        :class:`~repro.telemetry.trace.TraceContext` and its result
+        carries a :class:`~repro.telemetry.trace.RequestTrace` span
+        tree with per-stage timings and batch lineage.  **Off by
+        default** and zero-cost when off (no contexts, no trees —
+        the traced-off overhead gate in ``bench_service.py`` holds
+        the service to the same ≤5% budget as plain telemetry).
+    recorder:
+        Arm the anomaly flight recorder with this
+        :class:`~repro.telemetry.recorder.RecorderConfig`: the service
+        retains a ring of compact per-fix records and dumps replayable
+        incident artifacts on FDE exclusions/unrepaired faults,
+        degradation-ladder fallbacks, and deadline misses.  ``None``
+        (default) records nothing.
+    slo:
+        Arm the SLO engine with this
+        :class:`~repro.telemetry.slo.SloConfig`: windowed latency
+        quantiles, availability, and error-budget tracking over every
+        finished request, published at scrape time.  ``None``
+        (default) tracks nothing.
     """
 
     solver: SolverConfig = field(default_factory=SolverConfig)
@@ -91,6 +115,9 @@ class ServiceConfig:
     retry_after_seconds: float = 0.05
     integrity: Optional[FdeConfig] = None
     health: Optional[HealthConfig] = None
+    trace: bool = False
+    recorder: Optional[RecorderConfig] = None
+    slo: Optional[SloConfig] = None
 
     def __post_init__(self) -> None:
         if self.solver.algorithm not in BATCH_ALGORITHMS:
@@ -158,6 +185,19 @@ class ServiceResult:
         runs with the integrity rung armed, else ``None``.  A
         ``repaired`` verdict names the excluded PRN; an ``unusable``
         one accompanies ``status="failed"``.
+    enqueued_at / dispatched_at / completed_at:
+        Monotonic loop-clock stamps of the request's life: admission
+        into the batcher, the start of the dispatch that solved (or
+        screened) it, and result resolution.  Always populated on the
+        dispatch path — no trace plane required — so queue-wait vs.
+        solve latency is attributable from any result.
+        ``dispatched_at`` is ``None`` for requests that never reached
+        a dispatch (rejected at admission) or were screened out of one
+        (cancelled, deadline already expired).
+    trace:
+        The request's span tree and batch lineage
+        (:class:`~repro.telemetry.trace.RequestTrace`) when the
+        service runs with ``ServiceConfig(trace=True)``, else ``None``.
     """
 
     status: str
@@ -170,6 +210,10 @@ class ServiceResult:
     wait_seconds: float = 0.0
     solve_seconds: float = 0.0
     integrity: Optional[EpochVerdict] = None
+    enqueued_at: Optional[float] = None
+    dispatched_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    trace: Optional[RequestTrace] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.status not in RESULT_STATUSES:
@@ -205,4 +249,8 @@ class ServiceResult:
             "integrity": (
                 None if self.integrity is None else self.integrity.to_dict()
             ),
+            "enqueued_at": self.enqueued_at,
+            "dispatched_at": self.dispatched_at,
+            "completed_at": self.completed_at,
+            "trace": None if self.trace is None else self.trace.to_dict(),
         }

@@ -272,6 +272,9 @@ class BatchDLGSolver:
                         self._audit_tolerance,
                     )
                     self._count_audit("tripped")
+                    self._record_audit_trip(
+                        block, biases, solutions, reference, worst
+                    )
                     return reference, ref_norms, corrected
                 self._count_audit("passed")
             return solutions, norms, corrected
@@ -366,6 +369,76 @@ class BatchDLGSolver:
                 "Float32 kernel differential audits by outcome.",
                 labels=("outcome",),
             ).labels(outcome=outcome).inc()
+
+    def _record_audit_trip(
+        self,
+        block: EpochBlock,
+        biases: np.ndarray,
+        solutions: np.ndarray,
+        reference: np.ndarray,
+        worst: float,
+    ) -> None:
+        """Hand the tripping epoch to the flight recorder, if one is on.
+
+        The audit trip is the one anomaly the service layer cannot see
+        (it happens inside the kernel and is silently repaired by the
+        float64 fallback), so the solver reports it directly: the
+        worst-discrepancy epoch's raw inputs go into a replayable
+        incident record tagged ``float32_audit``.  Cold path — the trip
+        is permanent, so this runs at most once per solver lifetime.
+        """
+        from repro.telemetry.recorder import (
+            TRIGGER_FLOAT32_AUDIT,
+            FixRecord,
+            config_hash,
+            get_recorder,
+            inputs_digest,
+            now_seconds,
+        )
+
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        row = int(np.argmax(np.linalg.norm(solutions - reference, axis=1)))
+        bias = float(biases[row])
+        payload = {
+            "week": int(block.weeks[row]),
+            "seconds_of_week": float(block.seconds_of_week[row]),
+            "prns": [int(prn) for prn in block.prns[row]],
+            "pseudoranges": [float(r) for r in block.pseudoranges[row]],
+            "positions": [
+                [float(c) for c in sat] for sat in block.positions[row]
+            ],
+        }
+        digest = inputs_digest(payload)
+        solver_spec = {"algorithm": "dlg", "clock_bias_meters": bias}
+        recorder.record(
+            FixRecord(
+                request_id=f"audit-{digest}",
+                status="failed",
+                solver="dlg/float32",
+                recorded_at=now_seconds(),
+                inputs_digest=digest,
+                config_hash=config_hash(
+                    solver_spec,
+                    audit_every=self._audit_every,
+                    audit_tolerance_meters=self._audit_tolerance,
+                ),
+                trigger=TRIGGER_FLOAT32_AUDIT,
+                error=(
+                    f"float32 audit discrepancy {worst:.3f} m exceeds "
+                    f"{self._audit_tolerance:.3f} m"
+                ),
+                epoch=payload,
+                solver_spec=solver_spec,
+                attributes={
+                    "worst_meters": worst,
+                    "tolerance_meters": self._audit_tolerance,
+                    "batch_size": len(block),
+                    "row": row,
+                },
+            )
+        )
 
 
 @dataclass(frozen=True)

@@ -47,6 +47,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+    aggregate_registries,
 )
 from repro.telemetry.tracer import (
     NullTracer,
@@ -56,9 +57,41 @@ from repro.telemetry.tracer import (
 )
 from repro.telemetry.exporters import (
     to_json_snapshot,
+    to_prometheus_fleet_text,
     to_prometheus_text,
     write_snapshot,
 )
+from repro.telemetry.trace import (
+    ENGINE_STAGES,
+    RequestTrace,
+    TraceContext,
+    TraceSpan,
+    assemble_request_trace,
+    build_stage_spans,
+    format_request_id,
+    mint_request_number,
+)
+from repro.telemetry.recorder import (
+    INCIDENT_FORMAT,
+    TRIGGERS,
+    FixRecord,
+    FlightRecorder,
+    NullRecorder,
+    NULL_RECORDER,
+    RecorderConfig,
+    get_recorder,
+    install_recorder,
+    replay_incident,
+    solve_captured,
+    uninstall_recorder,
+)
+from repro.telemetry.slo import (
+    QuantileSketch,
+    SloConfig,
+    SloTracker,
+    WindowedQuantiles,
+)
+from repro.telemetry.statusd import StatusServer
 
 # Library-standard logging hygiene: the package never configures the
 # root logger, and stays silent unless the application opts in.
@@ -137,7 +170,38 @@ __all__ = [
     "install",
     "uninstall",
     "capture",
+    "aggregate_registries",
     "to_prometheus_text",
+    "to_prometheus_fleet_text",
     "to_json_snapshot",
     "write_snapshot",
+    # per-request trace plane
+    "ENGINE_STAGES",
+    "TraceContext",
+    "TraceSpan",
+    "RequestTrace",
+    "build_stage_spans",
+    "assemble_request_trace",
+    "mint_request_number",
+    "format_request_id",
+    # anomaly flight recorder
+    "INCIDENT_FORMAT",
+    "TRIGGERS",
+    "RecorderConfig",
+    "FixRecord",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "install_recorder",
+    "uninstall_recorder",
+    "replay_incident",
+    "solve_captured",
+    # SLO engine
+    "QuantileSketch",
+    "WindowedQuantiles",
+    "SloConfig",
+    "SloTracker",
+    # status endpoints
+    "StatusServer",
 ]

@@ -22,7 +22,11 @@ import json
 import math
 from typing import Dict, Optional
 
-from repro.telemetry.registry import MetricsRegistry, NullRegistry
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    aggregate_registries,
+)
 from repro.telemetry.tracer import NullTracer, SpanTracer
 
 
@@ -61,7 +65,9 @@ def to_prometheus_text(registry) -> str:
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         for label_values, child in metric.children():
             if metric.kind == "histogram":
-                cumulative = child.cumulative_counts()
+                # One lock hold for buckets + sum + count: a writer
+                # landing between separate reads would tear the scrape.
+                cumulative, hist_sum, hist_count = child.export_state()
                 for bound, count in zip(child.buckets, cumulative):
                     labels = _label_string(
                         metric.label_names, label_values, {"le": _format_value(bound)}
@@ -70,14 +76,35 @@ def to_prometheus_text(registry) -> str:
                 inf_labels = _label_string(
                     metric.label_names, label_values, {"le": "+Inf"}
                 )
-                lines.append(f"{metric.name}_bucket{inf_labels} {child.count}")
+                lines.append(f"{metric.name}_bucket{inf_labels} {hist_count}")
                 plain = _label_string(metric.label_names, label_values)
-                lines.append(f"{metric.name}_sum{plain} {_format_value(child.sum)}")
-                lines.append(f"{metric.name}_count{plain} {child.count}")
+                lines.append(f"{metric.name}_sum{plain} {_format_value(hist_sum)}")
+                lines.append(f"{metric.name}_count{plain} {hist_count}")
             else:
                 labels = _label_string(metric.label_names, label_values)
                 lines.append(f"{metric.name}{labels} {_format_value(child.value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_prometheus_fleet_text(registries) -> str:
+    """One scrape page over many registries (the fleet endpoint).
+
+    Merges the registries with
+    :func:`~repro.telemetry.registry.aggregate_registries` — counters
+    and gauges sum, histograms add per-bucket — renders the merged
+    registry as ordinary Prometheus text, and appends a
+    ``repro_fleet_registries`` gauge so dashboards can see how many
+    members the aggregate covers.  The output is *exactly* the sum of
+    its parts: scraping each member and adding series yields the same
+    numbers.
+    """
+    registries = list(registries)
+    merged = aggregate_registries(registries)
+    merged.gauge(
+        "repro_fleet_registries",
+        "Member registries merged into this scrape.",
+    ).set(len(registries))
+    return to_prometheus_text(merged)
 
 
 def to_json_snapshot(

@@ -30,7 +30,13 @@ Two registry implementations share one interface:
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+try:  # numpy is optional here: only batched inserts use it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the repo
+    _np = None
 
 from repro.errors import ConfigurationError
 
@@ -114,23 +120,85 @@ class HistogramChild(_Instrument):
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
+        # First bound >= value, found in C: the serving path observes
+        # per request, and a Python scan over the bucket tuple was a
+        # measurable slice of that budget.
+        index = bisect_left(self.buckets, value)
         with self._lock:
             self.sum += value
             self.count += 1
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self.bucket_counts[index] += 1
-                    break
+            if index < len(self.bucket_counts):
+                self.bucket_counts[index] += 1
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a batch of observations under one lock acquisition.
+
+        The serving path resolves whole flushes at once; bucketing each
+        value (the pure part) happens outside the lock, then sum, count,
+        and bucket counts are committed together.  Large batches bucket
+        through one ``searchsorted``/``bincount`` pass instead of a
+        per-value ``bisect`` loop — the service observes every latency
+        of a flush here, so per-value Python overhead is a direct hit
+        on the traced-off budget.
+        """
+        size = len(values)
+        if not size:
+            return
+        buckets = self.buckets
+        width = len(buckets)
+        if _np is not None and size >= 32:
+            array = _np.asarray(values, dtype=float)
+            total = float(array.sum())
+            # side="left" matches bisect_left: value == bound lands in
+            # that bound's bucket; values past the last bound (index ==
+            # width) only reach sum/count, like the scalar path.
+            counts = _np.bincount(
+                _np.searchsorted(buckets, array, side="left"),
+                minlength=width + 1,
+            ).tolist()
+            with self._lock:
+                self.sum += total
+                self.count += size
+                bucket_counts = self.bucket_counts
+                for index in range(width):
+                    if counts[index]:
+                        bucket_counts[index] += counts[index]
+            return
+        total = 0.0
+        indices = []
+        for value in values:
+            value = float(value)
+            total += value
+            index = bisect_left(buckets, value)
+            if index < width:
+                indices.append(index)
+        with self._lock:
+            self.sum += total
+            self.count += size
+            bucket_counts = self.bucket_counts
+            for index in indices:
+                bucket_counts[index] += 1
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket counts as Prometheus cumulative ``le`` counts."""
+        return self.export_state()[0]
+
+    def export_state(self) -> Tuple[List[int], float, int]:
+        """``(cumulative_counts, sum, count)`` under one lock hold.
+
+        Exports interleave with live writers, and ``observe`` commits
+        sum, count, and the bucket under one lock — so a scrape that
+        reads the three fields in separate acquisitions can tear (a
+        ``+Inf`` bucket disagreeing with ``_count``, a ``_sum`` lagging
+        observations already counted).  Scrape paths read through here.
+        """
         with self._lock:
             total = 0
             cumulative = []
             for count in self.bucket_counts:
                 total += count
                 cumulative.append(total)
-            return cumulative
+            return cumulative, self.sum, self.count
 
 
 _CHILD_FACTORIES = {
@@ -221,6 +289,10 @@ class _Metric:
     def observe(self, value: float) -> None:
         """Observe into the label-less child (histograms only)."""
         self._sole_child().observe(value)  # type: ignore[attr-defined]
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Batch-observe into the label-less child (histograms only)."""
+        self._sole_child().observe_many(values)  # type: ignore[attr-defined]
 
 
 class MetricsRegistry:
@@ -327,17 +399,18 @@ class MetricsRegistry:
             for label_values, child in metric.children():
                 labels = dict(zip(metric.label_names, label_values))
                 if metric.kind == "histogram":
+                    cumulative, hist_sum, hist_count = child.export_state()
                     samples.append(
                         {
                             "labels": labels,
                             "buckets": {
                                 repr(bound): count
                                 for bound, count in zip(
-                                    child.buckets, child.cumulative_counts()
+                                    child.buckets, cumulative
                                 )
                             },
-                            "sum": child.sum,
-                            "count": child.count,
+                            "sum": hist_sum,
+                            "count": hist_count,
                         }
                     )
                 else:
@@ -424,3 +497,67 @@ class NullRegistry:
 
 #: Process-wide shared null registry (stateless, so one suffices).
 NULL_REGISTRY = NullRegistry()
+
+
+def aggregate_registries(
+    registries: Iterable[MetricsRegistry],
+) -> MetricsRegistry:
+    """Merge several registries into one fresh :class:`MetricsRegistry`.
+
+    The fleet-scrape primitive: each worker of the sharded tier owns a
+    private registry (no cross-process locks on the hot path), and the
+    scrape endpoint merges them on demand.  Semantics per kind:
+
+    * **counters** — summed per ``(name, label values)``: the fleet
+      served the sum of what its workers served.
+    * **gauges** — summed as well (queue depths, resident bytes add
+      up).  Fleet-meaningless point gauges still *export* correctly;
+      dashboards that need per-worker values scrape the workers.
+    * **histograms** — merged element-wise: identical bucket ladders
+      add per-bucket counts, sums, and counts exactly — merging is
+      lossless, which is why the ladders are fixed at registration.
+
+    Conflicting definitions under one name (different kind, label
+    names, or histogram bounds) raise
+    :class:`~repro.errors.ConfigurationError`: a fleet whose workers
+    disagree about what a metric *is* must fail the scrape loudly, not
+    export garbage.  ``NullRegistry`` instances contribute nothing and
+    are allowed (a disabled worker is not a config error).
+    """
+    merged = MetricsRegistry()
+    for registry in registries:
+        for metric in registry.collect():
+            if metric.kind == "histogram":
+                family = merged.histogram(
+                    metric.name,
+                    metric.help,
+                    labels=metric.label_names,
+                    buckets=metric._options,
+                )
+            elif metric.kind == "counter":
+                family = merged.counter(
+                    metric.name, metric.help, labels=metric.label_names
+                )
+            else:
+                family = merged.gauge(
+                    metric.name, metric.help, labels=metric.label_names
+                )
+            for label_values, child in metric.children():
+                target = family.labels(
+                    **dict(zip(metric.label_names, label_values))
+                )
+                if metric.kind == "histogram":
+                    with child._lock:
+                        counts = list(child.bucket_counts)
+                        total = child.count
+                        sum_ = child.sum
+                    with target._lock:
+                        for index, count in enumerate(counts):
+                            target.bucket_counts[index] += count
+                        target.count += total
+                        target.sum += sum_
+                elif metric.kind == "counter":
+                    target.inc(child.value)
+                else:
+                    target.inc(child.value)
+    return merged

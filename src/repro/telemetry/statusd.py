@@ -1,0 +1,185 @@
+"""A minimal asyncio status server: scrape, SLO, and records endpoints.
+
+Dependency-free (stdlib asyncio only) and deliberately tiny: it serves
+plain ``GET``s with connection-close semantics, which is all a
+Prometheus scraper or a curl-wielding operator needs.  It binds
+``127.0.0.1`` by default — this is an operational sidecar, not a
+public API.
+
+Routes:
+
+* ``/metrics`` — Prometheus text over the configured registries
+  (aggregated fleet-style when there is more than one).
+* ``/metrics.json`` — the JSON snapshot of the aggregate.
+* ``/slo`` — the SLO tracker's rollup (quantiles, availability,
+  error budget), when one is attached.
+* ``/records`` — the flight recorder's snapshot (ring + dump paths),
+  when one is attached.
+* ``/healthz`` — liveness (``ok``).
+
+The server shares the service's event loop: handlers only read
+in-memory state, so a scrape costs microseconds and never blocks a
+solve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Iterable, List, Optional
+
+from repro.telemetry.exporters import (
+    to_json_snapshot,
+    to_prometheus_fleet_text,
+)
+from repro.telemetry.registry import aggregate_registries
+
+_MAX_REQUEST_BYTES = 8192
+
+
+class StatusServer:
+    """Serve observability endpoints for a set of registries.
+
+    Parameters
+    ----------
+    registries:
+        A zero-argument callable returning the registries to scrape —
+        a callable rather than a list so the sharded tier can hand in
+        "whatever workers are alive right now".
+    slo:
+        Optional :class:`~repro.telemetry.slo.SloTracker` backing
+        ``/slo`` (it is also published into the scrape).
+    recorder:
+        Optional :class:`~repro.telemetry.recorder.FlightRecorder`
+        backing ``/records``.
+    host / port:
+        Bind address; ``port=0`` picks a free port (tests).
+    """
+
+    def __init__(
+        self,
+        registries: Callable[[], Iterable],
+        slo=None,
+        recorder=None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registries = registries
+        self._slo = slo
+        self._recorder = recorder
+        self._host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "StatusServer":
+        """Bind and start serving; returns self."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self._host, port=self._requested_port
+        )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and close the listener."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    def _live_registries(self) -> List:
+        return list(self._registries())
+
+    def _render(self, path: str):
+        """``(status_line, content_type, body)`` for one GET path."""
+        if path in ("/metrics", "/metrics/"):
+            registries = self._live_registries()
+            if self._slo is not None and registries:
+                self._slo.publish(registries[0])
+            body = to_prometheus_fleet_text(registries)
+            return "200 OK", "text/plain; version=0.0.4", body
+        if path == "/metrics.json":
+            registries = self._live_registries()
+            if self._slo is not None and registries:
+                self._slo.publish(registries[0])
+            merged = aggregate_registries(registries)
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(to_json_snapshot(merged), indent=2, sort_keys=True),
+            )
+        if path == "/slo":
+            if self._slo is None:
+                return "404 Not Found", "text/plain", "no SLO tracker attached\n"
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(self._slo.snapshot(), indent=2, sort_keys=True),
+            )
+        if path == "/records":
+            if self._recorder is None:
+                return "404 Not Found", "text/plain", "no flight recorder attached\n"
+            return (
+                "200 OK",
+                "application/json",
+                json.dumps(self._recorder.snapshot(), indent=2, sort_keys=True),
+            )
+        if path == "/healthz":
+            return "200 OK", "text/plain", "ok\n"
+        return "404 Not Found", "text/plain", f"unknown path {path}\n"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            if len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            parts = request_line.decode("latin-1", "replace").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                status, ctype, body = (
+                    "405 Method Not Allowed",
+                    "text/plain",
+                    "GET only\n",
+                )
+            else:
+                # Drain (and ignore) headers so well-behaved clients
+                # are not surprised by an early close.
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                path = parts[1].split("?", 1)[0]
+                try:
+                    status, ctype, body = self._render(path)
+                except Exception as exc:  # a broken endpoint, not a dead server
+                    status, ctype, body = (
+                        "500 Internal Server Error",
+                        "text/plain",
+                        f"{type(exc).__name__}: {exc}\n",
+                    )
+            payload = body.encode()
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + payload
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass

@@ -429,6 +429,14 @@ def replay_artifact(path: Union[str, Path]) -> FuzzCaseResult:
     difference localizes exactly what a code change altered.
     """
     payload = json.loads(Path(path).read_text())
+    if payload.get("format") == "repro-flight-record-v1":
+        # A flight-recorder incident artifact: same replay protocol,
+        # but the inputs are a captured production epoch rather than a
+        # (seed, config) pair.  Imported lazily — the recorder imports
+        # the engine, not the other way around.
+        from repro.telemetry.recorder import replay_incident
+
+        return replay_incident(payload)
     config = ScenarioConfig.from_dict(payload["scenario_config"])
     seed = int(payload["seed"])
     fault = (

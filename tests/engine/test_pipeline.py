@@ -1,5 +1,7 @@
 """Tests for the PositioningEngine bucket-and-batch dispatcher."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -135,7 +137,12 @@ class TestDiagnostics:
             "invalid_indices": [],
             "bucket_status": {"8": "ok"},
             "fde": None,
+            # Batch lineage: the solved epoch ran in the 8-satellite
+            # bucket's row 0; the dropped epoch never reached a bucket.
+            "bucket_keys": [8, -1],
+            "bucket_rows": [0, -1],
         }
+        json.dumps(doc)
 
 
 class TestValidation:

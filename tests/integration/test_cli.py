@@ -139,6 +139,25 @@ class TestTelemetryCommand:
         assert telemetry.is_enabled() is False
 
 
+class TestMetricsSink:
+    def test_ensure_installs_registry_without_sink_path(self):
+        # serve --status-port scrapes the live registry: arming the
+        # port must arm collection even without --metrics-out.
+        from repro import telemetry
+        from repro.cli import _metrics_sink
+
+        with _metrics_sink(None, ensure=True):
+            assert telemetry.is_enabled() is True
+        assert telemetry.is_enabled() is False
+
+    def test_no_path_no_ensure_stays_uninstalled(self):
+        from repro import telemetry
+        from repro.cli import _metrics_sink
+
+        with _metrics_sink(None):
+            assert telemetry.is_enabled() is False
+
+
 class TestMetricsOutFlag:
     def test_solve_writes_snapshot(self, tmp_path, capsys):
         path = tmp_path / "solve.json"

@@ -90,3 +90,52 @@ class TestWriteSnapshot:
         write_snapshot(str(path), populated, tracer=SpanTracer())
         doc = json.loads(path.read_text())
         assert doc["metrics"]["repro_coverage"]["samples"][0]["value"] == 0.75
+
+
+class TestConcurrentExport:
+    def test_histogram_sum_count_consistent_under_concurrent_writes(self):
+        """Exporting while writers observe must stay self-consistent.
+
+        Each rendered histogram snapshot is taken under the child's
+        lock, so however the export interleaves with the writers, the
+        ``_count`` series, the ``+Inf`` bucket, and (with identical
+        observed values) the ``_sum``/``_count`` ratio must agree
+        within one snapshot — a torn read would break any of the three.
+        """
+        import re
+        import threading
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_rt_seconds", "Round trips.", buckets=(0.01, 0.1)
+        )
+        stop = threading.Event()
+
+        def writer():
+            child = histogram.labels()
+            while not stop.is_set():
+                child.observe(0.05)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(50):
+                text = to_prometheus_text(registry)
+                count = int(
+                    re.search(r"repro_rt_seconds_count (\d+)", text).group(1)
+                )
+                inf_bucket = int(
+                    re.search(
+                        r'repro_rt_seconds_bucket\{le="\+Inf"\} (\d+)', text
+                    ).group(1)
+                )
+                total = float(
+                    re.search(r"repro_rt_seconds_sum (\S+)", text).group(1)
+                )
+                assert inf_bucket == count
+                assert total == pytest.approx(0.05 * count)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

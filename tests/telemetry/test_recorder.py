@@ -1,0 +1,265 @@
+"""Tests for the anomaly flight recorder: ring, triggers, replayable
+dumps, and the lazy flush entries the serving path hands it."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    FixRecord,
+    FlightRecorder,
+    MetricsRegistry,
+    RecorderConfig,
+    TRIGGERS,
+    TraceContext,
+    format_request_id,
+    mint_request_number,
+    replay_incident,
+)
+from repro.telemetry.recorder import (
+    build_incident_payload,
+    epoch_payload,
+    payload_epoch,
+)
+
+
+def make_record(request_id="r-test-1", trigger=None, epoch=None, **overrides):
+    kwargs = dict(
+        request_id=request_id,
+        status="ok",
+        solver="dlg",
+        recorded_at=1.0,
+        config_hash="cfg0",
+        trace_id="t-test-1",
+        trigger=trigger,
+        epoch=epoch,
+        solver_spec={"algorithm": "dlg", "clock_bias_meters": 0.0},
+    )
+    kwargs.update(overrides)
+    return FixRecord(**kwargs)
+
+
+class TestRecorderConfig:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RecorderConfig(capacity=0)
+
+    def test_rejects_negative_max_dumps(self):
+        with pytest.raises(ConfigurationError, match="max_dumps"):
+            RecorderConfig(max_dumps=-1)
+
+    def test_rejects_unknown_triggers(self):
+        with pytest.raises(ConfigurationError, match="unknown recorder"):
+            RecorderConfig(triggers=("fde_exclusion", "alien"))
+
+    def test_defaults_to_all_triggers(self):
+        assert RecorderConfig().triggers == TRIGGERS
+
+
+class TestFixRecord:
+    def test_lazy_ids_resolve_from_context(self):
+        context = TraceContext.new(origin="test")
+        record = make_record(request_id=None, trace_id=None, context=context)
+        assert record.request_id == context.request_id
+        assert record.trace_id == context.trace_id
+
+    def test_lazy_digest_hashes_epoch_ref_once(self, make_epoch):
+        epoch = make_epoch()
+        record = make_record(epoch_ref=epoch)
+        assert record.inputs_digest == ""
+        digest = record.digest
+        assert len(digest) == 16
+        assert record.inputs_digest == digest
+
+    def test_to_dict_serializes_trace_object(self, make_epoch):
+        trace = telemetry.assemble_request_trace(
+            TraceContext.new(), submitted_at=0.0, completed_at=0.1
+        )
+        record = make_record(trace=trace)
+        payload = record.to_dict()
+        assert payload["trace"]["root"]["name"] == "request"
+        json.dumps(payload)  # JSON-ready all the way down
+
+
+class TestRing:
+    def test_ring_is_bounded_oldest_out(self):
+        recorder = FlightRecorder(RecorderConfig(capacity=3))
+        for i in range(5):
+            recorder.record(make_record(request_id=f"r-{i}"))
+        assert [r.request_id for r in recorder.records()] == [
+            "r-2", "r-3", "r-4",
+        ]
+
+    def test_find_newest_wins(self):
+        recorder = FlightRecorder()
+        recorder.record(make_record(request_id="r-dup", status="ok"))
+        recorder.record(make_record(request_id="r-dup", status="failed"))
+        assert recorder.find("r-dup").status == "failed"
+        assert recorder.find("r-missing") is None
+
+    def test_records_last_n(self):
+        recorder = FlightRecorder()
+        for i in range(4):
+            recorder.record(make_record(request_id=f"r-{i}"))
+        assert [r.request_id for r in recorder.records(last=2)] == ["r-2", "r-3"]
+
+
+class TestDumps:
+    def test_triggered_record_dumps_replayable_artifact(self, make_epoch, tmp_path):
+        epoch = make_epoch()
+        recorder = FlightRecorder(RecorderConfig(dump_dir=tmp_path))
+        path = recorder.record(
+            make_record(trigger="fde_exclusion", epoch=epoch_payload(epoch))
+        )
+        assert path is not None
+        payload = json.loads((tmp_path / path.split("/")[-1]).read_text())
+        assert payload["format"] == "repro-flight-record-v1"
+        assert payload["kind"] == "incident:fde_exclusion"
+        # The replay guarantee: re-solving the captured epoch on the
+        # current code reproduces the recorded status and detail.
+        result = replay_incident(payload)
+        assert result.status == payload["status"]
+        assert list(result.detail) == payload["detail"]
+
+    def test_untriggered_record_never_dumps(self, make_epoch, tmp_path):
+        recorder = FlightRecorder(RecorderConfig(dump_dir=tmp_path))
+        assert recorder.record(make_record()) is None
+        assert recorder.dump_paths == ()
+
+    def test_max_dumps_caps_artifacts_ring_keeps_all(self, make_epoch, tmp_path):
+        epoch = epoch_payload(make_epoch())
+        recorder = FlightRecorder(RecorderConfig(dump_dir=tmp_path, max_dumps=2))
+        for i in range(4):
+            recorder.record(
+                make_record(
+                    request_id=f"r-{i}", trigger="deadline_miss", epoch=epoch
+                )
+            )
+        assert len(recorder.dump_paths) == 2
+        assert len(recorder.records()) == 4
+
+    def test_trigger_filter_respected(self, make_epoch, tmp_path):
+        epoch = epoch_payload(make_epoch())
+        recorder = FlightRecorder(
+            RecorderConfig(dump_dir=tmp_path, triggers=("deadline_miss",))
+        )
+        assert recorder.record(
+            make_record(trigger="fde_exclusion", epoch=epoch)
+        ) is None
+        assert recorder.record(
+            make_record(trigger="deadline_miss", epoch=epoch)
+        ) is not None
+
+    def test_incident_payload_requires_captured_epoch(self):
+        with pytest.raises(ConfigurationError, match="captured epoch"):
+            build_incident_payload(make_record(trigger="degraded"))
+
+
+class TestEpochPayload:
+    def test_payload_round_trip_is_bit_exact(self, make_epoch):
+        epoch = make_epoch(count=7, noise_sigma=1.5, seed=3)
+        clone = payload_epoch(epoch_payload(epoch))
+        assert clone.time == epoch.time
+        for a, b in zip(clone.observations, epoch.observations):
+            assert a.prn == b.prn
+            assert a.pseudorange == b.pseudorange
+            assert (a.position == b.position).all()
+
+
+def lazy_entry(context, epoch, index=0, batch_sequence=4, status="ok"):
+    """A flush entry shaped like the service's dispatch loop emits."""
+    shared = (
+        123.0,                        # recorded_at
+        "cfg-hash",                   # config hash
+        {"batch_sequence": batch_sequence},  # attributes
+        {"solve": 0.01},              # stage seconds
+        {"algorithm": "dlg", "clock_bias_meters": 0.0},
+        None,                         # fde spec
+    )
+    # status, solver, error, integrity verdict, trace — the record's
+    # per-fix fields, carried instead of the whole ServiceResult.
+    return (shared, context, status, "dlg", None, None, None, epoch, index)
+
+
+class TestLazyFlushEntries:
+    def test_find_materializes_lazy_entry(self, make_epoch):
+        context = TraceContext.new()
+        recorder = FlightRecorder()
+        recorder.record_flush([lazy_entry(context, make_epoch())], [])
+        record = recorder.find(context.request_id)
+        assert isinstance(record, FixRecord)
+        assert record.request_id == context.request_id
+        assert record.trace_id == context.trace_id
+        assert record.trigger is None
+        assert record.config_hash == "cfg-hash"
+
+    def test_number_context_entry_resolves_ids(self, make_epoch):
+        # The service stores a bare request number per entry; find()
+        # matches it without materializing, and the materialized
+        # record resolves its ids from the rebuilt context.
+        number = mint_request_number()
+        recorder = FlightRecorder()
+        recorder.record_flush([lazy_entry(number, make_epoch())], [])
+        record = recorder.find(format_request_id(number))
+        assert record is not None
+        assert record.request_id == format_request_id(number)
+        assert record.trace_id.startswith("t-")
+
+    def test_untraced_entry_gets_sequence_fallback_id(self, make_epoch):
+        recorder = FlightRecorder()
+        recorder.record_flush(
+            [lazy_entry(None, make_epoch(), index=2, batch_sequence=9)], []
+        )
+        record = recorder.find("fix-9-2")
+        assert record is not None
+        assert record.request_id == "fix-9-2"
+
+    def test_records_and_snapshot_materialize(self, make_epoch):
+        context = TraceContext.new()
+        recorder = FlightRecorder()
+        recorder.record_flush([lazy_entry(context, make_epoch())], [])
+        (record,) = recorder.records()
+        assert record.status == "ok"
+        assert len(record.digest) == 16  # hashed from the live epoch
+        snapshot = recorder.snapshot()
+        assert snapshot["retained"] == 1
+        assert snapshot["records"][0]["request_id"] == context.request_id
+
+    def test_counter_parity_with_per_fix_record(self, make_epoch):
+        epoch = make_epoch()
+        flush_registry = MetricsRegistry()
+        with telemetry.capture(flush_registry):
+            recorder = FlightRecorder()
+            triggered = make_record(
+                request_id="r-bad", trigger="deadline_miss", status="timeout"
+            )
+            recorder.record_flush(
+                [lazy_entry(TraceContext.new(), epoch), triggered,
+                 lazy_entry(TraceContext.new(), epoch, index=2)],
+                [triggered],
+            )
+        per_fix_registry = MetricsRegistry()
+        with telemetry.capture(per_fix_registry):
+            recorder = FlightRecorder()
+            recorder.record(make_record(request_id="r-0"))
+            recorder.record(
+                make_record(
+                    request_id="r-bad", trigger="deadline_miss", status="timeout"
+                )
+            )
+            recorder.record(make_record(request_id="r-1"))
+
+        def counts(registry):
+            counter = registry.counter(
+                "repro_recorder_fixes_total",
+                "Fixes captured by the flight recorder.",
+                labels=("triggered",),
+            )
+            return (
+                counter.labels(triggered="no").value,
+                counter.labels(triggered="yes").value,
+            )
+
+        assert counts(flush_registry) == counts(per_fix_registry) == (2.0, 1.0)

@@ -1,0 +1,243 @@
+"""Tests for the SLO engine: quantile sketches, windows, budgets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    MetricsRegistry,
+    QuantileSketch,
+    SloConfig,
+    SloTracker,
+    WindowedQuantiles,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestQuantileSketch:
+    def test_relative_accuracy_guarantee(self):
+        alpha = 0.01
+        sketch = QuantileSketch(relative_accuracy=alpha)
+        rng = np.random.default_rng(0)
+        samples = np.sort(rng.lognormal(mean=-4.0, sigma=1.0, size=5000))
+        sketch.observe_many(samples)
+        for q in (0.5, 0.9, 0.99, 0.999):
+            true = samples[int(q * (len(samples) - 1))]
+            estimate = sketch.quantile(q)
+            assert abs(estimate - true) <= alpha * true * 1.001
+
+    def test_exact_aggregates(self):
+        sketch = QuantileSketch()
+        for value in (0.5, 0.1, 0.9, 0.0):
+            sketch.observe(value)
+        assert sketch.count == 4
+        assert sketch.sum == pytest.approx(1.5)
+        assert sketch.min == 0.0
+        assert sketch.max == 0.9
+        assert sketch.zero_count == 1
+
+    def test_observe_many_matches_loop(self):
+        rng = np.random.default_rng(1)
+        values = list(rng.exponential(0.01, size=300)) + [0.0, -1.0, math.nan]
+        looped = QuantileSketch()
+        for value in values:
+            looped.observe(value)
+        batched = QuantileSketch()
+        batched.observe_many(values)
+        assert batched.count == looped.count
+        assert batched.zero_count == looped.zero_count
+        # Numpy sums pairwise, the loop serially — equal to rel_tol.
+        assert math.isclose(batched.sum, looped.sum, rel_tol=1e-12)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert batched.quantile(q) == looped.quantile(q)
+
+    def test_nan_and_nonpositive_handling(self):
+        sketch = QuantileSketch()
+        sketch.observe(math.nan)
+        assert sketch.count == 0
+        sketch.observe(-0.5)
+        assert (sketch.count, sketch.zero_count) == (1, 1)
+        assert sketch.quantile(0.5) == 0.0
+
+    def test_empty_quantile_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_quantile_range_validated(self):
+        with pytest.raises(ConfigurationError, match="quantile"):
+            QuantileSketch().quantile(1.5)
+
+    def test_merge_is_exact_bin_addition(self):
+        rng = np.random.default_rng(2)
+        left_values = rng.exponential(0.02, size=400)
+        right_values = rng.exponential(0.05, size=600)
+        left = QuantileSketch()
+        left.observe_many(left_values)
+        right = QuantileSketch()
+        right.observe_many(right_values)
+        union = QuantileSketch.merged([left, right])
+        direct = QuantileSketch()
+        direct.observe_many(np.concatenate([left_values, right_values]))
+        assert union.count == direct.count == 1000
+        for q in (0.5, 0.9, 0.99):
+            assert union.quantile(q) == direct.quantile(q)
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ConfigurationError, match="relative accuracies"):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_round_trip(self):
+        sketch = QuantileSketch()
+        sketch.observe_many([0.001, 0.01, 0.1, 0.0])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.quantile(0.9) == sketch.quantile(0.9)
+        assert QuantileSketch.from_dict(QuantileSketch().to_dict()).count == 0
+
+    def test_rejects_bad_accuracy(self):
+        with pytest.raises(ConfigurationError, match="relative_accuracy"):
+            QuantileSketch(relative_accuracy=1.0)
+
+
+class TestWindowedQuantiles:
+    def test_old_traffic_ages_out(self):
+        clock = FakeClock()
+        window = WindowedQuantiles(
+            window_seconds=10.0, windows=2, clock=clock
+        )
+        window.observe(1.0)
+        assert window.quantile(0.5) == pytest.approx(1.0, rel=0.03)
+        clock.advance(10.0)
+        window.observe(2.0)
+        assert window.count == 2  # both windows still live
+        clock.advance(10.0)
+        window.observe(3.0)
+        # The 1.0 sample's window has been retired.
+        assert window.count == 2
+        assert window.quantile(0.0) == pytest.approx(2.0, rel=0.03)
+
+    def test_quiet_gap_retires_every_window(self):
+        clock = FakeClock()
+        window = WindowedQuantiles(window_seconds=1.0, windows=3, clock=clock)
+        for value in (1.0, 2.0, 3.0):
+            window.observe(value)
+        clock.advance(100.0)
+        # quantile() rotates the ring; every stale window retires.
+        assert math.isnan(window.quantile(0.5))
+        assert window.count == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="window_seconds"):
+            WindowedQuantiles(window_seconds=0.0)
+        with pytest.raises(ConfigurationError, match="windows"):
+            WindowedQuantiles(windows=0)
+
+
+class TestSloConfig:
+    def test_rejects_objective_for_unpublished_quantile(self):
+        with pytest.raises(ConfigurationError, match="not a published"):
+            SloConfig(latency_objectives=(("p42", 0.05),))
+
+    def test_rejects_nonpositive_objective(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            SloConfig(latency_objectives=(("p99", 0.0),))
+
+    def test_rejects_degenerate_availability_target(self):
+        with pytest.raises(ConfigurationError, match="availability_target"):
+            SloConfig(availability_target=1.0)
+
+
+class TestSloTracker:
+    def test_availability_excludes_client_statuses(self):
+        tracker = SloTracker()
+        for status in ("ok", "ok", "ok", "failed", "cancelled", "invalid"):
+            tracker.observe(status, 0.01)
+        assert tracker.availability == pytest.approx(3 / 4)
+        snapshot = tracker.snapshot()
+        assert snapshot["requests_by_class"] == {
+            "client": 2, "error": 1, "success": 3,
+        }
+        # Client-attributable latencies stay out of the sketch.
+        assert snapshot["window_samples"] == 4
+
+    def test_unknown_status_counts_as_error(self):
+        tracker = SloTracker()
+        tracker.observe("weird", 0.01)
+        assert tracker.availability == 0.0
+
+    def test_error_budget_arithmetic(self):
+        tracker = SloTracker(SloConfig(availability_target=0.9))
+        for _ in range(95):
+            tracker.observe("ok", 0.01)
+        for _ in range(5):
+            tracker.observe("timeout", 0.5)
+        # 5% errors against a 10% budget: half the budget remains.
+        assert tracker.error_budget_remaining == pytest.approx(0.5)
+        for _ in range(15):
+            tracker.observe("failed", 0.5)
+        # ~17.4% errors: budget blown, remaining goes negative.
+        assert tracker.error_budget_remaining < 0.0
+
+    def test_observe_batch_matches_loop(self):
+        statuses = ["ok"] * 50 + ["cancelled", "failed"] + ["ok"] * 50
+        latencies = [0.001 * (i + 1) for i in range(len(statuses))]
+        looped = SloTracker()
+        for status, latency in zip(statuses, latencies):
+            looped.observe(status, latency)
+        batched = SloTracker()
+        batched.observe_batch(statuses, latencies)
+        assert batched.snapshot() == looped.snapshot()
+
+    def test_observe_batch_never_mutates_callers_list(self):
+        latencies = [0.01, 0.02, 0.03]
+        tracker = SloTracker()
+        tracker.observe_batch(["ok", "cancelled", "ok"], latencies)
+        assert latencies == [0.01, 0.02, 0.03]
+        assert tracker.snapshot()["window_samples"] == 2
+
+    def test_snapshot_grades_objectives(self):
+        tracker = SloTracker(
+            SloConfig(latency_objectives=(("p99", 0.05), ("p50", 0.001)))
+        )
+        for _ in range(100):
+            tracker.observe("ok", 0.01)
+        objectives = tracker.snapshot()["latency_objectives"]
+        assert objectives["p99"]["met"] is True
+        assert objectives["p50"]["met"] is False
+        assert objectives["p50"]["target_seconds"] == 0.001
+
+    def test_publish_writes_gauges_and_counter_deltas(self):
+        registry = MetricsRegistry()
+        tracker = SloTracker()
+        for _ in range(9):
+            tracker.observe("ok", 0.01)
+        tracker.observe("failed", 0.2)
+        tracker.publish(registry)
+        availability = registry.gauge(
+            "repro_slo_availability",
+            "Windowed fraction of non-client requests served ok.",
+        )
+        assert availability.labels().value == pytest.approx(0.9)
+        counter = registry.counter(
+            "repro_slo_requests_total",
+            "Requests graded by the SLO engine, by status class.",
+            labels=("status_class",),
+        )
+        assert counter.labels(status_class="success").value == 9.0
+        # Publishing again without new traffic must not double-count.
+        tracker.publish(registry)
+        assert counter.labels(status_class="success").value == 9.0
+        tracker.observe("ok", 0.01)
+        tracker.publish(registry)
+        assert counter.labels(status_class="success").value == 10.0
