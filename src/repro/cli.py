@@ -325,6 +325,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="client-side in-flight submission bound",
     )
     serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run the sharded multi-process tier with N worker processes "
+            "(0 = the in-process asyncio service)"
+        ),
+    )
+    serve.add_argument(
+        "--policy",
+        default="hash",
+        choices=["hash", "least_loaded"],
+        help="shard routing policy (with --workers)",
+    )
+    serve.add_argument(
         "--metrics-out",
         default=None,
         metavar="PATH",
@@ -745,7 +761,73 @@ def _print_flight_record(record: dict) -> None:
         print(RequestTrace.from_dict(trace).format())
 
 
+def _load_metrics_snapshot(path: str) -> Optional[dict]:
+    """The metrics document if ``path`` is a telemetry snapshot file.
+
+    Recognizes both the ``write_snapshot`` JSON shape (top-level
+    ``metrics`` dict) and a bare ``MetricsRegistry.snapshot()``
+    document (families keyed by name, each with ``kind``/``samples``).
+    Returns ``None`` when the file is not a metrics snapshot — the
+    caller falls through to flight-record handling.
+    """
+    import json
+    from pathlib import Path
+
+    target = Path(path)
+    if not target.is_file():
+        return None
+    try:
+        payload = json.loads(target.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict) and metrics:
+        return metrics
+    if payload and all(
+        isinstance(family, dict) and {"kind", "samples"} <= set(family)
+        for family in payload.values()
+    ):
+        return payload
+    return None
+
+
+def _print_metrics_snapshot(metrics: dict) -> None:
+    """Render one metrics snapshot as a table (fleet or single scrape)."""
+    rows = 0
+    for name in sorted(metrics):
+        family = metrics[name]
+        kind = family.get("kind", "?")
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels") or {}
+            rendered = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            if kind == "histogram":
+                value = (
+                    f"count={sample.get('count', 0):g} "
+                    f"sum={sample.get('sum', 0.0):g}"
+                )
+            else:
+                value = f"{sample.get('value', 0.0):g}"
+            print(f"{kind:<9} {name}{rendered} {value}")
+            rows += 1
+    print(f"{len(metrics)} metric families, {rows} series")
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    metrics = _load_metrics_snapshot(args.path)
+    if metrics is not None:
+        if args.request is not None or args.triggered:
+            raise ConfigurationError(
+                f"{args.path} is a telemetry snapshot; --request/"
+                "--triggered apply to flight records"
+            )
+        _print_metrics_snapshot(metrics)
+        return EXIT_OK
     records = _load_flight_records(args.path)
     if args.request is not None:
         matches = [
@@ -780,6 +862,93 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     triggered = sum(1 for r in records if r.get("trigger"))
     print(f"{len(records)} records ({triggered} triggered)")
     return EXIT_OK
+
+
+def _serve_sharded(args, station, service_config, serve_epochs) -> int:
+    """The ``serve --workers N`` path: the multi-process shard tier.
+
+    Synchronous by design — the shard router owns its own dispatch
+    loop — so the asyncio-tier-only flags (traces, flight recorder,
+    status port) are rejected rather than silently ignored.
+    """
+    import time as _time
+
+    import numpy as np
+
+    from repro.service import ShardConfig, ShardedPositioningService
+    from repro.telemetry import aggregate_registries
+    from repro.telemetry.exporters import (
+        to_json_snapshot,
+        to_prometheus_fleet_text,
+    )
+
+    for flag, name in (
+        (args.trace, "--trace"),
+        (args.record_dir, "--record-dir"),
+        (args.status_port, "--status-port"),
+    ):
+        if flag:
+            raise ConfigurationError(
+                f"{name} rides the asyncio tier; it is not available "
+                "with --workers (the shard's telemetry is the fleet "
+                "scrape, --metrics-out)"
+            )
+    shard_config = ShardConfig(
+        service=service_config,
+        workers=args.workers,
+        policy=args.policy,
+        batch_size=args.batch_size,
+    )
+    with telemetry.capture() as (router_registry, _tracer):
+        with ShardedPositioningService(shard_config) as shard:
+            started = _time.monotonic()
+            results = shard.solve_many(serve_epochs)
+            wall = _time.monotonic() - started
+            registries = [router_registry] + shard.worker_registries()
+            live = shard.live_workers
+    if args.metrics_out:
+        lowered = args.metrics_out.lower()
+        if lowered.endswith((".prom", ".txt")):
+            payload = to_prometheus_fleet_text(registries)
+            with open(args.metrics_out, "w") as handle:
+                handle.write(payload)
+        else:
+            import json as _json
+
+            merged = aggregate_registries(registries)
+            merged.gauge(
+                "repro_fleet_registries",
+                "Member registries merged into this scrape.",
+            ).set(len(registries))
+            with open(args.metrics_out, "w") as handle:
+                _json.dump(
+                    to_json_snapshot(merged), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        print(f"wrote fleet telemetry snapshot to {args.metrics_out}")
+
+    statuses = {}
+    for result in results:
+        statuses[result.status] = statuses.get(result.status, 0) + 1
+    ok_results = [r for r in results if r.ok]
+    print(
+        f"served {len(results)} requests in {wall:.3f}s "
+        f"({len(results) / wall:,.0f} req/s) across {args.workers} workers "
+        f"({live} live, policy {args.policy}, batches of {args.batch_size})"
+    )
+    print(f"statuses: {statuses}")
+    if ok_results:
+        errors = np.array(
+            [
+                float(np.linalg.norm(r.position - station.position))
+                for r in ok_results
+            ]
+        )
+        print(
+            f"position error vs station: mean {errors.mean():.2f}m, "
+            f"max {errors.max():.2f}m"
+        )
+    return exit_code(len(ok_results) == len(results))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -842,6 +1011,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
     )
     serve_epochs = epochs[warmup_count:]
+
+    if args.workers:
+        return _serve_sharded(args, station, service_config, serve_epochs)
 
     async def run():
         results = [None] * len(serve_epochs)

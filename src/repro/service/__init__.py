@@ -41,15 +41,21 @@ and reports the throughput/latency distribution.
 
 from repro.service.batcher import Flush, MicroBatcher
 from repro.service.client import AsyncPositioningClient
+from repro.service.executor import BatchExecutor, BatchMeta
 from repro.service.service import PositioningService
+from repro.service.shard import ShardConfig, ShardedPositioningService
 from repro.service.types import RESULT_STATUSES, ServiceConfig, ServiceResult
 
 __all__ = [
     "AsyncPositioningClient",
+    "BatchExecutor",
+    "BatchMeta",
     "Flush",
     "MicroBatcher",
     "PositioningService",
     "RESULT_STATUSES",
     "ServiceConfig",
     "ServiceResult",
+    "ShardConfig",
+    "ShardedPositioningService",
 ]

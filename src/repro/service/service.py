@@ -46,18 +46,15 @@ from __future__ import annotations
 
 import asyncio
 from collections import Counter
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.blocks import pack_stream
 from repro.engine import PositioningEngine
-from repro.errors import ReproError, ServiceError
-from repro.integrity.fde import EpochVerdict
+from repro.errors import ServiceError
 from repro.integrity.health import SatelliteHealthTracker
-from repro.observations import ObservationEpoch, epoch_integrity_error
+from repro.observations import ObservationEpoch
 from repro.service.batcher import Flush, MicroBatcher
+from repro.service.executor import BatchExecutor, BatchMeta
 from repro.service.types import ServiceConfig, ServiceResult
 from repro.telemetry import get_registry, get_tracer
 from repro.telemetry.recorder import (
@@ -117,37 +114,6 @@ class _PendingRequest:
     trace: Optional[int] = None
 
 
-@dataclass
-class _BatchMeta:
-    """What one dispatch learned beyond the per-request outcomes.
-
-    Carried from :meth:`PositioningService._solve_batch` back to
-    ``_dispatch`` so traces and flight-recorder entries can name the
-    stage split, the bucket lineage, and the resolved biases without
-    re-deriving anything.
-    """
-
-    rung: str  # "batch" (engine answered) or "scalar" (ladder ran)
-    epochs: List[ObservationEpoch]  # post-admission, what actually solved
-    stage_seconds: Optional[Dict[str, float]] = None
-    bucket_keys: Optional[np.ndarray] = None
-    bucket_rows: Optional[np.ndarray] = None
-    resolved_biases: Optional[np.ndarray] = None
-
-    def lineage(self, index: int):
-        """``(bucket_satellites, bucket_row)`` for live-row ``index``."""
-        if self.bucket_keys is None or self.bucket_rows is None:
-            return -1, -1
-        return int(self.bucket_keys[index]), int(self.bucket_rows[index])
-
-    def bias(self, index: int) -> Optional[float]:
-        """The clock bias the solve consumed for row ``index``."""
-        if self.resolved_biases is None:
-            return None
-        value = float(self.resolved_biases[index])
-        return value if np.isfinite(value) else None
-
-
 class _MetricHandles:
     """Pre-resolved telemetry children for the per-request hot path.
 
@@ -165,13 +131,10 @@ class _MetricHandles:
         "latency",
         "batch_size",
         "queue_depth",
-        "preexclusions",
         "_requests_family",
         "_batches_family",
-        "_integrity_family",
         "_request_children",
         "_batch_children",
-        "_integrity_children",
     )
 
     def __init__(self, registry) -> None:
@@ -186,15 +149,6 @@ class _MetricHandles:
             "Batches by flush reason.",
             labels=("reason",),
         )
-        self._integrity_family = registry.counter(
-            "repro_service_integrity_verdicts_total",
-            "FDE verdicts on served epochs.",
-            labels=("status",),
-        )
-        self.preexclusions = registry.counter(
-            "repro_service_integrity_preexclusions_total",
-            "Quarantined satellites pre-excluded at admission.",
-        ).labels()
         self.latency = registry.histogram(
             "repro_service_request_latency_seconds",
             "Submit-to-resolve latency.",
@@ -211,7 +165,6 @@ class _MetricHandles:
         ).labels()
         self._request_children: dict = {}
         self._batch_children: dict = {}
-        self._integrity_children: dict = {}
 
     def request_child(self, status: str):
         child = self._request_children.get(status)
@@ -225,13 +178,6 @@ class _MetricHandles:
         if child is None:
             child = self._batches_family.labels(reason=reason)
             self._batch_children[reason] = child
-        return child
-
-    def integrity_child(self, status: str):
-        child = self._integrity_children.get(status)
-        if child is None:
-            child = self._integrity_family.labels(status=status)
-            self._integrity_children[status] = child
         return child
 
 
@@ -262,26 +208,14 @@ class PositioningService:
         health_tracker: Optional[SatelliteHealthTracker] = None,
     ) -> None:
         self._config = config if config is not None else ServiceConfig()
-        self._engine = (
-            engine
-            if engine is not None
-            else PositioningEngine.from_config(
-                self._config.solver, fde_config=self._config.integrity
-            )
+        # The batch-execution core is process-agnostic (shard workers
+        # run the same object); this class owns only the asyncio
+        # dispatch around it.
+        self._executor = BatchExecutor(
+            self._config, engine=engine, health_tracker=health_tracker
         )
-        if health_tracker is not None:
-            self._tracker: Optional[SatelliteHealthTracker] = health_tracker
-        elif self._config.integrity is not None:
-            self._tracker = SatelliteHealthTracker(self._config.health)
-        else:
-            self._tracker = None
+        self._engine = self._executor.engine
         solver_config = self._config.solver
-        self._scalar = solver_config.build_solver()
-        self._nr_scalar = (
-            solver_config.nr_fallback().build_solver()
-            if self._config.nr_fallback and solver_config.algorithm != "nr"
-            else None
-        )
         self._batcher: Optional[MicroBatcher] = None
         self._worker: Optional["asyncio.Task[None]"] = None
         self._handles: Optional[_MetricHandles] = None
@@ -334,9 +268,14 @@ class PositioningService:
         return self._config
 
     @property
+    def executor(self) -> BatchExecutor:
+        """The process-agnostic batch-execution core."""
+        return self._executor
+
+    @property
     def health_tracker(self) -> Optional[SatelliteHealthTracker]:
         """The satellite-health circuit breaker, when integrity is armed."""
-        return self._tracker
+        return self._executor.health_tracker
 
     @property
     def recorder(self) -> Optional[FlightRecorder]:
@@ -768,7 +707,7 @@ class PositioningService:
         request: _PendingRequest,
         result: ServiceResult,
         epoch: ObservationEpoch,
-        meta: Optional[_BatchMeta],
+        meta: Optional[BatchMeta],
         flush: Flush,
     ) -> None:
         """Retain one screened-out fix in the flight recorder."""
@@ -781,7 +720,7 @@ class PositioningService:
         request: _PendingRequest,
         result: ServiceResult,
         epoch: ObservationEpoch,
-        meta: Optional[_BatchMeta],
+        meta: Optional[BatchMeta],
         flush: Flush,
         index: Optional[int] = None,
         recorded_at: Optional[float] = None,
@@ -886,183 +825,18 @@ class PositioningService:
 
     # -- solving -------------------------------------------------------
 
-    def _batch_biases(self, live: Sequence[_PendingRequest]) -> Optional[np.ndarray]:
-        """Per-request bias overrides, or ``None`` to let the engine's
-        stream-level predictor (from the solver config) resolve them."""
-        if all(request.bias_meters is None for request in live):
-            return None
-        predictor = self._config.solver.bias_predictor()
-        biases = np.empty(len(live))
-        for index, request in enumerate(live):
-            if request.bias_meters is not None:
-                biases[index] = float(request.bias_meters)
-            elif predictor is not None:
-                biases[index] = predictor.predict_bias_meters(request.epoch.time)
-            else:
-                biases[index] = 0.0
-        return biases
-
-    def _admit(self, epochs: List[ObservationEpoch]) -> List[ObservationEpoch]:
-        """Circuit breaker: pre-exclude quarantined satellites.
-
-        One :meth:`~repro.integrity.health.SatelliteHealthTracker.admit`
-        tick per epoch; the tracker's admission floor guarantees the
-        trimmed epoch stays solvable and RAIM-testable.
-        """
-        assert self._tracker is not None
-        admitted: List[ObservationEpoch] = []
-        removed = 0
-        for epoch in epochs:
-            banned = self._tracker.admit(epoch.prns)
-            if banned:
-                banned_set = set(banned)
-                epoch = epoch.with_observations(
-                    obs for obs in epoch.observations if obs.prn not in banned_set
-                )
-                removed += len(banned_set)
-            admitted.append(epoch)
-        if removed:
-            handles = self._telemetry_handles()
-            if handles is not None:
-                handles.preexclusions.inc(removed)
-        return admitted
-
-    def _observe_verdict(
-        self, epoch: ObservationEpoch, verdict: EpochVerdict
-    ) -> None:
-        """Feed one verdict to the health tracker and telemetry."""
-        if self._tracker is not None:
-            if verdict.status == "repaired":
-                self._tracker.record_exclusion(verdict.excluded_prn)
-                self._tracker.record_clean(
-                    prn for prn in epoch.prns if prn != verdict.excluded_prn
-                )
-            elif verdict.status == "passed":
-                self._tracker.record_clean(epoch.prns)
-        handles = self._telemetry_handles()
-        if handles is not None:
-            handles.integrity_child(verdict.status).inc()
-
     def _solve_batch(self, live: Sequence[_PendingRequest]):
-        """``(outcomes, _BatchMeta)``: one
+        """``(outcomes, BatchMeta)``: one
         ``(status, position, bias, solver, error, verdict)`` tuple per
-        live request, plus what the dispatch learned along the way."""
-        epochs = [request.epoch for request in live]
-        if self._tracker is not None:
-            epochs = self._admit(epochs)
-        algorithm = self._engine.algorithm
-        try:
-            # Pack the flushed batch into columnar blocks here, at the
-            # request/array boundary — the engine and everything below
-            # it (solvers, FDE) then run zero-copy on these arrays.
-            stream = self._engine.solve_stream(
-                pack_stream(epochs),
-                self._batch_biases(live),
-                on_undersized="drop",
-            )
-        except ReproError:
-            # Rung 2/3: the batched solve rejects whole buckets, so one
-            # poisoned epoch fails its batchmates here.  Re-solve
-            # per-epoch so every request gets its own verdict.
-            return (
-                [self._solve_scalar(request) for request in live],
-                _BatchMeta(rung="scalar", epochs=epochs),
-            )
+        live request, plus what the dispatch learned along the way.
 
-        fde = stream.diagnostics.fde
-        screened = set(stream.diagnostics.invalid_indices) | set(
-            stream.diagnostics.dropped_indices
+        Thin delegation to the process-agnostic
+        :class:`~repro.service.executor.BatchExecutor` — shard workers
+        run the same core on batches that arrived over shared memory.
+        """
+        overrides: Optional[List[Optional[float]]] = None
+        if any(request.bias_meters is not None for request in live):
+            overrides = [request.bias_meters for request in live]
+        return self._executor.execute(
+            [request.epoch for request in live], overrides
         )
-        outcomes: List[tuple] = []
-        for index, request in enumerate(live):
-            if index in screened:
-                detail = epoch_integrity_error(epochs[index]) or (
-                    "epoch failed batch screening"
-                )
-                outcomes.append(("invalid", None, None, None, detail, None))
-                continue
-            verdict = None
-            if fde is not None:
-                verdict = fde.verdict(index)
-                self._observe_verdict(epochs[index], verdict)
-                if verdict.status == "unusable":
-                    outcomes.append(
-                        (
-                            "failed",
-                            None,
-                            None,
-                            None,
-                            "integrity: fault detected (statistic "
-                            f"{verdict.test_statistic:.1f} > threshold "
-                            f"{verdict.threshold:.1f}) and no single-satellite "
-                            "exclusion repairs the epoch",
-                            verdict,
-                        )
-                    )
-                    continue
-            outcomes.append(
-                (
-                    "ok",
-                    stream.positions[index],
-                    float(stream.clock_biases[index]),
-                    algorithm,
-                    None,
-                    verdict,
-                )
-            )
-        if fde is not None and self._tracker is not None:
-            self._tracker.publish()
-        return outcomes, _BatchMeta(
-            rung="batch",
-            epochs=epochs,
-            stage_seconds=stream.stage_seconds,
-            bucket_keys=stream.diagnostics.bucket_keys,
-            bucket_rows=stream.diagnostics.bucket_rows,
-            resolved_biases=stream.clock_biases,
-        )
-
-    def _solve_scalar(self, request: _PendingRequest) -> tuple:
-        """Degradation rungs for one epoch: scalar primary, then NR."""
-        detail = epoch_integrity_error(request.epoch)
-        if detail is not None:
-            return ("invalid", None, None, None, detail, None)
-        algorithm = self._config.solver.algorithm
-        solver = self._scalar
-        if request.bias_meters is not None:
-            solver = replace(
-                self._config.solver,
-                clock_bias_meters=request.bias_meters,
-                clock_predictor=None,
-            ).build_solver()
-        try:
-            fix = solver.solve(request.epoch)
-            return (
-                "ok",
-                fix.position,
-                fix.clock_bias_meters,
-                f"{algorithm}/scalar",
-                None,
-                None,
-            )
-        except ReproError as primary_error:
-            if self._nr_scalar is None:
-                return ("failed", None, None, None, str(primary_error), None)
-            try:
-                fix = self._nr_scalar.solve(request.epoch)
-            except ReproError as fallback_error:
-                return (
-                    "failed",
-                    None,
-                    None,
-                    None,
-                    f"{algorithm}: {primary_error}; nr fallback: {fallback_error}",
-                    None,
-                )
-            return (
-                "ok",
-                fix.position,
-                fix.clock_bias_meters,
-                f"{algorithm}/nr-fallback",
-                None,
-                None,
-            )

@@ -32,6 +32,7 @@ RESULT_STATUSES: Tuple[str, ...] = (
     "timeout",  # the request's deadline expired (possibly mid-batch)
     "rejected",  # backpressure: queue full at admission, retry later
     "cancelled",  # the submitting task was cancelled while queued
+    "retryable",  # a shard worker died mid-batch; safe to resubmit
 )
 
 

@@ -36,6 +36,8 @@ whole stack up.
 from __future__ import annotations
 
 import logging
+import os
+import sys
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
@@ -48,6 +50,7 @@ from repro.telemetry.registry import (
     NullRegistry,
     NULL_REGISTRY,
     aggregate_registries,
+    registry_from_snapshot,
 )
 from repro.telemetry.tracer import (
     NullTracer,
@@ -70,6 +73,7 @@ from repro.telemetry.trace import (
     build_stage_spans,
     format_request_id,
     mint_request_number,
+    reset_trace_identity,
 )
 from repro.telemetry.recorder import (
     INCIDENT_FORMAT,
@@ -138,6 +142,41 @@ def uninstall() -> None:
     _active_tracer = NULL_TRACER
 
 
+def _reinit_after_fork() -> None:
+    """Reset process-scoped mutable state in a freshly forked child.
+
+    A forked worker inherits the parent's installed registry/tracer
+    (its metrics would silently diverge from the parent's scrape), the
+    active flight recorder, the trace id prefix and request counter
+    (its ids would *collide* with the parent's), and the facade's
+    one-slot solver cache (whose predictor state is mid-stream).  None
+    of these are meaningful across the fork boundary, so the child
+    starts clean: shard workers install their own registry explicitly,
+    and everything else returns to the no-op defaults.
+
+    Registered once via :func:`os.register_at_fork` at first import of
+    this package; spawn-started processes re-import from scratch and
+    need nothing.
+    """
+    global _active_registry, _active_tracer
+    _active_registry = NULL_REGISTRY
+    _active_tracer = NULL_TRACER
+    from repro.telemetry import recorder as _recorder_module
+    from repro.telemetry import trace as _trace_module
+
+    _recorder_module._active_recorder = NULL_RECORDER
+    _trace_module.reset_trace_identity()
+    # The api facade may not be imported (telemetry has no dependency
+    # on it); reset its solver cache only if it already exists.
+    api_module = sys.modules.get("repro.api")
+    if api_module is not None:
+        api_module._LAST_BUILT = (None, None)
+
+
+if hasattr(os, "register_at_fork"):  # not on every platform
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
 @contextmanager
 def capture(
     registry: Optional[MetricsRegistry] = None,
@@ -171,6 +210,7 @@ __all__ = [
     "uninstall",
     "capture",
     "aggregate_registries",
+    "registry_from_snapshot",
     "to_prometheus_text",
     "to_prometheus_fleet_text",
     "to_json_snapshot",
@@ -183,6 +223,7 @@ __all__ = [
     "build_stage_spans",
     "assemble_request_trace",
     "mint_request_number",
+    "reset_trace_identity",
     "format_request_id",
     # anomaly flight recorder
     "INCIDENT_FORMAT",

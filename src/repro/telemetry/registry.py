@@ -499,6 +499,65 @@ class NullRegistry:
 NULL_REGISTRY = NullRegistry()
 
 
+def registry_from_snapshot(document: Mapping[str, Mapping]) -> MetricsRegistry:
+    """Rebuild a live :class:`MetricsRegistry` from :meth:`MetricsRegistry.
+    snapshot` output.
+
+    The cross-process half of the fleet scrape: shard workers ship
+    their registries to the router as snapshot dicts (plain JSON types
+    over the control pipe — never live objects), and the router
+    restores them here so :func:`aggregate_registries` /
+    :func:`~repro.telemetry.exporters.to_prometheus_fleet_text` treat
+    remote workers exactly like local registries.
+
+    Lossless for every kind: snapshots export histogram buckets as
+    *cumulative* counts keyed by ``repr(bound)`` — both round-trip
+    exactly (``float(repr(x)) == x`` for float64, and de-cumulating
+    recovers the per-bucket counts).
+    """
+    registry = MetricsRegistry()
+    for name, family in document.items():
+        kind = family["kind"]
+        help_ = family.get("help", "")
+        labels = tuple(family.get("label_names", ()))
+        samples = family.get("samples", ())
+        if kind != "histogram" and not samples:
+            # Keep the (empty) family so definitions survive the trip;
+            # a sample-less histogram is skipped instead — its bucket
+            # ladder only exists on samples, and inventing one would
+            # make aggregation conflicts where the source had none.
+            _CHILD = registry.counter if kind == "counter" else registry.gauge
+            _CHILD(name, help_, labels=labels)
+            continue
+        for sample in samples:
+            label_values = {
+                key: str(value) for key, value in sample.get("labels", {}).items()
+            }
+            if kind == "counter":
+                registry.counter(name, help_, labels=labels).labels(
+                    **label_values
+                ).inc(float(sample["value"]))
+            elif kind == "gauge":
+                registry.gauge(name, help_, labels=labels).labels(
+                    **label_values
+                ).set(float(sample["value"]))
+            else:
+                exported = sample["buckets"]
+                bounds = tuple(sorted(float(key) for key in exported))
+                child = registry.histogram(
+                    name, help_, labels=labels, buckets=bounds
+                ).labels(**label_values)
+                cumulative = [int(exported[repr(bound)]) for bound in bounds]
+                with child._lock:
+                    previous = 0
+                    for index, total in enumerate(cumulative):
+                        child.bucket_counts[index] = total - previous
+                        previous = total
+                    child.sum = float(sample["sum"])
+                    child.count = int(sample["count"])
+    return registry
+
+
 def aggregate_registries(
     registries: Iterable[MetricsRegistry],
 ) -> MetricsRegistry:

@@ -49,8 +49,10 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-#: Service statuses that count against availability.
-ERROR_STATUSES: Tuple[str, ...] = ("failed", "timeout", "rejected")
+#: Service statuses that count against availability.  ``retryable``
+#: (a shard worker died mid-batch) is explicitly an error: the caller
+#: did nothing wrong and the fleet failed to answer.
+ERROR_STATUSES: Tuple[str, ...] = ("failed", "timeout", "rejected", "retryable")
 #: Caller-attributable statuses, excluded from availability.
 CLIENT_STATUSES: Tuple[str, ...] = ("invalid", "cancelled")
 

@@ -49,12 +49,36 @@ _REQUEST_COUNTER = itertools.count(1)
 _TRACE_TAG = "t-" + _ID_PREFIX + "-"
 _REQUEST_TAG = "r-" + _ID_PREFIX + "-"
 
-#: Mint the integer identity for one request — the cheapest possible
-#: trace-armed ingress: one counter bump, no object allocation.  The
-#: service stores this number on the pending request; a
-#: :class:`RequestTrace` built over it materializes the full
-#: :class:`TraceContext` lazily on first read.
-mint_request_number = _REQUEST_COUNTER.__next__
+
+def mint_request_number() -> int:
+    """Mint the integer identity for one request — the cheapest
+    possible trace-armed ingress: one counter bump, no object
+    allocation.  The service stores this number on the pending request;
+    a :class:`RequestTrace` built over it materializes the full
+    :class:`TraceContext` lazily on first read.
+
+    A real ``def`` (not a bound ``count.__next__``) on purpose: callers
+    import it by name, and :func:`reset_trace_identity` must be able to
+    swap the underlying counter after a fork without stale references
+    in importing modules.
+    """
+    return next(_REQUEST_COUNTER)
+
+
+def reset_trace_identity() -> None:
+    """Re-seed the per-process id prefix and restart the counter.
+
+    A forked child inherits the parent's prefix and counter position,
+    so without a reset two processes mint *colliding* request ids.
+    Called automatically in fork children (see
+    :mod:`repro.telemetry`'s ``os.register_at_fork`` hook); spawn
+    starts from a fresh import and needs nothing.
+    """
+    global _ID_PREFIX, _REQUEST_COUNTER, _TRACE_TAG, _REQUEST_TAG
+    _ID_PREFIX = os.urandom(3).hex()
+    _REQUEST_COUNTER = itertools.count(1)
+    _TRACE_TAG = "t-" + _ID_PREFIX + "-"
+    _REQUEST_TAG = "r-" + _ID_PREFIX + "-"
 
 
 def format_request_id(number: int) -> str:

@@ -176,3 +176,61 @@ class TestMetricsOutFlag:
         assert main(["experiment", "SRZN", "--duration", "400",
                      "--metrics-out", str(path)]) == 0
         assert "# TYPE repro_solver_solves_total counter" in path.read_text()
+
+
+class TestServeWorkersFlag:
+    def test_sharded_serve_writes_fleet_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(["serve", "SRZN", "--workers", "2", "--requests", "96",
+                     "--batch-size", "16", "--metrics-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "across 2 workers" in out
+        assert "statuses: {'ok': 96}" in out
+        import json
+
+        doc = json.loads(path.read_text())
+        metrics = doc["metrics"]
+        # Fleet aggregation: worker-side executor counters made it back.
+        assert metrics["repro_engine_epochs_total"]["samples"][0]["value"] == 96
+        assert metrics["repro_shard_requests_total"]["samples"][0]["value"] == 96
+        total_worker_batches = sum(
+            sample["value"]
+            for sample in metrics["repro_shard_worker_batches_total"]["samples"]
+        )
+        assert total_worker_batches == 6  # 96 epochs / batches of 16
+        assert "repro_fleet_registries" in metrics
+
+    def test_sharded_serve_prometheus_text(self, tmp_path, capsys):
+        path = tmp_path / "fleet.prom"
+        assert main(["serve", "SRZN", "--workers", "1", "--requests", "32",
+                     "--metrics-out", str(path)]) == 0
+        text = path.read_text()
+        assert "# TYPE repro_shard_requests_total counter" in text
+        assert "repro_fleet_registries 2" in text  # router + 1 worker
+
+    def test_asyncio_only_flags_rejected_with_workers(self, capsys):
+        assert main(["serve", "SRZN", "--workers", "2", "--requests", "8",
+                     "--trace"]) == 1
+        assert "--trace" in capsys.readouterr().err
+
+
+class TestInspectMetricsSnapshot:
+    def test_renders_fleet_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        assert main(["serve", "SRZN", "--workers", "2", "--requests", "32",
+                     "--batch-size", "16", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_shard_requests_total 32" in out
+        assert "metric families" in out
+
+    def test_request_flag_rejected_for_metrics(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"metrics": {"x_total": {
+            "kind": "counter", "help": "", "label_names": [],
+            "samples": [{"labels": {}, "value": 1.0}]}}}))
+        assert main(["inspect", str(path), "--request", "r-1"]) == 1
+        assert "telemetry snapshot" in capsys.readouterr().err

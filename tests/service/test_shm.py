@@ -1,0 +1,239 @@
+"""Shared-memory transport: layout, slab lifecycle, seqlock guards."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.service.shard import (
+    ShardConfig,
+    read_request,
+    read_response,
+    slab_layout,
+    write_request,
+    write_response,
+)
+from repro.service.shm import (
+    SLAB_PREFIX,
+    SharedSlab,
+    SlabLayout,
+    TornBatchError,
+    check_sealed,
+    list_slabs,
+    shm_dir,
+    stamp_begin,
+    stamp_end,
+)
+from repro.blocks import pack_stream
+from repro.validation.scenarios import ScenarioGenerator
+
+
+# -- SlabLayout --------------------------------------------------------
+
+
+class TestSlabLayout:
+    def test_fields_are_aligned_and_disjoint(self):
+        layout = (
+            SlabLayout()
+            .add("a", (3,), "<i1")
+            .add("b", (2, 4), "<f8")
+            .add("c", (5,), "<i8")
+        )
+        buffer = bytearray(layout.nbytes)
+        arrays = layout.arrays(buffer)
+        assert arrays["a"].shape == (3,)
+        assert arrays["b"].shape == (2, 4)
+        # Writing one field never bleeds into another.
+        arrays["b"][:] = 7.5
+        arrays["c"][:] = -1
+        assert (arrays["a"] == 0).all()
+        assert (arrays["b"] == 7.5).all()
+        assert (arrays["c"] == -1).all()
+        # 64-byte alignment: every offset is a multiple of 64.
+        for _name, _shape, _dtype, offset in layout._fields:
+            assert offset % 64 == 0
+
+    def test_spec_round_trip(self):
+        layout = SlabLayout().add("x", (4, 2), "<f8").add("y", (1,), "<i8")
+        rebuilt = SlabLayout.from_spec(layout.spec())
+        assert rebuilt.spec() == layout.spec()
+        assert rebuilt.nbytes == layout.nbytes
+
+    def test_duplicate_field_rejected(self):
+        layout = SlabLayout().add("x", (1,), "<i8")
+        with pytest.raises(ConfigurationError):
+            layout.add("x", (2,), "<f8")
+
+
+# -- SharedSlab lifecycle ----------------------------------------------
+
+
+class TestSharedSlab:
+    def test_create_attach_share_bytes_and_unlink(self):
+        before = set(list_slabs())
+        slab = SharedSlab.create(4096)
+        assert slab.path.startswith(os.path.join(shm_dir(), SLAB_PREFIX))
+        assert slab.path in list_slabs()
+        view = np.frombuffer(slab.buffer, dtype=np.int64, count=8)
+        attached = SharedSlab.attach(slab.path, 4096)
+        other = np.frombuffer(attached.buffer, dtype=np.int64, count=8)
+        view[3] = 42
+        assert other[3] == 42
+        del other
+        attached.close()
+        del view
+        slab.close()
+        slab.unlink()
+        assert set(list_slabs()) == before
+
+    def test_attacher_cannot_unlink(self):
+        slab = SharedSlab.create(1024)
+        try:
+            attached = SharedSlab.attach(slab.path, 1024)
+            with pytest.raises(ServiceError):
+                attached.unlink()
+            attached.close()
+        finally:
+            slab.close()
+            slab.unlink()
+
+    def test_context_manager_unlinks_owner(self):
+        before = set(list_slabs())
+        with SharedSlab.create(1024) as slab:
+            assert slab.path in list_slabs()
+        assert set(list_slabs()) == before
+
+    def test_closed_slab_refuses_buffer(self):
+        slab = SharedSlab.create(1024)
+        slab.close()
+        with pytest.raises(ServiceError):
+            slab.buffer
+        slab.unlink()
+
+
+# -- seqlock -----------------------------------------------------------
+
+
+class TestSeqlock:
+    def test_sealed_write_passes(self):
+        begin = np.zeros(4, dtype=np.int64)
+        end = np.zeros(4, dtype=np.int64)
+        stamp_begin(begin, 2, 7)
+        stamp_end(end, 2, 7)
+        check_sealed(begin, end, 2, 7)
+
+    def test_open_window_is_torn(self):
+        begin = np.zeros(4, dtype=np.int64)
+        end = np.zeros(4, dtype=np.int64)
+        stamp_begin(begin, 1, 9)  # writer died before stamp_end
+        with pytest.raises(TornBatchError):
+            check_sealed(begin, end, 1, 9)
+
+    def test_stale_complete_fill_is_torn(self):
+        # A fully sealed *older* batch must not satisfy a newer notify.
+        begin = np.zeros(4, dtype=np.int64)
+        end = np.zeros(4, dtype=np.int64)
+        stamp_begin(begin, 0, 5)
+        stamp_end(end, 0, 5)
+        with pytest.raises(TornBatchError):
+            check_sealed(begin, end, 0, 6)
+
+
+# -- request/response lanes --------------------------------------------
+
+
+def _arrays(config=None):
+    config = config if config is not None else ShardConfig()
+    layout = slab_layout(config)
+    return layout.arrays(bytearray(layout.nbytes)), config
+
+
+class TestRequestLane:
+    def test_packed_stream_round_trips_bitwise(self):
+        generator = ScenarioGenerator()
+        epochs = [generator.generate(seed).epoch for seed in range(40)]
+        packed = pack_stream(epochs)
+        arrays, _config = _arrays()
+        write_request(arrays, 1, 11, packed, None)
+        rebuilt, biases = read_request(arrays, 1, 11)
+        assert biases is None
+        assert len(rebuilt) == len(packed)
+        assert rebuilt.unpackable == packed.unpackable
+        assert len(rebuilt.buckets) == len(packed.buckets)
+        for ours, theirs in zip(rebuilt.buckets, packed.buckets):
+            assert ours.satellite_count == theirs.satellite_count
+            assert np.array_equal(ours.indices, theirs.indices)
+            for attr in ("positions", "pseudoranges", "prns", "weeks",
+                         "seconds_of_week"):
+                assert np.array_equal(
+                    getattr(ours.block, attr), getattr(theirs.block, attr)
+                ), attr
+
+    def test_bias_overrides_round_trip(self):
+        generator = ScenarioGenerator()
+        epochs = [generator.generate(seed).epoch for seed in range(5)]
+        packed = pack_stream(epochs)
+        arrays, _config = _arrays()
+        overrides = np.array([1.5, np.nan, -2.25, np.nan, 0.0])
+        write_request(arrays, 0, 3, packed, overrides)
+        _rebuilt, biases = read_request(arrays, 0, 3)
+        assert biases is not None
+        assert np.array_equal(
+            np.isfinite(biases), np.isfinite(overrides)
+        )
+        finite = np.isfinite(overrides)
+        assert np.array_equal(biases[finite], overrides[finite])
+
+    def test_torn_request_refused(self):
+        generator = ScenarioGenerator()
+        packed = pack_stream([generator.generate(0).epoch])
+        arrays, _config = _arrays()
+        # Simulate a writer that opened the window, wrote a partial
+        # payload, and died before sealing.
+        stamp_begin(arrays["req_begin"], 2, 9)
+        arrays["req_count"][2] = 1
+        with pytest.raises(TornBatchError):
+            read_request(arrays, 2, 9)
+
+
+class TestResponseLane:
+    def test_outcomes_round_trip(self):
+        from repro.integrity.fde import EpochVerdict
+
+        arrays, _config = _arrays()
+        outcomes = [
+            ("ok", np.array([1.0, -2.0, 3.5]), 12.25, "dlg", None,
+             EpochVerdict("passed", 1.25, 9.5)),
+            ("invalid", None, None, None, "epoch failed batch screening", None),
+            ("failed", None, None, None, "no convergence", None),
+            ("ok", np.array([7.0, 8.0, 9.0]), -3.5, "dlg/nr-fallback", None,
+             EpochVerdict("repaired", 30.0, 9.5, excluded_prn=17)),
+            ("ok", np.array([0.5, 0.25, 0.125]), 0.0, "dlg/scalar", None,
+             EpochVerdict("unchecked", float("nan"), float("nan"))),
+        ]
+        errors = write_response(arrays, 3, 21, outcomes)
+        assert errors == {1: "epoch failed batch screening", 2: "no convergence"}
+        results = read_response(arrays, 3, 21, len(outcomes), errors, "dlg", 5)
+        assert [r.status for r in results] == [
+            "ok", "invalid", "failed", "ok", "ok"
+        ]
+        assert np.array_equal(results[0].position, outcomes[0][1])
+        assert results[0].clock_bias_meters == 12.25
+        assert results[0].solver == "dlg"
+        assert results[0].integrity.status == "passed"
+        assert results[0].integrity.test_statistic == 1.25
+        assert results[1].error == "epoch failed batch screening"
+        assert results[3].solver == "dlg/nr-fallback"
+        assert results[3].integrity.excluded_prn == 17
+        assert results[4].solver == "dlg/scalar"
+        assert results[4].integrity.status == "unchecked"
+        assert np.isnan(results[4].integrity.test_statistic)
+
+    def test_torn_response_refused(self):
+        arrays, _config = _arrays()
+        # Writer crashed mid-fill: window open, partial rows, no seal.
+        stamp_begin(arrays["resp_begin"], 0, 4)
+        arrays["resp_positions"][0, 0] = 1.0
+        with pytest.raises(TornBatchError):
+            read_response(arrays, 0, 4, 3, {}, "dlg", 3)
