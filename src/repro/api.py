@@ -40,17 +40,24 @@ Design rules:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple, Union
+from typing import Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.clocks.prediction import ClockBiasPredictor, ConstantClockBiasPredictor
+from repro.constellation.systems import DEFAULT_SYSTEM, normalize_system
 from repro.core.base import PositioningAlgorithm
 from repro.core.selection import BaseSatelliteSelector
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError
-from repro.observations import ObservationEpoch
+from repro.geodesy import geodetic_to_ecef
+from repro.observations import (
+    EpochTruth,
+    ObservationEpoch,
+    SatelliteObservation,
+)
 from repro.solvers import (
+    CONSTELLATION_MODES,
     BancroftSolver,
     BatchDLGSolver,
     BatchDLOSolver,
@@ -59,6 +66,7 @@ from repro.solvers import (
     DLOSolver,
     NewtonRaphsonSolver,
 )
+from repro.timebase import GpsTime
 
 #: Algorithms a :class:`SolverConfig` can name.
 ALGORITHMS: Tuple[str, ...] = ("nr", "dlo", "dlg", "bancroft")
@@ -99,6 +107,13 @@ class SolverConfig:
         :class:`~repro.solvers.NewtonRaphsonSolver`).  Rejected by
         :meth:`build_batch_solver` when set to non-batchable values,
         exactly as :meth:`NewtonRaphsonSolver.as_batch` would.
+    constellations:
+        ``"single"`` (the paper's GPS-only model: one clock bias, any
+        system tags ignored) or ``"per_constellation"`` (one clock-bias
+        unknown per distinct system present).  Per-constellation mode
+        *estimates* every bias, so it rejects both external bias
+        sources, the 4-state ``initial_state`` warm start, and
+        Bancroft (whose closed form is single-clock by construction).
     """
 
     algorithm: str = "dlg"
@@ -114,6 +129,7 @@ class SolverConfig:
     initial_state: Optional[Tuple[float, float, float, float]] = None
     elevation_weighted: bool = False
     convergence: str = "update"
+    constellations: str = "single"
 
     def __post_init__(self) -> None:
         algorithm = str(self.algorithm).lower()
@@ -123,6 +139,29 @@ class SolverConfig:
                 f"got {self.algorithm!r}"
             )
         object.__setattr__(self, "algorithm", algorithm)
+        if self.constellations not in CONSTELLATION_MODES:
+            raise ConfigurationError(
+                f"constellations must be one of {CONSTELLATION_MODES}, "
+                f"got {self.constellations!r}"
+            )
+        if self.constellations == "per_constellation":
+            if self.algorithm == "bancroft":
+                raise ConfigurationError(
+                    "Bancroft's closed form assumes one shared clock bias; "
+                    "per-constellation mode needs 'nr', 'dlo', or 'dlg'"
+                )
+            if self.clock_bias_meters is not None or self.clock_predictor is not None:
+                raise ConfigurationError(
+                    "per-constellation mode estimates the clock biases; "
+                    "drop clock_bias_meters/clock_predictor or use "
+                    "constellations='single'"
+                )
+            if self.initial_state is not None:
+                raise ConfigurationError(
+                    "per-constellation NR sizes its state per epoch "
+                    "(3 + K unknowns); a fixed 4-state initial_state cannot "
+                    "be combined with it"
+                )
         if self.clock_bias_meters is not None and self.clock_predictor is not None:
             raise ConfigurationError(
                 "set clock_bias_meters or clock_predictor, not both: the "
@@ -168,11 +207,20 @@ class SolverConfig:
                 ),
                 elevation_weighted=self.elevation_weighted,
                 convergence=self.convergence,
+                constellations=self.constellations,
             )
         if self.algorithm == "dlo":
-            return DLOSolver(self.bias_predictor(), self.base_selector)
+            return DLOSolver(
+                self.bias_predictor(),
+                self.base_selector,
+                constellations=self.constellations,
+            )
         if self.algorithm == "dlg":
-            return DLGSolver(self.bias_predictor(), self.base_selector)
+            return DLGSolver(
+                self.bias_predictor(),
+                self.base_selector,
+                constellations=self.constellations,
+            )
         return BancroftSolver()
 
     def build_batch_solver(self):
@@ -206,8 +254,11 @@ class SolverConfig:
                     if self.initial_state is not None
                     else None
                 ),
+                constellations=self.constellations,
             )
-        return BatchDLOSolver() if self.algorithm == "dlo" else BatchDLGSolver()
+        if self.algorithm == "dlo":
+            return BatchDLOSolver(constellations=self.constellations)
+        return BatchDLGSolver(constellations=self.constellations)
 
     def nr_fallback(self) -> "SolverConfig":
         """This config's NR degradation target.
@@ -321,6 +372,10 @@ def solve_batch(
     solver = resolved.build_batch_solver()
     if resolved.algorithm == "nr":
         return solver.solve_batch(epochs)
+    if resolved.constellations == "per_constellation":
+        # The multi-constellation solvers estimate every bias; handing
+        # them predicted biases is the contradiction they reject.
+        return solver.solve_batch(epochs, biases)
     return solver.solve_batch(epochs, resolved.batch_biases(epochs, biases))
 
 
@@ -336,12 +391,162 @@ def build_batch_solver(config: Union[SolverConfig, str, None] = None):
     return _as_config(config).build_batch_solver()
 
 
+#: Synthetic-scene range band (meters): zenith to low-elevation slant
+#: ranges of a MEO shell, matching the validation scenario generator.
+_SCENE_RANGE_BAND = (2.0e7, 2.6e7)
+
+#: Reference GPS week for :func:`build_scene` epochs.
+_SCENE_REFERENCE_WEEK = 2200
+
+
+def build_scene(
+    satellites: Union[int, Mapping[str, int]],
+    *,
+    clock_bias_meters: Union[float, Mapping[str, float]] = 0.0,
+    seed: int = 0,
+    noise_sigma: float = 0.0,
+    time: Optional[GpsTime] = None,
+) -> ObservationEpoch:
+    """A reproducible synthetic epoch, single- or multi-constellation.
+
+    The facade's scene constructor: hand it satellite counts and truth
+    clock biases and get back an :class:`~repro.observations.
+    ObservationEpoch` with :class:`~repro.observations.EpochTruth`
+    attached — ready for :func:`solve`, the batch solvers, or the
+    engine.  Everything is a pure function of ``(satellites,
+    clock_bias_meters, seed, noise_sigma)``: same arguments, same scene,
+    bit for bit.
+
+    Parameters
+    ----------
+    satellites:
+        Either a plain count (a GPS-only scene, the paper's setting) or
+        a mapping of RINEX system codes to counts, e.g. ``{"G": 6,
+        "R": 5}``.  Mapping order is preserved: the first key is the
+        first constellation, whose bias doubles as the legacy
+        ``truth.clock_bias_meters``.
+    clock_bias_meters:
+        One receiver clock bias for every system (a float), or one per
+        system code.  Per-system keys must name systems present in
+        ``satellites``; systems left out default to a zero bias.
+    seed:
+        Seed of the private random stream (receiver location, sky
+        directions, ranges, noise).
+    noise_sigma:
+        Gaussian pseudorange noise (meters); zero keeps the scene
+        exactly consistent with its truth.
+    time:
+        Receive instant; defaults to a fixed reference week with the
+        seed as seconds-of-week.
+    """
+    if isinstance(satellites, Mapping):
+        counts = [
+            (normalize_system(system), int(count))
+            for system, count in satellites.items()
+        ]
+        tagged = True
+    else:
+        counts = [(DEFAULT_SYSTEM, int(satellites))]
+        tagged = False
+    if not counts:
+        raise ConfigurationError("satellites must name at least one system")
+    if len({system for system, _count in counts}) != len(counts):
+        raise ConfigurationError("satellites lists a system code twice")
+    if any(count < 1 for _system, count in counts):
+        raise ConfigurationError("every per-system satellite count must be >= 1")
+
+    if isinstance(clock_bias_meters, Mapping):
+        biases = {
+            normalize_system(system): float(bias)
+            for system, bias in clock_bias_meters.items()
+        }
+        present = {system for system, _count in counts}
+        absent = sorted(set(biases) - present)
+        if absent:
+            raise ConfigurationError(
+                "clock_bias_meters names systems not in the scene: "
+                + ", ".join(absent)
+            )
+    else:
+        biases = {system: float(clock_bias_meters) for system, _count in counts}
+    if any(not np.isfinite(bias) for bias in biases.values()):
+        raise ConfigurationError("clock biases must be finite")
+    if not np.isfinite(noise_sigma) or noise_sigma < 0:
+        raise ConfigurationError("noise_sigma must be finite and >= 0")
+
+    rng = np.random.default_rng(seed)
+    latitude = float(np.arcsin(rng.uniform(-1.0, 1.0)))  # area-uniform
+    longitude = float(rng.uniform(-np.pi, np.pi))
+    height = float(rng.uniform(0.0, 9000.0))
+    receiver = geodetic_to_ecef(latitude, longitude, height)
+    up = receiver / np.linalg.norm(receiver)
+
+    observations = []
+    for system, count in counts:
+        bias = biases.get(system, 0.0)
+        for prn in range(1, count + 1):
+            direction = _upper_hemisphere_direction(rng, up)
+            satellite = receiver + direction * rng.uniform(*_SCENE_RANGE_BAND)
+            pseudorange = float(np.linalg.norm(satellite - receiver)) + bias
+            if noise_sigma:
+                pseudorange += float(rng.normal(0.0, noise_sigma))
+            observations.append(
+                SatelliteObservation(
+                    prn=prn,
+                    position=satellite,
+                    pseudorange=pseudorange,
+                    elevation=float(np.arcsin(np.clip(direction @ up, -1.0, 1.0))),
+                    system=system,
+                )
+            )
+
+    truth = EpochTruth(
+        receiver_position=receiver,
+        clock_bias_meters=biases.get(counts[0][0], 0.0),
+        clock_biases=(
+            tuple((system, biases.get(system, 0.0)) for system, _count in counts)
+            if tagged
+            else None
+        ),
+    )
+    return ObservationEpoch(
+        time=(
+            time
+            if time is not None
+            else GpsTime(
+                week=_SCENE_REFERENCE_WEEK, seconds_of_week=float(seed % 604800)
+            )
+        ),
+        observations=tuple(observations),
+        truth=truth,
+    )
+
+
+def _upper_hemisphere_direction(
+    rng: np.random.Generator, up: np.ndarray
+) -> np.ndarray:
+    """One unit line-of-sight direction at least ~5 degrees up."""
+    minimum = np.sin(np.radians(5.0))
+    while True:
+        candidate = rng.normal(size=3)
+        norm = np.linalg.norm(candidate)
+        if norm < 1e-12:
+            continue
+        candidate /= norm
+        if candidate @ up < 0:
+            candidate = -candidate  # fold into the upper hemisphere
+        if candidate @ up >= minimum:
+            return candidate
+
+
 __all__ = [
     "ALGORITHMS",
     "BATCH_ALGORITHMS",
+    "CONSTELLATION_MODES",
     "SolverConfig",
     "solve",
     "solve_batch",
     "build_solver",
     "build_batch_solver",
+    "build_scene",
 ]

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constellation.systems import constellation_signature, system_code
 from repro.errors import ConfigurationError, GeometryError
 from repro.observations import (
     EpochTruth,
@@ -76,6 +77,12 @@ class EpochBlock:
         mark epochs without truth (an :class:`~repro.observations.
         EpochTruth` position is validated finite, so NaN is
         unambiguous).
+    systems:
+        ``(N, m)`` compact GNSS system ids (int8, the indices of
+        :data:`repro.constellation.systems.SYSTEM_CODES`), aligned with
+        the satellite axis.  ``None`` defaults to all-GPS (zeros), so
+        every pre-existing single-constellation producer keeps working
+        unchanged.
 
     All arrays are read-only: a block is a value, shared freely across
     tiers without defensive copies.
@@ -88,6 +95,7 @@ class EpochBlock:
     seconds_of_week: np.ndarray
     truth_positions: np.ndarray
     truth_biases: np.ndarray
+    systems: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         positions = np.asarray(self.positions, dtype=float)
@@ -121,6 +129,19 @@ class EpochBlock:
                 f"truth arrays must have shapes ({n}, 3)/({n},), got "
                 f"{truth_positions.shape}/{truth_biases.shape}"
             )
+        if self.systems is None:
+            systems = np.zeros((n, m), dtype=np.int8)
+        else:
+            systems = np.asarray(self.systems, dtype=np.int8)
+            if systems.shape != (n, m):
+                raise ConfigurationError(
+                    f"systems shape {systems.shape} does not match positions "
+                    f"({n}, {m})"
+                )
+            if systems.size and (systems.min() < 0 or systems.max() > 3):
+                raise ConfigurationError(
+                    "system ids must be in [0, 3] (G/R/E/C)"
+                )
         object.__setattr__(self, "positions", _read_only(positions))
         object.__setattr__(self, "pseudoranges", _read_only(pseudoranges))
         object.__setattr__(self, "prns", _read_only(prns))
@@ -128,6 +149,7 @@ class EpochBlock:
         object.__setattr__(self, "seconds_of_week", _read_only(sow))
         object.__setattr__(self, "truth_positions", _read_only(truth_positions))
         object.__setattr__(self, "truth_biases", _read_only(truth_biases))
+        object.__setattr__(self, "systems", _read_only(systems))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -150,6 +172,36 @@ class EpochBlock:
         return np.isfinite(self.truth_positions).all(axis=1)
 
     # ------------------------------------------------------------------
+    def uniform_system_pattern(self) -> Optional[np.ndarray]:
+        """The shared per-slot system-id pattern, or ``None`` if mixed.
+
+        The multi-constellation batch kernels need every row of a block
+        to put each constellation's satellites in the same slots; the
+        :func:`pack_stream` buckets guarantee this by construction, and
+        hand-built blocks can be checked here.
+        """
+        systems = self.systems
+        if systems.shape[0] == 0:
+            return _read_only(np.zeros(systems.shape[1], dtype=np.int8))
+        pattern = systems[0]
+        if systems.shape[0] > 1 and not np.array_equal(
+            systems[1:], np.broadcast_to(pattern, systems[1:].shape)
+        ):
+            return None
+        return pattern
+
+    @property
+    def signature(self) -> str:
+        """Constellation-count signature (e.g. ``"G5R3"``) of a block
+        with a uniform system pattern; raises on mixed patterns."""
+        pattern = self.uniform_system_pattern()
+        if pattern is None:
+            raise GeometryError(
+                "block rows carry different system patterns; no single signature"
+            )
+        return constellation_signature(pattern)
+
+    # ------------------------------------------------------------------
     @classmethod
     def from_epochs(cls, epochs: Sequence[ObservationEpoch]) -> "EpochBlock":
         """Pack N same-satellite-count epochs into one block.
@@ -167,6 +219,7 @@ class EpochBlock:
         position_rows: List[np.ndarray] = []
         pseudorange_rows: List[np.ndarray] = []
         prn_rows: List[np.ndarray] = []
+        system_rows: List[np.ndarray] = []
         weeks = np.empty(len(epochs), dtype=np.int64)
         sow = np.empty(len(epochs))
         truth_positions = np.full((len(epochs), 3), np.nan)
@@ -178,10 +231,11 @@ class EpochBlock:
                     f"(got {len(epoch.observations)} and {m}); group epochs by "
                     "count before batching"
                 )
-            positions, pseudoranges, prns = epoch.dense()
+            positions, pseudoranges, prns, system_ids = epoch.dense()
             position_rows.append(positions)
             pseudorange_rows.append(pseudoranges)
             prn_rows.append(prns)
+            system_rows.append(system_ids)
             time = epoch.time
             weeks[index] = time.week
             sow[index] = time.seconds_of_week
@@ -207,6 +261,11 @@ class EpochBlock:
             seconds_of_week=sow,
             truth_positions=truth_positions,
             truth_biases=truth_biases,
+            systems=(
+                np.stack(system_rows)
+                if m
+                else np.empty((len(epochs), 0), dtype=np.int8)
+            ),
         )
 
     def to_epochs(self) -> List[ObservationEpoch]:
@@ -226,6 +285,7 @@ class EpochBlock:
                     prn=int(self.prns[i, j]),
                     position=self.positions[i, j].copy(),
                     pseudorange=float(self.pseudoranges[i, j]),
+                    system=system_code(int(self.systems[i, j])),
                 )
                 for j in range(self.satellite_count)
             )
@@ -252,6 +312,7 @@ class EpochBlock:
             seconds_of_week=self.seconds_of_week[rows],
             truth_positions=self.truth_positions[rows],
             truth_biases=self.truth_biases[rows],
+            systems=self.systems[rows],
         )
 
     # ------------------------------------------------------------------
@@ -271,8 +332,11 @@ class EpochBlock:
         valid &= np.isfinite(self.pseudoranges).all(axis=1)
         valid &= (self.pseudoranges > 0).all(axis=1)
         if m > 1:
-            sorted_prns = np.sort(self.prns, axis=1)
-            valid &= (sorted_prns[:, 1:] != sorted_prns[:, :-1]).all(axis=1)
+            # PRNs are unique per (system, prn); fold the 2-bit system
+            # id into the key so cross-system PRN reuse stays legal.
+            keys = self.prns * 4 + self.systems.astype(np.int64)
+            sorted_keys = np.sort(keys, axis=1)
+            valid &= (sorted_keys[:, 1:] != sorted_keys[:, :-1]).all(axis=1)
         return valid
 
     def row_integrity_error(
@@ -290,12 +354,17 @@ class EpochBlock:
                 f"epoch has {m} satellites, fewer than {min_satellites} required"
             )
         prns = self.prns[index]
-        if np.unique(prns).size != m:
-            counts = np.bincount(prns - prns.min())
+        systems = self.systems[index]
+        identities = [
+            (system_code(int(systems[j])), int(prns[j])) for j in range(m)
+        ]
+        if len(set(identities)) != m:
             duplicated = sorted(
-                int(prn) for prn in np.unique(prns[counts[prns - prns.min()] > 1])
+                {key for key in identities if identities.count(key) > 1}
             )
-            return f"epoch contains duplicate PRNs {duplicated}"
+            return "epoch contains duplicate PRNs " + ", ".join(
+                f"{system}{prn:02d}" for system, prn in duplicated
+            )
         for j in range(m):
             if not np.all(np.isfinite(self.positions[index, j])):
                 return (
@@ -341,6 +410,25 @@ class PackedBucket:
     def __len__(self) -> int:
         return len(self.block)
 
+    @property
+    def signature(self) -> str:
+        """Constellation-count signature shared by the bucket's rows."""
+        return self.block.signature
+
+    @property
+    def key(self):
+        """The bucket's dict key in engine results.
+
+        Pure-GPS buckets keep the historical ``int`` satellite-count
+        key, so existing consumers of ``bucket_sizes``/``bucket_status``
+        see no change; mixed-constellation buckets get a string key of
+        the form ``"8:G5R3"`` (count plus constellation signature).
+        """
+        pattern = self.block.uniform_system_pattern()
+        if pattern is None or not pattern.any():
+            return int(self.satellite_count)
+        return f"{self.satellite_count}:{constellation_signature(pattern)}"
+
     def take(self, rows: np.ndarray) -> "PackedBucket":
         """Keep only the given rows (indices stay aligned)."""
         return PackedBucket(
@@ -380,17 +468,37 @@ class PackedStream:
 
     @classmethod
     def from_block(cls, block: EpochBlock) -> "PackedStream":
-        """Wrap one pre-built block as a whole stream."""
-        return cls(
-            length=len(block),
-            buckets=(
-                PackedBucket(
-                    satellite_count=block.satellite_count,
-                    indices=np.arange(len(block), dtype=np.intp),
-                    block=block,
+        """Wrap one pre-built block as a whole stream.
+
+        A block whose rows all share one system pattern (every legacy
+        all-GPS block does) becomes a single bucket.  Mixed-pattern
+        blocks are split into one bucket per pattern, because the
+        multi-constellation kernels need per-slot system membership to
+        be uniform within a bucket.
+        """
+        if block.uniform_system_pattern() is not None:
+            return cls(
+                length=len(block),
+                buckets=(
+                    PackedBucket(
+                        satellite_count=block.satellite_count,
+                        indices=np.arange(len(block), dtype=np.intp),
+                        block=block,
+                    ),
                 ),
-            ),
+            )
+        patterns: "Dict[bytes, List[int]]" = {}
+        for row in range(len(block)):
+            patterns.setdefault(block.systems[row].tobytes(), []).append(row)
+        buckets = tuple(
+            PackedBucket(
+                satellite_count=block.satellite_count,
+                indices=np.asarray(rows, dtype=np.intp),
+                block=block.take(np.asarray(rows, dtype=np.intp)),
+            )
+            for rows in sorted(patterns.values(), key=lambda rows: rows[0])
         )
+        return cls(length=len(block), buckets=buckets)
 
 
 def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
@@ -407,9 +515,13 @@ def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
     validating constructors) are reported as ``unpackable`` rather than
     failing the stream.
     """
-    groups: "Dict[int, List[int]]" = {}
+    # Group by satellite count *and* per-slot system pattern: the batch
+    # kernels need uniform constellation membership per bucket.  Pure
+    # GPS streams only ever see one pattern per count, so their buckets
+    # are exactly what the count-only grouping produced before.
     unpackable: List[int] = []
-    dense_rows: "Dict[int, list]" = {}
+    dense_rows: "Dict[Tuple[int, bytes], list]" = {}
+    pattern_order: "Dict[int, List[bytes]]" = {}
     for index, epoch in enumerate(epochs):
         try:
             dense = epoch.dense()
@@ -417,11 +529,18 @@ def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
             unpackable.append(index)
             continue
         count = dense[0].shape[0]
-        groups.setdefault(count, []).append(index)
-        dense_rows.setdefault(count, []).append((index, epoch, dense))
+        pattern = dense[3].tobytes()
+        if pattern not in pattern_order.setdefault(count, []):
+            pattern_order[count].append(pattern)
+        dense_rows.setdefault((count, pattern), []).append((index, epoch, dense))
     buckets: List[PackedBucket] = []
-    for count in sorted(groups):
-        rows = dense_rows[count]
+    group_keys = [
+        (count, pattern)
+        for count in sorted(pattern_order)
+        for pattern in pattern_order[count]
+    ]
+    for count, pattern in group_keys:
+        rows = dense_rows[(count, pattern)]
         n = len(rows)
         weeks = np.empty(n, dtype=np.int64)
         sow = np.empty(n)
@@ -450,6 +569,11 @@ def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
                 np.stack([dense[2] for _i, _e, dense in rows])
                 if count
                 else np.empty((n, 0), dtype=np.int64)
+            ),
+            systems=(
+                np.stack([dense[3] for _i, _e, dense in rows])
+                if count
+                else np.empty((n, 0), dtype=np.int8)
             ),
             weeks=weeks,
             seconds_of_week=sow,

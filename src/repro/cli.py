@@ -224,6 +224,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="first scenario seed (default 0)"
     )
     fuzz.add_argument(
+        "--systems",
+        default="G",
+        metavar="CODES",
+        help="comma-separated GNSS systems for the scenario population "
+        "(e.g. G,R); more than one switches the oracles to "
+        "per-constellation mode (default G)",
+    )
+    fuzz.add_argument(
         "--fault-rate",
         type=float,
         default=0.0,
@@ -582,6 +590,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.validation import (
         FuzzConfig,
         FuzzHarness,
+        ScenarioConfig,
         fault_from_spec,
         replay_artifact,
     )
@@ -612,12 +621,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         fault = fault_from_spec({"name": args.inject})
         if fault_rate == 0.0:
             fault_rate = 1.0
+    systems = tuple(
+        code.strip() for code in args.systems.split(",") if code.strip()
+    )
     config = FuzzConfig(
         budget_seconds=_parse_budget(args.budget),
         max_scenarios=args.scenarios,
         start_seed=args.seed,
         fault_rate=fault_rate,
         fault=fault,
+        scenario=ScenarioConfig(systems=systems),
         artifacts_dir=args.artifacts_dir,
     )
     with _metrics_sink(args.metrics_out):

@@ -1,5 +1,16 @@
 """Constellation simulator: satellites, visibility, sky geometry."""
 
+from repro.constellation.systems import (
+    DEFAULT_SYSTEM,
+    ORBIT_SHELLS,
+    SYSTEM_CODES,
+    SYSTEM_NAMES,
+    constellation_signature,
+    group_layout,
+    normalize_system,
+    system_code,
+    system_index,
+)
 from repro.constellation.satellite import Satellite
 from repro.constellation.constellation import Constellation, VisibleSatellite
 from repro.constellation.planning import SatellitePass, find_passes
@@ -10,4 +21,13 @@ __all__ = [
     "VisibleSatellite",
     "SatellitePass",
     "find_passes",
+    "DEFAULT_SYSTEM",
+    "ORBIT_SHELLS",
+    "SYSTEM_CODES",
+    "SYSTEM_NAMES",
+    "constellation_signature",
+    "group_layout",
+    "normalize_system",
+    "system_code",
+    "system_index",
 ]

@@ -1,4 +1,4 @@
-"""The simulated GPS constellation and visibility computation.
+"""The simulated GNSS constellation and visibility computation.
 
 This is the space segment of the paper's Section 3.1 system model: the
 set of orbiting satellites a ground receiver can range against.  The
@@ -6,20 +6,25 @@ central operation is :meth:`Constellation.visible_from` — real receivers
 see "6 to 10 (or more)" satellites above the horizon (the paper's data
 items carry 8 to 12), and this class reproduces that by evaluating every
 healthy satellite's elevation against a mask angle.
+
+The paper is GPS-only, but the class carries any mix of systems: each
+satellite has a ``(system, prn)`` identity, and
+:meth:`Constellation.nominal_gnss` builds multi-constellation scenes
+(GPS + GLONASS + Galileo + BeiDou) on their nominal orbital shells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.constants import DEFAULT_ELEVATION_MASK
 from repro.constellation.satellite import Satellite
+from repro.constellation.systems import DEFAULT_SYSTEM, normalize_system
 from repro.errors import ConfigurationError
 from repro.geodesy import elevation_azimuth
-from repro.orbits.almanac import nominal_gps_almanac
 from repro.orbits.ephemeris import BroadcastEphemeris
 from repro.timebase import GpsTime
 from repro.utils.validation import require_shape
@@ -36,8 +41,13 @@ class VisibleSatellite:
 
     @property
     def prn(self) -> int:
-        """PRN of the visible satellite."""
+        """PRN of the visible satellite (unique per system)."""
         return self.satellite.prn
+
+    @property
+    def system(self) -> str:
+        """RINEX system code of the visible satellite."""
+        return self.satellite.system
 
 
 class Constellation:
@@ -46,19 +56,22 @@ class Constellation:
     Parameters
     ----------
     satellites:
-        The space vehicles making up the constellation.  PRNs must be
-        unique.
+        The space vehicles making up the constellation.  ``(system,
+        prn)`` identities must be unique — the same PRN may appear in
+        different systems, never twice within one.
     """
 
     def __init__(self, satellites: Iterable[Satellite]) -> None:
-        self._by_prn: Dict[int, Satellite] = {}
+        self._by_identity: Dict[Tuple[str, int], Satellite] = {}
         for satellite in satellites:
-            if satellite.prn in self._by_prn:
+            identity = satellite.identity
+            if identity in self._by_identity:
                 raise ConfigurationError(
-                    f"duplicate PRN {satellite.prn} in constellation"
+                    f"duplicate satellite {identity[0]}{identity[1]:02d} "
+                    "in constellation"
                 )
-            self._by_prn[satellite.prn] = satellite
-        if not self._by_prn:
+            self._by_identity[identity] = satellite
+        if not self._by_identity:
             raise ConfigurationError("constellation must contain at least one satellite")
 
     # ------------------------------------------------------------------
@@ -70,47 +83,101 @@ class Constellation:
         epoch: GpsTime,
         satellite_count: int = 31,
         rng: Optional[np.random.Generator] = None,
+        system: str = DEFAULT_SYSTEM,
     ) -> "Constellation":
-        """Build the nominal GPS constellation (see
-        :func:`repro.orbits.almanac.nominal_gps_almanac`)."""
-        ephemerides = nominal_gps_almanac(epoch, satellite_count, rng)
-        return cls(Satellite(ephemeris=eph) for eph in ephemerides)
+        """Build one system's nominal constellation (see
+        :func:`repro.orbits.almanac.nominal_almanac`)."""
+        from repro.orbits.almanac import nominal_almanac
+
+        code = normalize_system(system)
+        ephemerides = nominal_almanac(epoch, satellite_count, rng, system=code)
+        return cls(Satellite(ephemeris=eph, system=code) for eph in ephemerides)
+
+    @classmethod
+    def nominal_gnss(
+        cls,
+        epoch: GpsTime,
+        counts: Mapping[str, int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Constellation":
+        """Build a multi-constellation scene on the nominal shells.
+
+        Parameters
+        ----------
+        epoch:
+            Reference time of all generated ephemerides.
+        counts:
+            Mapping of system code to satellite count, e.g.
+            ``{"G": 31, "R": 24}``.  PRNs number ``1..count`` within
+            each system.
+        rng:
+            Shared perturbation source, consumed system-by-system in
+            the order of ``counts``.
+        """
+        if not counts:
+            raise ConfigurationError("nominal_gnss needs at least one system count")
+        from repro.orbits.almanac import nominal_almanac
+
+        satellites: List[Satellite] = []
+        for system, count in counts.items():
+            code = normalize_system(system)
+            for eph in nominal_almanac(epoch, count, rng, system=code):
+                satellites.append(Satellite(ephemeris=eph, system=code))
+        return cls(satellites)
 
     # ------------------------------------------------------------------
     # Collection protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._by_prn)
+        return len(self._by_identity)
 
     def __iter__(self) -> Iterator[Satellite]:
-        return iter(self._by_prn.values())
+        return iter(self._by_identity.values())
 
-    def __contains__(self, prn: int) -> bool:
-        return prn in self._by_prn
+    def __contains__(self, key) -> bool:
+        if isinstance(key, tuple):
+            system, prn = key
+            return (normalize_system(system), int(prn)) in self._by_identity
+        return any(prn == key for _, prn in self._by_identity)
 
-    def satellite(self, prn: int) -> Satellite:
-        """Look up a satellite by PRN."""
+    def satellite(self, prn: int, system: str = DEFAULT_SYSTEM) -> Satellite:
+        """Look up a satellite by PRN (and system, default GPS)."""
         try:
-            return self._by_prn[prn]
+            return self._by_identity[(normalize_system(system), int(prn))]
         except KeyError:
-            raise ConfigurationError(f"no satellite with PRN {prn}") from None
+            raise ConfigurationError(
+                f"no satellite with PRN {prn} in system {system!r}"
+            ) from None
 
     @property
     def prns(self) -> List[int]:
-        """Sorted list of all PRNs."""
-        return sorted(self._by_prn)
+        """Sorted list of all PRNs (may repeat across systems)."""
+        return sorted(prn for _, prn in self._by_identity)
+
+    @property
+    def identities(self) -> List[Tuple[str, int]]:
+        """Sorted list of all ``(system, prn)`` identities."""
+        return sorted(self._by_identity)
+
+    @property
+    def systems(self) -> List[str]:
+        """Sorted list of the distinct system codes present."""
+        return sorted({system for system, _ in self._by_identity})
 
     def ephemerides(self) -> List[BroadcastEphemeris]:
-        """All current ephemerides, PRN-sorted (for RINEX nav export)."""
-        return [self._by_prn[prn].ephemeris for prn in self.prns]
+        """All current ephemerides, identity-sorted (for RINEX nav
+        export); all-GPS constellations keep the legacy PRN order."""
+        return [self._by_identity[key].ephemeris for key in self.identities]
 
     # ------------------------------------------------------------------
     # Health / failure injection
     # ------------------------------------------------------------------
-    def set_health(self, prn: int, healthy: bool) -> None:
+    def set_health(
+        self, prn: int, healthy: bool, system: str = DEFAULT_SYSTEM
+    ) -> None:
         """Mark a satellite healthy or unhealthy; unhealthy satellites
         are never reported visible."""
-        self.satellite(prn).healthy = healthy
+        self.satellite(prn, system=system).healthy = healthy
 
     # ------------------------------------------------------------------
     # Visibility
@@ -129,7 +196,7 @@ class Constellation:
         """
         receiver = require_shape("receiver_ecef", receiver_ecef, (3,))
         visible: List[VisibleSatellite] = []
-        for satellite in self._by_prn.values():
+        for satellite in self._by_identity.values():
             if not satellite.healthy:
                 continue
             position = satellite.position_at(time)

@@ -1,34 +1,47 @@
-"""A single simulated GPS space vehicle."""
+"""A single simulated GNSS space vehicle."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Tuple
 
 import numpy as np
 
+from repro.constellation.systems import DEFAULT_SYSTEM, normalize_system
 from repro.orbits.ephemeris import BroadcastEphemeris
 from repro.timebase import GpsTime
 
 
 @dataclass
 class Satellite:
-    """A GPS satellite: identity + ephemeris + health.
+    """A GNSS satellite: identity + ephemeris + health.
 
     A thin stateful wrapper over :class:`BroadcastEphemeris`: the
     constellation flips ``healthy`` for failure-injection scenarios
     (receivers must cope with satellites dropping out mid-pass), and the
-    identity fields survive ephemeris updates.
+    identity fields survive ephemeris updates.  PRNs are unique only
+    *within* a system, so the full identity is ``(system, prn)``.
     """
 
     ephemeris: BroadcastEphemeris
     healthy: bool = True
     #: Free-form satellite block label, e.g. "IIR" / "IIR-M"; cosmetic.
     block: str = field(default="IIR")
+    #: RINEX system code ("G" GPS, "R" GLONASS, "E" Galileo, "C" BeiDou).
+    system: str = field(default=DEFAULT_SYSTEM)
+
+    def __post_init__(self) -> None:
+        self.system = normalize_system(self.system)
 
     @property
     def prn(self) -> int:
-        """The satellite's PRN identifier (1..63)."""
+        """The satellite's PRN identifier (1..63), unique per system."""
         return self.ephemeris.prn
+
+    @property
+    def identity(self) -> Tuple[str, int]:
+        """The globally unique ``(system, prn)`` pair."""
+        return (self.system, self.prn)
 
     def position_at(self, time: GpsTime) -> np.ndarray:
         """ECEF position (m) at GPS time ``time``."""

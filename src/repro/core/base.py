@@ -43,3 +43,16 @@ class PositioningAlgorithm(ABC):
                 f"{self.name} needs at least {self.min_satellites} satellites, "
                 f"epoch has {epoch.satellite_count}"
             )
+
+    def residual_dof(self, epoch: ObservationEpoch) -> int:
+        """Degrees of freedom of this solver's residuals on ``epoch``.
+
+        The chi-square dof a residual-based integrity test (RAIM/FDE)
+        should use: equations minus unknowns.  The default covers every
+        single-constellation solver — ``m`` measurements against
+        ``(x, y, z, b)`` — giving ``m - 4``; per-constellation solvers
+        override it because their unknown count grows with the number
+        of constellations (and differencing also consumes equations).
+        May be zero or negative, meaning no test is possible.
+        """
+        return epoch.satellite_count - 4

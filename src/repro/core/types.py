@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +33,12 @@ class PositionFix:
     residual_norm:
         Euclidean norm of the final measurement residuals, for
         diagnostics and fault detection.
+    clock_biases:
+        Per-constellation solved clock biases (meters) as ``(system
+        code, bias)`` pairs, in first-appearance order of the systems
+        in the epoch.  ``None`` for single-constellation solves, where
+        ``clock_bias_meters`` is the whole story; when present,
+        ``clock_bias_meters`` equals the first pair's bias.
     """
 
     position: np.ndarray
@@ -41,12 +47,31 @@ class PositionFix:
     iterations: int = 1
     converged: bool = True
     residual_norm: float = field(default=float("nan"), compare=False)
+    clock_biases: Optional[Tuple[Tuple[str, float], ...]] = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         position = np.asarray(self.position, dtype=float)
         if position.shape != (3,) or not np.all(np.isfinite(position)):
             raise ConfigurationError("fix position must be a finite 3-vector")
         object.__setattr__(self, "position", position)
+        if self.clock_biases is not None:
+            object.__setattr__(
+                self,
+                "clock_biases",
+                tuple(
+                    (str(system), float(bias))
+                    for system, bias in self.clock_biases
+                ),
+            )
+
+    @property
+    def clock_bias_map(self) -> Optional[Dict[str, float]]:
+        """``clock_biases`` as a dict keyed by system code, or ``None``."""
+        if self.clock_biases is None:
+            return None
+        return dict(self.clock_biases)
 
     def distance_to(self, truth_position: np.ndarray) -> float:
         """Absolute 3-D error ``d_O`` against a truth position (eq. 5-1)."""

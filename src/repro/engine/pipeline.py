@@ -76,7 +76,9 @@ class EngineDiagnostics:
     invalid_indices:
         Stream indices of the invalid epochs.
     bucket_status:
-        Per-bucket solve outcome, keyed by satellite count:
+        Per-bucket solve outcome, keyed by the bucket's key (the
+        historical ``int`` satellite count for pure-GPS buckets, a
+        ``"8:G5R3"``-style string for mixed-constellation ones):
         ``"ok"`` or ``"failed"`` (a failed bucket also raises, so
         ``"failed"`` is only observable through telemetry callbacks
         and post-mortem snapshots).
@@ -97,7 +99,7 @@ class EngineDiagnostics:
     dropped_indices: Tuple[int, ...] = ()
     epochs_invalid: int = 0
     invalid_indices: Tuple[int, ...] = ()
-    bucket_status: Dict[int, str] = field(default_factory=dict)
+    bucket_status: Dict[Union[int, str], str] = field(default_factory=dict)
     fde: Optional[FdeRecord] = None
     bucket_keys: Optional[np.ndarray] = field(
         default=None, compare=False, repr=False
@@ -140,11 +142,20 @@ class EngineResult:
     clock_biases:
         ``(N,)`` receiver clock biases in meters: the *predicted*
         biases for DLO/DLG (which consume them), the *solved* biases
-        for NR (which estimates them).
+        for NR (which estimates them).  In per-constellation mode this
+        is each epoch's first constellation's solved bias (matching
+        :attr:`~repro.core.types.PositionFix.clock_bias_meters`); the
+        full picture is ``constellation_biases``.
     algorithm:
         Which batched solver produced the fixes.
     bucket_sizes:
-        Stream composition: ``{satellite_count: epochs}``.
+        Stream composition: ``{bucket_key: epochs}`` — keys are the
+        historical ``int`` satellite counts for pure-GPS buckets and
+        ``"8:G5R3"``-style strings for mixed-constellation ones.
+    constellation_biases:
+        Per-constellation solved clock biases, ``{system_code: (N,)
+        array}``, NaN where an epoch did not observe that system (or
+        was dropped).  ``None`` outside per-constellation mode.
     diagnostics:
         Failure/drop accounting for the call
         (:class:`EngineDiagnostics`).
@@ -159,9 +170,10 @@ class EngineResult:
     positions: np.ndarray
     clock_biases: np.ndarray
     algorithm: str
-    bucket_sizes: Dict[int, int]
+    bucket_sizes: Dict[Union[int, str], int]
     diagnostics: EngineDiagnostics = field(default_factory=EngineDiagnostics)
     stage_seconds: Optional[Dict[str, float]] = None
+    constellation_biases: Optional[Dict[str, np.ndarray]] = None
 
     def __len__(self) -> int:
         return self.positions.shape[0]
@@ -262,11 +274,17 @@ class PositioningEngine:
         nr_solver: Optional[BatchNewtonRaphsonSolver] = None,
         fde_config: Optional[FdeConfig] = None,
         precision: str = "float64",
+        constellations: str = "single",
     ) -> None:
         algorithm = algorithm.lower()
         if algorithm not in ("dlo", "dlg", "nr"):
             raise ConfigurationError(
                 f"algorithm must be one of dlo/dlg/nr, got {algorithm!r}"
+            )
+        if constellations not in ("single", "per_constellation"):
+            raise ConfigurationError(
+                "constellations must be 'single' or 'per_constellation', "
+                f"got {constellations!r}"
             )
         if fde_config is not None and algorithm != "dlg":
             raise ConfigurationError(
@@ -288,11 +306,36 @@ class PositioningEngine:
                     "float32 precision cannot be combined with FDE: the "
                     "integrity statistics require the float64 kernel"
                 )
+            if constellations == "per_constellation":
+                raise ConfigurationError(
+                    "float32 precision cannot be combined with "
+                    "per-constellation mode: the grouped kernel has no "
+                    "float32 variant"
+                )
+        if constellations == "per_constellation":
+            if clock_predictor is not None:
+                raise ConfigurationError(
+                    "per-constellation mode estimates the clock biases; "
+                    "a clock predictor cannot be combined with it"
+                )
+            if (
+                nr_solver is not None
+                and nr_solver.constellations != "per_constellation"
+            ):
+                raise ConfigurationError(
+                    "nr_solver must be configured with "
+                    "constellations='per_constellation' to match the engine"
+                )
         self._algorithm = algorithm
+        self._constellations = constellations
         self._predictor = clock_predictor
-        self._nr = nr_solver if nr_solver is not None else BatchNewtonRaphsonSolver()
-        self._dlo = BatchDLOSolver()
-        self._dlg = BatchDLGSolver(dtype=precision)
+        self._nr = (
+            nr_solver
+            if nr_solver is not None
+            else BatchNewtonRaphsonSolver(constellations=constellations)
+        )
+        self._dlo = BatchDLOSolver(constellations=constellations)
+        self._dlg = BatchDLGSolver(dtype=precision, constellations=constellations)
         self._fde = BatchFde(fde_config) if fde_config is not None else None
         # Per-registry cached metric children: solve_stream publishes a
         # handful of counters per flush and two per bucket, and the
@@ -325,12 +368,18 @@ class PositioningEngine:
             clock_predictor=config.bias_predictor(),
             nr_solver=config.nr_fallback().build_batch_solver(),
             fde_config=fde_config,
+            constellations=getattr(config, "constellations", "single"),
         )
 
     @property
     def algorithm(self) -> str:
         """The configured algorithm name."""
         return self._algorithm
+
+    @property
+    def constellations(self) -> str:
+        """The configured constellation policy."""
+        return self._constellations
 
     @property
     def fde_enabled(self) -> bool:
@@ -364,8 +413,12 @@ class PositioningEngine:
         """One bucket through the batched solver, zero-copy.
 
         Returns ``(positions, biases, fde_record-or-None, solve_seconds,
-        fde_seconds)``.
+        fde_seconds, multi-or-None)`` where ``multi`` is the
+        per-constellation ``((N, K) biases, systems)`` pair in
+        per-constellation mode.
         """
+        if self._constellations == "per_constellation":
+            return self._solve_bucket_multi(bucket)
         if self._algorithm == "nr":
             started = perf_counter()
             record = self._nr.solve_block_full(bucket.block)
@@ -383,6 +436,7 @@ class PositioningEngine:
                 None,
                 perf_counter() - started,
                 0.0,
+                None,
             )
         bucket_biases = self._bucket_biases(bucket, stream_biases)
         if self._fde is not None:
@@ -404,11 +458,70 @@ class PositioningEngine:
                 fde_record,
                 solve_seconds,
                 perf_counter() - started,
+                None,
             )
         solver = self._dlo if self._algorithm == "dlo" else self._dlg
         started = perf_counter()
         solutions = solver.solve_block(bucket.block, bucket_biases)
-        return solutions, bucket_biases, None, perf_counter() - started, 0.0
+        return solutions, bucket_biases, None, perf_counter() - started, 0.0, None
+
+    def _solve_bucket_multi(self, bucket: PackedBucket):
+        """One bucket through the per-constellation batched solvers.
+
+        No clock biases enter: they are unknowns here.  Every bucket of
+        a :func:`~repro.blocks.pack_stream` stream carries a uniform
+        system pattern by construction, which is exactly what the
+        grouped kernels require.
+        """
+        block = bucket.block
+        if self._algorithm == "nr":
+            started = perf_counter()
+            record = self._nr.solve_block_full(block)
+            if not np.all(record.converged):
+                stuck = [
+                    int(bucket.indices[i])
+                    for i in np.flatnonzero(~record.converged)
+                ]
+                raise GeometryError(
+                    f"NR failed to converge for stream epochs {stuck}"
+                )
+            return (
+                record.positions,
+                record.clock_biases,
+                None,
+                perf_counter() - started,
+                0.0,
+                (record.constellation_biases, record.systems),
+            )
+        if self._fde is not None:
+            started = perf_counter()
+            result = self._dlg.solve_block_multi(block)
+            solve_seconds = perf_counter() - started
+            started = perf_counter()
+            # screen_multi repairs flagged rows of the result's
+            # positions *and* biases in place.
+            fde_record = self._fde.screen_multi(
+                block, result.positions, result.constellation_biases, result.norms
+            )
+            return (
+                result.positions,
+                result.constellation_biases[:, 0].copy(),
+                fde_record,
+                solve_seconds,
+                perf_counter() - started,
+                (result.constellation_biases, result.systems),
+            )
+        solver = self._dlo if self._algorithm == "dlo" else self._dlg
+        started = perf_counter()
+        result = solver.solve_block_multi(block)
+        return (
+            result.positions,
+            result.constellation_biases[:, 0].copy(),
+            None,
+            perf_counter() - started,
+            0.0,
+            (result.constellation_biases, result.systems),
+        )
 
     # -- stream solving ------------------------------------------------
     def solve_stream(
@@ -499,6 +612,11 @@ class PositioningEngine:
 
         stream_biases: Optional[np.ndarray] = None
         if biases is not None:
+            if self._constellations == "per_constellation":
+                raise ConfigurationError(
+                    "per-constellation mode estimates the clock biases; "
+                    "explicit per-epoch biases cannot be passed"
+                )
             stream_biases = np.asarray(biases, dtype=float)
             if stream_biases.shape != (total,):
                 raise ConfigurationError(
@@ -537,10 +655,11 @@ class PositioningEngine:
                     "every epoch in the stream has fewer than 4 satellites"
                 )
 
-            bucket_status: Dict[int, str] = {}
+            bucket_status: Dict[Union[int, str], str] = {}
             position_blocks = []
             bias_blocks = []
             fde_pieces = []
+            multi_infos = []
             for bucket in solvable:
                 with tracer.span(
                     "engine.solve_bucket",
@@ -555,21 +674,23 @@ class PositioningEngine:
                             fde_record,
                             bucket_solve_s,
                             bucket_fde_s,
+                            multi_info,
                         ) = self._solve_bucket(bucket, stream_biases)
                     except (GeometryError, EstimationError):
-                        bucket_status[bucket.satellite_count] = "failed"
+                        bucket_status[bucket.key] = "failed"
                         if metrics is not None:
                             metrics.bucket_size.observe(len(bucket))
                             metrics.bucket_failed.inc()
                         raise
                 solve_seconds += bucket_solve_s
                 fde_seconds += bucket_fde_s
-                bucket_status[bucket.satellite_count] = "ok"
+                bucket_status[bucket.key] = "ok"
                 if metrics is not None:
                     metrics.bucket_size.observe(len(bucket))
                     metrics.bucket_ok.inc()
                 position_blocks.append(block_positions)
                 bias_blocks.append(bucket_biases)
+                multi_infos.append(multi_info)
                 if fde_record is not None:
                     fde_pieces.append((bucket.indices, fde_record))
 
@@ -590,6 +711,17 @@ class PositioningEngine:
                 rows = np.asarray(bucket.indices, dtype=int)
                 bucket_keys[rows] = bucket.satellite_count
                 bucket_rows[rows] = np.arange(len(rows), dtype=np.int32)
+            constellation_biases: Optional[Dict[str, np.ndarray]] = None
+            if self._constellations == "per_constellation":
+                constellation_biases = {}
+                for bucket, info in zip(solvable, multi_infos):
+                    bucket_bias_matrix, systems = info
+                    rows = np.asarray(bucket.indices, dtype=int)
+                    for j, code in enumerate(systems):
+                        lane = constellation_biases.setdefault(
+                            code, np.full(total, np.nan)
+                        )
+                        lane[rows] = bucket_bias_matrix[:, j]
             scatter_seconds = perf_counter() - stage_started
 
         diagnostics = EngineDiagnostics(
@@ -619,11 +751,16 @@ class PositioningEngine:
                 - (len(dropped_indices) + len(invalid_indices)) / total
             )
 
+        # Two buckets may share a key (same count and per-system totals
+        # but different slot patterns), so sizes aggregate per key.
+        bucket_sizes: Dict[Union[int, str], int] = {}
+        for bucket in solvable:
+            bucket_sizes[bucket.key] = bucket_sizes.get(bucket.key, 0) + len(bucket)
         return EngineResult(
             positions=positions,
             clock_biases=clock_biases,
             algorithm=self._algorithm,
-            bucket_sizes={b.satellite_count: len(b) for b in solvable},
+            bucket_sizes=bucket_sizes,
             diagnostics=diagnostics,
             stage_seconds={
                 "pack": pack_seconds,
@@ -632,6 +769,7 @@ class PositioningEngine:
                 "fde": fde_seconds,
                 "scatter": scatter_seconds,
             },
+            constellation_biases=constellation_biases,
         )
 
     @staticmethod

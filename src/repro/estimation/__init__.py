@@ -24,9 +24,14 @@ from repro.estimation.leastsquares import (
 )
 from repro.estimation.structured import (
     apply_inverse_diag_rank1,
+    apply_inverse_grouped_rank1,
     batched_apply_inverse_diag_rank1,
+    batched_apply_inverse_grouped_rank1,
     batched_gls_solve_diag_rank1,
+    batched_gls_solve_grouped_rank1,
     gls_solve_diag_rank1,
+    gls_solve_grouped_rank1,
+    grouped_covariance,
 )
 from repro.estimation.workspace import KernelWorkspace
 
@@ -42,8 +47,13 @@ __all__ = [
     "gls_solve_whitened",
     "gls_solve_full",
     "apply_inverse_diag_rank1",
+    "apply_inverse_grouped_rank1",
     "batched_apply_inverse_diag_rank1",
+    "batched_apply_inverse_grouped_rank1",
     "batched_gls_solve_diag_rank1",
+    "batched_gls_solve_grouped_rank1",
     "gls_solve_diag_rank1",
+    "gls_solve_grouped_rank1",
+    "grouped_covariance",
     "KernelWorkspace",
 ]

@@ -248,3 +248,290 @@ def batched_gls_solve_diag_rank1(
         "nk,nk->n", residuals, batched_apply_inverse_diag_rank1(diag, scale, residuals)
     )
     return solutions, np.sqrt(np.maximum(mahalanobis_sq, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Grouped (diag + rank-K block) structure: the multi-constellation
+# generalization.  Differencing each constellation against its own base
+# satellite makes the eq. 4-26 covariance *block*-diagonal — one
+# diag+rank-one block per constellation, zero covariance across
+# constellations (independent base satellites):
+#
+#     Psi = diag(d) + sum_g s_g 1_g 1_g^T,
+#
+# where 1_g is the indicator of rows in group g and s_g the squared
+# pseudorange of group g's base satellite.  Sherman-Morrison applies
+# per block, so the O(k) structure survives: each group needs only its
+# own inverse-diagonal sum and column sums.
+# ----------------------------------------------------------------------
+
+
+def _validate_grouped(
+    diag: np.ndarray, scales: np.ndarray, groups: np.ndarray
+) -> int:
+    """Common validation; returns the group count K."""
+    if groups.ndim != 1:
+        raise EstimationError(f"groups must be 1-D, got shape {groups.shape}")
+    if diag.shape[-1] != groups.shape[0]:
+        raise EstimationError(
+            f"diag rows ({diag.shape[-1]}) do not match groups ({groups.shape[0]})"
+        )
+    k_groups = int(scales.shape[-1])
+    if groups.size and (groups.min() < 0 or groups.max() >= k_groups):
+        raise EstimationError(
+            f"group indices must be in [0, {k_groups - 1}] to match scales"
+        )
+    if not np.all(np.isfinite(diag)) or np.any(diag <= 0):
+        raise EstimationError(
+            "grouped covariance needs positive finite diagonal terms"
+        )
+    if not np.all(np.isfinite(scales)) or np.any(scales < 0):
+        raise EstimationError(
+            "grouped covariance needs non-negative finite rank-one scales"
+        )
+    return k_groups
+
+
+def _group_indicator(groups: np.ndarray, k_groups: int) -> np.ndarray:
+    """``(k, K)`` one-hot membership matrix (float64 for einsum)."""
+    indicator = np.zeros((groups.shape[0], k_groups))
+    indicator[np.arange(groups.shape[0]), groups] = 1.0
+    return indicator
+
+
+def grouped_covariance(
+    diag: np.ndarray, scales: np.ndarray, groups: np.ndarray
+) -> np.ndarray:
+    """Materialize the dense ``diag(d) + sum_g s_g 1_g 1_g^T`` matrix.
+
+    The dense-Cholesky fallback (and the differential oracle for the
+    grouped Sherman-Morrison path) needs the explicit matrix; at
+    O(k^2) storage this stays off the hot path.
+    """
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scales, dtype=float)
+    g = np.asarray(groups, dtype=np.int64)
+    _validate_grouped(d, s, g)
+    same_group = g[:, None] == g[None, :]
+    psi = np.where(same_group, s[g][None, :], 0.0)
+    psi[np.arange(g.size), np.arange(g.size)] += d
+    return psi
+
+
+def apply_inverse_grouped_rank1(
+    diag: np.ndarray,
+    scales: np.ndarray,
+    groups: np.ndarray,
+    matrix: np.ndarray,
+) -> np.ndarray:
+    """``Psi^-1 @ matrix`` for the grouped diag+rank-one structure.
+
+    Parameters
+    ----------
+    diag:
+        ``(k,)`` positive diagonal entries.
+    scales:
+        ``(K,)`` non-negative per-group rank-one scales.
+    groups:
+        ``(k,)`` group index of every row, values in ``[0, K)``.
+    matrix:
+        ``(k,)`` vector or ``(k, p)`` matrix to multiply.
+    """
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scales, dtype=float)
+    g = np.asarray(groups, dtype=np.int64)
+    v = np.asarray(matrix, dtype=float)
+    k_groups = _validate_grouped(d, s, g)
+    inv_d = 1.0 / d
+    inv_sums = np.bincount(g, weights=inv_d, minlength=k_groups)  # (K,)
+    denominator = 1.0 + s * inv_sums  # (K,)
+    coefficient = s / denominator  # (K,)
+    if v.ndim == 2:
+        u = v * inv_d[:, None]
+        group_sums = _group_indicator(g, k_groups).T @ u  # (K, p)
+        return u - inv_d[:, None] * (coefficient[g, None] * group_sums[g, :])
+    u = v * inv_d
+    group_sums = np.bincount(g, weights=u, minlength=k_groups)  # (K,)
+    return u - inv_d * (coefficient[g] * group_sums[g])
+
+
+def gls_solve_grouped_rank1(
+    design: np.ndarray,
+    observations: np.ndarray,
+    diag: np.ndarray,
+    scales: np.ndarray,
+    groups: np.ndarray,
+    method: str = "auto",
+) -> Tuple[np.ndarray, float]:
+    """GLS under the grouped diag+rank-one covariance.
+
+    ``method`` selects the implementation: ``"auto"`` (the grouped
+    Sherman-Morrison fast path), ``"sherman_morrison"`` explicitly, or
+    ``"dense"`` — materialize the covariance and run the dense-Cholesky
+    :func:`~repro.estimation.leastsquares.gls_solve_whitened`, the
+    fallback/oracle for the structured path.  All methods agree to
+    float rounding.
+    """
+    a = np.asarray(design, dtype=float)
+    b = np.asarray(observations, dtype=float)
+    if a.ndim != 2 or b.shape != (a.shape[0],):
+        raise EstimationError(
+            f"design {a.shape} and observations {b.shape} are inconsistent"
+        )
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scales, dtype=float)
+    g = np.asarray(groups, dtype=np.int64)
+    if method not in ("auto", "sherman_morrison", "dense"):
+        raise EstimationError(f"unknown grouped GLS method {method!r}")
+    if method == "dense":
+        from repro.estimation.leastsquares import gls_solve_whitened
+
+        psi = grouped_covariance(d, s, g)
+        return gls_solve_whitened(a, b, psi)
+    _validate_grouped(d, s, g)
+    if d.shape != (a.shape[0],):
+        raise EstimationError(
+            f"diag shape {d.shape} does not match {a.shape[0]} equations"
+        )
+    _count_gls_path("grouped_sherman_morrison")
+    psi_inv_design = apply_inverse_grouped_rank1(d, s, g, a)
+    psi_inv_obs = apply_inverse_grouped_rank1(d, s, g, b)
+    solution = cholesky_solve(a.T @ psi_inv_design, a.T @ psi_inv_obs)
+    residuals = b - a @ solution
+    mahalanobis_sq = float(
+        residuals @ apply_inverse_grouped_rank1(d, s, g, residuals)
+    )
+    return solution, float(np.sqrt(max(mahalanobis_sq, 0.0)))
+
+
+def batched_apply_inverse_grouped_rank1(
+    diag: np.ndarray,
+    scales: np.ndarray,
+    groups: np.ndarray,
+    stack: np.ndarray,
+) -> np.ndarray:
+    """Batched ``Psi^-1 @ v`` for N grouped diag+rank-one systems.
+
+    The group layout ``groups`` is shared by the whole batch — exactly
+    what the pattern-bucketed :class:`~repro.blocks.PackedStream`
+    guarantees (every row of a bucket puts each constellation in the
+    same slots).
+
+    Parameters
+    ----------
+    diag:
+        ``(N, k)`` positive diagonals.
+    scales:
+        ``(N, K)`` non-negative per-group scales.
+    groups:
+        ``(k,)`` shared group index per row.
+    stack:
+        ``(N, k)`` vectors or ``(N, k, p)`` matrices.
+    """
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scales, dtype=float)
+    g = np.asarray(groups, dtype=np.int64)
+    v = np.asarray(stack, dtype=float)
+    k_groups = _validate_grouped(d, s, g)
+    indicator = _group_indicator(g, k_groups)  # (k, K)
+    inv_d = 1.0 / d  # (N, k)
+    denominator = 1.0 + s * (inv_d @ indicator)  # (N, K)
+    coefficient = s / denominator  # (N, K)
+    if v.ndim == 3:
+        u = v * inv_d[:, :, None]
+        group_sums = np.einsum("nkq,kg->ngq", u, indicator)  # (N, K, p)
+        correction = coefficient[:, g, None] * group_sums[:, g, :]
+        return u - inv_d[:, :, None] * correction
+    u = v * inv_d
+    group_sums = u @ indicator  # (N, K)
+    return u - inv_d * (coefficient[:, g] * group_sums[:, g])
+
+
+def batched_gls_solve_grouped_rank1(
+    design: np.ndarray,
+    observations: np.ndarray,
+    diag: np.ndarray,
+    scales: np.ndarray,
+    groups: np.ndarray,
+    workspace: "Optional[KernelWorkspace]" = None,
+    method: str = "auto",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One stacked GLS solve for N grouped diag+rank-one systems.
+
+    The rank-K generalization of :func:`batched_gls_solve_diag_rank1`:
+    same fused ``[A | b]`` whitening, with the per-column axis-k
+    reduction replaced by K per-group reductions (a single ``(k, K)``
+    indicator einsum).  ``method="dense"`` runs the batched
+    dense-Cholesky fallback instead — O(k^3) per epoch, used when the
+    structured path is unavailable or as its oracle.
+
+    Returns ``(solutions (N, p), whitened_norms (N,))``.
+    """
+    a = np.asarray(design, dtype=float)
+    b = np.asarray(observations, dtype=float)
+    if a.ndim != 3 or b.shape != a.shape[:2]:
+        raise EstimationError(
+            f"batched design {a.shape} and observations {b.shape} are inconsistent"
+        )
+    d = np.asarray(diag, dtype=float)
+    s = np.asarray(scales, dtype=float)
+    g = np.asarray(groups, dtype=np.int64)
+    k_groups = _validate_grouped(d, s, g)
+    if method not in ("auto", "sherman_morrison", "dense"):
+        raise EstimationError(f"unknown grouped GLS method {method!r}")
+    n, k, p = a.shape
+    if method == "dense":
+        _count_gls_path("dense_cholesky_batched", solves=n)
+        same_group = g[:, None] == g[None, :]  # (k, k)
+        psi = np.where(same_group[None, :, :], s[:, g][:, None, :], 0.0)
+        psi[:, np.arange(k), np.arange(k)] += d
+        try:
+            chol = np.linalg.cholesky(psi)
+            white_a = np.linalg.solve(chol, a)
+            white_b = np.linalg.solve(chol, b[..., None])[..., 0]
+            gram = np.einsum("nki,nkj->nij", white_a, white_a)
+            moment = np.einsum("nki,nk->ni", white_a, white_b)
+            solutions = np.linalg.solve(gram, moment[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                "a batched grouped GLS system is degenerate"
+            ) from exc
+        residuals = b - np.einsum("nki,ni->nk", a, solutions)
+        white_r = np.linalg.solve(chol, residuals[..., None])[..., 0]
+        return solutions, np.sqrt(np.einsum("nk,nk->n", white_r, white_r))
+    _count_gls_path("grouped_sherman_morrison_batched", solves=n)
+
+    def _scratch(name: str, shape: Tuple[int, ...]) -> np.ndarray:
+        if workspace is not None:
+            return workspace.buffer(name, shape, a.dtype)
+        return np.empty(shape, dtype=a.dtype)
+
+    indicator = _group_indicator(g, k_groups)  # (k, K)
+    ab = _scratch("grouped_gls_ab", (n, k, p + 1))
+    ab[..., :p] = a
+    ab[..., p] = b
+    inv_d = 1.0 / d  # (N, k)
+    denominator = 1.0 + s * (inv_d @ indicator)  # (N, K)
+    coefficient = s / denominator  # (N, K)
+    u = np.multiply(ab, inv_d[:, :, None], out=_scratch("grouped_gls_u", (n, k, p + 1)))
+    group_sums = np.einsum("nkq,kg->ngq", u, indicator)  # (N, K, p+1)
+    correction = coefficient[:, g, None] * group_sums[:, g, :]  # (N, k, p+1)
+    whitened = u
+    whitened -= np.multiply(inv_d[:, :, None], correction, out=ab)
+    psi_inv_design = whitened[..., :p]
+    psi_inv_obs = whitened[..., p]
+    gram = np.einsum("nki,nkj->nij", a, psi_inv_design)
+    moment = np.einsum("nki,nk->ni", a, psi_inv_obs)
+    try:
+        solutions = np.linalg.solve(gram, moment[..., None])[..., 0]
+    except np.linalg.LinAlgError as exc:
+        raise EstimationError(
+            "a batched grouped GLS system is degenerate (rank-deficient design)"
+        ) from exc
+    residuals = b - np.einsum("nki,ni->nk", a, solutions)
+    mahalanobis_sq = np.einsum(
+        "nk,nk->n",
+        residuals,
+        batched_apply_inverse_grouped_rank1(d, s, g, residuals),
+    )
+    return solutions, np.sqrt(np.maximum(mahalanobis_sq, 0.0))

@@ -45,11 +45,21 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.blocks import EpochBlock
+from repro.constellation.systems import group_layout
 from repro.errors import ConfigurationError, EstimationError, GeometryError
-from repro.estimation import batched_gls_solve_diag_rank1, gls_solve_diag_rank1
+from repro.estimation import (
+    batched_gls_solve_diag_rank1,
+    batched_gls_solve_grouped_rank1,
+    gls_solve_diag_rank1,
+)
 from repro.integrity.raim import chi_square_quantile
 from repro.observations import ObservationEpoch
-from repro.solvers.batch import BatchDLGSolver, build_difference_systems
+from repro.solvers.batch import (
+    BatchDLGSolver,
+    BatchMultiResult,
+    build_difference_systems,
+    build_multi_difference_systems,
+)
 from repro.telemetry import get_registry
 
 #: Compact per-epoch status codes (int8 in :class:`FdeRecord`).
@@ -375,6 +385,186 @@ class BatchFde:
         )
         self._count(record)
         return record
+
+    # ------------------------------------------------------------------
+    def solve_block_multi(
+        self, block: EpochBlock
+    ) -> "tuple[BatchMultiResult, FdeRecord]":
+        """Per-constellation DLG solve plus :meth:`screen_multi`.
+
+        The solver must be configured with
+        ``constellations="per_constellation"``; repaired rows have
+        their positions and biases updated in place in the returned
+        :class:`~repro.solvers.batch.BatchMultiResult`.
+        """
+        result = self._solver.solve_block_multi(block)
+        record = self.screen_multi(
+            block, result.positions, result.constellation_biases, result.norms
+        )
+        return result, record
+
+    def screen_multi(
+        self,
+        block: EpochBlock,
+        solutions: np.ndarray,
+        biases: np.ndarray,
+        norms: np.ndarray,
+    ) -> FdeRecord:
+        """Chi-square detection + exclusion for a per-constellation solve.
+
+        The multi-constellation counterpart of :meth:`screen`: the
+        whitened norms of the grouped GLS solve are chi-square with
+        ``m - 3 - 2K`` degrees of freedom (differencing consumes one
+        equation per constellation and each constellation clock is an
+        extra unknown), so the detection floor rises from 5 satellites
+        to ``4 + 2K``.  Exclusion candidates that would leave a
+        constellation with a single satellite are skipped — their bias
+        would be unobservable — and the whole exclusion pass needs
+        ``m >= 5 + 2K``.  ``solutions`` (``(N, 3)``) and ``biases``
+        (``(N, K)``) are updated in place for repaired rows.
+        """
+        n = len(block)
+        m = block.satellite_count
+        pattern = block.uniform_system_pattern()
+        if pattern is None:
+            raise GeometryError(
+                "block rows carry different constellation patterns; "
+                "re-bucket through pack_stream before multi-constellation "
+                "FDE"
+            )
+        groups, codes = group_layout(pattern)
+        k_groups = int(codes.shape[0])
+        dof = m - 3 - 2 * k_groups
+        if dof < 1:
+            record = FdeRecord.unchecked(n)
+            self._count(record)
+            return record
+
+        sigma = self._config.sigma_meters
+        statistics = (norms / sigma) ** 2
+        threshold = chi_square_quantile(1.0 - self._config.p_false_alarm, dof)
+        flagged = statistics > threshold
+
+        statuses = np.where(flagged, STATUS_UNUSABLE, STATUS_PASSED).astype(np.int8)
+        thresholds = np.full(n, threshold)
+        excluded = np.full(n, NO_EXCLUSION, dtype=np.int32)
+
+        if self._config.exclude and dof >= 2 and np.any(flagged):
+            registry = get_registry()
+            started = time.perf_counter() if registry.enabled else 0.0
+            self._exclude_flagged_multi(
+                np.flatnonzero(flagged),
+                block,
+                pattern,
+                groups,
+                codes,
+                solutions,
+                biases,
+                statuses,
+                statistics,
+                thresholds,
+                excluded,
+            )
+            if registry.enabled:
+                registry.histogram(
+                    "repro_integrity_exclusion_seconds",
+                    "Leave-one-out exclusion latency per flagged batch.",
+                    buckets=_EXCLUSION_LATENCY_BUCKETS,
+                ).observe(time.perf_counter() - started)
+
+        record = FdeRecord(
+            statuses=statuses,
+            statistics=statistics,
+            thresholds=thresholds,
+            excluded_prns=excluded,
+        )
+        self._count(record)
+        return record
+
+    def _exclude_flagged_multi(
+        self,
+        flagged_idx: np.ndarray,
+        block: EpochBlock,
+        pattern: np.ndarray,
+        groups: np.ndarray,
+        codes: np.ndarray,
+        solutions: np.ndarray,
+        biases: np.ndarray,
+        statuses: np.ndarray,
+        statistics: np.ndarray,
+        thresholds: np.ndarray,
+        excluded: np.ndarray,
+    ) -> None:
+        """Leave-one-out exclusion under the grouped covariance.
+
+        Unlike the single-constellation stack, candidate subsets for
+        different drop slots have different group layouts, so the
+        candidates run as one grouped batch *per slot* (m stacked
+        solves of F epochs each) rather than one flat stack.  Dropping
+        a slot whose constellation has only two satellites is not a
+        candidate at all: the survivor would be a singleton with an
+        unobservable bias.  Base promotion is automatic — the subset
+        builder re-derives each group's base as its first surviving
+        slot, matching what a scalar re-solve of the subset would do.
+        """
+        f = flagged_idx.size
+        m = block.satellite_count
+        k_groups = int(codes.shape[0])
+        sigma = self._config.sigma_meters
+        group_counts = np.bincount(groups, minlength=k_groups)
+        sub_threshold = chi_square_quantile(
+            1.0 - self._config.p_false_alarm, m - 4 - 2 * k_groups
+        )
+        positions = block.positions[flagged_idx]
+        pseudoranges = block.pseudoranges[flagged_idx]
+
+        sub_stats = np.full((f, m), np.inf)
+        sub_solutions = np.full((f, m, 3 + k_groups), np.nan)
+        for k in range(m):
+            if group_counts[groups[k]] <= 2:
+                continue  # survivor would be a singleton constellation
+            keep = np.concatenate([np.arange(k), np.arange(k + 1, m)])
+            design, rhs, row_groups, base_indices, sub_codes = (
+                build_multi_difference_systems(
+                    positions[:, keep, :], pseudoranges[:, keep], pattern[keep]
+                )
+            )
+            non_base = np.ones(m - 1, dtype=bool)
+            non_base[base_indices] = False
+            diag = pseudoranges[:, keep][:, non_base] ** 2
+            scales = pseudoranges[:, keep][:, base_indices] ** 2
+            try:
+                cand_solutions, cand_norms = batched_gls_solve_grouped_rank1(
+                    design, rhs, diag, scales, row_groups
+                )
+            except EstimationError:
+                continue  # a degenerate candidate prices this slot out
+            sub_stats[:, k] = (cand_norms / sigma) ** 2
+            sub_solutions[:, k, :3] = cand_solutions[:, :3]
+            # Dropping a group's first slot can change the subset's
+            # first-appearance group order; realign bias columns to the
+            # block's order before they can be scattered back.
+            sub_pos = {int(code): j for j, code in enumerate(sub_codes)}
+            realign = np.array([3 + sub_pos[int(code)] for code in codes])
+            sub_solutions[:, k, 3:] = cand_solutions[:, realign]
+
+        margins = sub_stats / sub_threshold
+        margins = np.where(margins <= 1.0, margins, np.inf)
+        best_k = np.argmin(margins, axis=1)
+        rows = np.arange(f)
+        has_pass = np.isfinite(margins[rows, best_k])
+        if not np.any(has_pass):
+            return
+
+        repaired_rows = rows[has_pass]
+        stream_rows = flagged_idx[repaired_rows]
+        chosen = best_k[repaired_rows]
+        statuses[stream_rows] = STATUS_REPAIRED
+        statistics[stream_rows] = sub_stats[repaired_rows, chosen]
+        thresholds[stream_rows] = sub_threshold
+        solutions[stream_rows] = sub_solutions[repaired_rows, chosen, :3]
+        biases[stream_rows] = sub_solutions[repaired_rows, chosen, 3:]
+        excluded[stream_rows] = block.prns[stream_rows, chosen]
 
     # ------------------------------------------------------------------
     def _exclude_flagged(

@@ -40,16 +40,19 @@ from repro.observations import ObservationEpoch
 
 
 def chi_square_quantile(probability: float, dof: int) -> float:
-    """Chi-square quantile: exact at ``dof == 1``, Wilson-Hilferty above.
+    """Chi-square quantile: exact at ``dof <= 2``, Wilson-Hilferty above.
 
     ``dof == 1`` is RAIM's m=5 detection case, where Wilson-Hilferty is
     at its worst (the cube-root normalization assumes more averaging
     than one squared normal provides).  There the identity
     ``chi2_1(p) = Phi^-1((1 + p) / 2)^2`` — equivalently, with upper
     tail ``q = 1 - p``, ``Phi^-1(1 - q/2)^2`` — is exact, since
-    ``X ~ chi2_1`` is the square of a standard normal.  For ``dof >= 2``
-    Wilson-Hilferty stays within a fraction of a percent across the
-    upper-tail probabilities RAIM uses.
+    ``X ~ chi2_1`` is the square of a standard normal.  ``dof == 2``
+    (the two-constellation m=9 detection gate, and every minimal
+    exclusion subset one satellite above it) is the exponential
+    distribution, where ``chi2_2(p) = -2 ln(1 - p)`` is likewise exact.
+    For ``dof >= 3`` Wilson-Hilferty stays within a fraction of a
+    percent across the upper-tail probabilities RAIM uses.
     """
     if not 0.0 < probability < 1.0:
         raise ConfigurationError("probability must be in (0, 1)")
@@ -58,6 +61,8 @@ def chi_square_quantile(probability: float, dof: int) -> float:
     if dof == 1:
         z = _normal_quantile(0.5 * (1.0 + probability))
         return z * z
+    if dof == 2:
+        return -2.0 * math.log(1.0 - probability)
     z = _normal_quantile(probability)
     term = 1.0 - 2.0 / (9.0 * dof) + z * math.sqrt(2.0 / (9.0 * dof))
     return dof * term**3
@@ -151,13 +156,24 @@ class RaimMonitor:
     def check(self, epoch: ObservationEpoch) -> RaimResult:
         """Detect and, if possible, exclude a faulty satellite."""
         m = epoch.satellite_count
-        if m < 5:
+        dof = self._solver_dof(epoch)
+        if dof < 1:
+            # Single-constellation solvers reduce to the classic m >= 5
+            # requirement; per-constellation solvers burn extra dof on
+            # the additional clock unknowns (and, when differenced, the
+            # extra base satellites), so the floor rises with K.
+            if m < 5:
+                raise GeometryError(
+                    "RAIM detection needs redundancy: at least 5 satellites "
+                    f"(got {m})"
+                )
             raise GeometryError(
-                "RAIM detection needs redundancy: at least 5 satellites "
-                f"(got {m})"
+                f"RAIM detection needs redundancy: {m} satellites across "
+                f"{epoch.constellation_count} constellations leave "
+                f"{self.solver.name} no spare degrees of freedom"
             )
         fix = self.solver.solve(epoch)
-        statistic, threshold = self._test(fix, m)
+        statistic, threshold = self._test(fix, dof)
         if statistic <= threshold:
             return RaimResult(
                 fix=fix, passed=True, test_statistic=statistic, threshold=threshold
@@ -178,8 +194,19 @@ class RaimMonitor:
         )
 
     # ------------------------------------------------------------------
-    def _test(self, fix: PositionFix, m: int) -> "tuple[float, float]":
-        dof = m - 4
+    def _solver_dof(self, epoch: ObservationEpoch) -> int:
+        """The solver's residual dof, defaulting to the classic ``m - 4``.
+
+        Duck-typed solvers (the monitor only requires ``solve``) may not
+        implement :meth:`~repro.core.base.PositioningAlgorithm.
+        residual_dof`; they get the single-constellation counting.
+        """
+        dof_of = getattr(self.solver, "residual_dof", None)
+        if dof_of is None:
+            return epoch.satellite_count - 4
+        return int(dof_of(epoch))
+
+    def _test(self, fix: PositionFix, dof: int) -> "tuple[float, float]":
         statistic = (fix.residual_norm / self.sigma) ** 2
         threshold = chi_square_quantile(1.0 - self.p_false_alarm, dof)
         return statistic, threshold
@@ -207,11 +234,17 @@ class RaimMonitor:
                 if index != drop_index
             ]
             subset = epoch.with_observations(observations)
+            sub_dof = self._solver_dof(subset)
+            if sub_dof < 1:
+                # A per-constellation subset can run out of redundancy
+                # before the m >= 6 gate above notices (each extra
+                # constellation costs dof); no residual test, no verdict.
+                continue
             try:
                 fix = self.solver.solve(subset)
             except (GeometryError, ConvergenceError):
                 continue
-            statistic, threshold = self._test(fix, subset.satellite_count)
+            statistic, threshold = self._test(fix, sub_dof)
             if statistic <= threshold:
                 margin = statistic / threshold
                 if best_margin is None or margin < best_margin:

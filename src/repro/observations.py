@@ -17,6 +17,12 @@ from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constellation.systems import (
+    DEFAULT_SYSTEM,
+    constellation_signature,
+    normalize_system,
+    system_index,
+)
 from repro.errors import ConfigurationError
 from repro.timebase import GpsTime
 
@@ -28,7 +34,13 @@ class SatelliteObservation:
     Attributes
     ----------
     prn:
-        Satellite PRN.
+        Satellite PRN, unique within a ``system``.  The globally unique
+        identity is ``(system, prn)``.
+    system:
+        RINEX system code of the transmitting constellation (``"G"``
+        GPS, ``"R"`` GLONASS, ``"E"`` Galileo, ``"C"`` BeiDou).  Each
+        system runs its own clock, so multi-constellation solvers
+        estimate one receiver bias per distinct system present.
     position:
         Satellite ECEF position (meters) at signal transmit time,
         expressed in the receive-instant ECEF frame — i.e. exactly the
@@ -65,8 +77,10 @@ class SatelliteObservation:
     pseudorange_l2: Optional[float] = None
     range_rate: Optional[float] = None
     velocity: Optional[np.ndarray] = None
+    system: str = DEFAULT_SYSTEM
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "system", normalize_system(self.system))
         position = np.asarray(self.position, dtype=float)
         if position.shape != (3,) or not np.all(np.isfinite(position)):
             raise ConfigurationError("satellite position must be a finite 3-vector")
@@ -104,17 +118,51 @@ class EpochTruth:
         True receiver ECEF position (meters).
     clock_bias_meters:
         True receiver clock bias ``eps_R`` expressed in meters
-        (``c * dt``).
+        (``c * dt``).  For multi-constellation scenes this is the bias
+        against the *first* system present (the one ``clock_biases``
+        lists first).
+    clock_biases:
+        Optional per-constellation truth biases (meters), keyed by
+        system code.  ``None`` for legacy single-constellation scenes;
+        when present it must agree with ``clock_bias_meters`` on the
+        first system.
     """
 
     receiver_position: np.ndarray
     clock_bias_meters: float
+    clock_biases: Optional[Tuple[Tuple[str, float], ...]] = field(
+        default=None, compare=False
+    )
 
     def __post_init__(self) -> None:
         position = np.asarray(self.receiver_position, dtype=float)
         if position.shape != (3,) or not np.all(np.isfinite(position)):
             raise ConfigurationError("receiver position must be a finite 3-vector")
         object.__setattr__(self, "receiver_position", position)
+        if self.clock_biases is not None:
+            normalized = tuple(
+                (normalize_system(system), float(bias))
+                for system, bias in (
+                    self.clock_biases.items()
+                    if hasattr(self.clock_biases, "items")
+                    else self.clock_biases
+                )
+            )
+            if not normalized:
+                raise ConfigurationError(
+                    "clock_biases must name at least one system when present"
+                )
+            object.__setattr__(self, "clock_biases", normalized)
+
+    def clock_bias_for(self, system: str) -> float:
+        """The truth bias (meters) for one system code."""
+        code = normalize_system(system)
+        if self.clock_biases is None:
+            return self.clock_bias_meters
+        for candidate, bias in self.clock_biases:
+            if candidate == code:
+                return bias
+        raise ConfigurationError(f"no truth clock bias recorded for system {code!r}")
 
 
 @dataclass(frozen=True)
@@ -135,9 +183,15 @@ class ObservationEpoch:
         observations = tuple(self.observations)
         if not observations:
             raise ConfigurationError("an epoch must contain at least one observation")
-        prns = [obs.prn for obs in observations]
-        if len(set(prns)) != len(prns):
-            raise ConfigurationError(f"duplicate PRNs in epoch: {sorted(prns)}")
+        identities = [(obs.system, obs.prn) for obs in observations]
+        if len(set(identities)) != len(identities):
+            duplicated = sorted(
+                {key for key in identities if identities.count(key) > 1}
+            )
+            raise ConfigurationError(
+                "duplicate PRNs in epoch: "
+                + ", ".join(f"{system}{prn:02d}" for system, prn in duplicated)
+            )
         object.__setattr__(self, "observations", observations)
 
     # ------------------------------------------------------------------
@@ -157,19 +211,37 @@ class ObservationEpoch:
         """PRNs in observation order."""
         return tuple(obs.prn for obs in self.observations)
 
+    @property
+    def systems(self) -> Tuple[str, ...]:
+        """System codes in observation order."""
+        return tuple(obs.system for obs in self.observations)
+
+    @property
+    def constellation_count(self) -> int:
+        """Number of distinct GNSS systems contributing observations."""
+        return len({obs.system for obs in self.observations})
+
+    @property
+    def signature(self) -> str:
+        """Constellation-count signature, e.g. ``"G5R3"``."""
+        return constellation_signature(self.dense()[3])
+
     # ------------------------------------------------------------------
-    def dense(self) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+    def dense(self) -> "Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """The epoch's hot-path arrays, packed once and memoized.
 
-        Returns ``(positions (m, 3), pseudoranges (m,), prns (m,))`` as
-        *read-only* float64/float64/int64 arrays.  The epoch is frozen,
-        so the pack is computed on first access and cached: every later
-        consumer (the columnar :class:`~repro.blocks.EpochBlock`
-        builder, the scalar solvers, repeated batch solves over the
-        same stream) shares the same buffers instead of re-walking the
-        observation objects.  Callers must treat the arrays as
-        immutable; :meth:`satellite_positions` / :meth:`pseudoranges`
-        hand out copies for code that wants to mutate.
+        Returns ``(positions (m, 3), pseudoranges (m,), prns (m,),
+        system_ids (m,))`` as *read-only* float64/float64/int64/int8
+        arrays, where ``system_ids`` holds the compact numeric codes of
+        :data:`repro.constellation.systems.SYSTEM_CODES`.  The epoch is
+        frozen, so the pack is computed on first access and cached:
+        every later consumer (the columnar
+        :class:`~repro.blocks.EpochBlock` builder, the scalar solvers,
+        repeated batch solves over the same stream) shares the same
+        buffers instead of re-walking the observation objects.  Callers
+        must treat the arrays as immutable; :meth:`satellite_positions`
+        / :meth:`pseudoranges` hand out copies for code that wants to
+        mutate.
         """
         cached = self.__dict__.get("_dense")
         if cached is None:
@@ -182,13 +254,18 @@ class ObservationEpoch:
                     [obs.pseudorange for obs in observations], dtype=float
                 )
                 prns = np.array([obs.prn for obs in observations], dtype=np.int64)
+                system_ids = np.array(
+                    [system_index(obs.system) for obs in observations],
+                    dtype=np.int8,
+                )
             else:  # unvalidated decoders can hand over empty epochs
                 positions = np.empty((0, 3))
                 pseudoranges = np.empty(0)
                 prns = np.empty(0, dtype=np.int64)
-            for array in (positions, pseudoranges, prns):
+                system_ids = np.empty(0, dtype=np.int8)
+            for array in (positions, pseudoranges, prns, system_ids):
                 array.flags.writeable = False
-            cached = (positions, pseudoranges, prns)
+            cached = (positions, pseudoranges, prns, system_ids)
             object.__setattr__(self, "_dense", cached)
         return cached
 
@@ -268,10 +345,14 @@ def epoch_integrity_error(
         return (
             f"epoch has {count} satellites, fewer than {min_satellites} required"
         )
-    prns = [obs.prn for obs in observations]
-    if len(set(prns)) != count:
-        duplicated = sorted({prn for prn in prns if prns.count(prn) > 1})
-        return f"epoch contains duplicate PRNs {duplicated}"
+    identities = [(getattr(obs, "system", "G"), obs.prn) for obs in observations]
+    if len(set(identities)) != count:
+        duplicated = sorted(
+            {key for key in identities if identities.count(key) > 1}
+        )
+        return "epoch contains duplicate PRNs " + ", ".join(
+            f"{system}{prn:02d}" for system, prn in duplicated
+        )
     # Fast path: one stacked finite-check for the whole epoch instead of
     # per-satellite numpy round-trips (this guard sits on the service's
     # per-request hot path).  It may only certify *clean* epochs — any
@@ -279,7 +360,7 @@ def epoch_integrity_error(
     # the per-satellite scan, which stays the authority on naming the
     # first offender.
     try:
-        positions, pseudoranges, _prns = epoch.dense()
+        positions, pseudoranges, _prns, _system_ids = epoch.dense()
     except (TypeError, ValueError, OverflowError):
         positions = None
     if (

@@ -1,33 +1,35 @@
-"""Nominal GPS constellation almanac generator.
+"""Nominal constellation almanac generator.
 
 The paper's data sets see 8-12 satellites per epoch from a 31-satellite
-constellation (footnote 2: 31 active satellites in March 2008).  This
-module fabricates a constellation with the nominal GPS geometry — six
-orbital planes at 55 degrees inclination, right ascensions 60 degrees
-apart, satellites phased within and across planes — and realistic
+GPS constellation (footnote 2: 31 active satellites in March 2008).
+This module fabricates constellations with nominal geometry — for GPS,
+six orbital planes at 55 degrees inclination, right ascensions spaced
+evenly, satellites phased within and across planes — and realistic
 per-satellite clock errors, returning one broadcast ephemeris per space
-vehicle.
+vehicle.  Other GNSS (GLONASS, Galileo, BeiDou MEO) reuse the same
+Walker-style layout on their own orbital shells from
+:data:`repro.constellation.systems.ORBIT_SHELLS`.
+
+``nominal_gps_almanac`` is the deprecated GPS-only spelling; use
+:func:`nominal_almanac` (which takes a ``system`` code) instead.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+import warnings
+from typing import Any, List, Optional
 
 import numpy as np
 
-from repro.constants import (
-    GPS_ACTIVE_SATELLITE_COUNT,
-    GPS_ORBIT_INCLINATION,
-    GPS_ORBIT_PLANE_COUNT,
-    GPS_ORBIT_SEMI_MAJOR_AXIS,
-)
+from repro.constants import GPS_ACTIVE_SATELLITE_COUNT
+from repro.constellation.systems import ORBIT_SHELLS, normalize_system
 from repro.errors import ConfigurationError
 from repro.orbits.elements import OrbitalElements
 from repro.orbits.ephemeris import BroadcastEphemeris
 from repro.timebase import GpsTime
 
-#: How many satellites each plane carries in the 31-SV layout
+#: How many satellites each plane carries in the 31-SV GPS layout
 #: (planes A..F).  31 = 6 + 5 + 5 + 5 + 5 + 5.
 _PLANE_SLOT_COUNTS = (6, 5, 5, 5, 5, 5)
 
@@ -40,12 +42,13 @@ _TYPICAL_CLOCK_BIAS = 2e-5
 _TYPICAL_CLOCK_DRIFT = 1e-11
 
 
-def nominal_gps_almanac(
+def nominal_almanac(
     epoch: GpsTime,
     satellite_count: int = GPS_ACTIVE_SATELLITE_COUNT,
     rng: Optional[np.random.Generator] = None,
+    system: str = "G",
 ) -> List[BroadcastEphemeris]:
-    """Fabricate a nominal GPS constellation.
+    """Fabricate a nominal constellation for one GNSS system.
 
     Parameters
     ----------
@@ -53,12 +56,17 @@ def nominal_gps_almanac(
         Reference time of all generated ephemerides (``toe``/``toc``).
     satellite_count:
         Number of space vehicles, at most 63 (PRN space).  The default
-        31 matches the paper's quoted constellation size.
+        31 matches the paper's quoted GPS constellation size.
     rng:
         Source of the small per-satellite perturbations (eccentricity,
         phase jitter, clock polynomial).  ``None`` gives the unperturbed
         deterministic layout with zero clock errors — useful for tests
         that need exact geometry.
+    system:
+        RINEX system code selecting the orbital shell (``"G"`` GPS,
+        ``"R"`` GLONASS, ``"E"`` Galileo, ``"C"`` BeiDou).  PRNs are
+        numbered ``1..satellite_count`` *within* the system; callers
+        mixing systems must key satellites by ``(system, prn)``.
 
     Returns
     -------
@@ -69,20 +77,21 @@ def nominal_gps_almanac(
         raise ConfigurationError(
             f"satellite_count must be in [1, 63], got {satellite_count}"
         )
+    shell = ORBIT_SHELLS[normalize_system(system)]
 
     ephemerides: List[BroadcastEphemeris] = []
     prn = 1
-    plane_count = GPS_ORBIT_PLANE_COUNT
-    assignments = _slot_assignments(satellite_count, plane_count)
+    plane_count = shell.plane_count
+    assignments = _slot_assignments(satellite_count, plane_count, system=system)
 
     for plane_index, slots_in_plane in enumerate(assignments):
         raan = 2.0 * math.pi * plane_index / plane_count
         for slot_index in range(slots_in_plane):
             # In-plane spacing plus an inter-plane phase offset so
             # satellites in adjacent planes are staggered — this is what
-            # gives GPS its uniform sky coverage.
+            # gives GNSS constellations their uniform sky coverage.
             mean_anomaly = (
-                2.0 * math.pi * slot_index / slots_in_plane
+                2.0 * math.pi * slot_index / max(slots_in_plane, 1)
                 + 2.0 * math.pi * plane_index / (plane_count * max(slots_in_plane, 1))
             )
 
@@ -96,9 +105,9 @@ def nominal_gps_almanac(
                 af1 = float(rng.normal(0.0, _TYPICAL_CLOCK_DRIFT))
 
             elements = OrbitalElements(
-                semi_major_axis=GPS_ORBIT_SEMI_MAJOR_AXIS,
+                semi_major_axis=shell.semi_major_axis,
                 eccentricity=eccentricity,
-                inclination=GPS_ORBIT_INCLINATION,
+                inclination=shell.inclination,
                 raan=raan,
                 argument_of_perigee=0.0,
                 mean_anomaly=mean_anomaly + phase_jitter,
@@ -112,15 +121,42 @@ def nominal_gps_almanac(
     return ephemerides
 
 
-def _slot_assignments(satellite_count: int, plane_count: int) -> List[int]:
+def _slot_assignments(
+    satellite_count: int, plane_count: int, system: str = "G"
+) -> List[int]:
     """Distribute ``satellite_count`` satellites over ``plane_count`` planes.
 
-    Uses the canonical 31-SV layout when it applies; otherwise spreads
-    satellites as evenly as possible.
+    Uses the canonical 31-SV GPS layout when it applies; otherwise
+    spreads satellites as evenly as possible.
     """
-    if satellite_count == sum(_PLANE_SLOT_COUNTS) and plane_count == len(
-        _PLANE_SLOT_COUNTS
+    if (
+        system == "G"
+        and satellite_count == sum(_PLANE_SLOT_COUNTS)
+        and plane_count == len(_PLANE_SLOT_COUNTS)
     ):
         return list(_PLANE_SLOT_COUNTS)
     base, extra = divmod(satellite_count, plane_count)
     return [base + (1 if plane < extra else 0) for plane in range(plane_count)]
+
+
+def _deprecated_nominal_gps_almanac(
+    epoch: GpsTime,
+    satellite_count: int = GPS_ACTIVE_SATELLITE_COUNT,
+    rng: Optional[np.random.Generator] = None,
+) -> List[BroadcastEphemeris]:
+    """Deprecated GPS-only spelling of :func:`nominal_almanac`."""
+    return nominal_almanac(epoch, satellite_count, rng, system="G")
+
+
+def __getattr__(name: str) -> Any:
+    # PEP 562 deprecation shim: the GPS-only name keeps working but
+    # steers callers toward the system-aware constructor.
+    if name == "nominal_gps_almanac":
+        warnings.warn(
+            "nominal_gps_almanac is deprecated; use "
+            "nominal_almanac(..., system='G') instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_nominal_gps_almanac
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

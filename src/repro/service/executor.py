@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.blocks import PackedStream, pack_stream
+from repro.constellation.systems import system_code
 from repro.engine import PositioningEngine
 from repro.errors import ReproError
 from repro.integrity.fde import EpochVerdict
@@ -528,6 +529,7 @@ class BatchExecutor:
                             prn=int(block.prns[row, j]),
                             position=block.positions[row, j].copy(),
                             pseudorange=float(block.pseudoranges[row, j]),
+                            system=system_code(int(block.systems[row, j])),
                         )
                         for j in range(block.satellite_count)
                     )

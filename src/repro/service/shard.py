@@ -195,6 +195,7 @@ def slab_layout(config: ShardConfig) -> SlabLayout:
         .add("req_positions", (slots, n, m, 3), "<f8")
         .add("req_pseudoranges", (slots, n, m), "<f8")
         .add("req_prns", (slots, n, m), "<i8")
+        .add("req_systems", (slots, n, m), "<i1")
         .add("req_weeks", (slots, n), "<i8")
         .add("req_sow", (slots, n), "<f8")
         .add("req_biases", (slots, n), "<f8")
@@ -243,6 +244,7 @@ def write_request(
         arrays["req_positions"][slot, rows, :m] = block.positions
         arrays["req_pseudoranges"][slot, rows, :m] = block.pseudoranges
         arrays["req_prns"][slot, rows, :m] = block.prns
+        arrays["req_systems"][slot, rows, :m] = block.systems
         arrays["req_weeks"][slot, rows] = block.weeks
         arrays["req_sow"][slot, rows] = block.seconds_of_week
     stamp_end(arrays["req_end"], slot, sequence)
@@ -253,11 +255,14 @@ def read_request(
 ) -> Tuple[PackedStream, Optional[np.ndarray]]:
     """Rebuild the packed batch from one request slot (worker side).
 
-    Groups rows by satellite count exactly like
-    :func:`~repro.blocks.pack_stream` (buckets sorted by count, stream
+    Groups rows by satellite count *and* per-slot system pattern
+    exactly like :func:`~repro.blocks.pack_stream` (buckets sorted by
+    count, patterns in first-appearance order within a count, stream
     order within a bucket), so the solver math downstream is identical
-    to the in-process path.  Raises :class:`~repro.service.shm.
-    TornBatchError` if the slot's seqlock does not seal ``sequence``.
+    to the in-process path — including the uniform-pattern guarantee
+    the multi-constellation kernels rely on.  Raises
+    :class:`~repro.service.shm.TornBatchError` if the slot's seqlock
+    does not seal ``sequence``.
     """
     check_sealed(arrays["req_begin"], arrays["req_end"], slot, sequence)
     n = int(arrays["req_count"][slot])
@@ -271,24 +276,31 @@ def read_request(
         m = int(m)
         if m == 0:
             continue
-        rows = np.flatnonzero(sats == m)
-        count = rows.size
-        block = EpochBlock(
-            positions=arrays["req_positions"][slot, rows, :m].copy(),
-            pseudoranges=arrays["req_pseudoranges"][slot, rows, :m].copy(),
-            prns=arrays["req_prns"][slot, rows, :m].copy(),
-            weeks=arrays["req_weeks"][slot, rows].copy(),
-            seconds_of_week=arrays["req_sow"][slot, rows].copy(),
-            truth_positions=np.full((count, 3), np.nan),
-            truth_biases=np.full(count, np.nan),
-        )
-        buckets.append(
-            PackedBucket(
-                satellite_count=m,
-                indices=rows.astype(np.intp),
-                block=block,
+        count_rows = np.flatnonzero(sats == m)
+        pattern_rows: Dict[bytes, List[int]] = {}
+        for row in count_rows:
+            pattern = arrays["req_systems"][slot, row, :m].tobytes()
+            pattern_rows.setdefault(pattern, []).append(int(row))
+        for grouped in pattern_rows.values():  # insertion == stream order
+            rows = np.asarray(grouped, dtype=np.intp)
+            count = rows.size
+            block = EpochBlock(
+                positions=arrays["req_positions"][slot, rows, :m].copy(),
+                pseudoranges=arrays["req_pseudoranges"][slot, rows, :m].copy(),
+                prns=arrays["req_prns"][slot, rows, :m].copy(),
+                systems=arrays["req_systems"][slot, rows, :m].copy(),
+                weeks=arrays["req_weeks"][slot, rows].copy(),
+                seconds_of_week=arrays["req_sow"][slot, rows].copy(),
+                truth_positions=np.full((count, 3), np.nan),
+                truth_biases=np.full(count, np.nan),
             )
-        )
+            buckets.append(
+                PackedBucket(
+                    satellite_count=m,
+                    indices=rows,
+                    block=block,
+                )
+            )
     overrides = arrays["req_biases"][slot, :n].copy()
     biases = overrides if np.isfinite(overrides).any() else None
     return (

@@ -28,34 +28,44 @@ package itself re-exports every solver name warning-free.
 
 from repro.solvers.newton_raphson import NewtonRaphsonSolver
 from repro.solvers.direct_linear import (
+    CONSTELLATION_MODES,
     DLOSolver,
     DLGSolver,
     build_difference_system,
+    build_multi_difference_system,
     difference_covariance,
     difference_covariance_components,
+    multi_difference_covariance_components,
 )
 from repro.solvers.bancroft import BancroftSolver
 from repro.solvers.batch import (
     BatchDLOSolver,
     BatchDLGSolver,
+    BatchMultiResult,
     BatchNewtonRaphsonSolver,
     BatchNrResult,
     build_difference_systems,
+    build_multi_difference_systems,
     group_epochs_by_count,
 )
 
 __all__ = [
+    "CONSTELLATION_MODES",
     "NewtonRaphsonSolver",
     "DLOSolver",
     "DLGSolver",
     "BancroftSolver",
     "BatchDLOSolver",
     "BatchDLGSolver",
+    "BatchMultiResult",
     "BatchNewtonRaphsonSolver",
     "BatchNrResult",
     "build_difference_system",
     "build_difference_systems",
+    "build_multi_difference_system",
+    "build_multi_difference_systems",
     "difference_covariance",
     "difference_covariance_components",
+    "multi_difference_covariance_components",
     "group_epochs_by_count",
 ]

@@ -31,13 +31,16 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.blocks import EpochBlock
+from repro.constellation.systems import group_layout, system_code
 from repro.errors import ConfigurationError, ConvergenceError, EstimationError, GeometryError
 from repro.estimation import (
     batched_apply_inverse_diag_rank1,
     batched_gls_solve_diag_rank1,
+    batched_gls_solve_grouped_rank1,
 )
 from repro.estimation.workspace import KernelWorkspace
 from repro.observations import ObservationEpoch
+from repro.solvers.direct_linear import CONSTELLATION_MODES, check_multi_admissibility
 from repro.telemetry import get_registry
 
 _log = logging.getLogger(__name__)
@@ -122,25 +125,196 @@ def build_difference_systems(
     return design, rhs
 
 
+def _require_uniform_pattern(block: EpochBlock) -> np.ndarray:
+    """The block's shared ``(m,)`` system-id slot pattern.
+
+    The multi-constellation kernels solve all N epochs with one shared
+    group structure, so every row must put each constellation's
+    satellites in the same slots — which :func:`~repro.blocks.
+    pack_stream` buckets guarantee.  Mixed-pattern blocks fail loudly.
+    """
+    pattern = block.uniform_system_pattern()
+    if pattern is None:
+        raise GeometryError(
+            "block rows carry different constellation patterns; "
+            "re-bucket through pack_stream before a multi-constellation "
+            "batch solve"
+        )
+    return pattern
+
+
+def build_multi_difference_systems(
+    positions: np.ndarray,
+    pseudoranges: np.ndarray,
+    pattern: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Vectorized per-constellation difference construction for a batch.
+
+    The batched counterpart of :func:`~repro.solvers.direct_linear.
+    build_multi_difference_system`: the ``(m,)`` system-id ``pattern``
+    is shared by all N epochs, so the group layout, base satellites and
+    sparsity structure are computed once and broadcast.
+
+    Parameters
+    ----------
+    positions:
+        ``(N, m, 3)`` stacked satellite positions.
+    pseudoranges:
+        ``(N, m)`` *raw* pseudoranges (the per-constellation biases are
+        unknowns of this system, nothing is removed up front).
+    pattern:
+        ``(m,)`` per-slot system ids shared by every epoch.
+
+    Returns ``(design (N, m-K, 3+K), rhs (N, m-K), row_groups (m-K,),
+    base_indices (K,), codes (K,))``.
+    """
+    groups, codes = group_layout(pattern)
+    check_multi_admissibility(groups, codes)
+    n, m = pseudoranges.shape
+    k_groups = int(codes.shape[0])
+
+    base_indices = np.full(k_groups, -1, dtype=np.int64)
+    for index in range(m):
+        g = groups[index]
+        if base_indices[g] < 0:
+            base_indices[g] = index
+    non_base = np.ones(m, dtype=bool)
+    non_base[base_indices] = False
+    row_groups = groups[non_base]
+
+    base_positions = positions[:, base_indices, :]  # (N, K, 3)
+    base_rho = pseudoranges[:, base_indices]  # (N, K)
+
+    design = np.zeros((n, m - k_groups, 3 + k_groups))
+    design[:, :, :3] = positions[:, non_base, :] - base_positions[:, row_groups, :]
+    rows = np.arange(m - k_groups)
+    design[:, rows, 3 + row_groups] = -(
+        pseudoranges[:, non_base] - base_rho[:, row_groups]
+    )
+
+    squared_norms = np.einsum("nmi,nmi->nm", positions, positions)
+    base_squared = squared_norms[:, base_indices]
+    rhs = 0.5 * (
+        (squared_norms[:, non_base] - base_squared[:, row_groups])
+        - (pseudoranges[:, non_base] ** 2 - base_rho[:, row_groups] ** 2)
+    )
+    return design, rhs, row_groups, base_indices, codes
+
+
+def _non_base_mask(base_indices: np.ndarray, m: int) -> np.ndarray:
+    """Boolean ``(m,)`` mask of non-base satellite slots."""
+    non_base = np.ones(m, dtype=bool)
+    non_base[base_indices] = False
+    return non_base
+
+
+@dataclass(frozen=True)
+class BatchMultiResult:
+    """Per-epoch output of a multi-constellation batch solve.
+
+    Attributes
+    ----------
+    positions:
+        ``(N, 3)`` estimated receiver positions.
+    constellation_biases:
+        ``(N, K)`` solved clock biases (meters), one column per
+        constellation in ``systems`` order.
+    systems:
+        ``(K,)`` constellation codes in first-appearance order of the
+        block's shared slot pattern.
+    norms:
+        ``(N,)`` residual norms — whitened (Mahalanobis) for DLG, raw
+        differenced-domain for DLO.
+    """
+
+    positions: np.ndarray
+    constellation_biases: np.ndarray
+    systems: Tuple[str, ...]
+    norms: np.ndarray
+
+
+def _check_constellations(constellations: str) -> str:
+    if constellations not in CONSTELLATION_MODES:
+        raise ConfigurationError(
+            f"constellations must be one of {CONSTELLATION_MODES}, "
+            f"got {constellations!r}"
+        )
+    return constellations
+
+
+def _finish_multi_batch(
+    solutions: np.ndarray, codes: np.ndarray, norms: np.ndarray
+) -> BatchMultiResult:
+    return BatchMultiResult(
+        positions=solutions[:, :3].copy(),
+        constellation_biases=solutions[:, 3:].copy(),
+        systems=tuple(system_code(int(code)) for code in codes),
+        norms=norms,
+    )
+
+
 class BatchDLOSolver:
     """Vectorized DLO: one stacked OLS solve for N epochs."""
 
     name = "BatchDLO"
 
+    def __init__(self, constellations: str = "single") -> None:
+        self.constellations = _check_constellations(constellations)
+
     def solve_batch(
         self,
         epochs: Batchable,
-        biases: Sequence[float],
+        biases: Optional[Sequence[float]] = None,
     ) -> np.ndarray:
         """Positions for N same-size epochs, as an ``(N, 3)`` array.
 
         ``biases`` are the predicted receiver clock biases (meters),
         one per epoch — the batched equivalent of the clock predictor
         hook on :class:`~repro.solvers.direct_linear.DLOSolver`.
+        Required in ``"single"`` mode; in ``"per_constellation"`` mode
+        the biases are *estimated* (one per constellation, see
+        :meth:`solve_block_multi`), so none may be passed.
         Accepts an :class:`~repro.blocks.EpochBlock` directly.
         """
         block = _as_block(epochs, "direct linearization")
+        if self.constellations == "per_constellation":
+            if biases is not None:
+                raise ConfigurationError(
+                    "per-constellation mode estimates the clock biases; "
+                    "predicted biases cannot be passed"
+                )
+            return self.solve_block_multi(block).positions
+        if biases is None:
+            raise ConfigurationError(
+                "single-constellation batch DLO needs one predicted "
+                "clock bias per epoch"
+            )
         return self.solve_block(block, np.asarray(biases, dtype=float))
+
+    def solve_block_multi(self, block: EpochBlock) -> BatchMultiResult:
+        """Per-constellation solve of an already-columnar block.
+
+        One stacked OLS solve of the ``(N, m-K, 3+K)`` per-constellation
+        difference systems; the block must carry a uniform system
+        pattern (as :func:`~repro.blocks.pack_stream` buckets do).
+        """
+        pattern = _require_uniform_pattern(block)
+        design, rhs, _row_groups, _bases, codes = build_multi_difference_systems(
+            block.positions, block.pseudoranges, pattern
+        )
+        gram = np.einsum("nij,nik->njk", design, design)
+        moment = np.einsum("nij,ni->nj", design, rhs)
+        try:
+            solutions = np.linalg.solve(gram, moment[..., None])[..., 0]
+        except np.linalg.LinAlgError as exc:
+            raise EstimationError(
+                "a batch epoch has degenerate geometry; solve epochs "
+                "individually to identify it"
+            ) from exc
+        residuals = rhs - np.einsum("nki,ni->nk", design, solutions)
+        return _finish_multi_batch(
+            solutions, codes, np.linalg.norm(residuals, axis=1)
+        )
 
     def solve_block(self, block: EpochBlock, biases: np.ndarray) -> np.ndarray:
         """Positions for an already-columnar block; zero repacking."""
@@ -177,6 +351,7 @@ class BatchDLGSolver:
         dtype: str = "float64",
         audit_every: int = 64,
         audit_tolerance_meters: float = 1.0,
+        constellations: str = "single",
     ) -> None:
         """Configure the kernel precision.
 
@@ -197,6 +372,11 @@ class BatchDLGSolver:
             to float64 (fail-safe: accuracy wins over throughput) and
             records ``repro_kernel_float32_audits_total{outcome=
             "tripped"}``.
+        constellations:
+            ``"single"`` (default) for the historical one-bias path, or
+            ``"per_constellation"`` to estimate one clock bias per
+            constellation (see :meth:`solve_block_multi`).  The
+            per-constellation kernel has no float32 variant.
         """
         if dtype not in ("float64", "float32"):
             raise ConfigurationError(
@@ -206,6 +386,12 @@ class BatchDLGSolver:
             raise ConfigurationError("audit_every must be at least 1")
         if audit_tolerance_meters <= 0:
             raise ConfigurationError("audit_tolerance_meters must be positive")
+        self.constellations = _check_constellations(constellations)
+        if self.constellations == "per_constellation" and dtype == "float32":
+            raise ConfigurationError(
+                "the float32 kernel is single-constellation only; "
+                "per-constellation mode requires dtype='float64'"
+            )
         self._dtype = dtype
         self._audit_every = int(audit_every)
         self._audit_tolerance = float(audit_tolerance_meters)
@@ -226,16 +412,61 @@ class BatchDLGSolver:
     def solve_batch(
         self,
         epochs: Batchable,
-        biases: Sequence[float],
+        biases: Optional[Sequence[float]] = None,
     ) -> np.ndarray:
         """Positions for N same-size epochs, as an ``(N, 3)`` array.
 
+        ``biases`` are required in ``"single"`` mode and must be absent
+        in ``"per_constellation"`` mode, where the clock biases are
+        solved for (see :meth:`solve_block_multi`).
         Accepts an :class:`~repro.blocks.EpochBlock` directly.
         """
         block = _as_block(epochs, "direct linearization")
+        if self.constellations == "per_constellation":
+            if biases is not None:
+                raise ConfigurationError(
+                    "per-constellation mode estimates the clock biases; "
+                    "predicted biases cannot be passed"
+                )
+            return self.solve_block_multi(block).positions
+        if biases is None:
+            raise ConfigurationError(
+                "single-constellation batch DLG needs one predicted "
+                "clock bias per epoch"
+            )
         return self.solve_block_full(
             block, np.asarray(biases, dtype=float)
         )[0]
+
+    def solve_block_multi(self, block: EpochBlock) -> BatchMultiResult:
+        """Per-constellation solve of an already-columnar block.
+
+        The grouped generalization of :meth:`solve_block_full`: the
+        block-diagonal eq. 4-26 covariance (one diag+rank-one block per
+        constellation) is applied through
+        :func:`~repro.estimation.batched_gls_solve_grouped_rank1`, so
+        the whole stack whitens in O(m) per epoch with no
+        factorization.  The block must carry a uniform system pattern.
+        """
+        pattern = _require_uniform_pattern(block)
+        design, rhs, row_groups, base_indices, codes = (
+            build_multi_difference_systems(
+                block.positions, block.pseudoranges, pattern
+            )
+        )
+        diag = block.pseudoranges[:, _non_base_mask(base_indices, pattern.shape[0])] ** 2
+        scales = block.pseudoranges[:, base_indices] ** 2
+        try:
+            solutions, norms = batched_gls_solve_grouped_rank1(
+                design, rhs, diag, scales, row_groups,
+                workspace=self._workspace,
+            )
+        except EstimationError as exc:
+            raise EstimationError(
+                "a batch epoch has degenerate geometry; solve epochs "
+                "individually to identify it"
+            ) from exc
+        return _finish_multi_batch(solutions, codes, norms)
 
     def solve_block(self, block: EpochBlock, biases: np.ndarray) -> np.ndarray:
         """Positions for an already-columnar block; zero repacking."""
@@ -456,12 +687,22 @@ class BatchNrResult:
         (or hitting the budget).
     converged:
         ``(N,)`` whether each epoch met the update tolerance.
+    constellation_biases:
+        ``(N, K)`` per-constellation solved clock biases, or ``None``
+        for single-constellation solves (where ``clock_biases`` is the
+        whole story).  When present, ``clock_biases`` equals the first
+        column.
+    systems:
+        ``(K,)`` constellation codes matching the bias columns, or
+        ``None`` for single-constellation solves.
     """
 
     positions: np.ndarray
     clock_biases: np.ndarray
     iterations: np.ndarray
     converged: np.ndarray
+    constellation_biases: Optional[np.ndarray] = None
+    systems: Optional[Tuple[str, ...]] = None
 
 
 class BatchNewtonRaphsonSolver:
@@ -488,6 +729,7 @@ class BatchNewtonRaphsonSolver:
         max_iterations: int = 20,
         tolerance_meters: float = 1e-4,
         initial_state: Optional[np.ndarray] = None,
+        constellations: str = "single",
     ) -> None:
         if max_iterations < 1:
             raise ConfigurationError("max_iterations must be at least 1")
@@ -495,6 +737,13 @@ class BatchNewtonRaphsonSolver:
             raise ConfigurationError("tolerance_meters must be positive")
         self._max_iterations = int(max_iterations)
         self._tolerance = float(tolerance_meters)
+        self.constellations = _check_constellations(constellations)
+        if self.constellations == "per_constellation" and initial_state is not None:
+            raise ConfigurationError(
+                "per-constellation mode sizes its state to the epoch's "
+                "constellation count; a fixed initial_state cannot be "
+                "combined with it"
+            )
         if initial_state is None:
             self._initial_state = np.zeros(4)
         else:
@@ -527,6 +776,8 @@ class BatchNewtonRaphsonSolver:
         :meth:`solve_block_full`); epoch sequences are packed once.
         """
         block = _as_block(epochs, "Newton-Raphson")
+        if self.constellations == "per_constellation":
+            return self._iterate_multi(block)
         return self._iterate(block.positions, block.pseudoranges)
 
     def solve_block_full(self, block: EpochBlock) -> BatchNrResult:
@@ -589,6 +840,83 @@ class BatchNewtonRaphsonSolver:
             clock_biases=states[:, 3].copy(),
             iterations=iterations,
             converged=converged,
+        )
+
+    def _iterate_multi(self, block: EpochBlock) -> BatchNrResult:
+        """Batched NR with one clock-bias column per constellation.
+
+        The batched counterpart of :meth:`~repro.solvers.
+        newton_raphson.NewtonRaphsonSolver._solve_multi`: state
+        ``(N, 3+K)``, residual ``P_i = R_i - rho_i + b_c(i)`` and
+        one-hot bias columns in the Jacobian.  NR tolerates singleton
+        constellations (the shared position couples their equation to
+        the rest), so only ``m >= 3 + K`` is required; the block must
+        carry a uniform system pattern so all N epochs share the
+        group layout.
+        """
+        pattern = _require_uniform_pattern(block)
+        groups, codes = group_layout(pattern)
+        k_groups = int(codes.shape[0])
+        positions = block.positions
+        pseudoranges = block.pseudoranges
+        n, m = pseudoranges.shape
+        if m < 3 + k_groups:
+            raise GeometryError(
+                f"{m} satellites cannot determine {3 + k_groups} unknowns "
+                f"({k_groups} constellation clock biases)"
+            )
+        states = np.zeros((n, 3 + k_groups))
+        iterations = np.zeros(n, dtype=int)
+        converged = np.zeros(n, dtype=bool)
+        active = np.arange(n)
+        bias_columns = 3 + groups  # (m,) column index of each slot's bias
+
+        for iteration in range(1, self._max_iterations + 1):
+            state_a = states[active]
+            deltas = positions[active] - state_a[:, None, :3]
+            ranges = np.sqrt(np.einsum("nmi,nmi->nm", deltas, deltas))
+            if np.any(ranges < 1.0):
+                raise GeometryError(
+                    "NR state collided with a satellite position; "
+                    "a batch epoch is degenerate"
+                )
+
+            residuals = ranges - pseudoranges[active] + state_a[:, bias_columns]
+            jacobian = np.zeros((active.size, m, 3 + k_groups))
+            jacobian[..., :3] = -deltas / ranges[..., None]
+            jacobian[:, np.arange(m), bias_columns] = 1.0
+
+            gram = np.einsum("nmi,nmj->nij", jacobian, jacobian)
+            moment = np.einsum("nmi,nm->ni", jacobian, -residuals)
+            try:
+                updates = np.linalg.solve(gram, moment[..., None])[..., 0]
+            except np.linalg.LinAlgError as exc:
+                raise GeometryError(
+                    f"NR normal equations are singular at iteration {iteration}; "
+                    "a batch epoch has degenerate geometry"
+                ) from exc
+
+            states[active] += updates
+            iterations[active] = iteration
+            if not np.all(np.isfinite(states[active])):
+                raise ConvergenceError(
+                    "NR state diverged to non-finite values for a batch epoch",
+                    iterations=iteration,
+                )
+
+            done = np.linalg.norm(updates, axis=1) < self._tolerance
+            converged[active[done]] = True
+            active = active[~done]
+            if active.size == 0:
+                break
+
+        return BatchNrResult(
+            positions=states[:, :3].copy(),
+            clock_biases=states[:, 3].copy(),
+            iterations=iterations,
+            converged=converged,
+            constellation_biases=states[:, 3:].copy(),
+            systems=tuple(system_code(int(code)) for code in codes),
         )
 
 

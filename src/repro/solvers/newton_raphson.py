@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.constellation.systems import group_layout, system_code
 from repro.core.base import PositioningAlgorithm
 from repro.core.types import PositionFix
 from repro.errors import ConfigurationError, ConvergenceError, EstimationError, GeometryError
@@ -73,6 +74,7 @@ class NewtonRaphsonSolver(PositioningAlgorithm):
         initial_state: Optional[np.ndarray] = None,
         elevation_weighted: bool = False,
         convergence: str = "update",
+        constellations: str = "single",
     ) -> None:
         if max_iterations < 1:
             raise ConfigurationError("max_iterations must be at least 1")
@@ -82,6 +84,18 @@ class NewtonRaphsonSolver(PositioningAlgorithm):
             raise ConfigurationError(
                 f"convergence must be 'update' or 'residual', got {convergence!r}"
             )
+        if constellations not in ("single", "per_constellation"):
+            raise ConfigurationError(
+                "constellations must be 'single' or 'per_constellation', "
+                f"got {constellations!r}"
+            )
+        if constellations == "per_constellation" and initial_state is not None:
+            raise ConfigurationError(
+                "per-constellation NR sizes its state per epoch "
+                "(3 + K unknowns); a fixed initial_state cannot be combined "
+                "with it"
+            )
+        self.constellations = constellations
         self._max_iterations = int(max_iterations)
         self._tolerance = float(tolerance_meters)
         self._elevation_weighted = bool(elevation_weighted)
@@ -118,10 +132,29 @@ class NewtonRaphsonSolver(PositioningAlgorithm):
         return BatchNewtonRaphsonSolver(
             max_iterations=self._max_iterations,
             tolerance_meters=self._tolerance,
-            initial_state=self._initial_state,
+            initial_state=(
+                None
+                if self.constellations == "per_constellation"
+                else self._initial_state
+            ),
+            constellations=self.constellations,
         )
 
+    def residual_dof(self, epoch: ObservationEpoch) -> int:
+        """``m - 4`` classically; ``m - 3 - K`` per-constellation.
+
+        The undifferenced NR system keeps all ``m`` equations and adds
+        one clock unknown per constellation, so redundancy shrinks by
+        one per extra constellation — contrast the differenced DLO/DLG
+        counting, which also loses one *equation* per constellation.
+        """
+        if self.constellations != "per_constellation":
+            return epoch.satellite_count - 4
+        return epoch.satellite_count - 3 - epoch.constellation_count
+
     def solve(self, epoch: ObservationEpoch) -> PositionFix:
+        if self.constellations == "per_constellation":
+            return self._solve_multi(epoch)
         self._require_satellites(epoch)
         positions = epoch.satellite_positions()  # (m, 3)
         pseudoranges = epoch.pseudoranges()  # (m,)
@@ -194,6 +227,100 @@ class NewtonRaphsonSolver(PositioningAlgorithm):
                     iterations=iteration,
                     converged=True,
                     residual_norm=float(np.linalg.norm(residuals)),
+                )
+
+        registry = get_registry()
+        if registry.enabled:
+            self._observe(registry, jacobian, residuals, iterations_used, False)
+        raise ConvergenceError(
+            f"NR did not converge within {self._max_iterations} iterations "
+            f"(last update residual norm {np.linalg.norm(residuals):.3e} m)",
+            iterations=iterations_used,
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_multi(self, epoch: ObservationEpoch) -> PositionFix:
+        """NR with one clock-bias unknown per constellation present.
+
+        State ``(x, y, z, b_1..b_K)``: the residual of satellite ``i``
+        in constellation ``c`` is ``P_i = R_i - rho_i + b_c`` and its
+        Jacobian bias columns are the one-hot group indicators — the
+        undifferenced counterpart of the per-constellation DLO/DLG
+        system.  Needs ``m >= 3 + K`` (NR does tolerate singleton
+        constellations: the shared position couples their single
+        equation to the rest).
+        """
+        self._require_satellites(epoch)
+        positions, pseudoranges, _prns, system_ids = epoch.dense()
+        groups, codes = group_layout(system_ids)
+        k_groups = int(codes.shape[0])
+        m = positions.shape[0]
+        if m < 3 + k_groups:
+            raise GeometryError(
+                f"{m} satellites cannot determine {3 + k_groups} unknowns "
+                f"({k_groups} constellation clock biases)"
+            )
+        weights = None
+        if self._elevation_weighted:
+            elevations = np.array([obs.elevation for obs in epoch.observations])
+            clamped = np.clip(elevations, np.radians(5.0), None)
+            weights = np.sin(clamped) ** 2
+        state = np.zeros(3 + k_groups)
+
+        iterations_used = 0
+        residuals = np.zeros(m)
+        previous_residual_max = float("inf")
+        for iteration in range(1, self._max_iterations + 1):
+            iterations_used = iteration
+            deltas = positions - state[:3]
+            ranges = np.sqrt(np.einsum("ij,ij->i", deltas, deltas))
+            if np.any(ranges < 1.0):
+                raise GeometryError(
+                    "NR state collided with a satellite position; "
+                    "input epoch is degenerate"
+                )
+            residuals = ranges - pseudoranges + state[3 + groups]
+            jacobian = np.zeros((m, 3 + k_groups))
+            jacobian[:, :3] = -deltas / ranges[:, None]
+            jacobian[np.arange(m), 3 + groups] = 1.0
+            try:
+                if weights is None:
+                    update = ols_solve(jacobian, -residuals)
+                else:
+                    update = weighted_solve(jacobian, -residuals, weights)
+            except EstimationError as exc:
+                raise GeometryError(
+                    f"NR normal equations are singular at iteration {iteration}: {exc}"
+                ) from exc
+            state += update
+            if not np.all(np.isfinite(state)):
+                raise ConvergenceError(
+                    "NR state diverged to non-finite values", iterations=iteration
+                )
+            if self._convergence == "update":
+                converged = float(np.linalg.norm(update)) < self._tolerance
+            else:
+                residual_max = float(np.max(np.abs(residuals)))
+                converged = (
+                    previous_residual_max - residual_max
+                ) < self._tolerance and iteration > 1
+                previous_residual_max = residual_max
+            if converged:
+                registry = get_registry()
+                if registry.enabled:
+                    self._observe(registry, jacobian, residuals, iteration, True)
+                biases = tuple(
+                    (system_code(int(code)), float(state[3 + g]))
+                    for g, code in enumerate(codes)
+                )
+                return PositionFix(
+                    position=state[:3],
+                    clock_bias_meters=biases[0][1],
+                    algorithm=self.name,
+                    iterations=iteration,
+                    converged=True,
+                    residual_norm=float(np.linalg.norm(residuals)),
+                    clock_biases=biases,
                 )
 
         registry = get_registry()

@@ -122,14 +122,22 @@ def epoch_payload(epoch) -> Dict:
     precision, so the replayed epoch is bit-identical to the captured
     one.
     """
-    positions, pseudoranges, prns = epoch.dense()
-    return {
+    positions, pseudoranges, prns, system_ids = epoch.dense()
+    payload = {
         "week": int(epoch.time.week),
         "seconds_of_week": float(epoch.time.seconds_of_week),
         "prns": [int(p) for p in prns],
         "pseudoranges": [float(r) for r in pseudoranges],
         "positions": [[float(c) for c in row] for row in positions],
     }
+    # The systems lane is recorded only when a non-GPS satellite is
+    # present: all-GPS payloads (and their digests) stay byte-identical
+    # to what earlier recorder versions captured.
+    if any(int(s) for s in system_ids):
+        from repro.constellation.systems import system_code
+
+        payload["systems"] = [system_code(int(s)) for s in system_ids]
+    return payload
 
 
 def payload_epoch(payload: Mapping):
@@ -147,9 +155,13 @@ def payload_epoch(payload: Mapping):
                 prn=int(prn),
                 position=np.asarray(position, dtype=float),
                 pseudorange=float(pseudorange),
+                system=str(system),
             )
-            for prn, position, pseudorange in zip(
-                payload["prns"], payload["positions"], payload["pseudoranges"]
+            for prn, position, pseudorange, system in zip(
+                payload["prns"],
+                payload["positions"],
+                payload["pseudoranges"],
+                payload.get("systems", ["G"] * len(payload["prns"])),
             )
         ),
     )
@@ -175,13 +187,17 @@ def epoch_digest(epoch) -> str:
     different encodings and are not interchangeable; records carry
     whichever function produced them.)
     """
-    positions, pseudoranges, prns = epoch.dense()
+    positions, pseudoranges, prns, system_ids = epoch.dense()
     digest = hashlib.sha256()
     digest.update(np.asarray([epoch.time.week], dtype=np.int64).tobytes())
     digest.update(np.asarray([epoch.time.seconds_of_week]).tobytes())
     digest.update(np.ascontiguousarray(prns).tobytes())
     digest.update(np.ascontiguousarray(pseudoranges).tobytes())
     digest.update(np.ascontiguousarray(positions).tobytes())
+    if system_ids.any():
+        # Mixed-constellation epochs fold the system lane into the
+        # digest; all-GPS epochs keep their historical digests.
+        digest.update(np.ascontiguousarray(system_ids).tobytes())
     return digest.hexdigest()[:16]
 
 

@@ -53,9 +53,12 @@ from repro.validation.metamorphic import (
     METAMORPHIC_INVARIANTS,
     MetamorphicDeviation,
     MetamorphicReport,
+    relabeled_epoch,
     run_metamorphic,
+    run_relabeling,
 )
 from repro.validation.oracles import (
+    MULTI_ORACLE_PATHS,
     ORACLE_PATHS,
     TOLERANCE_CONDITION_RATE,
     TOLERANCE_FLOOR_METERS,
@@ -66,6 +69,7 @@ from repro.validation.oracles import (
     StreamCheckReport,
     agreement_tolerance,
     run_differential,
+    run_multi_differential,
     run_stream_differential,
 )
 from repro.validation.scenarios import (
@@ -100,7 +104,10 @@ __all__ = [
     "METAMORPHIC_INVARIANTS",
     "MetamorphicDeviation",
     "MetamorphicReport",
+    "relabeled_epoch",
     "run_metamorphic",
+    "run_relabeling",
+    "MULTI_ORACLE_PATHS",
     "ORACLE_PATHS",
     "TOLERANCE_CONDITION_RATE",
     "TOLERANCE_FLOOR_METERS",
@@ -111,6 +118,7 @@ __all__ = [
     "StreamCheckReport",
     "agreement_tolerance",
     "run_differential",
+    "run_multi_differential",
     "run_stream_differential",
     "Scenario",
     "ScenarioConfig",

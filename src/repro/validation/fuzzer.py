@@ -50,8 +50,12 @@ from repro.validation.faults import (
     FaultProfile,
     fault_from_spec,
 )
-from repro.validation.metamorphic import run_metamorphic
-from repro.validation.oracles import run_differential, run_stream_differential
+from repro.validation.metamorphic import run_metamorphic, run_relabeling
+from repro.validation.oracles import (
+    run_differential,
+    run_multi_differential,
+    run_stream_differential,
+)
 from repro.validation.scenarios import Scenario, ScenarioConfig, ScenarioGenerator
 
 #: The unexplained-failure taxonomy (artifact ``kind`` values).
@@ -192,6 +196,10 @@ class FuzzHarness:
         self._config = config if config is not None else FuzzConfig()
         self._generator = ScenarioGenerator(self._config.scenario)
         self._last_scenario: Optional[Scenario] = None
+        # Multi-system populations fuzz the per-constellation solver
+        # paths: the single-clock oracles would (correctly) disagree on
+        # epochs whose pseudoranges carry several different biases.
+        self._multi = len(self._config.scenario.systems) > 1
 
     @property
     def config(self) -> FuzzConfig:
@@ -233,7 +241,8 @@ class FuzzHarness:
             apply_rng = np.random.default_rng(seed + _FAULT_SEED_OFFSET + 1)
             return self._run_faulted(scenario, profile, apply_rng)
 
-        report = run_differential(scenario)
+        differential = run_multi_differential if self._multi else run_differential
+        report = differential(scenario)
         if report.disagreements:
             return FuzzCaseResult(
                 seed=seed,
@@ -241,7 +250,9 @@ class FuzzHarness:
                 kind="disagreement",
                 detail=tuple(d.describe() for d in report.disagreements),
             )
-        meta = run_metamorphic(scenario)
+        meta = (
+            run_relabeling(scenario) if self._multi else run_metamorphic(scenario)
+        )
         if meta.deviations:
             return FuzzCaseResult(
                 seed=seed,
@@ -287,7 +298,8 @@ class FuzzHarness:
 
         # Semantic fault: solvers answer; disagreement (or missing the
         # truth) is attributed to the fault and persisted as evidence.
-        report = run_differential(scenario, epoch=faulted)
+        differential = run_multi_differential if self._multi else run_differential
+        report = differential(scenario, epoch=faulted)
         if report.disagreements:
             return FuzzCaseResult(
                 seed=scenario.seed,
@@ -331,9 +343,13 @@ class FuzzHarness:
                 ).labels(status=result.status).inc()
             if result.status == "pass":
                 passes += 1
+                # Stream checks drive the engine's predicted-bias
+                # interface, which per-constellation scenarios do not
+                # use; multi populations skip the bulk window.
                 if (
                     result.fault_spec is None
                     and config.stream_check_every
+                    and not self._multi
                     and self._last_scenario is not None
                 ):
                     clean_buffer.append(self._last_scenario)

@@ -17,6 +17,12 @@ transformations with exactly known effect:
   ahead: positions must not move, and solvers that estimate the bias
   (NR, Bancroft) must report it shifted by exactly ``delta``.
   Closed-form paths are handed the correspondingly shifted prediction.
+* **relabeling** (:func:`run_relabeling`, per-constellation mode) —
+  renaming which RINEX code each constellation carries (G satellites
+  become E satellites, and so on, injectively) must not move any fix:
+  the grouped solvers key on group *structure* in first-appearance
+  order, never on the code values, so the relabeled solve is the same
+  arithmetic and the positions must match bit for bit.
 
 Every comparison is *same path versus same path*, which mostly cancels
 the four-satellite mirror-root ambiguity — a solver usually picks the
@@ -39,15 +45,19 @@ model applies.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.constellation.systems import SYSTEM_CODES
 from repro.errors import ConfigurationError, ReproError
 from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
 from repro.validation.oracles import (
+    MULTI_ORACLE_PATHS,
     ORACLE_PATHS,
     _exact_solution,
+    _multi_solver_runners,
     _solver_runners,
     agreement_tolerance,
 )
@@ -292,6 +302,131 @@ def run_metamorphic(
         checks=checks,
         deviations=tuple(deviations),
         ambiguities=tuple(ambiguities),
+        skipped=tuple(skipped),
+        max_deviation_meters=max_deviation,
+    )
+
+
+def relabeled_epoch(
+    epoch: ObservationEpoch, mapping: Dict[str, str]
+) -> ObservationEpoch:
+    """The same epoch with every system code renamed through ``mapping``.
+
+    ``mapping`` must be injective over the systems present (renaming two
+    constellations onto one code would merge their clocks — a different
+    problem, not a relabeling).  Truth biases follow their constellation
+    to its new code.
+    """
+    present = {obs.system for obs in epoch.observations}
+    missing = sorted(present - set(mapping))
+    if missing:
+        raise ConfigurationError(
+            "relabeling mapping misses systems: " + ", ".join(missing)
+        )
+    targets = [mapping[system] for system in sorted(present)]
+    if len(set(targets)) != len(targets):
+        raise ConfigurationError("relabeling mapping must be injective")
+    observations = tuple(
+        dataclass_replace(obs, system=mapping[obs.system])
+        for obs in epoch.observations
+    )
+    truth = epoch.truth
+    if truth is not None:
+        truth = EpochTruth(
+            receiver_position=truth.receiver_position,
+            clock_bias_meters=truth.clock_bias_meters,
+            clock_biases=(
+                tuple(
+                    (mapping.get(system, system), bias)
+                    for system, bias in truth.clock_biases
+                )
+                if truth.clock_biases is not None
+                else None
+            ),
+        )
+    return ObservationEpoch(time=epoch.time, observations=observations, truth=truth)
+
+
+def run_relabeling(
+    scenario: Scenario,
+    paths: Sequence[str] = MULTI_ORACLE_PATHS,
+    rng: Optional[np.random.Generator] = None,
+    tolerance_meters: Optional[float] = None,
+) -> MetamorphicReport:
+    """Constellation-relabeling invariance of the per-constellation paths.
+
+    Draws a random injective renaming of the scenario's system codes,
+    re-solves every requested path in ``per_constellation`` mode on the
+    renamed epoch, and demands the fix stay put.  The grouped solvers
+    organize their bias columns by first-appearance order of the system
+    *lane*, not by code value, so the relabeled solve performs
+    literally identical arithmetic — the default tolerance is the
+    scenario's geometry-scaled one, but the observed deviation should
+    be exactly zero and a test may pass ``tolerance_meters=0.0``.
+    """
+    unknown = [p for p in paths if p not in MULTI_ORACLE_PATHS]
+    if unknown:
+        raise ConfigurationError(f"unknown multi oracle paths: {unknown}")
+    if rng is None:
+        rng = np.random.default_rng(scenario.seed)
+    tolerance = (
+        float(tolerance_meters)
+        if tolerance_meters is not None
+        else agreement_tolerance(scenario)
+    )
+
+    epoch = scenario.epoch
+    present = sorted({obs.system for obs in epoch.observations})
+    shuffled = [SYSTEM_CODES[i] for i in rng.permutation(len(SYSTEM_CODES))]
+    mapping = dict(zip(present, shuffled))
+    relabeled = relabeled_epoch(epoch, mapping)
+
+    runners = _multi_solver_runners()
+    deviations = []
+    skipped = []
+    checks = 0
+    max_deviation = 0.0
+    for path in paths:
+        try:
+            base_position, _base_bias = runners[path](epoch)
+        except ReproError:
+            skipped.append(path)
+            continue
+        checks += 1
+        try:
+            position, _solved_bias = runners[path](relabeled)
+        except ReproError:
+            deviations.append(
+                MetamorphicDeviation(
+                    invariant="relabeling",
+                    path=path,
+                    deviation_meters=float("inf"),
+                    tolerance_meters=tolerance,
+                )
+            )
+            continue
+        deviation = float(
+            np.linalg.norm(
+                np.asarray(position, dtype=float)
+                - np.asarray(base_position, dtype=float)
+            )
+        )
+        max_deviation = max(max_deviation, deviation)
+        if not np.isfinite(deviation) or deviation > tolerance:
+            deviations.append(
+                MetamorphicDeviation(
+                    invariant="relabeling",
+                    path=path,
+                    deviation_meters=deviation,
+                    tolerance_meters=tolerance,
+                )
+            )
+
+    return MetamorphicReport(
+        seed=scenario.seed,
+        checks=checks,
+        deviations=tuple(deviations),
+        ambiguities=(),
         skipped=tuple(skipped),
         max_deviation_meters=max_deviation,
     )

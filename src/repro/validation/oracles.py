@@ -71,6 +71,17 @@ ORACLE_PATHS: Tuple[str, ...] = (
     "batch_dlg",
 )
 
+#: Solver paths with a per-constellation mode (Bancroft's closed form
+#: is single-clock by construction and has none).
+MULTI_ORACLE_PATHS: Tuple[str, ...] = (
+    "nr",
+    "dlo",
+    "dlg",
+    "batch_nr",
+    "batch_dlo",
+    "batch_dlg",
+)
+
 #: Tolerance floor (meters): above NR's update-norm stopping
 #: criterion, so NR's own truncation can never register as disagreement.
 TOLERANCE_FLOOR_METERS = 5e-3
@@ -279,6 +290,190 @@ def _solver_runners(
     }
 
 
+def _multi_solver_runners() -> Dict[
+    str, Callable[[ObservationEpoch], Tuple[np.ndarray, Optional[float]]]
+]:
+    """Per-constellation counterparts of :func:`_solver_runners`.
+
+    Every path estimates its own per-system biases, so no predicted
+    bias is handed in; the returned "clock bias" is the first system's,
+    matching :attr:`~repro.validation.scenarios.Scenario.
+    clock_bias_meters` semantics.
+    """
+    nr_config = SolverConfig(
+        algorithm="nr",
+        tolerance_meters=_ORACLE_NR_TOLERANCE,
+        constellations="per_constellation",
+    )
+    configs = {
+        algorithm: SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        )
+        for algorithm in ("dlo", "dlg")
+    }
+
+    def scalar(config):
+        def run(epoch):
+            fix = api_solve(epoch, config)
+            return fix.position, fix.clock_bias_meters
+
+        return run
+
+    def scalar_nr(epoch):
+        fix = api_solve(epoch, nr_config)
+        return _gate_multi_nr_fix(epoch, fix.position, fix.clock_biases)
+
+    def batch_nr(epoch):
+        record = nr_config.build_batch_solver().solve_batch_full([epoch])
+        if not bool(record.converged[0]):
+            raise ReproError("batched NR did not converge for the scenario epoch")
+        return _gate_multi_nr_fix(
+            epoch,
+            record.positions[0],
+            tuple(zip(record.systems, record.constellation_biases[0])),
+        )
+
+    def batch_closed(config):
+        def run(epoch):
+            positions = api_solve_batch([epoch], config)
+            return positions[0], None
+
+        return run
+
+    return {
+        "nr": scalar_nr,
+        "dlo": scalar(configs["dlo"]),
+        "dlg": scalar(configs["dlg"]),
+        "batch_nr": batch_nr,
+        "batch_dlo": batch_closed(configs["dlo"]),
+        "batch_dlg": batch_closed(configs["dlg"]),
+    }
+
+
+def _gate_multi_nr_fix(epoch, position, clock_biases):
+    """The multi-constellation twin of :func:`_gate_nr_fix`."""
+    biases = dict(clock_biases or ())
+    positions, pseudoranges, _prns, _ids = epoch.dense()
+    ranges = np.linalg.norm(
+        positions - np.asarray(position, dtype=float), axis=1
+    )
+    per_row = np.array([biases.get(obs.system, np.nan) for obs in epoch])
+    worst = float(np.max(np.abs(ranges + per_row - pseudoranges)))
+    if not np.isfinite(worst) or worst > _NR_SPURIOUS_RESIDUAL_METERS:
+        raise ReproError(
+            "per-constellation NR converged to a spurious stationary point "
+            f"(max post-fit residual {worst:.6g} m)"
+        )
+    first = next(iter(biases.values())) if biases else None
+    return position, first
+
+
+def _cross_check(
+    references: Sequence[Tuple[str, np.ndarray, Optional[float]]],
+    tolerance: float,
+    target: ObservationEpoch,
+    ambiguity_possible: bool,
+) -> Tuple[Tuple[Disagreement, ...], Tuple[Disagreement, ...], float]:
+    """Pairwise position comparison shared by both differential modes."""
+    disagreements = []
+    ambiguities = []
+    max_separation = 0.0
+    for i, (path_a, pos_a, bias_a) in enumerate(references):
+        for path_b, pos_b, bias_b in references[i + 1 :]:
+            separation = float(np.linalg.norm(pos_a - pos_b))
+            max_separation = max(max_separation, separation)
+            if np.isfinite(separation) and separation <= tolerance:
+                continue
+            record = Disagreement(
+                path_a=path_a,
+                path_b=path_b,
+                separation_meters=separation,
+                tolerance_meters=tolerance,
+            )
+            if (
+                ambiguity_possible
+                and np.isfinite(separation)
+                and _exact_solution(target, pos_a, bias_a)
+                and _exact_solution(target, pos_b, bias_b)
+            ):
+                ambiguities.append(record)
+            else:
+                disagreements.append(record)
+    return tuple(disagreements), tuple(ambiguities), max_separation
+
+
+def run_multi_differential(
+    scenario: Scenario,
+    paths: Sequence[str] = MULTI_ORACLE_PATHS,
+    tolerance_meters: Optional[float] = None,
+    epoch: Optional[ObservationEpoch] = None,
+    compare_truth: Optional[bool] = None,
+) -> DifferentialReport:
+    """The per-constellation twin of :func:`run_differential`.
+
+    Runs every requested solver path in
+    ``constellations="per_constellation"`` mode — each path estimates
+    one clock bias per system present — and cross-checks positions
+    under the same geometry-scaled tolerance.  The four-satellite
+    mirror ambiguity cannot arise (per-constellation admissibility
+    starts at five satellites), so every wide pair is a disagreement.
+    """
+    unknown = [p for p in paths if p not in MULTI_ORACLE_PATHS]
+    if unknown:
+        raise ConfigurationError(f"unknown multi oracle paths: {unknown}")
+    target = epoch if epoch is not None else scenario.epoch
+    if compare_truth is None:
+        compare_truth = scenario.config.noise_sigma == 0.0 and epoch is None
+    tolerance = (
+        float(tolerance_meters)
+        if tolerance_meters is not None
+        else agreement_tolerance(scenario)
+    )
+
+    runners = _multi_solver_runners()
+    outcomes = []
+    for path in paths:
+        try:
+            position, clock_bias = runners[path](target)
+        except ReproError as exc:
+            outcomes.append(
+                SolverOutcome(
+                    path=path,
+                    position=None,
+                    clock_bias=None,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            outcomes.append(
+                SolverOutcome(
+                    path=path,
+                    position=np.asarray(position, dtype=float),
+                    clock_bias=clock_bias,
+                )
+            )
+
+    references = [(o.path, o.position, o.clock_bias) for o in outcomes if o.answered]
+    if compare_truth:
+        references.append(
+            ("truth", scenario.truth_position, scenario.clock_bias_meters)
+        )
+    disagreements, ambiguities, max_separation = _cross_check(
+        references, tolerance, target, ambiguity_possible=False
+    )
+
+    return DifferentialReport(
+        seed=scenario.seed,
+        satellite_count=scenario.satellite_count,
+        conditioning=scenario.conditioning,
+        tolerance_meters=tolerance,
+        outcomes=tuple(outcomes),
+        disagreements=disagreements,
+        ambiguities=ambiguities,
+        max_separation_meters=max_separation,
+    )
+
+
 def run_differential(
     scenario: Scenario,
     paths: Sequence[str] = ORACLE_PATHS,
@@ -350,31 +545,12 @@ def run_differential(
     # With exactly four satellites the system has two exact roots; a
     # wide pair where both members reproduce the measurements exactly is
     # the trilateration ambiguity, not an implementation disagreement.
-    ambiguity_possible = target.satellite_count == 4
-    disagreements = []
-    ambiguities = []
-    max_separation = 0.0
-    for i, (path_a, pos_a, bias_a) in enumerate(references):
-        for path_b, pos_b, bias_b in references[i + 1 :]:
-            separation = float(np.linalg.norm(pos_a - pos_b))
-            max_separation = max(max_separation, separation)
-            if np.isfinite(separation) and separation <= tolerance:
-                continue
-            record = Disagreement(
-                path_a=path_a,
-                path_b=path_b,
-                separation_meters=separation,
-                tolerance_meters=tolerance,
-            )
-            if (
-                ambiguity_possible
-                and np.isfinite(separation)
-                and _exact_solution(target, pos_a, bias_a)
-                and _exact_solution(target, pos_b, bias_b)
-            ):
-                ambiguities.append(record)
-            else:
-                disagreements.append(record)
+    disagreements, ambiguities, max_separation = _cross_check(
+        references,
+        tolerance,
+        target,
+        ambiguity_possible=target.satellite_count == 4,
+    )
 
     return DifferentialReport(
         seed=scenario.seed,
@@ -382,8 +558,8 @@ def run_differential(
         conditioning=scenario.conditioning,
         tolerance_meters=tolerance,
         outcomes=tuple(outcomes),
-        disagreements=tuple(disagreements),
-        ambiguities=tuple(ambiguities),
+        disagreements=disagreements,
+        ambiguities=ambiguities,
         max_separation_meters=max_separation,
     )
 

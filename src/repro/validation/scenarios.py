@@ -26,11 +26,15 @@ how far each direction is pulled into the plane.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
-from repro.solvers.direct_linear import build_difference_system
+from repro.constellation.systems import normalize_system
+from repro.solvers.direct_linear import (
+    build_difference_system,
+    build_multi_difference_system,
+)
 from repro.errors import ConfigurationError
 from repro.geodesy import geodetic_to_ecef
 from repro.observations import EpochTruth, ObservationEpoch, SatelliteObservation
@@ -66,6 +70,15 @@ class ScenarioConfig:
         Gaussian pseudorange noise (meters).  The default is zero:
         noise-free scenarios make cross-solver agreement a pure
         numerics check with tight, defensible tolerances.
+    systems:
+        GNSS systems contributing satellites, in draw order.  The
+        default ``("G",)`` reproduces the legacy GPS-only distribution
+        **bit for bit** — a single-system config consumes exactly the
+        pre-multi-constellation random stream, so historic seeds keep
+        regenerating their historic scenarios.  Additional systems draw
+        *after* that legacy stream (count in ``[3, max_satellites]``,
+        own clock bias, own sky directions under the same flatness
+        plane), each with an independent per-constellation truth bias.
     """
 
     min_satellites: int = 4
@@ -73,6 +86,7 @@ class ScenarioConfig:
     max_clock_bias_meters: float = 3.0e5
     max_flatness: float = 0.98
     noise_sigma: float = 0.0
+    systems: Tuple[str, ...] = ("G",)
 
     def __post_init__(self) -> None:
         if not 4 <= self.min_satellites <= self.max_satellites:
@@ -86,6 +100,12 @@ class ScenarioConfig:
             raise ConfigurationError("max_flatness must be in [0, 1)")
         if not np.isfinite(self.noise_sigma) or self.noise_sigma < 0:
             raise ConfigurationError("noise_sigma must be finite and >= 0")
+        systems = tuple(normalize_system(system) for system in self.systems)
+        if not systems:
+            raise ConfigurationError("systems must name at least one constellation")
+        if len(set(systems)) != len(systems):
+            raise ConfigurationError("systems lists a constellation twice")
+        object.__setattr__(self, "systems", systems)
 
     def to_dict(self) -> Dict:
         """JSON-ready form, embedded in fuzz artifacts."""
@@ -95,6 +115,7 @@ class ScenarioConfig:
             "max_clock_bias_meters": self.max_clock_bias_meters,
             "max_flatness": self.max_flatness,
             "noise_sigma": self.noise_sigma,
+            "systems": list(self.systems),
         }
 
     @classmethod
@@ -117,7 +138,9 @@ class Scenario:
         The observation epoch, truth attached.
     clock_bias_meters:
         The exact receiver clock bias baked into the pseudoranges —
-        what an oracle predictor should hand DLO/DLG.
+        what an oracle predictor should hand DLO/DLG.  Multi-system
+        scenarios bake one bias per constellation; this field carries
+        the *first* system's bias and :attr:`clock_biases` the rest.
     flatness:
         The geometry-degradation draw in ``[0, max_flatness]``.
     conditioning:
@@ -142,6 +165,11 @@ class Scenario:
     def truth_position(self) -> np.ndarray:
         """True receiver ECEF position."""
         return self.epoch.truth.receiver_position
+
+    @property
+    def clock_biases(self) -> Optional[Tuple[Tuple[str, float], ...]]:
+        """Per-constellation truth biases, ``None`` on legacy scenes."""
+        return self.epoch.truth.clock_biases
 
 
 class ScenarioGenerator:
@@ -188,7 +216,11 @@ class ScenarioGenerator:
         directions = self._sky_directions(rng, up, count, flatness, plane_normal)
         ranges = rng.uniform(*_RANGE_BAND, size=count)
 
+        # The primary constellation consumes exactly the legacy random
+        # stream above, so single-system configs stay bit-for-bit
+        # reproducible across the multi-constellation generalization.
         observations = []
+        primary = cfg.systems[0]
         for prn in range(1, count + 1):
             position = receiver + directions[prn - 1] * ranges[prn - 1]
             pseudorange = float(np.linalg.norm(position - receiver)) + bias
@@ -201,19 +233,66 @@ class ScenarioGenerator:
                     position=position,
                     pseudorange=pseudorange,
                     elevation=elevation,
+                    system=primary,
                 )
             )
+
+        # Extra constellations draw strictly after the legacy stream.
+        # A floor of 3 satellites each keeps every K <= 4 mix solvable
+        # by the differenced per-constellation system (m >= 3 + 2K).
+        biases = {primary: bias}
+        for system in cfg.systems[1:]:
+            extra_count = int(rng.integers(3, cfg.max_satellites + 1))
+            extra_bias = float(
+                rng.uniform(-cfg.max_clock_bias_meters, cfg.max_clock_bias_meters)
+            )
+            biases[system] = extra_bias
+            extra_directions = self._sky_directions(
+                rng, up, extra_count, flatness, plane_normal
+            )
+            extra_ranges = rng.uniform(*_RANGE_BAND, size=extra_count)
+            for prn in range(1, extra_count + 1):
+                position = receiver + extra_directions[prn - 1] * extra_ranges[prn - 1]
+                pseudorange = float(np.linalg.norm(position - receiver)) + extra_bias
+                if cfg.noise_sigma:
+                    pseudorange += float(rng.normal(0.0, cfg.noise_sigma))
+                elevation = float(
+                    np.arcsin(np.clip(extra_directions[prn - 1] @ up, -1.0, 1.0))
+                )
+                observations.append(
+                    SatelliteObservation(
+                        prn=prn,
+                        position=position,
+                        pseudorange=pseudorange,
+                        elevation=elevation,
+                        system=system,
+                    )
+                )
 
         epoch = ObservationEpoch(
             time=GpsTime(
                 week=_REFERENCE_WEEK, seconds_of_week=float(seed % 604800)
             ),
             observations=tuple(observations),
-            truth=EpochTruth(receiver_position=receiver, clock_bias_meters=bias),
+            truth=EpochTruth(
+                receiver_position=receiver,
+                clock_bias_meters=bias,
+                clock_biases=(
+                    tuple((system, biases[system]) for system in cfg.systems)
+                    if len(cfg.systems) > 1
+                    else None
+                ),
+            ),
         )
-        design, _rhs = build_difference_system(
-            epoch.satellite_positions(), epoch.pseudoranges() - bias
-        )
+        if len(cfg.systems) > 1:
+            positions, pseudoranges, _prns, system_ids = epoch.dense()
+            design, _rhs, _groups, _bases, _codes = build_multi_difference_system(
+                positions, pseudoranges, system_ids
+            )
+        else:
+            design, _rhs = build_difference_system(
+                epoch.satellite_positions(), epoch.pseudoranges() - bias
+            )
         return Scenario(
             seed=int(seed),
             config=cfg,

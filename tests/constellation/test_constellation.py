@@ -7,7 +7,7 @@ import pytest
 
 from repro.constellation import Constellation, Satellite
 from repro.errors import ConfigurationError
-from repro.orbits import nominal_gps_almanac
+from repro.orbits import nominal_almanac
 from repro.stations import get_station
 from repro.timebase import GpsTime
 
@@ -30,7 +30,7 @@ class TestConstruction:
         assert constellation.prns == list(range(1, 32))
 
     def test_rejects_duplicate_prns(self, epoch):
-        ephemerides = nominal_gps_almanac(epoch, satellite_count=2)
+        ephemerides = nominal_almanac(epoch, satellite_count=2)
         duplicate = [Satellite(ephemeris=ephemerides[0])] * 2
         with pytest.raises(ConfigurationError, match="duplicate"):
             Constellation(duplicate)

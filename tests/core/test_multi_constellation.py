@@ -1,0 +1,184 @@
+"""Per-constellation clock-bias solving: scalar and batched paths.
+
+The multi-constellation state is ``(x, y, z, b_1..b_K)``.  These tests
+pin the contract end to end: exact recovery on noise-free scenes,
+first-appearance bias ordering, the admissibility rules (every system
+>= 2 satellites, ``m >= 3 + 2K`` for the differenced solvers,
+``m >= 3 + K`` for NR), and scalar/batch agreement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SolverConfig, build_scene
+from repro.errors import ConfigurationError, GeometryError
+from repro.solvers import (
+    BatchDLGSolver,
+    BatchDLOSolver,
+    BatchNewtonRaphsonSolver,
+    DLGSolver,
+    DLOSolver,
+    NewtonRaphsonSolver,
+)
+
+BIASES = {"G": 120_000.0, "R": -45_000.0}
+
+
+def multi_scene(seed=0, lanes=None, biases=None, noise_sigma=0.0):
+    lanes = {"G": 6, "R": 5} if lanes is None else lanes
+    biases = BIASES if biases is None else biases
+    return build_scene(
+        lanes, clock_bias_meters=biases, seed=seed, noise_sigma=noise_sigma
+    )
+
+
+@pytest.fixture(params=["nr", "dlo", "dlg"])
+def multi_solver(request):
+    config = SolverConfig(
+        algorithm=request.param, constellations="per_constellation"
+    )
+    return config.build_solver()
+
+
+class TestScalarMulti:
+    def test_exact_recovery(self, multi_solver):
+        epoch = multi_scene()
+        fix = multi_solver.solve(epoch)
+        truth = epoch.truth.receiver_position
+        assert fix.distance_to(truth) < 1e-5
+        assert fix.clock_bias_map == pytest.approx(BIASES, abs=1e-4)
+
+    def test_bias_order_is_first_appearance(self, multi_solver):
+        epoch = multi_scene(lanes={"R": 5, "G": 6})
+        fix = multi_solver.solve(epoch)
+        assert tuple(system for system, _ in fix.clock_biases) == ("R", "G")
+
+    def test_clock_bias_meters_is_first_lane(self, multi_solver):
+        fix = multi_solver.solve(multi_scene())
+        assert fix.clock_bias_meters == fix.clock_biases[0][1]
+
+    def test_three_constellations(self, multi_solver):
+        biases = {"G": 50.0, "E": -3000.0, "C": 7.5}
+        epoch = build_scene(
+            {"G": 5, "E": 4, "C": 4}, clock_bias_meters=biases, seed=3
+        )
+        fix = multi_solver.solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-5
+        assert fix.clock_bias_map == pytest.approx(biases, abs=1e-4)
+
+    def test_single_system_epoch_still_solves(self, multi_solver):
+        epoch = build_scene({"G": 8}, clock_bias_meters={"G": 35.0}, seed=1)
+        fix = multi_solver.solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-5
+        assert fix.clock_bias_map == pytest.approx({"G": 35.0}, abs=1e-4)
+
+
+class TestAdmissibility:
+    @pytest.mark.parametrize("algorithm", ["dlo", "dlg"])
+    def test_differenced_reject_singleton_system(self, algorithm):
+        epoch = build_scene({"G": 7, "R": 1}, seed=0)
+        solver = SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        ).build_solver()
+        with pytest.raises(GeometryError, match="single satellite"):
+            solver.solve(epoch)
+
+    @pytest.mark.parametrize("algorithm", ["dlo", "dlg"])
+    def test_differenced_reject_m_below_floor(self, algorithm):
+        # 3 + 2K = 7 for K=2; six satellites cannot carry the system.
+        epoch = build_scene({"G": 3, "R": 3}, seed=0)
+        solver = SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        ).build_solver()
+        with pytest.raises(GeometryError):
+            solver.solve(epoch)
+
+    def test_nr_floor_is_3_plus_k(self):
+        # Six satellites over two systems: below the differenced floor
+        # but enough for NR's 3 + K = 5 unknowns.
+        epoch = build_scene(
+            {"G": 3, "R": 3}, clock_bias_meters={"G": 10.0, "R": -4.0}, seed=2
+        )
+        solver = SolverConfig(
+            algorithm="nr", constellations="per_constellation"
+        ).build_solver()
+        fix = solver.solve(epoch)
+        assert fix.distance_to(epoch.truth.receiver_position) < 1e-4
+
+
+class TestResidualDof:
+    def test_single_mode_is_m_minus_4(self, make_epoch):
+        epoch = make_epoch(count=8)
+        assert NewtonRaphsonSolver().residual_dof(epoch) == 4
+        assert DLGSolver().residual_dof(epoch) == 4
+
+    def test_nr_multi_is_m_minus_3_minus_k(self):
+        epoch = multi_scene()  # m=11, K=2
+        solver = NewtonRaphsonSolver(constellations="per_constellation")
+        assert solver.residual_dof(epoch) == 11 - 3 - 2
+
+    @pytest.mark.parametrize("cls", [DLOSolver, DLGSolver])
+    def test_differenced_multi_is_m_minus_3_minus_2k(self, cls):
+        epoch = multi_scene()  # m=11, K=2
+        solver = cls(constellations="per_constellation")
+        assert solver.residual_dof(epoch) == 11 - 3 - 4
+
+
+class TestBatchMulti:
+    @pytest.mark.parametrize(
+        "batch_cls,scalar_algorithm",
+        [(BatchDLOSolver, "dlo"), (BatchDLGSolver, "dlg")],
+    )
+    def test_matches_scalar(self, batch_cls, scalar_algorithm):
+        epochs = [multi_scene(seed=seed, noise_sigma=1.5) for seed in range(6)]
+        scalar = SolverConfig(
+            algorithm=scalar_algorithm, constellations="per_constellation"
+        ).build_solver()
+        batch = batch_cls(constellations="per_constellation")
+        positions = batch.solve_batch(epochs)
+        for row, epoch in enumerate(epochs):
+            expected = scalar.solve(epoch).position
+            assert np.linalg.norm(positions[row] - expected) < 1e-5
+
+    def test_multi_result_fields(self):
+        from repro.blocks import EpochBlock
+
+        epochs = [multi_scene(seed=seed) for seed in range(4)]
+        block = EpochBlock.from_epochs(epochs)
+        result = BatchDLGSolver(
+            constellations="per_constellation"
+        ).solve_block_multi(block)
+        assert result.positions.shape == (4, 3)
+        assert result.constellation_biases.shape == (4, 2)
+        assert result.systems == ("G", "R")
+        assert result.norms.shape == (4,)
+        assert np.allclose(result.constellation_biases[:, 0], BIASES["G"], atol=1e-4)
+        assert np.allclose(result.constellation_biases[:, 1], BIASES["R"], atol=1e-4)
+
+    @pytest.mark.parametrize("batch_cls", [BatchDLOSolver, BatchDLGSolver])
+    def test_rejects_predicted_biases(self, batch_cls):
+        epochs = [multi_scene(seed=seed) for seed in range(2)]
+        batch = batch_cls(constellations="per_constellation")
+        with pytest.raises(ConfigurationError, match="estimates the clock biases"):
+            batch.solve_batch(epochs, np.zeros(2))
+
+    def test_batch_nr_full_record(self):
+        epochs = [multi_scene(seed=seed) for seed in range(3)]
+        solver = BatchNewtonRaphsonSolver(constellations="per_constellation")
+        record = solver.solve_batch_full(epochs)
+        assert record.converged.all()
+        assert record.systems == ("G", "R")
+        assert record.constellation_biases.shape == (3, 2)
+        assert np.allclose(
+            record.constellation_biases[:, 0], BIASES["G"], atol=1e-3
+        )
+
+    def test_k1_multi_matches_single_nr_bitwise(self, make_epoch):
+        # A per-constellation NR on an all-GPS epoch solves literally
+        # the same linear systems as single mode: bit-identical output.
+        epochs = [make_epoch(count=8, bias_meters=35.0, seed=seed) for seed in range(5)]
+        single = BatchNewtonRaphsonSolver().solve_batch(epochs)
+        multi = BatchNewtonRaphsonSolver(
+            constellations="per_constellation"
+        ).solve_batch(epochs)
+        assert np.array_equal(single, multi)

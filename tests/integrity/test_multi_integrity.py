@@ -1,0 +1,167 @@
+"""Integrity under per-constellation solving: dof, chi-square, FDE.
+
+The widened state changes the redundancy bookkeeping everywhere a
+chi-square test runs: NR has ``m - 3 - K`` residual dof, the
+differenced solvers ``m - 3 - 2K``, and exclusion must never drop a
+satellite whose constellation would be left a singleton.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import SolverConfig, build_scene
+from repro.blocks import EpochBlock
+from repro.errors import ConfigurationError
+from repro.integrity import BatchFde, FdeConfig, RaimMonitor, chi_square_quantile
+from dataclasses import replace as dataclass_replace
+from repro.solvers import BatchDLGSolver
+
+GR_BIASES = {"G": 120.0, "R": -45.0}
+
+
+def multi_epochs(count=8, noise_sigma=3.0, lanes=None):
+    lanes = {"G": 6, "R": 5} if lanes is None else lanes
+    return [
+        build_scene(
+            lanes, clock_bias_meters=GR_BIASES, seed=seed, noise_sigma=noise_sigma
+        )
+        for seed in range(count)
+    ]
+
+
+def spike(epoch, slot, offset_meters):
+    observations = list(epoch.observations)
+    target = observations[slot]
+    observations[slot] = dataclass_replace(
+        target, pseudorange=target.pseudorange + offset_meters
+    )
+    return dataclass_replace(epoch, observations=tuple(observations))
+
+
+class TestChiSquareQuantile:
+    def test_dof_1_is_squared_normal_quantile(self):
+        # chi2_1(0.95) = Phi^-1(0.975)^2 = 1.959964^2
+        assert chi_square_quantile(0.95, 1) == pytest.approx(3.841459, abs=1e-4)
+
+    def test_dof_2_is_exponential(self):
+        for p in (0.5, 0.9, 0.99, 0.999):
+            assert chi_square_quantile(p, 2) == pytest.approx(
+                -2.0 * math.log(1.0 - p), rel=1e-12
+            )
+
+    def test_dof_3_reference_value(self):
+        # Wilson-Hilferty at chi2_3(0.95): exact value 7.8147, the
+        # approximation is good to ~0.5% here.
+        assert chi_square_quantile(0.95, 3) == pytest.approx(7.8147, rel=1e-2)
+
+    def test_monotone_in_dof(self):
+        values = [chi_square_quantile(0.99, dof) for dof in range(1, 12)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(0.0, 4)
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(1.0, 4)
+        with pytest.raises(ConfigurationError):
+            chi_square_quantile(0.95, 0)
+
+
+class TestRaimMultiDof:
+    @pytest.mark.parametrize("algorithm,dof", [("nr", 6), ("dlo", 4), ("dlg", 4)])
+    def test_monitor_uses_solver_dof(self, algorithm, dof):
+        # m=11, K=2: NR dof = 11-3-2, differenced dof = 11-3-4.
+        solver = SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        ).build_solver()
+        monitor = RaimMonitor(solver=solver)
+        epoch = multi_epochs(count=1, noise_sigma=0.0)[0]
+        assert monitor._solver_dof(epoch) == dof
+        result = monitor.check(epoch)
+        assert result.passed
+
+    def test_duck_typed_fallback_is_m_minus_4(self, make_epoch):
+        class ScriptedSolver:
+            def solve(self, epoch):
+                raise NotImplementedError
+
+        monitor = RaimMonitor(solver=ScriptedSolver())
+        assert monitor._solver_dof(make_epoch(count=9)) == 5
+
+
+class TestMultiFde:
+    def fde(self, **config):
+        solver = BatchDLGSolver(constellations="per_constellation")
+        return BatchFde(config=FdeConfig(**config), solver=solver)
+
+    def test_clean_stream_passes(self):
+        epochs = multi_epochs()
+        block = EpochBlock.from_epochs(epochs)
+        result, record = self.fde(sigma_meters=5.0).solve_block_multi(block)
+        counts = record.counts()
+        assert counts["passed"] == len(epochs)
+        assert counts["unusable"] == counts["repaired"] == 0
+        truth = np.stack([epoch.truth.receiver_position for epoch in epochs])
+        assert np.max(np.linalg.norm(result.positions - truth, axis=1)) < 50.0
+
+    def test_spiked_epoch_repaired_with_prn_identified(self):
+        epochs = multi_epochs()
+        spiked_slot = 2  # a G satellite in a 6-strong constellation
+        injected_prn = epochs[3].observations[spiked_slot].prn
+        epochs[3] = spike(epochs[3], spiked_slot, 500.0)
+        block = EpochBlock.from_epochs(epochs)
+        result, record = self.fde(sigma_meters=5.0).solve_block_multi(block)
+        verdict = record.verdict(3)
+        assert verdict.status == "repaired"
+        assert verdict.excluded_prn == injected_prn
+        truth = epochs[3].truth.receiver_position
+        assert np.linalg.norm(result.positions[3] - truth) < 50.0
+        # Repaired rows update the bias lanes in place too.
+        assert result.constellation_biases[3, 0] == pytest.approx(120.0, abs=50.0)
+
+    def test_exclusion_never_drops_into_a_singleton(self):
+        # R contributes exactly 2 satellites.  A detectable G fault must
+        # repair by dropping the spiked G satellite — never an R one,
+        # whose survivor would be a singleton with an unobservable bias.
+        epochs = multi_epochs(lanes={"G": 7, "R": 2})
+        g_slot = 2
+        assert epochs[1].observations[g_slot].system == "G"
+        injected_prn = epochs[1].observations[g_slot].prn
+        epochs[1] = spike(epochs[1], g_slot, 500.0)
+        block = EpochBlock.from_epochs(epochs)
+        _result, record = self.fde(sigma_meters=5.0).solve_block_multi(block)
+        verdict = record.verdict(1)
+        assert verdict.status == "repaired"
+        assert verdict.excluded_prn == injected_prn
+        excluded_slot = [obs.prn for obs in epochs[1].observations].index(
+            verdict.excluded_prn
+        )
+        assert epochs[1].observations[excluded_slot].system == "G"
+
+    def test_two_satellite_constellation_fault_aliases_into_its_bias(self):
+        # A 2-satellite constellation contributes one differenced
+        # equation with its own free bias unknown, so a fault there is
+        # invisible to the residual test by construction: the epoch
+        # passes, the position (carried by the other constellation)
+        # stays accurate, and the spike lands in the faulty system's
+        # bias lane.
+        epochs = multi_epochs(lanes={"G": 7, "R": 2}, noise_sigma=1.0)
+        r_slot = 7
+        assert epochs[1].observations[r_slot].system == "R"
+        epochs[1] = spike(epochs[1], r_slot, 500.0)
+        block = EpochBlock.from_epochs(epochs)
+        result, record = self.fde(sigma_meters=5.0).solve_block_multi(block)
+        assert record.verdict(1).status == "passed"
+        truth = epochs[1].truth.receiver_position
+        assert np.linalg.norm(result.positions[1] - truth) < 20.0
+        r_lane = result.systems.index("R")
+        assert abs(result.constellation_biases[1, r_lane] - (-45.0)) > 200.0
+
+    def test_detection_floor_is_4_plus_2k(self):
+        # m=7, K=2: dof = 7-3-4 = 0 -> no test possible, all unchecked.
+        epochs = multi_epochs(lanes={"G": 4, "R": 3})
+        block = EpochBlock.from_epochs(epochs)
+        _result, record = self.fde(sigma_meters=5.0).solve_block_multi(block)
+        assert record.counts()["unchecked"] == len(epochs)

@@ -237,3 +237,62 @@ class TestResponseLane:
         arrays["resp_positions"][0, 0] = 1.0
         with pytest.raises(TornBatchError):
             read_response(arrays, 0, 4, 3, {}, "dlg", 3)
+
+
+class TestMultiRequestLane:
+    """System tags across the shm boundary.
+
+    A mixed stream — pure GPS, G+R, and R+G (same count and totals,
+    different slot pattern) — must come back from the slab with the
+    same buckets in the same order, system lanes intact, so the
+    worker's multi-constellation kernels see exactly the in-process
+    blocks.
+    """
+
+    def mixed_epochs(self):
+        from repro.api import build_scene
+
+        biases = {"G": 120.0, "R": -45.0}
+        return [
+            build_scene({"G": 11}, clock_bias_meters={"G": 120.0}, seed=0),
+            build_scene({"G": 6, "R": 5}, clock_bias_meters=biases, seed=1),
+            build_scene({"R": 5, "G": 6}, clock_bias_meters=biases, seed=2),
+            build_scene({"G": 6, "R": 5}, clock_bias_meters=biases, seed=3),
+        ]
+
+    def test_mixed_patterns_round_trip_bitwise(self):
+        packed = pack_stream(self.mixed_epochs())
+        # Pattern-split buckets: G-11, G6R5 (rows 1 and 3), R5G6.
+        assert len(packed.buckets) == 3
+        arrays, _config = _arrays()
+        write_request(arrays, 0, 5, packed, None)
+        rebuilt, _biases = read_request(arrays, 0, 5)
+        assert len(rebuilt.buckets) == len(packed.buckets)
+        for ours, theirs in zip(rebuilt.buckets, packed.buckets):
+            assert ours.satellite_count == theirs.satellite_count
+            assert np.array_equal(ours.indices, theirs.indices)
+            assert ours.block.systems.dtype == theirs.block.systems.dtype
+            assert np.array_equal(ours.block.systems, theirs.block.systems)
+            assert np.array_equal(ours.block.positions, theirs.block.positions)
+            assert np.array_equal(
+                ours.block.pseudoranges, theirs.block.pseudoranges
+            )
+
+    def test_materialize_restores_system_codes(self):
+        from repro.service.executor import BatchExecutor
+
+        epochs = self.mixed_epochs()
+        packed = pack_stream(epochs)
+        arrays, _config = _arrays()
+        write_request(arrays, 1, 7, packed, None)
+        rebuilt, _biases = read_request(arrays, 1, 7)
+        restored = BatchExecutor.materialize(rebuilt)
+        assert len(restored) == len(epochs)
+        for original, epoch in zip(epochs, restored):
+            assert epoch is not None
+            assert [obs.system for obs in epoch.observations] == [
+                obs.system for obs in original.observations
+            ]
+            assert [obs.prn for obs in epoch.observations] == [
+                obs.prn for obs in original.observations
+            ]

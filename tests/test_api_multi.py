@@ -1,0 +1,180 @@
+"""The facade's multi-constellation surface: config, scenes, dispatch.
+
+``constellations="per_constellation"`` changes what a config may
+carry (no external bias sources, no 4-state warm start, no Bancroft)
+and what the solve paths return; :func:`repro.api.build_scene` is the
+one reproducible scene constructor both modes share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SolverConfig, build_scene, solve, solve_batch
+from repro.clocks import LinearClockBiasPredictor
+from repro.errors import ConfigurationError
+
+GR_BIASES = {"G": 120.0, "R": -45.0}
+
+
+def gr_scene(seed=0, **kwargs):
+    return build_scene(
+        {"G": 6, "R": 5}, clock_bias_meters=GR_BIASES, seed=seed, **kwargs
+    )
+
+
+class TestPerConstellationConfig:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="constellations"):
+            SolverConfig(constellations="dual")
+
+    def test_bancroft_rejected(self):
+        with pytest.raises(ConfigurationError, match="[Bb]ancroft"):
+            SolverConfig(
+                algorithm="bancroft", constellations="per_constellation"
+            )
+
+    def test_fixed_bias_rejected(self):
+        with pytest.raises(ConfigurationError, match="estimates the clock"):
+            SolverConfig(
+                constellations="per_constellation", clock_bias_meters=10.0
+            )
+
+    def test_predictor_rejected(self):
+        with pytest.raises(ConfigurationError, match="estimates the clock"):
+            SolverConfig(
+                constellations="per_constellation",
+                clock_predictor=LinearClockBiasPredictor(),
+            )
+
+    def test_initial_state_rejected(self):
+        with pytest.raises(ConfigurationError, match="initial_state"):
+            SolverConfig(
+                algorithm="nr",
+                constellations="per_constellation",
+                initial_state=(0.0, 0.0, 0.0, 0.0),
+            )
+
+    @pytest.mark.parametrize("algorithm", ["nr", "dlo", "dlg"])
+    def test_mode_threads_into_built_solvers(self, algorithm):
+        config = SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        )
+        assert config.build_solver().constellations == "per_constellation"
+        assert config.build_batch_solver().constellations == "per_constellation"
+
+    def test_nr_fallback_keeps_mode(self):
+        config = SolverConfig(
+            algorithm="dlg", constellations="per_constellation"
+        )
+        assert config.nr_fallback().constellations == "per_constellation"
+
+
+class TestMultiSolveDispatch:
+    @pytest.mark.parametrize("algorithm", ["nr", "dlo", "dlg"])
+    def test_solve_recovers_position_and_biases(self, algorithm):
+        epoch = gr_scene(seed=3)
+        fix = solve(
+            epoch,
+            SolverConfig(
+                algorithm=algorithm, constellations="per_constellation"
+            ),
+        )
+        assert np.linalg.norm(fix.position - epoch.truth.receiver_position) < 1e-4
+        assert fix.clock_bias_map == pytest.approx(GR_BIASES, abs=1e-4)
+        # The legacy scalar field is the first constellation's lane.
+        assert fix.clock_bias_meters == pytest.approx(120.0, abs=1e-4)
+
+    @pytest.mark.parametrize("algorithm", ["nr", "dlo", "dlg"])
+    def test_solve_batch_multi(self, algorithm):
+        epochs = [gr_scene(seed=seed) for seed in range(4)]
+        config = SolverConfig(
+            algorithm=algorithm, constellations="per_constellation"
+        )
+        positions = solve_batch(epochs, config)
+        assert positions.shape == (4, 3)
+        for epoch, row in zip(epochs, positions):
+            assert np.linalg.norm(row - epoch.truth.receiver_position) < 1e-4
+
+    def test_solve_batch_multi_rejects_predicted_biases(self):
+        epochs = [gr_scene(seed=seed) for seed in range(3)]
+        config = SolverConfig(
+            algorithm="dlg", constellations="per_constellation"
+        )
+        with pytest.raises(ConfigurationError, match="estimates the clock"):
+            solve_batch(epochs, config, biases=[0.0, 0.0, 0.0])
+
+    def test_single_mode_ignores_tags(self):
+        # A tagged scene through a single-mode solver keeps the paper's
+        # one-bias model: solvable when the biases coincide.
+        epoch = build_scene(
+            {"G": 5, "R": 4}, clock_bias_meters=35.0, seed=2
+        )
+        fix = solve(epoch, SolverConfig(clock_bias_meters=35.0))
+        assert np.linalg.norm(fix.position - epoch.truth.receiver_position) < 1e-5
+        assert fix.clock_biases is None
+
+
+class TestBuildScene:
+    def test_int_count_is_legacy_shape(self):
+        epoch = build_scene(8, clock_bias_meters=35.0, seed=1)
+        assert len(epoch.observations) == 8
+        assert {obs.system for obs in epoch.observations} == {"G"}
+        assert epoch.truth.clock_bias_meters == 35.0
+        assert epoch.truth.clock_biases is None
+
+    def test_mapping_tags_and_orders_systems(self):
+        epoch = gr_scene()
+        systems = [obs.system for obs in epoch.observations]
+        assert systems == ["G"] * 6 + ["R"] * 5
+        assert epoch.truth.clock_biases == (("G", 120.0), ("R", -45.0))
+        assert epoch.truth.clock_bias_meters == 120.0  # first lane
+
+    def test_mapping_order_is_preserved(self):
+        epoch = build_scene(
+            {"R": 5, "G": 6}, clock_bias_meters=GR_BIASES, seed=0
+        )
+        assert epoch.truth.clock_biases[0] == ("R", -45.0)
+        assert epoch.truth.clock_bias_meters == -45.0
+
+    def test_deterministic_by_seed(self):
+        a, b = gr_scene(seed=9), gr_scene(seed=9)
+        assert np.array_equal(a.dense()[1], b.dense()[1])
+        assert not np.array_equal(a.dense()[1], gr_scene(seed=10).dense()[1])
+
+    def test_zero_noise_scene_is_exactly_consistent(self):
+        epoch = gr_scene(seed=4)
+        truth = epoch.truth.receiver_position
+        biases = dict(epoch.truth.clock_biases)
+        for obs in epoch.observations:
+            expected = np.linalg.norm(obs.position - truth) + biases[obs.system]
+            assert obs.pseudorange == pytest.approx(expected, abs=1e-6)
+
+    def test_lowercase_codes_normalized(self):
+        epoch = build_scene({"g": 3, "r": 3}, seed=0)
+        assert {obs.system for obs in epoch.observations} == {"G", "R"}
+
+    def test_rejects_duplicate_system_after_normalization(self):
+        with pytest.raises(ConfigurationError, match="twice"):
+            build_scene({"g": 3, "G": 4})
+
+    def test_rejects_empty_and_nonpositive_counts(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            build_scene({})
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            build_scene({"G": 4, "R": 0})
+
+    def test_rejects_bias_for_absent_system(self):
+        with pytest.raises(ConfigurationError, match="not in the scene"):
+            build_scene({"G": 5}, clock_bias_meters={"G": 1.0, "E": 2.0})
+
+    def test_omitted_bias_defaults_to_zero(self):
+        epoch = build_scene(
+            {"G": 5, "R": 4}, clock_bias_meters={"G": 7.0}, seed=0
+        )
+        assert dict(epoch.truth.clock_biases) == {"G": 7.0, "R": 0.0}
+
+    def test_rejects_non_finite_inputs(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            build_scene({"G": 5}, clock_bias_meters={"G": float("nan")})
+        with pytest.raises(ConfigurationError, match="noise_sigma"):
+            build_scene(5, noise_sigma=-1.0)
