@@ -83,6 +83,13 @@ class EpochBlock:
         the satellite axis.  ``None`` defaults to all-GPS (zeros), so
         every pre-existing single-constellation producer keeps working
         unchanged.
+    cn0:
+        Optional ``(N, m)`` C/N0 lane (dB-Hz, float64), NaN-padded
+        where a channel reported no carrier-to-noise ratio.  ``None``
+        (the default) means the stream carries no signal features at
+        all — the solvers never read this lane, only the
+        signal-plausibility monitors do, so blocks built from plain
+        pseudorange streams pay nothing for it.
 
     All arrays are read-only: a block is a value, shared freely across
     tiers without defensive copies.
@@ -96,6 +103,7 @@ class EpochBlock:
     truth_positions: np.ndarray
     truth_biases: np.ndarray
     systems: Optional[np.ndarray] = None
+    cn0: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         positions = np.asarray(self.positions, dtype=float)
@@ -142,6 +150,13 @@ class EpochBlock:
                 raise ConfigurationError(
                     "system ids must be in [0, 3] (G/R/E/C)"
                 )
+        cn0 = self.cn0
+        if cn0 is not None:
+            cn0 = np.asarray(cn0, dtype=float)
+            if cn0.shape != (n, m):
+                raise ConfigurationError(
+                    f"cn0 shape {cn0.shape} does not match positions ({n}, {m})"
+                )
         object.__setattr__(self, "positions", _read_only(positions))
         object.__setattr__(self, "pseudoranges", _read_only(pseudoranges))
         object.__setattr__(self, "prns", _read_only(prns))
@@ -150,6 +165,9 @@ class EpochBlock:
         object.__setattr__(self, "truth_positions", _read_only(truth_positions))
         object.__setattr__(self, "truth_biases", _read_only(truth_biases))
         object.__setattr__(self, "systems", _read_only(systems))
+        object.__setattr__(
+            self, "cn0", None if cn0 is None else _read_only(cn0)
+        )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -216,6 +234,11 @@ class EpochBlock:
         if not epochs:
             raise GeometryError("an EpochBlock needs at least one epoch")
         m = len(epochs[0].observations)
+        # The C/N0 lane is packed only when the stream actually carries
+        # signal features (probed on the first epoch, like the lane's
+        # producers populate it: all epochs or none).  Plain pseudorange
+        # streams keep the lane at None and pay nothing.
+        carries_cn0 = bool(np.isfinite(epochs[0].cn0()).any()) if m else False
         position_rows: List[np.ndarray] = []
         pseudorange_rows: List[np.ndarray] = []
         prn_rows: List[np.ndarray] = []
@@ -266,6 +289,11 @@ class EpochBlock:
                 if m
                 else np.empty((len(epochs), 0), dtype=np.int8)
             ),
+            cn0=(
+                np.stack([epoch.cn0() for epoch in epochs])
+                if carries_cn0
+                else None
+            ),
         )
 
     def to_epochs(self) -> List[ObservationEpoch]:
@@ -279,6 +307,7 @@ class EpochBlock:
         """
         epochs: List[ObservationEpoch] = []
         has_truth = self.has_truth()
+        cn0 = self.cn0
         for i in range(len(self)):
             observations = tuple(
                 SatelliteObservation(
@@ -286,6 +315,11 @@ class EpochBlock:
                     position=self.positions[i, j].copy(),
                     pseudorange=float(self.pseudoranges[i, j]),
                     system=system_code(int(self.systems[i, j])),
+                    cn0_dbhz=(
+                        float(cn0[i, j])
+                        if cn0 is not None and np.isfinite(cn0[i, j])
+                        else None
+                    ),
                 )
                 for j in range(self.satellite_count)
             )
@@ -313,6 +347,7 @@ class EpochBlock:
             truth_positions=self.truth_positions[rows],
             truth_biases=self.truth_biases[rows],
             systems=self.systems[rows],
+            cn0=None if self.cn0 is None else self.cn0[rows],
         )
 
     # ------------------------------------------------------------------
@@ -542,6 +577,12 @@ def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
     for count, pattern in group_keys:
         rows = dense_rows[(count, pattern)]
         n = len(rows)
+        # Same first-epoch probe as EpochBlock.from_epochs: the C/N0
+        # lane is stacked only for groups whose stream reports signal
+        # features, so pseudorange-only streams never touch it.
+        carries_cn0 = (
+            bool(np.isfinite(rows[0][1].cn0()).any()) if count else False
+        )
         weeks = np.empty(n, dtype=np.int64)
         sow = np.empty(n)
         truth_positions = np.full((n, 3), np.nan)
@@ -574,6 +615,11 @@ def pack_stream(epochs: Sequence[ObservationEpoch]) -> PackedStream:
                 np.stack([dense[3] for _i, _e, dense in rows])
                 if count
                 else np.empty((n, 0), dtype=np.int8)
+            ),
+            cn0=(
+                np.stack([epoch.cn0() for _i, epoch, _d in rows])
+                if carries_cn0
+                else None
             ),
             weeks=weeks,
             seconds_of_week=sow,

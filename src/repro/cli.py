@@ -267,6 +267,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the --fde verdict JSON to this path",
     )
     fuzz.add_argument(
+        "--spoof",
+        action="store_true",
+        help="chaos-test the signal-plausibility monitor suite instead "
+        "of the oracle fuzz loop: seeded spoofing/interference streams "
+        "(meaconing, slow drag, clock pull, jamming) through the "
+        "monitor-armed executor, graded on in-time detection and "
+        "clean-stream false-alarm rate",
+    )
+    fuzz.add_argument(
+        "--spoof-out",
+        default=None,
+        metavar="PATH",
+        help="write the --spoof verdict JSON to this path",
+    )
+    fuzz.add_argument(
         "--artifacts-dir",
         default="fuzz-artifacts",
         metavar="DIR",
@@ -595,8 +610,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         replay_artifact,
     )
 
+    if args.fde and args.spoof:
+        raise ConfigurationError("--fde and --spoof are mutually exclusive")
     if args.fde:
         return _cmd_fuzz_fde(args)
+    if args.spoof:
+        return _cmd_fuzz_spoof(args)
 
     if args.replay:
         recorded = json.loads(open(args.replay).read())
@@ -706,6 +725,67 @@ def _cmd_fuzz_fde(args: argparse.Namespace) -> int:
         with open(args.fde_out, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"wrote chaos verdict to {args.fde_out}")
+    return exit_code(report.ok)
+
+
+def _cmd_fuzz_spoof(args: argparse.Namespace) -> int:
+    from repro.validation import MonitorChaosConfig, run_monitor_chaos
+
+    if args.inject is not None:
+        raise ConfigurationError(
+            "--spoof chaos mode draws its own attack population "
+            "(meaconing, slow_drag, clock_pull, jamming_ramp); drop "
+            "--inject"
+        )
+    config = MonitorChaosConfig(
+        scenarios=args.scenarios if args.scenarios is not None else 400,
+        start_seed=args.seed,
+    )
+    with _metrics_sink(args.metrics_out):
+        report = run_monitor_chaos(config)
+    gates = report.to_dict()["gates"]
+    print(
+        f"spoof chaos: {report.attacks} attacked + {report.clean_streams} "
+        f"clean streams from seed {config.start_seed} "
+        f"({config.epochs_per_stream} epochs/stream, onset "
+        f"{config.onset_seconds:g} s, sigma {config.sigma_meters:g} m)"
+    )
+    print(
+        f"  detection: {report.detected_in_time}/{report.attacks} in time "
+        f"({100 * report.detection_rate:.1f}%, floor "
+        f"{100 * config.detection_floor:.0f}%) "
+        f"[{'PASS' if report.detection_ok else 'FAIL'}]"
+    )
+    for family, stats in report.families.items():
+        times = stats.to_dict()["time_to_detect_seconds"]
+        latency = (
+            f", mean ttd {times['mean']:.1f} s"
+            if times["mean"] is not None
+            else ""
+        )
+        print(
+            f"    {family}: {stats.detected_in_time}/{stats.attacks} in "
+            f"time ({stats.detected} detected{latency})"
+        )
+    print(
+        f"  false alarms: {report.false_alarm_epochs}/{report.clean_epochs} "
+        f"clean epochs ({100 * report.false_alarm_rate:.2f}%, budget "
+        f"{100 * gates['false_alarm']['budget']:.2f}%) "
+        f"[{'PASS' if report.false_alarm_ok else 'FAIL'}]"
+    )
+    for case in report.mistakes[:8]:
+        print(
+            f"    seed {case.seed} [{case.family}]: {case.outcome}"
+            + (
+                f" (detected at {case.detect_second:g} s)"
+                if case.detect_second is not None
+                else ""
+            )
+        )
+    if args.spoof_out:
+        with open(args.spoof_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote chaos verdict to {args.spoof_out}")
     return exit_code(report.ok)
 
 

@@ -56,6 +56,31 @@ class TimingStats:
         """Best-pass throughput in items (fixes) per second."""
         return 1e9 / self.best_ns
 
+    @classmethod
+    def from_samples(
+        cls, per_item_ns: Sequence[float], items: int
+    ) -> "TimingStats":
+        """Aggregate already-measured per-item pass times.
+
+        For harnesses that interleave several measured operations in
+        one loop (so slow drift — thermal throttling, allocator state —
+        lands on every arm equally) and therefore cannot hand
+        :func:`time_callable` a single operation.
+        """
+        if items < 1:
+            raise ConfigurationError("items must be at least 1")
+        if not per_item_ns:
+            raise ConfigurationError("from_samples needs at least one pass")
+        ordered = sorted(per_item_ns)
+        return cls(
+            best_ns=ordered[0],
+            mean_ns=sum(per_item_ns) / len(per_item_ns),
+            p50_ns=_percentile(ordered, 0.50),
+            p95_ns=_percentile(ordered, 0.95),
+            repeats=len(per_item_ns),
+            items=items,
+        )
+
 
 def _percentile(sorted_values: "list[float]", fraction: float) -> float:
     """Nearest-rank percentile of an ascending list.
@@ -94,15 +119,7 @@ def time_callable(
         start = time.perf_counter_ns()
         operation()
         per_item.append((time.perf_counter_ns() - start) / items)
-    ordered = sorted(per_item)
-    return TimingStats(
-        best_ns=ordered[0],
-        mean_ns=sum(per_item) / len(per_item),
-        p50_ns=_percentile(ordered, 0.50),
-        p95_ns=_percentile(ordered, 0.95),
-        repeats=repeats,
-        items=items,
-    )
+    return TimingStats.from_samples(per_item, items)
 
 
 def time_solver_stats(

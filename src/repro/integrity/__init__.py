@@ -12,6 +12,11 @@ Three layers, stacked by time horizon:
 * :mod:`repro.integrity.health` — :class:`SatelliteHealthTracker`,
   cross-epoch exclusion memory with quarantine, probation, and
   reinstatement backoff.
+* :mod:`repro.integrity.monitors` — the signal-plausibility plane:
+  streaming C/N0, clock-drift, and stationarity monitors that catch
+  the residual-consistent attacks (spoofing, meaconing, jamming) FDE
+  is structurally blind to, with M-of-N confirmation and graceful
+  ``suspect``/``spoofed`` degradation.
 """
 
 from repro.integrity.fde import (
@@ -31,9 +36,49 @@ from repro.integrity.health import (
     HealthConfig,
     SatelliteHealthTracker,
 )
+from repro.integrity.monitors import (
+    AndFiltered,
+    ClockDriftRateMonitor,
+    Cn0AgcProxyMonitor,
+    Cn0ConsistencyMonitor,
+    Cn0DropMonitor,
+    Cn0ThresholdMonitor,
+    EpochMonitorVerdict,
+    MOfNFiltered,
+    MonitorConfig,
+    MonitorRecord,
+    MonitorSuite,
+    MonitorVerdict,
+    SEVERITY_NAMES,
+    SEVERITY_NOMINAL,
+    SEVERITY_SPOOFED,
+    SEVERITY_SUSPECT,
+    StationaryPositionMonitor,
+    StationaryVelocityMonitor,
+    StreamingMonitor,
+)
 from repro.integrity.raim import RaimMonitor, RaimResult, chi_square_quantile
 
 __all__ = [
+    "AndFiltered",
+    "ClockDriftRateMonitor",
+    "Cn0AgcProxyMonitor",
+    "Cn0ConsistencyMonitor",
+    "Cn0DropMonitor",
+    "Cn0ThresholdMonitor",
+    "EpochMonitorVerdict",
+    "MOfNFiltered",
+    "MonitorConfig",
+    "MonitorRecord",
+    "MonitorSuite",
+    "MonitorVerdict",
+    "SEVERITY_NAMES",
+    "SEVERITY_NOMINAL",
+    "SEVERITY_SPOOFED",
+    "SEVERITY_SUSPECT",
+    "StationaryPositionMonitor",
+    "StationaryVelocityMonitor",
+    "StreamingMonitor",
     "BatchFde",
     "EpochVerdict",
     "FdeConfig",

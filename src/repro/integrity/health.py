@@ -122,6 +122,8 @@ class _PrnRecord:
         "quarantine_until",
         "strikes",
         "probation_left",
+        "last_strike_epoch",
+        "last_monitor_epoch",
     )
 
     def __init__(self) -> None:
@@ -130,6 +132,8 @@ class _PrnRecord:
         self.quarantine_until = 0
         self.strikes = 0  # lifetime quarantine count, drives backoff
         self.probation_left = 0  # > 0 means on probation
+        self.last_strike_epoch = -1  # dedupes multi-source strikes
+        self.last_monitor_epoch = -1  # epoch of the last monitor strike
 
 
 class SatelliteHealthTracker:
@@ -193,6 +197,12 @@ class SatelliteHealthTracker:
         record = self._records.setdefault(prn, _PrnRecord())
         if record.quarantined:
             return  # already serving; nothing new to learn
+        if record.last_monitor_epoch == self._epoch:
+            # A monitor already struck this PRN this epoch: the FDE
+            # exclusion is the second witness to the same event, not
+            # new evidence (the mirror image of the monitor-side dedup).
+            return
+        record.last_strike_epoch = self._epoch
         if record.probation_left > 0:
             # Probation is one-strike: the satellite already proved
             # flappy, so a single exclusion re-quarantines with backoff.
@@ -204,6 +214,29 @@ class SatelliteHealthTracker:
         if len(record.exclusion_epochs) >= self._config.exclusion_threshold:
             record.exclusion_epochs.clear()
             self._quarantine(record)
+
+    def record_monitor_strike(self, prn: int) -> bool:
+        """A signal-plausibility monitor strike against ``prn``.
+
+        Monitors and per-epoch FDE are *independent witnesses to the
+        same event*: when both flag one satellite in the same admitted
+        epoch, that is one piece of evidence, not two.  This entry
+        point therefore dedupes against any strike (FDE or monitor)
+        already recorded for the PRN this epoch, and otherwise counts
+        exactly like :meth:`record_exclusion` — same window, threshold,
+        probation one-strike rule, and reinstatement backoff.
+
+        Returns whether the strike was counted (``False`` when deduped
+        or the PRN is already quarantined).
+        """
+        record = self._records.setdefault(prn, _PrnRecord())
+        if record.quarantined or record.last_strike_epoch == self._epoch:
+            return False
+        # Count first, mark second: the monitor-epoch stamp exists to
+        # dedupe a *later* FDE exclusion this epoch, not this call.
+        self.record_exclusion(prn)
+        record.last_monitor_epoch = self._epoch
+        return True
 
     def record_clean(self, prns: Iterable[int]) -> None:
         """Satellites that served in a passed (un-excluded) epoch."""

@@ -66,6 +66,13 @@ class SatelliteObservation:
         Optional satellite ECEF velocity (m/s) at transmit time,
         computed receiver-side from the broadcast ephemeris; required
         alongside ``range_rate`` for velocity estimation.
+    cn0_dbhz:
+        Optional carrier-to-noise density ratio (dB-Hz) reported by the
+        tracking channel.  Not used by the point solvers; consumed by
+        the signal-plausibility monitors
+        (:mod:`repro.integrity.monitors`), which compare it against the
+        elevation-dependent nominal curve to flag jamming and spoofing
+        signatures that residual-based RAIM cannot see.
     """
 
     prn: int
@@ -78,6 +85,7 @@ class SatelliteObservation:
     range_rate: Optional[float] = None
     velocity: Optional[np.ndarray] = None
     system: str = DEFAULT_SYSTEM
+    cn0_dbhz: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "system", normalize_system(self.system))
@@ -99,6 +107,8 @@ class SatelliteObservation:
             )
         if self.range_rate is not None and not np.isfinite(self.range_rate):
             raise ConfigurationError("range_rate must be finite when present")
+        if self.cn0_dbhz is not None and not np.isfinite(self.cn0_dbhz):
+            raise ConfigurationError("cn0_dbhz must be finite when present")
         if self.velocity is not None:
             velocity = np.asarray(self.velocity, dtype=float)
             if velocity.shape != (3,) or not np.all(np.isfinite(velocity)):
@@ -267,6 +277,28 @@ class ObservationEpoch:
                 array.flags.writeable = False
             cached = (positions, pseudoranges, prns, system_ids)
             object.__setattr__(self, "_dense", cached)
+        return cached
+
+    def cn0(self) -> np.ndarray:
+        """``(m,)`` C/N0 lane (dB-Hz), ``NaN`` where unreported.
+
+        Packed once and memoized like :meth:`dense`, and kept *outside*
+        it so the solver hot path never pays for a lane only the
+        signal-plausibility monitors read.  The returned array is
+        read-only; an epoch with no C/N0 at all yields all-NaN, which
+        every monitor treats as "feature absent" rather than an alarm.
+        """
+        cached = self.__dict__.get("_cn0")
+        if cached is None:
+            cached = np.array(
+                [
+                    float("nan") if obs.cn0_dbhz is None else float(obs.cn0_dbhz)
+                    for obs in self.observations
+                ],
+                dtype=float,
+            )
+            cached.flags.writeable = False
+            object.__setattr__(self, "_cn0", cached)
         return cached
 
     def satellite_positions(self) -> np.ndarray:

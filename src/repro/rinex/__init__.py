@@ -16,6 +16,7 @@ deployment would exercise (files in, epochs out) is covered end to end:
 """
 
 from repro.rinex.types import (
+    SSI_STEP_DBHZ,
     ObservationHeader,
     ObservationRecord,
     ObservationData,
@@ -29,6 +30,7 @@ from repro.rinex.nav_reader import read_navigation_file
 from repro.rinex.reconstruct import reconstruct_epochs
 
 __all__ = [
+    "SSI_STEP_DBHZ",
     "ObservationHeader",
     "ObservationRecord",
     "ObservationData",

@@ -40,8 +40,15 @@ def parse_fortran_double(text: str) -> float:
         raise RinexError(f"malformed RINEX float field: {text!r}") from exc
 
 
-def observation_value(value: float) -> str:
-    """Format an observable as RINEX ``F14.3`` plus blank LLI/SSI flags."""
+def observation_value(value: float, ssi: int = 0) -> str:
+    """Format an observable as RINEX ``F14.3`` + blank LLI + SSI flag.
+
+    ``ssi`` is the signal-strength-indicator digit (1-9); 0 leaves the
+    flag column blank (strength not recorded).
+    """
     if abs(value) >= 1e10:
         raise RinexError(f"observable {value} does not fit in an F14.3 field")
-    return f"{value:14.3f}  "
+    if not 0 <= ssi <= 9:
+        raise RinexError(f"SSI flag {ssi} outside the RINEX 0-9 range")
+    flag = str(ssi) if ssi else " "
+    return f"{value:14.3f} {flag}"

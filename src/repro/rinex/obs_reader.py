@@ -113,15 +113,29 @@ def _parse_records(
 
         time, prns, index = _parse_epoch_line(lines, index)
         observables: Dict[int, Dict[str, float]] = {}
+        signal_strength: Dict[int, Dict[str, int]] = {}
         for prn in prns:
             if index >= len(lines):
                 raise RinexError(
                     f"file truncated: missing observation line for PRN {prn}"
                 )
-            values = _parse_observation_line(lines[index], type_count, index)
+            values, ssis = _parse_observation_line(lines[index], type_count, index)
             observables[prn] = dict(zip(header.observation_types, values))
+            flags = {
+                code: ssi
+                for code, ssi in zip(header.observation_types, ssis)
+                if ssi
+            }
+            if flags:
+                signal_strength[prn] = flags
             index += 1
-        records.append(ObservationRecord(time=time, observables=observables))
+        records.append(
+            ObservationRecord(
+                time=time,
+                observables=observables,
+                signal_strength=signal_strength,
+            )
+        )
 
     return records
 
@@ -175,8 +189,16 @@ def _parse_epoch_line(lines: List[str], index: int):
     return time, prns, index
 
 
-def _parse_observation_line(line: str, type_count: int, index: int) -> List[float]:
+def _parse_observation_line(
+    line: str, type_count: int, index: int
+) -> Tuple[List[float], List[int]]:
+    """One satellite's observables plus their SSI flag digits.
+
+    Each 16-column slot is ``F14.3`` value + LLI digit + SSI digit; a
+    blank SSI column means "strength not recorded" and parses as 0.
+    """
     values: List[float] = []
+    ssis: List[int] = []
     for slot in range(type_count):
         field = line[slot * 16 : slot * 16 + 14]
         if not field.strip():
@@ -187,4 +209,10 @@ def _parse_observation_line(line: str, type_count: int, index: int) -> List[floa
             raise RinexError(
                 f"malformed observable {field!r} at line {index + 1}"
             ) from exc
-    return values
+        flag = line[slot * 16 + 15 : slot * 16 + 16].strip()
+        if flag and not flag.isdigit():
+            raise RinexError(
+                f"malformed SSI flag {flag!r} at line {index + 1}"
+            )
+        ssis.append(int(flag) if flag else 0)
+    return values, ssis

@@ -1,4 +1,4 @@
-"""RINEX 2.11 observation file writer (GPS; C1 and optional L1)."""
+"""RINEX 2.11 observation file writer (GPS; C1, optional L1 and S1)."""
 
 from __future__ import annotations
 
@@ -9,13 +9,18 @@ from repro.constants import L1_WAVELENGTH
 from repro.errors import RinexError
 from repro.observations import ObservationEpoch, SatelliteObservation
 from repro.rinex.format import header_line, observation_value
-from repro.rinex.types import ObservationHeader, gps_to_calendar
+from repro.rinex.types import SSI_STEP_DBHZ, ObservationHeader, gps_to_calendar
 
 #: Satellites per epoch-line before continuation lines are needed.
 _SATS_PER_EPOCH_LINE = 12
 
 #: Observable sets the writer knows how to emit.
-_SUPPORTED_TYPE_SETS = (("C1",), ("C1", "L1"))
+_SUPPORTED_TYPE_SETS = (
+    ("C1",),
+    ("C1", "L1"),
+    ("C1", "S1"),
+    ("C1", "L1", "S1"),
+)
 
 
 def write_observation_file(
@@ -27,7 +32,10 @@ def write_observation_file(
 
     Supports the ``C1`` code pseudorange (L1 C/A — Table 5.1's "all
     measurements are based on the L1 signal") and, when the header
-    lists it, the ``L1`` carrier phase in cycles.
+    lists them, the ``L1`` carrier phase in cycles and the ``S1``
+    signal strength in dB-Hz.  Observations carrying a C/N0 also get
+    the per-observable SSI flag digit, so strength round-trips even
+    through a C1-only header (coarsely, via the flag).
 
     Returns the number of epoch records written.
     """
@@ -85,9 +93,18 @@ def _epoch_lines(epoch: ObservationEpoch, types):
         yield " " * 32 + "".join(f"G{prn:02d}" for prn in chunk)
 
     for obs in epoch.observations:
+        ssi = _ssi_from_cn0(obs.cn0_dbhz)
         yield "".join(
-            observation_value(_observable_value(obs, code)) for code in types
+            observation_value(_observable_value(obs, code), ssi)
+            for code in types
         ).rstrip()
+
+
+def _ssi_from_cn0(cn0_dbhz) -> int:
+    """Project a C/N0 onto the RINEX 1-9 SSI flag digit (0 = unknown)."""
+    if cn0_dbhz is None:
+        return 0
+    return max(1, min(9, int(cn0_dbhz // SSI_STEP_DBHZ)))
 
 
 def _observable_value(obs: SatelliteObservation, code: str) -> float:
@@ -100,4 +117,11 @@ def _observable_value(obs: SatelliteObservation, code: str) -> float:
                 "but the header announces L1"
             )
         return obs.carrier_range / L1_WAVELENGTH  # RINEX phase is in cycles
+    if code == "S1":
+        if obs.cn0_dbhz is None:
+            raise RinexError(
+                f"epoch observation for PRN {obs.prn} has no C/N0 "
+                "but the header announces S1"
+            )
+        return obs.cn0_dbhz
     raise RinexError(f"unsupported observable code {code!r}")

@@ -107,6 +107,10 @@ def reconstruct_epochs(
                         if carrier_cycles is not None
                         else None
                     ),
+                    # S1 observable when present, SSI flag digit as the
+                    # coarse fallback — the lane the plausibility
+                    # monitors read on real station replays.
+                    cn0_dbhz=record.cn0_dbhz(prn, observable),
                 )
             )
 

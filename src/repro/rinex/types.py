@@ -4,10 +4,17 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import RinexError
 from repro.timebase import GpsTime
+
+#: Width of one RINEX signal-strength-indicator step in dB-Hz.  The
+#: SSI flag digit projects C/N0 onto nine coarse intervals ("1:
+#: minimum possible ... 5: threshold for good S/N ... 9: maximum"),
+#: conventionally ~6 dB-Hz each, so digit ``n`` reads back as
+#: ``6 * n`` dB-Hz when no ``S*`` observable carries the real value.
+SSI_STEP_DBHZ = 6.0
 
 #: The GPS epoch as a calendar instant; RINEX GPS-time tags are civil
 #: renderings of the continuous GPS scale (no leap seconds applied).
@@ -79,11 +86,33 @@ class ObservationRecord:
     time: GpsTime
     #: PRN -> observable code -> value (meters for code pseudoranges).
     observables: Dict[int, Dict[str, float]]
+    #: PRN -> observable code -> SSI flag digit (1-9); only non-blank,
+    #: non-zero flags are recorded.
+    signal_strength: Dict[int, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def prns(self) -> List[int]:
         """PRNs present in this record, sorted."""
         return sorted(self.observables)
+
+    def cn0_dbhz(self, prn: int, observable: str = "C1") -> Optional[float]:
+        """Best-effort C/N0 for one satellite, in dB-Hz.
+
+        Prefers the matching ``S*`` signal-strength observable (``S1``
+        for ``C1``) when the file carries one; otherwise falls back to
+        the observable's SSI flag digit scaled by
+        :data:`SSI_STEP_DBHZ`.  Returns ``None`` when the file recorded
+        neither — C/N0 is genuinely unknown, not zero.
+        """
+        values = self.observables.get(prn)
+        if values is not None:
+            strength = values.get("S" + observable[1:])
+            if strength is not None and strength > 0:
+                return strength
+        ssi = self.signal_strength.get(prn, {}).get(observable, 0)
+        if ssi > 0:
+            return SSI_STEP_DBHZ * ssi
+        return None
 
 
 @dataclass

@@ -24,10 +24,21 @@ Two entry points cover the two transports:
 
 Both return the same ``(outcomes, BatchMeta)`` shape, where each
 outcome is the tuple
-``(status, position, clock_bias, solver, error, verdict)`` the service
-tier turns into :class:`~repro.service.types.ServiceResult`\\ s.  The
-cross-process determinism suite holds the two entry points to bitwise
-agreement on identical batches.
+``(status, position, clock_bias, solver, error, verdict, monitor)``
+the service tier turns into
+:class:`~repro.service.types.ServiceResult`\\ s.  The cross-process
+determinism suite holds the two entry points to bitwise agreement on
+identical batches.
+
+When the config arms the signal-plausibility plane
+(``config.monitors``), every successfully batched solve is also
+observed by a :class:`~repro.integrity.monitors.MonitorSuite`:
+per-epoch verdicts ride the outcomes, confirmed-``spoofed`` epochs are
+blocked (``status="failed"``) when ``block_spoofed`` is set, and
+flagged satellites feed the health tracker as monitor strikes.  The
+suite's ring-buffer state is keyed on epoch order alone, so the shard
+worker and the in-process loop produce bitwise-identical verdicts for
+the same stream however it is batched.
 """
 
 from __future__ import annotations
@@ -43,6 +54,13 @@ from repro.engine import PositioningEngine
 from repro.errors import ReproError
 from repro.integrity.fde import EpochVerdict
 from repro.integrity.health import SatelliteHealthTracker
+from repro.integrity.monitors import (
+    EpochMonitorVerdict,
+    MonitorRecord,
+    MonitorSuite,
+    SEVERITY_NAMES,
+    SEVERITY_SPOOFED,
+)
 from repro.observations import (
     EpochTruth,
     ObservationEpoch,
@@ -52,7 +70,7 @@ from repro.observations import (
 from repro.telemetry import get_registry
 
 #: One per-request outcome:
-#: ``(status, position, clock_bias, solver, error, verdict)``.
+#: ``(status, position, clock_bias, solver, error, verdict, monitor)``.
 Outcome = Tuple[
     str,
     Optional[np.ndarray],
@@ -60,6 +78,7 @@ Outcome = Tuple[
     Optional[str],
     Optional[str],
     Optional[EpochVerdict],
+    Optional[EpochMonitorVerdict],
 ]
 
 
@@ -99,7 +118,14 @@ class BatchMeta:
 class _ExecutorMetrics:
     """Pre-resolved integrity telemetry children for one registry."""
 
-    __slots__ = ("registry", "preexclusions", "_integrity_family", "_children")
+    __slots__ = (
+        "registry",
+        "preexclusions",
+        "_integrity_family",
+        "_children",
+        "_monitor_family",
+        "_monitor_children",
+    )
 
     def __init__(self, registry) -> None:
         self.registry = registry
@@ -113,12 +139,25 @@ class _ExecutorMetrics:
             labels=("status",),
         )
         self._children: dict = {}
+        self._monitor_family = registry.counter(
+            "repro_service_monitor_verdicts_total",
+            "Signal-plausibility verdicts on served epochs.",
+            labels=("severity",),
+        )
+        self._monitor_children: dict = {}
 
     def integrity_child(self, status: str):
         child = self._children.get(status)
         if child is None:
             child = self._integrity_family.labels(status=status)
             self._children[status] = child
+        return child
+
+    def monitor_child(self, severity: str):
+        child = self._monitor_children.get(severity)
+        if child is None:
+            child = self._monitor_family.labels(severity=severity)
+            self._monitor_children[severity] = child
         return child
 
 
@@ -149,10 +188,16 @@ class BatchExecutor:
         )
         if health_tracker is not None:
             self._tracker: Optional[SatelliteHealthTracker] = health_tracker
-        elif config.integrity is not None:
+        elif config.integrity is not None or config.health is not None:
+            # FDE always gets a breaker; a monitors-only config gets one
+            # when health tracking is explicitly armed (monitor strikes
+            # then drive quarantine exactly like exclusions).
             self._tracker = SatelliteHealthTracker(config.health)
         else:
             self._tracker = None
+        self._monitors: Optional[MonitorSuite] = (
+            config.monitors.build() if config.monitors is not None else None
+        )
         solver_config = config.solver
         self._scalar = solver_config.build_solver()
         self._nr_scalar = (
@@ -178,6 +223,11 @@ class BatchExecutor:
     def health_tracker(self) -> Optional[SatelliteHealthTracker]:
         """The integrity circuit breaker, when armed."""
         return self._tracker
+
+    @property
+    def monitor_suite(self) -> Optional[MonitorSuite]:
+        """The signal-plausibility monitor suite, when armed."""
+        return self._monitors
 
     def _telemetry(self) -> Optional[_ExecutorMetrics]:
         registry = get_registry()
@@ -248,13 +298,13 @@ class BatchExecutor:
         if self._tracker is not None:
             epochs = self.admit(epochs)
         biases = self._resolve_biases(epochs, bias_overrides)
+        # Pack the flushed batch into columnar blocks here, at the
+        # request/array boundary — the engine and everything below it
+        # (solvers, FDE, the monitor suite) then runs zero-copy on
+        # these arrays.
+        packed = pack_stream(epochs)
         try:
-            # Pack the flushed batch into columnar blocks here, at the
-            # request/array boundary — the engine and everything below
-            # it (solvers, FDE) then run zero-copy on these arrays.
-            stream = self._engine.solve_stream(
-                pack_stream(epochs), biases, on_undersized="drop"
-            )
+            stream = self._engine.solve_stream(packed, biases, on_undersized="drop")
         except ReproError:
             # Rung 2/3: the batched solve rejects whole buckets, so one
             # poisoned epoch fails its batchmates here.  Re-solve
@@ -275,6 +325,7 @@ class BatchExecutor:
             stream,
             lambda index: epochs[index].prns,
             lambda index: epoch_integrity_error(epochs[index]),
+            self._observe_monitors(packed, stream),
         )
         return outcomes, BatchMeta(
             rung="batch",
@@ -351,13 +402,16 @@ class BatchExecutor:
                         None,
                         "epoch failed batch screening",
                         None,
+                        None,
                     )
                     for index, epoch in enumerate(epochs)
                 ],
                 BatchMeta(rung="scalar"),
             )
         prns_for, detail_for = self._packed_accessors(packed)
-        outcomes = self._stream_outcomes(stream, prns_for, detail_for)
+        outcomes = self._stream_outcomes(
+            stream, prns_for, detail_for, self._observe_monitors(packed, stream)
+        )
         return outcomes, BatchMeta(
             rung="batch",
             stage_seconds=stream.stage_seconds,
@@ -368,15 +422,59 @@ class BatchExecutor:
 
     # -- shared internals ----------------------------------------------
 
-    def _stream_outcomes(self, stream, prns_for, detail_for):
+    def _observe_monitors(self, packed, stream) -> Optional[MonitorRecord]:
+        """Run the monitor suite over one solved batch, when armed.
+
+        The suite sees the stream exactly as solved — NaN rows for
+        screened/unrepaired epochs included — so its carried state
+        depends only on epoch order, never on how the service batched
+        the stream (the shard-parity contract).
+        """
+        if self._monitors is None:
+            return None
+        return self._monitors.observe_stream(packed, stream.positions)
+
+    def _observe_monitor_record(self, record: MonitorRecord) -> None:
+        """Batch monitor accounting for one segment: telemetry, strikes."""
+        metrics = self._telemetry()
+        if metrics is not None:
+            counts = np.bincount(
+                record.severities, minlength=len(SEVERITY_NAMES)
+            )
+            for level, name in enumerate(SEVERITY_NAMES):
+                if counts[level]:
+                    metrics.monitor_child(name).inc(int(counts[level]))
+        if self._tracker is not None:
+            # Monitors name satellites only when a per-satellite
+            # statistic implicates them (C/N0 monitors); consistent
+            # whole-constellation attacks flag nothing and strike
+            # nothing — quarantining every satellite would just blind
+            # the receiver the attacker is already blinding.
+            for index in np.flatnonzero(record.severities == SEVERITY_SPOOFED):
+                for key in record.flagged_keys(int(index), SEVERITY_SPOOFED):
+                    self._tracker.record_monitor_strike(key >> 2)
+
+    def _stream_outcomes(self, stream, prns_for, detail_for, monitors=None):
         """Scatter one engine result into per-request outcomes."""
         algorithm = self._engine.algorithm
         fde = stream.diagnostics.fde
+        block_spoofed = (
+            self._config.monitors is not None and self._config.monitors.block_spoofed
+        )
         screened = set(stream.diagnostics.invalid_indices) | set(
             stream.diagnostics.dropped_indices
         )
+        alerted = None
+        if monitors is not None:
+            self._observe_monitor_record(monitors)
+            alerted = set(np.flatnonzero(monitors.severities).tolist())
         outcomes: List[Outcome] = []
         for index in range(len(stream.positions)):
+            monitor = (
+                monitors.verdict(index)
+                if alerted is not None and index in alerted
+                else None
+            )
             if index in screened:
                 detail = detail_for(index)
                 outcomes.append(
@@ -387,6 +485,7 @@ class BatchExecutor:
                         None,
                         detail or "epoch failed batch screening",
                         None,
+                        monitor,
                     )
                 )
                 continue
@@ -406,9 +505,29 @@ class BatchExecutor:
                             f"{verdict.threshold:.1f}) and no single-satellite "
                             "exclusion repairs the epoch",
                             verdict,
+                            monitor,
                         )
                     )
                     continue
+            if (
+                block_spoofed
+                and monitor is not None
+                and monitor.severity == SEVERITY_NAMES[SEVERITY_SPOOFED]
+            ):
+                tripped = ", ".join(m.monitor for m in monitor.monitors)
+                outcomes.append(
+                    (
+                        "failed",
+                        None,
+                        None,
+                        None,
+                        "monitors: epoch confirmed spoofed "
+                        f"({tripped}); fix withheld",
+                        verdict,
+                        monitor,
+                    )
+                )
+                continue
             outcomes.append(
                 (
                     "ok",
@@ -417,6 +536,7 @@ class BatchExecutor:
                     algorithm,
                     None,
                     verdict,
+                    monitor,
                 )
             )
         if fde is not None and self._tracker is not None:
@@ -556,7 +676,7 @@ class BatchExecutor:
         """Degradation rungs for one epoch: scalar primary, then NR."""
         detail = epoch_integrity_error(epoch)
         if detail is not None:
-            return ("invalid", None, None, None, detail, None)
+            return ("invalid", None, None, None, detail, None, None)
         algorithm = self._config.solver.algorithm
         solver = self._scalar
         if bias_override is not None:
@@ -574,10 +694,11 @@ class BatchExecutor:
                 f"{algorithm}/scalar",
                 None,
                 None,
+                None,
             )
         except ReproError as primary_error:
             if self._nr_scalar is None:
-                return ("failed", None, None, None, str(primary_error), None)
+                return ("failed", None, None, None, str(primary_error), None, None)
             try:
                 fix = self._nr_scalar.solve(epoch)
             except ReproError as fallback_error:
@@ -588,12 +709,14 @@ class BatchExecutor:
                     None,
                     f"{algorithm}: {primary_error}; nr fallback: {fallback_error}",
                     None,
+                    None,
                 )
             return (
                 "ok",
                 fix.position,
                 fix.clock_bias_meters,
                 f"{algorithm}/nr-fallback",
+                None,
                 None,
                 None,
             )

@@ -62,6 +62,7 @@ from repro.telemetry.recorder import (
     TRIGGER_DEGRADED,
     TRIGGER_FDE_EXCLUSION,
     TRIGGER_FDE_UNREPAIRED,
+    TRIGGER_MONITOR,
     FixRecord,
     FlightRecorder,
     config_hash,
@@ -554,7 +555,7 @@ class PositioningService:
         statuses: List[str] = []
         latencies: List[float] = []
         for index, (request, outcome) in enumerate(zip(live, outcomes)):
-            status, position, bias, solver, error, verdict = outcome
+            status, position, bias, solver, error, verdict, monitor = outcome
             if (
                 request.deadline is not None
                 and resolved_at >= request.deadline
@@ -565,6 +566,7 @@ class PositioningService:
                 status, position, bias, solver = "timeout", None, None, None
                 error = "deadline expired during batch solve"
                 verdict = None
+                monitor = None
             trace = None
             if request.trace is not None:
                 # Constructed directly (not via assemble_request_trace)
@@ -599,6 +601,7 @@ class PositioningService:
                 dispatched_at=solve_started,
                 completed_at=resolved_at,
                 trace=trace,
+                monitor=monitor,
             )
             # Resolve the caller's future inline; the metric, SLO, and
             # flight-recorder accounting for the whole flush is batched
@@ -618,11 +621,11 @@ class PositioningService:
                 latencies.append(resolved_at - request.submitted_at)
             if recording:
                 # Mirror of _build_fix_record's trigger derivation: an
-                # FDE exclusion/unrepaired verdict, a deadline miss, or
-                # a degraded solver rung ("dlg/scalar") is an anomaly
-                # and builds its record (and dump) eagerly; everything
-                # else defers construction to the recorder's read
-                # paths.
+                # FDE exclusion/unrepaired verdict, a deadline miss, a
+                # degraded solver rung ("dlg/scalar"), or a raised
+                # signal-plausibility verdict is an anomaly and builds
+                # its record (and dump) eagerly; everything else defers
+                # construction to the recorder's read paths.
                 if (
                     status == "timeout"
                     or (
@@ -630,6 +633,7 @@ class PositioningService:
                         and verdict.status in ("repaired", "unusable")
                     )
                     or (solver is not None and "/" in solver)
+                    or monitor is not None
                 ):
                     record = self._build_fix_record(
                         request,
@@ -748,6 +752,13 @@ class PositioningService:
         elif result.solver is not None and "/" in result.solver:
             # "dlg/scalar", "dlg/nr-fallback": the ladder degraded.
             trigger = TRIGGER_DEGRADED
+        monitor_dict = None
+        if result.monitor is not None:
+            monitor_dict = result.monitor.to_dict()
+            if trigger is None:
+                # FDE/timeout/degradation triggers take precedence in
+                # the taxonomy; the verdict still rides the record.
+                trigger = TRIGGER_MONITOR
         if trigger is None:
             epoch_dict = None
             solver_spec = self._base_solver_spec
@@ -821,6 +832,7 @@ class PositioningService:
             attributes,
             epoch,  # epoch_ref
             context,
+            monitor_dict,
         )
 
     # -- solving -------------------------------------------------------

@@ -194,6 +194,7 @@ def slab_layout(config: ShardConfig) -> SlabLayout:
         .add("req_sats", (slots, n), "<i8")
         .add("req_positions", (slots, n, m, 3), "<f8")
         .add("req_pseudoranges", (slots, n, m), "<f8")
+        .add("req_cn0", (slots, n, m), "<f8")
         .add("req_prns", (slots, n, m), "<i8")
         .add("req_systems", (slots, n, m), "<i1")
         .add("req_weeks", (slots, n), "<i8")
@@ -232,6 +233,10 @@ def write_request(
     arrays["req_count"][slot] = n
     sats = arrays["req_sats"][slot]
     sats[:n] = 0
+    # Slots are reused: the C/N0 lane must be NaN-filled (not left
+    # over from the previous occupant) because "all-NaN" is how a
+    # bucket with no signal features reads back as a None lane.
+    arrays["req_cn0"][slot, :n] = np.nan
     if biases is None:
         arrays["req_biases"][slot, :n] = np.nan
     else:
@@ -243,6 +248,8 @@ def write_request(
         sats[rows] = m
         arrays["req_positions"][slot, rows, :m] = block.positions
         arrays["req_pseudoranges"][slot, rows, :m] = block.pseudoranges
+        if block.cn0 is not None:
+            arrays["req_cn0"][slot, rows, :m] = block.cn0
         arrays["req_prns"][slot, rows, :m] = block.prns
         arrays["req_systems"][slot, rows, :m] = block.systems
         arrays["req_weeks"][slot, rows] = block.weeks
@@ -284,9 +291,15 @@ def read_request(
         for grouped in pattern_rows.values():  # insertion == stream order
             rows = np.asarray(grouped, dtype=np.intp)
             count = rows.size
+            cn0 = arrays["req_cn0"][slot, rows, :m].copy()
             block = EpochBlock(
                 positions=arrays["req_positions"][slot, rows, :m].copy(),
                 pseudoranges=arrays["req_pseudoranges"][slot, rows, :m].copy(),
+                # First-row probe, exactly like EpochBlock.from_epochs:
+                # an all-NaN first row decodes as "no signal features"
+                # (the producers fill all epochs or none), so the lane
+                # is None precisely when the in-process pack's would be.
+                cn0=cn0 if np.isfinite(cn0[0]).any() else None,
                 prns=arrays["req_prns"][slot, rows, :m].copy(),
                 systems=arrays["req_systems"][slot, rows, :m].copy(),
                 weeks=arrays["req_weeks"][slot, rows].copy(),
@@ -316,12 +329,14 @@ def write_response(
     slot: int,
     sequence: int,
     outcomes: Sequence,
-) -> Dict[int, str]:
+) -> Tuple[Dict[int, str], Dict[int, Dict]]:
     """Encode executor outcomes into one response slot (worker side).
 
-    Returns the row → error-string map for the control pipe (strings
-    are the one outcome field that does not fit a fixed-width lane;
-    they are rare — only failed/invalid rows carry one).
+    Returns ``(errors, monitors)`` for the control pipe: the row →
+    error-string map and the row → monitor-verdict-dict map (the two
+    outcome fields that do not fit a fixed-width lane; both are rare —
+    only failed/invalid rows carry an error, only non-nominal epochs a
+    monitor verdict).
     """
     n = len(outcomes)
     stamp_begin(arrays["resp_begin"], slot, sequence)
@@ -331,8 +346,11 @@ def write_response(
     positions = arrays["resp_positions"][slot]
     biases = arrays["resp_biases"][slot]
     errors: Dict[int, str] = {}
+    monitors: Dict[int, Dict] = {}
     for row, outcome in enumerate(outcomes):
-        row_status, position, bias, solver, error, verdict = outcome
+        row_status, position, bias, solver, error, verdict, monitor = outcome
+        if monitor is not None:
+            monitors[row] = monitor.to_dict()
         status[row] = _STATUS_CODES.index(row_status)
         if position is not None:
             positions[row] = position
@@ -360,7 +378,7 @@ def write_response(
         if error is not None:
             errors[row] = error
     stamp_end(arrays["resp_end"], slot, sequence)
-    return errors
+    return errors, monitors
 
 
 def read_response(
@@ -371,9 +389,16 @@ def read_response(
     errors: Dict[int, str],
     algorithm: str,
     batch_size: int,
+    monitors: Optional[Dict[int, Dict]] = None,
 ) -> List[ServiceResult]:
-    """Decode one sealed response slot into results (router side)."""
+    """Decode one sealed response slot into results (router side).
+
+    ``monitors`` is the row → monitor-verdict-dict map shipped in the
+    worker's ``done`` message; a crash-recovered sealed slot decodes
+    without one (the verdicts died with the worker's pipe).
+    """
     from repro.integrity.fde import EpochVerdict
+    from repro.integrity.monitors import EpochMonitorVerdict
 
     check_sealed(arrays["resp_begin"], arrays["resp_end"], slot, sequence)
     status = arrays["resp_status"][slot]
@@ -397,6 +422,11 @@ def read_response(
         if code >= 0:
             solver = algorithm + _SOLVER_CODES[code]
         bias = float(arrays["resp_biases"][slot, row])
+        monitor = None
+        if monitors is not None:
+            payload = monitors.get(row)
+            if payload is not None:
+                monitor = EpochMonitorVerdict.from_dict(payload)
         results.append(
             ServiceResult(
                 status=row_status,
@@ -410,6 +440,7 @@ def read_response(
                 error=errors.get(row),
                 batch_size=batch_size,
                 integrity=verdict,
+                monitor=monitor,
             )
         )
     return results
@@ -485,11 +516,11 @@ def worker_main(
                 for row in range(min(crash_after, len(outcomes))):
                     arrays["resp_positions"][slot, row] = 1.0
                 os._exit(17)
-            errors = write_response(arrays, slot, sequence, outcomes)
+            errors, monitors = write_response(arrays, slot, sequence, outcomes)
             batches.inc()
             heartbeat[0] += 1
             heartbeat[1] = time.monotonic_ns()
-            conn.send(("done", slot, sequence, len(outcomes), errors))
+            conn.send(("done", slot, sequence, len(outcomes), errors, monitors))
     finally:
         del arrays, heartbeat
         slab.close()
@@ -740,7 +771,9 @@ class ShardedPositioningService:
                 )
                 outcomes, _meta = self._inline.execute(chunk, overrides)
                 for row, outcome in enumerate(outcomes):
-                    status, position, bias, solver, error, verdict = outcome
+                    status, position, bias, solver, error, verdict, monitor = (
+                        outcome
+                    )
                     results[offset + row] = ServiceResult(
                         status=status,
                         position=position,
@@ -749,6 +782,7 @@ class ShardedPositioningService:
                         error=error,
                         batch_size=count,
                         integrity=verdict,
+                        monitor=monitor,
                     )
                 if metrics is not None:
                     metrics.batches.inc()
@@ -856,7 +890,7 @@ class ShardedPositioningService:
                 message = worker.conn.recv()
                 if message[0] != "done":
                     continue  # stray scrape replies handled elsewhere
-                _kind, slot, sequence, count, errors = message
+                _kind, slot, sequence, count, errors, monitors = message
                 entry = worker.inflight.get(slot)
                 if entry is None or entry[0] != sequence:
                     continue  # stale slot from before a restart
@@ -869,6 +903,7 @@ class ShardedPositioningService:
                     errors,
                     self._algorithm,
                     batch_count,
+                    monitors,
                 )
                 del worker.inflight[slot]
                 worker.free_slots.append(slot)

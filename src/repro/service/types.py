@@ -20,6 +20,7 @@ from repro.api import BATCH_ALGORITHMS, SolverConfig
 from repro.errors import ConfigurationError
 from repro.integrity.fde import EpochVerdict, FdeConfig
 from repro.integrity.health import HealthConfig
+from repro.integrity.monitors import EpochMonitorVerdict, MonitorConfig
 from repro.telemetry.recorder import RecorderConfig
 from repro.telemetry.slo import SloConfig
 from repro.telemetry.trace import RequestTrace
@@ -105,6 +106,19 @@ class ServiceConfig:
         quantiles, availability, and error-budget tracking over every
         finished request, published at scrape time.  ``None``
         (default) tracks nothing.
+    monitors:
+        Arm the signal-plausibility plane with this
+        :class:`~repro.integrity.monitors.MonitorConfig`: streaming
+        C/N0, clock-drift, and stationarity monitors watch every
+        solved batch and their per-epoch verdicts ride the results.
+        Confirmed-``spoofed`` epochs come back ``status="failed"``
+        when ``monitors.block_spoofed`` (the default) instead of
+        serving a fix the monitors call hostile; ``suspect`` epochs
+        are served but tagged.  Orthogonal to ``integrity`` — FDE
+        checks residual consistency, monitors check signal
+        plausibility — but when both are armed, monitor-flagged
+        satellites feed the same health tracker.  ``None`` (default)
+        runs no monitors.
     """
 
     solver: SolverConfig = field(default_factory=SolverConfig)
@@ -119,6 +133,7 @@ class ServiceConfig:
     trace: bool = False
     recorder: Optional[RecorderConfig] = None
     slo: Optional[SloConfig] = None
+    monitors: Optional[MonitorConfig] = None
 
     def __post_init__(self) -> None:
         if self.solver.algorithm not in BATCH_ALGORITHMS:
@@ -131,10 +146,11 @@ class ServiceConfig:
                 "the integrity rung needs chi-square-scaled residuals, which "
                 f"only DLG provides; got solver.algorithm={self.solver.algorithm!r}"
             )
-        if self.health is not None and self.integrity is None:
+        if self.health is not None and self.integrity is None and self.monitors is None:
             raise ConfigurationError(
-                "health tracking is driven by integrity verdicts; set "
-                "integrity=FdeConfig(...) alongside health"
+                "health tracking is driven by integrity verdicts and monitor "
+                "strikes; set integrity=FdeConfig(...) or monitors="
+                "MonitorConfig(...) alongside health"
             )
         if self.max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -199,6 +215,13 @@ class ServiceResult:
         The request's span tree and batch lineage
         (:class:`~repro.telemetry.trace.RequestTrace`) when the
         service runs with ``ServiceConfig(trace=True)``, else ``None``.
+    monitor:
+        The signal-plausibility verdict for this request's epoch
+        (:class:`~repro.integrity.monitors.EpochMonitorVerdict`) when
+        the service runs with monitors armed *and* at least one
+        monitor raised — nominal epochs carry ``None`` so the common
+        case stays allocation-free.  A ``spoofed`` verdict accompanies
+        ``status="failed"`` when blocking is on.
     """
 
     status: str
@@ -215,6 +238,7 @@ class ServiceResult:
     dispatched_at: Optional[float] = None
     completed_at: Optional[float] = None
     trace: Optional[RequestTrace] = field(default=None, compare=False)
+    monitor: Optional[EpochMonitorVerdict] = None
 
     def __post_init__(self) -> None:
         if self.status not in RESULT_STATUSES:
@@ -254,4 +278,5 @@ class ServiceResult:
             "dispatched_at": self.dispatched_at,
             "completed_at": self.completed_at,
             "trace": None if self.trace is None else self.trace.to_dict(),
+            "monitor": None if self.monitor is None else self.monitor.to_dict(),
         }

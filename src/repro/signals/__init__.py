@@ -25,6 +25,15 @@ from repro.signals.dualfreq import (
     ionosphere_free_pseudorange,
     NOISE_AMPLIFICATION,
 )
+from repro.signals.features import (
+    SignalFeatureConfig,
+    SignalFeatureModel,
+    agc_proxy_db,
+    carrier_code_divergence,
+    divergence_rate,
+    elevations_from_geometry,
+    nominal_cn0_dbhz,
+)
 
 __all__ = [
     "sagnac_rotation",
@@ -39,4 +48,11 @@ __all__ = [
     "ionosphere_free_epoch",
     "ionosphere_free_pseudorange",
     "NOISE_AMPLIFICATION",
+    "SignalFeatureConfig",
+    "SignalFeatureModel",
+    "agc_proxy_db",
+    "carrier_code_divergence",
+    "divergence_rate",
+    "elevations_from_geometry",
+    "nominal_cn0_dbhz",
 ]

@@ -53,12 +53,14 @@ TRIGGER_FDE_UNREPAIRED = "fde_unrepaired"
 TRIGGER_DEADLINE_MISS = "deadline_miss"
 TRIGGER_DEGRADED = "degraded"
 TRIGGER_FLOAT32_AUDIT = "float32_audit"
+TRIGGER_MONITOR = "monitor_alert"
 TRIGGERS: Tuple[str, ...] = (
     TRIGGER_FDE_EXCLUSION,
     TRIGGER_FDE_UNREPAIRED,
     TRIGGER_DEADLINE_MISS,
     TRIGGER_DEGRADED,
     TRIGGER_FLOAT32_AUDIT,
+    TRIGGER_MONITOR,
 )
 
 
@@ -244,6 +246,7 @@ class FixRecord:
         "attributes",
         "epoch_ref",
         "context",
+        "monitor",
     )
 
     def __init__(
@@ -266,6 +269,7 @@ class FixRecord:
         attributes: Optional[Dict] = None,
         epoch_ref: Optional[object] = None,
         context: Optional[object] = None,
+        monitor: Optional[Dict] = None,
     ) -> None:
         self._request_id = request_id
         self.status = status
@@ -294,6 +298,9 @@ class FixRecord:
         # are None the strings format here on first read instead of on
         # the serving path.
         self.context = context
+        # The signal-plausibility verdict dict, set only when a monitor
+        # raised on this fix (nominal epochs carry None).
+        self.monitor = monitor
 
     @property
     def request_id(self) -> str:
@@ -361,6 +368,7 @@ class FixRecord:
                 else self.trace
             ),
             "attributes": dict(self.attributes),
+            "monitor": self.monitor,
         }
 
 

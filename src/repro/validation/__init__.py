@@ -18,7 +18,11 @@ The subsystem that tests the rest of the library *against itself*:
 * :mod:`repro.validation.fdechaos` — the chaos loop behind
   ``repro-gps fuzz --fde``: seeded pseudorange spikes against the
   batch FDE gate, graded on injected-PRN identification and realized
-  false-alarm rate.
+  false-alarm rate;
+* :mod:`repro.validation.monitorchaos` — the chaos loop behind
+  ``repro-gps fuzz --spoof``: seeded spoofing/interference streams
+  against the signal-plausibility monitor suite, graded on in-time
+  detection and clean-stream false-alarm rate.
 """
 
 from repro.validation.fdechaos import (
@@ -28,17 +32,32 @@ from repro.validation.fdechaos import (
     run_fde_chaos,
 )
 
+from repro.validation.monitorchaos import (
+    ATTACK_FAMILIES,
+    FamilyStats,
+    MonitorChaosCase,
+    MonitorChaosConfig,
+    MonitorChaosReport,
+    run_monitor_chaos,
+)
+
 from repro.validation.faults import (
     EXPECT_ANSWERED,
     EXPECT_REJECTED,
     FAULT_REGISTRY,
+    SPOOF_FAULTS,
     ClockJump,
+    ClockPull,
     CompositeFault,
     DuplicateSatellite,
     FaultProfile,
+    JammingRamp,
+    Meaconing,
     NonFiniteMeasurement,
     PseudorangeSpike,
     SatelliteDropout,
+    SlowPositionDrag,
+    SpoofFault,
     fault_from_spec,
 )
 from repro.validation.fuzzer import (
@@ -83,18 +102,30 @@ __all__ = [
     "EXPECT_ANSWERED",
     "EXPECT_REJECTED",
     "FAULT_REGISTRY",
+    "SPOOF_FAULTS",
     "ClockJump",
+    "ClockPull",
     "CompositeFault",
     "DuplicateSatellite",
     "FaultProfile",
+    "JammingRamp",
+    "Meaconing",
     "NonFiniteMeasurement",
     "PseudorangeSpike",
     "SatelliteDropout",
+    "SlowPositionDrag",
+    "SpoofFault",
     "fault_from_spec",
     "FdeChaosCase",
     "FdeChaosConfig",
     "FdeChaosReport",
     "run_fde_chaos",
+    "ATTACK_FAMILIES",
+    "FamilyStats",
+    "MonitorChaosCase",
+    "MonitorChaosConfig",
+    "MonitorChaosReport",
+    "run_monitor_chaos",
     "FUZZ_FAILURE_KINDS",
     "FuzzCaseResult",
     "FuzzConfig",

@@ -49,6 +49,7 @@ def _unvalidated_observation(template: SatelliteObservation, **overrides) -> Sat
     decoder that trusts its input.
     """
     observation = object.__new__(SatelliteObservation)
+    defaults = {"system": "G", "cn0_dbhz": None}
     for fld in (
         "prn",
         "position",
@@ -59,8 +60,10 @@ def _unvalidated_observation(template: SatelliteObservation, **overrides) -> Sat
         "pseudorange_l2",
         "range_rate",
         "velocity",
+        "system",
+        "cn0_dbhz",
     ):
-        value = overrides.get(fld, getattr(template, fld))
+        value = overrides.get(fld, getattr(template, fld, defaults.get(fld)))
         object.__setattr__(observation, fld, value)
     return observation
 
@@ -273,6 +276,270 @@ class CompositeFault(FaultProfile):
         return CompositeFault(self.profiles + (other,))
 
 
+# -- spoof / interference profiles --------------------------------------
+class SpoofFault(FaultProfile):
+    """Base for coordinated spoofing and interference attacks.
+
+    Unlike the point faults above, a spoof evolves over a *stream*: its
+    magnitude at each epoch is a pure function of that epoch's own time
+    against an ``onset_seconds`` origin — never of injector state — so
+    applying a profile epoch-by-epoch, chunked, or in parallel produces
+    the identical attack, and a replay artifact reproduces it exactly.
+
+    Every profile in this family keeps the epoch *self-consistent*:
+    residual-based RAIM/FDE sees (almost) nothing by construction.
+    That is the point — these are the attacks the signal-plausibility
+    monitors (:mod:`repro.integrity.monitors`) exist to catch, and
+    :attr:`tolerance_meters` is the harm budget the spoof chaos
+    campaign grades detection against (the monitors must raise before
+    the position error crosses it).
+    """
+
+    expectation = EXPECT_ANSWERED
+    #: Attack-family marker the chaos campaign selects on.
+    family = "spoof"
+    #: Position-error harm budget (meters): detection must beat the
+    #: solved fix drifting further than this from truth.
+    tolerance_meters = 50.0
+
+    def __init__(self, onset_seconds: float = 0.0) -> None:
+        if not np.isfinite(onset_seconds) or onset_seconds < 0:
+            raise ConfigurationError("onset_seconds must be non-negative and finite")
+        self.onset_seconds = float(onset_seconds)
+
+    def elapsed(self, epoch: ObservationEpoch) -> float:
+        """Seconds this attack has been running at ``epoch`` (>= 0)."""
+        return max(
+            0.0, float(epoch.time.seconds_of_week) - self.onset_seconds
+        )
+
+    def active(self, epoch: ObservationEpoch) -> bool:
+        """Whether the attack has switched on by ``epoch``."""
+        return float(epoch.time.seconds_of_week) >= self.onset_seconds
+
+
+class Meaconing(SpoofFault):
+    """Coherent replay: every signal delayed equally, one transmitter.
+
+    A meaconer records the whole sky and rebroadcasts it with a common
+    delay.  All pseudoranges shift together — the differenced solvers
+    cancel the shift and the residuals stay clean, so FDE is blind —
+    but the *signal* signature is glaring: one antenna's power profile
+    replaces a sky of independent ones, so every channel reports the
+    same C/N0 regardless of elevation (the cross-satellite consistency
+    monitor's trigger).
+    """
+
+    name = "meaconing"
+    tolerance_meters = 50.0
+
+    def __init__(
+        self,
+        delay_meters: float = 500.0,
+        cn0_dbhz: float = 45.0,
+        onset_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(onset_seconds)
+        if not np.isfinite(delay_meters) or delay_meters <= 0:
+            raise ConfigurationError("delay_meters must be positive and finite")
+        if not np.isfinite(cn0_dbhz):
+            raise ConfigurationError("cn0_dbhz must be finite")
+        self.delay_meters = float(delay_meters)
+        self.cn0_dbhz = float(cn0_dbhz)
+
+    def _params(self) -> Dict:
+        return {
+            "delay_meters": self.delay_meters,
+            "cn0_dbhz": self.cn0_dbhz,
+            "onset_seconds": self.onset_seconds,
+        }
+
+    def apply(self, epoch, rng):
+        if not self.active(epoch):
+            return epoch
+        return epoch.with_observations(
+            _unvalidated_observation(
+                obs,
+                pseudorange=obs.pseudorange + self.delay_meters,
+                cn0_dbhz=self.cn0_dbhz,
+            )
+            for obs in epoch.observations
+        )
+
+
+class SlowPositionDrag(SpoofFault):
+    """Coherent pseudorange steering that walks the fix away slowly.
+
+    Each pseudorange is rewritten to the *exact* geometric range from
+    a dragged receiver position ``truth + direction * rate * elapsed``
+    (capped at ``max_offset_meters``), so the faulted epoch is fully
+    self-consistent — every solver agrees on the dragged position and
+    the residuals never grow.  Only the stationary position/velocity
+    monitors can see the fix leaving its learned reference.
+    """
+
+    name = "slow_drag"
+    tolerance_meters = 50.0
+
+    def __init__(
+        self,
+        rate_mps: float = 1.0,
+        direction: Sequence[float] = (1.0, 0.0, 0.0),
+        max_offset_meters: float = 500.0,
+        onset_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(onset_seconds)
+        if not np.isfinite(rate_mps) or rate_mps <= 0:
+            raise ConfigurationError("rate_mps must be positive and finite")
+        if not np.isfinite(max_offset_meters) or max_offset_meters <= 0:
+            raise ConfigurationError(
+                "max_offset_meters must be positive and finite"
+            )
+        vector = np.asarray(direction, dtype=float)
+        if vector.shape != (3,) or not np.all(np.isfinite(vector)):
+            raise ConfigurationError("direction must be a finite 3-vector")
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:
+            raise ConfigurationError("direction must be nonzero")
+        self.rate_mps = float(rate_mps)
+        self.direction = tuple(float(c / norm) for c in vector)
+        self.max_offset_meters = float(max_offset_meters)
+
+    def _params(self) -> Dict:
+        return {
+            "rate_mps": self.rate_mps,
+            "direction": list(self.direction),
+            "max_offset_meters": self.max_offset_meters,
+            "onset_seconds": self.onset_seconds,
+        }
+
+    def apply(self, epoch, rng):
+        offset = min(
+            self.rate_mps * self.elapsed(epoch), self.max_offset_meters
+        )
+        if offset == 0.0:
+            return epoch
+        if epoch.truth is None:
+            raise ConfigurationError(
+                "slow_drag steers pseudoranges toward a dragged receiver "
+                "position and needs epoch truth to compute it"
+            )
+        receiver = np.asarray(epoch.truth.receiver_position, dtype=float)
+        dragged = receiver + np.asarray(self.direction) * offset
+        observations = []
+        for obs in epoch.observations:
+            position = np.asarray(obs.position, dtype=float)
+            delta = float(
+                np.linalg.norm(position - dragged)
+                - np.linalg.norm(position - receiver)
+            )
+            observations.append(
+                _unvalidated_observation(
+                    obs, pseudorange=obs.pseudorange + delta
+                )
+            )
+        return epoch.with_observations(observations)
+
+
+class ClockPull(SpoofFault):
+    """Common-mode pseudorange ramp: the receiver clock pulled off time.
+
+    All pseudoranges grow together at ``rate_mps`` (capped at
+    ``max_pull_meters``) — the position never moves and the differenced
+    residuals cancel, but the *implied receiver clock bias* walks at a
+    rate no oscillator explains.  The clock-drift-rate monitor's
+    trigger; the attack that matters for timing receivers.
+    """
+
+    name = "clock_pull"
+    tolerance_meters = 50.0
+
+    def __init__(
+        self,
+        rate_mps: float = 8.0,
+        max_pull_meters: float = 2.0e4,
+        onset_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(onset_seconds)
+        if not np.isfinite(rate_mps) or rate_mps <= 0:
+            raise ConfigurationError("rate_mps must be positive and finite")
+        if not np.isfinite(max_pull_meters) or max_pull_meters <= 0:
+            raise ConfigurationError("max_pull_meters must be positive and finite")
+        self.rate_mps = float(rate_mps)
+        self.max_pull_meters = float(max_pull_meters)
+
+    def _params(self) -> Dict:
+        return {
+            "rate_mps": self.rate_mps,
+            "max_pull_meters": self.max_pull_meters,
+            "onset_seconds": self.onset_seconds,
+        }
+
+    def apply(self, epoch, rng):
+        pull = min(self.rate_mps * self.elapsed(epoch), self.max_pull_meters)
+        if pull == 0.0:
+            return epoch
+        return epoch.with_observations(
+            _unvalidated_observation(obs, pseudorange=obs.pseudorange + pull)
+            for obs in epoch.observations
+        )
+
+
+class JammingRamp(SpoofFault):
+    """Broadband interference ramping up: every C/N0 sinks together.
+
+    Jamming drives the front end's AGC — and with it every channel's
+    C/N0 — down at ``ramp_db_per_second``, floored at ``floor_dbhz``
+    (tracking loops cannot report below their squelch).  Pseudoranges
+    are untouched: the attack degrades the *signal* long before it
+    breaks the *solution*, which is exactly the window the AGC-proxy
+    and absolute-threshold monitors exist to exploit.  Observations
+    with no C/N0 stay silent (nothing to suppress).
+    """
+
+    name = "jamming_ramp"
+    tolerance_meters = 50.0
+
+    def __init__(
+        self,
+        ramp_db_per_second: float = 0.5,
+        floor_dbhz: float = 20.0,
+        onset_seconds: float = 0.0,
+    ) -> None:
+        super().__init__(onset_seconds)
+        if not np.isfinite(ramp_db_per_second) or ramp_db_per_second <= 0:
+            raise ConfigurationError(
+                "ramp_db_per_second must be positive and finite"
+            )
+        if not np.isfinite(floor_dbhz):
+            raise ConfigurationError("floor_dbhz must be finite")
+        self.ramp_db_per_second = float(ramp_db_per_second)
+        self.floor_dbhz = float(floor_dbhz)
+
+    def _params(self) -> Dict:
+        return {
+            "ramp_db_per_second": self.ramp_db_per_second,
+            "floor_dbhz": self.floor_dbhz,
+            "onset_seconds": self.onset_seconds,
+        }
+
+    def apply(self, epoch, rng):
+        depth = self.ramp_db_per_second * self.elapsed(epoch)
+        if depth == 0.0:
+            return epoch
+        return epoch.with_observations(
+            _unvalidated_observation(
+                obs,
+                cn0_dbhz=(
+                    max(obs.cn0_dbhz - depth, self.floor_dbhz)
+                    if obs.cn0_dbhz is not None
+                    else None
+                ),
+            )
+            for obs in epoch.observations
+        )
+
+
 #: Registry of injectable faults by name (CLI ``--inject`` choices).
 FAULT_REGISTRY = {
     cls.name: cls
@@ -282,7 +549,18 @@ FAULT_REGISTRY = {
         SatelliteDropout,
         NonFiniteMeasurement,
         DuplicateSatellite,
+        Meaconing,
+        SlowPositionDrag,
+        ClockPull,
+        JammingRamp,
     )
+}
+
+#: The spoof/interference subset (the chaos campaign's attack menu).
+SPOOF_FAULTS = {
+    name: cls
+    for name, cls in FAULT_REGISTRY.items()
+    if issubclass(cls, SpoofFault)
 }
 
 
@@ -295,5 +573,13 @@ def fault_from_spec(spec: Dict) -> FaultProfile:
             [fault_from_spec(sub) for sub in data.get("profiles", [])]
         )
     if name not in FAULT_REGISTRY:
-        raise ConfigurationError(f"unknown fault profile {name!r}")
-    return FAULT_REGISTRY[name](**data)
+        raise ConfigurationError(
+            f"unknown fault profile {name!r}; valid profiles: "
+            f"{', '.join(sorted(FAULT_REGISTRY))} (or 'composite')"
+        )
+    try:
+        return FAULT_REGISTRY[name](**data)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad parameters for fault profile {name!r}: {exc}"
+        ) from None

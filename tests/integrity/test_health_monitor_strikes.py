@@ -1,0 +1,171 @@
+"""Monitor-strike interplay with the satellite health tracker.
+
+Property tests for the three contracts ISSUE 10 pins down: the
+``min_satellites`` admission floor holds under arbitrary monitor-driven
+quarantine pressure, reinstatement backoff still compounds when the
+strikes come from monitors, and a monitor strike plus an FDE exclusion
+against the same PRN in one admitted epoch count as ONE piece of
+evidence, never two.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integrity import HealthConfig, SatelliteHealthTracker
+
+ALL_PRNS = tuple(range(1, 11))
+
+
+def small_config(**overrides):
+    settings_ = dict(
+        window_epochs=10,
+        exclusion_threshold=2,
+        quarantine_epochs=4,
+        probation_epochs=2,
+        backoff_factor=2.0,
+        max_quarantine_epochs=100,
+        min_satellites=5,
+    )
+    settings_.update(overrides)
+    return HealthConfig(**settings_)
+
+
+def monitor_quarantine(tracker, prn):
+    """Drive ``prn`` to quarantined via monitor strikes alone."""
+    while tracker.state(prn) != "quarantined":
+        tracker.admit(ALL_PRNS)
+        assert tracker.record_monitor_strike(prn)
+
+
+class TestAdmissionFloor:
+    @given(
+        struck=st.lists(
+            st.sampled_from(ALL_PRNS), min_size=1, max_size=10, unique=True
+        ),
+        min_satellites=st.integers(min_value=4, max_value=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_floor_holds_under_any_monitor_pressure(
+        self, struck, min_satellites
+    ):
+        tracker = SatelliteHealthTracker(
+            small_config(min_satellites=min_satellites)
+        )
+        for prn in struck:
+            monitor_quarantine(tracker, prn)
+        excluded = tracker.admit(ALL_PRNS)
+        assert len(ALL_PRNS) - len(excluded) >= min_satellites
+        assert set(excluded) <= set(struck)
+
+    def test_worst_strikers_stay_excluded_when_trimming(self):
+        tracker = SatelliteHealthTracker(small_config(min_satellites=8))
+        # PRN 1 earns two quarantines (more strikes), PRNs 2-3 one each.
+        monitor_quarantine(tracker, 1)
+        for _ in range(200):
+            if tracker.state(1) != "quarantined":
+                break
+            tracker.admit(ALL_PRNS)
+        monitor_quarantine(tracker, 1)
+        monitor_quarantine(tracker, 2)
+        monitor_quarantine(tracker, 3)
+        excluded = tracker.admit(ALL_PRNS)
+        # Budget is 10 - 8 = 2: the twice-struck PRN 1 must survive the
+        # trim, and the deterministic PRN tie-break picks 2 over 3.
+        assert len(excluded) == 2
+        assert 1 in excluded
+
+
+class TestBackoffParity:
+    @given(rounds=st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_monitor_driven_backoff_compounds_like_fde(self, rounds):
+        config = small_config()
+        by_monitor = SatelliteHealthTracker(config)
+        by_fde = SatelliteHealthTracker(config)
+        durations = {"monitor": [], "fde": []}
+        for _ in range(rounds):
+            monitor_quarantine(by_monitor, 7)
+            start = by_monitor.epoch
+            while by_monitor.state(7) == "quarantined":
+                by_monitor.admit(ALL_PRNS)
+            durations["monitor"].append(by_monitor.epoch - start)
+
+            while by_fde.state(7) != "quarantined":
+                by_fde.admit(ALL_PRNS)
+                by_fde.record_exclusion(7)
+            start = by_fde.epoch
+            while by_fde.state(7) == "quarantined":
+                by_fde.admit(ALL_PRNS)
+            durations["fde"].append(by_fde.epoch - start)
+        # Same backoff schedule regardless of the strike source, and
+        # strictly growing until the cap.
+        assert durations["monitor"] == durations["fde"]
+        uncapped = [
+            d
+            for d in durations["monitor"]
+            if d < config.max_quarantine_epochs
+        ]
+        assert uncapped == sorted(uncapped)
+        assert len(set(uncapped)) == len(uncapped)
+
+    def test_probation_one_strike_applies_to_monitor_strikes(self):
+        tracker = SatelliteHealthTracker(small_config())
+        monitor_quarantine(tracker, 4)
+        while tracker.state(4) == "quarantined":
+            tracker.admit(ALL_PRNS)
+        assert tracker.state(4) == "probation"
+        tracker.admit(ALL_PRNS)
+        assert tracker.record_monitor_strike(4)
+        assert tracker.state(4) == "quarantined"
+
+
+class TestSameEpochDedup:
+    @given(
+        order=st.permutations(["fde", "monitor"]),
+        threshold=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fde_and_monitor_same_epoch_count_once(self, order, threshold):
+        tracker = SatelliteHealthTracker(
+            small_config(exclusion_threshold=threshold)
+        )
+        # threshold - 1 epochs of double strikes must NOT quarantine;
+        # with double counting they would after ceil(threshold / 2).
+        for _ in range(threshold - 1):
+            tracker.admit(ALL_PRNS)
+            for source in order:
+                if source == "fde":
+                    tracker.record_exclusion(9)
+                else:
+                    tracker.record_monitor_strike(9)
+            assert tracker.state(9) == "suspect"
+        tracker.admit(ALL_PRNS)
+        tracker.record_monitor_strike(9)
+        assert tracker.state(9) == "quarantined"
+
+    def test_monitor_strike_after_fde_reports_deduped(self):
+        tracker = SatelliteHealthTracker(small_config())
+        tracker.admit(ALL_PRNS)
+        tracker.record_exclusion(5)
+        assert tracker.record_monitor_strike(5) is False
+        tracker.admit(ALL_PRNS)
+        assert tracker.record_monitor_strike(5) is True
+
+    def test_repeat_monitor_strikes_same_epoch_count_once(self):
+        tracker = SatelliteHealthTracker(
+            small_config(exclusion_threshold=2)
+        )
+        tracker.admit(ALL_PRNS)
+        assert tracker.record_monitor_strike(6) is True
+        assert tracker.record_monitor_strike(6) is False
+        assert tracker.state(6) == "suspect"
+
+    def test_strike_against_quarantined_prn_is_ignored(self):
+        tracker = SatelliteHealthTracker(small_config())
+        monitor_quarantine(tracker, 2)
+        until = tracker._records[2].quarantine_until
+        tracker.admit(ALL_PRNS)
+        assert tracker.record_monitor_strike(2) is False
+        # The sentence is unchanged — no re-quarantine, no extension.
+        assert tracker._records[2].quarantine_until == until

@@ -1,0 +1,153 @@
+"""Round-trip tests for the C/N0 lane through RINEX (S1 + SSI flag)."""
+
+import pytest
+
+from repro.errors import RinexError
+from repro.rinex import (
+    SSI_STEP_DBHZ,
+    ObservationHeader,
+    read_navigation_file,
+    read_observation_file,
+    reconstruct_epochs,
+    write_navigation_file,
+    write_observation_file,
+)
+from repro.signals import SignalFeatureModel
+from repro.stations import DatasetConfig, ObservationDataset, get_station
+
+
+@pytest.fixture(scope="module")
+def strength_world(tmp_path_factory):
+    """A short dataset with synthesized C/N0, written as C1+S1."""
+    tmp = tmp_path_factory.mktemp("rinex_s1")
+    station = get_station("FAI1")
+    dataset = ObservationDataset(
+        station, DatasetConfig(duration_seconds=10.0)
+    )
+    model = SignalFeatureModel(seed=42)
+    epochs = [model.attach(epoch) for epoch in dataset.realize()]
+    header = ObservationHeader(
+        marker_name=station.site_id,
+        approx_position=station.ecef,
+        interval=1.0,
+        observation_types=("C1", "S1"),
+    )
+    write_observation_file(tmp / "s.obs", header, epochs)
+    write_navigation_file(tmp / "s.nav", dataset.constellation.ephemerides())
+    return tmp, epochs
+
+
+class TestS1Roundtrip:
+    def test_s1_observable_parses_back(self, strength_world):
+        tmp, epochs = strength_world
+        data = read_observation_file(tmp / "s.obs")
+        assert data.header.observation_types == ("C1", "S1")
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                # F14.3 -> millidecibel quantization.
+                assert record.observables[obs.prn]["S1"] == pytest.approx(
+                    obs.cn0_dbhz, abs=1e-3
+                )
+
+    def test_ssi_flag_digit_written_and_parsed(self, strength_world):
+        tmp, epochs = strength_world
+        data = read_observation_file(tmp / "s.obs")
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                flags = record.signal_strength[obs.prn]
+                expected = max(1, min(9, int(obs.cn0_dbhz // SSI_STEP_DBHZ)))
+                assert flags["C1"] == expected
+
+    def test_record_cn0_prefers_s1_over_flag(self, strength_world):
+        tmp, epochs = strength_world
+        data = read_observation_file(tmp / "s.obs")
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                assert record.cn0_dbhz(obs.prn) == pytest.approx(
+                    obs.cn0_dbhz, abs=1e-3
+                )
+
+    def test_cn0_survives_reconstruction(self, strength_world):
+        tmp, epochs = strength_world
+        rebuilt = reconstruct_epochs(
+            read_observation_file(tmp / "s.obs"),
+            read_navigation_file(tmp / "s.nav"),
+        )
+        assert rebuilt
+        for original, back in zip(epochs, rebuilt):
+            by_prn = {obs.prn: obs for obs in original.observations}
+            for obs in back.observations:
+                assert obs.cn0_dbhz == pytest.approx(
+                    by_prn[obs.prn].cn0_dbhz, abs=1e-3
+                )
+
+
+class TestSsiOnlyFallback:
+    """A C1-only file still carries strength, coarsely, via the flag."""
+
+    def test_flag_fallback_quantizes_to_ssi_steps(
+        self, tmp_path, strength_world
+    ):
+        _tmp, epochs = strength_world
+        station = get_station("FAI1")
+        header = ObservationHeader(
+            marker_name=station.site_id,
+            approx_position=station.ecef,
+            interval=1.0,
+            observation_types=("C1",),
+        )
+        write_observation_file(tmp_path / "c.obs", header, epochs)
+        data = read_observation_file(tmp_path / "c.obs")
+        for record, epoch in zip(data.records, epochs):
+            for obs in epoch.observations:
+                got = record.cn0_dbhz(obs.prn)
+                assert got is not None
+                # The flag digit is the floor in 6 dB-Hz steps.
+                assert abs(got - obs.cn0_dbhz) < SSI_STEP_DBHZ
+
+    def test_no_cn0_means_blank_flags_and_none(self, tmp_path, srzn_dataset):
+        station = get_station("SRZN")
+        header = ObservationHeader(
+            marker_name=station.site_id,
+            approx_position=station.ecef,
+            interval=1.0,
+            observation_types=("C1",),
+        )
+        epochs = srzn_dataset.realize(max_epochs=2)  # no C/N0 attached
+        write_observation_file(tmp_path / "n.obs", header, epochs)
+        data = read_observation_file(tmp_path / "n.obs")
+        for record in data.records:
+            assert record.signal_strength == {}
+            for prn in record.prns:
+                assert record.cn0_dbhz(prn) is None
+
+
+class TestWriterValidation:
+    def test_s1_header_without_cn0_raises(self, tmp_path, srzn_dataset):
+        station = get_station("SRZN")
+        header = ObservationHeader(
+            marker_name=station.site_id,
+            approx_position=station.ecef,
+            interval=1.0,
+            observation_types=("C1", "S1"),
+        )
+        epochs = srzn_dataset.realize(max_epochs=1)
+        with pytest.raises(RinexError, match="C/N0"):
+            write_observation_file(tmp_path / "x.obs", header, epochs)
+
+    def test_malformed_ssi_flag_rejected(self, tmp_path, strength_world):
+        tmp, _epochs = strength_world
+        lines = (tmp / "s.obs").read_text().splitlines()
+        # Corrupt the first observation line's C1 SSI column.
+        body = next(
+            i
+            for i, line in enumerate(lines)
+            if "END OF HEADER" in line
+        )
+        target = body + 2  # epoch line, then first satellite
+        line = lines[target]
+        lines[target] = line[:15] + "x" + line[16:]
+        broken = tmp_path / "bad.obs"
+        broken.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RinexError, match="SSI"):
+            read_observation_file(broken)

@@ -200,21 +200,34 @@ class TestRequestLane:
 class TestResponseLane:
     def test_outcomes_round_trip(self):
         from repro.integrity.fde import EpochVerdict
+        from repro.integrity.monitors import EpochMonitorVerdict, MonitorVerdict
 
         arrays, _config = _arrays()
+        suspect = EpochMonitorVerdict(
+            severity="suspect",
+            monitors=(
+                MonitorVerdict("cn0_drop", "suspect", 9.5, 8.0, ("G07",)),
+            ),
+        )
         outcomes = [
             ("ok", np.array([1.0, -2.0, 3.5]), 12.25, "dlg", None,
-             EpochVerdict("passed", 1.25, 9.5)),
-            ("invalid", None, None, None, "epoch failed batch screening", None),
-            ("failed", None, None, None, "no convergence", None),
+             EpochVerdict("passed", 1.25, 9.5), None),
+            ("invalid", None, None, None, "epoch failed batch screening",
+             None, None),
+            ("failed", None, None, None, "no convergence", None, None),
             ("ok", np.array([7.0, 8.0, 9.0]), -3.5, "dlg/nr-fallback", None,
-             EpochVerdict("repaired", 30.0, 9.5, excluded_prn=17)),
+             EpochVerdict("repaired", 30.0, 9.5, excluded_prn=17), suspect),
             ("ok", np.array([0.5, 0.25, 0.125]), 0.0, "dlg/scalar", None,
-             EpochVerdict("unchecked", float("nan"), float("nan"))),
+             EpochVerdict("unchecked", float("nan"), float("nan")), None),
         ]
-        errors = write_response(arrays, 3, 21, outcomes)
+        errors, monitors = write_response(arrays, 3, 21, outcomes)
         assert errors == {1: "epoch failed batch screening", 2: "no convergence"}
-        results = read_response(arrays, 3, 21, len(outcomes), errors, "dlg", 5)
+        assert set(monitors) == {3}
+        results = read_response(
+            arrays, 3, 21, len(outcomes), errors, "dlg", 5, monitors
+        )
+        assert results[3].monitor == suspect
+        assert results[0].monitor is None
         assert [r.status for r in results] == [
             "ok", "invalid", "failed", "ok", "ok"
         ]

@@ -125,6 +125,84 @@ class TestFuzzCommand:
         assert code == 0
         assert "2 rejected" in out
 
+    def test_unknown_inject_name_lists_choices(self, capsys):
+        """The CLI refuses unknown fault names with the valid menu."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--inject", "gremlin"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice: 'gremlin'" in err
+        for name in ("spike", "meaconing", "slow_drag", "clock_pull",
+                     "jamming_ramp"):
+            assert name in err
+
+    def test_spoof_profiles_are_injectable(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--scenarios",
+                "2",
+                "--inject",
+                "clock_pull",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 unexplained failures" in out
+
+    def test_replay_with_unknown_fault_name_exits_cleanly(
+        self, tmp_path, capsys
+    ):
+        """A doctored/stale artifact fails with the valid-name menu, not
+        a traceback."""
+        main(
+            [
+                "fuzz",
+                "--scenarios",
+                "1",
+                "--inject",
+                "spike",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        (artifact,) = tmp_path.iterdir()
+        payload = json.loads(artifact.read_text())
+        payload["fault"] = {"name": "gremlin"}
+        artifact.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(artifact)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unknown fault profile 'gremlin'" in err
+        assert "valid profiles" in err
+        assert "meaconing" in err
+
+    def test_replay_with_bad_fault_parameters_exits_cleanly(
+        self, tmp_path, capsys
+    ):
+        main(
+            [
+                "fuzz",
+                "--scenarios",
+                "1",
+                "--inject",
+                "spike",
+                "--artifacts-dir",
+                str(tmp_path),
+            ]
+        )
+        (artifact,) = tmp_path.iterdir()
+        payload = json.loads(artifact.read_text())
+        payload["fault"] = {"name": "spike", "wattage": 11.0}
+        artifact.write_text(json.dumps(payload))
+        capsys.readouterr()
+        code = main(["fuzz", "--replay", str(artifact)])
+        assert code == 1
+        assert "bad parameters for fault profile 'spike'" in capsys.readouterr().err
+
     def test_metrics_out_writes_fuzz_counters(self, tmp_path, capsys):
         metrics = tmp_path / "fuzz.json"
         code = main(

@@ -9,12 +9,18 @@ from repro.validation.faults import (
     EXPECT_ANSWERED,
     EXPECT_REJECTED,
     FAULT_REGISTRY,
+    SPOOF_FAULTS,
     ClockJump,
+    ClockPull,
     CompositeFault,
     DuplicateSatellite,
+    JammingRamp,
+    Meaconing,
     NonFiniteMeasurement,
     PseudorangeSpike,
     SatelliteDropout,
+    SlowPositionDrag,
+    SpoofFault,
     fault_from_spec,
 )
 
@@ -132,6 +138,155 @@ class TestSpecRoundTrip:
 
         for cls in FAULT_REGISTRY.values():
             json.dumps(cls().spec())
+
+
+class TestSpoofFaults:
+    """The coordinated attack profiles: time-ramped, coherent, capped."""
+
+    def test_registry_subset_and_tags(self):
+        assert set(SPOOF_FAULTS) == {
+            "meaconing", "slow_drag", "clock_pull", "jamming_ramp"
+        }
+        for cls in SPOOF_FAULTS.values():
+            assert issubclass(cls, SpoofFault)
+            assert cls.expectation == EXPECT_ANSWERED
+            assert cls.family == "spoof"
+            assert cls.tolerance_meters > 0
+
+    def test_onset_gates_every_profile(self, epoch):
+        # Scenario epochs sit at seconds_of_week == seed % week; an
+        # onset past that leaves the epoch untouched.
+        onset = float(epoch.time.seconds_of_week) + 100.0
+        for cls in SPOOF_FAULTS.values():
+            faulted = cls(onset_seconds=onset).apply(epoch, _rng())
+            np.testing.assert_array_equal(
+                faulted.pseudoranges(), epoch.pseudoranges(), err_msg=cls.name
+            )
+            assert [o.cn0_dbhz for o in faulted.observations] == [
+                o.cn0_dbhz for o in epoch.observations
+            ], cls.name
+
+    def test_meaconing_delays_all_and_flattens_cn0(self, epoch):
+        faulted = Meaconing(delay_meters=250.0, cn0_dbhz=44.0).apply(
+            epoch, _rng()
+        )
+        np.testing.assert_allclose(
+            faulted.pseudoranges() - epoch.pseudoranges(), 250.0
+        )
+        assert {o.cn0_dbhz for o in faulted.observations} == {44.0}
+
+    def test_slow_drag_is_exactly_coherent(self, epoch):
+        """The dragged epoch must solve to truth + offset, residual-free."""
+        from repro.api import SolverConfig, solve
+
+        onset = float(epoch.time.seconds_of_week) - 30.0
+        drag = SlowPositionDrag(
+            rate_mps=1.0, direction=(0.0, 0.0, 1.0), onset_seconds=onset
+        )
+        faulted = drag.apply(epoch, _rng())
+        fix = solve(faulted, SolverConfig(algorithm="nr"))
+        expected = np.asarray(epoch.truth.receiver_position) + np.array(
+            [0.0, 0.0, 30.0]
+        )
+        np.testing.assert_allclose(fix.position, expected, atol=1e-3)
+
+    def test_slow_drag_caps_at_max_offset(self, epoch):
+        drag = SlowPositionDrag(
+            rate_mps=1.0e6, max_offset_meters=100.0, onset_seconds=0.0
+        )
+        faulted = drag.apply(epoch, _rng())
+        delta = np.abs(faulted.pseudoranges() - epoch.pseudoranges())
+        # A 100 m receiver displacement changes each range by <= 100 m.
+        assert np.all(delta <= 100.0 + 1e-9)
+        assert np.any(delta > 1.0)
+
+    def test_slow_drag_without_truth_is_rejected(self, epoch):
+        import dataclasses
+
+        bare = dataclasses.replace(epoch, truth=None)
+        with pytest.raises(ConfigurationError, match="truth"):
+            SlowPositionDrag().apply(bare, _rng())
+
+    def test_clock_pull_ramps_commonly_and_caps(self, epoch):
+        onset = float(epoch.time.seconds_of_week) - 10.0
+        pull = ClockPull(rate_mps=2.0, onset_seconds=onset)
+        faulted = pull.apply(epoch, _rng())
+        np.testing.assert_allclose(
+            faulted.pseudoranges() - epoch.pseudoranges(), 20.0
+        )
+        capped = ClockPull(
+            rate_mps=1.0e9, max_pull_meters=500.0, onset_seconds=0.0
+        ).apply(epoch, _rng())
+        np.testing.assert_allclose(
+            capped.pseudoranges() - epoch.pseudoranges(), 500.0
+        )
+
+    def test_jamming_ramp_sinks_cn0_to_floor(self, epoch):
+        from repro.signals import SignalFeatureModel
+
+        carrying = SignalFeatureModel(seed=3).attach(epoch)
+        onset = float(epoch.time.seconds_of_week) - 10.0
+        ramp = JammingRamp(
+            ramp_db_per_second=1.0, floor_dbhz=25.0, onset_seconds=onset
+        )
+        faulted = ramp.apply(carrying, _rng())
+        for before, after in zip(carrying.observations, faulted.observations):
+            assert after.cn0_dbhz == max(before.cn0_dbhz - 10.0, 25.0)
+        # Pseudoranges untouched: jamming degrades signal, not geometry.
+        np.testing.assert_array_equal(
+            faulted.pseudoranges(), carrying.pseudoranges()
+        )
+
+    def test_jamming_ramp_leaves_cn0less_epochs_silent(self, epoch):
+        faulted = JammingRamp(onset_seconds=0.0).apply(epoch, _rng())
+        assert all(o.cn0_dbhz is None for o in faulted.observations)
+
+    def test_spoof_specs_round_trip_with_parameters(self):
+        profiles = [
+            Meaconing(delay_meters=123.0, cn0_dbhz=41.0, onset_seconds=5.0),
+            SlowPositionDrag(
+                rate_mps=2.5,
+                direction=(0.0, 1.0, 0.0),
+                max_offset_meters=250.0,
+                onset_seconds=7.0,
+            ),
+            ClockPull(rate_mps=3.0, max_pull_meters=999.0, onset_seconds=1.0),
+            JammingRamp(
+                ramp_db_per_second=0.25, floor_dbhz=22.0, onset_seconds=2.0
+            ),
+        ]
+        for fault in profiles:
+            rebuilt = fault_from_spec(fault.spec())
+            assert type(rebuilt) is type(fault)
+            assert rebuilt.spec() == fault.spec()
+
+    def test_spoof_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            Meaconing(delay_meters=0.0)
+        with pytest.raises(ConfigurationError):
+            SlowPositionDrag(rate_mps=-1.0)
+        with pytest.raises(ConfigurationError):
+            SlowPositionDrag(direction=(0.0, 0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            ClockPull(max_pull_meters=float("inf"))
+        with pytest.raises(ConfigurationError):
+            JammingRamp(ramp_db_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            Meaconing(onset_seconds=-1.0)
+
+
+class TestUnknownFaultErrors:
+    def test_unknown_name_lists_valid_profiles(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            fault_from_spec({"name": "gremlin"})
+        message = str(excinfo.value)
+        for name in FAULT_REGISTRY:
+            assert name in message
+        assert "composite" in message
+
+    def test_bad_parameters_name_the_profile(self):
+        with pytest.raises(ConfigurationError, match="bad parameters.*spike"):
+            fault_from_spec({"name": "spike", "wattage": 11.0})
 
 
 class TestValidation:
